@@ -1,0 +1,87 @@
+// Figure 11: IDE interrogation. Measures palette extraction cost against
+// the number of middleware components and the size of the security
+// policy, plus placement validation — the interactive operations behind
+// the IDE's component and security panes.
+#include <benchmark/benchmark.h>
+
+#include "ide/palette.hpp"
+#include "middleware/corba/orb.hpp"
+#include "middleware/ejb/container.hpp"
+
+namespace {
+
+using namespace mwsec;
+
+middleware::corba::Orb sized_orb(int interfaces, int users) {
+  middleware::corba::Orb orb("host", "orb");
+  orb.define_role("Role").ok();
+  for (int i = 0; i < interfaces; ++i) {
+    std::string name = "Iface" + std::to_string(i);
+    orb.define_interface({name, "", {"read", "write"}}).ok();
+    orb.grant("Role", name, "read").ok();
+    orb.grant("Role", name, "write").ok();
+  }
+  for (int u = 0; u < users; ++u) {
+    orb.add_user_to_role("user" + std::to_string(u), "Role").ok();
+  }
+  return orb;
+}
+
+void BM_Fig11_BuildPaletteVsComponents(benchmark::State& state) {
+  auto orb = sized_orb(static_cast<int>(state.range(0)), 10);
+  ide::Interrogator interrogator;
+  interrogator.add_system(&orb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interrogator.build());
+  }
+  state.counters["components"] = static_cast<double>(state.range(0)) * 2;
+}
+BENCHMARK(BM_Fig11_BuildPaletteVsComponents)
+    ->RangeMultiplier(4)
+    ->Range(4, 256);
+
+void BM_Fig11_BuildPaletteVsUsers(benchmark::State& state) {
+  auto orb = sized_orb(16, static_cast<int>(state.range(0)));
+  ide::Interrogator interrogator;
+  interrogator.add_system(&orb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interrogator.build());
+  }
+  state.counters["users"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig11_BuildPaletteVsUsers)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_Fig11_HeterogeneousPalette(benchmark::State& state) {
+  auto orb = sized_orb(32, 20);
+  middleware::ejb::Server ejb("apphost", "ejbsrv");
+  ejb.create_container("ejb/x").ok();
+  middleware::ejb::BeanDescriptor bean{
+      "Bean", "", {"R"}, {{"m1", {"R"}}, {"m2", {"R"}}}, {}};
+  ejb.deploy("ejb/x", bean).ok();
+  ejb.register_user("u").ok();
+  ejb.add_user_to_role("u", "ejb/x", "R").ok();
+  ide::Interrogator interrogator;
+  interrogator.add_system(&orb);
+  interrogator.add_system(&ejb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interrogator.build());
+  }
+}
+BENCHMARK(BM_Fig11_HeterogeneousPalette);
+
+void BM_Fig11_ValidatePlacement(benchmark::State& state) {
+  auto orb = sized_orb(32, 50);
+  ide::Interrogator interrogator;
+  interrogator.add_system(&orb);
+  auto palette = interrogator.build();
+  const std::string id = "corba://host/orb/Iface7#read";
+  auto target = ide::Interrogator::make_target(
+      palette.find(id)->component, "host/orb", "Role", "user25");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        interrogator.validate_target(palette, id, target));
+  }
+}
+BENCHMARK(BM_Fig11_ValidatePlacement);
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Figure 1: the common RBAC model. Measures the operations every other
+// component leans on — access checks, administration, diff — on the exact
+// Figure 1 policy and on synthetic policies swept from 10 to 10k users.
+#include <benchmark/benchmark.h>
+
+#include "rbac/fixtures.hpp"
+
+namespace {
+
+using namespace mwsec;
+
+void BM_Fig1_CheckExactPolicy(benchmark::State& state) {
+  rbac::Policy p = rbac::salaries_policy();
+  const rbac::AccessRequest requests[] = {
+      {"Alice", "SalariesDB", "write"}, {"Bob", "SalariesDB", "read"},
+      {"Claire", "SalariesDB", "write"}, {"Mallory", "SalariesDB", "read"}};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.check(requests[i++ % std::size(requests)]));
+  }
+}
+BENCHMARK(BM_Fig1_CheckExactPolicy);
+
+void BM_Fig1_CheckVsUserCount(benchmark::State& state) {
+  rbac::SyntheticSpec spec;
+  spec.users = static_cast<std::size_t>(state.range(0));
+  spec.domains = 8;
+  spec.roles_per_domain = 8;
+  rbac::Policy p = rbac::synthetic_policy(spec, 7);
+  auto users = p.users();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    rbac::AccessRequest r{users[i++ % users.size()], "obj1", "read"};
+    benchmark::DoNotOptimize(p.check(r));
+  }
+  state.counters["users"] = static_cast<double>(spec.users);
+}
+BENCHMARK(BM_Fig1_CheckVsUserCount)->RangeMultiplier(10)->Range(10, 10000);
+
+void BM_Fig1_GrantAssignThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    rbac::Policy p;
+    for (int i = 0; i < 100; ++i) {
+      p.grant("D" + std::to_string(i % 4), "R" + std::to_string(i % 8), "O",
+              "perm" + std::to_string(i % 6))
+          .ok();
+      p.assign("u" + std::to_string(i), "D" + std::to_string(i % 4),
+               "R" + std::to_string(i % 8))
+          .ok();
+    }
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_Fig1_GrantAssignThroughput);
+
+void BM_Fig1_RemoveUserRevocation(benchmark::State& state) {
+  rbac::SyntheticSpec spec;
+  spec.users = 1000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    rbac::Policy p = rbac::synthetic_policy(spec, 11);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(p.remove_user("user500"));
+  }
+}
+BENCHMARK(BM_Fig1_RemoveUserRevocation);
+
+void BM_Fig1_PolicyDiff(benchmark::State& state) {
+  rbac::SyntheticSpec spec;
+  spec.users = static_cast<std::size_t>(state.range(0));
+  rbac::Policy a = rbac::synthetic_policy(spec, 3);
+  rbac::Policy b = a;
+  b.assign("newbie", "dom0", "role0").ok();
+  b.remove_user("user1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rbac::Policy::diff(a, b));
+  }
+  state.counters["users"] = static_cast<double>(spec.users);
+}
+BENCHMARK(BM_Fig1_PolicyDiff)->RangeMultiplier(10)->Range(10, 10000);
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Figure 2: the basic KeyNote mechanism. Measures assertion parsing and
+// query evaluation — first on the verbatim Figure 2 policy credential,
+// then with the credential store swept from 1 to 1000 assertions to show
+// how decision latency scales with policy size.
+#include <benchmark/benchmark.h>
+
+#include "keynote/query.hpp"
+
+namespace {
+
+using namespace mwsec;
+
+constexpr const char* kFigure2 =
+    "Authorizer: POLICY\n"
+    "licensees: \"Kbob\"\n"
+    "Conditions: app_domain==\"SalariesDB\" &&\n"
+    "    (oper==\"read\" || oper==\"write\");\n";
+
+void BM_Fig2_ParseAssertion(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keynote::Assertion::parse(kFigure2));
+  }
+}
+BENCHMARK(BM_Fig2_ParseAssertion);
+
+void BM_Fig2_QueryVerbatim(benchmark::State& state) {
+  auto pol = keynote::Assertion::parse(kFigure2).take();
+  keynote::Query q;
+  q.action_authorizers = {"Kbob"};
+  q.env.set("app_domain", "SalariesDB");
+  q.env.set("oper", "write");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keynote::evaluate({pol}, {}, q));
+  }
+}
+BENCHMARK(BM_Fig2_QueryVerbatim);
+
+void BM_Fig2_QueryVsStoreSize(benchmark::State& state) {
+  // N policies each licensing a different opaque key; the requester
+  // matches the last one.
+  const int n = static_cast<int>(state.range(0));
+  std::vector<keynote::Assertion> policies;
+  policies.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    policies.push_back(
+        keynote::AssertionBuilder()
+            .authorizer("POLICY")
+            .licensees("\"K" + std::to_string(i) + "\"")
+            .conditions("app_domain==\"SalariesDB\" && oper==\"read\"")
+            .build()
+            .take());
+  }
+  keynote::Query q;
+  q.action_authorizers = {"K" + std::to_string(n - 1)};
+  q.env.set("app_domain", "SalariesDB");
+  q.env.set("oper", "read");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keynote::evaluate(policies, {}, q));
+  }
+  state.counters["assertions"] = n;
+}
+BENCHMARK(BM_Fig2_QueryVsStoreSize)->RangeMultiplier(10)->Range(1, 1000);
+
+void BM_Fig2_ConditionsComplexity(benchmark::State& state) {
+  // One assertion whose conditions program has N disjuncts; the request
+  // matches the last.
+  const int n = static_cast<int>(state.range(0));
+  std::string cond;
+  for (int i = 0; i < n; ++i) {
+    if (i != 0) cond += " || ";
+    cond += "(Domain==\"d" + std::to_string(i) + "\" && Role==\"r" +
+            std::to_string(i) + "\")";
+  }
+  auto pol = keynote::AssertionBuilder()
+                 .authorizer("POLICY")
+                 .licensees("\"K\"")
+                 .conditions(cond)
+                 .build()
+                 .take();
+  keynote::Query q;
+  q.action_authorizers = {"K"};
+  q.env.set("Domain", "d" + std::to_string(n - 1));
+  q.env.set("Role", "r" + std::to_string(n - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keynote::evaluate({pol}, {}, q));
+  }
+  state.counters["disjuncts"] = n;
+}
+BENCHMARK(BM_Fig2_ConditionsComplexity)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_Fig2_RegexConditions(benchmark::State& state) {
+  auto pol = keynote::AssertionBuilder()
+                 .authorizer("POLICY")
+                 .licensees("\"K\"")
+                 .conditions("path ~= \"^/srv/payroll/.*\\\\.db$\"")
+                 .build()
+                 .take();
+  keynote::Query q;
+  q.action_authorizers = {"K"};
+  q.env.set("path", "/srv/payroll/2004-june.db");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keynote::evaluate({pol}, {}, q));
+  }
+}
+BENCHMARK(BM_Fig2_RegexConditions);
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Figure 4: credential delegation. Measures how KeyNote decision latency
+// scales with delegation-chain depth (POLICY -> K0 -> K1 -> ... -> Kn)
+// and with delegation fan-out (each key delegating to several), first
+// with opaque keys (pure evaluator cost) and then with real RSA
+// signatures (verification dominating, as the paper's deployments would
+// see).
+#include <benchmark/benchmark.h>
+
+#include "crypto/keys.hpp"
+#include "keynote/query.hpp"
+
+namespace {
+
+using namespace mwsec;
+
+keynote::Assertion opaque_cred(const std::string& from,
+                               const std::string& to) {
+  return keynote::AssertionBuilder()
+      .authorizer("\"" + from + "\"")
+      .licensees("\"" + to + "\"")
+      .conditions("app_domain==\"SalariesDB\" && oper==\"write\"")
+      .build()
+      .take();
+}
+
+void BM_Fig4_ChainDepthOpaque(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  auto pol = keynote::AssertionBuilder()
+                 .authorizer("POLICY")
+                 .licensees("\"K0\"")
+                 .conditions("app_domain==\"SalariesDB\"")
+                 .build()
+                 .take();
+  std::vector<keynote::Assertion> creds;
+  for (int i = 0; i < depth; ++i) {
+    creds.push_back(
+        opaque_cred("K" + std::to_string(i), "K" + std::to_string(i + 1)));
+  }
+  keynote::Query q;
+  q.action_authorizers = {"K" + std::to_string(depth)};
+  q.env.set("app_domain", "SalariesDB");
+  q.env.set("oper", "write");
+  keynote::QueryOptions lax;
+  lax.verify_signatures = false;
+  for (auto _ : state) {
+    auto r = keynote::evaluate({pol}, creds, q, lax);
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["depth"] = depth;
+}
+BENCHMARK(BM_Fig4_ChainDepthOpaque)->RangeMultiplier(2)->Range(1, 64);
+
+void BM_Fig4_FanOutOpaque(benchmark::State& state) {
+  // One root key delegates to F keys, each of which delegates to the
+  // requester: F parallel two-hop chains.
+  const int fanout = static_cast<int>(state.range(0));
+  auto pol = keynote::AssertionBuilder()
+                 .authorizer("POLICY")
+                 .licensees("\"Kroot\"")
+                 .conditions("true")
+                 .build()
+                 .take();
+  std::vector<keynote::Assertion> creds;
+  for (int i = 0; i < fanout; ++i) {
+    creds.push_back(opaque_cred("Kroot", "Kmid" + std::to_string(i)));
+    creds.push_back(opaque_cred("Kmid" + std::to_string(i), "Kleaf"));
+  }
+  keynote::Query q;
+  q.action_authorizers = {"Kleaf"};
+  q.env.set("app_domain", "SalariesDB");
+  q.env.set("oper", "write");
+  keynote::QueryOptions lax;
+  lax.verify_signatures = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keynote::evaluate({pol}, creds, q, lax));
+  }
+  state.counters["fanout"] = fanout;
+}
+BENCHMARK(BM_Fig4_FanOutOpaque)->RangeMultiplier(2)->Range(1, 8);
+
+void BM_Fig4_ChainDepthSigned(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  static crypto::KeyRing ring(/*seed=*/4242, /*modulus_bits=*/256);
+  auto pol = keynote::AssertionBuilder()
+                 .authorizer("POLICY")
+                 .licensees("\"" + ring.principal("S0") + "\"")
+                 .conditions("app_domain==\"SalariesDB\"")
+                 .build()
+                 .take();
+  std::vector<keynote::Assertion> creds;
+  for (int i = 0; i < depth; ++i) {
+    creds.push_back(keynote::AssertionBuilder()
+                        .authorizer("\"" + ring.principal("S" + std::to_string(i)) + "\"")
+                        .licensees("\"" + ring.principal("S" + std::to_string(i + 1)) + "\"")
+                        .conditions("app_domain==\"SalariesDB\"")
+                        .build_signed(ring.identity("S" + std::to_string(i)))
+                        .take());
+  }
+  keynote::Query q;
+  q.action_authorizers = {ring.principal("S" + std::to_string(depth))};
+  q.env.set("app_domain", "SalariesDB");
+  for (auto _ : state) {
+    auto r = keynote::evaluate({pol}, creds, q);  // signatures verified
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["depth"] = depth;
+}
+BENCHMARK(BM_Fig4_ChainDepthSigned)->RangeMultiplier(2)->Range(1, 16);
+
+void BM_Fig4_SignCredential(benchmark::State& state) {
+  static crypto::KeyRing ring(/*seed=*/777, /*modulus_bits=*/256);
+  const auto& id = ring.identity("Ksigner");
+  for (auto _ : state) {
+    auto cred = keynote::AssertionBuilder()
+                    .authorizer("\"" + id.principal() + "\"")
+                    .licensees("\"Kalice\"")
+                    .conditions("app_domain==\"SalariesDB\" && oper==\"write\"")
+                    .build_signed(id);
+    benchmark::DoNotOptimize(cred);
+  }
+}
+BENCHMARK(BM_Fig4_SignCredential);
+
+void BM_Fig4_VerifyCredential(benchmark::State& state) {
+  static crypto::KeyRing ring(/*seed=*/778, /*modulus_bits=*/256);
+  const auto& id = ring.identity("Ksigner");
+  auto cred = keynote::AssertionBuilder()
+                  .authorizer("\"" + id.principal() + "\"")
+                  .licensees("\"Kalice\"")
+                  .conditions("app_domain==\"SalariesDB\"")
+                  .build_signed(id)
+                  .take();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cred.verify());
+  }
+}
+BENCHMARK(BM_Fig4_VerifyCredential);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Figure 5: compiling a middleware RBAC policy into its KeyNote encoding
+// ("policy comprehension" machinery). Measures compile cost against policy
+// size, the cost of the reverse synthesis, and the full round trip — the
+// automation the paper contrasts with hand administration.
+#include <benchmark/benchmark.h>
+
+#include "rbac/fixtures.hpp"
+#include "translate/keynote_to_rbac.hpp"
+#include "translate/rbac_to_keynote.hpp"
+
+namespace {
+
+using namespace mwsec;
+
+rbac::Policy sized_policy(std::size_t users) {
+  rbac::SyntheticSpec spec;
+  spec.users = users;
+  spec.domains = 4;
+  spec.roles_per_domain = 6;
+  return rbac::synthetic_policy(spec, 13);
+}
+
+void BM_Fig5_CompileFigure1(benchmark::State& state) {
+  translate::OpaqueDirectory dir;
+  rbac::Policy p = rbac::salaries_policy();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translate::compile_policy(p, "KWebCom", dir));
+  }
+}
+BENCHMARK(BM_Fig5_CompileFigure1);
+
+void BM_Fig5_CompileVsUsers(benchmark::State& state) {
+  translate::OpaqueDirectory dir;
+  rbac::Policy p = sized_policy(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translate::compile_policy(p, "KWebCom", dir));
+  }
+  state.counters["users"] = static_cast<double>(state.range(0));
+  state.counters["grants"] = static_cast<double>(p.grants().size());
+}
+BENCHMARK(BM_Fig5_CompileVsUsers)->RangeMultiplier(10)->Range(10, 1000);
+
+void BM_Fig5_SynthesizeBack(benchmark::State& state) {
+  translate::OpaqueDirectory dir;
+  rbac::Policy p = sized_policy(static_cast<std::size_t>(state.range(0)));
+  auto compiled = translate::compile_policy(p, "KWebCom", dir).take();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translate::synthesize_policy(
+        {compiled.policy}, compiled.membership_credentials, "KWebCom", dir));
+  }
+  state.counters["users"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig5_SynthesizeBack)->RangeMultiplier(10)->Range(10, 100);
+
+void BM_Fig5_FullRoundTrip(benchmark::State& state) {
+  translate::OpaqueDirectory dir;
+  rbac::Policy p = sized_policy(50);
+  for (auto _ : state) {
+    auto compiled = translate::compile_policy(p, "KWebCom", dir).take();
+    auto back = translate::synthesize_policy(
+        {compiled.policy}, compiled.membership_credentials, "KWebCom", dir);
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_Fig5_FullRoundTrip);
+
+void BM_Fig5_VocabularyExtraction(benchmark::State& state) {
+  translate::OpaqueDirectory dir;
+  rbac::Policy p = sized_policy(static_cast<std::size_t>(state.range(0)));
+  auto compiled = translate::compile_policy(p, "KWebCom", dir).take();
+  std::vector<keynote::Assertion> all{compiled.policy};
+  all.insert(all.end(), compiled.membership_credentials.begin(),
+             compiled.membership_credentials.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(translate::extract_vocabulary(all));
+  }
+  state.counters["assertions"] = static_cast<double>(all.size());
+}
+BENCHMARK(BM_Fig5_VocabularyExtraction)->RangeMultiplier(10)->Range(10, 1000);
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Figures 6-7: role-membership credentials and re-delegation. Measures
+// the full lifecycle the paper's Section 4.4 describes — issue a signed
+// membership credential, re-delegate it, verify the chain, and comprehend
+// it back into UserRole rows — i.e. the per-employee cost of maintaining
+// policy by delegation instead of by administrator edits.
+#include <benchmark/benchmark.h>
+
+#include "keynote/query.hpp"
+#include "translate/keynote_to_rbac.hpp"
+#include "translate/rbac_to_keynote.hpp"
+
+namespace {
+
+using namespace mwsec;
+
+crypto::KeyRing& ring() {
+  static crypto::KeyRing r(/*seed=*/2021, /*modulus_bits=*/256);
+  return r;
+}
+
+void BM_Fig6_IssueMembershipCredential(benchmark::State& state) {
+  const auto& admin = ring().identity("KWebCom");
+  int i = 0;
+  for (auto _ : state) {
+    auto cred = keynote::AssertionBuilder()
+                    .authorizer("\"" + admin.principal() + "\"")
+                    .licensees("\"Kuser" + std::to_string(i++) + "\"")
+                    .conditions("app_domain == \"WebCom\" && "
+                                "Domain==\"Finance\" && Role==\"Manager\"")
+                    .build_signed(admin);
+    benchmark::DoNotOptimize(cred);
+  }
+}
+BENCHMARK(BM_Fig6_IssueMembershipCredential);
+
+void BM_Fig7_RedelegateAndAuthorize(benchmark::State& state) {
+  // Claire -> Fred re-delegation evaluated with full signature checking.
+  const auto& admin = ring().identity("KWebCom");
+  const auto& claire = ring().identity("Kclaire");
+  const auto& fred = ring().identity("Kfred");
+  auto pol = keynote::AssertionBuilder()
+                 .authorizer("POLICY")
+                 .licensees("\"" + admin.principal() + "\"")
+                 .conditions("app_domain == \"WebCom\"")
+                 .build()
+                 .take();
+  auto c1 = keynote::AssertionBuilder()
+                .authorizer("\"" + admin.principal() + "\"")
+                .licensees("\"" + claire.principal() + "\"")
+                .conditions("app_domain == \"WebCom\" && Domain==\"Finance\" "
+                            "&& Role==\"Manager\"")
+                .build_signed(admin)
+                .take();
+  auto c2 = keynote::AssertionBuilder()
+                .authorizer("\"" + claire.principal() + "\"")
+                .licensees("\"" + fred.principal() + "\"")
+                .conditions("app_domain==\"WebCom\" && Domain==\"Finance\" && "
+                            "Role==\"Manager\"")
+                .build_signed(claire)
+                .take();
+  keynote::Query q;
+  q.action_authorizers = {fred.principal()};
+  q.env.set("app_domain", "WebCom");
+  q.env.set("Domain", "Finance");
+  q.env.set("Role", "Manager");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keynote::evaluate({pol}, {c1, c2}, q));
+  }
+}
+BENCHMARK(BM_Fig7_RedelegateAndAuthorize);
+
+void BM_Fig7_OnboardingLifecycle(benchmark::State& state) {
+  // Full per-employee cycle: sign membership -> verify -> comprehend into
+  // UserRole rows.
+  crypto::KeyRing lring(/*seed=*/5, /*modulus_bits=*/256);
+  translate::KeyRingDirectory dir(lring);
+  const auto& admin = lring.identity("KWebCom");
+  // Pre-mint the employee keys so keygen is outside the loop.
+  for (int i = 0; i < 64; ++i) dir.principal_of("emp" + std::to_string(i));
+  int i = 0;
+  for (auto _ : state) {
+    std::string user = "emp" + std::to_string(i++ % 64);
+    auto cred = keynote::AssertionBuilder()
+                    .authorizer("\"" + admin.principal() + "\"")
+                    .licensees("\"" + dir.principal_of(user) + "\"")
+                    .conditions("app_domain == \"WebCom\" && "
+                                "((Domain==\"Finance\" && Role==\"Clerk\"))")
+                    .build_signed(admin)
+                    .take();
+    benchmark::DoNotOptimize(cred.verify());
+    auto synth = translate::synthesize_policy({}, {cred}, admin.principal(),
+                                              dir);
+    benchmark::DoNotOptimize(synth);
+  }
+}
+BENCHMARK(BM_Fig7_OnboardingLifecycle);
+
+void BM_Fig7_ComprehendVsCredentialCount(benchmark::State& state) {
+  // Synthesis cost as the credential population grows.
+  const int n = static_cast<int>(state.range(0));
+  translate::OpaqueDirectory dir;
+  std::vector<keynote::Assertion> creds;
+  for (int i = 0; i < n; ++i) {
+    creds.push_back(
+        keynote::AssertionBuilder()
+            .authorizer("\"KWebCom\"")
+            .licensees("\"Kuser" + std::to_string(i) + "\"")
+            .conditions("app_domain == \"WebCom\" && ((Domain==\"dom" +
+                        std::to_string(i % 4) + "\" && Role==\"role" +
+                        std::to_string(i % 8) + "\"))")
+            .build()
+            .take());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        translate::synthesize_policy({}, creds, "KWebCom", dir));
+  }
+  state.counters["credentials"] = n;
+}
+BENCHMARK(BM_Fig7_ComprehendVsCredentialCount)
+    ->RangeMultiplier(4)
+    ->Range(4, 256);
+
+}  // namespace

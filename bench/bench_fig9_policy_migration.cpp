@@ -1,0 +1,158 @@
+// Figure 9: interoperating security policies. Measures the migration
+// pipelines across the heterogeneous topology — COM+ -> EJB (the paper's
+// legacy-replacement case), EJB -> COM+ (similarity-mapped permissions),
+// COM+ -> CORBA — both directly through the RBAC interlingua and via the
+// full KeyNote credential round trip, swept over policy size.
+#include <benchmark/benchmark.h>
+
+#include "middleware/com/catalogue.hpp"
+#include "middleware/corba/orb.hpp"
+#include "middleware/ejb/container.hpp"
+#include "rbac/fixtures.hpp"
+#include "translate/migration.hpp"
+
+namespace {
+
+using namespace mwsec;
+
+crypto::KeyRing& ring() {
+  static crypto::KeyRing r(/*seed=*/909, /*modulus_bits=*/256);
+  return r;
+}
+
+/// A COM+ catalogue with `users` users spread over a few roles/apps.
+middleware::com::Catalogue sized_com(std::size_t users) {
+  middleware::com::Catalogue cat("winY", "Finance");
+  for (int a = 0; a < 4; ++a) {
+    cat.register_application({"App" + std::to_string(a), "", {}}).ok();
+  }
+  for (int r = 0; r < 6; ++r) {
+    std::string role = "Role" + std::to_string(r);
+    cat.define_role(role).ok();
+    cat.grant(role, "App" + std::to_string(r % 4), middleware::com::kAccess)
+        .ok();
+    if (r % 2 == 0) {
+      cat.grant(role, "App" + std::to_string(r % 4),
+                middleware::com::kLaunch)
+          .ok();
+    }
+  }
+  for (std::size_t u = 0; u < users; ++u) {
+    cat.add_user_to_role("user" + std::to_string(u),
+                         "Role" + std::to_string(u % 6))
+        .ok();
+  }
+  return cat;
+}
+
+void BM_Fig9_ComToEjbDirect(benchmark::State& state) {
+  auto source = sized_com(static_cast<std::size_t>(state.range(0)));
+  translate::MigrationOptions opts;
+  opts.domain_mapping["Finance"] = "hostX/ejbsrv/ejb/finance";
+  for (auto _ : state) {
+    middleware::ejb::Server target("hostX", "ejbsrv");
+    auto report = translate::migrate(source, target, opts);
+    if (!report.ok()) state.SkipWithError(report.error().message.c_str());
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["users"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig9_ComToEjbDirect)->RangeMultiplier(10)->Range(10, 1000);
+
+void BM_Fig9_ComToEjbViaKeynote(benchmark::State& state) {
+  auto source = sized_com(static_cast<std::size_t>(state.range(0)));
+  translate::KeyRingDirectory dir(ring());
+  const auto& admin = ring().identity("KWebCom");
+  // Pre-mint user keys so RSA keygen stays out of the loop.
+  {
+    auto p = source.export_policy();
+    for (const auto& u : p.users()) dir.principal_of(u);
+  }
+  translate::MigrationOptions opts;
+  opts.domain_mapping["Finance"] = "hostX/ejbsrv/ejb/finance";
+  for (auto _ : state) {
+    middleware::ejb::Server target("hostX", "ejbsrv");
+    auto report =
+        translate::migrate_via_keynote(source, target, admin, dir, opts);
+    if (!report.ok()) state.SkipWithError(report.error().message.c_str());
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["users"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig9_ComToEjbViaKeynote)
+    ->RangeMultiplier(4)
+    ->Range(10, 160)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig9_EjbToComSimilarityMapped(benchmark::State& state) {
+  // EJB method names must be squeezed into COM's Launch/Access/RunAs via
+  // the similarity metrics.
+  middleware::ejb::Server source("hostX", "ejbsrv");
+  source.create_container("ejb/fin").ok();
+  middleware::ejb::BeanDescriptor bean{
+      "SalariesDB",
+      "",
+      {"Clerk", "Manager"},
+      {{"read", {"Manager"}},
+       {"getRecord", {"Manager"}},
+       {"execute", {"Clerk"}},
+       {"launchReport", {"Manager"}}},
+      {}};
+  source.deploy("ejb/fin", bean).ok();
+  source.register_user("alice").ok();
+  source.add_user_to_role("alice", "ejb/fin", "Clerk").ok();
+  translate::MigrationOptions opts;
+  opts.domain_mapping["hostX/ejbsrv/ejb/fin"] = "Finance";
+  opts.target_permissions = {middleware::com::kLaunch,
+                             middleware::com::kAccess,
+                             middleware::com::kRunAs};
+  for (auto _ : state) {
+    middleware::com::Catalogue target("winZ", "Finance");
+    auto report = translate::migrate(source, target, opts);
+    if (!report.ok()) state.SkipWithError(report.error().message.c_str());
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_Fig9_EjbToComSimilarityMapped);
+
+void BM_Fig9_ComToCorba(benchmark::State& state) {
+  auto source = sized_com(static_cast<std::size_t>(state.range(0)));
+  translate::MigrationOptions opts;
+  opts.domain_mapping["Finance"] = "unixZ/orb1";
+  for (auto _ : state) {
+    middleware::corba::Orb target("unixZ", "orb1");
+    auto report = translate::migrate(source, target, opts);
+    if (!report.ok()) state.SkipWithError(report.error().message.c_str());
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["users"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig9_ComToCorba)->RangeMultiplier(10)->Range(10, 1000);
+
+void BM_Fig9_FullTopologyFanOut(benchmark::State& state) {
+  // One legacy system propagated to all three heterogeneous targets, as
+  // in the W/X/Y/Z picture.
+  auto source = sized_com(50);
+  translate::KeyRingDirectory dir(ring());
+  const auto& admin = ring().identity("KWebCom");
+  {
+    auto p = source.export_policy();
+    for (const auto& u : p.users()) dir.principal_of(u);
+  }
+  for (auto _ : state) {
+    middleware::ejb::Server x("hostX", "ejbsrv");
+    middleware::corba::Orb z("unixZ", "orb1");
+    translate::MigrationOptions to_x;
+    to_x.domain_mapping["Finance"] = "hostX/ejbsrv/ejb/fin";
+    translate::MigrationOptions to_z;
+    to_z.domain_mapping["Finance"] = "unixZ/orb1";
+    benchmark::DoNotOptimize(translate::migrate(source, x, to_x));
+    benchmark::DoNotOptimize(translate::migrate(source, z, to_z));
+    // W: KeyNote-only, just the compilation.
+    benchmark::DoNotOptimize(
+        translate::compile_policy_signed(source.export_policy(), admin, dir));
+  }
+}
+BENCHMARK(BM_Fig9_FullTopologyFanOut)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,403 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mwsec::crypto {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+}
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<std::uint32_t>(v));
+  if (v >> 32) limbs_.push_back(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+mwsec::Result<BigInt> BigInt::from_hex(std::string_view hex) {
+  if (hex.empty()) return Error::make("empty hex bigint", "bigint");
+  BigInt out;
+  // Pad to a multiple of 8 hex digits and parse 32 bits at a time from the
+  // least significant end.
+  std::string padded(hex);
+  while (padded.size() % 8 != 0) padded.insert(padded.begin(), '0');
+  for (std::size_t i = 0; i < padded.size(); i += 8) {
+    std::uint32_t limb = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      char c = padded[i + j];
+      int nibble;
+      if (c >= '0' && c <= '9') nibble = c - '0';
+      else if (c >= 'a' && c <= 'f') nibble = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') nibble = c - 'A' + 10;
+      else return Error::make("invalid hex digit in bigint", "bigint");
+      limb = (limb << 4) | static_cast<std::uint32_t>(nibble);
+    }
+    out.limbs_.insert(out.limbs_.begin(), limb);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::from_bytes_be(const util::Bytes& bytes) {
+  BigInt out;
+  for (std::uint8_t b : bytes) {
+    out = (out << 8) + BigInt(b);
+  }
+  return out;
+}
+
+BigInt BigInt::random_bits(util::Rng& rng, std::size_t bits) {
+  assert(bits > 0);
+  BigInt out;
+  std::size_t limbs = (bits + 31) / 32;
+  out.limbs_.resize(limbs);
+  for (auto& l : out.limbs_) l = static_cast<std::uint32_t>(rng.next());
+  // Mask the top limb and force the top bit so the result has exactly
+  // `bits` bits (needed for fixed-size prime generation).
+  std::size_t top_bits = bits - (limbs - 1) * 32;
+  if (top_bits < 32) out.limbs_.back() &= (1u << top_bits) - 1;
+  out.limbs_.back() |= 1u << (top_bits - 1);
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::random_below(util::Rng& rng, const BigInt& bound) {
+  assert(!bound.is_zero());
+  std::size_t bits = bound.bit_length();
+  while (true) {
+    BigInt candidate;
+    std::size_t limbs = (bits + 31) / 32;
+    candidate.limbs_.resize(limbs);
+    for (auto& l : candidate.limbs_) l = static_cast<std::uint32_t>(rng.next());
+    std::size_t top_bits = bits - (limbs - 1) * 32;
+    if (top_bits < 32) candidate.limbs_.back() &= (1u << top_bits) - 1;
+    candidate.trim();
+    if (candidate < bound) return candidate;
+  }
+}
+
+std::string BigInt::to_hex() const {
+  if (limbs_.empty()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(*it >> shift) & 0xf]);
+    }
+  }
+  std::size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+util::Bytes BigInt::to_bytes_be() const {
+  util::Bytes out;
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      out.push_back(static_cast<std::uint8_t>(*it >> shift));
+    }
+  }
+  std::size_t first = 0;
+  while (first + 1 < out.size() && out[first] == 0) ++first;
+  return util::Bytes(out.begin() + static_cast<std::ptrdiff_t>(first), out.end());
+}
+
+std::uint64_t BigInt::to_u64() const {
+  assert(limbs_.size() <= 2);
+  std::uint64_t v = 0;
+  if (limbs_.size() >= 1) v |= limbs_[0];
+  if (limbs_.size() >= 2) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+int BigInt::compare(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt out;
+  const std::size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.resize(n);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const {
+  assert(*this >= o);
+  BigInt out;
+  out.limbs_.resize(limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < o.limbs_.size()) diff -= o.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  if (is_zero() || o.is_zero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < o.limbs_.size(); ++j) {
+      std::uint64_t cur = out.limbs_[i + j] + carry +
+                          static_cast<std::uint64_t>(limbs_[i]) * o.limbs_[j];
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + o.limbs_.size();
+    while (carry) {
+      std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) {
+    BigInt out = *this;
+    return out;
+  }
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  const std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+std::pair<BigInt, BigInt> BigInt::divmod(const BigInt& dividend,
+                                         const BigInt& divisor) {
+  assert(!divisor.is_zero());
+  if (dividend < divisor) return {BigInt(), dividend};
+
+  // Single-limb divisor fast path.
+  if (divisor.limbs_.size() == 1) {
+    const std::uint64_t d = divisor.limbs_[0];
+    BigInt quotient;
+    quotient.limbs_.assign(dividend.limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = dividend.limbs_.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | dividend.limbs_[i];
+      quotient.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    quotient.trim();
+    return {quotient, BigInt(rem)};
+  }
+
+  // Knuth TAOCP vol. 2 Algorithm D with 32-bit limbs.
+  const std::size_t n = divisor.limbs_.size();
+  const std::size_t m = dividend.limbs_.size() - n;
+
+  // D1: normalise so the divisor's top limb has its high bit set.
+  int shift = 0;
+  {
+    std::uint32_t top = divisor.limbs_.back();
+    while ((top & 0x80000000u) == 0) {
+      top <<= 1;
+      ++shift;
+    }
+  }
+  BigInt un = dividend << static_cast<std::size_t>(shift);
+  BigInt vn = divisor << static_cast<std::size_t>(shift);
+  un.limbs_.resize(m + n + 1, 0);  // extra high limb for the algorithm
+
+  BigInt quotient;
+  quotient.limbs_.assign(m + 1, 0);
+
+  const std::uint64_t v_hi = vn.limbs_[n - 1];
+  const std::uint64_t v_lo = vn.limbs_[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // D3: estimate the quotient limb.
+    std::uint64_t numer =
+        (static_cast<std::uint64_t>(un.limbs_[j + n]) << 32) | un.limbs_[j + n - 1];
+    std::uint64_t qhat = numer / v_hi;
+    std::uint64_t rhat = numer % v_hi;
+    while (qhat >= kBase ||
+           qhat * v_lo > ((rhat << 32) | un.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += v_hi;
+      if (rhat >= kBase) break;
+    }
+
+    // D4: multiply and subtract qhat * vn from un[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t product = qhat * vn.limbs_[i] + carry;
+      carry = product >> 32;
+      std::int64_t diff = static_cast<std::int64_t>(un.limbs_[i + j]) -
+                          static_cast<std::int64_t>(product & 0xffffffffULL) -
+                          borrow;
+      if (diff < 0) {
+        diff += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      un.limbs_[i + j] = static_cast<std::uint32_t>(diff);
+    }
+    std::int64_t top_diff = static_cast<std::int64_t>(un.limbs_[j + n]) -
+                            static_cast<std::int64_t>(carry) - borrow;
+    if (top_diff < 0) {
+      // D6: estimate was one too large — add the divisor back.
+      top_diff += static_cast<std::int64_t>(kBase);
+      --qhat;
+      std::uint64_t add_carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = static_cast<std::uint64_t>(un.limbs_[i + j]) +
+                            vn.limbs_[i] + add_carry;
+        un.limbs_[i + j] = static_cast<std::uint32_t>(sum);
+        add_carry = sum >> 32;
+      }
+      top_diff += static_cast<std::int64_t>(add_carry);
+      top_diff &= 0xffffffffLL;
+    }
+    un.limbs_[j + n] = static_cast<std::uint32_t>(top_diff);
+    quotient.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  BigInt remainder;
+  remainder.limbs_.assign(un.limbs_.begin(),
+                          un.limbs_.begin() + static_cast<std::ptrdiff_t>(n));
+  remainder.trim();
+  remainder = remainder >> static_cast<std::size_t>(shift);
+  quotient.trim();
+  return {quotient, remainder};
+}
+
+BigInt BigInt::mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  assert(!m.is_zero());
+  BigInt result(1);
+  BigInt b = base % m;
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = (result * b) % m;
+    b = (b * b) % m;
+  }
+  return result % m;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+mwsec::Result<BigInt> BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid over non-negative values: track coefficients of `a`
+  // as (sign, magnitude) pairs to stay in unsigned arithmetic.
+  BigInt old_r = a % m, r = m;
+  BigInt old_s(1), s(0);
+  bool old_s_neg = false, s_neg = false;
+  while (!r.is_zero()) {
+    auto [q, rem] = divmod(old_r, r);
+    old_r = r;
+    r = rem;
+    // new_s = old_s - q * s  (signed)
+    BigInt qs = q * s;
+    BigInt new_s;
+    bool new_s_neg;
+    if (old_s_neg == s_neg) {
+      if (old_s >= qs) {
+        new_s = old_s - qs;
+        new_s_neg = old_s_neg;
+      } else {
+        new_s = qs - old_s;
+        new_s_neg = !old_s_neg;
+      }
+    } else {
+      new_s = old_s + qs;
+      new_s_neg = old_s_neg;
+    }
+    old_s = s;
+    old_s_neg = s_neg;
+    s = new_s;
+    s_neg = new_s_neg;
+  }
+  if (old_r != BigInt(1)) {
+    return Error::make("values are not coprime; inverse does not exist",
+                       "bigint");
+  }
+  if (old_s_neg) {
+    return m - (old_s % m);
+  }
+  return old_s % m;
+}
+
+}  // namespace mwsec::crypto

@@ -1,0 +1,79 @@
+// Arbitrary-precision unsigned integers.
+//
+// This is the numeric substrate for the from-scratch RSA implementation
+// (see DESIGN.md section 2: the paper's PKI is replaced by a simulated PKI
+// that exercises identical sign/verify code paths). Limbs are 32-bit and
+// stored little-endian; intermediate products use 64-bit arithmetic.
+// Only the operations RSA needs are provided: add/sub/mul/divmod, modular
+// exponentiation, gcd, and modular inverse.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/encoding.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace mwsec::crypto {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(std::uint64_t v);
+
+  static mwsec::Result<BigInt> from_hex(std::string_view hex);
+  static BigInt from_bytes_be(const util::Bytes& bytes);  ///< big-endian
+  static BigInt random_bits(util::Rng& rng, std::size_t bits);
+  /// Uniform in [0, bound).
+  static BigInt random_below(util::Rng& rng, const BigInt& bound);
+
+  std::string to_hex() const;
+  util::Bytes to_bytes_be() const;
+  /// Value as u64; caller must ensure it fits (asserted).
+  std::uint64_t to_u64() const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+
+  /// Three-way compare: -1, 0, +1.
+  static int compare(const BigInt& a, const BigInt& b);
+  bool operator==(const BigInt& o) const { return compare(*this, o) == 0; }
+  bool operator!=(const BigInt& o) const { return compare(*this, o) != 0; }
+  bool operator<(const BigInt& o) const { return compare(*this, o) < 0; }
+  bool operator<=(const BigInt& o) const { return compare(*this, o) <= 0; }
+  bool operator>(const BigInt& o) const { return compare(*this, o) > 0; }
+  bool operator>=(const BigInt& o) const { return compare(*this, o) >= 0; }
+
+  BigInt operator+(const BigInt& o) const;
+  /// Requires *this >= o (unsigned arithmetic).
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  /// Long division (Knuth Algorithm D); divisor must be nonzero.
+  /// Returns {quotient, remainder}.
+  static std::pair<BigInt, BigInt> divmod(const BigInt& dividend,
+                                          const BigInt& divisor);
+  BigInt operator/(const BigInt& o) const { return divmod(*this, o).first; }
+  BigInt operator%(const BigInt& o) const { return divmod(*this, o).second; }
+
+  /// (base ^ exp) mod m, square-and-multiply. m must be nonzero.
+  static BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m);
+  static BigInt gcd(BigInt a, BigInt b);
+  /// Multiplicative inverse of a mod m, if gcd(a, m) == 1.
+  static mwsec::Result<BigInt> mod_inverse(const BigInt& a, const BigInt& m);
+
+ private:
+  void trim();
+  // Little-endian 32-bit limbs; empty vector represents zero.
+  std::vector<std::uint32_t> limbs_;
+};
+
+}  // namespace mwsec::crypto

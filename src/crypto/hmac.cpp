@@ -1,0 +1,35 @@
+#include "crypto/hmac.hpp"
+
+namespace mwsec::crypto {
+
+Sha256::Digest hmac_sha256(const util::Bytes& key, const util::Bytes& message) {
+  constexpr std::size_t kBlock = 64;
+  util::Bytes k = key;
+  if (k.size() > kBlock) {
+    auto d = Sha256::hash(k);
+    k.assign(d.begin(), d.end());
+  }
+  k.resize(kBlock, 0);
+
+  util::Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  auto inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finish();
+}
+
+Sha256::Digest hmac_sha256(std::string_view key, std::string_view message) {
+  return hmac_sha256(util::to_bytes(key), util::to_bytes(message));
+}
+
+}  // namespace mwsec::crypto

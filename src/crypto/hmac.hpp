@@ -1,0 +1,16 @@
+// HMAC-SHA256 (RFC 2104). Used for keyed integrity on the simulated
+// network transport and as a fast symmetric alternative in benches that
+// compare signature schemes.
+#pragma once
+
+#include <string_view>
+
+#include "crypto/sha256.hpp"
+#include "util/encoding.hpp"
+
+namespace mwsec::crypto {
+
+Sha256::Digest hmac_sha256(const util::Bytes& key, const util::Bytes& message);
+Sha256::Digest hmac_sha256(std::string_view key, std::string_view message);
+
+}  // namespace mwsec::crypto

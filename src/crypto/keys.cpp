@@ -1,0 +1,105 @@
+#include "crypto/keys.hpp"
+
+#include "util/byte_buffer.hpp"
+#include "util/encoding.hpp"
+#include "util/strings.hpp"
+
+namespace mwsec::crypto {
+
+bool is_key_principal(std::string_view principal) {
+  return util::starts_with(principal, kRsaKeyPrefix);
+}
+
+std::string encode_public_key(const RsaPublicKey& key) {
+  util::ByteWriter w;
+  w.blob(key.n.to_bytes_be());
+  w.blob(key.e.to_bytes_be());
+  return std::string(kRsaKeyPrefix) + util::hex_encode(w.bytes());
+}
+
+mwsec::Result<RsaPublicKey> decode_public_key(std::string_view principal) {
+  if (!is_key_principal(principal)) {
+    return Error::make("not a key principal", "keys");
+  }
+  auto raw = util::hex_decode(principal.substr(kRsaKeyPrefix.size()));
+  if (!raw.ok()) return raw.error();
+  util::ByteReader r(*raw);
+  auto n = r.blob();
+  if (!n.ok()) return n.error();
+  auto e = r.blob();
+  if (!e.ok()) return e.error();
+  if (!r.exhausted()) return Error::make("trailing bytes in key", "keys");
+  return RsaPublicKey{BigInt::from_bytes_be(*n), BigInt::from_bytes_be(*e)};
+}
+
+inline constexpr std::string_view kRsaPrivPrefix = "rsa-priv-hex:";
+
+std::string encode_private_key(const RsaPrivateKey& key) {
+  util::ByteWriter w;
+  w.blob(key.n.to_bytes_be());
+  w.blob(key.d.to_bytes_be());
+  return std::string(kRsaPrivPrefix) + util::hex_encode(w.bytes());
+}
+
+mwsec::Result<RsaPrivateKey> decode_private_key(std::string_view text) {
+  text = util::trim(text);
+  if (!util::starts_with(text, kRsaPrivPrefix)) {
+    return Error::make("not a private key string", "keys");
+  }
+  auto raw = util::hex_decode(text.substr(kRsaPrivPrefix.size()));
+  if (!raw.ok()) return raw.error();
+  util::ByteReader r(*raw);
+  auto n = r.blob();
+  if (!n.ok()) return n.error();
+  auto d = r.blob();
+  if (!d.ok()) return d.error();
+  if (!r.exhausted()) return Error::make("trailing bytes in key", "keys");
+  return RsaPrivateKey{BigInt::from_bytes_be(*n), BigInt::from_bytes_be(*d)};
+}
+
+std::string sign_message(const RsaPrivateKey& key, std::string_view message) {
+  auto sig = rsa_sign(key, util::to_bytes(message));
+  return std::string(kRsaSigPrefix) + util::hex_encode(sig);
+}
+
+bool verify_message(std::string_view principal, std::string_view message,
+                    std::string_view signature) {
+  auto key = decode_public_key(principal);
+  if (!key.ok()) return false;
+  if (!util::starts_with(signature, kRsaSigPrefix)) return false;
+  auto sig = util::hex_decode(signature.substr(kRsaSigPrefix.size()));
+  if (!sig.ok()) return false;
+  return rsa_verify(*key, util::to_bytes(message), *sig);
+}
+
+const Identity& KeyRing::identity(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto it = identities_.find(name);
+  if (it == identities_.end()) {
+    auto keys = rsa_generate(rng_, modulus_bits_);
+    it = identities_.emplace(name, Identity(name, std::move(keys))).first;
+    principal_to_name_.emplace(it->second.principal(), name);
+  }
+  return it->second;
+}
+
+std::string KeyRing::principal(const std::string& name) {
+  return identity(name).principal();
+}
+
+const Identity* KeyRing::find(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  auto it = identities_.find(name);
+  return it == identities_.end() ? nullptr : &it->second;
+}
+
+mwsec::Result<std::string> KeyRing::name_of(std::string_view principal) const {
+  std::scoped_lock lock(mu_);
+  auto it = principal_to_name_.find(principal);
+  if (it == principal_to_name_.end()) {
+    return Error::make("unknown principal", "keys");
+  }
+  return it->second;
+}
+
+}  // namespace mwsec::crypto

@@ -1,0 +1,98 @@
+// Principal keys in KeyNote's textual conventions (RFC 2704 §6).
+//
+// A principal is identified by an ASCII string. Two forms are supported,
+// exactly as in KeyNote:
+//   * key principals:    "rsa-hex:<hex blob>" — can sign assertions;
+//   * opaque principals: any other string (e.g. "Kbob") — cannot sign, but
+//     can appear in unsigned POLICY assertions and action-authoriser sets.
+// The paper's worked examples use opaque tags like "Kbob"; the library and
+// the tests exercise both opaque and real-keyed flows.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "crypto/rsa.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace mwsec::crypto {
+
+inline constexpr std::string_view kRsaKeyPrefix = "rsa-hex:";
+inline constexpr std::string_view kRsaSigPrefix = "sig-rsa-sha256-hex:";
+
+/// True if the principal string denotes a cryptographic key (as opposed to
+/// an opaque tag).
+bool is_key_principal(std::string_view principal);
+
+/// Encode/decode a public key to/from its principal string.
+std::string encode_public_key(const RsaPublicKey& key);
+mwsec::Result<RsaPublicKey> decode_public_key(std::string_view principal);
+
+/// Encode/decode a private key (for the CLI tools' key files). The string
+/// form is "rsa-priv-hex:<hex blob>"; treat it like any secret.
+std::string encode_private_key(const RsaPrivateKey& key);
+mwsec::Result<RsaPrivateKey> decode_private_key(std::string_view text);
+
+/// Sign `message` with `key`; returns a "sig-rsa-sha256-hex:..." string.
+std::string sign_message(const RsaPrivateKey& key, std::string_view message);
+
+/// Verify a signature string against a key principal string.
+/// Fails (returns false) for opaque principals or malformed inputs.
+bool verify_message(std::string_view principal, std::string_view message,
+                    std::string_view signature);
+
+/// A named identity: friendly name + keypair. The friendly name is how the
+/// paper refers to actors ("Kbob", "KWebCom"); the principal string is what
+/// appears in credentials.
+class Identity {
+ public:
+  Identity(std::string name, RsaKeyPair keys)
+      : name_(std::move(name)), keys_(std::move(keys)),
+        principal_(encode_public_key(keys_.pub)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& principal() const { return principal_; }
+  const RsaPublicKey& public_key() const { return keys_.pub; }
+
+  std::string sign(std::string_view message) const {
+    return sign_message(keys_.priv, message);
+  }
+
+ private:
+  std::string name_;
+  RsaKeyPair keys_;
+  std::string principal_;
+};
+
+/// A small in-memory PKI: mints identities on demand and resolves friendly
+/// names to principal strings. Thread-safe (the WebCom scheduler mints
+/// client identities from worker threads).
+class KeyRing {
+ public:
+  explicit KeyRing(std::uint64_t seed = 42, std::size_t modulus_bits = 512)
+      : rng_(seed), modulus_bits_(modulus_bits) {}
+
+  /// Create (or return the existing) identity for `name`.
+  const Identity& identity(const std::string& name);
+
+  /// Principal string for `name`, minting the identity if needed.
+  std::string principal(const std::string& name);
+
+  /// Look up an existing identity; nullptr if never minted.
+  const Identity* find(const std::string& name) const;
+
+  /// Reverse lookup: friendly name for a principal string, if known.
+  mwsec::Result<std::string> name_of(std::string_view principal) const;
+
+ private:
+  mutable std::mutex mu_;
+  util::Rng rng_;
+  std::size_t modulus_bits_;
+  std::map<std::string, Identity> identities_;
+  std::map<std::string, std::string, std::less<>> principal_to_name_;
+};
+
+}  // namespace mwsec::crypto

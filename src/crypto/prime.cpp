@@ -1,0 +1,60 @@
+#include "crypto/prime.hpp"
+
+#include <array>
+
+namespace mwsec::crypto {
+
+namespace {
+constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+}
+
+bool is_probable_prime(const BigInt& n, util::Rng& rng, int rounds) {
+  if (n < BigInt(2)) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    BigInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+
+  // Write n-1 = d * 2^r with d odd.
+  const BigInt one(1);
+  const BigInt two(2);
+  const BigInt n_minus_1 = n - one;
+  BigInt d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = d >> 1;
+    ++r;
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    // Witness in [2, n-2].
+    BigInt a = BigInt::random_below(rng, n - BigInt(3)) + two;
+    BigInt x = BigInt::mod_pow(a, d, n);
+    if (x == one || x == n_minus_1) continue;
+    bool composite = true;
+    for (std::size_t i = 0; i + 1 < r; ++i) {
+      x = (x * x) % n;
+      if (x == n_minus_1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt random_prime(util::Rng& rng, std::size_t bits, int rounds) {
+  while (true) {
+    BigInt candidate = BigInt::random_bits(rng, bits);
+    if (!candidate.is_odd()) candidate = candidate + BigInt(1);
+    if (is_probable_prime(candidate, rng, rounds)) return candidate;
+  }
+}
+
+}  // namespace mwsec::crypto

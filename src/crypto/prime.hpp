@@ -1,0 +1,17 @@
+// Probabilistic primality testing and random prime generation for the
+// simulated PKI's RSA key generation.
+#pragma once
+
+#include "crypto/bigint.hpp"
+#include "util/rng.hpp"
+
+namespace mwsec::crypto {
+
+/// Miller–Rabin with `rounds` random witnesses (plus trial division by
+/// small primes first). Deterministic given the rng state.
+bool is_probable_prime(const BigInt& n, util::Rng& rng, int rounds = 20);
+
+/// Random prime with exactly `bits` bits.
+BigInt random_prime(util::Rng& rng, std::size_t bits, int rounds = 20);
+
+}  // namespace mwsec::crypto

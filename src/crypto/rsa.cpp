@@ -1,0 +1,78 @@
+#include "crypto/rsa.hpp"
+
+#include <cassert>
+
+#include "crypto/prime.hpp"
+
+namespace mwsec::crypto {
+
+namespace {
+
+/// EMSA-PKCS1-v1.5 style encoding of a SHA-256 digest into `em_len` bytes:
+/// 0x00 0x01 0xff..0xff 0x00 || digest. When the modulus is too small to
+/// hold the full 32-byte digest (the simulation allows small keys for test
+/// speed), the digest is truncated to fit — the code path is identical,
+/// only the collision margin shrinks.
+util::Bytes encode_digest(const Sha256::Digest& digest, std::size_t em_len) {
+  assert(em_len >= 12);
+  const std::size_t dlen = std::min(digest.size(), em_len - 4);
+  util::Bytes em(em_len, 0xff);
+  em[0] = 0x00;
+  em[1] = 0x01;
+  em[em_len - dlen - 1] = 0x00;
+  for (std::size_t i = 0; i < dlen; ++i) {
+    em[em_len - dlen + i] = digest[i];
+  }
+  return em;
+}
+
+}  // namespace
+
+RsaKeyPair rsa_generate(util::Rng& rng, std::size_t modulus_bits) {
+  assert(modulus_bits >= 128);
+  const BigInt one(1);
+  const BigInt e(65537);
+  while (true) {
+    BigInt p = random_prime(rng, modulus_bits / 2);
+    BigInt q = random_prime(rng, modulus_bits - modulus_bits / 2);
+    if (p == q) continue;
+    BigInt n = p * q;
+    BigInt p1 = p - one;
+    BigInt q1 = q - one;
+    BigInt lambda = (p1 * q1) / BigInt::gcd(p1, q1);
+    auto d = BigInt::mod_inverse(e, lambda);
+    if (!d.ok()) continue;  // e not coprime with lambda; re-draw primes
+    return RsaKeyPair{RsaPublicKey{n, e}, RsaPrivateKey{n, std::move(d).take()}};
+  }
+}
+
+util::Bytes rsa_sign(const RsaPrivateKey& key, const util::Bytes& message) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  auto em = encode_digest(Sha256::hash(message), k);
+  BigInt m = BigInt::from_bytes_be(em);
+  BigInt s = BigInt::mod_pow(m, key.d, key.n);
+  // Left-pad to the modulus length so signatures have a fixed width.
+  util::Bytes sig = s.to_bytes_be();
+  util::Bytes out(k, 0);
+  std::copy(sig.begin(), sig.end(), out.begin() + static_cast<std::ptrdiff_t>(k - sig.size()));
+  return out;
+}
+
+bool rsa_verify(const RsaPublicKey& key, const util::Bytes& message,
+                const util::Bytes& signature) {
+  const std::size_t k = (key.n.bit_length() + 7) / 8;
+  if (signature.size() != k) return false;
+  BigInt s = BigInt::from_bytes_be(signature);
+  if (s >= key.n) return false;
+  BigInt m = BigInt::mod_pow(s, key.e, key.n);
+  util::Bytes em = m.to_bytes_be();
+  // Re-encode the expected message representative and compare. to_bytes_be
+  // strips leading zeros, so strip them from the reference too.
+  util::Bytes expected = encode_digest(Sha256::hash(message), k);
+  std::size_t lead = 0;
+  while (lead + 1 < expected.size() && expected[lead] == 0) ++lead;
+  return em == util::Bytes(expected.begin() + static_cast<std::ptrdiff_t>(lead),
+                           expected.end());
+}
+
+}  // namespace mwsec::crypto

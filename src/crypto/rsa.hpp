@@ -1,0 +1,47 @@
+// RSA signatures over the from-scratch BigInt substrate.
+//
+// Key generation follows the textbook recipe (two random primes, e = 65537,
+// d = e^-1 mod lcm(p-1, q-1)); signing is deterministic
+// "hash-then-pad-then-modexp" with a PKCS#1-v1.5-style padding of the
+// SHA-256 digest. Default modulus size is 512 bits: large enough that the
+// arithmetic exercises every multi-limb code path, small enough that the
+// test suite's hundreds of keypairs generate quickly. This is the
+// documented substitution for the paper's production PKI (DESIGN.md §2) —
+// within the simulation, signatures are unforgeable without the private key.
+#pragma once
+
+#include "crypto/bigint.hpp"
+#include "crypto/sha256.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace mwsec::crypto {
+
+struct RsaPublicKey {
+  BigInt n;  ///< modulus
+  BigInt e;  ///< public exponent
+
+  bool operator==(const RsaPublicKey& o) const { return n == o.n && e == o.e; }
+};
+
+struct RsaPrivateKey {
+  BigInt n;
+  BigInt d;  ///< private exponent
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+/// Generate a keypair with a modulus of `modulus_bits` bits.
+RsaKeyPair rsa_generate(util::Rng& rng, std::size_t modulus_bits = 512);
+
+/// Sign the SHA-256 digest of `message`.
+util::Bytes rsa_sign(const RsaPrivateKey& key, const util::Bytes& message);
+
+/// Verify a signature produced by rsa_sign.
+bool rsa_verify(const RsaPublicKey& key, const util::Bytes& message,
+                const util::Bytes& signature);
+
+}  // namespace mwsec::crypto

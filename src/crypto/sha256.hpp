@@ -1,0 +1,49 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used to hash KeyNote assertion bodies before RSA signing and to derive
+// stable key fingerprints. Verified against the NIST test vectors in
+// tests/crypto/sha256_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/encoding.hpp"
+
+namespace mwsec::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(const util::Bytes& data) { update(data.data(), data.size()); }
+  void update(std::string_view s) {
+    update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+
+  /// Finalise and return the digest; the object must not be reused after.
+  Digest finish();
+
+  /// One-shot helpers.
+  static Digest hash(std::string_view s);
+  static Digest hash(const util::Bytes& data);
+  static std::string hex(std::string_view s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Digest as a byte vector (for interop with the encoding helpers).
+util::Bytes digest_bytes(const Sha256::Digest& d);
+
+}  // namespace mwsec::crypto

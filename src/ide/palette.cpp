@@ -1,0 +1,102 @@
+#include "ide/palette.hpp"
+
+#include <sstream>
+
+namespace mwsec::ide {
+
+const PaletteEntry* Palette::find(const std::string& component_id) const {
+  for (const auto& entry : entries) {
+    if (entry.component.id == component_id) return &entry;
+  }
+  return nullptr;
+}
+
+std::string Palette::to_text() const {
+  std::ostringstream os;
+  for (const auto& entry : entries) {
+    os << entry.component.id << "  [" << entry.system << "]\n";
+    if (entry.authorized.empty()) {
+      os << "    (no authorised principals)\n";
+    }
+    for (const auto& ctx : entry.authorized) {
+      os << "    " << ctx.domain << " / " << ctx.role << " / " << ctx.user
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+void Interrogator::add_system(const middleware::SecuritySystem* system) {
+  systems_.push_back(system);
+}
+
+Palette Interrogator::build() const {
+  Palette palette;
+  for (const auto* system : systems_) {
+    rbac::Policy policy = system->export_policy();
+    for (const auto& component : system->components()) {
+      PaletteEntry entry;
+      entry.component = component;
+      entry.system = system->kind() + " " + system->name();
+      // A (domain, role, user) is authorised when the role both holds the
+      // component's permission and has the user as a member.
+      for (const auto& g : policy.grants()) {
+        if (g.object_type != component.object_type ||
+            g.permission != component.operation) {
+          continue;
+        }
+        for (const auto& a : policy.assignments()) {
+          if (a.domain == g.domain && a.role == g.role) {
+            entry.authorized.push_back(
+                AuthorizedContext{a.domain, a.role, a.user});
+          }
+        }
+      }
+      palette.entries.push_back(std::move(entry));
+    }
+  }
+  return palette;
+}
+
+mwsec::Status Interrogator::validate_target(
+    const Palette& palette, const std::string& component_id,
+    const webcom::SecurityTarget& target) const {
+  const PaletteEntry* entry = palette.find(component_id);
+  if (entry == nullptr) {
+    return Error::make("unknown component: " + component_id, "ide");
+  }
+  if (!target.object_type.empty() &&
+      target.object_type != entry->component.object_type) {
+    return Error::make("target object type does not match the component",
+                       "ide");
+  }
+  if (!target.permission.empty() &&
+      target.permission != entry->component.operation) {
+    return Error::make("target permission does not match the component",
+                       "ide");
+  }
+  for (const auto& ctx : entry->authorized) {
+    if (!target.domain.empty() && target.domain != ctx.domain) continue;
+    if (!target.role.empty() && target.role != ctx.role) continue;
+    if (!target.user.empty() && target.user != ctx.user) continue;
+    return {};  // at least one authorised context is consistent
+  }
+  return Error::make(
+      "no authorised (domain, role, user) matches the requested placement "
+      "for " + component_id,
+      "ide");
+}
+
+webcom::SecurityTarget Interrogator::make_target(
+    const middleware::Component& c, std::string domain, std::string role,
+    std::string user) {
+  webcom::SecurityTarget t;
+  t.object_type = c.object_type;
+  t.permission = c.operation;
+  t.domain = std::move(domain);
+  t.role = std::move(role);
+  t.user = std::move(user);
+  return t;
+}
+
+}  // namespace mwsec::ide

@@ -1,0 +1,74 @@
+// Middleware interrogation and the IDE component/security palettes
+// (paper §6, Figure 11).
+//
+// The WebCom IDE builds distributed applications from middleware
+// components. Interrogation extracts from each middleware (a) the
+// components it offers and (b) the security policy governing them, so the
+// IDE can show, for a highlighted component, every (domain, role, user)
+// combination authorised to execute it — and so the programmer can attach
+// a valid (possibly partial) placement to a graph node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "middleware/common/system.hpp"
+#include "rbac/model.hpp"
+#include "webcom/graph.hpp"
+
+namespace mwsec::ide {
+
+/// An authorised execution context for a component.
+struct AuthorizedContext {
+  std::string domain;
+  std::string role;
+  std::string user;
+
+  auto operator<=>(const AuthorizedContext&) const = default;
+};
+
+struct PaletteEntry {
+  middleware::Component component;
+  std::string system;  ///< which middleware offers it ("COM+ winsrv1/...")
+  /// Every (domain, role, user) authorised to execute the component.
+  std::vector<AuthorizedContext> authorized;
+};
+
+struct Palette {
+  std::vector<PaletteEntry> entries;
+
+  const PaletteEntry* find(const std::string& component_id) const;
+  /// Human-readable rendering (what Figure 11's panes show).
+  std::string to_text() const;
+};
+
+class Interrogator {
+ public:
+  /// Register a middleware to interrogate. The pointer must outlive the
+  /// Interrogator.
+  void add_system(const middleware::SecuritySystem* system);
+
+  /// Interrogate every registered system: components plus, from the
+  /// exported RBAC policy, the authorised (domain, role, user) contexts.
+  Palette build() const;
+
+  /// Validate a programmer-chosen placement for a component: accepts any
+  /// partial specification consistent with at least one authorised
+  /// context (paper: "any valid combination ... a partial specification
+  /// is also supported").
+  mwsec::Status validate_target(const Palette& palette,
+                                const std::string& component_id,
+                                const webcom::SecurityTarget& target) const;
+
+  /// Convenience: build the SecurityTarget for a graph node from a
+  /// component plus a placement choice.
+  static webcom::SecurityTarget make_target(const middleware::Component& c,
+                                            std::string domain = {},
+                                            std::string role = {},
+                                            std::string user = {});
+
+ private:
+  std::vector<const middleware::SecuritySystem*> systems_;
+};
+
+}  // namespace mwsec::ide

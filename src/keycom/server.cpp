@@ -1,0 +1,110 @@
+#include "keycom/server.hpp"
+
+namespace mwsec::keycom {
+
+util::Bytes encode_report(const UpdateReport& report, bool accepted,
+                          const std::string& error) {
+  util::ByteWriter w;
+  w.u8(accepted ? 1 : 0);
+  w.str(error);
+  w.u64(report.assignments_applied);
+  w.u64(report.grants_applied);
+  w.u64(report.assignments_removed);
+  w.u32(static_cast<std::uint32_t>(report.rejected.size()));
+  for (const auto& r : report.rejected) w.str(r);
+  return w.take();
+}
+
+mwsec::Result<DecodedReport> decode_report(const util::Bytes& payload) {
+  util::ByteReader r(payload);
+  DecodedReport out;
+  auto accepted = r.u8();
+  if (!accepted.ok()) return accepted.error();
+  out.accepted = *accepted != 0;
+  auto error = r.str();
+  if (!error.ok()) return error.error();
+  out.error = std::move(error).take();
+  auto a = r.u64();
+  if (!a.ok()) return a.error();
+  out.report.assignments_applied = *a;
+  auto g = r.u64();
+  if (!g.ok()) return g.error();
+  out.report.grants_applied = *g;
+  auto rem = r.u64();
+  if (!rem.ok()) return rem.error();
+  out.report.assignments_removed = *rem;
+  auto n = r.u32();
+  if (!n.ok()) return n.error();
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    auto s = r.str();
+    if (!s.ok()) return s.error();
+    out.report.rejected.push_back(std::move(s).take());
+  }
+  return out;
+}
+
+Server::Server(net::Network& network, std::string endpoint_name,
+               Service& service)
+    : network_(network), endpoint_name_(std::move(endpoint_name)),
+      service_(service) {}
+
+Server::~Server() { stop(); }
+
+mwsec::Status Server::start() {
+  auto ep = network_.open(endpoint_name_);
+  if (!ep.ok()) return ep.error();
+  endpoint_ = std::move(ep).take();
+  thread_ = std::jthread([this](std::stop_token st) {
+    while (!st.stop_requested()) {
+      serve();
+      if (endpoint_->closed()) return;
+    }
+  });
+  return {};
+}
+
+void Server::stop() {
+  if (thread_.joinable()) {
+    thread_.request_stop();
+    if (endpoint_) endpoint_->close();
+    thread_.join();
+  }
+}
+
+void Server::serve() {
+  auto message = endpoint_->receive(std::chrono::milliseconds(50));
+  if (!message.has_value() || message->subject != kSubjectUpdate) return;
+  auto request = UpdateRequest::decode(message->payload);
+  util::Bytes reply;
+  if (!request.ok()) {
+    reply = encode_report({}, false, request.error().message);
+  } else {
+    auto report = service_.apply(*request);
+    if (!report.ok()) {
+      reply = encode_report({}, false, report.error().message);
+    } else {
+      reply = encode_report(*report, true, "");
+    }
+  }
+  endpoint_->send(message->from, kSubjectReport, std::move(reply)).ok();
+}
+
+mwsec::Result<DecodedReport> submit_update(net::Endpoint& from,
+                                           const std::string& service_endpoint,
+                                           const UpdateRequest& request,
+                                           std::chrono::milliseconds timeout) {
+  if (auto s = from.send(service_endpoint, kSubjectUpdate, request.encode());
+      !s.ok()) {
+    return s.error();
+  }
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto message = from.receive(std::chrono::milliseconds(20));
+    if (message.has_value() && message->subject == kSubjectReport) {
+      return decode_report(message->payload);
+    }
+  }
+  return Error::make("KeyCOM service did not reply in time", "keycom");
+}
+
+}  // namespace mwsec::keycom

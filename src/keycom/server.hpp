@@ -1,0 +1,51 @@
+// Network front-end for the KeyCOM service (Figure 8): a server thread
+// accepting "policy-update" messages on an endpoint and a client helper
+// that submits a request and awaits the report.
+#pragma once
+
+#include <thread>
+
+#include "keycom/service.hpp"
+#include "net/network.hpp"
+
+namespace mwsec::keycom {
+
+inline constexpr const char* kSubjectUpdate = "policy-update";
+inline constexpr const char* kSubjectReport = "policy-update-report";
+
+/// Wire form of an UpdateReport.
+util::Bytes encode_report(const UpdateReport& report, bool accepted,
+                          const std::string& error);
+struct DecodedReport {
+  bool accepted = false;
+  std::string error;
+  UpdateReport report;
+};
+mwsec::Result<DecodedReport> decode_report(const util::Bytes& payload);
+
+class Server {
+ public:
+  Server(net::Network& network, std::string endpoint_name, Service& service);
+  ~Server();
+
+  mwsec::Status start();
+  void stop();
+
+ private:
+  void serve();
+
+  net::Network& network_;
+  std::string endpoint_name_;
+  Service& service_;
+  std::shared_ptr<net::Endpoint> endpoint_;
+  std::jthread thread_;
+};
+
+/// Submit `request` from `from` to the service at `service_endpoint` and
+/// wait up to `timeout` for the report.
+mwsec::Result<DecodedReport> submit_update(
+    net::Endpoint& from, const std::string& service_endpoint,
+    const UpdateRequest& request,
+    std::chrono::milliseconds timeout = std::chrono::milliseconds(1000));
+
+}  // namespace mwsec::keycom

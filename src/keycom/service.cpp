@@ -1,0 +1,221 @@
+#include "keycom/service.hpp"
+
+namespace mwsec::keycom {
+
+namespace {
+void write_assignment(util::ByteWriter& w, const rbac::RoleAssignment& a) {
+  w.str(a.domain);
+  w.str(a.role);
+  w.str(a.user);
+}
+
+mwsec::Result<rbac::RoleAssignment> read_assignment(util::ByteReader& r) {
+  rbac::RoleAssignment a;
+  auto d = r.str();
+  if (!d.ok()) return d.error();
+  a.domain = std::move(d).take();
+  auto role = r.str();
+  if (!role.ok()) return role.error();
+  a.role = std::move(role).take();
+  auto u = r.str();
+  if (!u.ok()) return u.error();
+  a.user = std::move(u).take();
+  return a;
+}
+}  // namespace
+
+std::string UpdateRequest::canonical_body() const {
+  std::string out = "requester:" + requester + "\n";
+  for (const auto& a : add_assignments) {
+    out += "+ur:" + a.domain + "|" + a.role + "|" + a.user + "\n";
+  }
+  for (const auto& g : add_grants) {
+    out += "+hp:" + g.domain + "|" + g.role + "|" + g.object_type + "|" +
+           g.permission + "\n";
+  }
+  for (const auto& a : remove_assignments) {
+    out += "-ur:" + a.domain + "|" + a.role + "|" + a.user + "\n";
+  }
+  out += "credentials:\n" + credentials;
+  return out;
+}
+
+void UpdateRequest::sign(const crypto::Identity& identity) {
+  requester = identity.principal();
+  signature = identity.sign(canonical_body());
+}
+
+mwsec::Status UpdateRequest::verify() const {
+  if (signature.empty()) {
+    return Error::make("update request is unsigned", "keycom");
+  }
+  if (!crypto::verify_message(requester, canonical_body(), signature)) {
+    return Error::make("update request signature invalid", "keycom");
+  }
+  return {};
+}
+
+util::Bytes UpdateRequest::encode() const {
+  util::ByteWriter w;
+  w.str(requester);
+  w.u32(static_cast<std::uint32_t>(add_assignments.size()));
+  for (const auto& a : add_assignments) write_assignment(w, a);
+  w.u32(static_cast<std::uint32_t>(add_grants.size()));
+  for (const auto& g : add_grants) {
+    w.str(g.domain);
+    w.str(g.role);
+    w.str(g.object_type);
+    w.str(g.permission);
+  }
+  w.u32(static_cast<std::uint32_t>(remove_assignments.size()));
+  for (const auto& a : remove_assignments) write_assignment(w, a);
+  w.str(credentials);
+  w.str(signature);
+  return w.take();
+}
+
+mwsec::Result<UpdateRequest> UpdateRequest::decode(
+    const util::Bytes& payload) {
+  util::ByteReader r(payload);
+  UpdateRequest out;
+  auto requester = r.str();
+  if (!requester.ok()) return requester.error();
+  out.requester = std::move(requester).take();
+
+  auto n_assign = r.u32();
+  if (!n_assign.ok()) return n_assign.error();
+  for (std::uint32_t i = 0; i < *n_assign; ++i) {
+    auto a = read_assignment(r);
+    if (!a.ok()) return a.error();
+    out.add_assignments.push_back(std::move(a).take());
+  }
+  auto n_grants = r.u32();
+  if (!n_grants.ok()) return n_grants.error();
+  for (std::uint32_t i = 0; i < *n_grants; ++i) {
+    rbac::PermissionGrant g;
+    for (std::string* field :
+         {&g.domain, &g.role, &g.object_type, &g.permission}) {
+      auto s = r.str();
+      if (!s.ok()) return s.error();
+      *field = std::move(s).take();
+    }
+    out.add_grants.push_back(std::move(g));
+  }
+  auto n_remove = r.u32();
+  if (!n_remove.ok()) return n_remove.error();
+  for (std::uint32_t i = 0; i < *n_remove; ++i) {
+    auto a = read_assignment(r);
+    if (!a.ok()) return a.error();
+    out.remove_assignments.push_back(std::move(a).take());
+  }
+  auto creds = r.str();
+  if (!creds.ok()) return creds.error();
+  out.credentials = std::move(creds).take();
+  auto sig = r.str();
+  if (!sig.ok()) return sig.error();
+  out.signature = std::move(sig).take();
+  if (!r.exhausted()) {
+    return Error::make("trailing bytes in update request", "wire");
+  }
+  return out;
+}
+
+bool Service::authorised(const std::string& requester,
+                         const std::vector<keynote::Assertion>& presented,
+                         const std::string& domain, const std::string& role,
+                         const std::string& object_type,
+                         const std::string& permission) {
+  keynote::Query q;
+  q.action_authorizers = {requester};
+  q.env.set("app_domain", "WebCom");
+  q.env.set("Domain", domain);
+  q.env.set("Role", role);
+  if (!object_type.empty()) q.env.set("ObjectType", object_type);
+  if (!permission.empty()) q.env.set("Permission", permission);
+  auto r = store_.query(q, presented);
+  return r.ok() && r->authorized();
+}
+
+mwsec::Result<UpdateReport> Service::apply(const UpdateRequest& request) {
+  ++stats_.requests;
+  if (auto s = request.verify(); !s.ok()) {
+    ++stats_.bad_signatures;
+    if (audit_ != nullptr) {
+      audit_->record({"KeyCOM/" + target_.name(), request.requester,
+                      "policy-update", false, s.error().message});
+    }
+    return s.error();
+  }
+  std::vector<keynote::Assertion> presented;
+  if (!request.credentials.empty()) {
+    auto bundle = keynote::Assertion::parse_bundle(request.credentials);
+    if (!bundle.ok()) return bundle.error();
+    presented = std::move(bundle).take();
+  }
+
+  UpdateReport report;
+  rbac::Policy additions;
+  for (const auto& a : request.add_assignments) {
+    if (!authorised(request.requester, presented, a.domain, a.role, "", "")) {
+      report.rejected.push_back("assignment " + a.domain + "/" + a.role +
+                                " for " + a.user + ": requester lacks "
+                                "delegated authority");
+      continue;
+    }
+    additions.assign(a).ok();
+  }
+  for (const auto& g : request.add_grants) {
+    if (!authorised(request.requester, presented, g.domain, g.role,
+                    g.object_type, g.permission)) {
+      report.rejected.push_back("grant " + g.domain + "/" + g.role + " " +
+                                g.permission + " on " + g.object_type +
+                                ": requester lacks delegated authority");
+      continue;
+    }
+    additions.grant(g).ok();
+  }
+
+  if (!additions.empty()) {
+    auto stats = target_.import_policy(additions);
+    if (!stats.ok()) return stats.error();
+    report.assignments_applied = stats->assignments_applied;
+    report.grants_applied = stats->grants_applied;
+    for (const auto& skipped : stats->skipped) {
+      report.rejected.push_back("target store: " + skipped);
+    }
+  }
+
+  // Revocation: withdrawing a membership requires the same authority as
+  // granting it.
+  for (const auto& a : request.remove_assignments) {
+    if (!authorised(request.requester, presented, a.domain, a.role, "", "")) {
+      report.rejected.push_back("removal " + a.domain + "/" + a.role +
+                                " for " + a.user + ": requester lacks "
+                                "delegated authority");
+      continue;
+    }
+    auto removed = target_.remove_assignment(a);
+    if (removed.ok()) {
+      ++report.assignments_removed;
+    } else {
+      report.rejected.push_back("removal " + a.domain + "/" + a.role +
+                                " for " + a.user + ": " +
+                                removed.error().message);
+    }
+  }
+
+  stats_.rows_applied +=
+      report.assignments_applied + report.grants_applied;
+  stats_.rows_rejected += report.rejected.size();
+  if (audit_ != nullptr) {
+    audit_->record({"KeyCOM/" + target_.name(), request.requester,
+                    "policy-update", report.fully_applied(),
+                    std::to_string(report.assignments_applied +
+                                   report.grants_applied) +
+                        " rows applied, " +
+                        std::to_string(report.rejected.size()) + " rejected"});
+  }
+  return report;
+}
+
+}  // namespace mwsec::keycom

@@ -1,0 +1,94 @@
+// The KeyCOM automated administration service (paper §4.1, Figure 8).
+//
+// A KeyCOM service fronts one middleware policy store (originally the COM+
+// catalogue of a Windows NT domain; here any middleware::SecuritySystem).
+// It accepts *policy update requests*: a set of RBAC rows to commission or
+// withdraw, signed by the requesting key, accompanied by the KeyNote
+// credentials that prove the requester's delegated authority. If KeyNote
+// authorises every row, the service updates the native policy — "an
+// automated Windows/COM administrator", letting users delegate
+// authorisation without a human in the loop.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "keynote/store.hpp"
+#include "middleware/common/audit.hpp"
+#include "middleware/common/system.hpp"
+#include "rbac/model.hpp"
+#include "util/byte_buffer.hpp"
+
+namespace mwsec::keycom {
+
+struct UpdateRequest {
+  std::string requester;  ///< principal (key) making the request
+  std::vector<rbac::RoleAssignment> add_assignments;
+  std::vector<rbac::PermissionGrant> add_grants;
+  std::vector<rbac::RoleAssignment> remove_assignments;  ///< revocation
+  /// KeyNote credential bundle proving the requester's authority.
+  std::string credentials;
+  /// Signature by the requester's key over canonical_body().
+  std::string signature;
+
+  /// Deterministic serialisation of everything except the signature.
+  std::string canonical_body() const;
+  /// Sign with the requester's identity (sets requester + signature).
+  void sign(const crypto::Identity& identity);
+  /// Check the signature against the requester principal.
+  mwsec::Status verify() const;
+
+  util::Bytes encode() const;
+  static mwsec::Result<UpdateRequest> decode(const util::Bytes& payload);
+};
+
+struct UpdateReport {
+  std::size_t assignments_applied = 0;
+  std::size_t grants_applied = 0;
+  std::size_t assignments_removed = 0;
+  /// Rows refused, with reasons (unauthorised, inexpressible...).
+  std::vector<std::string> rejected;
+
+  bool fully_applied() const { return rejected.empty(); }
+};
+
+class Service {
+ public:
+  explicit Service(middleware::SecuritySystem& target,
+                   middleware::AuditLog* audit = nullptr)
+      : target_(target), audit_(audit) {}
+
+  /// The service's local trust root: POLICY assertions saying whose
+  /// updates it accepts (typically the WebCom administration key, whose
+  /// authority users acquire by delegation).
+  keynote::CredentialStore& trust_root() { return store_; }
+
+  /// Validate and apply a request. Per-row authorisation: each row is
+  /// granted only if KeyNote derives authority for the requester over
+  /// that row's attributes from the trust root plus the presented
+  /// credentials. Partial application is reported, not hidden.
+  mwsec::Result<UpdateReport> apply(const UpdateRequest& request);
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t rows_applied = 0;
+    std::uint64_t rows_rejected = 0;
+    std::uint64_t bad_signatures = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  bool authorised(const std::string& requester,
+                  const std::vector<keynote::Assertion>& presented,
+                  const std::string& domain, const std::string& role,
+                  const std::string& object_type,
+                  const std::string& permission);
+
+  middleware::SecuritySystem& target_;
+  middleware::AuditLog* audit_;
+  keynote::CredentialStore store_;
+  Stats stats_;
+};
+
+}  // namespace mwsec::keycom

@@ -1,0 +1,113 @@
+// KeyNote assertions (RFC 2704 §4): the unit of both policy and credential.
+//
+// An assertion is a sequence of "Field-Name: value" lines (continuation
+// lines are indented). Fields:
+//
+//   KeyNote-Version:  optional, "2"
+//   Comment:          optional free text
+//   Local-Constants:  optional NAME="value" bindings, local to the assertion
+//   Authorizer:       required; "POLICY" or a principal
+//   Licensees:        principal expression receiving the delegated authority
+//   Conditions:       conditions program constraining the delegation
+//   Signature:        required on credentials (authorizer != POLICY),
+//                     forbidden on policy assertions
+//
+// Signed credentials hash the canonical serialisation of every field except
+// Signature and verify against the Authorizer key.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "crypto/keys.hpp"
+#include "keynote/ast.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::keynote {
+
+class Assertion {
+ public:
+  /// Parse one assertion from its textual form.
+  static mwsec::Result<Assertion> parse(std::string_view text);
+
+  /// Parse a bundle: assertions separated by one or more blank lines.
+  static mwsec::Result<std::vector<Assertion>> parse_bundle(
+      std::string_view text);
+
+  // Field accessors.
+  const std::string& keynote_version() const { return keynote_version_; }
+  const std::string& comment() const { return comment_; }
+  const std::map<std::string, std::string>& local_constants() const {
+    return local_constants_;
+  }
+  /// Authorizer after Local-Constants substitution ("POLICY" for policy).
+  const std::string& authorizer() const { return authorizer_; }
+  const LicenseeExpr& licensees() const { return licensees_; }
+  const std::string& licensees_text() const { return licensees_text_; }
+  const Program& conditions() const { return conditions_; }
+  const std::string& conditions_text() const { return conditions_text_; }
+  const std::string& signature() const { return signature_; }
+
+  bool is_policy() const;
+  bool is_signed() const { return !signature_.empty(); }
+
+  /// Canonical text of every field except Signature — the signed body.
+  std::string signed_body() const;
+
+  /// Full canonical text including the Signature field if present.
+  std::string to_text() const;
+
+  /// Sign with `identity`; its principal must equal the authorizer.
+  mwsec::Status sign_with(const crypto::Identity& identity);
+
+  /// Check the signature against the authorizer key. Policy assertions are
+  /// trusted by fiat and always verify; unsigned credentials fail.
+  mwsec::Status verify() const;
+
+  /// Local-constant lookup used when evaluating this assertion's
+  /// conditions: constants shadow the action environment.
+  const std::string* find_constant(std::string_view name) const;
+
+ private:
+  friend class AssertionBuilder;
+  Assertion() = default;
+
+  std::string keynote_version_;
+  std::string comment_;
+  std::map<std::string, std::string> local_constants_;
+  std::string authorizer_text_;  // as written (pre-substitution)
+  std::string authorizer_;       // after Local-Constants substitution
+  std::string licensees_text_;
+  LicenseeExpr licensees_;
+  std::string conditions_text_;
+  Program conditions_;
+  std::string signature_;
+};
+
+/// Programmatic construction (used by the RBAC→KeyNote translator).
+class AssertionBuilder {
+ public:
+  AssertionBuilder& version(std::string v);
+  AssertionBuilder& comment(std::string c);
+  AssertionBuilder& constant(std::string name, std::string value);
+  AssertionBuilder& authorizer(std::string a);
+  AssertionBuilder& licensees(std::string expr);
+  AssertionBuilder& conditions(std::string program);
+
+  /// Validates and parses the sub-languages.
+  mwsec::Result<Assertion> build() const;
+
+  /// Build and sign in one step.
+  mwsec::Result<Assertion> build_signed(const crypto::Identity& identity) const;
+
+ private:
+  std::string version_;
+  std::string comment_;
+  std::map<std::string, std::string> constants_;
+  std::string authorizer_;
+  std::string licensees_;
+  std::string conditions_;
+};
+
+}  // namespace mwsec::keynote

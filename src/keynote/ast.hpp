@@ -1,0 +1,117 @@
+// Abstract syntax for the two KeyNote sub-languages (RFC 2704 §5):
+//
+//  * the Conditions program — a ';'-separated sequence of clauses, each a
+//    boolean test optionally followed by "-> value" or "-> { subprogram }";
+//  * the Licensees expression — principals combined with &&, || and
+//    K-of(...) thresholds.
+//
+// Expression typing follows KeyNote exactly: a bare attribute reference is
+// a *string*; "@attr" dereferences it as an integer and "&attr" as a float;
+// "$expr" is an indirect (computed-name) string reference. Comparison
+// operators therefore never guess types — both operands of a comparison
+// must be the same syntactic type or evaluation fails (and a failed test is
+// simply false).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mwsec::keynote {
+
+// ---------------------------------------------------------------------------
+// String-typed expressions.
+struct StringExpr {
+  enum class Kind {
+    kLiteral,   // "text"
+    kAttr,      // attr  (value of the named attribute, or "")
+    kIndirect,  // $ <string-expr>  (attribute named by the value of expr)
+    kConcat,    // a . b
+  };
+  Kind kind;
+  std::string text;              // literal text or attribute name
+  std::shared_ptr<StringExpr> a; // operands
+  std::shared_ptr<StringExpr> b;
+};
+
+// Numeric-typed expressions. Integer and float dereferences share the node
+// set; kIntAttr truncates, kFloatAttr parses as double.
+struct NumExpr {
+  enum class Kind {
+    kLiteral,    // 42, 3.5
+    kIntAttr,    // @<designator>
+    kFloatAttr,  // &<designator>
+    kAdd, kSub, kMul, kDiv, kMod, kPow,
+    kNeg,
+  };
+  Kind kind;
+  double literal = 0.0;
+  std::shared_ptr<StringExpr> attr;  // designator for kIntAttr / kFloatAttr
+  std::shared_ptr<NumExpr> a;
+  std::shared_ptr<NumExpr> b;
+};
+
+enum class CmpOp { kEq, kNe, kLt, kGt, kLe, kGe };
+
+// Boolean tests.
+struct Test {
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kAnd,
+    kOr,
+    kNot,
+    kStrCmp,   // string relational: sl op sr
+    kNumCmp,   // numeric relational: nl op nr
+    kRegex,    // sl ~= sr (sr is a POSIX extended regex)
+  };
+  Kind kind;
+  CmpOp op = CmpOp::kEq;
+  std::shared_ptr<Test> ta;
+  std::shared_ptr<Test> tb;
+  std::shared_ptr<StringExpr> sl;
+  std::shared_ptr<StringExpr> sr;
+  std::shared_ptr<NumExpr> nl;
+  std::shared_ptr<NumExpr> nr;
+};
+
+struct Program;
+
+// One clause of a Conditions program.
+struct Clause {
+  enum class Outcome {
+    kDefault,  // no "->": a satisfied test yields _MAX_TRUST
+    kValue,    // -> "value"
+    kProgram,  // -> { subprogram }
+  };
+  std::shared_ptr<Test> test;
+  Outcome outcome = Outcome::kDefault;
+  std::string value;                 // for kValue
+  std::shared_ptr<Program> program;  // for kProgram
+};
+
+struct Program {
+  std::vector<Clause> clauses;
+};
+
+// ---------------------------------------------------------------------------
+// Licensees expressions. Value semantics (tree is small) — children owned
+// directly in a vector.
+struct LicenseeExpr {
+  enum class Kind {
+    kNone,       // empty Licensees field: conveys no authority
+    kPrincipal,  // a single principal name
+    kAnd,        // conjunction: min of member values
+    kOr,         // disjunction: max of member values
+    kThreshold,  // K-of(...): K-th largest member value
+  };
+  Kind kind = Kind::kNone;
+  std::string principal;
+  std::size_t k = 0;  // for kThreshold
+  std::vector<LicenseeExpr> children;
+
+  /// All principal names mentioned anywhere in the expression.
+  void collect_principals(std::vector<std::string>& out) const;
+};
+
+}  // namespace mwsec::keynote

@@ -1,0 +1,205 @@
+#include "keynote/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <regex>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace mwsec::keynote {
+
+namespace {
+
+/// Internal: aborts evaluation of the enclosing test (making it false).
+struct EvalError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+std::string eval_string(const StringExpr& e, const AttrLookup& lookup) {
+  switch (e.kind) {
+    case StringExpr::Kind::kLiteral:
+      return e.text;
+    case StringExpr::Kind::kAttr:
+      return lookup(e.text);
+    case StringExpr::Kind::kIndirect:
+      return lookup(eval_string(*e.a, lookup));
+    case StringExpr::Kind::kConcat:
+      return eval_string(*e.a, lookup) + eval_string(*e.b, lookup);
+  }
+  throw EvalError("corrupt string expression");
+}
+
+double eval_num(const NumExpr& e, const AttrLookup& lookup) {
+  switch (e.kind) {
+    case NumExpr::Kind::kLiteral:
+      return e.literal;
+    case NumExpr::Kind::kIntAttr:
+    case NumExpr::Kind::kFloatAttr: {
+      std::string raw = eval_string(*e.attr, lookup);
+      auto trimmed = util::trim(raw);
+      if (!util::is_number(trimmed)) {
+        throw EvalError("attribute is not numeric: '" + raw + "'");
+      }
+      double v = std::stod(std::string(trimmed));
+      return e.kind == NumExpr::Kind::kIntAttr ? std::trunc(v) : v;
+    }
+    case NumExpr::Kind::kAdd:
+      return eval_num(*e.a, lookup) + eval_num(*e.b, lookup);
+    case NumExpr::Kind::kSub:
+      return eval_num(*e.a, lookup) - eval_num(*e.b, lookup);
+    case NumExpr::Kind::kMul:
+      return eval_num(*e.a, lookup) * eval_num(*e.b, lookup);
+    case NumExpr::Kind::kDiv: {
+      double d = eval_num(*e.b, lookup);
+      if (d == 0.0) throw EvalError("division by zero");
+      return eval_num(*e.a, lookup) / d;
+    }
+    case NumExpr::Kind::kMod: {
+      double d = eval_num(*e.b, lookup);
+      if (d == 0.0) throw EvalError("modulo by zero");
+      return std::fmod(eval_num(*e.a, lookup), d);
+    }
+    case NumExpr::Kind::kPow:
+      return std::pow(eval_num(*e.a, lookup), eval_num(*e.b, lookup));
+    case NumExpr::Kind::kNeg:
+      return -eval_num(*e.a, lookup);
+  }
+  throw EvalError("corrupt numeric expression");
+}
+
+template <typename T>
+bool apply_cmp(CmpOp op, const T& l, const T& r) {
+  switch (op) {
+    case CmpOp::kEq: return l == r;
+    case CmpOp::kNe: return l != r;
+    case CmpOp::kLt: return l < r;
+    case CmpOp::kGt: return l > r;
+    case CmpOp::kLe: return l <= r;
+    case CmpOp::kGe: return l >= r;
+  }
+  return false;
+}
+
+bool eval_test_impl(const Test& t, const AttrLookup& lookup) {
+  switch (t.kind) {
+    case Test::Kind::kTrue:
+      return true;
+    case Test::Kind::kFalse:
+      return false;
+    case Test::Kind::kAnd:
+      return eval_test_impl(*t.ta, lookup) && eval_test_impl(*t.tb, lookup);
+    case Test::Kind::kOr:
+      return eval_test_impl(*t.ta, lookup) || eval_test_impl(*t.tb, lookup);
+    case Test::Kind::kNot:
+      return !eval_test_impl(*t.ta, lookup);
+    case Test::Kind::kStrCmp:
+      return apply_cmp(t.op, eval_string(*t.sl, lookup),
+                       eval_string(*t.sr, lookup));
+    case Test::Kind::kNumCmp:
+      return apply_cmp(t.op, eval_num(*t.nl, lookup), eval_num(*t.nr, lookup));
+    case Test::Kind::kRegex: {
+      std::string subject = eval_string(*t.sl, lookup);
+      std::string pattern = eval_string(*t.sr, lookup);
+      try {
+        std::regex re(pattern, std::regex::extended);
+        return std::regex_search(subject, re);
+      } catch (const std::regex_error&) {
+        throw EvalError("malformed regular expression: " + pattern);
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t eval_program(const Program& program,
+                         const ComplianceValueSet& values,
+                         const AttrLookup& lookup) {
+  std::size_t best = values.min_index();
+  for (const auto& clause : program.clauses) {
+    bool satisfied = false;
+    try {
+      satisfied = eval_test_impl(*clause.test, lookup);
+    } catch (const EvalError&) {
+      satisfied = false;  // RFC 2704: erroneous tests fail, never propagate
+    }
+    if (!satisfied) continue;
+
+    std::size_t contribution = values.min_index();
+    switch (clause.outcome) {
+      case Clause::Outcome::kDefault:
+        contribution = values.max_index();
+        break;
+      case Clause::Outcome::kValue: {
+        auto idx = values.index_of(clause.value);
+        // An unknown value name is an error local to this clause.
+        if (!idx.ok()) continue;
+        contribution = *idx;
+        break;
+      }
+      case Clause::Outcome::kProgram:
+        contribution = eval_program(*clause.program, values, lookup);
+        break;
+    }
+    best = std::max(best, contribution);
+    if (best == values.max_index()) break;  // cannot improve further
+  }
+  return best;
+}
+
+}  // namespace
+
+std::size_t eval_conditions(const Program& program,
+                            const ComplianceValueSet& values,
+                            const AttrLookup& lookup) {
+  // RFC 2704: an empty Conditions field places no constraint on actions.
+  if (program.clauses.empty()) return values.max_index();
+  return eval_program(program, values, lookup);
+}
+
+bool eval_test(const Test& test, const AttrLookup& lookup) {
+  try {
+    return eval_test_impl(test, lookup);
+  } catch (const EvalError&) {
+    return false;
+  }
+}
+
+std::size_t eval_licensees(const LicenseeExpr& expr,
+                           const ComplianceValueSet& values,
+                           const PrincipalValue& principal_value) {
+  switch (expr.kind) {
+    case LicenseeExpr::Kind::kNone:
+      return values.min_index();
+    case LicenseeExpr::Kind::kPrincipal:
+      return principal_value(expr.principal);
+    case LicenseeExpr::Kind::kAnd: {
+      std::size_t v = values.max_index();
+      for (const auto& child : expr.children) {
+        v = std::min(v, eval_licensees(child, values, principal_value));
+      }
+      return v;
+    }
+    case LicenseeExpr::Kind::kOr: {
+      std::size_t v = values.min_index();
+      for (const auto& child : expr.children) {
+        v = std::max(v, eval_licensees(child, values, principal_value));
+      }
+      return v;
+    }
+    case LicenseeExpr::Kind::kThreshold: {
+      std::vector<std::size_t> member_values;
+      member_values.reserve(expr.children.size());
+      for (const auto& child : expr.children) {
+        member_values.push_back(eval_licensees(child, values, principal_value));
+      }
+      // K-th largest member value.
+      std::sort(member_values.begin(), member_values.end(),
+                std::greater<std::size_t>());
+      return member_values[expr.k - 1];
+    }
+  }
+  return values.min_index();
+}
+
+}  // namespace mwsec::keynote

@@ -1,0 +1,45 @@
+// Evaluation of Conditions programs and Licensees expressions
+// (RFC 2704 query semantics).
+//
+// A Conditions program evaluates, in a given action environment, to an
+// index into the query's compliance value set: the maximum value among
+// satisfied clauses (a clause without "->" contributes _MAX_TRUST; a
+// nested "{...}" contributes the sub-program's value), or _MIN_TRUST when
+// no clause is satisfied. Any runtime error inside a test — bad numeric
+// conversion, malformed regex, unknown value name — makes that test false,
+// never an exception escaping to the caller.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "keynote/ast.hpp"
+#include "keynote/values.hpp"
+
+namespace mwsec::keynote {
+
+/// Resolves attribute names during evaluation. Layered: assertion-local
+/// constants shadow the query's action environment; the reserved
+/// attributes (_MIN_TRUST etc.) are synthesised by the query engine.
+using AttrLookup = std::function<std::string(std::string_view)>;
+
+/// Evaluate a Conditions program to a compliance-value index.
+std::size_t eval_conditions(const Program& program,
+                            const ComplianceValueSet& values,
+                            const AttrLookup& lookup);
+
+/// Evaluate a single test to a boolean (errors count as false).
+/// Exposed for unit tests of the expression language.
+bool eval_test(const Test& test, const AttrLookup& lookup);
+
+/// Value of each principal, as established by the delegation computation.
+using PrincipalValue = std::function<std::size_t(const std::string&)>;
+
+/// Evaluate a Licensees expression: || is max, && is min, K-of is the
+/// K-th largest member value; a bare principal is its delegation value;
+/// an empty expression is _MIN_TRUST.
+std::size_t eval_licensees(const LicenseeExpr& expr,
+                           const ComplianceValueSet& values,
+                           const PrincipalValue& principal_value);
+
+}  // namespace mwsec::keynote

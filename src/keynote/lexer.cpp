@@ -1,0 +1,177 @@
+#include "keynote/lexer.hpp"
+
+#include <cctype>
+
+namespace mwsec::keynote {
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kString: return "string";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kThreshold: return "k-of";
+    case TokenKind::kLParen: return "(";
+    case TokenKind::kRParen: return ")";
+    case TokenKind::kLBrace: return "{";
+    case TokenKind::kRBrace: return "}";
+    case TokenKind::kSemicolon: return ";";
+    case TokenKind::kComma: return ",";
+    case TokenKind::kArrow: return "->";
+    case TokenKind::kAndAnd: return "&&";
+    case TokenKind::kOrOr: return "||";
+    case TokenKind::kNot: return "!";
+    case TokenKind::kEq: return "==";
+    case TokenKind::kNe: return "!=";
+    case TokenKind::kLt: return "<";
+    case TokenKind::kGt: return ">";
+    case TokenKind::kLe: return "<=";
+    case TokenKind::kGe: return ">=";
+    case TokenKind::kRegexMatch: return "~=";
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kStar: return "*";
+    case TokenKind::kSlash: return "/";
+    case TokenKind::kPercent: return "%";
+    case TokenKind::kCaret: return "^";
+    case TokenKind::kDot: return ".";
+    case TokenKind::kAt: return "@";
+    case TokenKind::kAmp: return "&";
+    case TokenKind::kDollar: return "$";
+    case TokenKind::kEnd: return "<end>";
+  }
+  return "?";
+}
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+mwsec::Error err_at(std::string_view msg, std::size_t pos) {
+  return mwsec::Error::make(std::string(msg) + " at offset " +
+                                std::to_string(pos),
+                            "lex");
+}
+
+}  // namespace
+
+mwsec::Result<std::vector<Token>> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](TokenKind kind, std::string text, std::size_t pos) {
+    out.push_back(Token{kind, std::move(text), pos});
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const std::size_t start = i;
+
+    // Numbers — also the K in "K-of(...)" threshold expressions. A digit
+    // run directly followed by "-of" lexes as one threshold token.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+      if (j + 2 < n && src[j] == '-' && src[j + 1] == 'o' && src[j + 2] == 'f') {
+        push(TokenKind::kThreshold, std::string(src.substr(i, j - i)), start);
+        i = j + 3;
+        continue;
+      }
+      bool saw_dot = false;
+      if (j < n && src[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(src[j + 1]))) {
+        saw_dot = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(src[j]))) ++j;
+      }
+      (void)saw_dot;
+      push(TokenKind::kNumber, std::string(src.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      push(TokenKind::kIdent, std::string(src.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+
+    if (c == '"') {
+      std::string value;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < n) {
+          char e = src[j + 1];
+          switch (e) {
+            case 'n': value.push_back('\n'); break;
+            case 't': value.push_back('\t'); break;
+            case '\\': value.push_back('\\'); break;
+            case '"': value.push_back('"'); break;
+            default: value.push_back(e); break;
+          }
+          j += 2;
+        } else {
+          value.push_back(src[j]);
+          ++j;
+        }
+      }
+      if (j >= n) return err_at("unterminated string literal", start);
+      push(TokenKind::kString, std::move(value), start);
+      i = j + 1;
+      continue;
+    }
+
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && src[i + 1] == b;
+    };
+
+    if (two('&', '&')) { push(TokenKind::kAndAnd, "&&", start); i += 2; continue; }
+    if (two('|', '|')) { push(TokenKind::kOrOr, "||", start); i += 2; continue; }
+    if (two('=', '=')) { push(TokenKind::kEq, "==", start); i += 2; continue; }
+    if (two('!', '=')) { push(TokenKind::kNe, "!=", start); i += 2; continue; }
+    if (two('<', '=')) { push(TokenKind::kLe, "<=", start); i += 2; continue; }
+    if (two('>', '=')) { push(TokenKind::kGe, ">=", start); i += 2; continue; }
+    if (two('~', '=')) { push(TokenKind::kRegexMatch, "~=", start); i += 2; continue; }
+    if (two('-', '>')) { push(TokenKind::kArrow, "->", start); i += 2; continue; }
+
+    switch (c) {
+      case '(': push(TokenKind::kLParen, "(", start); ++i; continue;
+      case ')': push(TokenKind::kRParen, ")", start); ++i; continue;
+      case '{': push(TokenKind::kLBrace, "{", start); ++i; continue;
+      case '}': push(TokenKind::kRBrace, "}", start); ++i; continue;
+      case ';': push(TokenKind::kSemicolon, ";", start); ++i; continue;
+      case ',': push(TokenKind::kComma, ",", start); ++i; continue;
+      case '!': push(TokenKind::kNot, "!", start); ++i; continue;
+      case '<': push(TokenKind::kLt, "<", start); ++i; continue;
+      case '>': push(TokenKind::kGt, ">", start); ++i; continue;
+      case '+': push(TokenKind::kPlus, "+", start); ++i; continue;
+      case '-': push(TokenKind::kMinus, "-", start); ++i; continue;
+      case '*': push(TokenKind::kStar, "*", start); ++i; continue;
+      case '/': push(TokenKind::kSlash, "/", start); ++i; continue;
+      case '%': push(TokenKind::kPercent, "%", start); ++i; continue;
+      case '^': push(TokenKind::kCaret, "^", start); ++i; continue;
+      case '.': push(TokenKind::kDot, ".", start); ++i; continue;
+      case '@': push(TokenKind::kAt, "@", start); ++i; continue;
+      case '&': push(TokenKind::kAmp, "&", start); ++i; continue;
+      case '$': push(TokenKind::kDollar, "$", start); ++i; continue;
+      default:
+        return err_at(std::string("unexpected character '") + c + "'", start);
+    }
+  }
+  push(TokenKind::kEnd, "", n);
+  return out;
+}
+
+}  // namespace mwsec::keynote

@@ -1,0 +1,60 @@
+// Tokeniser for the KeyNote expression languages (RFC 2704 §5):
+// the Conditions program language and the Licensees principal expressions.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace mwsec::keynote {
+
+enum class TokenKind {
+  kIdent,       // attribute / principal name
+  kString,      // "quoted literal" (escapes processed)
+  kNumber,      // integer or float literal
+  kThreshold,   // K-of (licensees language), value() holds K
+  kLParen,      // (
+  kRParen,      // )
+  kLBrace,      // {
+  kRBrace,      // }
+  kSemicolon,   // ;
+  kComma,       // ,
+  kArrow,       // ->
+  kAndAnd,      // &&
+  kOrOr,        // ||
+  kNot,         // !
+  kEq,          // ==
+  kNe,          // !=
+  kLt,          // <
+  kGt,          // >
+  kLe,          // <=
+  kGe,          // >=
+  kRegexMatch,  // ~=
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kPercent,     // %
+  kCaret,       // ^ (exponentiation)
+  kDot,         // . (string concatenation)
+  kAt,          // @ (integer attribute dereference)
+  kAmp,         // & (float attribute dereference)
+  kDollar,      // $ (indirect attribute reference)
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // raw spelling (processed value for strings)
+  std::size_t pos;    // byte offset in the source, for diagnostics
+};
+
+const char* token_kind_name(TokenKind kind);
+
+/// Tokenise `src`; returns the token list ending with kEnd, or a
+/// diagnostic pointing at the offending byte.
+mwsec::Result<std::vector<Token>> tokenize(std::string_view src);
+
+}  // namespace mwsec::keynote

@@ -1,0 +1,488 @@
+#include "keynote/parser.hpp"
+
+#include <charconv>
+
+#include "keynote/lexer.hpp"
+#include "util/strings.hpp"
+
+namespace mwsec::keynote {
+
+namespace {
+
+// A term is either string-typed or numeric-typed; the parser tracks which.
+struct Term {
+  std::shared_ptr<StringExpr> str;
+  std::shared_ptr<NumExpr> num;
+  bool is_string() const { return str != nullptr; }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  mwsec::Result<Program> conditions() {
+    auto prog = program();
+    if (!prog.ok()) return prog;
+    if (!at(TokenKind::kEnd)) return err("trailing input after conditions");
+    return prog;
+  }
+
+  mwsec::Result<LicenseeExpr> licensees() {
+    if (at(TokenKind::kEnd)) {
+      return LicenseeExpr{};  // empty: Kind::kNone
+    }
+    auto e = lic_or();
+    if (!e.ok()) return e;
+    if (!at(TokenKind::kEnd)) return err("trailing input after licensees");
+    return e;
+  }
+
+ private:
+  // --- token plumbing ------------------------------------------------------
+  const Token& peek() const { return toks_[pos_]; }
+  bool at(TokenKind k) const { return peek().kind == k; }
+  Token take() { return toks_[pos_++]; }
+  bool accept(TokenKind k) {
+    if (!at(k)) return false;
+    ++pos_;
+    return true;
+  }
+  mwsec::Error err(std::string_view msg) const {
+    return mwsec::Error::make(std::string(msg) + " (near '" + peek().text +
+                                  "' offset " + std::to_string(peek().pos) + ")",
+                              "parse");
+  }
+
+  // --- conditions program --------------------------------------------------
+  mwsec::Result<Program> program() {
+    Program prog;
+    // Clauses separated/terminated by ';'. Stop at '}' or end.
+    while (!at(TokenKind::kEnd) && !at(TokenKind::kRBrace)) {
+      if (accept(TokenKind::kSemicolon)) continue;  // stray / trailing ';'
+      auto clause = parse_clause();
+      if (!clause.ok()) return clause.error();
+      prog.clauses.push_back(std::move(clause).take());
+      if (!at(TokenKind::kEnd) && !at(TokenKind::kRBrace)) {
+        if (!accept(TokenKind::kSemicolon)) return err("expected ';'");
+      }
+    }
+    return prog;
+  }
+
+  mwsec::Result<Clause> parse_clause() {
+    auto test = parse_test();
+    if (!test.ok()) return test.error();
+    Clause clause;
+    clause.test = std::move(test).take();
+    if (accept(TokenKind::kArrow)) {
+      if (accept(TokenKind::kLBrace)) {
+        auto sub = program();
+        if (!sub.ok()) return sub.error();
+        if (!accept(TokenKind::kRBrace)) return err("expected '}'");
+        clause.outcome = Clause::Outcome::kProgram;
+        clause.program = std::make_shared<Program>(std::move(sub).take());
+      } else if (at(TokenKind::kString) || at(TokenKind::kIdent)) {
+        clause.outcome = Clause::Outcome::kValue;
+        clause.value = take().text;
+      } else {
+        return err("expected value or '{' after '->'");
+      }
+    }
+    return clause;
+  }
+
+  // --- boolean tests -------------------------------------------------------
+  mwsec::Result<std::shared_ptr<Test>> parse_test() { return test_or(); }
+
+  mwsec::Result<std::shared_ptr<Test>> test_or() {
+    auto lhs = test_and();
+    if (!lhs.ok()) return lhs;
+    while (accept(TokenKind::kOrOr)) {
+      auto rhs = test_and();
+      if (!rhs.ok()) return rhs;
+      auto node = std::make_shared<Test>();
+      node->kind = Test::Kind::kOr;
+      node->ta = std::move(lhs).take();
+      node->tb = std::move(rhs).take();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  mwsec::Result<std::shared_ptr<Test>> test_and() {
+    auto lhs = test_not();
+    if (!lhs.ok()) return lhs;
+    while (accept(TokenKind::kAndAnd)) {
+      auto rhs = test_not();
+      if (!rhs.ok()) return rhs;
+      auto node = std::make_shared<Test>();
+      node->kind = Test::Kind::kAnd;
+      node->ta = std::move(lhs).take();
+      node->tb = std::move(rhs).take();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  mwsec::Result<std::shared_ptr<Test>> test_not() {
+    if (accept(TokenKind::kNot)) {
+      auto inner = test_not();
+      if (!inner.ok()) return inner;
+      auto node = std::make_shared<Test>();
+      node->kind = Test::Kind::kNot;
+      node->ta = std::move(inner).take();
+      return node;
+    }
+    return test_primary();
+  }
+
+  mwsec::Result<std::shared_ptr<Test>> test_primary() {
+    // Literal true/false.
+    if (at(TokenKind::kIdent) &&
+        (peek().text == "true" || peek().text == "false")) {
+      // Only a literal when not followed by a comparison or string operator
+      // (so an attribute actually named "true" can still be compared).
+      TokenKind next = toks_[pos_ + 1].kind;
+      if (!is_relop(next) && next != TokenKind::kDot &&
+          next != TokenKind::kRegexMatch) {
+        auto node = std::make_shared<Test>();
+        node->kind = take().text == "true" ? Test::Kind::kTrue : Test::Kind::kFalse;
+        return node;
+      }
+    }
+
+    // '(' is ambiguous: parenthesised test or parenthesised term. Try the
+    // test reading first with backtracking.
+    if (at(TokenKind::kLParen)) {
+      const std::size_t save = pos_;
+      ++pos_;
+      auto inner = parse_test();
+      if (inner.ok() && accept(TokenKind::kRParen)) {
+        // A parenthesised test must not be followed by a term operator;
+        // e.g. "(a) == (b)" must re-parse as a term comparison.
+        TokenKind next = peek().kind;
+        if (!is_relop(next) && next != TokenKind::kDot &&
+            next != TokenKind::kRegexMatch && !is_arith(next)) {
+          return std::move(inner).take();
+        }
+      }
+      pos_ = save;  // fall through to the comparison reading
+    }
+
+    return comparison();
+  }
+
+  static bool is_relop(TokenKind k) {
+    return k == TokenKind::kEq || k == TokenKind::kNe || k == TokenKind::kLt ||
+           k == TokenKind::kGt || k == TokenKind::kLe || k == TokenKind::kGe;
+  }
+  static bool is_arith(TokenKind k) {
+    return k == TokenKind::kPlus || k == TokenKind::kMinus ||
+           k == TokenKind::kStar || k == TokenKind::kSlash ||
+           k == TokenKind::kPercent || k == TokenKind::kCaret;
+  }
+
+  mwsec::Result<std::shared_ptr<Test>> comparison() {
+    auto lhs = term();
+    if (!lhs.ok()) return lhs.error();
+
+    if (accept(TokenKind::kRegexMatch)) {
+      if (!lhs.value().is_string()) return err("~= requires string operands");
+      auto rhs = term();
+      if (!rhs.ok()) return rhs.error();
+      if (!rhs.value().is_string()) return err("~= requires string pattern");
+      auto node = std::make_shared<Test>();
+      node->kind = Test::Kind::kRegex;
+      node->sl = std::move(lhs.value().str);
+      node->sr = std::move(rhs.value().str);
+      return node;
+    }
+
+    CmpOp op;
+    if (accept(TokenKind::kEq)) op = CmpOp::kEq;
+    else if (accept(TokenKind::kNe)) op = CmpOp::kNe;
+    else if (accept(TokenKind::kLe)) op = CmpOp::kLe;
+    else if (accept(TokenKind::kGe)) op = CmpOp::kGe;
+    else if (accept(TokenKind::kLt)) op = CmpOp::kLt;
+    else if (accept(TokenKind::kGt)) op = CmpOp::kGt;
+    else return err("expected comparison operator");
+
+    auto rhs = term();
+    if (!rhs.ok()) return rhs.error();
+    if (lhs.value().is_string() != rhs.value().is_string()) {
+      return err("comparison mixes string and numeric operands");
+    }
+    auto node = std::make_shared<Test>();
+    node->op = op;
+    if (lhs.value().is_string()) {
+      node->kind = Test::Kind::kStrCmp;
+      node->sl = std::move(lhs.value().str);
+      node->sr = std::move(rhs.value().str);
+    } else {
+      node->kind = Test::Kind::kNumCmp;
+      node->nl = std::move(lhs.value().num);
+      node->nr = std::move(rhs.value().num);
+    }
+    return node;
+  }
+
+  // --- terms ---------------------------------------------------------------
+  // Precedence (tightest first): unary -, ^ (right-assoc), * / %, + -,
+  // . (string concatenation, lowest — it only applies to strings anyway).
+  mwsec::Result<Term> term() { return term_concat(); }
+
+  mwsec::Result<Term> term_concat() {
+    auto lhs = term_add();
+    if (!lhs.ok()) return lhs;
+    while (accept(TokenKind::kDot)) {
+      if (!lhs.value().is_string()) return err("'.' requires string operands");
+      auto rhs = term_add();
+      if (!rhs.ok()) return rhs;
+      if (!rhs.value().is_string()) return err("'.' requires string operands");
+      auto node = std::make_shared<StringExpr>();
+      node->kind = StringExpr::Kind::kConcat;
+      node->a = std::move(lhs.value().str);
+      node->b = std::move(rhs.value().str);
+      Term t;
+      t.str = std::move(node);
+      lhs = std::move(t);
+    }
+    return lhs;
+  }
+
+  mwsec::Result<Term> term_add() {
+    auto lhs = term_mul();
+    if (!lhs.ok()) return lhs;
+    while (at(TokenKind::kPlus) || at(TokenKind::kMinus)) {
+      auto op = take().kind == TokenKind::kPlus ? NumExpr::Kind::kAdd
+                                                : NumExpr::Kind::kSub;
+      auto rhs = term_mul();
+      if (!rhs.ok()) return rhs;
+      auto combined = num_binary(op, std::move(lhs.value()), std::move(rhs.value()));
+      if (!combined.ok()) return combined.error();
+      lhs = std::move(combined).take();
+    }
+    return lhs;
+  }
+
+  mwsec::Result<Term> term_mul() {
+    auto lhs = term_pow();
+    if (!lhs.ok()) return lhs;
+    while (at(TokenKind::kStar) || at(TokenKind::kSlash) ||
+           at(TokenKind::kPercent)) {
+      NumExpr::Kind op;
+      switch (take().kind) {
+        case TokenKind::kStar: op = NumExpr::Kind::kMul; break;
+        case TokenKind::kSlash: op = NumExpr::Kind::kDiv; break;
+        default: op = NumExpr::Kind::kMod; break;
+      }
+      auto rhs = term_pow();
+      if (!rhs.ok()) return rhs;
+      auto combined = num_binary(op, std::move(lhs.value()), std::move(rhs.value()));
+      if (!combined.ok()) return combined.error();
+      lhs = std::move(combined).take();
+    }
+    return lhs;
+  }
+
+  mwsec::Result<Term> term_pow() {
+    auto lhs = term_unary();
+    if (!lhs.ok()) return lhs;
+    if (accept(TokenKind::kCaret)) {
+      auto rhs = term_pow();  // right associative
+      if (!rhs.ok()) return rhs;
+      return num_binary(NumExpr::Kind::kPow, std::move(lhs.value()),
+                        std::move(rhs.value()));
+    }
+    return lhs;
+  }
+
+  mwsec::Result<Term> num_binary(NumExpr::Kind op, Term lhs, Term rhs) {
+    if (lhs.is_string() || rhs.is_string()) {
+      return err("arithmetic requires numeric operands");
+    }
+    auto node = std::make_shared<NumExpr>();
+    node->kind = op;
+    node->a = std::move(lhs.num);
+    node->b = std::move(rhs.num);
+    Term t;
+    t.num = std::move(node);
+    return t;
+  }
+
+  mwsec::Result<Term> term_unary() {
+    if (accept(TokenKind::kMinus)) {
+      auto inner = term_unary();
+      if (!inner.ok()) return inner;
+      if (inner.value().is_string()) return err("unary '-' requires a number");
+      auto node = std::make_shared<NumExpr>();
+      node->kind = NumExpr::Kind::kNeg;
+      node->a = std::move(inner.value().num);
+      Term t;
+      t.num = std::move(node);
+      return t;
+    }
+    return term_primary();
+  }
+
+  mwsec::Result<Term> term_primary() {
+    Term t;
+    if (at(TokenKind::kString)) {
+      auto node = std::make_shared<StringExpr>();
+      node->kind = StringExpr::Kind::kLiteral;
+      node->text = take().text;
+      t.str = std::move(node);
+      return t;
+    }
+    if (at(TokenKind::kNumber)) {
+      auto node = std::make_shared<NumExpr>();
+      node->kind = NumExpr::Kind::kLiteral;
+      double v = 0;
+      const std::string& s = peek().text;
+      auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+      if (ec != std::errc() || ptr != s.data() + s.size()) {
+        return err("bad numeric literal");
+      }
+      take();
+      node->literal = v;
+      t.num = std::move(node);
+      return t;
+    }
+    if (at(TokenKind::kIdent)) {
+      auto node = std::make_shared<StringExpr>();
+      node->kind = StringExpr::Kind::kAttr;
+      node->text = take().text;
+      t.str = std::move(node);
+      return t;
+    }
+    if (accept(TokenKind::kDollar)) {
+      auto inner = term_primary();
+      if (!inner.ok()) return inner;
+      if (!inner.value().is_string()) return err("$ requires a string operand");
+      auto node = std::make_shared<StringExpr>();
+      node->kind = StringExpr::Kind::kIndirect;
+      node->a = std::move(inner.value().str);
+      t.str = std::move(node);
+      return t;
+    }
+    if (at(TokenKind::kAt) || at(TokenKind::kAmp)) {
+      bool is_int = take().kind == TokenKind::kAt;
+      auto inner = term_primary();
+      if (!inner.ok()) return inner;
+      if (!inner.value().is_string()) {
+        return err("@/& require an attribute designator");
+      }
+      auto node = std::make_shared<NumExpr>();
+      node->kind = is_int ? NumExpr::Kind::kIntAttr : NumExpr::Kind::kFloatAttr;
+      node->attr = std::move(inner.value().str);
+      t.num = std::move(node);
+      return t;
+    }
+    if (accept(TokenKind::kLParen)) {
+      auto inner = term();
+      if (!inner.ok()) return inner;
+      if (!accept(TokenKind::kRParen)) return err("expected ')'");
+      return inner;
+    }
+    return err("expected a term");
+  }
+
+  // --- licensees -----------------------------------------------------------
+  mwsec::Result<LicenseeExpr> lic_or() {
+    auto lhs = lic_and();
+    if (!lhs.ok()) return lhs;
+    while (accept(TokenKind::kOrOr)) {
+      auto rhs = lic_and();
+      if (!rhs.ok()) return rhs;
+      if (lhs.value().kind == LicenseeExpr::Kind::kOr) {
+        lhs.value().children.push_back(std::move(rhs).take());
+      } else {
+        LicenseeExpr node;
+        node.kind = LicenseeExpr::Kind::kOr;
+        node.children.push_back(std::move(lhs).take());
+        node.children.push_back(std::move(rhs).take());
+        lhs = std::move(node);
+      }
+    }
+    return lhs;
+  }
+
+  mwsec::Result<LicenseeExpr> lic_and() {
+    auto lhs = lic_primary();
+    if (!lhs.ok()) return lhs;
+    while (accept(TokenKind::kAndAnd)) {
+      auto rhs = lic_primary();
+      if (!rhs.ok()) return rhs;
+      if (lhs.value().kind == LicenseeExpr::Kind::kAnd) {
+        lhs.value().children.push_back(std::move(rhs).take());
+      } else {
+        LicenseeExpr node;
+        node.kind = LicenseeExpr::Kind::kAnd;
+        node.children.push_back(std::move(lhs).take());
+        node.children.push_back(std::move(rhs).take());
+        lhs = std::move(node);
+      }
+    }
+    return lhs;
+  }
+
+  mwsec::Result<LicenseeExpr> lic_primary() {
+    if (at(TokenKind::kString) || at(TokenKind::kIdent)) {
+      LicenseeExpr node;
+      node.kind = LicenseeExpr::Kind::kPrincipal;
+      node.principal = take().text;
+      return node;
+    }
+    if (at(TokenKind::kThreshold)) {
+      std::size_t k = 0;
+      for (char c : take().text) k = k * 10 + static_cast<std::size_t>(c - '0');
+      if (!accept(TokenKind::kLParen)) return err("expected '(' after K-of");
+      LicenseeExpr node;
+      node.kind = LicenseeExpr::Kind::kThreshold;
+      node.k = k;
+      do {
+        auto member = lic_or();
+        if (!member.ok()) return member;
+        node.children.push_back(std::move(member).take());
+      } while (accept(TokenKind::kComma));
+      if (!accept(TokenKind::kRParen)) return err("expected ')' after K-of list");
+      if (k == 0 || k > node.children.size()) {
+        return err("K-of threshold out of range");
+      }
+      return node;
+    }
+    if (accept(TokenKind::kLParen)) {
+      auto inner = lic_or();
+      if (!inner.ok()) return inner;
+      if (!accept(TokenKind::kRParen)) return err("expected ')'");
+      return inner;
+    }
+    return err("expected a principal");
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+mwsec::Result<Program> parse_conditions(std::string_view src) {
+  auto toks = tokenize(src);
+  if (!toks.ok()) return toks.error();
+  Parser p(std::move(toks).take());
+  return p.conditions();
+}
+
+mwsec::Result<LicenseeExpr> parse_licensees(std::string_view src) {
+  auto toks = tokenize(src);
+  if (!toks.ok()) return toks.error();
+  Parser p(std::move(toks).take());
+  return p.licensees();
+}
+
+void LicenseeExpr::collect_principals(std::vector<std::string>& out) const {
+  if (kind == Kind::kPrincipal) out.push_back(principal);
+  for (const auto& child : children) child.collect_principals(out);
+}
+
+}  // namespace mwsec::keynote

@@ -1,0 +1,18 @@
+// Recursive-descent parsers for the Conditions and Licensees languages.
+#pragma once
+
+#include <string_view>
+
+#include "keynote/ast.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::keynote {
+
+/// Parse a Conditions program. The empty string is a valid (empty) program,
+/// which evaluates to _MAX_TRUST.
+mwsec::Result<Program> parse_conditions(std::string_view src);
+
+/// Parse a Licensees expression. The empty string yields Kind::kNone.
+mwsec::Result<LicenseeExpr> parse_licensees(std::string_view src);
+
+}  // namespace mwsec::keynote

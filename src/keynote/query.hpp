@@ -1,0 +1,86 @@
+// The KeyNote query engine (RFC 2704 query semantics).
+//
+// Given a set of unsigned POLICY assertions (the local trust root), a set
+// of signed credentials, the requesting principals (action authorisers)
+// and an action environment, compute the compliance value of the request:
+// the greatest value `v` such that authority flows from POLICY to the
+// requesters at level `v` through the delegation graph.
+//
+// The computation is a Kleene fixpoint: every principal starts at
+// _MIN_TRUST (requesters start at _MAX_TRUST) and assertion values
+//   value(A) = min(conditions(A), licensees(A))
+// are re-evaluated until no principal's value changes. Because licensee
+// evaluation is monotone in the principal values, this converges and is
+// insensitive to delegation cycles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "keynote/assertion.hpp"
+#include "keynote/values.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::keynote {
+
+struct Query {
+  /// Principals that (cryptographically or by session authentication)
+  /// requested the action.
+  std::vector<std::string> action_authorizers;
+  ActionEnvironment env;
+  ComplianceValueSet values;  // default {false, true}
+};
+
+struct QueryOptions {
+  /// Verify credential signatures and drop (ignore) credentials that fail.
+  bool verify_signatures = true;
+};
+
+struct QueryResult {
+  std::size_t value_index = 0;
+  std::string value_name;
+  /// Why each ignored credential was dropped (bad signature, unsigned...).
+  std::vector<std::string> dropped_credentials;
+
+  /// Convenience for the default {false,true} value set.
+  bool authorized() const { return value_index > 0; }
+};
+
+/// Evaluate a query. `policies` must contain only POLICY assertions;
+/// non-policy assertions among them are an error (they would bypass
+/// signature checking).
+mwsec::Result<QueryResult> evaluate(const std::vector<Assertion>& policies,
+                                    const std::vector<Assertion>& credentials,
+                                    const Query& query,
+                                    const QueryOptions& options = {});
+
+/// RFC 2704 §6-style session facade: the "KeyNote API" the paper's
+/// applications call. Accumulates policies, credentials and action
+/// attributes, then answers queries.
+class Session {
+ public:
+  mwsec::Status add_policy(const Assertion& assertion);
+  mwsec::Status add_policy_text(std::string_view text);
+  mwsec::Status add_credential(const Assertion& assertion);
+  mwsec::Status add_credential_text(std::string_view text);
+
+  void add_action_attribute(std::string name, std::string value);
+  void add_action_authorizer(std::string principal);
+  mwsec::Status set_compliance_values(std::vector<std::string> ordered);
+
+  /// Evaluate with the accumulated state.
+  mwsec::Result<QueryResult> query(const QueryOptions& options = {}) const;
+
+  /// Reset per-query state (authorisers + attributes), keeping assertions.
+  void clear_action();
+
+  const std::vector<Assertion>& policies() const { return policies_; }
+  const std::vector<Assertion>& credentials() const { return credentials_; }
+
+ private:
+  std::vector<Assertion> policies_;
+  std::vector<Assertion> credentials_;
+  Query query_;
+};
+
+}  // namespace mwsec::keynote

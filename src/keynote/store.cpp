@@ -1,0 +1,138 @@
+#include "keynote/store.hpp"
+
+#include <algorithm>
+
+namespace mwsec::keynote {
+
+mwsec::Status CredentialStore::add_policy(Assertion assertion) {
+  if (!assertion.is_policy()) {
+    return Error::make("not a POLICY assertion", "store");
+  }
+  std::scoped_lock lock(mu_);
+  policies_.push_back(std::move(assertion));
+  return {};
+}
+
+mwsec::Status CredentialStore::add_policy_text(std::string_view text) {
+  auto bundle = Assertion::parse_bundle(text);
+  if (!bundle.ok()) return bundle.error();
+  for (auto& a : *bundle) {
+    if (auto s = add_policy(std::move(a)); !s.ok()) return s;
+  }
+  return {};
+}
+
+mwsec::Status CredentialStore::add_credential(Assertion assertion) {
+  if (auto v = assertion.verify(); !v.ok()) return v;
+  std::scoped_lock lock(mu_);
+  // Idempotent: identical text is stored once.
+  for (const auto& existing : credentials_) {
+    if (existing.to_text() == assertion.to_text()) return {};
+  }
+  credentials_.push_back(std::move(assertion));
+  return {};
+}
+
+std::size_t CredentialStore::remove_matching(const std::string& text) {
+  std::scoped_lock lock(mu_);
+  auto before = credentials_.size();
+  std::erase_if(credentials_,
+                [&](const Assertion& a) { return a.to_text() == text; });
+  return before - credentials_.size();
+}
+
+std::size_t CredentialStore::remove_by_authorizer(
+    const std::string& authorizer) {
+  std::scoped_lock lock(mu_);
+  auto before = credentials_.size();
+  std::erase_if(credentials_, [&](const Assertion& a) {
+    return a.authorizer() == authorizer;
+  });
+  return before - credentials_.size();
+}
+
+std::vector<Assertion> CredentialStore::policies() const {
+  std::scoped_lock lock(mu_);
+  return policies_;
+}
+
+std::vector<Assertion> CredentialStore::credentials() const {
+  std::scoped_lock lock(mu_);
+  return credentials_;
+}
+
+std::vector<Assertion> CredentialStore::credentials_by_authorizer(
+    const std::string& authorizer) const {
+  std::scoped_lock lock(mu_);
+  std::vector<Assertion> out;
+  for (const auto& a : credentials_) {
+    if (a.authorizer() == authorizer) out.push_back(a);
+  }
+  return out;
+}
+
+std::size_t CredentialStore::policy_count() const {
+  std::scoped_lock lock(mu_);
+  return policies_.size();
+}
+
+std::size_t CredentialStore::credential_count() const {
+  std::scoped_lock lock(mu_);
+  return credentials_.size();
+}
+
+void CredentialStore::clear() {
+  std::scoped_lock lock(mu_);
+  policies_.clear();
+  credentials_.clear();
+}
+
+mwsec::Result<QueryResult> CredentialStore::query(
+    const Query& q, const std::vector<Assertion>& presented,
+    const QueryOptions& options) const {
+  std::vector<Assertion> policies, credentials;
+  {
+    std::scoped_lock lock(mu_);
+    policies = policies_;
+    credentials = credentials_;
+  }
+  // Stored credentials are pre-verified (add_credential refuses bad
+  // signatures), so verification here would only repeat work. Presented
+  // credentials are screened now, keeping the per-request trust decision
+  // while the evaluator itself runs signature-free.
+  std::vector<std::string> dropped;
+  for (const auto& a : presented) {
+    if (options.verify_signatures) {
+      if (auto v = a.verify(); !v.ok()) {
+        dropped.push_back(v.error().message);
+        continue;
+      }
+    }
+    credentials.push_back(a);
+  }
+  QueryOptions lax = options;
+  lax.verify_signatures = false;
+  auto result = evaluate(policies, credentials, q, lax);
+  if (result.ok()) {
+    result.value().dropped_credentials.insert(
+        result.value().dropped_credentials.end(), dropped.begin(),
+        dropped.end());
+  }
+  return result;
+}
+
+std::string CredentialStore::to_bundle_text() const {
+  std::scoped_lock lock(mu_);
+  std::string out;
+  for (const auto& p : policies_) {
+    out += p.to_text();
+    out += "\n";
+  }
+  for (const auto& c : credentials_) {
+    out += c.to_text();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mwsec::keynote

@@ -1,0 +1,65 @@
+// Credential store: the per-node repository of KeyNote assertions that a
+// Secure WebCom environment holds (its local policy plus credentials it
+// has collected or been handed by requesters). Thread-safe — the WebCom
+// scheduler consults it from worker threads while KeyCOM-style services
+// add newly received credentials.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "keynote/assertion.hpp"
+#include "keynote/query.hpp"
+
+namespace mwsec::keynote {
+
+class CredentialStore {
+ public:
+  /// Add a policy assertion (unsigned, Authorizer: POLICY).
+  mwsec::Status add_policy(Assertion assertion);
+  /// Parse a bundle of POLICY assertions and add them all.
+  mwsec::Status add_policy_text(std::string_view text);
+
+  /// Add a credential; rejected if its signature does not verify.
+  mwsec::Status add_credential(Assertion assertion);
+
+  /// Remove every credential whose exact text matches (revocation by
+  /// withdrawal; KeyNote itself has no revocation, so stores model it by
+  /// discarding assertions).
+  std::size_t remove_matching(const std::string& text);
+
+  /// Remove all credentials authored by `authorizer`.
+  std::size_t remove_by_authorizer(const std::string& authorizer);
+
+  std::vector<Assertion> policies() const;
+  std::vector<Assertion> credentials() const;
+  std::vector<Assertion> credentials_by_authorizer(
+      const std::string& authorizer) const;
+
+  std::size_t policy_count() const;
+  std::size_t credential_count() const;
+  void clear();
+
+  /// Evaluate a query against the stored assertions (plus any extra
+  /// credentials presented with the request).
+  ///
+  /// Stored credentials were signature-verified when added, so they are
+  /// not re-verified per query (the dominant cost of chain evaluation —
+  /// see bench_tm_comparison). Presented credentials are verified here
+  /// unless `options.verify_signatures` is false; failures are dropped
+  /// and reported in the result.
+  mwsec::Result<QueryResult> query(
+      const Query& q, const std::vector<Assertion>& presented = {},
+      const QueryOptions& options = {}) const;
+
+  /// Serialise the full store as a parseable bundle.
+  std::string to_bundle_text() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Assertion> policies_;
+  std::vector<Assertion> credentials_;
+};
+
+}  // namespace mwsec::keynote

@@ -1,0 +1,51 @@
+#include "keynote/values.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace mwsec::keynote {
+
+ComplianceValueSet::ComplianceValueSet() : ordered_{"false", "true"} {}
+
+mwsec::Result<ComplianceValueSet> ComplianceValueSet::make(
+    std::vector<std::string> ordered) {
+  if (ordered.empty()) {
+    return Error::make("compliance value set must be non-empty", "values");
+  }
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    for (std::size_t j = i + 1; j < ordered.size(); ++j) {
+      if (ordered[i] == ordered[j]) {
+        return Error::make("duplicate compliance value: " + ordered[i],
+                           "values");
+      }
+    }
+  }
+  ComplianceValueSet out;
+  out.ordered_ = std::move(ordered);
+  return out;
+}
+
+mwsec::Result<std::size_t> ComplianceValueSet::index_of(
+    std::string_view name) const {
+  for (std::size_t i = 0; i < ordered_.size(); ++i) {
+    if (ordered_[i] == name) return i;
+  }
+  return Error::make("unknown compliance value: " + std::string(name),
+                     "values");
+}
+
+std::string ComplianceValueSet::joined() const {
+  return util::join(ordered_, ", ");
+}
+
+std::string ActionEnvironment::get(std::string_view name) const {
+  auto it = attrs_.find(name);
+  return it == attrs_.end() ? std::string() : it->second;
+}
+
+bool ActionEnvironment::has(std::string_view name) const {
+  return attrs_.find(name) != attrs_.end();
+}
+
+}  // namespace mwsec::keynote

@@ -1,0 +1,74 @@
+// Compliance values and the action environment (RFC 2704 §3, §4).
+//
+// A KeyNote query returns one of an ordered set of compliance values,
+// minimum ("_MIN_TRUST") first and maximum ("_MAX_TRUST") last. Unless the
+// query supplies its own ordering, the set is {"false", "true"}. The action
+// environment is the set of attribute name/value pairs describing the
+// request being authorised (e.g. app_domain = "WebCom", Role = "Manager").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace mwsec::keynote {
+
+/// Ordered set of compliance values.
+class ComplianceValueSet {
+ public:
+  /// Default ordering: {"false", "true"}.
+  ComplianceValueSet();
+  /// Custom ordering, minimum first. Must be non-empty and duplicate-free.
+  static mwsec::Result<ComplianceValueSet> make(std::vector<std::string> ordered);
+
+  std::size_t size() const { return ordered_.size(); }
+  const std::string& name(std::size_t index) const { return ordered_[index]; }
+  /// Index of a value name; error if unknown.
+  mwsec::Result<std::size_t> index_of(std::string_view name) const;
+
+  std::size_t min_index() const { return 0; }
+  std::size_t max_index() const { return ordered_.size() - 1; }
+  const std::string& min_name() const { return ordered_.front(); }
+  const std::string& max_name() const { return ordered_.back(); }
+
+  /// Comma-separated rendering, as bound to the _VALUES attribute.
+  std::string joined() const;
+
+  bool operator==(const ComplianceValueSet& o) const {
+    return ordered_ == o.ordered_;
+  }
+
+ private:
+  std::vector<std::string> ordered_;
+};
+
+/// Attribute name/value pairs describing the action, plus the RFC 2704
+/// reserved attributes (_MIN_TRUST, _MAX_TRUST, _VALUES,
+/// _ACTION_AUTHORIZERS) which are synthesised at query time.
+class ActionEnvironment {
+ public:
+  ActionEnvironment() = default;
+  ActionEnvironment(std::initializer_list<std::pair<const std::string, std::string>> init)
+      : attrs_(init) {}
+
+  void set(std::string name, std::string value) {
+    attrs_[std::move(name)] = std::move(value);
+  }
+
+  /// RFC 2704: a reference to an unset attribute yields the empty string.
+  std::string get(std::string_view name) const;
+  bool has(std::string_view name) const;
+
+  const std::map<std::string, std::string, std::less<>>& attrs() const {
+    return attrs_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> attrs_;
+};
+
+}  // namespace mwsec::keynote

@@ -1,0 +1,265 @@
+#include "middleware/com/catalogue.hpp"
+
+namespace mwsec::middleware::com {
+
+bool is_com_permission(const std::string& permission) {
+  return permission == kLaunch || permission == kAccess ||
+         permission == kRunAs;
+}
+
+Catalogue::Catalogue(std::string host, std::string nt_domain, AuditLog* audit)
+    : host_(std::move(host)), nt_domain_(std::move(nt_domain)),
+      audit_(audit) {}
+
+mwsec::Status Catalogue::register_application(Application app) {
+  if (app.app_id.empty()) {
+    return Error::make("application needs an AppID", "com");
+  }
+  std::scoped_lock lock(*mu_);
+  if (!applications_.emplace(app.app_id, app).second) {
+    return Error::make("AppID already registered: " + app.app_id, "com");
+  }
+  return {};
+}
+
+mwsec::Status Catalogue::define_role(const std::string& role) {
+  if (role.empty()) return Error::make("role name must be non-empty", "com");
+  std::scoped_lock lock(*mu_);
+  roles_.insert(role);
+  return {};
+}
+
+mwsec::Status Catalogue::grant(const std::string& role,
+                               const std::string& app_id,
+                               const std::string& permission) {
+  if (!is_com_permission(permission)) {
+    return Error::make("not a COM permission: " + permission +
+                           " (must be Launch, Access or RunAs)",
+                       "com");
+  }
+  std::scoped_lock lock(*mu_);
+  if (!roles_.count(role)) {
+    return Error::make("undefined role: " + role, "com");
+  }
+  if (!applications_.count(app_id)) {
+    return Error::make("unknown AppID: " + app_id, "com");
+  }
+  grants_[role][app_id].insert(permission);
+  return {};
+}
+
+mwsec::Status Catalogue::add_user_to_role(const std::string& user,
+                                          const std::string& role) {
+  if (user.empty()) return Error::make("user must be non-empty", "com");
+  std::scoped_lock lock(*mu_);
+  if (!roles_.count(role)) {
+    return Error::make("undefined role: " + role, "com");
+  }
+  members_[role].insert(user);
+  return {};
+}
+
+mwsec::Status Catalogue::remove_user_from_role(const std::string& user,
+                                               const std::string& role) {
+  std::scoped_lock lock(*mu_);
+  auto it = members_.find(role);
+  if (it == members_.end() || it->second.erase(user) == 0) {
+    return Error::make(user + " is not a member of " + role, "com");
+  }
+  return {};
+}
+
+mwsec::Status Catalogue::install_handler(const std::string& app_id,
+                                         const std::string& method,
+                                         Handler handler) {
+  std::scoped_lock lock(*mu_);
+  auto it = applications_.find(app_id);
+  if (it == applications_.end()) {
+    return Error::make("unknown AppID: " + app_id, "com");
+  }
+  it->second.methods.insert(method);
+  handlers_[app_id][method] = std::move(handler);
+  return {};
+}
+
+bool Catalogue::mediate_locked(const std::string& user,
+                               const std::string& app_id,
+                               const std::string& permission) const {
+  for (const auto& [role, users] : members_) {
+    if (!users.count(user)) continue;
+    auto git = grants_.find(role);
+    if (git == grants_.end()) continue;
+    auto ait = git->second.find(app_id);
+    if (ait == git->second.end()) continue;
+    if (ait->second.count(permission)) return true;
+  }
+  return false;
+}
+
+void Catalogue::record(const std::string& user, const std::string& action,
+                       bool allowed, const std::string& detail) const {
+  if (audit_ != nullptr) {
+    audit_->record(AuditEvent{name(), user, action, allowed, detail});
+  }
+}
+
+mwsec::Status Catalogue::set_run_as(const std::string& configurer,
+                                    const std::string& app_id,
+                                    const std::string& account) {
+  std::scoped_lock lock(*mu_);
+  if (!applications_.count(app_id)) {
+    return Error::make("unknown AppID: " + app_id, "com");
+  }
+  bool ok = mediate_locked(configurer, app_id, kRunAs);
+  record(configurer, app_id + ":RunAs", ok, "configure run-as");
+  if (!ok) {
+    return Error::make("E_ACCESSDENIED: " + configurer +
+                           " may not configure RunAs for " + app_id,
+                       "denied");
+  }
+  run_as_[app_id] = account;
+  return {};
+}
+
+std::string Catalogue::run_as(const std::string& app_id) const {
+  std::scoped_lock lock(*mu_);
+  auto it = run_as_.find(app_id);
+  return it == run_as_.end() ? std::string("interactive user") : it->second;
+}
+
+mwsec::Result<std::string> Catalogue::launch(const std::string& user,
+                                             const std::string& app_id) {
+  std::scoped_lock lock(*mu_);
+  if (!applications_.count(app_id)) {
+    return Error::make("unknown AppID: " + app_id, "com");
+  }
+  bool ok = mediate_locked(user, app_id, kLaunch);
+  record(user, app_id + ":Launch", ok);
+  if (!ok) {
+    return Error::make("E_ACCESSDENIED: " + user + " may not launch " +
+                           app_id,
+                       "denied");
+  }
+  auto ra = run_as_.find(app_id);
+  return "activated " + app_id + " as " +
+         (ra == run_as_.end() ? std::string("interactive user") : ra->second);
+}
+
+mwsec::Result<std::string> Catalogue::call(const std::string& user,
+                                           const std::string& app_id,
+                                           const std::string& method,
+                                           const std::string& args) {
+  Handler handler;
+  {
+    std::scoped_lock lock(*mu_);
+    if (!applications_.count(app_id)) {
+      return Error::make("unknown AppID: " + app_id, "com");
+    }
+    bool ok = mediate_locked(user, app_id, kAccess);
+    record(user, app_id + ":" + method, ok);
+    if (!ok) {
+      return Error::make("E_ACCESSDENIED: " + user + " may not access " +
+                             app_id,
+                         "denied");
+    }
+    auto ait = handlers_.find(app_id);
+    if (ait != handlers_.end()) {
+      auto mit = ait->second.find(method);
+      if (mit != ait->second.end()) handler = mit->second;
+    }
+    if (!handler) {
+      return Error::make("no such method: " + app_id + "." + method, "com");
+    }
+  }
+  // Run business logic outside the catalogue lock (CP.22: never call
+  // unknown code while holding a lock).
+  return handler(user, args);
+}
+
+rbac::Policy Catalogue::export_policy() const {
+  std::scoped_lock lock(*mu_);
+  rbac::Policy p;
+  for (const auto& [role, apps] : grants_) {
+    for (const auto& [app_id, permissions] : apps) {
+      for (const auto& permission : permissions) {
+        p.grant(nt_domain_, role, app_id, permission).ok();
+      }
+    }
+  }
+  for (const auto& [role, users] : members_) {
+    for (const auto& user : users) {
+      p.assign(user, nt_domain_, role).ok();
+    }
+  }
+  return p;
+}
+
+mwsec::Result<ImportStats> Catalogue::import_policy(const rbac::Policy& p) {
+  ImportStats stats;
+  std::scoped_lock lock(*mu_);
+  for (const auto& g : p.grants()) {
+    if (g.domain != nt_domain_) {
+      stats.skipped.push_back("grant for foreign domain " + g.domain);
+      continue;
+    }
+    if (!is_com_permission(g.permission)) {
+      stats.skipped.push_back("permission '" + g.permission +
+                              "' is not expressible in COM+ (" + g.domain +
+                              "/" + g.role + " on " + g.object_type + ")");
+      continue;
+    }
+    // Auto-register unknown AppIDs: commissioning a policy for an app that
+    // is not yet installed records the authorisation for when it is.
+    applications_.emplace(g.object_type,
+                          Application{g.object_type, "imported", {}});
+    roles_.insert(g.role);
+    grants_[g.role][g.object_type].insert(g.permission);
+    ++stats.grants_applied;
+  }
+  for (const auto& a : p.assignments()) {
+    if (a.domain != nt_domain_) {
+      stats.skipped.push_back("assignment for foreign domain " + a.domain);
+      continue;
+    }
+    roles_.insert(a.role);
+    members_[a.role].insert(a.user);
+    ++stats.assignments_applied;
+  }
+  return stats;
+}
+
+mwsec::Status Catalogue::remove_assignment(const rbac::RoleAssignment& a) {
+  if (a.domain != nt_domain_) {
+    return Error::make("domain " + a.domain + " is not served by " + name(),
+                       "com");
+  }
+  return remove_user_from_role(a.user, a.role);
+}
+
+bool Catalogue::mediate(const std::string& user,
+                        const std::string& object_type,
+                        const std::string& permission) const {
+  std::scoped_lock lock(*mu_);
+  bool ok = is_com_permission(permission) &&
+            mediate_locked(user, object_type, permission);
+  record(user, object_type + ":" + permission, ok, "mediate");
+  return ok;
+}
+
+std::vector<Component> Catalogue::components() const {
+  std::scoped_lock lock(*mu_);
+  std::vector<Component> out;
+  for (const auto& [app_id, app] : applications_) {
+    // Launching the application is itself a schedulable component...
+    out.push_back(Component{"com://" + name() + "/" + app_id, app_id, kLaunch,
+                            app.description});
+    // ...and so is each method (requiring Access).
+    for (const auto& method : app.methods) {
+      out.push_back(Component{"com://" + name() + "/" + app_id + "#" + method,
+                              app_id, kAccess, app.description});
+    }
+  }
+  return out;
+}
+
+}  // namespace mwsec::middleware::com

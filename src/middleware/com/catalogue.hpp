@@ -1,0 +1,125 @@
+// COM+ catalogue simulator (Section 2 of the paper; [20]).
+//
+// The paper's COM+ RBAC view: Windows NT Domains; roles unique to each
+// domain; permissions exactly {Launch, Access, RunAs} over applications
+// (AppIDs). The catalogue is the registry-like store a Windows server
+// keeps per NT domain (Figure 8: "COM Catalogue security policy"), and
+// which the KeyCOM service updates with authorisations derived from
+// KeyNote credentials.
+//
+// Mapping onto the common RBAC model:
+//   Domain     <- the NT domain name
+//   Role       <- catalogue role (domain-scoped)
+//   ObjectType <- application name (AppID)
+//   Permission <- Launch | Access | RunAs
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "middleware/common/audit.hpp"
+#include "middleware/common/system.hpp"
+
+namespace mwsec::middleware::com {
+
+inline constexpr const char* kLaunch = "Launch";
+inline constexpr const char* kAccess = "Access";
+inline constexpr const char* kRunAs = "RunAs";
+
+/// True for the three COM permission verbs.
+bool is_com_permission(const std::string& permission);
+
+/// A registered COM application: its AppID plus the methods exposed when a
+/// client Accesses it. Methods are the units the WebCom IDE palettes.
+struct Application {
+  std::string app_id;  // e.g. "SalariesDB"
+  std::string description;
+  std::set<std::string> methods;
+};
+
+class Catalogue final : public SecuritySystem {
+ public:
+  /// A catalogue serves one Windows NT domain on one host.
+  Catalogue(std::string host, std::string nt_domain,
+            AuditLog* audit = nullptr);
+
+  // --- native administration ------------------------------------------------
+  mwsec::Status register_application(Application app);
+  mwsec::Status define_role(const std::string& role);
+  /// Grant `role` a COM permission (Launch/Access/RunAs) on `app_id`.
+  mwsec::Status grant(const std::string& role, const std::string& app_id,
+                      const std::string& permission);
+  mwsec::Status add_user_to_role(const std::string& user,
+                                 const std::string& role);
+  mwsec::Status remove_user_from_role(const std::string& user,
+                                      const std::string& role);
+
+  /// Install a handler for a method of an application (the "business
+  /// logic"); invoked through launch()/call() under mediation.
+  using Handler = std::function<std::string(const std::string& user,
+                                            const std::string& args)>;
+  mwsec::Status install_handler(const std::string& app_id,
+                                const std::string& method, Handler handler);
+
+  // --- native invocation path -------------------------------------------
+  /// Configure the account an application executes under ("RunAs" in the
+  /// COM+ catalogue). The configuring user must hold the RunAs permission
+  /// on the application.
+  mwsec::Status set_run_as(const std::string& configurer,
+                           const std::string& app_id,
+                           const std::string& account);
+  /// The configured RunAs account; "interactive user" when unset.
+  std::string run_as(const std::string& app_id) const;
+
+  /// DCOM-style activation: requires the Launch permission. Reports the
+  /// identity the application runs under.
+  mwsec::Result<std::string> launch(const std::string& user,
+                                    const std::string& app_id);
+  /// Method call on a running application: requires Access.
+  mwsec::Result<std::string> call(const std::string& user,
+                                  const std::string& app_id,
+                                  const std::string& method,
+                                  const std::string& args = {});
+
+  const std::string& nt_domain() const { return nt_domain_; }
+
+  // --- SecuritySystem ---------------------------------------------------
+  std::string kind() const override { return "COM+"; }
+  std::string name() const override { return host_ + "/" + nt_domain_; }
+  rbac::Policy export_policy() const override;
+  mwsec::Result<ImportStats> import_policy(const rbac::Policy& p) override;
+  mwsec::Status remove_assignment(const rbac::RoleAssignment& a) override;
+  bool mediate(const std::string& user, const std::string& object_type,
+               const std::string& permission) const override;
+  std::vector<Component> components() const override;
+
+ private:
+  bool mediate_locked(const std::string& user, const std::string& app_id,
+                      const std::string& permission) const;
+  void record(const std::string& user, const std::string& action,
+              bool allowed, const std::string& detail = {}) const;
+
+  std::string host_;
+  std::string nt_domain_;
+  AuditLog* audit_;
+
+  // Held behind unique_ptr so simulator instances are movable
+  // (fixtures build them in factory functions); moving while other
+  // threads hold references is, as always, a race.
+  mutable std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+  std::map<std::string, Application> applications_;
+  std::set<std::string> roles_;
+  // role -> app_id -> permissions
+  std::map<std::string, std::map<std::string, std::set<std::string>>> grants_;
+  // role -> users
+  std::map<std::string, std::set<std::string>> members_;
+  // app_id -> method -> handler
+  std::map<std::string, std::map<std::string, Handler>> handlers_;
+  std::map<std::string, std::string> run_as_;  // app_id -> account
+};
+
+}  // namespace mwsec::middleware::com

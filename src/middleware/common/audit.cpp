@@ -1,0 +1,43 @@
+#include "middleware/common/audit.hpp"
+
+namespace mwsec::middleware {
+
+void AuditLog::record(AuditEvent event) {
+  std::scoped_lock lock(mu_);
+  if (event.allowed) {
+    ++allowed_total_;
+  } else {
+    ++denied_total_;
+  }
+  events_.push_back(std::move(event));
+  while (events_.size() > capacity_) events_.pop_front();
+}
+
+std::vector<AuditEvent> AuditLog::events() const {
+  std::scoped_lock lock(mu_);
+  return {events_.begin(), events_.end()};
+}
+
+std::size_t AuditLog::size() const {
+  std::scoped_lock lock(mu_);
+  return events_.size();
+}
+
+std::size_t AuditLog::allowed_count() const {
+  std::scoped_lock lock(mu_);
+  return allowed_total_;
+}
+
+std::size_t AuditLog::denied_count() const {
+  std::scoped_lock lock(mu_);
+  return denied_total_;
+}
+
+void AuditLog::clear() {
+  std::scoped_lock lock(mu_);
+  events_.clear();
+  allowed_total_ = 0;
+  denied_total_ = 0;
+}
+
+}  // namespace mwsec::middleware

@@ -1,0 +1,42 @@
+// Mediation audit log, shared by the middleware simulators, the stacked
+// authoriser and the KeyCOM administration service. Thread-safe; bounded.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mwsec::middleware {
+
+struct AuditEvent {
+  std::string system;     ///< who mediated, e.g. "COM+/DomainA", "KeyCOM"
+  std::string principal;  ///< requesting user / key
+  std::string action;     ///< e.g. "SalariesDB:write", "policy-update"
+  bool allowed = false;
+  std::string detail;     ///< reason / dropped-credential info
+};
+
+class AuditLog {
+ public:
+  explicit AuditLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void record(AuditEvent event);
+  std::vector<AuditEvent> events() const;
+  std::size_t size() const;
+  /// Counts of allowed/denied events recorded so far (monotonic, not
+  /// affected by capacity eviction).
+  std::size_t allowed_count() const;
+  std::size_t denied_count() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::deque<AuditEvent> events_;
+  std::size_t allowed_total_ = 0;
+  std::size_t denied_total_ = 0;
+};
+
+}  // namespace mwsec::middleware

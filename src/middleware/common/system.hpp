@@ -1,0 +1,73 @@
+// The common surface every simulated middleware exposes (DESIGN.md §2-3).
+//
+// Each middleware owns a *native* security model (COM+ catalogue, EJB
+// deployment descriptors, CORBASec-like access policy). The SecuritySystem
+// interface is the seam the paper's machinery plugs into:
+//   * export_policy()  — project the native policy onto the common RBAC
+//                        model of Section 2 ("policy comprehension");
+//   * import_policy()  — commission RBAC rows into the native model
+//                        ("policy configuration", what KeyCOM drives);
+//   * mediate()        — the native access decision, used as layer L1 of
+//                        the stacked authoriser (Figure 10);
+//   * components()     — interrogation for the IDE palette (Section 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rbac/model.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::middleware {
+
+/// An invocable middleware component, as surfaced to the WebCom IDE
+/// palette: the unit the paper's condensed graphs schedule.
+struct Component {
+  std::string id;           ///< globally unique, e.g. "ejb://x/srv/Payroll#pay"
+  std::string object_type;  ///< RBAC ObjectType (bean / interface / AppID)
+  std::string operation;    ///< RBAC Permission required to execute it
+  std::string description;
+
+  auto operator<=>(const Component&) const = default;
+};
+
+/// Outcome of commissioning RBAC rows into a native policy store. Rows the
+/// native vocabulary cannot express (e.g. permission "read" offered to
+/// COM+, whose permissions are exactly Launch/Access/RunAs) are skipped
+/// and reported, not silently dropped.
+struct ImportStats {
+  std::size_t grants_applied = 0;
+  std::size_t assignments_applied = 0;
+  std::vector<std::string> skipped;  ///< human-readable reasons
+};
+
+class SecuritySystem {
+ public:
+  virtual ~SecuritySystem() = default;
+
+  /// Technology tag: "COM+", "EJB" or "CORBA".
+  virtual std::string kind() const = 0;
+  /// Instance name (host / server), unique in a deployment.
+  virtual std::string name() const = 0;
+
+  /// Project the native policy onto the common RBAC model.
+  virtual rbac::Policy export_policy() const = 0;
+
+  /// Commission RBAC rows into the native model (additive).
+  virtual mwsec::Result<ImportStats> import_policy(const rbac::Policy& p) = 0;
+
+  /// Withdraw one UserRole row from the native model (revocation — what
+  /// KeyCOM drives when a credential is withdrawn). Errors if the domain
+  /// is not served here or the membership does not exist.
+  virtual mwsec::Status remove_assignment(const rbac::RoleAssignment& a) = 0;
+
+  /// Native access decision: may `user` exercise `permission` on objects
+  /// of `object_type`?
+  virtual bool mediate(const std::string& user, const std::string& object_type,
+                       const std::string& permission) const = 0;
+
+  /// Interrogation: the components this system offers (Section 6).
+  virtual std::vector<Component> components() const = 0;
+};
+
+}  // namespace mwsec::middleware

@@ -1,0 +1,214 @@
+#include "middleware/corba/orb.hpp"
+
+namespace mwsec::middleware::corba {
+
+Orb::Orb(std::string machine, std::string orb_name, AuditLog* audit)
+    : machine_(std::move(machine)), orb_name_(std::move(orb_name)),
+      audit_(audit) {}
+
+mwsec::Status Orb::define_interface(InterfaceDef def) {
+  if (def.name.empty()) {
+    return Error::make("interface needs a name", "corba");
+  }
+  std::scoped_lock lock(*mu_);
+  if (!interfaces_.emplace(def.name, def).second) {
+    return Error::make("interface already defined: " + def.name, "corba");
+  }
+  return {};
+}
+
+mwsec::Result<std::string> Orb::activate_object(
+    const std::string& interface_name, Servant servant) {
+  std::scoped_lock lock(*mu_);
+  if (!interfaces_.count(interface_name)) {
+    return Error::make("unknown interface: " + interface_name, "corba");
+  }
+  std::string ior = "IOR:" + machine_ + "/" + orb_name_ + "/" +
+                    interface_name + "/" + std::to_string(next_object_id_++);
+  objects_.emplace(ior, ActiveObject{interface_name, std::move(servant)});
+  return ior;
+}
+
+mwsec::Status Orb::define_role(const std::string& role) {
+  if (role.empty()) return Error::make("role name must be non-empty", "corba");
+  std::scoped_lock lock(*mu_);
+  roles_.insert(role);
+  return {};
+}
+
+mwsec::Status Orb::grant(const std::string& role,
+                         const std::string& interface_name,
+                         const std::string& operation) {
+  std::scoped_lock lock(*mu_);
+  if (!roles_.count(role)) {
+    return Error::make("undefined role: " + role, "corba");
+  }
+  auto it = interfaces_.find(interface_name);
+  if (it == interfaces_.end()) {
+    return Error::make("unknown interface: " + interface_name, "corba");
+  }
+  if (!it->second.operations.count(operation)) {
+    return Error::make("interface " + interface_name +
+                           " has no operation " + operation,
+                       "corba");
+  }
+  grants_[role][interface_name].insert(operation);
+  return {};
+}
+
+mwsec::Status Orb::add_user_to_role(const std::string& user,
+                                    const std::string& role) {
+  if (user.empty()) return Error::make("user must be non-empty", "corba");
+  std::scoped_lock lock(*mu_);
+  if (!roles_.count(role)) {
+    return Error::make("undefined role: " + role, "corba");
+  }
+  members_[role].insert(user);
+  return {};
+}
+
+mwsec::Status Orb::remove_user_from_role(const std::string& user,
+                                         const std::string& role) {
+  std::scoped_lock lock(*mu_);
+  auto it = members_.find(role);
+  if (it == members_.end() || it->second.erase(user) == 0) {
+    return Error::make(user + " is not a member of " + role, "corba");
+  }
+  return {};
+}
+
+bool Orb::mediate_locked(const std::string& user,
+                         const std::string& interface_name,
+                         const std::string& operation) const {
+  for (const auto& [role, users] : members_) {
+    if (!users.count(user)) continue;
+    auto git = grants_.find(role);
+    if (git == grants_.end()) continue;
+    auto iit = git->second.find(interface_name);
+    if (iit == git->second.end()) continue;
+    if (iit->second.count(operation)) return true;
+  }
+  return false;
+}
+
+void Orb::record(const std::string& user, const std::string& action,
+                 bool allowed, const std::string& detail) const {
+  if (audit_ != nullptr) {
+    audit_->record(AuditEvent{name(), user, action, allowed, detail});
+  }
+}
+
+mwsec::Result<std::string> Orb::invoke(const std::string& user,
+                                       const std::string& ior,
+                                       const std::string& operation,
+                                       const std::string& args) {
+  Servant servant;
+  {
+    std::scoped_lock lock(*mu_);
+    auto it = objects_.find(ior);
+    if (it == objects_.end()) {
+      return Error::make("OBJECT_NOT_EXIST: " + ior, "corba");
+    }
+    const auto& obj = it->second;
+    auto iface = interfaces_.find(obj.interface_name);
+    if (iface == interfaces_.end() ||
+        !iface->second.operations.count(operation)) {
+      return Error::make("BAD_OPERATION: " + operation, "corba");
+    }
+    bool ok = mediate_locked(user, obj.interface_name, operation);
+    record(user, obj.interface_name + "." + operation, ok);
+    if (!ok) {
+      return Error::make("NO_PERMISSION: " + user + " may not call " +
+                             obj.interface_name + "." + operation,
+                         "denied");
+    }
+    servant = obj.servant;
+  }
+  return servant(operation, args);
+}
+
+std::vector<std::string> Orb::iors_of(const std::string& interface_name) const {
+  std::scoped_lock lock(*mu_);
+  std::vector<std::string> out;
+  for (const auto& [ior, obj] : objects_) {
+    if (obj.interface_name == interface_name) out.push_back(ior);
+  }
+  return out;
+}
+
+rbac::Policy Orb::export_policy() const {
+  std::scoped_lock lock(*mu_);
+  rbac::Policy p;
+  for (const auto& [role, ifaces] : grants_) {
+    for (const auto& [iface, ops] : ifaces) {
+      for (const auto& op : ops) {
+        p.grant(domain(), role, iface, op).ok();
+      }
+    }
+  }
+  for (const auto& [role, users] : members_) {
+    for (const auto& user : users) {
+      p.assign(user, domain(), role).ok();
+    }
+  }
+  return p;
+}
+
+mwsec::Result<ImportStats> Orb::import_policy(const rbac::Policy& p) {
+  ImportStats stats;
+  std::scoped_lock lock(*mu_);
+  for (const auto& g : p.grants()) {
+    if (g.domain != domain()) {
+      stats.skipped.push_back("grant for foreign domain " + g.domain);
+      continue;
+    }
+    // Auto-extend the interface repository: commissioning can precede the
+    // IDL being loaded.
+    InterfaceDef& def = interfaces_[g.object_type];
+    if (def.name.empty()) def.name = g.object_type;
+    def.operations.insert(g.permission);
+    roles_.insert(g.role);
+    grants_[g.role][g.object_type].insert(g.permission);
+    ++stats.grants_applied;
+  }
+  for (const auto& a : p.assignments()) {
+    if (a.domain != domain()) {
+      stats.skipped.push_back("assignment for foreign domain " + a.domain);
+      continue;
+    }
+    roles_.insert(a.role);
+    members_[a.role].insert(a.user);
+    ++stats.assignments_applied;
+  }
+  return stats;
+}
+
+mwsec::Status Orb::remove_assignment(const rbac::RoleAssignment& a) {
+  if (a.domain != domain()) {
+    return Error::make("domain " + a.domain + " is not served by " + name(),
+                       "corba");
+  }
+  return remove_user_from_role(a.user, a.role);
+}
+
+bool Orb::mediate(const std::string& user, const std::string& object_type,
+                  const std::string& permission) const {
+  std::scoped_lock lock(*mu_);
+  bool ok = mediate_locked(user, object_type, permission);
+  record(user, object_type + ":" + permission, ok, "mediate");
+  return ok;
+}
+
+std::vector<Component> Orb::components() const {
+  std::scoped_lock lock(*mu_);
+  std::vector<Component> out;
+  for (const auto& [iface_name, def] : interfaces_) {
+    for (const auto& op : def.operations) {
+      out.push_back(Component{"corba://" + name() + "/" + iface_name + "#" + op,
+                              iface_name, op, def.description});
+    }
+  }
+  return out;
+}
+
+}  // namespace mwsec::middleware::corba

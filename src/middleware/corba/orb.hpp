@@ -1,0 +1,116 @@
+// CORBA ORB simulator with a CORBASec-like access policy (Section 2; [2]).
+//
+// The paper's CORBA RBAC view: Domain = machine name + ORB server name;
+// roles unique to each domain; users members of one or many roles;
+// permissions are method calls on objects of a given interface (object
+// type).
+//
+// The simulator models: an interface repository (interface name ->
+// operations), an object adapter binding object references (IORs) to
+// servants implementing an interface, and an access policy interceptor
+// consulted on every invocation — the moral equivalent of CORBASec
+// AccessDecision.
+//
+// Mapping onto the common RBAC model:
+//   Domain     <- machine "/" orb-name
+//   Role       <- access-policy role
+//   ObjectType <- interface (repository id)
+//   Permission <- operation name
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "middleware/common/audit.hpp"
+#include "middleware/common/system.hpp"
+
+namespace mwsec::middleware::corba {
+
+/// An entry in the interface repository.
+struct InterfaceDef {
+  std::string name;  // e.g. "SalariesDB"
+  std::string description;
+  std::set<std::string> operations;
+};
+
+class Orb final : public SecuritySystem {
+ public:
+  Orb(std::string machine, std::string orb_name, AuditLog* audit = nullptr);
+
+  // --- interface repository & object adapter -----------------------------
+  mwsec::Status define_interface(InterfaceDef def);
+
+  using Servant = std::function<std::string(const std::string& operation,
+                                            const std::string& args)>;
+  /// Activate an object implementing `interface_name`; returns its IOR.
+  mwsec::Result<std::string> activate_object(const std::string& interface_name,
+                                             Servant servant);
+
+  // --- access policy ------------------------------------------------------
+  mwsec::Status define_role(const std::string& role);
+  /// Allow `role` to call `operation` on objects of `interface_name`.
+  mwsec::Status grant(const std::string& role,
+                      const std::string& interface_name,
+                      const std::string& operation);
+  mwsec::Status add_user_to_role(const std::string& user,
+                                 const std::string& role);
+  mwsec::Status remove_user_from_role(const std::string& user,
+                                      const std::string& role);
+
+  // --- invocation (IIOP stand-in) ----------------------------------------
+  /// Invoke `operation` on the object behind `ior` as `user`; the access
+  /// interceptor runs first, then the servant.
+  mwsec::Result<std::string> invoke(const std::string& user,
+                                    const std::string& ior,
+                                    const std::string& operation,
+                                    const std::string& args = {});
+
+  /// Objects currently activated for an interface.
+  std::vector<std::string> iors_of(const std::string& interface_name) const;
+
+  std::string domain() const { return machine_ + "/" + orb_name_; }
+
+  // --- SecuritySystem -------------------------------------------------------
+  std::string kind() const override { return "CORBA"; }
+  std::string name() const override { return domain(); }
+  rbac::Policy export_policy() const override;
+  mwsec::Result<ImportStats> import_policy(const rbac::Policy& p) override;
+  mwsec::Status remove_assignment(const rbac::RoleAssignment& a) override;
+  bool mediate(const std::string& user, const std::string& object_type,
+               const std::string& permission) const override;
+  std::vector<Component> components() const override;
+
+ private:
+  struct ActiveObject {
+    std::string interface_name;
+    Servant servant;
+  };
+
+  bool mediate_locked(const std::string& user,
+                      const std::string& interface_name,
+                      const std::string& operation) const;
+  void record(const std::string& user, const std::string& action, bool allowed,
+              const std::string& detail = {}) const;
+
+  std::string machine_;
+  std::string orb_name_;
+  AuditLog* audit_;
+
+  // Held behind unique_ptr so simulator instances are movable
+  // (fixtures build them in factory functions); moving while other
+  // threads hold references is, as always, a race.
+  mutable std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+  std::map<std::string, InterfaceDef> interfaces_;
+  std::map<std::string, ActiveObject> objects_;  // ior -> object
+  std::set<std::string> roles_;
+  // role -> interface -> operations
+  std::map<std::string, std::map<std::string, std::set<std::string>>> grants_;
+  std::map<std::string, std::set<std::string>> members_;  // role -> users
+  std::uint64_t next_object_id_ = 1;
+};
+
+}  // namespace mwsec::middleware::corba

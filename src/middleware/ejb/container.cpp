@@ -1,0 +1,299 @@
+#include "middleware/ejb/container.hpp"
+
+#include "util/strings.hpp"
+
+namespace mwsec::middleware::ejb {
+
+Server::Server(std::string host, std::string server_name, AuditLog* audit)
+    : host_(std::move(host)), server_name_(std::move(server_name)),
+      audit_(audit) {}
+
+mwsec::Status Server::create_container(const std::string& jndi_name) {
+  if (jndi_name.empty()) {
+    return Error::make("JNDI name must be non-empty", "ejb");
+  }
+  std::scoped_lock lock(*mu_);
+  if (!containers_.emplace(jndi_name, Container{}).second) {
+    return Error::make("JNDI name already bound: " + jndi_name, "ejb");
+  }
+  return {};
+}
+
+mwsec::Status Server::deploy(const std::string& jndi_name,
+                             BeanDescriptor bean) {
+  if (bean.bean_name.empty()) {
+    return Error::make("bean needs a name", "ejb");
+  }
+  for (const auto& [method, roles] : bean.method_permissions) {
+    for (const auto& role : roles) {
+      if (!bean.security_roles.count(role)) {
+        return Error::make("method-permission for " + bean.bean_name + "." +
+                               method + " references undeclared role " + role,
+                           "ejb");
+      }
+    }
+    (void)method;
+  }
+  std::scoped_lock lock(*mu_);
+  auto it = containers_.find(jndi_name);
+  if (it == containers_.end()) {
+    return Error::make("no container at " + jndi_name, "ejb");
+  }
+  if (!it->second.beans.emplace(bean.bean_name, bean).second) {
+    return Error::make("bean already deployed: " + bean.bean_name, "ejb");
+  }
+  return {};
+}
+
+mwsec::Status Server::register_user(const std::string& user) {
+  if (user.empty()) return Error::make("user must be non-empty", "ejb");
+  std::scoped_lock lock(*mu_);
+  users_.insert(user);
+  return {};
+}
+
+mwsec::Status Server::add_user_to_role(const std::string& user,
+                                       const std::string& jndi_name,
+                                       const std::string& role) {
+  std::scoped_lock lock(*mu_);
+  if (!users_.count(user)) {
+    return Error::make("unknown user: " + user +
+                           " (users are server-global; register first)",
+                       "ejb");
+  }
+  auto it = containers_.find(jndi_name);
+  if (it == containers_.end()) {
+    return Error::make("no container at " + jndi_name, "ejb");
+  }
+  // The role must be declared by some bean in the container.
+  bool declared = false;
+  for (const auto& [_, bean] : it->second.beans) {
+    if (bean.security_roles.count(role)) {
+      declared = true;
+      break;
+    }
+  }
+  if (!declared) {
+    return Error::make("role " + role + " is not declared by any bean in " +
+                           jndi_name,
+                       "ejb");
+  }
+  it->second.role_members[role].insert(user);
+  return {};
+}
+
+mwsec::Status Server::remove_user_from_role(const std::string& user,
+                                            const std::string& jndi_name,
+                                            const std::string& role) {
+  std::scoped_lock lock(*mu_);
+  auto it = containers_.find(jndi_name);
+  if (it == containers_.end()) {
+    return Error::make("no container at " + jndi_name, "ejb");
+  }
+  auto rit = it->second.role_members.find(role);
+  if (rit == it->second.role_members.end() || rit->second.erase(user) == 0) {
+    return Error::make(user + " is not in role " + role, "ejb");
+  }
+  return {};
+}
+
+mwsec::Status Server::install_method(const std::string& jndi_name,
+                                     const std::string& bean_name,
+                                     const std::string& method, Method impl) {
+  std::scoped_lock lock(*mu_);
+  auto it = containers_.find(jndi_name);
+  if (it == containers_.end()) {
+    return Error::make("no container at " + jndi_name, "ejb");
+  }
+  if (!it->second.beans.count(bean_name)) {
+    return Error::make("no such bean: " + bean_name, "ejb");
+  }
+  it->second.methods[bean_name][method] = std::move(impl);
+  return {};
+}
+
+bool Server::mediate_locked(const std::string& user, const Container& c,
+                            const BeanDescriptor& bean,
+                            const std::string& method) const {
+  // <unchecked/>: any authenticated (i.e. registered) user may call.
+  if (bean.unchecked_methods.count(method)) return users_.count(user) > 0;
+  auto mp = bean.method_permissions.find(method);
+  if (mp == bean.method_permissions.end()) return false;  // deny-by-default
+  for (const auto& role : mp->second) {
+    auto rm = c.role_members.find(role);
+    if (rm != c.role_members.end() && rm->second.count(user)) return true;
+  }
+  return false;
+}
+
+void Server::record(const std::string& user, const std::string& action,
+                    bool allowed, const std::string& detail) const {
+  if (audit_ != nullptr) {
+    audit_->record(AuditEvent{name(), user, action, allowed, detail});
+  }
+}
+
+mwsec::Result<std::string> Server::invoke(const std::string& user,
+                                          const std::string& jndi_name,
+                                          const std::string& bean_name,
+                                          const std::string& method,
+                                          const std::string& args) {
+  Method impl;
+  {
+    std::scoped_lock lock(*mu_);
+    auto it = containers_.find(jndi_name);
+    if (it == containers_.end()) {
+      return Error::make("javax.naming.NameNotFoundException: " + jndi_name,
+                         "ejb");
+    }
+    auto bit = it->second.beans.find(bean_name);
+    if (bit == it->second.beans.end()) {
+      return Error::make("no such bean: " + bean_name, "ejb");
+    }
+    bool ok = mediate_locked(user, it->second, bit->second, method);
+    record(user, bean_name + "." + method, ok);
+    if (!ok) {
+      return Error::make("java.rmi.AccessException: " + user +
+                             " may not call " + bean_name + "." + method,
+                         "denied");
+    }
+    auto ms = it->second.methods.find(bean_name);
+    if (ms != it->second.methods.end()) {
+      auto mi = ms->second.find(method);
+      if (mi != ms->second.end()) impl = mi->second;
+    }
+    if (!impl) {
+      return Error::make("method not installed: " + bean_name + "." + method,
+                         "ejb");
+    }
+  }
+  return impl(user, args);
+}
+
+mwsec::Result<std::vector<std::string>> Server::lookup(
+    const std::string& jndi_name) const {
+  std::scoped_lock lock(*mu_);
+  auto it = containers_.find(jndi_name);
+  if (it == containers_.end()) {
+    return Error::make("javax.naming.NameNotFoundException: " + jndi_name,
+                       "ejb");
+  }
+  std::vector<std::string> out;
+  for (const auto& [bean_name, _] : it->second.beans) out.push_back(bean_name);
+  return out;
+}
+
+std::string Server::domain_of(const std::string& jndi_name) const {
+  return host_ + "/" + server_name_ + "/" + jndi_name;
+}
+
+std::vector<std::string> Server::containers() const {
+  std::scoped_lock lock(*mu_);
+  std::vector<std::string> out;
+  for (const auto& [path, _] : containers_) out.push_back(path);
+  return out;
+}
+
+mwsec::Result<std::string> Server::container_of_domain(
+    const std::string& domain) const {
+  const std::string prefix = host_ + "/" + server_name_ + "/";
+  if (!util::starts_with(domain, prefix)) {
+    return Error::make("domain " + domain + " is not served by " + name(),
+                       "ejb");
+  }
+  return domain.substr(prefix.size());
+}
+
+rbac::Policy Server::export_policy() const {
+  std::scoped_lock lock(*mu_);
+  rbac::Policy p;
+  for (const auto& [jndi, container] : containers_) {
+    const std::string domain = host_ + "/" + server_name_ + "/" + jndi;
+    for (const auto& [bean_name, bean] : container.beans) {
+      for (const auto& [method, roles] : bean.method_permissions) {
+        for (const auto& role : roles) {
+          p.grant(domain, role, bean_name, method).ok();
+        }
+      }
+    }
+    for (const auto& [role, users] : container.role_members) {
+      for (const auto& user : users) {
+        p.assign(user, domain, role).ok();
+      }
+    }
+  }
+  return p;
+}
+
+mwsec::Result<ImportStats> Server::import_policy(const rbac::Policy& p) {
+  ImportStats stats;
+  std::scoped_lock lock(*mu_);
+  auto find_container = [&](const std::string& domain) -> Container* {
+    const std::string prefix = host_ + "/" + server_name_ + "/";
+    if (!util::starts_with(domain, prefix)) return nullptr;
+    std::string jndi = domain.substr(prefix.size());
+    // Auto-create the container: commissioning may precede deployment.
+    return &containers_[jndi];
+  };
+  for (const auto& g : p.grants()) {
+    Container* c = find_container(g.domain);
+    if (c == nullptr) {
+      stats.skipped.push_back("grant for foreign domain " + g.domain);
+      continue;
+    }
+    BeanDescriptor& bean = c->beans[g.object_type];
+    if (bean.bean_name.empty()) bean.bean_name = g.object_type;
+    bean.security_roles.insert(g.role);
+    bean.method_permissions[g.permission].insert(g.role);
+    ++stats.grants_applied;
+  }
+  for (const auto& a : p.assignments()) {
+    Container* c = find_container(a.domain);
+    if (c == nullptr) {
+      stats.skipped.push_back("assignment for foreign domain " + a.domain);
+      continue;
+    }
+    users_.insert(a.user);
+    c->role_members[a.role].insert(a.user);
+    ++stats.assignments_applied;
+  }
+  return stats;
+}
+
+mwsec::Status Server::remove_assignment(const rbac::RoleAssignment& a) {
+  auto jndi = container_of_domain(a.domain);
+  if (!jndi.ok()) return jndi.error();
+  return remove_user_from_role(a.user, *jndi, a.role);
+}
+
+bool Server::mediate(const std::string& user, const std::string& object_type,
+                     const std::string& permission) const {
+  std::scoped_lock lock(*mu_);
+  for (const auto& [_, container] : containers_) {
+    auto bit = container.beans.find(object_type);
+    if (bit == container.beans.end()) continue;
+    if (mediate_locked(user, container, bit->second, permission)) {
+      record(user, object_type + ":" + permission, true, "mediate");
+      return true;
+    }
+  }
+  record(user, object_type + ":" + permission, false, "mediate");
+  return false;
+}
+
+std::vector<Component> Server::components() const {
+  std::scoped_lock lock(*mu_);
+  std::vector<Component> out;
+  for (const auto& [jndi, container] : containers_) {
+    for (const auto& [bean_name, bean] : container.beans) {
+      for (const auto& [method, _] : bean.method_permissions) {
+        out.push_back(Component{"ejb://" + name() + "/" + jndi + "/" +
+                                    bean_name + "#" + method,
+                                bean_name, method, bean.description});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mwsec::middleware::ejb

@@ -1,0 +1,127 @@
+// Enterprise JavaBeans container simulator (Section 2 of the paper; [27]).
+//
+// The paper's EJB RBAC view: the combination of host, EJB server and the
+// bean container's JNDI name forms the Domain; roles are bean-specific on
+// each server; users exist globally per server and may belong to roles in
+// different domains; permissions are the method calls a role may make on
+// a bean.
+//
+// The simulator models a server holding a JNDI naming tree of bean
+// containers; each container holds deployed beans described by EJB 2.x
+// style deployment descriptors: declared security roles plus
+// <method-permission> entries mapping methods to the roles allowed to
+// call them.
+//
+// Mapping onto the common RBAC model:
+//   Domain     <- host "/" server "/" jndi-name
+//   Role       <- descriptor security role (container-scoped)
+//   ObjectType <- bean name
+//   Permission <- bean method name
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "middleware/common/audit.hpp"
+#include "middleware/common/system.hpp"
+
+namespace mwsec::middleware::ejb {
+
+/// Deployment descriptor for one bean (the security part of ejb-jar.xml).
+struct BeanDescriptor {
+  std::string bean_name;                      // ObjectType
+  std::string description;
+  std::set<std::string> security_roles;       // <security-role>
+  // <method-permission>: method -> roles allowed to call it.
+  std::map<std::string, std::set<std::string>> method_permissions;
+  // <unchecked/> methods: any authenticated (registered) user may call.
+  std::set<std::string> unchecked_methods;
+};
+
+class Server final : public SecuritySystem {
+ public:
+  Server(std::string host, std::string server_name, AuditLog* audit = nullptr);
+
+  // --- deployment ---------------------------------------------------------
+  /// Create a bean container bound at `jndi_name` (e.g. "ejb/payroll").
+  mwsec::Status create_container(const std::string& jndi_name);
+  /// Deploy a bean into a container; validates that every role referenced
+  /// by a method-permission is declared.
+  mwsec::Status deploy(const std::string& jndi_name, BeanDescriptor bean);
+
+  /// Server-global user registry.
+  mwsec::Status register_user(const std::string& user);
+  /// Put a user into a role of the container at `jndi_name`.
+  mwsec::Status add_user_to_role(const std::string& user,
+                                 const std::string& jndi_name,
+                                 const std::string& role);
+  mwsec::Status remove_user_from_role(const std::string& user,
+                                      const std::string& jndi_name,
+                                      const std::string& role);
+
+  using Method = std::function<std::string(const std::string& user,
+                                           const std::string& args)>;
+  mwsec::Status install_method(const std::string& jndi_name,
+                               const std::string& bean_name,
+                               const std::string& method, Method impl);
+
+  // --- invocation ---------------------------------------------------------
+  /// Container-managed invocation: JNDI lookup, method-permission check,
+  /// then the bean method runs.
+  mwsec::Result<std::string> invoke(const std::string& user,
+                                    const std::string& jndi_name,
+                                    const std::string& bean_name,
+                                    const std::string& method,
+                                    const std::string& args = {});
+
+  /// JNDI lookup: bean names bound under a container path.
+  mwsec::Result<std::vector<std::string>> lookup(
+      const std::string& jndi_name) const;
+
+  /// The RBAC domain name for one of this server's containers.
+  std::string domain_of(const std::string& jndi_name) const;
+  std::vector<std::string> containers() const;
+
+  // --- SecuritySystem -------------------------------------------------------
+  std::string kind() const override { return "EJB"; }
+  std::string name() const override { return host_ + "/" + server_name_; }
+  rbac::Policy export_policy() const override;
+  mwsec::Result<ImportStats> import_policy(const rbac::Policy& p) override;
+  mwsec::Status remove_assignment(const rbac::RoleAssignment& a) override;
+  bool mediate(const std::string& user, const std::string& object_type,
+               const std::string& permission) const override;
+  std::vector<Component> components() const override;
+
+ private:
+  struct Container {
+    std::map<std::string, BeanDescriptor> beans;
+    std::map<std::string, std::set<std::string>> role_members;  // role->users
+    std::map<std::string, std::map<std::string, Method>> methods;  // bean->m
+  };
+
+  bool mediate_locked(const std::string& user, const Container& c,
+                      const BeanDescriptor& bean,
+                      const std::string& method) const;
+  void record(const std::string& user, const std::string& action, bool allowed,
+              const std::string& detail = {}) const;
+  /// Reverse of domain_of: container path if `domain` names one of ours.
+  mwsec::Result<std::string> container_of_domain(
+      const std::string& domain) const;
+
+  std::string host_;
+  std::string server_name_;
+  AuditLog* audit_;
+
+  // Held behind unique_ptr so simulator instances are movable
+  // (fixtures build them in factory functions); moving while other
+  // threads hold references is, as always, a race.
+  mutable std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+  std::set<std::string> users_;
+  std::map<std::string, Container> containers_;  // jndi path -> container
+};
+
+}  // namespace mwsec::middleware::ejb

@@ -1,0 +1,134 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "util/result.hpp"
+
+namespace mwsec::net {
+
+Endpoint::~Endpoint() { close(); }
+
+std::optional<Message> Endpoint::receive(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  cv_.wait_for(lock, timeout, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+std::optional<Message> Endpoint::try_receive() {
+  std::scoped_lock lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+mwsec::Status Endpoint::send(const std::string& to, const std::string& subject,
+                             util::Bytes payload) {
+  Message m;
+  m.from = name_;
+  m.to = to;
+  m.subject = subject;
+  m.payload = std::move(payload);
+  return network_->send(std::move(m));
+}
+
+std::size_t Endpoint::pending() const {
+  std::scoped_lock lock(mu_);
+  return queue_.size();
+}
+
+void Endpoint::close() {
+  std::scoped_lock lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool Endpoint::closed() const {
+  std::scoped_lock lock(mu_);
+  return closed_;
+}
+
+void Endpoint::deliver(Message m) {
+  std::scoped_lock lock(mu_);
+  if (closed_) return;
+  queue_.push_back(std::move(m));
+  cv_.notify_one();
+}
+
+Network::Network(Options options) : options_(options), rng_(options.seed) {}
+
+mwsec::Result<std::shared_ptr<Endpoint>> Network::open(
+    const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto it = endpoints_.find(name);
+  if (it != endpoints_.end() && !it->second.expired()) {
+    return Error::make("endpoint name already bound: " + name, "net");
+  }
+  std::shared_ptr<Endpoint> ep(new Endpoint(this, name));
+  endpoints_[name] = ep;
+  return ep;
+}
+
+mwsec::Status Network::send(Message m) {
+  std::shared_ptr<Endpoint> dest;
+  {
+    std::scoped_lock lock(mu_);
+    ++stats_.sent;
+    stats_.bytes += m.payload.size();
+    m.id = next_id_++;
+
+    auto key = std::minmax(m.from, m.to);
+    if (partitions_.count({key.first, key.second})) {
+      ++stats_.partitioned;
+      return Error::make("link partitioned: " + m.from + " <-> " + m.to,
+                         "net");
+    }
+    if (options_.drop_probability > 0.0 &&
+        rng_.chance(options_.drop_probability)) {
+      ++stats_.dropped;
+      return {};  // silently lost, as real networks do
+    }
+    auto it = endpoints_.find(m.to);
+    if (it != endpoints_.end()) dest = it->second.lock();
+    if (dest == nullptr || dest->closed()) {
+      ++stats_.undeliverable;
+      return Error::make("no such endpoint: " + m.to, "net");
+    }
+    ++stats_.delivered;
+  }
+  dest->deliver(std::move(m));
+  return {};
+}
+
+void Network::set_partitioned(const std::string& a, const std::string& b,
+                              bool partitioned) {
+  std::scoped_lock lock(mu_);
+  auto key = std::minmax(a, b);
+  if (partitioned) {
+    partitions_.insert({key.first, key.second});
+  } else {
+    partitions_.erase({key.first, key.second});
+  }
+}
+
+void Network::kill(const std::string& name) {
+  std::shared_ptr<Endpoint> ep;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = endpoints_.find(name);
+    if (it == endpoints_.end()) return;
+    ep = it->second.lock();
+    endpoints_.erase(it);
+  }
+  if (ep) ep->close();
+}
+
+Network::Stats Network::stats() const {
+  std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace mwsec::net

@@ -1,0 +1,116 @@
+// In-process message network (DESIGN.md §2: the stand-in for IIOP/DCOM
+// RPC and WebCom's master/client links).
+//
+// MPI-style semantics, per the hpc-parallel guides: named endpoints own a
+// mailbox; send() transfers ownership of a serialised payload into the
+// destination's queue; receive() blocks with a deadline. Failure injection
+// — message drop probability and explicit link partitions — models the
+// "untrusted network" of Figure 3 and drives the scheduler's
+// fault-tolerance tests.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "util/byte_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace mwsec::net {
+
+struct Message {
+  std::string from;
+  std::string to;
+  std::string subject;  ///< message type tag, e.g. "task", "task-result"
+  util::Bytes payload;
+  std::uint64_t id = 0;  ///< assigned by the network on send
+};
+
+class Network;
+
+/// A mailbox bound to a name on the network. Closed on destruction.
+class Endpoint {
+ public:
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Blocking receive; std::nullopt on deadline expiry or endpoint close.
+  std::optional<Message> receive(std::chrono::milliseconds timeout);
+  /// Non-blocking receive.
+  std::optional<Message> try_receive();
+  /// Convenience: send from this endpoint.
+  mwsec::Status send(const std::string& to, const std::string& subject,
+                     util::Bytes payload);
+
+  std::size_t pending() const;
+  /// Stop accepting and wake blocked receivers.
+  void close();
+  bool closed() const;
+
+ private:
+  friend class Network;
+  Endpoint(Network* network, std::string name)
+      : network_(network), name_(std::move(name)) {}
+  void deliver(Message m);
+
+  Network* network_;
+  std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+class Network {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    double drop_probability = 0.0;  ///< uniform message loss
+  };
+  Network() : Network(Options{}) {}
+  explicit Network(Options options);
+
+  /// Bind a new endpoint; name must be unused.
+  mwsec::Result<std::shared_ptr<Endpoint>> open(const std::string& name);
+
+  /// Deliver (or drop) a message. Errors on unknown/closed destination.
+  mwsec::Status send(Message m);
+
+  /// Sever / restore the (bidirectional) link between two endpoints.
+  void set_partitioned(const std::string& a, const std::string& b,
+                       bool partitioned);
+  /// Take an endpoint off the network entirely (crash simulation).
+  void kill(const std::string& name);
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;       // random loss
+    std::uint64_t partitioned = 0;   // blocked by partition
+    std::uint64_t undeliverable = 0; // unknown/closed destination
+    std::uint64_t bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  Options options_;
+  util::Rng rng_;
+  std::map<std::string, std::weak_ptr<Endpoint>> endpoints_;
+  std::set<std::pair<std::string, std::string>> partitions_;
+  Stats stats_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace mwsec::net

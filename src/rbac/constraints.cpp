@@ -1,0 +1,69 @@
+#include "rbac/constraints.hpp"
+
+#include <tuple>
+
+namespace mwsec::rbac {
+
+namespace {
+ExclusionPair canonical(std::string da, std::string ra, std::string db,
+                        std::string rb) {
+  if (std::tie(db, rb) < std::tie(da, ra)) {
+    return ExclusionPair{std::move(db), std::move(rb), std::move(da),
+                         std::move(ra)};
+  }
+  return ExclusionPair{std::move(da), std::move(ra), std::move(db),
+                       std::move(rb)};
+}
+}  // namespace
+
+mwsec::Status SodConstraints::add_exclusion(std::string da, std::string ra,
+                                            std::string db, std::string rb) {
+  if (da == db && ra == rb) {
+    return Error::make("a role cannot exclude itself", "rbac");
+  }
+  pairs_.insert(canonical(std::move(da), std::move(ra), std::move(db),
+                          std::move(rb)));
+  return {};
+}
+
+bool SodConstraints::excludes(const std::string& da, const std::string& ra,
+                              const std::string& db,
+                              const std::string& rb) const {
+  return pairs_.count(canonical(da, ra, db, rb)) > 0;
+}
+
+mwsec::Status SodConstraints::check_assignment(const Policy& policy,
+                                               const std::string& user,
+                                               const std::string& domain,
+                                               const std::string& role) const {
+  for (const auto& existing : policy.assignments_of(user)) {
+    if (excludes(existing.domain, existing.role, domain, role)) {
+      return Error::make("separation of duty: " + user + " already holds " +
+                             existing.domain + "/" + existing.role +
+                             ", exclusive with " + domain + "/" + role,
+                         "sod");
+    }
+  }
+  return {};
+}
+
+std::vector<std::string> SodConstraints::violations(
+    const Policy& policy) const {
+  std::vector<std::string> out;
+  for (const auto& user : policy.users()) {
+    auto memberships = policy.assignments_of(user);
+    for (std::size_t i = 0; i < memberships.size(); ++i) {
+      for (std::size_t j = i + 1; j < memberships.size(); ++j) {
+        const auto& a = memberships[i];
+        const auto& b = memberships[j];
+        if (excludes(a.domain, a.role, b.domain, b.role)) {
+          out.push_back(user + ": " + a.domain + "/" + a.role + " conflicts " +
+                        b.domain + "/" + b.role);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mwsec::rbac

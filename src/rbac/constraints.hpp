@@ -1,0 +1,49 @@
+// Separation-of-duty constraints (RBAC2): pairs of roles no single user may
+// hold together (static SoD) or activate together in one session (dynamic
+// SoD, enforced by rbac::SessionManager).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rbac/model.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::rbac {
+
+struct ExclusionPair {
+  std::string domain_a;
+  std::string role_a;
+  std::string domain_b;
+  std::string role_b;
+
+  auto operator<=>(const ExclusionPair&) const = default;
+};
+
+class SodConstraints {
+ public:
+  /// Declare (da, ra) and (db, rb) mutually exclusive. Stored in a
+  /// canonical order so the pair is symmetric.
+  mwsec::Status add_exclusion(std::string da, std::string ra, std::string db,
+                              std::string rb);
+
+  bool excludes(const std::string& da, const std::string& ra,
+                const std::string& db, const std::string& rb) const;
+
+  /// Would assigning `user` to (domain, role) violate static SoD given the
+  /// user's current memberships in `policy`?
+  mwsec::Status check_assignment(const Policy& policy, const std::string& user,
+                                 const std::string& domain,
+                                 const std::string& role) const;
+
+  /// Audit an entire policy: every (user, role-pair) violation found.
+  std::vector<std::string> violations(const Policy& policy) const;
+
+  const std::set<ExclusionPair>& exclusions() const { return pairs_; }
+
+ private:
+  std::set<ExclusionPair> pairs_;
+};
+
+}  // namespace mwsec::rbac

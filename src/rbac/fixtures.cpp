@@ -1,0 +1,49 @@
+#include "rbac/fixtures.hpp"
+
+namespace mwsec::rbac {
+
+Policy salaries_policy() {
+  Policy p;
+  const char* kObj = "SalariesDB";
+  p.grant("Finance", "Clerk", kObj, "write").ok();
+  p.grant("Finance", "Manager", kObj, "read").ok();
+  p.grant("Finance", "Manager", kObj, "write").ok();
+  p.grant("Sales", "Manager", kObj, "read").ok();
+  // Sales/Assistant appears only in UserRole: "no access" in Figure 1.
+  p.assign("Alice", "Finance", "Clerk").ok();
+  p.assign("Bob", "Finance", "Manager").ok();
+  p.assign("Claire", "Sales", "Manager").ok();
+  p.assign("Dave", "Sales", "Assistant").ok();
+  p.assign("Elaine", "Sales", "Manager").ok();
+  return p;
+}
+
+Policy synthetic_policy(const SyntheticSpec& spec, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Policy p;
+  static const char* kPermissions[] = {"read",   "write", "create",
+                                       "delete", "launch", "access"};
+  for (std::size_t d = 0; d < spec.domains; ++d) {
+    std::string domain = "dom" + std::to_string(d);
+    for (std::size_t r = 0; r < spec.roles_per_domain; ++r) {
+      std::string role = "role" + std::to_string(r);
+      for (std::size_t g = 0; g < spec.permissions_per_role; ++g) {
+        std::string object_type =
+            "obj" + std::to_string(rng.below(spec.object_types));
+        const char* perm = kPermissions[rng.below(std::size(kPermissions))];
+        p.grant(domain, role, object_type, perm).ok();
+      }
+    }
+  }
+  for (std::size_t u = 0; u < spec.users; ++u) {
+    std::string user = "user" + std::to_string(u);
+    for (std::size_t r = 0; r < spec.roles_per_user; ++r) {
+      std::string domain = "dom" + std::to_string(rng.below(spec.domains));
+      std::string role = "role" + std::to_string(rng.below(spec.roles_per_domain));
+      p.assign(user, domain, role).ok();
+    }
+  }
+  return p;
+}
+
+}  // namespace mwsec::rbac

@@ -1,0 +1,32 @@
+// Shared policy fixtures: the paper's Figure 1 Salaries Database policy
+// and a seeded synthetic policy generator for tests and benchmarks.
+#pragma once
+
+#include "rbac/model.hpp"
+#include "util/rng.hpp"
+
+namespace mwsec::rbac {
+
+/// The exact RBAC relations of Figure 1:
+///   HasPermission: Finance/Clerk: write, Finance/Manager: read+write,
+///                  Sales/Manager: read   (Sales/Assistant: no access)
+///   UserRole:      Alice=Finance/Clerk, Bob=Finance/Manager,
+///                  Claire=Sales/Manager, Dave=Sales/Assistant,
+///                  Elaine=Sales/Manager
+/// All permissions are on ObjectType "SalariesDB".
+Policy salaries_policy();
+
+/// Parameters for the synthetic workload generator used by the benches.
+struct SyntheticSpec {
+  std::size_t domains = 4;
+  std::size_t roles_per_domain = 8;
+  std::size_t object_types = 4;
+  std::size_t permissions_per_role = 3;  // grants drawn per (domain, role)
+  std::size_t users = 100;
+  std::size_t roles_per_user = 2;
+};
+
+/// Deterministic random policy of the given shape.
+Policy synthetic_policy(const SyntheticSpec& spec, std::uint64_t seed);
+
+}  // namespace mwsec::rbac

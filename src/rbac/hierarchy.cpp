@@ -1,0 +1,94 @@
+#include "rbac/hierarchy.hpp"
+
+#include <deque>
+
+namespace mwsec::rbac {
+
+bool RoleHierarchy::reaches(const Key& from, const Key& to) const {
+  if (from == to) return true;
+  std::deque<Key> frontier{from};
+  std::set<std::string> visited{from.role};
+  while (!frontier.empty()) {
+    Key cur = frontier.front();
+    frontier.pop_front();
+    auto it = edges_.find(cur);
+    if (it == edges_.end()) continue;
+    for (const auto& junior : it->second) {
+      if (junior == to.role && cur.domain == to.domain) return true;
+      if (visited.insert(junior).second) {
+        frontier.push_back(Key{cur.domain, junior});
+      }
+    }
+  }
+  return false;
+}
+
+mwsec::Status RoleHierarchy::add_inheritance(const std::string& domain,
+                                             const std::string& senior,
+                                             const std::string& junior) {
+  if (senior == junior) {
+    return Error::make("a role cannot inherit from itself", "rbac");
+  }
+  // Adding senior->junior creates a cycle iff junior already reaches senior.
+  if (reaches(Key{domain, junior}, Key{domain, senior})) {
+    return Error::make("inheritance would create a cycle: " + domain + "/" +
+                           senior + " -> " + junior,
+                       "rbac");
+  }
+  edges_[Key{domain, senior}].insert(junior);
+  return {};
+}
+
+bool RoleHierarchy::remove_inheritance(const std::string& domain,
+                                       const std::string& senior,
+                                       const std::string& junior) {
+  auto it = edges_.find(Key{domain, senior});
+  if (it == edges_.end()) return false;
+  bool erased = it->second.erase(junior) > 0;
+  if (it->second.empty()) edges_.erase(it);
+  return erased;
+}
+
+std::vector<std::string> RoleHierarchy::reachable_juniors(
+    const std::string& domain, const std::string& role) const {
+  std::set<std::string> visited{role};
+  std::deque<std::string> frontier{role};
+  while (!frontier.empty()) {
+    std::string cur = frontier.front();
+    frontier.pop_front();
+    auto it = edges_.find(Key{domain, cur});
+    if (it == edges_.end()) continue;
+    for (const auto& junior : it->second) {
+      if (visited.insert(junior).second) frontier.push_back(junior);
+    }
+  }
+  return {visited.begin(), visited.end()};
+}
+
+bool RoleHierarchy::check(const Policy& policy,
+                          const AccessRequest& request) const {
+  for (const auto& a : policy.assignments_of(request.user)) {
+    for (const auto& role : reachable_juniors(a.domain, a.role)) {
+      if (policy.has_permission(a.domain, role, request.object_type,
+                                request.permission)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Policy RoleHierarchy::flatten(const Policy& policy) const {
+  Policy out = policy;
+  for (const auto& [senior, _] : edges_) {
+    for (const auto& junior : reachable_juniors(senior.domain, senior.role)) {
+      for (const auto& g : policy.grants_of(senior.domain, junior)) {
+        out.grant(senior.domain, senior.role, g.object_type, g.permission)
+            .ok();
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mwsec::rbac

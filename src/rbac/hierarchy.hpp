@@ -1,0 +1,53 @@
+// Role hierarchies (RBAC1 of Sandhu et al. [26], an extension the paper's
+// base model omits but every middleware eventually wants): a senior role
+// inherits all permissions of its juniors within the same domain.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rbac/model.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::rbac {
+
+class RoleHierarchy {
+ public:
+  /// Declare that (domain, senior) inherits from (domain, junior).
+  /// Rejected if it would create a cycle.
+  mwsec::Status add_inheritance(const std::string& domain,
+                                const std::string& senior,
+                                const std::string& junior);
+  bool remove_inheritance(const std::string& domain, const std::string& senior,
+                          const std::string& junior);
+
+  /// The junior roles (domain-local) a role inherits from, transitively,
+  /// including the role itself.
+  std::vector<std::string> reachable_juniors(const std::string& domain,
+                                             const std::string& role) const;
+
+  /// Decision with inheritance: user has permission if any role reachable
+  /// (downwards) from one of their assigned roles carries it.
+  bool check(const Policy& policy, const AccessRequest& request) const;
+
+  /// Flatten: produce an equivalent Policy with inheritance compiled away
+  /// (each senior role receives explicit copies of inherited grants).
+  /// Used before translating to middlewares that lack hierarchies.
+  Policy flatten(const Policy& policy) const;
+
+  bool empty() const { return edges_.empty(); }
+
+ private:
+  struct Key {
+    std::string domain;
+    std::string role;
+    auto operator<=>(const Key&) const = default;
+  };
+  bool reaches(const Key& from, const Key& to) const;
+
+  std::map<Key, std::set<std::string>> edges_;  // senior -> juniors
+};
+
+}  // namespace mwsec::rbac

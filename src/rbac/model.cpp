@@ -1,0 +1,270 @@
+#include "rbac/model.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mwsec::rbac {
+
+namespace {
+mwsec::Status require_nonempty(std::initializer_list<const std::string*> parts,
+                               const char* what) {
+  for (const std::string* p : parts) {
+    if (p->empty()) {
+      return Error::make(std::string(what) + " has an empty component",
+                         "rbac");
+    }
+  }
+  return {};
+}
+}  // namespace
+
+mwsec::Status Policy::grant(PermissionGrant g) {
+  if (auto s = require_nonempty(
+          {&g.domain, &g.role, &g.object_type, &g.permission},
+          "permission grant");
+      !s.ok()) {
+    return s;
+  }
+  grants_.insert(std::move(g));
+  return {};
+}
+
+mwsec::Status Policy::grant(std::string domain, std::string role,
+                            std::string object_type, std::string permission) {
+  return grant(PermissionGrant{std::move(domain), std::move(role),
+                               std::move(object_type), std::move(permission)});
+}
+
+bool Policy::revoke_grant(const PermissionGrant& g) {
+  return grants_.erase(g) > 0;
+}
+
+mwsec::Status Policy::assign(RoleAssignment a) {
+  if (auto s = require_nonempty({&a.domain, &a.role, &a.user},
+                                "role assignment");
+      !s.ok()) {
+    return s;
+  }
+  assignments_.insert(std::move(a));
+  return {};
+}
+
+mwsec::Status Policy::assign(std::string user, std::string domain,
+                             std::string role) {
+  return assign(RoleAssignment{std::move(domain), std::move(role),
+                               std::move(user)});
+}
+
+bool Policy::revoke_assignment(const RoleAssignment& a) {
+  return assignments_.erase(a) > 0;
+}
+
+std::size_t Policy::remove_user(const std::string& user) {
+  return std::erase_if(assignments_, [&](const RoleAssignment& a) {
+    return a.user == user;
+  });
+}
+
+std::size_t Policy::remove_role(const std::string& domain,
+                                const std::string& role) {
+  std::size_t n = std::erase_if(grants_, [&](const PermissionGrant& g) {
+    return g.domain == domain && g.role == role;
+  });
+  n += std::erase_if(assignments_, [&](const RoleAssignment& a) {
+    return a.domain == domain && a.role == role;
+  });
+  return n;
+}
+
+bool Policy::has_permission(const std::string& domain, const std::string& role,
+                            const std::string& object_type,
+                            const std::string& permission) const {
+  return grants_.count({domain, role, object_type, permission}) > 0;
+}
+
+bool Policy::user_in_role(const std::string& user, const std::string& domain,
+                          const std::string& role) const {
+  return assignments_.count({domain, role, user}) > 0;
+}
+
+bool Policy::check(const AccessRequest& request) const {
+  for (const auto& a : assignments_) {
+    if (a.user != request.user) continue;
+    if (grants_.count(
+            {a.domain, a.role, request.object_type, request.permission})) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> Policy::domains() const {
+  std::set<std::string> out;
+  for (const auto& g : grants_) out.insert(g.domain);
+  for (const auto& a : assignments_) out.insert(a.domain);
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::string> Policy::roles_in(const std::string& domain) const {
+  std::set<std::string> out;
+  for (const auto& g : grants_) {
+    if (g.domain == domain) out.insert(g.role);
+  }
+  for (const auto& a : assignments_) {
+    if (a.domain == domain) out.insert(a.role);
+  }
+  return {out.begin(), out.end()};
+}
+
+std::vector<std::string> Policy::users() const {
+  std::set<std::string> out;
+  for (const auto& a : assignments_) out.insert(a.user);
+  return {out.begin(), out.end()};
+}
+
+std::vector<RoleAssignment> Policy::assignments_of(
+    const std::string& user) const {
+  std::vector<RoleAssignment> out;
+  for (const auto& a : assignments_) {
+    if (a.user == user) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<PermissionGrant> Policy::grants_of(const std::string& domain,
+                                               const std::string& role) const {
+  std::vector<PermissionGrant> out;
+  for (const auto& g : grants_) {
+    if (g.domain == domain && g.role == role) out.push_back(g);
+  }
+  return out;
+}
+
+std::vector<std::string> Policy::object_types() const {
+  std::set<std::string> out;
+  for (const auto& g : grants_) out.insert(g.object_type);
+  return {out.begin(), out.end()};
+}
+
+Policy Policy::merge(const Policy& a, const Policy& b) {
+  Policy out = a;
+  out.grants_.insert(b.grants_.begin(), b.grants_.end());
+  out.assignments_.insert(b.assignments_.begin(), b.assignments_.end());
+  return out;
+}
+
+Policy::Diff Policy::diff(const Policy& from, const Policy& to) {
+  Diff d;
+  std::set_difference(to.grants_.begin(), to.grants_.end(),
+                      from.grants_.begin(), from.grants_.end(),
+                      std::back_inserter(d.grants_added));
+  std::set_difference(from.grants_.begin(), from.grants_.end(),
+                      to.grants_.begin(), to.grants_.end(),
+                      std::back_inserter(d.grants_removed));
+  std::set_difference(to.assignments_.begin(), to.assignments_.end(),
+                      from.assignments_.begin(), from.assignments_.end(),
+                      std::back_inserter(d.assignments_added));
+  std::set_difference(from.assignments_.begin(), from.assignments_.end(),
+                      to.assignments_.begin(), to.assignments_.end(),
+                      std::back_inserter(d.assignments_removed));
+  return d;
+}
+
+std::string Policy::to_table() const {
+  std::ostringstream os;
+  os << "HasPermission (Domain, Role, ObjectType, Permission):\n";
+  for (const auto& g : grants_) {
+    os << "  " << g.domain << " | " << g.role << " | " << g.object_type
+       << " | " << g.permission << "\n";
+  }
+  os << "UserRole (Domain, Role, User):\n";
+  for (const auto& a : assignments_) {
+    os << "  " << a.domain << " | " << a.role << " | " << a.user << "\n";
+  }
+  return os.str();
+}
+
+mwsec::Result<Policy> Policy::parse_table(std::string_view text) {
+  Policy p;
+  enum class Section { kNone, kGrants, kAssignments } section = Section::kNone;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    std::string_view line = text.substr(
+        start, end == std::string_view::npos ? std::string_view::npos
+                                             : end - start);
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    ++line_no;
+    std::string_view trimmed = line;
+    while (!trimmed.empty() && (trimmed.front() == ' ' || trimmed.front() == '\t')) {
+      trimmed.remove_prefix(1);
+    }
+    while (!trimmed.empty() &&
+           (trimmed.back() == ' ' || trimmed.back() == '\r')) {
+      trimmed.remove_suffix(1);
+    }
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    if (trimmed.rfind("HasPermission", 0) == 0) {
+      section = Section::kGrants;
+      continue;
+    }
+    if (trimmed.rfind("UserRole", 0) == 0) {
+      section = Section::kAssignments;
+      continue;
+    }
+    // A data row: fields separated by '|'.
+    std::vector<std::string> fields;
+    std::size_t fstart = 0;
+    std::string row(trimmed);
+    while (true) {
+      std::size_t bar = row.find('|', fstart);
+      std::string field = row.substr(
+          fstart, bar == std::string::npos ? std::string::npos : bar - fstart);
+      // Trim the field.
+      std::size_t b = field.find_first_not_of(" \t");
+      std::size_t e = field.find_last_not_of(" \t");
+      fields.push_back(b == std::string::npos
+                           ? std::string()
+                           : field.substr(b, e - b + 1));
+      if (bar == std::string::npos) break;
+      fstart = bar + 1;
+    }
+    switch (section) {
+      case Section::kNone:
+        return Error::make("line " + std::to_string(line_no) +
+                               ": data before a section header",
+                           "rbac");
+      case Section::kGrants: {
+        if (fields.size() != 4) {
+          return Error::make("line " + std::to_string(line_no) +
+                                 ": HasPermission rows need 4 fields",
+                             "rbac");
+        }
+        if (auto s = p.grant(fields[0], fields[1], fields[2], fields[3]);
+            !s.ok()) {
+          return Error::make("line " + std::to_string(line_no) + ": " +
+                                 s.error().message,
+                             "rbac");
+        }
+        break;
+      }
+      case Section::kAssignments: {
+        if (fields.size() != 3) {
+          return Error::make("line " + std::to_string(line_no) +
+                                 ": UserRole rows need 3 fields",
+                             "rbac");
+        }
+        if (auto s = p.assign(fields[2], fields[0], fields[1]); !s.ok()) {
+          return Error::make("line " + std::to_string(line_no) + ": " +
+                                 s.error().message,
+                             "rbac");
+        }
+        break;
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace mwsec::rbac

@@ -1,0 +1,127 @@
+// The common RBAC model of Section 2 of the paper.
+//
+// RBAC is defined over Users, Roles and Permissions, extended with Domain
+// (a logical grouping of roles — department, NT domain, EJB container...)
+// and ObjectType (the kind of object a permission applies to). A policy is
+// two relations:
+//
+//   HasPermission ⊆ Domain × Role × ObjectType × Permission
+//   UserRole      ⊆ Domain × Role × User
+//
+// This is the interlingua every middleware policy is mapped into and out
+// of (translate/), and the vocabulary of the KeyNote encoding (Figure 5).
+#pragma once
+
+#include <compare>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace mwsec::rbac {
+
+/// One row of the HasPermission relation: (domain, role) holds
+/// `permission` over objects of `object_type`.
+struct PermissionGrant {
+  std::string domain;
+  std::string role;
+  std::string object_type;
+  std::string permission;
+
+  auto operator<=>(const PermissionGrant&) const = default;
+};
+
+/// One row of the UserRole relation: `user` is a member of (domain, role).
+struct RoleAssignment {
+  std::string domain;
+  std::string role;
+  std::string user;
+
+  auto operator<=>(const RoleAssignment&) const = default;
+};
+
+/// An access request to decide: may `user` exercise `permission` on
+/// objects of `object_type`?
+struct AccessRequest {
+  std::string user;
+  std::string object_type;
+  std::string permission;
+};
+
+class Policy {
+ public:
+  // --- administration ------------------------------------------------------
+  /// Add a HasPermission row. Rejects rows with empty components.
+  mwsec::Status grant(PermissionGrant g);
+  mwsec::Status grant(std::string domain, std::string role,
+                      std::string object_type, std::string permission);
+  /// Remove a row; returns false if it was absent.
+  bool revoke_grant(const PermissionGrant& g);
+
+  /// Add a UserRole row. The (domain, role) pair need not already appear
+  /// in HasPermission — a role may exist with no permissions yet.
+  mwsec::Status assign(RoleAssignment a);
+  mwsec::Status assign(std::string user, std::string domain, std::string role);
+  bool revoke_assignment(const RoleAssignment& a);
+
+  /// Remove a user everywhere (the "revoke an individual's rights without
+  /// touching objects" operation RBAC is praised for in Section 2).
+  std::size_t remove_user(const std::string& user);
+  /// Drop a role: its grants and memberships.
+  std::size_t remove_role(const std::string& domain, const std::string& role);
+
+  // --- queries --------------------------------------------------------------
+  bool has_permission(const std::string& domain, const std::string& role,
+                      const std::string& object_type,
+                      const std::string& permission) const;
+  bool user_in_role(const std::string& user, const std::string& domain,
+                    const std::string& role) const;
+  /// Decision for an access request: true iff some role membership of the
+  /// user carries the permission.
+  bool check(const AccessRequest& request) const;
+
+  std::vector<std::string> domains() const;
+  std::vector<std::string> roles_in(const std::string& domain) const;
+  std::vector<std::string> users() const;
+  std::vector<RoleAssignment> assignments_of(const std::string& user) const;
+  std::vector<PermissionGrant> grants_of(const std::string& domain,
+                                         const std::string& role) const;
+  std::vector<std::string> object_types() const;
+
+  const std::set<PermissionGrant>& grants() const { return grants_; }
+  const std::set<RoleAssignment>& assignments() const { return assignments_; }
+  bool empty() const { return grants_.empty() && assignments_.empty(); }
+
+  bool operator==(const Policy& o) const = default;
+
+  // --- composition ----------------------------------------------------------
+  /// Union of both policies' relations.
+  static Policy merge(const Policy& a, const Policy& b);
+
+  struct Diff {
+    std::vector<PermissionGrant> grants_added;
+    std::vector<PermissionGrant> grants_removed;
+    std::vector<RoleAssignment> assignments_added;
+    std::vector<RoleAssignment> assignments_removed;
+    bool empty() const {
+      return grants_added.empty() && grants_removed.empty() &&
+             assignments_added.empty() && assignments_removed.empty();
+    }
+  };
+  /// Changes needed to turn `from` into `to`.
+  static Diff diff(const Policy& from, const Policy& to);
+
+  // --- presentation ---------------------------------------------------------
+  /// Render both relations in the two-table layout of Figure 1.
+  std::string to_table() const;
+  /// Parse the to_table() format back into a Policy (used by the CLI
+  /// tools to read policy files).
+  static mwsec::Result<Policy> parse_table(std::string_view text);
+
+ private:
+  std::set<PermissionGrant> grants_;
+  std::set<RoleAssignment> assignments_;
+};
+
+}  // namespace mwsec::rbac

@@ -1,0 +1,85 @@
+#include "rbac/sessions.hpp"
+
+namespace mwsec::rbac {
+
+SessionId SessionManager::open(std::string user) {
+  std::scoped_lock lock(mu_);
+  SessionId id = next_id_++;
+  sessions_[id] = State{std::move(user), {}};
+  return id;
+}
+
+mwsec::Status SessionManager::activate(SessionId id, const std::string& domain,
+                                       const std::string& role) {
+  std::scoped_lock lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return Error::make("unknown session", "session");
+  State& st = it->second;
+  if (!policy_.user_in_role(st.user, domain, role)) {
+    return Error::make(st.user + " is not a member of " + domain + "/" + role,
+                       "session");
+  }
+  if (dynamic_sod_ != nullptr) {
+    for (const auto& [ad, ar] : st.active) {
+      if (dynamic_sod_->excludes(ad, ar, domain, role)) {
+        return Error::make("dynamic separation of duty: " + ad + "/" + ar +
+                               " is active and exclusive with " + domain +
+                               "/" + role,
+                           "sod");
+      }
+    }
+  }
+  st.active.emplace(domain, role);
+  return {};
+}
+
+mwsec::Status SessionManager::deactivate(SessionId id,
+                                         const std::string& domain,
+                                         const std::string& role) {
+  std::scoped_lock lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return Error::make("unknown session", "session");
+  if (it->second.active.erase({domain, role}) == 0) {
+    return Error::make("role not active", "session");
+  }
+  return {};
+}
+
+bool SessionManager::check(SessionId id, const std::string& object_type,
+                           const std::string& permission) const {
+  std::scoped_lock lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  for (const auto& [domain, role] : it->second.active) {
+    if (policy_.has_permission(domain, role, object_type, permission)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<RoleAssignment> SessionManager::active_roles(SessionId id) const {
+  std::scoped_lock lock(mu_);
+  std::vector<RoleAssignment> out;
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return out;
+  for (const auto& [domain, role] : it->second.active) {
+    out.push_back(RoleAssignment{domain, role, it->second.user});
+  }
+  return out;
+}
+
+mwsec::Status SessionManager::close(SessionId id) {
+  std::scoped_lock lock(mu_);
+  if (sessions_.erase(id) == 0) {
+    return Error::make("unknown session", "session");
+  }
+  return {};
+}
+
+std::size_t SessionManager::open_count() const {
+  std::scoped_lock lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace mwsec::rbac

@@ -1,0 +1,58 @@
+// RBAC sessions: a user activates a subset of their assigned roles; access
+// decisions consider only activated roles. Dynamic separation-of-duty is
+// enforced at activation time. Thread-safe: WebCom schedules components
+// under (domain, role, user) triples from worker threads (Section 6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rbac/constraints.hpp"
+#include "rbac/model.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::rbac {
+
+using SessionId = std::uint64_t;
+
+class SessionManager {
+ public:
+  explicit SessionManager(const Policy& policy,
+                          const SodConstraints* dynamic_sod = nullptr)
+      : policy_(policy), dynamic_sod_(dynamic_sod) {}
+
+  /// Open a session for `user` with no roles active.
+  SessionId open(std::string user);
+
+  /// Activate (domain, role): the user must be a member, and the role must
+  /// not clash (dynamic SoD) with an already-active role.
+  mwsec::Status activate(SessionId id, const std::string& domain,
+                         const std::string& role);
+  mwsec::Status deactivate(SessionId id, const std::string& domain,
+                           const std::string& role);
+
+  /// Decision over the session's *active* roles only.
+  bool check(SessionId id, const std::string& object_type,
+             const std::string& permission) const;
+
+  std::vector<RoleAssignment> active_roles(SessionId id) const;
+  mwsec::Status close(SessionId id);
+  std::size_t open_count() const;
+
+ private:
+  struct State {
+    std::string user;
+    std::set<std::pair<std::string, std::string>> active;  // (domain, role)
+  };
+  const Policy& policy_;
+  const SodConstraints* dynamic_sod_;
+  mutable std::mutex mu_;
+  std::map<SessionId, State> sessions_;
+  SessionId next_id_ = 1;
+};
+
+}  // namespace mwsec::rbac

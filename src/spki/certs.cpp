@@ -1,0 +1,149 @@
+#include "spki/certs.hpp"
+
+namespace mwsec::spki {
+
+std::string Subject::to_text() const {
+  if (is_key()) return key;
+  std::string out = "(name " + key;
+  for (const auto& id : ids) out += " " + id;
+  return out + ")";
+}
+
+std::string NameCert::canonical_body() const {
+  return "name-cert\nissuer:" + issuer_key + "\nid:" + identifier +
+         "\nsubject:" + subject.to_text() + "\n";
+}
+
+mwsec::Status NameCert::sign_with(const crypto::Identity& identity) {
+  if (identity.principal() != issuer_key) {
+    return Error::make("signer is not the issuer", "spki");
+  }
+  signature = identity.sign(canonical_body());
+  return {};
+}
+
+mwsec::Status NameCert::verify() const {
+  if (signature.empty()) return Error::make("name cert unsigned", "spki");
+  if (!crypto::verify_message(issuer_key, canonical_body(), signature)) {
+    return Error::make("name cert signature invalid", "spki");
+  }
+  return {};
+}
+
+std::string AuthCert::canonical_body() const {
+  return "auth-cert\nissuer:" + issuer_key + "\nsubject:" +
+         subject.to_text() + "\ndelegate:" + (delegate ? "1" : "0") +
+         "\ntag:" + tag.to_text() + "\n";
+}
+
+mwsec::Status AuthCert::sign_with(const crypto::Identity& identity) {
+  if (identity.principal() != issuer_key) {
+    return Error::make("signer is not the issuer", "spki");
+  }
+  signature = identity.sign(canonical_body());
+  return {};
+}
+
+mwsec::Status AuthCert::verify() const {
+  if (signature.empty()) return Error::make("auth cert unsigned", "spki");
+  if (!crypto::verify_message(issuer_key, canonical_body(), signature)) {
+    return Error::make("auth cert signature invalid", "spki");
+  }
+  return {};
+}
+
+mwsec::Status CertStore::add(NameCert cert, bool trusted) {
+  if (!trusted) {
+    if (auto s = cert.verify(); !s.ok()) return s;
+  }
+  name_certs_.push_back(std::move(cert));
+  return {};
+}
+
+mwsec::Status CertStore::add(AuthCert cert, bool trusted) {
+  if (!trusted) {
+    if (auto s = cert.verify(); !s.ok()) return s;
+  }
+  auth_certs_.push_back(std::move(cert));
+  return {};
+}
+
+std::set<std::string> CertStore::resolve(
+    const std::string& key, const std::vector<std::string>& ids) const {
+  if (ids.empty()) return {key};
+
+  // Resolve the first identifier, then the rest from each result —
+  // SDSI's left-to-right linked local name spaces. Cycle safety: track
+  // (key, id) pairs on the path.
+  struct Resolver {
+    const CertStore& store;
+    std::set<std::pair<std::string, std::string>> visiting;
+
+    std::set<std::string> one(const std::string& k, const std::string& id) {
+      std::set<std::string> out;
+      auto mark = std::make_pair(k, id);
+      if (!visiting.insert(mark).second) return out;  // cycle
+      for (const auto& cert : store.name_certs_) {
+        if (cert.issuer_key != k || cert.identifier != id) continue;
+        if (cert.subject.is_key()) {
+          out.insert(cert.subject.key);
+        } else {
+          auto sub = many(cert.subject.key, cert.subject.ids);
+          out.insert(sub.begin(), sub.end());
+        }
+      }
+      visiting.erase(mark);
+      return out;
+    }
+
+    std::set<std::string> many(const std::string& k,
+                               const std::vector<std::string>& path) {
+      std::set<std::string> current{k};
+      for (const auto& id : path) {
+        std::set<std::string> next;
+        for (const auto& c : current) {
+          auto step = one(c, id);
+          next.insert(step.begin(), step.end());
+        }
+        current = std::move(next);
+        if (current.empty()) break;
+      }
+      return current;
+    }
+  };
+  Resolver r{*this, {}};
+  return r.many(key, ids);
+}
+
+std::set<std::string> CertStore::resolve(const Subject& subject) const {
+  return resolve(subject.key, subject.ids);
+}
+
+bool CertStore::search(
+    const std::string& current, const std::string& requester, const Tag& need,
+    std::set<std::pair<std::string, std::string>>& visiting) const {
+  if (current == requester) return true;
+  if (!visiting.insert({current, ""}).second) return false;
+
+  for (const auto& cert : auth_certs_) {
+    if (cert.issuer_key != current) continue;
+    // The chain conveys the intersection of its tags; it covers `need`
+    // iff every link's tag does.
+    if (!Tag::covers(cert.tag, need)) continue;
+    auto keys = resolve(cert.subject);
+    if (keys.count(requester)) return true;  // terminal hop: no delegate bit
+    if (!cert.delegate) continue;
+    for (const auto& k : keys) {
+      if (search(k, requester, need, visiting)) return true;
+    }
+  }
+  return false;
+}
+
+bool CertStore::authorize(const std::string& root_key,
+                          const std::string& requester, const Tag& tag) const {
+  std::set<std::pair<std::string, std::string>> visiting;
+  return search(root_key, requester, tag, visiting);
+}
+
+}  // namespace mwsec::spki

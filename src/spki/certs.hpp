@@ -1,0 +1,95 @@
+// SPKI/SDSI certificates and the authorisation engine (RFC 2693; Rivest &
+// Lampson [24]).
+//
+// Two certificate forms:
+//   * name certs   — (issuer key, identifier) -> subject: SDSI's local
+//     name spaces. RBAC roles map naturally onto SDSI names: the name
+//     "Finance.Manager" in the admin key's name space *is* the role, and
+//     membership is a name cert binding a user key to it.
+//   * auth certs   — issuer grants a Tag of authority to a subject (a key
+//     or a name), with a delegation bit.
+// authorize() performs tuple reduction: it searches for a chain of auth
+// certs from the root key to the requester whose tag intersection covers
+// the requested tag, with every non-terminal certificate carrying the
+// delegation bit; names are resolved through the name certs.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "spki/tag.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::spki {
+
+/// A subject: a bare key, or a name (key, id1, id2, ...) to resolve.
+struct Subject {
+  std::string key;
+  std::vector<std::string> ids;  // empty => the subject is the key itself
+
+  bool is_key() const { return ids.empty(); }
+  static Subject of_key(std::string k) { return Subject{std::move(k), {}}; }
+  static Subject of_name(std::string k, std::vector<std::string> ids) {
+    return Subject{std::move(k), std::move(ids)};
+  }
+  std::string to_text() const;
+  bool operator==(const Subject&) const = default;
+};
+
+struct NameCert {
+  std::string issuer_key;
+  std::string identifier;
+  Subject subject;
+  std::string signature;
+
+  std::string canonical_body() const;
+  mwsec::Status sign_with(const crypto::Identity& identity);
+  mwsec::Status verify() const;
+};
+
+struct AuthCert {
+  std::string issuer_key;
+  Subject subject;
+  bool delegate = false;
+  Tag tag = Tag::all();
+  std::string signature;
+
+  std::string canonical_body() const;
+  mwsec::Status sign_with(const crypto::Identity& identity);
+  mwsec::Status verify() const;
+};
+
+class CertStore {
+ public:
+  /// Verify (unless `trusted`) and add. Certificates failing verification
+  /// are rejected.
+  mwsec::Status add(NameCert cert, bool trusted = false);
+  mwsec::Status add(AuthCert cert, bool trusted = false);
+
+  std::size_t name_cert_count() const { return name_certs_.size(); }
+  std::size_t auth_cert_count() const { return auth_certs_.size(); }
+
+  /// Resolve a SDSI name to the set of keys it denotes. Cycle-safe.
+  std::set<std::string> resolve(const std::string& key,
+                                const std::vector<std::string>& ids) const;
+  std::set<std::string> resolve(const Subject& subject) const;
+
+  /// Tuple reduction: is `requester` authorised for `tag` by a chain of
+  /// auth certs rooted at `root_key`? The root is authorised for
+  /// everything in its own name.
+  bool authorize(const std::string& root_key, const std::string& requester,
+                 const Tag& tag) const;
+
+ private:
+  bool search(const std::string& current, const std::string& requester,
+              const Tag& need,
+              std::set<std::pair<std::string, std::string>>& visiting) const;
+
+  std::vector<NameCert> name_certs_;
+  std::vector<AuthCert> auth_certs_;
+};
+
+}  // namespace mwsec::spki

@@ -1,0 +1,32 @@
+// SPKI/SDSI as an alternative L2 trust-management layer for the Figure 10
+// stack — the paper: "we originally selected KeyNote ...; we have since
+// used the SDSI/SPKI system in a similar way". Plugging this layer in
+// instead of (or alongside) stack::TrustLayer swaps the TM technology
+// without touching the rest of the stack.
+#pragma once
+
+#include "spki/rbac_to_spki.hpp"
+#include "stack/layers.hpp"
+
+namespace mwsec::spki {
+
+class SpkiLayer final : public stack::Layer {
+ public:
+  SpkiLayer(const CertStore& store, std::string admin_principal)
+      : store_(store), admin_principal_(std::move(admin_principal)) {}
+
+  std::string name() const override { return "L2-spki"; }
+
+  stack::Decision decide(const stack::Request& request) const override {
+    return spki_check(store_, admin_principal_, request.principal,
+                      request.object_type, request.permission)
+               ? stack::Decision::kPermit
+               : stack::Decision::kDeny;
+  }
+
+ private:
+  const CertStore& store_;
+  std::string admin_principal_;
+};
+
+}  // namespace mwsec::spki

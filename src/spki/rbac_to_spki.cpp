@@ -1,0 +1,59 @@
+#include "spki/rbac_to_spki.hpp"
+
+namespace mwsec::spki {
+
+std::string role_identifier(const std::string& domain,
+                            const std::string& role) {
+  return domain + "." + role;
+}
+
+Tag permission_tag(const std::string& object_type,
+                   const std::string& permission) {
+  return Tag::list({Tag::atom("webcom"), Tag::atom(object_type),
+                    Tag::atom(permission)});
+}
+
+mwsec::Result<CompiledSpkiPolicy> compile_policy_spki(
+    const rbac::Policy& policy, const crypto::Identity& admin,
+    translate::PrincipalDirectory& directory) {
+  CompiledSpkiPolicy out;
+  for (const auto& a : policy.assignments()) {
+    NameCert cert;
+    cert.issuer_key = admin.principal();
+    cert.identifier = role_identifier(a.domain, a.role);
+    cert.subject = Subject::of_key(directory.principal_of(a.user));
+    if (auto s = cert.sign_with(admin); !s.ok()) return s.error();
+    out.name_certs.push_back(std::move(cert));
+  }
+  for (const auto& g : policy.grants()) {
+    AuthCert cert;
+    cert.issuer_key = admin.principal();
+    cert.subject = Subject::of_name(admin.principal(),
+                                    {role_identifier(g.domain, g.role)});
+    cert.delegate = true;  // members may re-delegate (Figure 7)
+    cert.tag = permission_tag(g.object_type, g.permission);
+    if (auto s = cert.sign_with(admin); !s.ok()) return s.error();
+    out.auth_certs.push_back(std::move(cert));
+  }
+  return out;
+}
+
+mwsec::Status load(CertStore& store, const CompiledSpkiPolicy& compiled) {
+  for (const auto& cert : compiled.name_certs) {
+    if (auto s = store.add(cert); !s.ok()) return s;
+  }
+  for (const auto& cert : compiled.auth_certs) {
+    if (auto s = store.add(cert); !s.ok()) return s;
+  }
+  return {};
+}
+
+bool spki_check(const CertStore& store, const std::string& admin_principal,
+                const std::string& requester_principal,
+                const std::string& object_type,
+                const std::string& permission) {
+  return store.authorize(admin_principal, requester_principal,
+                         permission_tag(object_type, permission));
+}
+
+}  // namespace mwsec::spki

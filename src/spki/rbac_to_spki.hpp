@@ -1,0 +1,48 @@
+// RBAC -> SPKI/SDSI encoding: the footnote-1 counterpart of the Figure 5
+// KeyNote compilation. The mapping exploits SDSI names directly:
+//
+//   role (Domain, Role)          -> the SDSI name "Domain.Role" in the
+//                                   admin key's name space;
+//   UserRole (d, r, u)           -> a name cert  (K_admin "d.r") -> K_u;
+//   HasPermission (d, r, o, p)   -> an auth cert K_admin -> (name K_admin
+//                                   "d.r") over tag (webcom o p),
+//                                   delegation on (so users can
+//                                   re-delegate, as in Figure 7).
+//
+// An access request (u, o, p) is authorised iff
+//   authorize(K_admin, K_u, (webcom o p)).
+#pragma once
+
+#include "rbac/model.hpp"
+#include "spki/certs.hpp"
+#include "translate/directory.hpp"
+
+namespace mwsec::spki {
+
+struct CompiledSpkiPolicy {
+  std::vector<NameCert> name_certs;
+  std::vector<AuthCert> auth_certs;
+};
+
+/// The SDSI identifier for a role.
+std::string role_identifier(const std::string& domain, const std::string& role);
+
+/// The authorisation tag for (object_type, permission).
+Tag permission_tag(const std::string& object_type,
+                   const std::string& permission);
+
+/// Compile and sign with the admin identity.
+mwsec::Result<CompiledSpkiPolicy> compile_policy_spki(
+    const rbac::Policy& policy, const crypto::Identity& admin,
+    translate::PrincipalDirectory& directory);
+
+/// Load a compiled policy into a store (certs verified on add).
+mwsec::Status load(CertStore& store, const CompiledSpkiPolicy& compiled);
+
+/// Access decision through the SPKI engine — semantically equivalent to
+/// rbac::Policy::check on the source policy (tested as a property).
+bool spki_check(const CertStore& store, const std::string& admin_principal,
+                const std::string& requester_principal,
+                const std::string& object_type, const std::string& permission);
+
+}  // namespace mwsec::spki

@@ -1,0 +1,275 @@
+#include "spki/tag.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace mwsec::spki {
+
+Tag Tag::atom(std::string text) {
+  Tag t;
+  t.kind_ = Kind::kAtom;
+  t.text_ = std::move(text);
+  return t;
+}
+
+Tag Tag::list(std::vector<Tag> elements) {
+  Tag t;
+  t.kind_ = Kind::kList;
+  t.elements_ = std::move(elements);
+  return t;
+}
+
+Tag Tag::all() {
+  Tag t;
+  t.kind_ = Kind::kAll;
+  return t;
+}
+
+Tag Tag::set(std::vector<Tag> alternatives) {
+  Tag t;
+  t.kind_ = Kind::kSet;
+  t.elements_ = std::move(alternatives);
+  return t;
+}
+
+Tag Tag::prefix(std::string p) {
+  Tag t;
+  t.kind_ = Kind::kPrefix;
+  t.text_ = std::move(p);
+  return t;
+}
+
+namespace {
+
+struct SexpParser {
+  std::string_view src;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < src.size() &&
+           std::isspace(static_cast<unsigned char>(src[pos]))) {
+      ++pos;
+    }
+  }
+  bool at_end() {
+    skip_ws();
+    return pos >= src.size();
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < src.size() && src[pos] == c;
+  }
+
+  mwsec::Result<std::string> parse_atom_text() {
+    skip_ws();
+    if (pos >= src.size()) return Error::make("unexpected end of tag", "spki");
+    if (src[pos] == '"') {
+      ++pos;
+      std::string out;
+      while (pos < src.size() && src[pos] != '"') {
+        if (src[pos] == '\\' && pos + 1 < src.size()) ++pos;
+        out.push_back(src[pos++]);
+      }
+      if (pos >= src.size()) {
+        return Error::make("unterminated string in tag", "spki");
+      }
+      ++pos;
+      return out;
+    }
+    std::size_t start = pos;
+    while (pos < src.size() && src[pos] != '(' && src[pos] != ')' &&
+           !std::isspace(static_cast<unsigned char>(src[pos]))) {
+      ++pos;
+    }
+    if (pos == start) {
+      return Error::make("expected an atom in tag", "spki");
+    }
+    return std::string(src.substr(start, pos - start));
+  }
+
+  mwsec::Result<Tag> parse_expr() {
+    skip_ws();
+    if (pos >= src.size()) return Error::make("unexpected end of tag", "spki");
+    if (src[pos] != '(') {
+      auto text = parse_atom_text();
+      if (!text.ok()) return text.error();
+      return Tag::atom(std::move(text).take());
+    }
+    ++pos;  // '('
+    skip_ws();
+    // (*), (* set ...), (* prefix s)
+    if (pos < src.size() && src[pos] == '*') {
+      ++pos;
+      skip_ws();
+      if (pos < src.size() && src[pos] == ')') {
+        ++pos;
+        return Tag::all();
+      }
+      auto keyword = parse_atom_text();
+      if (!keyword.ok()) return keyword.error();
+      if (*keyword == "set") {
+        std::vector<Tag> alternatives;
+        while (!peek(')')) {
+          auto e = parse_expr();
+          if (!e.ok()) return e;
+          alternatives.push_back(std::move(e).take());
+        }
+        ++pos;  // ')'
+        if (alternatives.empty()) {
+          return Error::make("(* set) needs at least one alternative", "spki");
+        }
+        return Tag::set(std::move(alternatives));
+      }
+      if (*keyword == "prefix") {
+        auto p = parse_atom_text();
+        if (!p.ok()) return p.error();
+        if (!peek(')')) return Error::make("expected ')' after prefix", "spki");
+        ++pos;
+        return Tag::prefix(std::move(p).take());
+      }
+      return Error::make("unknown tag operator: * " + *keyword, "spki");
+    }
+    std::vector<Tag> elements;
+    while (!peek(')')) {
+      if (at_end()) return Error::make("missing ')' in tag", "spki");
+      auto e = parse_expr();
+      if (!e.ok()) return e;
+      elements.push_back(std::move(e).take());
+    }
+    ++pos;  // ')'
+    return Tag::list(std::move(elements));
+  }
+};
+
+std::string quote_atom(const std::string& s) {
+  bool plain = !s.empty();
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '(' || c == ')' ||
+        c == '"') {
+      plain = false;
+      break;
+    }
+  }
+  if (plain) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+mwsec::Result<Tag> Tag::parse(std::string_view text) {
+  SexpParser p{text};
+  auto expr = p.parse_expr();
+  if (!expr.ok()) return expr;
+  if (!p.at_end()) return Error::make("trailing input after tag", "spki");
+  // Unwrap an outer (tag ...) if present.
+  Tag t = std::move(expr).take();
+  if (t.kind_ == Kind::kList && !t.elements_.empty() &&
+      t.elements_[0].kind_ == Kind::kAtom && t.elements_[0].text_ == "tag") {
+    if (t.elements_.size() != 2) {
+      return Error::make("(tag ...) must wrap exactly one expression", "spki");
+    }
+    return t.elements_[1];
+  }
+  return t;
+}
+
+std::string Tag::to_text() const {
+  switch (kind_) {
+    case Kind::kAtom:
+      return quote_atom(text_);
+    case Kind::kAll:
+      return "(*)";
+    case Kind::kPrefix:
+      return "(* prefix " + quote_atom(text_) + ")";
+    case Kind::kSet: {
+      std::string out = "(* set";
+      for (const auto& e : elements_) out += " " + e.to_text();
+      return out + ")";
+    }
+    case Kind::kList: {
+      std::string out = "(";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i != 0) out += " ";
+        out += elements_[i].to_text();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+bool Tag::operator==(const Tag& o) const {
+  return kind_ == o.kind_ && text_ == o.text_ && elements_ == o.elements_;
+}
+
+std::optional<Tag> Tag::intersect(const Tag& a, const Tag& b) {
+  // (*) is the identity of intersection.
+  if (a.kind_ == Kind::kAll) return b;
+  if (b.kind_ == Kind::kAll) return a;
+
+  // Sets distribute: keep the non-empty member intersections.
+  if (a.kind_ == Kind::kSet || b.kind_ == Kind::kSet) {
+    const Tag& s = a.kind_ == Kind::kSet ? a : b;
+    const Tag& other = a.kind_ == Kind::kSet ? b : a;
+    std::vector<Tag> kept;
+    for (const auto& member : s.elements_) {
+      if (auto i = intersect(member, other)) kept.push_back(std::move(*i));
+    }
+    if (kept.empty()) return std::nullopt;
+    if (kept.size() == 1) return kept[0];
+    return Tag::set(std::move(kept));
+  }
+
+  if (a.kind_ == Kind::kAtom && b.kind_ == Kind::kAtom) {
+    if (a.text_ == b.text_) return a;
+    return std::nullopt;
+  }
+  if (a.kind_ == Kind::kPrefix && b.kind_ == Kind::kAtom) {
+    if (util::starts_with(b.text_, a.text_)) return b;
+    return std::nullopt;
+  }
+  if (a.kind_ == Kind::kAtom && b.kind_ == Kind::kPrefix) {
+    return intersect(b, a);
+  }
+  if (a.kind_ == Kind::kPrefix && b.kind_ == Kind::kPrefix) {
+    // The longer prefix is the more specific set.
+    if (util::starts_with(a.text_, b.text_)) return a;
+    if (util::starts_with(b.text_, a.text_)) return b;
+    return std::nullopt;
+  }
+  if (a.kind_ == Kind::kList && b.kind_ == Kind::kList) {
+    // Position-wise; the shorter list is the more general (RFC 2693:
+    // "(ftp)" covers "(ftp /home)"). Extra elements of the longer list
+    // survive into the intersection.
+    const Tag& shorter = a.elements_.size() <= b.elements_.size() ? a : b;
+    const Tag& longer = a.elements_.size() <= b.elements_.size() ? b : a;
+    std::vector<Tag> out;
+    out.reserve(longer.elements_.size());
+    for (std::size_t i = 0; i < shorter.elements_.size(); ++i) {
+      auto e = intersect(shorter.elements_[i], longer.elements_[i]);
+      if (!e) return std::nullopt;
+      out.push_back(std::move(*e));
+    }
+    for (std::size_t i = shorter.elements_.size();
+         i < longer.elements_.size(); ++i) {
+      out.push_back(longer.elements_[i]);
+    }
+    return Tag::list(std::move(out));
+  }
+  // atom vs list and other mismatches: disjoint.
+  return std::nullopt;
+}
+
+bool Tag::covers(const Tag& a, const Tag& b) {
+  auto i = intersect(a, b);
+  return i.has_value() && *i == b;
+}
+
+}  // namespace mwsec::spki

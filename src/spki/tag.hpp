@@ -1,0 +1,67 @@
+// SPKI authorisation tags (RFC 2693 §5; paper footnote 1: "Secure WebCom
+// includes support for SPKI/SDSI ... our results are applicable to
+// SPKI/SDSI").
+//
+// A tag is an s-expression describing a set of permissions:
+//   (tag (salaries read))             — a concrete permission
+//   (tag (*))                         — everything
+//   (tag (salaries (* set read write))) — read or write on salaries
+//   (tag (file (* prefix /srv/)))     — any string with the prefix
+// Delegation is governed by *tag intersection*: a chain conveys the
+// intersection of every certificate's tag, exactly as KeyNote chains
+// convey the conjunction of their conditions.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace mwsec::spki {
+
+/// One node of a tag s-expression.
+class Tag {
+ public:
+  enum class Kind {
+    kAtom,    // a byte string
+    kList,    // ( e1 e2 ... )
+    kAll,     // (*) — matches anything
+    kSet,     // (* set e1 e2 ...) — any of the alternatives
+    kPrefix,  // (* prefix s) — any atom with prefix s
+  };
+
+  static Tag atom(std::string text);
+  static Tag list(std::vector<Tag> elements);
+  static Tag all();
+  static Tag set(std::vector<Tag> alternatives);
+  static Tag prefix(std::string p);
+
+  /// Parse the textual s-expression form, e.g. "(tag (salaries read))".
+  /// Accepts the outer (tag ...) wrapper or a bare expression.
+  static mwsec::Result<Tag> parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  const std::string& text() const { return text_; }
+  const std::vector<Tag>& elements() const { return elements_; }
+
+  /// Canonical textual rendering (without the (tag ...) wrapper).
+  std::string to_text() const;
+
+  /// Tag intersection (RFC 2693 §6.3): the set of permissions conveyed by
+  /// both tags; nullopt when the intersection is empty.
+  static std::optional<Tag> intersect(const Tag& a, const Tag& b);
+
+  /// True if `a` covers `b` (every permission in b is in a) — i.e.
+  /// intersect(a, b) == b.
+  static bool covers(const Tag& a, const Tag& b);
+
+  bool operator==(const Tag& o) const;
+
+ private:
+  Kind kind_ = Kind::kAll;
+  std::string text_;           // for kAtom / kPrefix
+  std::vector<Tag> elements_;  // for kList / kSet
+};
+
+}  // namespace mwsec::spki

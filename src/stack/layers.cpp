@@ -1,0 +1,136 @@
+#include "stack/layers.hpp"
+
+namespace mwsec::stack {
+
+const char* decision_name(Decision d) {
+  switch (d) {
+    case Decision::kPermit: return "permit";
+    case Decision::kDeny: return "deny";
+    case Decision::kAbstain: return "abstain";
+  }
+  return "?";
+}
+
+Decision OsLayer::decide(const Request& request) const {
+  if (!os_.account_exists(request.user)) return Decision::kDeny;
+  if (os_.check(request.user, request.object_type, request.permission)) {
+    return Decision::kPermit;
+  }
+  // The account exists but holds no grant: the OS may simply not manage
+  // this object (middleware-level resources usually are not OS files).
+  // Abstain unless the OS has *some* opinion on the object — modelled as:
+  // no ACL entry at all for it from anyone means "not an OS object".
+  // A conservative approximation: abstain always on a missing grant,
+  // deny only for unknown accounts. Deployments wanting strict OS
+  // mediation grant explicitly.
+  return Decision::kAbstain;
+}
+
+Decision MiddlewareLayer::decide(const Request& request) const {
+  // Does this middleware serve the object type at all?
+  bool serves = false;
+  for (const auto& component : system_.components()) {
+    if (component.object_type == request.object_type) {
+      serves = true;
+      break;
+    }
+  }
+  if (!serves) return Decision::kAbstain;
+  return system_.mediate(request.user, request.object_type,
+                         request.permission)
+             ? Decision::kPermit
+             : Decision::kDeny;
+}
+
+Decision TrustLayer::decide(const Request& request) const {
+  keynote::Query q;
+  q.action_authorizers = {request.principal};
+  q.env.set("app_domain", "WebCom");
+  q.env.set("ObjectType", request.object_type);
+  q.env.set("Permission", request.permission);
+  q.env.set("Domain", request.domain);
+  q.env.set("Role", request.role);
+  auto r = store_.query(q, request.credentials);
+  if (!r.ok()) return Decision::kDeny;
+  return r->authorized() ? Decision::kPermit : Decision::kDeny;
+}
+
+void StackedAuthorizer::push(std::shared_ptr<Layer> layer, bool enabled) {
+  slots_.push_back(Slot{std::move(layer), enabled, {}});
+}
+
+bool StackedAuthorizer::set_enabled(const std::string& name, bool enabled) {
+  for (auto& slot : slots_) {
+    if (slot.layer->name() == name) {
+      slot.enabled = enabled;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool StackedAuthorizer::is_enabled(const std::string& name) const {
+  for (const auto& slot : slots_) {
+    if (slot.layer->name() == name) return slot.enabled;
+  }
+  return false;
+}
+
+std::vector<std::string> StackedAuthorizer::layer_names() const {
+  std::vector<std::string> out;
+  for (const auto& slot : slots_) out.push_back(slot.layer->name());
+  return out;
+}
+
+Decision StackedAuthorizer::decide(const Request& request) const {
+  Decision verdict = Decision::kAbstain;
+  bool any_permit = false;
+  bool any_deny = false;
+
+  // Layers are consulted top-down: last pushed (highest layer) first,
+  // mirroring Figure 10 where trust management sits above the middleware.
+  for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
+    if (!it->enabled) continue;
+    Decision d = it->layer->decide(request);
+    switch (d) {
+      case Decision::kPermit: ++it->stats.permits; any_permit = true; break;
+      case Decision::kDeny: ++it->stats.denies; any_deny = true; break;
+      case Decision::kAbstain: ++it->stats.abstains; break;
+    }
+    if (composition_ == Composition::kFirstDecisive &&
+        d != Decision::kAbstain) {
+      verdict = d;
+      break;
+    }
+  }
+
+  if (composition_ == Composition::kAllMustPermit) {
+    if (any_deny) verdict = Decision::kDeny;
+    else if (any_permit) verdict = Decision::kPermit;
+    else verdict = Decision::kAbstain;
+  } else if (composition_ == Composition::kAnyPermits) {
+    if (any_permit) verdict = Decision::kPermit;
+    else if (any_deny) verdict = Decision::kDeny;
+    else verdict = Decision::kAbstain;
+  }
+
+  // Fail closed: a stack with no opinion denies.
+  Decision final_verdict =
+      verdict == Decision::kAbstain ? Decision::kDeny : verdict;
+  if (audit_ != nullptr) {
+    audit_->record(middleware::AuditEvent{
+        "stack", request.user, request.object_type + ":" + request.permission,
+        final_verdict == Decision::kPermit, decision_name(verdict)});
+  }
+  return final_verdict;
+}
+
+StackedAuthorizer::LayerStats StackedAuthorizer::stats_for(
+    const std::string& name) const {
+  for (const auto& slot : slots_) {
+    if (slot.layer->name() == name) return slot.stats;
+  }
+  return {};
+}
+
+}  // namespace mwsec::stack

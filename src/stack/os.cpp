@@ -1,0 +1,87 @@
+#include "stack/os.hpp"
+
+namespace mwsec::stack {
+
+mwsec::Status OsSecurity::add_account(const std::string& user) {
+  if (user.empty()) return Error::make("empty account name", "os");
+  std::scoped_lock lock(*mu_);
+  accounts_.insert(user);
+  return {};
+}
+
+mwsec::Status OsSecurity::add_group(const std::string& group) {
+  if (group.empty()) return Error::make("empty group name", "os");
+  std::scoped_lock lock(*mu_);
+  groups_.insert(group);
+  return {};
+}
+
+mwsec::Status OsSecurity::add_member(const std::string& user,
+                                     const std::string& group) {
+  std::scoped_lock lock(*mu_);
+  if (!accounts_.count(user)) {
+    return Error::make("unknown account: " + user, "os");
+  }
+  if (!groups_.count(group)) {
+    return Error::make("unknown group: " + group, "os");
+  }
+  members_[group].insert(user);
+  return {};
+}
+
+mwsec::Status OsSecurity::grant(const std::string& principal,
+                                const std::string& object,
+                                const std::string& permission) {
+  std::scoped_lock lock(*mu_);
+  if (!accounts_.count(principal) && !groups_.count(principal)) {
+    return Error::make("unknown principal: " + principal, "os");
+  }
+  acl_[principal][object].insert(permission);
+  return {};
+}
+
+mwsec::Status OsSecurity::revoke(const std::string& principal,
+                                 const std::string& object,
+                                 const std::string& permission) {
+  std::scoped_lock lock(*mu_);
+  auto pit = acl_.find(principal);
+  if (pit == acl_.end()) return Error::make("no such grant", "os");
+  auto oit = pit->second.find(object);
+  if (oit == pit->second.end() || oit->second.erase(permission) == 0) {
+    return Error::make("no such grant", "os");
+  }
+  return {};
+}
+
+bool OsSecurity::account_exists(const std::string& user) const {
+  std::scoped_lock lock(*mu_);
+  return accounts_.count(user) > 0;
+}
+
+bool OsSecurity::check(const std::string& user, const std::string& object,
+                       const std::string& permission) const {
+  std::scoped_lock lock(*mu_);
+  if (!accounts_.count(user)) return false;
+  auto allowed = [&](const std::string& principal) {
+    auto pit = acl_.find(principal);
+    if (pit == acl_.end()) return false;
+    auto oit = pit->second.find(object);
+    return oit != pit->second.end() && oit->second.count(permission) > 0;
+  };
+  if (allowed(user)) return true;
+  for (const auto& [group, users] : members_) {
+    if (users.count(user) && allowed(group)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> OsSecurity::groups_of(const std::string& user) const {
+  std::scoped_lock lock(*mu_);
+  std::vector<std::string> out;
+  for (const auto& [group, users] : members_) {
+    if (users.count(user)) out.push_back(group);
+  }
+  return out;
+}
+
+}  // namespace mwsec::stack

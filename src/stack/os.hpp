@@ -1,0 +1,48 @@
+// Minimal operating-system security substrate: the L0 layer of Figure 10.
+//
+// Models what the paper relies on from Windows/Unix: user accounts,
+// groups, and per-object ACLs granting permissions to users or groups.
+// Deny-by-default; unknown accounts can do nothing.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace mwsec::stack {
+
+class OsSecurity {
+ public:
+  mwsec::Status add_account(const std::string& user);
+  mwsec::Status add_group(const std::string& group);
+  mwsec::Status add_member(const std::string& user, const std::string& group);
+
+  /// Grant `permission` on `object` to a user or group principal.
+  mwsec::Status grant(const std::string& principal, const std::string& object,
+                      const std::string& permission);
+  mwsec::Status revoke(const std::string& principal, const std::string& object,
+                       const std::string& permission);
+
+  bool account_exists(const std::string& user) const;
+  /// Access check: directly or via any group membership.
+  bool check(const std::string& user, const std::string& object,
+             const std::string& permission) const;
+
+  std::vector<std::string> groups_of(const std::string& user) const;
+
+ private:
+  // Movable, same idiom as the middleware simulators.
+  mutable std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+  std::set<std::string> accounts_;
+  std::set<std::string> groups_;
+  std::map<std::string, std::set<std::string>> members_;  // group -> users
+  // principal -> object -> permissions
+  std::map<std::string, std::map<std::string, std::set<std::string>>> acl_;
+};
+
+}  // namespace mwsec::stack

@@ -1,0 +1,67 @@
+// User <-> principal directory.
+//
+// Middleware policies speak about *users* ("Alice"); KeyNote credentials
+// speak about *keys*. The directory maps between them. The paper's
+// figures use opaque tags (Kalice); deployments use a KeyRing so every
+// user has a real keypair and membership credentials can be signed.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "crypto/keys.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::translate {
+
+class PrincipalDirectory {
+ public:
+  virtual ~PrincipalDirectory() = default;
+  /// Principal string for a middleware user.
+  virtual std::string principal_of(const std::string& user) = 0;
+  /// Middleware user for a principal string, if known.
+  virtual mwsec::Result<std::string> user_of(const std::string& principal) = 0;
+};
+
+/// Paper-style directory: user "Alice" <-> principal "Kalice".
+class OpaqueDirectory final : public PrincipalDirectory {
+ public:
+  std::string principal_of(const std::string& user) override {
+    return "K" + user;
+  }
+  mwsec::Result<std::string> user_of(const std::string& principal) override {
+    if (principal.size() < 2 || principal[0] != 'K') {
+      return Error::make("not an opaque user principal: " + principal,
+                         "directory");
+    }
+    return principal.substr(1);
+  }
+};
+
+/// Real-key directory backed by a KeyRing: mints an RSA identity per user.
+class KeyRingDirectory final : public PrincipalDirectory {
+ public:
+  explicit KeyRingDirectory(crypto::KeyRing& ring) : ring_(ring) {}
+
+  std::string principal_of(const std::string& user) override {
+    return ring_.principal("K" + user);
+  }
+  mwsec::Result<std::string> user_of(const std::string& principal) override {
+    auto name = ring_.name_of(principal);
+    if (!name.ok()) return name;
+    if (name->size() < 2 || (*name)[0] != 'K') {
+      return Error::make("principal does not denote a user: " + *name,
+                         "directory");
+    }
+    return name->substr(1);
+  }
+  /// The signing identity for a user (to let users re-delegate).
+  const crypto::Identity& identity_of(const std::string& user) {
+    return ring_.identity("K" + user);
+  }
+
+ private:
+  crypto::KeyRing& ring_;
+};
+
+}  // namespace mwsec::translate

@@ -1,0 +1,151 @@
+#include "translate/keynote_to_rbac.hpp"
+
+#include "keynote/eval.hpp"
+#include "keynote/query.hpp"
+#include "translate/rbac_to_keynote.hpp"
+
+namespace mwsec::translate {
+
+namespace {
+
+/// Record `literal` into the vocabulary bucket matching `attr`.
+void bucket_literal(Vocabulary& v, const std::string& attr,
+                    const std::string& literal) {
+  if (attr == "Domain") v.domains.insert(literal);
+  else if (attr == "Role") v.roles.insert(literal);
+  else if (attr == "ObjectType") v.object_types.insert(literal);
+  else if (attr == "Permission") v.permissions.insert(literal);
+}
+
+void walk_test(const keynote::Test& t, Vocabulary& v);
+
+void walk_program(const keynote::Program& p, Vocabulary& v) {
+  for (const auto& clause : p.clauses) {
+    walk_test(*clause.test, v);
+    if (clause.program != nullptr) walk_program(*clause.program, v);
+  }
+}
+
+void walk_test(const keynote::Test& t, Vocabulary& v) {
+  using Kind = keynote::Test::Kind;
+  switch (t.kind) {
+    case Kind::kAnd:
+    case Kind::kOr:
+      walk_test(*t.ta, v);
+      walk_test(*t.tb, v);
+      break;
+    case Kind::kNot:
+      walk_test(*t.ta, v);
+      break;
+    case Kind::kStrCmp: {
+      // attr == "literal" in either operand order.
+      const keynote::StringExpr& l = *t.sl;
+      const keynote::StringExpr& r = *t.sr;
+      if (l.kind == keynote::StringExpr::Kind::kAttr &&
+          r.kind == keynote::StringExpr::Kind::kLiteral) {
+        bucket_literal(v, l.text, r.text);
+      } else if (r.kind == keynote::StringExpr::Kind::kAttr &&
+                 l.kind == keynote::StringExpr::Kind::kLiteral) {
+        bucket_literal(v, r.text, l.text);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+void Vocabulary::merge(const Vocabulary& other) {
+  domains.insert(other.domains.begin(), other.domains.end());
+  roles.insert(other.roles.begin(), other.roles.end());
+  object_types.insert(other.object_types.begin(), other.object_types.end());
+  permissions.insert(other.permissions.begin(), other.permissions.end());
+}
+
+Vocabulary extract_vocabulary(
+    const std::vector<keynote::Assertion>& assertions) {
+  Vocabulary v;
+  for (const auto& a : assertions) {
+    walk_program(a.conditions(), v);
+  }
+  return v;
+}
+
+mwsec::Result<SynthesisResult> synthesize_policy(
+    const std::vector<keynote::Assertion>& policy_assertions,
+    const std::vector<keynote::Assertion>& membership_credentials,
+    const std::string& admin_principal, PrincipalDirectory& directory,
+    const Vocabulary& extra_vocabulary) {
+  SynthesisResult out;
+
+  Vocabulary vocab = extract_vocabulary(policy_assertions);
+  vocab.merge(extract_vocabulary(membership_credentials));
+  vocab.merge(extra_vocabulary);
+
+  // HasPermission: semantic probe of every vocabulary combination. The
+  // admin key is the requester, matching Figure 5's licensing of KWebCom.
+  const keynote::ComplianceValueSet values;
+  for (const auto& object_type : vocab.object_types) {
+    for (const auto& domain : vocab.domains) {
+      for (const auto& role : vocab.roles) {
+        for (const auto& permission : vocab.permissions) {
+          keynote::Query q;
+          q.action_authorizers = {admin_principal};
+          q.env.set(kAppDomainAttr, kAppDomainValue);
+          q.env.set("ObjectType", object_type);
+          q.env.set("Domain", domain);
+          q.env.set("Role", role);
+          q.env.set("Permission", permission);
+          auto r = keynote::evaluate(policy_assertions, {}, q);
+          if (!r.ok()) return r.error();
+          if (r->authorized()) {
+            out.policy.grant(domain, role, object_type, permission).ok();
+          }
+        }
+      }
+    }
+  }
+
+  // UserRole: each membership credential authored by the admin key with a
+  // single resolvable licensee contributes the (domain, role) pairs its
+  // own conditions accept.
+  for (const auto& cred : membership_credentials) {
+    if (cred.authorizer() != admin_principal) {
+      out.unresolved.push_back("credential not authored by the admin key (" +
+                               cred.authorizer() + ")");
+      continue;
+    }
+    if (cred.licensees().kind != keynote::LicenseeExpr::Kind::kPrincipal) {
+      out.unresolved.push_back(
+          "credential has a compound licensee expression");
+      continue;
+    }
+    auto user = directory.user_of(cred.licensees().principal);
+    if (!user.ok()) {
+      out.unresolved.push_back("unknown principal " +
+                               cred.licensees().principal);
+      continue;
+    }
+    for (const auto& domain : vocab.domains) {
+      for (const auto& role : vocab.roles) {
+        auto lookup = [&](std::string_view name) -> std::string {
+          if (name == kAppDomainAttr) return kAppDomainValue;
+          if (name == "Domain") return domain;
+          if (name == "Role") return role;
+          if (const std::string* c = cred.find_constant(name)) return *c;
+          return std::string();
+        };
+        std::size_t val = keynote::eval_conditions(cred.conditions(), values,
+                                                   lookup);
+        if (val == values.max_index()) {
+          out.policy.assign(*user, domain, role).ok();
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mwsec::translate

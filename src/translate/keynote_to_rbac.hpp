@@ -1,0 +1,66 @@
+// KeyNote -> RBAC synthesis (paper §4.1 "Policy Configuration" and §4.2
+// "Policy Comprehension" in the reverse direction): given a set of KeyNote
+// assertions, reconstruct the RBAC relations they encode so they can be
+// commissioned into a middleware's native policy store.
+//
+// Conditions programs are not invertible in general, so synthesis is
+// *semantic*: a vocabulary of candidate Domains/Roles/ObjectTypes/
+// Permissions is extracted from the assertions' own literals (plus any
+// caller-supplied hints), and each candidate row is decided by actually
+// evaluating the KeyNote assertions — the same interpretation the paper
+// attributes to the translation tools.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "keynote/assertion.hpp"
+#include "rbac/model.hpp"
+#include "translate/directory.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::translate {
+
+/// Candidate values for each RBAC attribute.
+struct Vocabulary {
+  std::set<std::string> domains;
+  std::set<std::string> roles;
+  std::set<std::string> object_types;
+  std::set<std::string> permissions;
+
+  void merge(const Vocabulary& other);
+  std::size_t combinations() const {
+    return domains.size() * roles.size() * object_types.size() *
+           permissions.size();
+  }
+};
+
+/// Walk the assertions' conditions ASTs and collect every string literal
+/// compared (==) against the Domain / Role / ObjectType / Permission
+/// attributes.
+Vocabulary extract_vocabulary(const std::vector<keynote::Assertion>& assertions);
+
+struct SynthesisResult {
+  rbac::Policy policy;
+  /// Membership credentials whose licensee could not be resolved to a
+  /// middleware user (foreign keys, thresholds, compound licensees).
+  std::vector<std::string> unresolved;
+};
+
+/// Reconstruct the RBAC relations encoded by `policy_assertions` (the
+/// Figure 5 style POLICY) and `membership_credentials` (Figure 6 style,
+/// authored by `admin_principal`).
+///
+/// HasPermission rows: every vocabulary combination for which the admin
+/// key is authorised by the policy assertions.
+/// UserRole rows: for each credential authored by the admin key with a
+/// single-principal licensee resolvable by `directory`, every (domain,
+/// role) in the vocabulary satisfying the credential's conditions.
+mwsec::Result<SynthesisResult> synthesize_policy(
+    const std::vector<keynote::Assertion>& policy_assertions,
+    const std::vector<keynote::Assertion>& membership_credentials,
+    const std::string& admin_principal, PrincipalDirectory& directory,
+    const Vocabulary& extra_vocabulary = {});
+
+}  // namespace mwsec::translate

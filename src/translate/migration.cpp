@@ -1,0 +1,90 @@
+#include "translate/migration.hpp"
+
+namespace mwsec::translate {
+
+namespace {
+std::string mapped_domain(const std::string& domain,
+                          const MigrationOptions& options) {
+  auto it = options.domain_mapping.find(domain);
+  return it == options.domain_mapping.end() ? domain : it->second;
+}
+}  // namespace
+
+rbac::Policy remap_policy(const rbac::Policy& source,
+                          const MigrationOptions& options,
+                          const SimilarityMetric& metric,
+                          MigrationReport& report) {
+  rbac::Policy out;
+  for (const auto& g : source.grants()) {
+    std::string permission = g.permission;
+    if (!options.target_permissions.empty()) {
+      auto cached = report.permission_mapping.find(g.permission);
+      if (cached != report.permission_mapping.end()) {
+        permission = cached->second.candidate;
+      } else {
+        auto m = best_match(metric, g.permission, options.target_permissions,
+                            options.similarity_threshold);
+        if (!m) {
+          report.unmapped.push_back(g.domain + "/" + g.role + " on " +
+                                    g.object_type + ": permission '" +
+                                    g.permission +
+                                    "' has no target equivalent");
+          continue;
+        }
+        report.permission_mapping.emplace(g.permission, *m);
+        permission = m->candidate;
+      }
+    }
+    out.grant(mapped_domain(g.domain, options), g.role, g.object_type,
+              permission)
+        .ok();
+  }
+  for (const auto& a : source.assignments()) {
+    out.assign(a.user, mapped_domain(a.domain, options), a.role).ok();
+  }
+  return out;
+}
+
+mwsec::Result<MigrationReport> migrate(const middleware::SecuritySystem& source,
+                                       middleware::SecuritySystem& target,
+                                       const MigrationOptions& options) {
+  MigrationReport report;
+  auto metric = CombinedMetric::standard();
+  rbac::Policy remapped = remap_policy(source.export_policy(), options,
+                                       metric, report);
+  auto stats = target.import_policy(remapped);
+  if (!stats.ok()) return stats.error();
+  report.import_stats = std::move(stats).take();
+  report.commissioned = std::move(remapped);
+  return report;
+}
+
+mwsec::Result<MigrationReport> migrate_via_keynote(
+    const middleware::SecuritySystem& source,
+    middleware::SecuritySystem& target, const crypto::Identity& admin,
+    PrincipalDirectory& directory, const MigrationOptions& options) {
+  MigrationReport report;
+
+  // 1. Comprehend the source policy as KeyNote credentials (Figures 5-6).
+  auto compiled = compile_policy_signed(source.export_policy(), admin,
+                                        directory);
+  if (!compiled.ok()) return compiled.error();
+
+  // 2. Ship them (conceptually across Figure 9's network) and synthesise
+  //    the RBAC relations back on the target side.
+  auto synth = synthesize_policy({compiled->policy},
+                                 compiled->membership_credentials,
+                                 admin.principal(), directory);
+  if (!synth.ok()) return synth.error();
+
+  // 3. Remap onto the target's names and vocabulary, then commission.
+  auto metric = CombinedMetric::standard();
+  rbac::Policy remapped = remap_policy(synth->policy, options, metric, report);
+  auto stats = target.import_policy(remapped);
+  if (!stats.ok()) return stats.error();
+  report.import_stats = std::move(stats).take();
+  report.commissioned = std::move(remapped);
+  return report;
+}
+
+}  // namespace mwsec::translate

@@ -1,0 +1,66 @@
+// Policy migration between heterogeneous middlewares (paper §4.3,
+// Figure 9): export the source's native policy into the common RBAC
+// model, remap domain names and (where vocabularies differ) permissions,
+// and commission the result into the target.
+//
+// Two pipelines are provided:
+//   * migrate()             — direct, through the RBAC interlingua;
+//   * migrate_via_keynote() — the paper's full path: compile the source
+//     policy to KeyNote credentials, then synthesise the RBAC relations
+//     back from those credentials and commission them. This is what a
+//     Figure 9 deployment actually ships across the network.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "middleware/common/system.hpp"
+#include "translate/directory.hpp"
+#include "translate/keynote_to_rbac.hpp"
+#include "translate/rbac_to_keynote.hpp"
+#include "translate/similarity.hpp"
+
+namespace mwsec::translate {
+
+struct MigrationOptions {
+  /// Source domain -> target domain renames. Domains not mentioned are
+  /// kept verbatim.
+  std::map<std::string, std::string> domain_mapping;
+  /// When non-empty, permissions are remapped onto this target vocabulary
+  /// using the similarity metric (e.g. {"Launch","Access","RunAs"} when
+  /// migrating into COM+).
+  std::vector<std::string> target_permissions;
+  double similarity_threshold = 0.5;
+};
+
+struct MigrationReport {
+  middleware::ImportStats import_stats;
+  /// permission renames applied: source -> (target, score).
+  std::map<std::string, Match> permission_mapping;
+  /// rows dropped because no target permission scored above threshold.
+  std::vector<std::string> unmapped;
+  /// intermediate RBAC policy that was commissioned into the target.
+  rbac::Policy commissioned;
+};
+
+/// Apply domain and permission remapping to a policy.
+rbac::Policy remap_policy(const rbac::Policy& source,
+                          const MigrationOptions& options,
+                          const SimilarityMetric& metric,
+                          MigrationReport& report);
+
+/// Direct migration through the RBAC interlingua.
+mwsec::Result<MigrationReport> migrate(const middleware::SecuritySystem& source,
+                                       middleware::SecuritySystem& target,
+                                       const MigrationOptions& options = {});
+
+/// Full KeyNote round trip: source policy -> KeyNote policy+credentials ->
+/// synthesised RBAC -> target. Exercises exactly the interoperability path
+/// of Figure 9 (legacy COM policy driving a replacement EJB configuration).
+mwsec::Result<MigrationReport> migrate_via_keynote(
+    const middleware::SecuritySystem& source,
+    middleware::SecuritySystem& target, const crypto::Identity& admin,
+    PrincipalDirectory& directory, const MigrationOptions& options = {});
+
+}  // namespace mwsec::translate

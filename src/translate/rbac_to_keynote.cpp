@@ -1,0 +1,118 @@
+#include "translate/rbac_to_keynote.hpp"
+
+#include <map>
+
+namespace mwsec::translate {
+
+namespace {
+/// Quote a value for embedding in a conditions program.
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+}  // namespace
+
+std::string render_haspermission_conditions(const rbac::Policy& policy) {
+  // Group rows by ObjectType so the program reads like Figure 5: a guard
+  // on app_domain and ObjectType, then one disjunct per (Domain, Role)
+  // with its permissions.
+  std::map<std::string,
+           std::map<std::pair<std::string, std::string>,
+                    std::vector<std::string>>>
+      by_object;
+  for (const auto& g : policy.grants()) {
+    by_object[g.object_type][{g.domain, g.role}].push_back(g.permission);
+  }
+  if (by_object.empty()) {
+    // No permissions anywhere: a never-satisfied program.
+    return "false";
+  }
+
+  std::string out;
+  bool first_object = true;
+  for (const auto& [object_type, roles] : by_object) {
+    if (!first_object) out += " || ";
+    first_object = false;
+    out += "(" + std::string(kAppDomainAttr) + " == " +
+           quoted(kAppDomainValue) + " && ObjectType == " +
+           quoted(object_type) + " && (";
+    bool first_role = true;
+    for (const auto& [domain_role, permissions] : roles) {
+      if (!first_role) out += " || ";
+      first_role = false;
+      out += "(Domain==" + quoted(domain_role.first) +
+             " && Role==" + quoted(domain_role.second) + " && ";
+      if (permissions.size() == 1) {
+        out += "Permission==" + quoted(permissions[0]);
+      } else {
+        out += "(";
+        for (std::size_t i = 0; i < permissions.size(); ++i) {
+          if (i != 0) out += "||";
+          out += "Permission==" + quoted(permissions[i]);
+        }
+        out += ")";
+      }
+      out += ")";
+    }
+    out += "))";
+  }
+  return out;
+}
+
+std::string render_membership_conditions(
+    const std::vector<rbac::RoleAssignment>& memberships) {
+  std::string out = std::string(kAppDomainAttr) + " == " +
+                    quoted(kAppDomainValue) + " && (";
+  for (std::size_t i = 0; i < memberships.size(); ++i) {
+    if (i != 0) out += " || ";
+    out += "(Domain==" + quoted(memberships[i].domain) +
+           " && Role==" + quoted(memberships[i].role) + ")";
+  }
+  out += ")";
+  return out;
+}
+
+mwsec::Result<CompiledPolicy> compile_policy(const rbac::Policy& policy,
+                                             const std::string& admin_principal,
+                                             PrincipalDirectory& directory) {
+  auto policy_assertion =
+      keynote::AssertionBuilder()
+          .authorizer("POLICY")
+          .licensees(quoted(admin_principal))
+          .comment("HasPermission relation compiled by mwsec::translate")
+          .conditions(render_haspermission_conditions(policy))
+          .build();
+  if (!policy_assertion.ok()) return policy_assertion.error();
+  CompiledPolicy out{std::move(policy_assertion).take(), {}};
+
+  for (const auto& user : policy.users()) {
+    auto memberships = policy.assignments_of(user);
+    auto cred = keynote::AssertionBuilder()
+                    .authorizer(quoted(admin_principal))
+                    .licensees(quoted(directory.principal_of(user)))
+                    .comment("role membership for " + user)
+                    .conditions(render_membership_conditions(memberships))
+                    .build();
+    if (!cred.ok()) return cred.error();
+    out.membership_credentials.push_back(std::move(cred).take());
+  }
+  return out;
+}
+
+mwsec::Result<CompiledPolicy> compile_policy_signed(
+    const rbac::Policy& policy, const crypto::Identity& admin,
+    PrincipalDirectory& directory) {
+  auto compiled = compile_policy(policy, admin.principal(), directory);
+  if (!compiled.ok()) return compiled;
+  for (auto& cred : compiled.value().membership_credentials) {
+    if (auto s = cred.sign_with(admin); !s.ok()) return s.error();
+  }
+  return compiled;
+}
+
+}  // namespace mwsec::translate

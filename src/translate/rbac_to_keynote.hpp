@@ -1,0 +1,54 @@
+// RBAC -> KeyNote compilation (paper §4.2, "Policy Comprehension";
+// Figures 5-6 show the target encoding).
+//
+// The HasPermission relation becomes one KeyNote POLICY assertion that
+// authorises the WebCom administration key over the attribute vocabulary
+// {app_domain, ObjectType, Domain, Role, Permission}; each user's rows of
+// the UserRole relation become one membership credential signed by the
+// WebCom key (Figure 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "keynote/assertion.hpp"
+#include "rbac/model.hpp"
+#include "translate/directory.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::translate {
+
+/// The attribute names of the WebCom encoding (Figure 5).
+inline constexpr const char* kAppDomainAttr = "app_domain";
+inline constexpr const char* kAppDomainValue = "WebCom";
+
+struct CompiledPolicy {
+  /// The POLICY assertion encoding HasPermission (Figure 5).
+  keynote::Assertion policy;
+  /// One membership credential per user (Figure 6), authored by the
+  /// WebCom key. Signed when compiled with a signing identity.
+  std::vector<keynote::Assertion> membership_credentials;
+};
+
+/// Render the Figure 5 conditions program for a HasPermission relation.
+/// Deterministic: rows are grouped by ObjectType, in relation order.
+std::string render_haspermission_conditions(const rbac::Policy& policy);
+
+/// Render the Figure 6 conditions for one user's role memberships.
+std::string render_membership_conditions(
+    const std::vector<rbac::RoleAssignment>& memberships);
+
+/// Compile with an unsigned-credential result (opaque principals, as the
+/// paper's figures print them).
+mwsec::Result<CompiledPolicy> compile_policy(const rbac::Policy& policy,
+                                             const std::string& admin_principal,
+                                             PrincipalDirectory& directory);
+
+/// Compile and sign every membership credential with the admin identity
+/// (whose principal becomes the authorizer).
+mwsec::Result<CompiledPolicy> compile_policy_signed(
+    const rbac::Policy& policy, const crypto::Identity& admin,
+    PrincipalDirectory& directory);
+
+}  // namespace mwsec::translate

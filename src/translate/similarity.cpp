@@ -1,0 +1,129 @@
+#include "translate/similarity.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace mwsec::translate {
+
+double EditDistanceMetric::score(const std::string& a,
+                                 const std::string& b) const {
+  std::string la = util::to_lower(a), lb = util::to_lower(b);
+  if (la.empty() && lb.empty()) return 1.0;
+  std::size_t d = util::edit_distance(la, lb);
+  std::size_t denom = std::max(la.size(), lb.size());
+  return 1.0 - static_cast<double>(d) / static_cast<double>(denom);
+}
+
+std::set<std::string> TokenSetMetric::tokens(const std::string& s) {
+  std::set<std::string> out;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      out.insert(current);
+      current.clear();
+    }
+  };
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c == '_' || c == '-' || c == '.' || c == '/' || c == ' ') {
+      flush();
+      continue;
+    }
+    // camelCase boundary: lower followed by upper.
+    if (std::isupper(c) && i > 0 &&
+        std::islower(static_cast<unsigned char>(s[i - 1]))) {
+      flush();
+    }
+    current.push_back(static_cast<char>(std::tolower(c)));
+  }
+  flush();
+  return out;
+}
+
+double TokenSetMetric::score(const std::string& a, const std::string& b) const {
+  auto ta = tokens(a), tb = tokens(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  std::size_t inter = 0;
+  for (const auto& t : ta) inter += tb.count(t);
+  std::size_t uni = ta.size() + tb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+SynonymMetric::SynonymMetric() {
+  add_group({"read", "get", "select", "view", "fetch", "access"});
+  add_group({"write", "set", "update", "modify", "put"});
+  add_group({"create", "insert", "add", "new"});
+  add_group({"delete", "remove", "drop", "destroy"});
+  add_group({"execute", "launch", "run", "start", "invoke", "call"});
+  add_group({"admin", "administer", "manage", "runas"});
+}
+
+void SynonymMetric::add_group(std::vector<std::string> synonyms) {
+  int id = next_group_++;
+  for (auto& s : synonyms) {
+    group_of_[util::to_lower(s)] = id;
+  }
+}
+
+double SynonymMetric::score(const std::string& a, const std::string& b) const {
+  std::string la = util::to_lower(a), lb = util::to_lower(b);
+  if (la == lb) return 1.0;
+  auto ia = group_of_.find(la);
+  auto ib = group_of_.find(lb);
+  if (ia != group_of_.end() && ib != group_of_.end() &&
+      ia->second == ib->second) {
+    return 1.0;
+  }
+  // Fall back on token-level synonymy: any token pair in a common group.
+  for (const auto& ta : TokenSetMetric::tokens(a)) {
+    for (const auto& tb : TokenSetMetric::tokens(b)) {
+      auto ja = group_of_.find(ta);
+      auto jb = group_of_.find(tb);
+      if (ja != group_of_.end() && jb != group_of_.end() &&
+          ja->second == jb->second) {
+        return 0.9;
+      }
+      if (ta == tb) return 0.8;
+    }
+  }
+  return 0.0;
+}
+
+CombinedMetric CombinedMetric::standard() {
+  CombinedMetric m;
+  m.add(std::make_shared<EditDistanceMetric>());
+  m.add(std::make_shared<TokenSetMetric>());
+  m.add(std::make_shared<SynonymMetric>());
+  return m;
+}
+
+void CombinedMetric::add(std::shared_ptr<SimilarityMetric> metric,
+                         double weight) {
+  parts_.emplace_back(std::move(metric), weight);
+}
+
+double CombinedMetric::score(const std::string& a, const std::string& b) const {
+  double best = 0.0;
+  for (const auto& [metric, weight] : parts_) {
+    best = std::max(best, weight * metric->score(a, b));
+  }
+  return std::min(best, 1.0);
+}
+
+std::optional<Match> best_match(const SimilarityMetric& metric,
+                                const std::string& term,
+                                const std::vector<std::string>& candidates,
+                                double threshold) {
+  std::optional<Match> best;
+  for (const auto& c : candidates) {
+    double s = metric.score(term, c);
+    if (s >= threshold && (!best || s > best->score)) {
+      best = Match{c, s};
+    }
+  }
+  return best;
+}
+
+}  // namespace mwsec::translate

@@ -1,0 +1,77 @@
+// Similarity metrics for imprecise policy translation (paper §4.3; Foley,
+// "Supporting imprecise delegation in KeyNote using similarity measures"
+// [13]). Migrating a policy between middlewares whose permission
+// vocabularies differ (e.g. EJB method names vs COM+'s fixed
+// Launch/Access/RunAs) is not a one-to-one mapping; the translation tools
+// score candidate targets and pick the best match above a threshold.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mwsec::translate {
+
+/// A similarity metric scores term pairs in [0, 1]; 1 is identical.
+class SimilarityMetric {
+ public:
+  virtual ~SimilarityMetric() = default;
+  virtual double score(const std::string& a, const std::string& b) const = 0;
+};
+
+/// 1 - normalised Levenshtein distance, case-insensitive.
+class EditDistanceMetric final : public SimilarityMetric {
+ public:
+  double score(const std::string& a, const std::string& b) const override;
+};
+
+/// Jaccard similarity of the camelCase/snake_case token sets, so
+/// "GetSalary" ~ "get_salary_record" scores well.
+class TokenSetMetric final : public SimilarityMetric {
+ public:
+  double score(const std::string& a, const std::string& b) const override;
+  static std::set<std::string> tokens(const std::string& s);
+};
+
+/// Domain-knowledge synonym table: pairs in the same group score 1.
+/// Ships with middleware permission synonyms (read/get/select/Access,
+/// write/set/update, execute/launch/run/start...).
+class SynonymMetric final : public SimilarityMetric {
+ public:
+  SynonymMetric();  // default middleware synonym groups
+  void add_group(std::vector<std::string> synonyms);
+  double score(const std::string& a, const std::string& b) const override;
+
+ private:
+  std::map<std::string, int> group_of_;  // lower-cased term -> group id
+  int next_group_ = 0;
+};
+
+/// max over weighted component metrics.
+class CombinedMetric final : public SimilarityMetric {
+ public:
+  /// Default: max(edit, token, synonym).
+  static CombinedMetric standard();
+  void add(std::shared_ptr<SimilarityMetric> metric, double weight = 1.0);
+  double score(const std::string& a, const std::string& b) const override;
+
+ private:
+  std::vector<std::pair<std::shared_ptr<SimilarityMetric>, double>> parts_;
+};
+
+struct Match {
+  std::string candidate;
+  double score;
+};
+
+/// Best-scoring candidate at or above `threshold`, if any. Ties break to
+/// the earlier candidate.
+std::optional<Match> best_match(const SimilarityMetric& metric,
+                                const std::string& term,
+                                const std::vector<std::string>& candidates,
+                                double threshold);
+
+}  // namespace mwsec::translate

@@ -1,0 +1,77 @@
+#include "util/byte_buffer.hpp"
+
+namespace mwsec::util {
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::blob(const Bytes& b) {
+  u32(static_cast<std::uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void ByteWriter::raw(const Bytes& b) {
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+Result<void> ByteReader::need(std::size_t n) {
+  if (remaining() < n) {
+    return Error::make("truncated message", "wire");
+  }
+  return {};
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+  if (auto s = need(1); !s.ok()) return s.error();
+  return data_[pos_++];
+}
+
+Result<std::uint32_t> ByteReader::u32() {
+  if (auto s = need(4); !s.ok()) return s.error();
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Result<std::uint64_t> ByteReader::u64() {
+  if (auto s = need(8); !s.ok()) return s.error();
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string> ByteReader::str() {
+  auto len = u32();
+  if (!len.ok()) return len.error();
+  if (auto s = need(*len); !s.ok()) return s.error();
+  std::string out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+  pos_ += *len;
+  return out;
+}
+
+Result<Bytes> ByteReader::blob() {
+  auto len = u32();
+  if (!len.ok()) return len.error();
+  if (auto s = need(*len); !s.ok()) return s.error();
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *len));
+  pos_ += *len;
+  return out;
+}
+
+}  // namespace mwsec::util

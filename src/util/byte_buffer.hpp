@@ -1,0 +1,53 @@
+// Length-prefixed binary serialisation used by the simulated network layer
+// (mwsec::net) and the credential wire formats. All integers are encoded
+// little-endian; strings and blobs carry a u32 length prefix. The Reader is
+// bounds-checked and returns Result so malformed messages are rejected, not
+// UB — the "untrusted network" in Figure 3 flows through here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/encoding.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::util {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void str(std::string_view s);
+  void blob(const Bytes& b);
+  void raw(const Bytes& b);  ///< append without a length prefix
+
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& data) : data_(data) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<std::string> str();
+  Result<Bytes> blob();
+
+  bool exhausted() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  Result<void> need(std::size_t n);
+  const Bytes& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mwsec::util

@@ -1,0 +1,124 @@
+#include "util/encoding.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace mwsec::util {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+constexpr char kB64Digits[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+int b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+}  // namespace
+
+std::string hex_encode(const Bytes& data) {
+  return hex_encode(data.data(), data.size());
+}
+
+std::string hex_encode(const std::uint8_t* data, std::size_t len) {
+  std::string out;
+  out.reserve(len * 2);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+Result<Bytes> hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Error::make("hex string has odd length", "encoding");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_nibble(hex[i]);
+    int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Error::make("invalid hex digit", "encoding");
+    }
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::string base64_encode(const Bytes& data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8) |
+                      data[i + 2];
+    out.push_back(kB64Digits[(v >> 18) & 63]);
+    out.push_back(kB64Digits[(v >> 12) & 63]);
+    out.push_back(kB64Digits[(v >> 6) & 63]);
+    out.push_back(kB64Digits[v & 63]);
+  }
+  std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    std::uint32_t v = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kB64Digits[(v >> 18) & 63]);
+    out.push_back(kB64Digits[(v >> 12) & 63]);
+    out.append("==");
+  } else if (rem == 2) {
+    std::uint32_t v = (static_cast<std::uint32_t>(data[i]) << 16) |
+                      (static_cast<std::uint32_t>(data[i + 1]) << 8);
+    out.push_back(kB64Digits[(v >> 18) & 63]);
+    out.push_back(kB64Digits[(v >> 12) & 63]);
+    out.push_back(kB64Digits[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<Bytes> base64_decode(std::string_view b64) {
+  Bytes out;
+  std::uint32_t acc = 0;
+  int bits = 0;
+  std::size_t pad = 0;
+  for (char c : b64) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '=') {
+      ++pad;
+      continue;
+    }
+    if (pad != 0) return Error::make("base64 data after padding", "encoding");
+    int v = b64_value(c);
+    if (v < 0) return Error::make("invalid base64 character", "encoding");
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xff));
+    }
+  }
+  if (pad > 2) return Error::make("too much base64 padding", "encoding");
+  return out;
+}
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace mwsec::util

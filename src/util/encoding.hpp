@@ -1,0 +1,28 @@
+// Hex and base64 codecs. KeyNote key and signature material is carried as
+// "hex:..." / "base64:..." encoded blobs (RFC 2704 section 6); both codecs
+// are implemented here so the crypto and keynote modules share one copy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace mwsec::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+std::string hex_encode(const Bytes& data);
+std::string hex_encode(const std::uint8_t* data, std::size_t len);
+Result<Bytes> hex_decode(std::string_view hex);
+
+std::string base64_encode(const Bytes& data);
+Result<Bytes> base64_decode(std::string_view b64);
+
+/// Bytes <-> std::string convenience (no encoding change).
+Bytes to_bytes(std::string_view s);
+std::string to_string(const Bytes& b);
+
+}  // namespace mwsec::util

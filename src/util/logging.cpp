@@ -1,0 +1,43 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace mwsec::util {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    default: return "?";
+  }
+}
+}  // namespace
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::scoped_lock lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::scoped_lock lock(mu_);
+  return level_;
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view msg) {
+  std::scoped_lock lock(mu_);
+  if (level > level_ || level_ == LogLevel::kOff) return;
+  std::fprintf(stderr, "[%s] [%.*s] %.*s\n", level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace mwsec::util

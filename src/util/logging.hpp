@@ -1,0 +1,55 @@
+// Minimal leveled, thread-safe logger.
+//
+// The simulators log mediation decisions and scheduling events; tests set
+// the level to kOff to keep output clean, the examples run at kInfo.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mwsec::util {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+class Logger {
+ public:
+  /// Process-wide logger instance.
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Emit one line: "[level] [component] message".
+  void log(LogLevel level, std::string_view component, std::string_view msg);
+
+ private:
+  Logger() = default;
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+/// Streaming helper: MWSEC_LOG(kInfo, "webcom") << "scheduled " << n;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().log(level_, component_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+}  // namespace mwsec::util
+
+#define MWSEC_LOG(level, component) \
+  ::mwsec::util::LogLine(::mwsec::util::LogLevel::level, component)

@@ -1,0 +1,84 @@
+// Result<T>: a lightweight expected-like type used across the library for
+// operations that can fail with a human-readable diagnostic (parse errors,
+// signature failures, policy violations). C++23 std::expected is not
+// available under the C++20 toolchain, so we carry a minimal equivalent.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mwsec {
+
+/// Error payload: a message plus an optional machine-readable code.
+struct Error {
+  std::string message;
+  std::string code;  ///< e.g. "parse", "signature", "denied"; optional.
+
+  static Error make(std::string msg, std::string c = {}) {
+    return Error{std::move(msg), std::move(c)};
+  }
+};
+
+/// Result of a fallible operation: either a value or an Error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Result(Error err) : data_(std::in_place_index<1>, std::move(err)) {}
+
+  bool ok() const { return data_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  T&& take() && {
+    assert(ok());
+    return std::get<0>(std::move(data_));
+  }
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<1>(data_);
+  }
+
+  /// Value if ok, otherwise the supplied fallback.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> data_;
+};
+
+/// Result specialisation for operations with no payload.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error err) : err_(std::move(err)) {}
+
+  bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(!ok());
+    return *err_;
+  }
+
+ private:
+  std::optional<Error> err_;
+};
+
+using Status = Result<void>;
+
+inline Status ok_status() { return Status{}; }
+
+}  // namespace mwsec

@@ -1,0 +1,133 @@
+#include "webcom/flatten.hpp"
+
+namespace mwsec::webcom {
+
+bool has_condensations(const Graph& graph) {
+  for (const auto& node : graph.nodes()) {
+    if (node.condensed != nullptr) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Copy a regular node into `out`, returning its new id.
+NodeId copy_node(Graph& out, const Node& node, const std::string& prefix) {
+  NodeId id = out.add_node(prefix + node.name, node.operation, node.arity);
+  for (const auto& [port, value] : node.literals) {
+    out.set_literal(id, port, value).ok();
+  }
+  if (node.target.has_value()) out.set_target(id, *node.target).ok();
+  return id;
+}
+
+struct Spliced {
+  /// For each source node: the out-node producing its result.
+  std::vector<NodeId> result_of;
+  /// For each source node: where each of its input ports lands in `out`
+  /// (condensed nodes remap ports onto subgraph entries).
+  std::vector<std::vector<std::pair<NodeId, std::size_t>>> port_of;
+};
+
+mwsec::Result<Spliced> splice(Graph& out, const Graph& src,
+                              const std::string& prefix,
+                              const std::optional<SecurityTarget>& inherited) {
+  Spliced map;
+  map.result_of.resize(src.nodes().size());
+  map.port_of.resize(src.nodes().size());
+
+  for (NodeId i = 0; i < src.nodes().size(); ++i) {
+    const Node& node = src.nodes()[i];
+    if (node.condensed == nullptr) {
+      NodeId id = copy_node(out, node, prefix);
+      // Inherit the enclosing condensation's placement when the node has
+      // none of its own.
+      if (!node.target.has_value() && inherited.has_value()) {
+        out.set_target(id, *inherited).ok();
+      }
+      map.result_of[i] = id;
+      map.port_of[i].reserve(node.arity);
+      for (std::size_t p = 0; p < node.arity; ++p) {
+        map.port_of[i].emplace_back(id, p);
+      }
+      continue;
+    }
+
+    // Condensed node: splice the subgraph recursively.
+    const Graph& sub = *node.condensed;
+    std::optional<SecurityTarget> sub_inherited =
+        node.target.has_value() ? node.target : inherited;
+    auto inner = splice(out, sub, prefix + node.name + "/", sub_inherited);
+    if (!inner.ok()) return inner;
+
+    // Internal arcs of the subgraph.
+    for (const auto& arc : sub.arcs()) {
+      auto [to_node, to_port] = inner->port_of[arc.to][arc.port];
+      if (auto s = out.connect(inner->result_of[arc.from], to_node, to_port);
+          !s.ok()) {
+        return s.error();
+      }
+    }
+
+    // The condensed node's input ports become the subgraph's entries.
+    const auto& entries = sub.entries();
+    if (entries.size() != node.arity) {
+      return Error::make("condensed node " + node.name + " arity " +
+                             std::to_string(node.arity) + " != " +
+                             std::to_string(entries.size()) + " entries",
+                         "flatten");
+    }
+    map.port_of[i].reserve(entries.size());
+    for (const auto& [entry_node, entry_port] : entries) {
+      map.port_of[i].push_back(inner->port_of[entry_node][entry_port]);
+    }
+    // Literals bound directly on the condensed node's ports feed the
+    // entry ports.
+    for (const auto& [port, value] : node.literals) {
+      auto [to_node, to_port] = map.port_of[i][port];
+      if (auto s = out.set_literal(to_node, to_port, value); !s.ok()) {
+        return s.error();
+      }
+    }
+
+    if (!sub.exit().has_value()) {
+      return Error::make("condensed node " + node.name + " has no exit",
+                         "flatten");
+    }
+    map.result_of[i] = inner->result_of[*sub.exit()];
+  }
+  return map;
+}
+
+}  // namespace
+
+mwsec::Result<Graph> flatten(const Graph& graph) {
+  if (auto s = graph.validate(); !s.ok()) return s.error();
+
+  Graph out;
+  auto map = splice(out, graph, "", std::nullopt);
+  if (!map.ok()) return map.error();
+
+  for (const auto& arc : graph.arcs()) {
+    auto [to_node, to_port] = map->port_of[arc.to][arc.port];
+    if (auto s = out.connect(map->result_of[arc.from], to_node, to_port);
+        !s.ok()) {
+      return s.error();
+    }
+  }
+  if (auto s = out.set_exit(map->result_of[*graph.exit()]); !s.ok()) {
+    return s.error();
+  }
+  for (const auto& [entry_node, entry_port] : graph.entries()) {
+    auto [to_node, to_port] = map->port_of[entry_node][entry_port];
+    if (auto s = out.add_entry(to_node, to_port); !s.ok()) return s.error();
+  }
+  if (auto s = out.validate(); !s.ok()) {
+    return Error::make("flattening produced an invalid graph: " +
+                           s.error().message,
+                       "flatten");
+  }
+  return out;
+}
+
+}  // namespace mwsec::webcom

@@ -1,0 +1,25 @@
+// Condensation flattening: rewrite a graph with condensed nodes into an
+// equivalent flat graph by splicing every subgraph in place of its
+// condensed node (recursively). The local engine evaporates condensations
+// on the fly; the *distributed* scheduler ships individual operations to
+// clients, so graphs are flattened before master execution.
+//
+// Placement semantics: a SecurityTarget on a condensed node applies to
+// every spliced node that does not carry its own — constraining the whole
+// sub-workflow, which is what Section 6's component placement means for a
+// compound component.
+#pragma once
+
+#include "util/result.hpp"
+#include "webcom/graph.hpp"
+
+namespace mwsec::webcom {
+
+/// Flatten all condensations, recursively. The input must validate.
+/// Spliced node names are prefixed "<condensed-node-name>/".
+mwsec::Result<Graph> flatten(const Graph& graph);
+
+/// True if the graph contains at least one condensed node.
+bool has_condensations(const Graph& graph);
+
+}  // namespace mwsec::webcom

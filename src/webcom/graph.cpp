@@ -1,0 +1,156 @@
+#include "webcom/graph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace mwsec::webcom {
+
+NodeId Graph::add_node(std::string name, std::string operation,
+                       std::size_t arity) {
+  Node n;
+  n.name = std::move(name);
+  n.operation = std::move(operation);
+  n.arity = arity;
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+NodeId Graph::add_constant(std::string name, Value value) {
+  NodeId id = add_node(std::move(name), "const", 1);
+  nodes_[id].literals[0] = std::move(value);
+  return id;
+}
+
+NodeId Graph::add_condensed(std::string name, Graph subgraph) {
+  Node n;
+  n.name = std::move(name);
+  n.operation = "<condensed>";
+  n.arity = subgraph.entries().size();
+  n.condensed = std::make_shared<Graph>(std::move(subgraph));
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+mwsec::Status Graph::connect(NodeId from, NodeId to, std::size_t port) {
+  if (from >= nodes_.size() || to >= nodes_.size()) {
+    return Error::make("arc endpoint out of range", "graph");
+  }
+  if (port >= nodes_[to].arity) {
+    return Error::make("port " + std::to_string(port) + " out of range for " +
+                           nodes_[to].name,
+                       "graph");
+  }
+  arcs_.push_back(Arc{from, to, port});
+  return {};
+}
+
+mwsec::Status Graph::set_literal(NodeId node, std::size_t port, Value value) {
+  if (node >= nodes_.size()) return Error::make("node out of range", "graph");
+  if (port >= nodes_[node].arity) {
+    return Error::make("port out of range", "graph");
+  }
+  nodes_[node].literals[port] = std::move(value);
+  return {};
+}
+
+mwsec::Status Graph::set_target(NodeId node, SecurityTarget target) {
+  if (node >= nodes_.size()) return Error::make("node out of range", "graph");
+  nodes_[node].target = std::move(target);
+  return {};
+}
+
+mwsec::Status Graph::set_exit(NodeId node) {
+  if (node >= nodes_.size()) return Error::make("node out of range", "graph");
+  exit_ = node;
+  return {};
+}
+
+mwsec::Status Graph::add_entry(NodeId node, std::size_t port) {
+  if (node >= nodes_.size()) return Error::make("node out of range", "graph");
+  if (port >= nodes_[node].arity) {
+    return Error::make("port out of range", "graph");
+  }
+  entries_.emplace_back(node, port);
+  return {};
+}
+
+std::map<std::size_t, NodeId> Graph::producers_of(NodeId node) const {
+  std::map<std::size_t, NodeId> out;
+  for (const auto& arc : arcs_) {
+    if (arc.to == node) out[arc.port] = arc.from;
+  }
+  return out;
+}
+
+std::vector<NodeId> Graph::consumers_of(NodeId node) const {
+  std::vector<NodeId> out;
+  for (const auto& arc : arcs_) {
+    if (arc.from == node) out.push_back(arc.to);
+  }
+  return out;
+}
+
+mwsec::Result<std::vector<NodeId>> Graph::topological_order() const {
+  std::vector<std::size_t> indegree(nodes_.size(), 0);
+  for (const auto& arc : arcs_) ++indegree[arc.to];
+  std::deque<NodeId> ready;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  while (!ready.empty()) {
+    NodeId n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (const auto& arc : arcs_) {
+      if (arc.from == n && --indegree[arc.to] == 0) ready.push_back(arc.to);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    return Error::make("graph contains a cycle", "graph");
+  }
+  return order;
+}
+
+mwsec::Status Graph::validate() const {
+  if (nodes_.empty()) return Error::make("graph is empty", "graph");
+  if (!exit_.has_value()) {
+    return Error::make("graph has no exit node", "graph");
+  }
+  // Every operand port bound exactly once (arc or literal or entry).
+  std::vector<std::map<std::size_t, int>> bound(nodes_.size());
+  for (const auto& arc : arcs_) ++bound[arc.to][arc.port];
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    for (const auto& [port, _] : nodes_[i].literals) ++bound[i][port];
+  }
+  for (const auto& [node, port] : entries_) ++bound[node][port];
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t p = 0; p < nodes_[i].arity; ++p) {
+      auto it = bound[i].find(p);
+      int count = it == bound[i].end() ? 0 : it->second;
+      if (count == 0) {
+        return Error::make("node " + nodes_[i].name + " port " +
+                               std::to_string(p) + " is unbound",
+                           "graph");
+      }
+      if (count > 1) {
+        return Error::make("node " + nodes_[i].name + " port " +
+                               std::to_string(p) + " is multiply bound",
+                           "graph");
+      }
+    }
+    if (nodes_[i].condensed != nullptr) {
+      if (auto s = nodes_[i].condensed->validate(); !s.ok()) {
+        return Error::make("condensed node " + nodes_[i].name + ": " +
+                               s.error().message,
+                           "graph");
+      }
+    }
+  }
+  auto order = topological_order();
+  if (!order.ok()) return order.error();
+  return {};
+}
+
+}  // namespace mwsec::webcom

@@ -1,0 +1,121 @@
+// Condensed graphs (Morrison [21]): the application model WebCom executes.
+//
+// An application is a directed graph of operator nodes. A node carries an
+// operation name and a fixed arity of operand ports; arcs connect node
+// results to operand ports. A *condensed* node encapsulates an entire
+// subgraph behind an ordinary node interface — evaluating it "evaporates"
+// the condensation (Morrison's terminology), binding the operands to the
+// subgraph's entry ports. The three firing disciplines the thesis unifies
+// are selected at evaluation time (engine.hpp): availability-driven
+// (fire when operands arrive), control-driven (fire only what the exit
+// node transitively demands) and coercion-driven (demand first, speculate
+// on the rest).
+//
+// Nodes also carry the Section 6 security annotations: the middleware
+// component they stand for (ObjectType + Permission) and an optional —
+// possibly partial — (Domain, Role, User) placement constraint the secure
+// scheduler must honour.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace mwsec::webcom {
+
+using Value = std::string;
+using NodeId = std::size_t;
+
+/// Section 6 placement constraint. Empty fields are unconstrained
+/// ("partial specification is also supported").
+struct SecurityTarget {
+  std::string object_type;  ///< RBAC ObjectType of the component
+  std::string permission;   ///< RBAC Permission required to execute it
+  std::string domain;       ///< required execution domain ("" = any)
+  std::string role;         ///< required role ("" = any)
+  std::string user;         ///< required user ("" = any)
+
+  bool constrained() const {
+    return !object_type.empty() || !permission.empty() || !domain.empty() ||
+           !role.empty() || !user.empty();
+  }
+};
+
+class Graph;
+
+struct Node {
+  std::string name;
+  std::string operation;           ///< operation name, resolved by clients
+  std::size_t arity = 0;
+  std::optional<SecurityTarget> target;
+  /// Literal operand values (port -> value); ports without a literal must
+  /// be fed by an arc.
+  std::map<std::size_t, Value> literals;
+  /// Condensed node: the encapsulated subgraph (operation is ignored).
+  std::shared_ptr<const Graph> condensed;
+};
+
+struct Arc {
+  NodeId from;
+  NodeId to;
+  std::size_t port;
+};
+
+class Graph {
+ public:
+  /// Add an operator node.
+  NodeId add_node(std::string name, std::string operation, std::size_t arity);
+  /// Add a 0-ary node producing a constant.
+  NodeId add_constant(std::string name, Value value);
+  /// Add a condensed node encapsulating `subgraph` (its entry ports are
+  /// the subgraph's `entry_nodes`, one port per entry, in order).
+  NodeId add_condensed(std::string name, Graph subgraph);
+
+  /// Feed node `to`'s operand `port` from node `from`'s result.
+  mwsec::Status connect(NodeId from, NodeId to, std::size_t port);
+  /// Bind a literal operand.
+  mwsec::Status set_literal(NodeId node, std::size_t port, Value value);
+  /// Attach the Section 6 security annotation.
+  mwsec::Status set_target(NodeId node, SecurityTarget target);
+  /// Designate the node whose value is the graph's result (the X node of
+  /// a condensed graph).
+  mwsec::Status set_exit(NodeId node);
+
+  /// Entry ports of a condensed graph: `port` of `node` is fed by the
+  /// enclosing graph's arc into the condensed node's same-index port.
+  mwsec::Status add_entry(NodeId node, std::size_t port);
+  /// Forget the entry registrations — used when evaporating a
+  /// condensation, after each entry port has been bound to a literal.
+  void clear_entries() { entries_.clear(); }
+
+  /// Structural checks: every port bound exactly once, arcs in range,
+  /// exit designated, graph acyclic.
+  mwsec::Status validate() const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Arc>& arcs() const { return arcs_; }
+  std::optional<NodeId> exit() const { return exit_; }
+  const std::vector<std::pair<NodeId, std::size_t>>& entries() const {
+    return entries_;
+  }
+
+  /// Arcs feeding each node, grouped: port -> producer.
+  std::map<std::size_t, NodeId> producers_of(NodeId node) const;
+  /// Nodes consuming a node's result.
+  std::vector<NodeId> consumers_of(NodeId node) const;
+
+  /// Topological order; error if cyclic.
+  mwsec::Result<std::vector<NodeId>> topological_order() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Arc> arcs_;
+  std::optional<NodeId> exit_;
+  std::vector<std::pair<NodeId, std::size_t>> entries_;
+};
+
+}  // namespace mwsec::webcom

@@ -1,0 +1,210 @@
+#include "webcom/graph_io.hpp"
+
+namespace mwsec::webcom {
+
+namespace {
+
+constexpr std::uint8_t kFormatVersion = 1;
+
+void encode_target(util::ByteWriter& w, const SecurityTarget& t) {
+  w.str(t.object_type);
+  w.str(t.permission);
+  w.str(t.domain);
+  w.str(t.role);
+  w.str(t.user);
+}
+
+mwsec::Result<SecurityTarget> decode_target(util::ByteReader& r) {
+  SecurityTarget t;
+  for (std::string* field :
+       {&t.object_type, &t.permission, &t.domain, &t.role, &t.user}) {
+    auto s = r.str();
+    if (!s.ok()) return s.error();
+    *field = std::move(s).take();
+  }
+  return t;
+}
+
+void encode_into(util::ByteWriter& w, const Graph& g) {
+  w.u32(static_cast<std::uint32_t>(g.nodes().size()));
+  for (const auto& node : g.nodes()) {
+    w.str(node.name);
+    w.str(node.operation);
+    w.u32(static_cast<std::uint32_t>(node.arity));
+    w.u8(node.target.has_value() ? 1 : 0);
+    if (node.target.has_value()) encode_target(w, *node.target);
+    w.u32(static_cast<std::uint32_t>(node.literals.size()));
+    for (const auto& [port, value] : node.literals) {
+      w.u32(static_cast<std::uint32_t>(port));
+      w.str(value);
+    }
+    w.u8(node.condensed != nullptr ? 1 : 0);
+    if (node.condensed != nullptr) encode_into(w, *node.condensed);
+  }
+  w.u32(static_cast<std::uint32_t>(g.arcs().size()));
+  for (const auto& arc : g.arcs()) {
+    w.u32(static_cast<std::uint32_t>(arc.from));
+    w.u32(static_cast<std::uint32_t>(arc.to));
+    w.u32(static_cast<std::uint32_t>(arc.port));
+  }
+  w.u8(g.exit().has_value() ? 1 : 0);
+  if (g.exit().has_value()) w.u32(static_cast<std::uint32_t>(*g.exit()));
+  w.u32(static_cast<std::uint32_t>(g.entries().size()));
+  for (const auto& [node, port] : g.entries()) {
+    w.u32(static_cast<std::uint32_t>(node));
+    w.u32(static_cast<std::uint32_t>(port));
+  }
+}
+
+mwsec::Result<Graph> decode_from(util::ByteReader& r, int depth) {
+  if (depth > 32) {
+    return Error::make("condensation nesting too deep", "wire");
+  }
+  Graph g;
+  auto node_count = r.u32();
+  if (!node_count.ok()) return node_count.error();
+  for (std::uint32_t i = 0; i < *node_count; ++i) {
+    auto name = r.str();
+    if (!name.ok()) return name.error();
+    auto operation = r.str();
+    if (!operation.ok()) return operation.error();
+    auto arity = r.u32();
+    if (!arity.ok()) return arity.error();
+
+    auto has_target = r.u8();
+    if (!has_target.ok()) return has_target.error();
+    std::optional<SecurityTarget> target;
+    if (*has_target != 0) {
+      auto t = decode_target(r);
+      if (!t.ok()) return t.error();
+      target = std::move(t).take();
+    }
+
+    auto literal_count = r.u32();
+    if (!literal_count.ok()) return literal_count.error();
+    std::map<std::size_t, Value> literals;
+    for (std::uint32_t l = 0; l < *literal_count; ++l) {
+      auto port = r.u32();
+      if (!port.ok()) return port.error();
+      auto value = r.str();
+      if (!value.ok()) return value.error();
+      literals[*port] = std::move(value).take();
+    }
+
+    auto has_condensed = r.u8();
+    if (!has_condensed.ok()) return has_condensed.error();
+
+    NodeId id;
+    if (*has_condensed != 0) {
+      auto sub = decode_from(r, depth + 1);
+      if (!sub.ok()) return sub;
+      id = g.add_condensed(std::move(name).take(), std::move(sub).take());
+      if (g.nodes()[id].arity != *arity) {
+        return Error::make("condensed node arity mismatch", "wire");
+      }
+    } else {
+      id = g.add_node(std::move(name).take(), std::move(operation).take(),
+                      *arity);
+    }
+    if (target.has_value()) {
+      if (auto s = g.set_target(id, *target); !s.ok()) return s.error();
+    }
+    for (auto& [port, value] : literals) {
+      if (auto s = g.set_literal(id, port, std::move(value)); !s.ok()) {
+        return s.error();
+      }
+    }
+  }
+
+  auto arc_count = r.u32();
+  if (!arc_count.ok()) return arc_count.error();
+  for (std::uint32_t i = 0; i < *arc_count; ++i) {
+    auto from = r.u32();
+    if (!from.ok()) return from.error();
+    auto to = r.u32();
+    if (!to.ok()) return to.error();
+    auto port = r.u32();
+    if (!port.ok()) return port.error();
+    if (auto s = g.connect(*from, *to, *port); !s.ok()) return s.error();
+  }
+
+  auto has_exit = r.u8();
+  if (!has_exit.ok()) return has_exit.error();
+  if (*has_exit != 0) {
+    auto exit = r.u32();
+    if (!exit.ok()) return exit.error();
+    if (auto s = g.set_exit(*exit); !s.ok()) return s.error();
+  }
+  auto entry_count = r.u32();
+  if (!entry_count.ok()) return entry_count.error();
+  for (std::uint32_t i = 0; i < *entry_count; ++i) {
+    auto node = r.u32();
+    if (!node.ok()) return node.error();
+    auto port = r.u32();
+    if (!port.ok()) return port.error();
+    if (auto s = g.add_entry(*node, *port); !s.ok()) return s.error();
+  }
+  return g;
+}
+
+}  // namespace
+
+util::Bytes encode_graph(const Graph& graph) {
+  util::ByteWriter w;
+  w.u8(kFormatVersion);
+  encode_into(w, graph);
+  return w.take();
+}
+
+mwsec::Result<Graph> decode_graph(const util::Bytes& payload) {
+  util::ByteReader r(payload);
+  auto version = r.u8();
+  if (!version.ok()) return version.error();
+  if (*version != kFormatVersion) {
+    return Error::make("unsupported graph format version " +
+                           std::to_string(*version),
+                       "wire");
+  }
+  auto g = decode_from(r, 0);
+  if (!g.ok()) return g;
+  if (!r.exhausted()) return Error::make("trailing bytes in graph", "wire");
+  return g;
+}
+
+bool graphs_equal(const Graph& a, const Graph& b) {
+  if (a.nodes().size() != b.nodes().size() ||
+      a.arcs().size() != b.arcs().size() || a.exit() != b.exit() ||
+      a.entries() != b.entries()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.nodes().size(); ++i) {
+    const Node& na = a.nodes()[i];
+    const Node& nb = b.nodes()[i];
+    if (na.name != nb.name || na.operation != nb.operation ||
+        na.arity != nb.arity || na.literals != nb.literals) {
+      return false;
+    }
+    const bool ta = na.target.has_value(), tb = nb.target.has_value();
+    if (ta != tb) return false;
+    if (ta && (na.target->object_type != nb.target->object_type ||
+               na.target->permission != nb.target->permission ||
+               na.target->domain != nb.target->domain ||
+               na.target->role != nb.target->role ||
+               na.target->user != nb.target->user)) {
+      return false;
+    }
+    const bool ca = na.condensed != nullptr, cb = nb.condensed != nullptr;
+    if (ca != cb) return false;
+    if (ca && !graphs_equal(*na.condensed, *nb.condensed)) return false;
+  }
+  for (std::size_t i = 0; i < a.arcs().size(); ++i) {
+    if (a.arcs()[i].from != b.arcs()[i].from ||
+        a.arcs()[i].to != b.arcs()[i].to ||
+        a.arcs()[i].port != b.arcs()[i].port) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mwsec::webcom

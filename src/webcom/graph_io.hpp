@@ -1,0 +1,21 @@
+// Condensed-graph wire format: serialise a Graph (recursively, including
+// condensed subgraphs, literals, security targets, entries and exit) so
+// applications can be stored or shipped to a remote WebCom master — the
+// paper's applications are *defined* by their condensed graph, so the
+// graph is the deployable artefact.
+#pragma once
+
+#include "util/byte_buffer.hpp"
+#include "util/result.hpp"
+#include "webcom/graph.hpp"
+
+namespace mwsec::webcom {
+
+util::Bytes encode_graph(const Graph& graph);
+mwsec::Result<Graph> decode_graph(const util::Bytes& payload);
+
+/// Structural equality of two graphs (nodes, arcs, literals, targets,
+/// entries, exit — condensed subgraphs compared recursively).
+bool graphs_equal(const Graph& a, const Graph& b);
+
+}  // namespace mwsec::webcom

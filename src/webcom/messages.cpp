@@ -1,0 +1,82 @@
+#include "webcom/messages.hpp"
+
+namespace mwsec::webcom {
+
+util::Bytes TaskMessage::encode() const {
+  util::ByteWriter w;
+  w.u64(task_id);
+  w.str(node_name);
+  w.str(operation);
+  w.u32(static_cast<std::uint32_t>(inputs.size()));
+  for (const auto& v : inputs) w.str(v);
+  w.str(target.object_type);
+  w.str(target.permission);
+  w.str(target.domain);
+  w.str(target.role);
+  w.str(target.user);
+  w.str(master_principal);
+  w.str(master_credentials);
+  return w.take();
+}
+
+mwsec::Result<TaskMessage> TaskMessage::decode(const util::Bytes& payload) {
+  util::ByteReader r(payload);
+  TaskMessage m;
+  auto id = r.u64();
+  if (!id.ok()) return id.error();
+  m.task_id = *id;
+  auto read_str = [&r](std::string& out) -> mwsec::Status {
+    auto s = r.str();
+    if (!s.ok()) return s.error();
+    out = std::move(s).take();
+    return {};
+  };
+  if (auto s = read_str(m.node_name); !s.ok()) return s.error();
+  if (auto s = read_str(m.operation); !s.ok()) return s.error();
+  auto count = r.u32();
+  if (!count.ok()) return count.error();
+  m.inputs.resize(*count);
+  for (auto& v : m.inputs) {
+    if (auto s = read_str(v); !s.ok()) return s.error();
+  }
+  if (auto s = read_str(m.target.object_type); !s.ok()) return s.error();
+  if (auto s = read_str(m.target.permission); !s.ok()) return s.error();
+  if (auto s = read_str(m.target.domain); !s.ok()) return s.error();
+  if (auto s = read_str(m.target.role); !s.ok()) return s.error();
+  if (auto s = read_str(m.target.user); !s.ok()) return s.error();
+  if (auto s = read_str(m.master_principal); !s.ok()) return s.error();
+  if (auto s = read_str(m.master_credentials); !s.ok()) return s.error();
+  if (!r.exhausted()) return Error::make("trailing bytes in task", "wire");
+  return m;
+}
+
+util::Bytes TaskResultMessage::encode() const {
+  util::ByteWriter w;
+  w.u64(task_id);
+  w.u8(ok ? 1 : 0);
+  w.str(value);
+  w.str(code);
+  return w.take();
+}
+
+mwsec::Result<TaskResultMessage> TaskResultMessage::decode(
+    const util::Bytes& payload) {
+  util::ByteReader r(payload);
+  TaskResultMessage m;
+  auto id = r.u64();
+  if (!id.ok()) return id.error();
+  m.task_id = *id;
+  auto ok = r.u8();
+  if (!ok.ok()) return ok.error();
+  m.ok = *ok != 0;
+  auto value = r.str();
+  if (!value.ok()) return value.error();
+  m.value = std::move(value).take();
+  auto code = r.str();
+  if (!code.ok()) return code.error();
+  m.code = std::move(code).take();
+  if (!r.exhausted()) return Error::make("trailing bytes in result", "wire");
+  return m;
+}
+
+}  // namespace mwsec::webcom

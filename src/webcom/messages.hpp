@@ -1,0 +1,42 @@
+// Wire formats for the master <-> client protocol (Figure 3). Tasks carry
+// the node's operation, operand values, the Section 6 security context and
+// the master's credential bundle so the *client* can, symmetrically,
+// decide whether it trusts the master to schedule to it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/byte_buffer.hpp"
+#include "util/result.hpp"
+#include "webcom/graph.hpp"
+
+namespace mwsec::webcom {
+
+inline constexpr const char* kSubjectTask = "task";
+inline constexpr const char* kSubjectTaskResult = "task-result";
+
+struct TaskMessage {
+  std::uint64_t task_id = 0;
+  std::string node_name;
+  std::string operation;
+  std::vector<Value> inputs;
+  SecurityTarget target;          // ObjectType/Permission/Domain/Role/User
+  std::string master_principal;   // who claims to schedule this
+  std::string master_credentials; // assertion bundle text (may be empty)
+
+  util::Bytes encode() const;
+  static mwsec::Result<TaskMessage> decode(const util::Bytes& payload);
+};
+
+struct TaskResultMessage {
+  std::uint64_t task_id = 0;
+  bool ok = false;
+  std::string value;  // result on success, diagnostic on failure
+  std::string code;   // error code ("denied", "ops", ...) when !ok
+
+  util::Bytes encode() const;
+  static mwsec::Result<TaskResultMessage> decode(const util::Bytes& payload);
+};
+
+}  // namespace mwsec::webcom

@@ -1,0 +1,120 @@
+#include "webcom/ops.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+#include "crypto/sha256.hpp"
+
+namespace mwsec::webcom {
+
+namespace {
+mwsec::Result<long long> to_int(const Value& v) {
+  long long out = 0;
+  auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc() || ptr != v.data() + v.size()) {
+    return Error::make("not an integer: '" + v + "'", "ops");
+  }
+  return out;
+}
+}  // namespace
+
+void OperationRegistry::add(std::string name, Operation op) {
+  std::scoped_lock lock(*mu_);
+  ops_[std::move(name)] = std::move(op);
+}
+
+bool OperationRegistry::has(const std::string& name) const {
+  std::scoped_lock lock(*mu_);
+  return ops_.count(name) > 0;
+}
+
+mwsec::Result<Value> OperationRegistry::invoke(
+    const std::string& name, const std::vector<Value>& inputs) const {
+  Operation op;
+  {
+    std::scoped_lock lock(*mu_);
+    auto it = ops_.find(name);
+    if (it == ops_.end()) {
+      return Error::make("unknown operation: " + name, "ops");
+    }
+    op = it->second;
+  }
+  return op(inputs);
+}
+
+std::vector<std::string> OperationRegistry::names() const {
+  std::scoped_lock lock(*mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, _] : ops_) out.push_back(name);
+  return out;
+}
+
+OperationRegistry OperationRegistry::with_builtins() {
+  OperationRegistry r;
+  r.add("const", [](const std::vector<Value>& in) -> mwsec::Result<Value> {
+    if (in.size() != 1) return Error::make("const takes one input", "ops");
+    return in[0];
+  });
+  r.add("concat", [](const std::vector<Value>& in) -> mwsec::Result<Value> {
+    Value out;
+    for (const auto& v : in) out += v;
+    return out;
+  });
+  r.add("add", [](const std::vector<Value>& in) -> mwsec::Result<Value> {
+    if (in.size() != 2) return Error::make("add takes two inputs", "ops");
+    auto a = to_int(in[0]);
+    if (!a.ok()) return a.error();
+    auto b = to_int(in[1]);
+    if (!b.ok()) return b.error();
+    return std::to_string(*a + *b);
+  });
+  r.add("sub", [](const std::vector<Value>& in) -> mwsec::Result<Value> {
+    if (in.size() != 2) return Error::make("sub takes two inputs", "ops");
+    auto a = to_int(in[0]);
+    if (!a.ok()) return a.error();
+    auto b = to_int(in[1]);
+    if (!b.ok()) return b.error();
+    return std::to_string(*a - *b);
+  });
+  r.add("mul", [](const std::vector<Value>& in) -> mwsec::Result<Value> {
+    if (in.size() != 2) return Error::make("mul takes two inputs", "ops");
+    auto a = to_int(in[0]);
+    if (!a.ok()) return a.error();
+    auto b = to_int(in[1]);
+    if (!b.ok()) return b.error();
+    return std::to_string(*a * *b);
+  });
+  r.add("sum", [](const std::vector<Value>& in) -> mwsec::Result<Value> {
+    long long total = 0;
+    for (const auto& v : in) {
+      auto x = to_int(v);
+      if (!x.ok()) return x.error();
+      total += *x;
+    }
+    return std::to_string(total);
+  });
+  r.add("upper", [](const std::vector<Value>& in) -> mwsec::Result<Value> {
+    if (in.size() != 1) return Error::make("upper takes one input", "ops");
+    Value out = in[0];
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+      return static_cast<char>(std::toupper(c));
+    });
+    return out;
+  });
+  r.add("len", [](const std::vector<Value>& in) -> mwsec::Result<Value> {
+    if (in.size() != 1) return Error::make("len takes one input", "ops");
+    return std::to_string(in[0].size());
+  });
+  r.add("if", [](const std::vector<Value>& in) -> mwsec::Result<Value> {
+    if (in.size() != 3) return Error::make("if takes three inputs", "ops");
+    return in[0] == "true" ? in[1] : in[2];
+  });
+  r.add("sha.hex", [](const std::vector<Value>& in) -> mwsec::Result<Value> {
+    if (in.size() != 1) return Error::make("sha.hex takes one input", "ops");
+    return crypto::Sha256::hex(in[0]);
+  });
+  return r;
+}
+
+}  // namespace mwsec::webcom

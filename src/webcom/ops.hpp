@@ -1,0 +1,50 @@
+// Operation registry: maps node operation names to executable functions.
+// Each WebCom client owns a registry — this is where middleware components
+// (ORB invocations, bean methods, COM calls) are bound as schedulable
+// operations. A set of built-in string/arithmetic operations supports the
+// examples and benchmarks.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "webcom/graph.hpp"
+
+namespace mwsec::webcom {
+
+using Operation =
+    std::function<mwsec::Result<Value>(const std::vector<Value>& inputs)>;
+
+class OperationRegistry {
+ public:
+  void add(std::string name, Operation op);
+  bool has(const std::string& name) const;
+  mwsec::Result<Value> invoke(const std::string& name,
+                              const std::vector<Value>& inputs) const;
+  std::vector<std::string> names() const;
+
+  /// Registry preloaded with the built-ins:
+  ///   const(x)        — identity (constants)
+  ///   concat(a,b,...) — string concatenation
+  ///   add/sub/mul(a,b)— integer arithmetic
+  ///   sum(a,...)      — integer sum
+  ///   upper(a)        — ASCII upper-case
+  ///   len(a)          — string length
+  ///   if(c,t,f)       — c == "true" ? t : f
+  ///   sha.hex(a)      — SHA-256 hex digest (a genuinely costly op for
+  ///                     benchmarking scheduling overheads)
+  static OperationRegistry with_builtins();
+
+ private:
+  // Behind unique_ptr so registries are movable (clients take one by
+  // value); see the middleware simulators for the same idiom.
+  mutable std::unique_ptr<std::mutex> mu_ = std::make_unique<std::mutex>();
+  std::map<std::string, Operation> ops_;
+};
+
+}  // namespace mwsec::webcom

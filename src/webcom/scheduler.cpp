@@ -1,0 +1,343 @@
+#include "webcom/scheduler.hpp"
+
+#include "webcom/flatten.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "util/logging.hpp"
+
+namespace mwsec::webcom {
+
+namespace {
+
+/// KeyNote action environment for scheduling a node to run as
+/// (domain, role): the Figure 5 attribute vocabulary.
+keynote::Query scheduling_query(const std::string& requester,
+                                const SecurityTarget& target,
+                                const std::string& domain,
+                                const std::string& role) {
+  keynote::Query q;
+  q.action_authorizers = {requester};
+  q.env.set("app_domain", "WebCom");
+  q.env.set("ObjectType", target.object_type);
+  q.env.set("Permission", target.permission);
+  q.env.set("Domain", domain);
+  q.env.set("Role", role);
+  return q;
+}
+
+}  // namespace
+
+Master::Master(net::Network& network, const std::string& endpoint_name,
+               const crypto::Identity& identity, MasterOptions options)
+    : network_(network), identity_(identity), options_(options) {
+  auto ep = network_.open(endpoint_name);
+  // An unusable endpoint is a programming error at construction time; the
+  // scheduler cannot run without one.
+  endpoint_ = ep.ok() ? std::move(ep).take() : nullptr;
+}
+
+void Master::set_outbound_credentials(std::string bundle_text) {
+  outbound_credentials_ = std::move(bundle_text);
+}
+
+mwsec::Status Master::attach_client(ClientInfo info) {
+  if (endpoint_ == nullptr) {
+    return Error::make("master endpoint failed to open", "webcom");
+  }
+  if (options_.security_enabled) {
+    for (const auto& cred : info.credentials) {
+      if (auto s = store_.add_credential(cred); !s.ok()) {
+        return Error::make("client " + info.endpoint +
+                               " presented a bad credential: " +
+                               s.error().message,
+                           "webcom");
+      }
+    }
+  }
+  client_alive_[info.endpoint] = true;
+  clients_.push_back(std::move(info));
+  return {};
+}
+
+bool Master::eligible(const ClientInfo& client, const Node& node) {
+  if (!node.target.has_value()) return true;
+  const SecurityTarget& t = *node.target;
+  // Section 6 placement: every constrained field must match the client's
+  // execution identity.
+  if (!t.domain.empty() && t.domain != client.domain) return false;
+  if (!t.role.empty() && t.role != client.role) return false;
+  if (!t.user.empty() && t.user != client.user) return false;
+  if (!options_.security_enabled) return true;
+  if (t.object_type.empty() && t.permission.empty()) return true;
+  ++stats_.keynote_queries;
+  auto q = scheduling_query(client.principal, t, client.domain, client.role);
+  auto r = store_.query(q);
+  return r.ok() && r->authorized();
+}
+
+mwsec::Result<Value> Master::execute(const Graph& graph) {
+  if (endpoint_ == nullptr) {
+    return Error::make("master endpoint failed to open", "webcom");
+  }
+  if (auto s = graph.validate(); !s.ok()) return s.error();
+  // The distributed protocol ships leaf operations only; condensations
+  // are flattened transparently.
+  if (has_condensations(graph)) {
+    auto flat = flatten(graph);
+    if (!flat.ok()) return flat.error();
+    return execute(*flat);
+  }
+
+  const std::size_t n = graph.nodes().size();
+  std::vector<std::size_t> missing(n, 0);
+  for (const auto& arc : graph.arcs()) ++missing[arc.to];
+  std::deque<NodeId> ready;
+  for (NodeId i = 0; i < n; ++i) {
+    if (missing[i] == 0) ready.push_back(i);
+  }
+  std::vector<std::optional<Value>> results(n);
+  std::vector<int> attempts(n, 0);
+  std::map<std::uint64_t, Pending> inflight;        // task id -> state
+  std::set<std::string> busy;                       // client endpoints
+  std::size_t completed = 0;
+
+  auto resolve_inputs = [&](NodeId id,
+                            std::vector<Value>& inputs) -> mwsec::Status {
+    const Node& node = graph.nodes()[id];
+    inputs.assign(node.arity, {});
+    auto producers = graph.producers_of(id);
+    for (std::size_t p = 0; p < node.arity; ++p) {
+      auto lit = node.literals.find(p);
+      if (lit != node.literals.end()) {
+        inputs[p] = lit->second;
+      } else {
+        auto prod = producers.find(p);
+        if (prod == producers.end() || !results[prod->second].has_value()) {
+          return Error::make("operand missing for " + node.name, "webcom");
+        }
+        inputs[p] = *results[prod->second];
+      }
+    }
+    return {};
+  };
+
+  auto dispatch = [&](NodeId id) -> mwsec::Status {
+    const Node& node = graph.nodes()[id];
+    if (node.condensed != nullptr) {
+      return Error::make(
+          "distributed execution of condensed nodes requires flattening "
+          "(evaluate locally or inline the subgraph)",
+          "webcom");
+    }
+    // Pick the first eligible, alive, idle client.
+    const ClientInfo* chosen = nullptr;
+    bool any_eligible = false;
+    for (const auto& client : clients_) {
+      if (!client_alive_[client.endpoint]) continue;
+      if (!eligible(client, node)) continue;
+      any_eligible = true;
+      if (busy.count(client.endpoint)) continue;
+      chosen = &client;
+      break;
+    }
+    if (!any_eligible) {
+      ++stats_.tasks_denied_by_master;
+      return Error::make("no client is authorised to execute component " +
+                             node.name,
+                         "denied");
+    }
+    if (chosen == nullptr) {
+      ready.push_back(id);  // all eligible clients busy; retry later
+      return {};
+    }
+
+    TaskMessage task;
+    task.task_id = next_task_id_++;
+    task.node_name = node.name;
+    task.operation = node.operation;
+    if (auto s = resolve_inputs(id, task.inputs); !s.ok()) return s;
+    if (node.target.has_value()) task.target = *node.target;
+    task.master_principal = identity_.principal();
+    task.master_credentials = outbound_credentials_;
+
+    auto send = endpoint_->send(chosen->endpoint, kSubjectTask, task.encode());
+    ++stats_.tasks_dispatched;
+    ++attempts[id];
+    // A send error (partition) is treated like a timed-out task below.
+    busy.insert(chosen->endpoint);
+    inflight[task.task_id] =
+        Pending{id, chosen->endpoint,
+                std::chrono::steady_clock::now() + options_.task_timeout,
+                attempts[id]};
+    (void)send;
+    return {};
+  };
+
+  while (completed < n) {
+    // Dispatch everything currently ready.
+    std::size_t to_dispatch = ready.size();
+    for (std::size_t i = 0; i < to_dispatch; ++i) {
+      NodeId id = ready.front();
+      ready.pop_front();
+      if (auto s = dispatch(id); !s.ok()) return s.error();
+    }
+
+    if (inflight.empty()) {
+      if (ready.empty()) {
+        return Error::make("scheduler stalled: no runnable work", "webcom");
+      }
+      continue;  // everything ready was requeued; clients were busy
+    }
+
+    // Collect results until the earliest deadline.
+    auto message = endpoint_->receive(std::chrono::milliseconds(10));
+    auto now = std::chrono::steady_clock::now();
+    if (message.has_value() && message->subject == kSubjectTaskResult) {
+      auto result = TaskResultMessage::decode(message->payload);
+      if (result.ok()) {
+        auto it = inflight.find(result->task_id);
+        if (it != inflight.end()) {
+          NodeId id = it->second.node;
+          busy.erase(it->second.client_endpoint);
+          inflight.erase(it);
+          if (result->ok) {
+            ++stats_.tasks_completed;
+            results[id] = result->value;
+            ++completed;
+            for (NodeId consumer : graph.consumers_of(id)) {
+              if (--missing[consumer] == 0) ready.push_back(consumer);
+            }
+          } else if (result->code == "denied") {
+            ++stats_.tasks_denied_by_client;
+            return Error::make("client refused task " +
+                                   graph.nodes()[id].name + ": " +
+                                   result->value,
+                               "denied");
+          } else {
+            return Error::make("task " + graph.nodes()[id].name +
+                                   " failed: " + result->value,
+                               result->code);
+          }
+        }
+      }
+    }
+
+    // Expire timed-out tasks: quarantine the client, retry elsewhere.
+    for (auto it = inflight.begin(); it != inflight.end();) {
+      if (it->second.deadline > now) {
+        ++it;
+        continue;
+      }
+      ++stats_.tasks_timed_out;
+      MWSEC_LOG(kInfo, "webcom")
+          << "task on " << it->second.client_endpoint
+          << " timed out; quarantining client";
+      client_alive_[it->second.client_endpoint] = false;
+      busy.erase(it->second.client_endpoint);
+      NodeId id = it->second.node;
+      it = inflight.erase(it);
+      if (attempts[id] >= options_.max_attempts) {
+        return Error::make("component " + graph.nodes()[id].name +
+                               " failed after " +
+                               std::to_string(attempts[id]) + " attempts",
+                           "webcom");
+      }
+      ready.push_back(id);
+    }
+  }
+
+  NodeId exit = *graph.exit();
+  if (!results[exit].has_value()) {
+    return Error::make("exit node did not complete", "webcom");
+  }
+  return *results[exit];
+}
+
+Client::Client(net::Network& network, const std::string& endpoint_name,
+               const crypto::Identity& identity, OperationRegistry registry,
+               ClientOptions options)
+    : network_(network), endpoint_name_(endpoint_name), identity_(identity),
+      registry_(std::move(registry)), options_(std::move(options)) {}
+
+Client::~Client() { stop(); }
+
+mwsec::Status Client::start() {
+  auto ep = network_.open(endpoint_name_);
+  if (!ep.ok()) return ep.error();
+  endpoint_ = std::move(ep).take();
+  thread_ = std::jthread([this](std::stop_token st) { serve(st); });
+  return {};
+}
+
+void Client::stop() {
+  if (thread_.joinable()) {
+    thread_.request_stop();
+    if (endpoint_) endpoint_->close();
+    thread_.join();
+  }
+}
+
+ClientStats Client::stats() const {
+  std::scoped_lock lock(stats_mu_);
+  return stats_;
+}
+
+bool Client::authorise_master(const TaskMessage& task) {
+  if (!options_.security_enabled) return true;
+  std::vector<keynote::Assertion> presented;
+  if (!task.master_credentials.empty()) {
+    auto bundle = keynote::Assertion::parse_bundle(task.master_credentials);
+    if (!bundle.ok()) return false;
+    presented = std::move(bundle).take();
+  }
+  auto q = scheduling_query(task.master_principal, task.target,
+                            options_.domain, options_.role);
+  auto r = store_.query(q, presented);
+  return r.ok() && r->authorized();
+}
+
+void Client::serve(std::stop_token st) {
+  while (!st.stop_requested()) {
+    auto message = endpoint_->receive(std::chrono::milliseconds(50));
+    if (!message.has_value()) {
+      if (endpoint_->closed()) return;
+      continue;
+    }
+    if (message->subject != kSubjectTask) continue;
+    auto task = TaskMessage::decode(message->payload);
+    if (!task.ok()) continue;  // malformed: drop, like a real server would
+
+    TaskResultMessage reply;
+    reply.task_id = task->task_id;
+    if (!authorise_master(*task)) {
+      reply.ok = false;
+      reply.code = "denied";
+      reply.value = "master " + task->master_principal.substr(0, 16) +
+                    "... is not authorised to schedule " + task->node_name;
+      std::scoped_lock lock(stats_mu_);
+      ++stats_.tasks_rejected;
+    } else {
+      auto value = registry_.invoke(task->operation, task->inputs);
+      if (value.ok()) {
+        reply.ok = true;
+        reply.value = std::move(value).take();
+        std::scoped_lock lock(stats_mu_);
+        ++stats_.tasks_executed;
+      } else {
+        reply.ok = false;
+        reply.value = value.error().message;
+        reply.code = value.error().code.empty() ? "ops" : value.error().code;
+        std::scoped_lock lock(stats_mu_);
+        ++stats_.tasks_failed;
+      }
+    }
+    // Best effort: if the master is unreachable the task will time out
+    // there and be rescheduled.
+    endpoint_->send(message->from, kSubjectTaskResult, reply.encode()).ok();
+  }
+}
+
+}  // namespace mwsec::webcom

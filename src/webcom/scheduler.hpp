@@ -1,0 +1,157 @@
+// The Secure WebCom master/client scheduler (paper §4, Figure 3; §6).
+//
+// The master walks a condensed graph and farms fireable nodes out to
+// attached clients over the simulated network. With security enabled the
+// scheduling decision is mediated twice, exactly as Figure 3 draws it:
+//
+//   master side: the client's credentials must authorise it (via the
+//     master's KeyNote store) to execute the component — attributes
+//     app_domain/ObjectType/Permission/Domain/Role — and the client's
+//     registered (domain, role, user) must match the node's possibly
+//     partial Section 6 placement constraint;
+//   client side: the client authenticates the master and uses the
+//     master's credentials to decide whether it is willing to execute the
+//     operation scheduled to it.
+//
+// Fault tolerance: a task that times out (dead client, partitioned link,
+// lost message) is re-scheduled on another eligible client; the dead
+// client is quarantined.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <optional>
+#include <thread>
+
+#include "crypto/keys.hpp"
+#include "keynote/store.hpp"
+#include "net/network.hpp"
+#include "webcom/engine.hpp"
+#include "webcom/messages.hpp"
+
+namespace mwsec::webcom {
+
+/// What the master knows about an attached client.
+struct ClientInfo {
+  std::string endpoint;   ///< network name
+  std::string principal;  ///< the client's key
+  /// Credentials the client presented at attach time (verified and kept
+  /// in the master's store for scheduling queries).
+  std::vector<keynote::Assertion> credentials;
+  /// The (domain, role, user) this client executes as (Section 6).
+  std::string domain;
+  std::string role;
+  std::string user;
+};
+
+struct MasterOptions {
+  bool security_enabled = true;
+  std::chrono::milliseconds task_timeout{200};
+  int max_attempts = 3;  ///< per node, across clients
+};
+
+struct MasterStats {
+  std::uint64_t tasks_dispatched = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t tasks_denied_by_master = 0;  // no eligible client
+  std::uint64_t tasks_denied_by_client = 0;
+  std::uint64_t tasks_timed_out = 0;
+  std::uint64_t keynote_queries = 0;
+};
+
+class Master {
+ public:
+  /// `identity` signs nothing by itself but is the principal clients see;
+  /// `credentials` are shipped with each task so clients can verify the
+  /// master's authority.
+  Master(net::Network& network, const std::string& endpoint_name,
+         const crypto::Identity& identity, MasterOptions options = {});
+
+  /// The master's trust root: policies trusting client keys.
+  keynote::CredentialStore& store() { return store_; }
+  /// Credentials shipped to clients with every task.
+  void set_outbound_credentials(std::string bundle_text);
+
+  mwsec::Status attach_client(ClientInfo info);
+  std::size_t client_count() const { return clients_.size(); }
+
+  /// Execute a validated graph across the attached clients. Runs on the
+  /// calling thread until the exit value is produced or the graph fails.
+  mwsec::Result<Value> execute(const Graph& graph);
+
+  const MasterStats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    NodeId node;
+    std::string client_endpoint;
+    std::chrono::steady_clock::time_point deadline;
+    int attempts;
+  };
+
+  /// Is `client` allowed (and placed) to run `node`?
+  bool eligible(const ClientInfo& client, const Node& node);
+
+  net::Network& network_;
+  std::shared_ptr<net::Endpoint> endpoint_;
+  const crypto::Identity& identity_;
+  MasterOptions options_;
+  keynote::CredentialStore store_;
+  std::string outbound_credentials_;
+  std::vector<ClientInfo> clients_;
+  std::map<std::string, bool> client_alive_;
+  MasterStats stats_;
+  std::uint64_t next_task_id_ = 1;
+};
+
+struct ClientOptions {
+  bool security_enabled = true;
+  /// How the client executes: its own (domain, role, user) identity.
+  std::string domain;
+  std::string role;
+  std::string user;
+};
+
+struct ClientStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_rejected = 0;  // master not authorised
+  std::uint64_t tasks_failed = 0;    // operation errors
+};
+
+/// A WebCom client: a worker thread serving tasks from its endpoint.
+class Client {
+ public:
+  Client(net::Network& network, const std::string& endpoint_name,
+         const crypto::Identity& identity, OperationRegistry registry,
+         ClientOptions options = {});
+  ~Client();
+
+  /// The client's trust root: policies trusting master keys to schedule.
+  keynote::CredentialStore& store() { return store_; }
+
+  const std::string& endpoint_name() const { return endpoint_name_; }
+  const std::string& principal() const { return identity_.principal(); }
+
+  /// Start serving tasks on a background thread.
+  mwsec::Status start();
+  void stop();
+
+  ClientStats stats() const;
+
+ private:
+  void serve(std::stop_token st);
+  bool authorise_master(const TaskMessage& task);
+
+  net::Network& network_;
+  std::string endpoint_name_;
+  const crypto::Identity& identity_;
+  OperationRegistry registry_;
+  ClientOptions options_;
+  keynote::CredentialStore store_;
+  std::shared_ptr<net::Endpoint> endpoint_;
+  std::jthread thread_;
+  mutable std::mutex stats_mu_;
+  ClientStats stats_;
+};
+
+}  // namespace mwsec::webcom

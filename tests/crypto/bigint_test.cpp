@@ -1,0 +1,194 @@
+#include "crypto/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mwsec::crypto {
+namespace {
+
+using util::Rng;
+
+TEST(BigInt, ZeroProperties) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_FALSE(z.is_odd());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+}
+
+TEST(BigInt, U64RoundTrip) {
+  BigInt v(0x0123456789abcdefULL);
+  EXPECT_EQ(v.to_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(v.to_hex(), "123456789abcdef");
+}
+
+TEST(BigInt, HexRoundTrip) {
+  auto v = BigInt::from_hex("deadbeefcafebabe0123456789");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->to_hex(), "deadbeefcafebabe0123456789");
+}
+
+TEST(BigInt, HexRejectsGarbage) {
+  EXPECT_FALSE(BigInt::from_hex("xyz").ok());
+  EXPECT_FALSE(BigInt::from_hex("").ok());
+}
+
+TEST(BigInt, HexIgnoresLeadingZeros) {
+  auto v = BigInt::from_hex("000000ff");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->to_u64(), 0xffu);
+}
+
+TEST(BigInt, BytesRoundTrip) {
+  util::Bytes b{0x01, 0x02, 0x03, 0x04, 0x05};
+  BigInt v = BigInt::from_bytes_be(b);
+  EXPECT_EQ(v.to_bytes_be(), b);
+  EXPECT_EQ(v.to_u64(), 0x0102030405ULL);
+}
+
+TEST(BigInt, AdditionWithCarryChain) {
+  auto a = BigInt::from_hex("ffffffffffffffffffffffff").take();
+  BigInt b(1);
+  EXPECT_EQ((a + b).to_hex(), "1000000000000000000000000");
+}
+
+TEST(BigInt, SubtractionWithBorrowChain) {
+  auto a = BigInt::from_hex("1000000000000000000000000").take();
+  BigInt b(1);
+  EXPECT_EQ((a - b).to_hex(), "ffffffffffffffffffffffff");
+}
+
+TEST(BigInt, MultiplicationKnownValue) {
+  auto a = BigInt::from_hex("123456789abcdef0").take();
+  auto b = BigInt::from_hex("fedcba9876543210").take();
+  EXPECT_EQ((a * b).to_hex(), "121fa00ad77d7422236d88fe5618cf00");
+}
+
+TEST(BigInt, MultiplyByZero) {
+  auto a = BigInt::from_hex("deadbeef").take();
+  EXPECT_TRUE((a * BigInt()).is_zero());
+  EXPECT_TRUE((BigInt() * a).is_zero());
+}
+
+TEST(BigInt, ShiftsRoundTrip) {
+  auto a = BigInt::from_hex("deadbeefcafebabe").take();
+  for (std::size_t s : {1u, 7u, 31u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(((a << s) >> s), a) << "shift " << s;
+  }
+}
+
+TEST(BigInt, ShiftRightDropsBits) {
+  BigInt a(0b1011);
+  EXPECT_EQ((a >> 2).to_u64(), 0b10u);
+  EXPECT_TRUE((a >> 10).is_zero());
+}
+
+TEST(BigInt, CompareOrdering) {
+  BigInt a(5), b(7);
+  EXPECT_LT(BigInt::compare(a, b), 0);
+  EXPECT_GT(BigInt::compare(b, a), 0);
+  EXPECT_EQ(BigInt::compare(a, a), 0);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a >= a);
+}
+
+TEST(BigInt, DivModSmallDivisor) {
+  BigInt a(1000);
+  auto [q, r] = BigInt::divmod(a, BigInt(7));
+  EXPECT_EQ(q.to_u64(), 142u);
+  EXPECT_EQ(r.to_u64(), 6u);
+}
+
+TEST(BigInt, DivModDividendSmallerThanDivisor) {
+  auto [q, r] = BigInt::divmod(BigInt(3), BigInt(10));
+  EXPECT_TRUE(q.is_zero());
+  EXPECT_EQ(r.to_u64(), 3u);
+}
+
+TEST(BigInt, DivModExact) {
+  auto a = BigInt::from_hex("123456789abcdef0").take();
+  auto b = BigInt::from_hex("fedcba98").take();
+  BigInt prod = a * b;
+  auto [q, r] = BigInt::divmod(prod, b);
+  EXPECT_EQ(q, a);
+  EXPECT_TRUE(r.is_zero());
+}
+
+// Property: for random (u, v), divmod satisfies u == q*v + r and r < v.
+// This is the oracle that validates the Knuth Algorithm D implementation.
+class DivModProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DivModProperty, EuclideanIdentityHolds) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 2654435761ULL + 17);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::size_t ubits = 1 + static_cast<std::size_t>(rng.below(512));
+    std::size_t vbits = 1 + static_cast<std::size_t>(rng.below(ubits));
+    BigInt u = BigInt::random_bits(rng, ubits);
+    BigInt v = BigInt::random_bits(rng, vbits);
+    auto [q, r] = BigInt::divmod(u, v);
+    EXPECT_EQ(q * v + r, u);
+    EXPECT_TRUE(r < v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DivModProperty, ::testing::Range(0, 10));
+
+TEST(BigInt, ModPowKnownValues) {
+  // 5^117 mod 19 = 1 (since 5^9 ≡ 1 mod 19 would be wrong; verify directly:
+  // fermat: 5^18 ≡ 1, 117 = 18*6 + 9, 5^9 mod 19 = 1953125 mod 19 = 1).
+  EXPECT_EQ(BigInt::mod_pow(BigInt(5), BigInt(117), BigInt(19)).to_u64(), 1u);
+  EXPECT_EQ(BigInt::mod_pow(BigInt(2), BigInt(10), BigInt(1000)).to_u64(), 24u);
+  EXPECT_EQ(BigInt::mod_pow(BigInt(7), BigInt(0), BigInt(13)).to_u64(), 1u);
+}
+
+TEST(BigInt, ModPowMatchesFermat) {
+  // a^(p-1) ≡ 1 (mod p) for prime p and a not divisible by p.
+  const BigInt p(1000003);
+  Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::random_below(rng, p - BigInt(1)) + BigInt(1);
+    EXPECT_EQ(BigInt::mod_pow(a, p - BigInt(1), p).to_u64(), 1u);
+  }
+}
+
+TEST(BigInt, GcdKnownValues) {
+  EXPECT_EQ(BigInt::gcd(BigInt(48), BigInt(36)).to_u64(), 12u);
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)).to_u64(), 1u);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_u64(), 5u);
+}
+
+TEST(BigInt, ModInverseRoundTrip) {
+  Rng rng(7);
+  const BigInt m = BigInt::from_hex("fffffffb").take();  // prime
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::random_below(rng, m - BigInt(1)) + BigInt(1);
+    auto inv = BigInt::mod_inverse(a, m);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ(((a * *inv) % m).to_u64(), 1u);
+  }
+}
+
+TEST(BigInt, ModInverseFailsWhenNotCoprime) {
+  EXPECT_FALSE(BigInt::mod_inverse(BigInt(6), BigInt(9)).ok());
+}
+
+TEST(BigInt, RandomBitsHasExactBitLength) {
+  Rng rng(3);
+  for (std::size_t bits : {1u, 8u, 31u, 32u, 33u, 100u, 256u}) {
+    EXPECT_EQ(BigInt::random_bits(rng, bits).bit_length(), bits);
+  }
+}
+
+TEST(BigInt, RandomBelowStaysBelow) {
+  Rng rng(5);
+  BigInt bound = BigInt::from_hex("10000000000000001").take();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(BigInt::random_below(rng, bound) < bound);
+  }
+}
+
+}  // namespace
+}  // namespace mwsec::crypto

@@ -1,0 +1,55 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/encoding.hpp"
+
+namespace mwsec::crypto {
+namespace {
+
+std::string hmac_hex(std::string_view key, std::string_view msg) {
+  auto d = hmac_sha256(key, msg);
+  return util::hex_encode(d.data(), d.size());
+}
+
+// RFC 4231 test vectors.
+TEST(Hmac, Rfc4231Case1) {
+  util::Bytes key(20, 0x0b);
+  auto d = hmac_sha256(key, util::to_bytes("Hi There"));
+  EXPECT_EQ(util::hex_encode(d.data(), d.size()),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(hmac_hex("Jefe", "what do ya want for nothing?"),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  util::Bytes key(20, 0xaa);
+  util::Bytes msg(50, 0xdd);
+  auto d = hmac_sha256(key, msg);
+  EXPECT_EQ(util::hex_encode(d.data(), d.size()),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  util::Bytes key(131, 0xaa);
+  auto d = hmac_sha256(key,
+                       util::to_bytes("Test Using Larger Than Block-Size Key - "
+                                      "Hash Key First"));
+  EXPECT_EQ(util::hex_encode(d.data(), d.size()),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeySensitivity) {
+  EXPECT_NE(hmac_hex("key1", "msg"), hmac_hex("key2", "msg"));
+}
+
+TEST(Hmac, MessageSensitivity) {
+  EXPECT_NE(hmac_hex("key", "msg1"), hmac_hex("key", "msg2"));
+}
+
+}  // namespace
+}  // namespace mwsec::crypto

@@ -1,0 +1,88 @@
+#include "crypto/keys.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::crypto {
+namespace {
+
+TEST(Keys, KeyPrincipalDetection) {
+  EXPECT_TRUE(is_key_principal("rsa-hex:00ff"));
+  EXPECT_FALSE(is_key_principal("Kbob"));
+  EXPECT_FALSE(is_key_principal("POLICY"));
+}
+
+TEST(Keys, PublicKeyEncodeDecodeRoundTrip) {
+  util::Rng rng(5);
+  auto kp = rsa_generate(rng, 256);
+  auto principal = encode_public_key(kp.pub);
+  auto decoded = decode_public_key(principal);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(*decoded == kp.pub);
+}
+
+TEST(Keys, DecodeRejectsOpaque) {
+  EXPECT_FALSE(decode_public_key("Kbob").ok());
+}
+
+TEST(Keys, DecodeRejectsMalformedHex) {
+  EXPECT_FALSE(decode_public_key("rsa-hex:zz").ok());
+}
+
+TEST(Keys, DecodeRejectsTrailingBytes) {
+  util::Rng rng(6);
+  auto kp = rsa_generate(rng, 256);
+  auto principal = encode_public_key(kp.pub) + "00";
+  EXPECT_FALSE(decode_public_key(principal).ok());
+}
+
+TEST(Keys, SignVerifyThroughPrincipalStrings) {
+  util::Rng rng(7);
+  auto kp = rsa_generate(rng, 256);
+  auto principal = encode_public_key(kp.pub);
+  std::string msg = "Conditions: app_domain==\"WebCom\";";
+  auto sig = sign_message(kp.priv, msg);
+  EXPECT_TRUE(verify_message(principal, msg, sig));
+  EXPECT_FALSE(verify_message(principal, msg + " ", sig));
+  EXPECT_FALSE(verify_message("Kbob", msg, sig));
+  EXPECT_FALSE(verify_message(principal, msg, "sig-rsa-sha256-hex:00"));
+  EXPECT_FALSE(verify_message(principal, msg, "not-a-signature"));
+}
+
+TEST(KeyRing, MintsStableIdentities) {
+  KeyRing ring(/*seed=*/9, /*modulus_bits=*/256);
+  const auto& bob1 = ring.identity("Kbob");
+  const auto& bob2 = ring.identity("Kbob");
+  EXPECT_EQ(&bob1, &bob2);
+  EXPECT_EQ(bob1.principal(), ring.principal("Kbob"));
+}
+
+TEST(KeyRing, DistinctNamesDistinctKeys) {
+  KeyRing ring(9, 256);
+  EXPECT_NE(ring.principal("Kbob"), ring.principal("Kalice"));
+}
+
+TEST(KeyRing, ReverseLookup) {
+  KeyRing ring(9, 256);
+  auto p = ring.principal("Kclaire");
+  auto name = ring.name_of(p);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "Kclaire");
+  EXPECT_FALSE(ring.name_of("rsa-hex:0042").ok());
+}
+
+TEST(KeyRing, FindReturnsNullForUnknown) {
+  KeyRing ring(9, 256);
+  EXPECT_EQ(ring.find("Kzed"), nullptr);
+  ring.identity("Kzed");
+  EXPECT_NE(ring.find("Kzed"), nullptr);
+}
+
+TEST(KeyRing, IdentitySignsVerifiably) {
+  KeyRing ring(10, 256);
+  const auto& id = ring.identity("KWebCom");
+  std::string body = "assertion body";
+  EXPECT_TRUE(verify_message(id.principal(), body, id.sign(body)));
+}
+
+}  // namespace
+}  // namespace mwsec::crypto

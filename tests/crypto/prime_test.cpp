@@ -1,0 +1,72 @@
+#include "crypto/prime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::crypto {
+namespace {
+
+using util::Rng;
+
+TEST(Prime, SmallKnownPrimes) {
+  Rng rng(1);
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 101ULL, 257ULL, 65537ULL,
+                          1000003ULL}) {
+    EXPECT_TRUE(is_probable_prime(BigInt(p), rng)) << p;
+  }
+}
+
+TEST(Prime, SmallKnownComposites) {
+  Rng rng(2);
+  for (std::uint64_t c : {1ULL, 4ULL, 9ULL, 15ULL, 100ULL, 65536ULL,
+                          1000001ULL /* 101*9901 */}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(Prime, ZeroAndOneAreNotPrime) {
+  Rng rng(3);
+  EXPECT_FALSE(is_probable_prime(BigInt(0), rng));
+  EXPECT_FALSE(is_probable_prime(BigInt(1), rng));
+}
+
+TEST(Prime, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat but not Miller–Rabin.
+  Rng rng(4);
+  for (std::uint64_t c : {561ULL, 1105ULL, 1729ULL, 2465ULL, 41041ULL}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(Prime, LargeKnownPrime) {
+  // 2^89 - 1 is a Mersenne prime.
+  Rng rng(5);
+  BigInt m89 = (BigInt(1) << 89) - BigInt(1);
+  EXPECT_TRUE(is_probable_prime(m89, rng));
+  // 2^97 - 1 is composite (11447 * ...).
+  BigInt m97 = (BigInt(1) << 97) - BigInt(1);
+  EXPECT_FALSE(is_probable_prime(m97, rng));
+}
+
+class RandomPrimeBits : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RandomPrimeBits, GeneratedPrimesHaveExactSizeAndAreOdd) {
+  Rng rng(GetParam() * 31 + 7);
+  BigInt p = random_prime(rng, GetParam());
+  EXPECT_EQ(p.bit_length(), GetParam());
+  EXPECT_TRUE(p.is_odd());
+  Rng check_rng(12345);
+  EXPECT_TRUE(is_probable_prime(p, check_rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomPrimeBits,
+                         ::testing::Values(16, 32, 64, 128, 256));
+
+TEST(Prime, ProductOfTwoPrimesIsComposite) {
+  Rng rng(11);
+  BigInt p = random_prime(rng, 64);
+  BigInt q = random_prime(rng, 64);
+  EXPECT_FALSE(is_probable_prime(p * q, rng));
+}
+
+}  // namespace
+}  // namespace mwsec::crypto

@@ -1,0 +1,117 @@
+#include "crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/prime.hpp"
+#include "util/encoding.hpp"
+
+namespace mwsec::crypto {
+namespace {
+
+using util::Rng;
+
+class RsaFixture : public ::testing::Test {
+ protected:
+  // Key generation is the slow part; share one keypair across the suite.
+  static void SetUpTestSuite() {
+    Rng rng(2026);
+    keys_ = new RsaKeyPair(rsa_generate(rng, 512));
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    keys_ = nullptr;
+  }
+  static RsaKeyPair* keys_;
+};
+
+RsaKeyPair* RsaFixture::keys_ = nullptr;
+
+TEST_F(RsaFixture, SignVerifyRoundTrip) {
+  auto msg = util::to_bytes("Authorizer: \"Kbob\"\nlicensees: \"Kalice\"");
+  auto sig = rsa_sign(keys_->priv, msg);
+  EXPECT_TRUE(rsa_verify(keys_->pub, msg, sig));
+}
+
+TEST_F(RsaFixture, TamperedMessageFails) {
+  auto msg = util::to_bytes("oper==\"write\"");
+  auto sig = rsa_sign(keys_->priv, msg);
+  auto tampered = util::to_bytes("oper==\"admin\"");
+  EXPECT_FALSE(rsa_verify(keys_->pub, tampered, sig));
+}
+
+TEST_F(RsaFixture, TamperedSignatureFails) {
+  auto msg = util::to_bytes("message");
+  auto sig = rsa_sign(keys_->priv, msg);
+  sig[sig.size() / 2] ^= 0x01;
+  EXPECT_FALSE(rsa_verify(keys_->pub, msg, sig));
+}
+
+TEST_F(RsaFixture, WrongLengthSignatureFails) {
+  auto msg = util::to_bytes("message");
+  auto sig = rsa_sign(keys_->priv, msg);
+  sig.pop_back();
+  EXPECT_FALSE(rsa_verify(keys_->pub, msg, sig));
+  sig.push_back(0);
+  sig.push_back(0);
+  EXPECT_FALSE(rsa_verify(keys_->pub, msg, sig));
+}
+
+TEST_F(RsaFixture, SignatureOutOfRangeRejected) {
+  auto msg = util::to_bytes("message");
+  // All-0xff signature is >= n for any 512-bit modulus.
+  util::Bytes bogus((keys_->pub.n.bit_length() + 7) / 8, 0xff);
+  EXPECT_FALSE(rsa_verify(keys_->pub, msg, bogus));
+}
+
+TEST_F(RsaFixture, SigningIsDeterministic) {
+  auto msg = util::to_bytes("deterministic");
+  EXPECT_EQ(rsa_sign(keys_->priv, msg), rsa_sign(keys_->priv, msg));
+}
+
+TEST_F(RsaFixture, EmptyMessageSigns) {
+  util::Bytes empty;
+  auto sig = rsa_sign(keys_->priv, empty);
+  EXPECT_TRUE(rsa_verify(keys_->pub, empty, sig));
+}
+
+TEST_F(RsaFixture, DifferentKeyRejects) {
+  Rng rng(777);
+  auto other = rsa_generate(rng, 512);
+  auto msg = util::to_bytes("cross-key");
+  auto sig = rsa_sign(keys_->priv, msg);
+  EXPECT_FALSE(rsa_verify(other.pub, msg, sig));
+}
+
+TEST(RsaKeyGen, ModulusHasRequestedSize) {
+  Rng rng(31);
+  for (std::size_t bits : {256u, 384u, 512u}) {
+    auto kp = rsa_generate(rng, bits);
+    // n = p*q where p has bits/2 bits and q has bits - bits/2; the product
+    // has either `bits` or `bits - 1` bits.
+    EXPECT_GE(kp.pub.n.bit_length(), bits - 1);
+    EXPECT_LE(kp.pub.n.bit_length(), bits);
+    EXPECT_EQ(kp.pub.e.to_u64(), 65537u);
+  }
+}
+
+TEST(RsaKeyGen, KeyIdentityEdMod) {
+  // Check e*d ≡ 1 (mod lambda) indirectly: m^(e*d) ≡ m (mod n).
+  Rng rng(57);
+  auto kp = rsa_generate(rng, 256);
+  for (int i = 0; i < 5; ++i) {
+    BigInt m = BigInt::random_below(rng, kp.pub.n);
+    BigInt c = BigInt::mod_pow(m, kp.pub.e, kp.pub.n);
+    BigInt back = BigInt::mod_pow(c, kp.priv.d, kp.priv.n);
+    EXPECT_EQ(back, m);
+  }
+}
+
+TEST(RsaKeyGen, DistinctSeedsDistinctKeys) {
+  Rng a(1), b(2);
+  auto ka = rsa_generate(a, 256);
+  auto kb = rsa_generate(b, 256);
+  EXPECT_FALSE(ka.pub == kb.pub);
+}
+
+}  // namespace
+}  // namespace mwsec::crypto

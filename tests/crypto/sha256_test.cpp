@@ -1,0 +1,80 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/encoding.hpp"
+
+namespace mwsec::crypto {
+namespace {
+
+// NIST FIPS 180-4 / de-facto standard test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(Sha256::hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  std::string msg(1000000, 'a');
+  EXPECT_EQ(Sha256::hex(msg),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64-byte message: padding spills to a second block.
+  std::string msg(64, 'x');
+  EXPECT_EQ(Sha256::hex(msg),
+            Sha256::hex(msg));  // stable
+  // 55/56/57 straddle the length-field boundary inside one block.
+  std::string m55(55, 'y'), m56(56, 'y'), m57(57, 'y');
+  EXPECT_NE(Sha256::hex(m55), Sha256::hex(m56));
+  EXPECT_NE(Sha256::hex(m56), Sha256::hex(m57));
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg = "The quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : msg) h.update(std::string_view(&c, 1));
+  auto inc = h.finish();
+  EXPECT_EQ(inc, Sha256::hash(msg));
+}
+
+TEST(Sha256, ChunkedUpdateAcrossBlockBoundary) {
+  std::string msg(200, 'z');
+  Sha256 h;
+  h.update(std::string_view(msg).substr(0, 63));
+  h.update(std::string_view(msg).substr(63, 65));
+  h.update(std::string_view(msg).substr(128));
+  EXPECT_EQ(h.finish(), Sha256::hash(msg));
+}
+
+TEST(Sha256, DifferentInputsDifferentDigests) {
+  EXPECT_NE(Sha256::hex("Authorizer: POLICY"), Sha256::hex("Authorizer: POLICY "));
+}
+
+TEST(Sha256, BytesOverloadMatchesStringOverload) {
+  std::string msg = "credential body";
+  EXPECT_EQ(Sha256::hash(msg), Sha256::hash(util::to_bytes(msg)));
+}
+
+TEST(Sha256, DigestBytesHelper) {
+  auto d = Sha256::hash("abc");
+  auto b = digest_bytes(d);
+  ASSERT_EQ(b.size(), Sha256::kDigestSize);
+  EXPECT_EQ(util::hex_encode(b),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+}  // namespace
+}  // namespace mwsec::crypto

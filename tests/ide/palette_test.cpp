@@ -1,0 +1,155 @@
+// IDE interrogation tests (paper §6, Figure 11).
+#include "ide/palette.hpp"
+
+#include <gtest/gtest.h>
+
+#include "middleware/corba/orb.hpp"
+#include "middleware/ejb/container.hpp"
+
+namespace mwsec::ide {
+namespace {
+
+middleware::corba::Orb salaries_orb() {
+  middleware::corba::Orb orb("unixhost", "orb1");
+  orb.define_interface({"SalariesDB", "salary records", {"read", "write"}}).ok();
+  orb.define_role("Clerk").ok();
+  orb.define_role("Manager").ok();
+  orb.grant("Clerk", "SalariesDB", "write").ok();
+  orb.grant("Manager", "SalariesDB", "read").ok();
+  orb.add_user_to_role("Alice", "Clerk").ok();
+  orb.add_user_to_role("Bob", "Manager").ok();
+  orb.add_user_to_role("Elaine", "Manager").ok();
+  return orb;
+}
+
+middleware::ejb::Server hr_server() {
+  middleware::ejb::Server srv("apphost", "ejb1");
+  srv.create_container("ejb/hr").ok();
+  middleware::ejb::BeanDescriptor bean{
+      "HolidayBean", "holiday booking", {"Employee"},
+      {{"book", {"Employee"}}}, {}};
+  srv.deploy("ejb/hr", bean).ok();
+  srv.register_user("Alice").ok();
+  srv.add_user_to_role("Alice", "ejb/hr", "Employee").ok();
+  return srv;
+}
+
+TEST(Palette, InterrogatesMultipleMiddlewares) {
+  auto orb = salaries_orb();
+  auto ejb = hr_server();
+  Interrogator ide;
+  ide.add_system(&orb);
+  ide.add_system(&ejb);
+  Palette palette = ide.build();
+  ASSERT_EQ(palette.entries.size(), 3u);  // read, write, book
+
+  const auto* read = palette.find("corba://unixhost/orb1/SalariesDB#read");
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->system, "CORBA unixhost/orb1");
+  // Managers Bob and Elaine may execute the read component.
+  ASSERT_EQ(read->authorized.size(), 2u);
+  EXPECT_EQ(read->authorized[0].user, "Bob");
+  EXPECT_EQ(read->authorized[1].user, "Elaine");
+  EXPECT_EQ(read->authorized[0].role, "Manager");
+
+  const auto* book =
+      palette.find("ejb://apphost/ejb1/ejb/hr/HolidayBean#book");
+  ASSERT_NE(book, nullptr);
+  ASSERT_EQ(book->authorized.size(), 1u);
+  EXPECT_EQ(book->authorized[0].user, "Alice");
+  EXPECT_EQ(book->authorized[0].domain, "apphost/ejb1/ejb/hr");
+}
+
+TEST(Palette, ComponentWithoutAuthorisedPrincipals) {
+  middleware::corba::Orb orb("h", "o");
+  orb.define_interface({"I", "", {"op"}}).ok();
+  orb.define_role("R").ok();
+  orb.grant("R", "I", "op").ok();  // role exists, but has no members
+  Interrogator ide;
+  ide.add_system(&orb);
+  auto palette = ide.build();
+  ASSERT_EQ(palette.entries.size(), 1u);
+  EXPECT_TRUE(palette.entries[0].authorized.empty());
+  EXPECT_NE(palette.to_text().find("(no authorised principals)"),
+            std::string::npos);
+}
+
+TEST(Palette, TextRenderingListsContexts) {
+  auto orb = salaries_orb();
+  Interrogator ide;
+  ide.add_system(&orb);
+  auto text = ide.build().to_text();
+  EXPECT_NE(text.find("corba://unixhost/orb1/SalariesDB#read"),
+            std::string::npos);
+  EXPECT_NE(text.find("unixhost/orb1 / Manager / Bob"), std::string::npos);
+}
+
+TEST(Palette, ValidateTargetFullSpecification) {
+  auto orb = salaries_orb();
+  Interrogator ide;
+  ide.add_system(&orb);
+  auto palette = ide.build();
+  const std::string id = "corba://unixhost/orb1/SalariesDB#read";
+
+  webcom::SecurityTarget good =
+      Interrogator::make_target(palette.find(id)->component, "unixhost/orb1",
+                                "Manager", "Bob");
+  EXPECT_TRUE(ide.validate_target(palette, id, good).ok());
+
+  webcom::SecurityTarget wrong_user =
+      Interrogator::make_target(palette.find(id)->component, "unixhost/orb1",
+                                "Manager", "Alice");
+  EXPECT_FALSE(ide.validate_target(palette, id, wrong_user).ok());
+}
+
+TEST(Palette, ValidateTargetPartialSpecification) {
+  auto orb = salaries_orb();
+  Interrogator ide;
+  ide.add_system(&orb);
+  auto palette = ide.build();
+  const std::string id = "corba://unixhost/orb1/SalariesDB#read";
+
+  // Domain+role only: the paper's "scheduled to any authorised user".
+  webcom::SecurityTarget partial = Interrogator::make_target(
+      palette.find(id)->component, "unixhost/orb1", "Manager");
+  EXPECT_TRUE(ide.validate_target(palette, id, partial).ok());
+
+  // Role that holds no such permission.
+  webcom::SecurityTarget bad_role = Interrogator::make_target(
+      palette.find(id)->component, "unixhost/orb1", "Clerk");
+  EXPECT_FALSE(ide.validate_target(palette, id, bad_role).ok());
+
+  // Fully unconstrained placement is fine while someone is authorised.
+  webcom::SecurityTarget open =
+      Interrogator::make_target(palette.find(id)->component);
+  EXPECT_TRUE(ide.validate_target(palette, id, open).ok());
+}
+
+TEST(Palette, ValidateTargetChecksComponentIdentity) {
+  auto orb = salaries_orb();
+  Interrogator ide;
+  ide.add_system(&orb);
+  auto palette = ide.build();
+  EXPECT_FALSE(ide.validate_target(palette, "corba://nope", {}).ok());
+
+  const std::string id = "corba://unixhost/orb1/SalariesDB#read";
+  webcom::SecurityTarget mismatched;
+  mismatched.object_type = "OrdersDB";
+  EXPECT_FALSE(ide.validate_target(palette, id, mismatched).ok());
+  webcom::SecurityTarget wrong_perm;
+  wrong_perm.permission = "write";
+  EXPECT_FALSE(ide.validate_target(palette, id, wrong_perm).ok());
+}
+
+TEST(Palette, MakeTargetCopiesComponentFields) {
+  middleware::Component c{"id", "SalariesDB", "read", ""};
+  auto t = Interrogator::make_target(c, "D", "R", "U");
+  EXPECT_EQ(t.object_type, "SalariesDB");
+  EXPECT_EQ(t.permission, "read");
+  EXPECT_EQ(t.domain, "D");
+  EXPECT_EQ(t.role, "R");
+  EXPECT_EQ(t.user, "U");
+}
+
+}  // namespace
+}  // namespace mwsec::ide

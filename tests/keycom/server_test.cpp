@@ -1,0 +1,105 @@
+// KeyCOM over the network: the full Figure 8 flow — a WebCom client in
+// Domain B submits a policy update request plus credentials to the KeyCOM
+// service fronting Domain A's COM catalogue.
+#include "keycom/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "middleware/com/catalogue.hpp"
+
+namespace mwsec::keycom {
+namespace {
+
+using namespace std::chrono_literals;
+
+crypto::KeyRing& ring() {
+  static crypto::KeyRing r(/*seed=*/1904, /*modulus_bits=*/256);
+  return r;
+}
+
+struct Rig {
+  net::Network network;
+  middleware::com::Catalogue catalogue{"winsrvA", "DomainA"};
+  Service service{catalogue};
+  Server server{network, "keycom-A", service};
+
+  Rig() {
+    service.trust_root()
+        .add_policy_text("Authorizer: POLICY\nLicensees: \"" +
+                         ring().principal("KWebCom") +
+                         "\"\nConditions: app_domain == \"WebCom\";\n")
+        .ok();
+    EXPECT_TRUE(server.start().ok());
+  }
+};
+
+TEST(KeyComServer, EndToEndUpdateOverNetwork) {
+  Rig rig;
+  auto client = rig.network.open("webcom-client-B").take();
+
+  UpdateRequest req;
+  req.add_assignments.push_back({"DomainA", "Operators", "userB"});
+  req.sign(ring().identity("KWebCom"));
+
+  auto reply = submit_update(*client, "keycom-A", req, 2000ms);
+  ASSERT_TRUE(reply.ok()) << reply.error().message;
+  EXPECT_TRUE(reply->accepted);
+  EXPECT_TRUE(reply->report.fully_applied());
+  EXPECT_EQ(reply->report.assignments_applied, 1u);
+  EXPECT_TRUE(
+      rig.catalogue.export_policy().user_in_role("userB", "DomainA", "Operators"));
+}
+
+TEST(KeyComServer, BadSignatureReportedOverNetwork) {
+  Rig rig;
+  auto client = rig.network.open("attacker").take();
+
+  UpdateRequest req;
+  req.add_assignments.push_back({"DomainA", "Operators", "mallory"});
+  req.sign(ring().identity("KWebCom"));
+  req.add_assignments[0].user = "mallory2";  // tamper after signing
+
+  auto reply = submit_update(*client, "keycom-A", req, 2000ms);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->accepted);
+  EXPECT_NE(reply->error.find("signature"), std::string::npos);
+}
+
+TEST(KeyComServer, MalformedPayloadAnswered) {
+  Rig rig;
+  auto client = rig.network.open("fuzzer").take();
+  ASSERT_TRUE(client->send("keycom-A", kSubjectUpdate,
+                           util::Bytes{1, 2, 3}).ok());
+  auto m = client->receive(2000ms);
+  ASSERT_TRUE(m.has_value());
+  auto reply = decode_report(m->payload);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->accepted);
+}
+
+TEST(KeyComServer, TimeoutWhenServiceUnreachable) {
+  net::Network network;
+  auto client = network.open("lonely").take();
+  UpdateRequest req;
+  req.sign(ring().identity("KWebCom"));
+  auto reply = submit_update(*client, "keycom-nowhere", req, 100ms);
+  EXPECT_FALSE(reply.ok());
+}
+
+TEST(KeyComServer, ReportEncodingRoundTrip) {
+  UpdateReport report;
+  report.assignments_applied = 2;
+  report.grants_applied = 1;
+  report.assignments_removed = 3;
+  report.rejected = {"row a", "row b"};
+  auto decoded = decode_report(encode_report(report, true, ""));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->accepted);
+  EXPECT_EQ(decoded->report.assignments_applied, 2u);
+  EXPECT_EQ(decoded->report.grants_applied, 1u);
+  EXPECT_EQ(decoded->report.assignments_removed, 3u);
+  EXPECT_EQ(decoded->report.rejected.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mwsec::keycom

@@ -1,0 +1,128 @@
+// Additional RFC 2704 semantic corners: float dereference, reserved
+// attributes end to end, Local-Constants shadowing, indirect references,
+// and nested value programs through real queries.
+#include <gtest/gtest.h>
+
+#include "keynote/query.hpp"
+
+namespace mwsec::keynote {
+namespace {
+
+QueryOptions lax() {
+  QueryOptions o;
+  o.verify_signatures = false;
+  return o;
+}
+
+std::size_t run_query(const std::string& conditions,
+                      std::initializer_list<std::pair<std::string, std::string>>
+                          attrs,
+                      std::vector<std::string> values = {}) {
+  auto pol = AssertionBuilder()
+                 .authorizer("POLICY")
+                 .licensees("\"K\"")
+                 .conditions(conditions)
+                 .build()
+                 .take();
+  Query q;
+  if (!values.empty()) {
+    q.values = ComplianceValueSet::make(std::move(values)).take();
+  }
+  q.action_authorizers = {"K"};
+  for (const auto& [k, v] : attrs) q.env.set(k, v);
+  return evaluate({pol}, {}, q, lax())->value_index;
+}
+
+TEST(ConditionsSemantics, FloatDereference) {
+  EXPECT_EQ(run_query("&load < 0.75", {{"load", "0.5"}}), 1u);
+  EXPECT_EQ(run_query("&load < 0.75", {{"load", "0.9"}}), 0u);
+  EXPECT_EQ(run_query("&rate * 2.0 == 1.5", {{"rate", "0.75"}}), 1u);
+}
+
+TEST(ConditionsSemantics, IntTruncationVsFloat) {
+  EXPECT_EQ(run_query("@v == 2", {{"v", "2.9"}}), 1u);
+  EXPECT_EQ(run_query("&v == 2", {{"v", "2.9"}}), 0u);
+  EXPECT_EQ(run_query("&v > 2.8", {{"v", "2.9"}}), 1u);
+}
+
+TEST(ConditionsSemantics, ReservedValuesAttribute) {
+  // _VALUES is the comma-joined ordered value set.
+  EXPECT_EQ(run_query("_VALUES == \"false, true\"", {}), 1u);
+  EXPECT_EQ(run_query("_VALUES == \"no, maybe, yes\" -> \"yes\"", {},
+                      {"no", "maybe", "yes"}),
+            2u);
+}
+
+TEST(ConditionsSemantics, MinMaxTrustAttributes) {
+  EXPECT_EQ(run_query("_MIN_TRUST == \"false\" && _MAX_TRUST == \"true\"", {}),
+            1u);
+  EXPECT_EQ(run_query("_MAX_TRUST == \"yes\" -> \"yes\"", {},
+                      {"no", "yes"}),
+            1u);
+}
+
+TEST(ConditionsSemantics, LocalConstantsShadowActionEnvironment) {
+  auto pol = Assertion::parse(
+                 "Local-Constants: site=\"headquarters\"\n"
+                 "Authorizer: POLICY\n"
+                 "Licensees: \"K\"\n"
+                 "Conditions: site == \"headquarters\";\n")
+                 .take();
+  Query q;
+  q.action_authorizers = {"K"};
+  q.env.set("site", "branch-office");  // attacker-controlled; must lose
+  EXPECT_TRUE(evaluate({pol}, {}, q, lax())->authorized());
+}
+
+TEST(ConditionsSemantics, IndirectReferenceChains) {
+  EXPECT_EQ(run_query("$sel == \"target\"",
+                      {{"sel", "slot7"}, {"slot7", "target"}}),
+            1u);
+  EXPECT_EQ(run_query("$$meta == \"deep\"",
+                      {{"meta", "ptr"}, {"ptr", "cell"}, {"cell", "deep"}}),
+            1u);
+  // Dangling indirection resolves to "" (unset attribute), not an error.
+  EXPECT_EQ(run_query("$missing == \"\"", {}), 1u);
+}
+
+TEST(ConditionsSemantics, NestedProgramsThroughRealQueries) {
+  std::string program =
+      "env == \"prod\" -> { action == \"read\" -> \"audit\";"
+      " action == \"write\" -> \"admin\" };"
+      " env == \"dev\" -> \"admin\"";
+  std::vector<std::string> values{"none", "audit", "admin"};
+  EXPECT_EQ(run_query(program, {{"env", "prod"}, {"action", "read"}}, values),
+            1u);
+  EXPECT_EQ(run_query(program, {{"env", "prod"}, {"action", "write"}}, values),
+            2u);
+  EXPECT_EQ(run_query(program, {{"env", "dev"}, {"action", "anything"}},
+                      values),
+            2u);
+  EXPECT_EQ(run_query(program, {{"env", "staging"}, {"action", "read"}},
+                      values),
+            0u);
+}
+
+TEST(ConditionsSemantics, StringConcatInConditions) {
+  EXPECT_EQ(run_query("Domain . \"/\" . Role == \"Finance/Clerk\"",
+                      {{"Domain", "Finance"}, {"Role", "Clerk"}}),
+            1u);
+}
+
+TEST(ConditionsSemantics, ComparisonChainsViaConjunction) {
+  EXPECT_EQ(run_query("@low <= @x && @x <= @high",
+                      {{"low", "1"}, {"x", "5"}, {"high", "10"}}),
+            1u);
+  EXPECT_EQ(run_query("@low <= @x && @x <= @high",
+                      {{"low", "1"}, {"x", "50"}, {"high", "10"}}),
+            0u);
+}
+
+TEST(ConditionsSemantics, PowerAndModulo) {
+  EXPECT_EQ(run_query("2 ^ @bits == 256", {{"bits", "8"}}), 1u);
+  EXPECT_EQ(run_query("@n % 2 == 0 -> \"true\"", {{"n", "14"}}), 1u);
+  EXPECT_EQ(run_query("@n % 2 == 0 -> \"true\"", {{"n", "13"}}), 0u);
+}
+
+}  // namespace
+}  // namespace mwsec::keynote

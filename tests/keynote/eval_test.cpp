@@ -1,0 +1,206 @@
+#include "keynote/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "keynote/parser.hpp"
+
+namespace mwsec::keynote {
+namespace {
+
+/// Evaluate a conditions program with the default {false,true} set over a
+/// plain attribute map. Returns the resulting value index.
+std::size_t run(std::string_view src,
+                std::map<std::string, std::string> attrs,
+                const ComplianceValueSet& values = ComplianceValueSet()) {
+  auto prog = parse_conditions(src);
+  EXPECT_TRUE(prog.ok()) << (prog.ok() ? "" : prog.error().message);
+  if (!prog.ok()) return 0;
+  return eval_conditions(*prog, values,
+                         [attrs = std::move(attrs)](std::string_view name) {
+                           auto it = attrs.find(std::string(name));
+                           return it == attrs.end() ? std::string() : it->second;
+                         });
+}
+
+bool truthy(std::string_view src, std::map<std::string, std::string> attrs) {
+  return run(src, std::move(attrs)) == 1;
+}
+
+TEST(EvalConditions, EmptyProgramIsMaxTrust) {
+  EXPECT_EQ(run("", {}), 1u);
+}
+
+TEST(EvalConditions, StringEquality) {
+  EXPECT_TRUE(truthy("oper == \"read\"", {{"oper", "read"}}));
+  EXPECT_FALSE(truthy("oper == \"read\"", {{"oper", "write"}}));
+  EXPECT_TRUE(truthy("oper != \"read\"", {{"oper", "write"}}));
+}
+
+TEST(EvalConditions, UnsetAttributeIsEmptyString) {
+  EXPECT_TRUE(truthy("missing == \"\"", {}));
+  EXPECT_FALSE(truthy("missing == \"x\"", {}));
+}
+
+TEST(EvalConditions, PaperFigure2Semantics) {
+  std::string cond =
+      "app_domain==\"SalariesDB\" && (oper==\"read\" || oper==\"write\")";
+  EXPECT_TRUE(truthy(cond, {{"app_domain", "SalariesDB"}, {"oper", "read"}}));
+  EXPECT_TRUE(truthy(cond, {{"app_domain", "SalariesDB"}, {"oper", "write"}}));
+  EXPECT_FALSE(truthy(cond, {{"app_domain", "SalariesDB"}, {"oper", "delete"}}));
+  EXPECT_FALSE(truthy(cond, {{"app_domain", "OrdersDB"}, {"oper", "read"}}));
+}
+
+TEST(EvalConditions, StringOrdering) {
+  EXPECT_TRUE(truthy("a < b", {{"a", "apple"}, {"b", "banana"}}));
+  EXPECT_TRUE(truthy("a <= b", {{"a", "same"}, {"b", "same"}}));
+  EXPECT_FALSE(truthy("a > b", {{"a", "apple"}, {"b", "banana"}}));
+}
+
+TEST(EvalConditions, NumericComparisons) {
+  EXPECT_TRUE(truthy("@n > 5", {{"n", "7"}}));
+  EXPECT_FALSE(truthy("@n > 5", {{"n", "3"}}));
+  EXPECT_TRUE(truthy("&load <= 0.5", {{"load", "0.25"}}));
+  EXPECT_TRUE(truthy("@a + @b == 10", {{"a", "4"}, {"b", "6"}}));
+  EXPECT_TRUE(truthy("@a * @b - 1 == 11", {{"a", "3"}, {"b", "4"}}));
+  EXPECT_TRUE(truthy("@a % 3 == 1", {{"a", "7"}}));
+  EXPECT_TRUE(truthy("2 ^ 10 == 1024", {}));
+  EXPECT_TRUE(truthy("-@a == 0 - 5", {{"a", "5"}}));
+}
+
+TEST(EvalConditions, IntegerDereferenceTruncates) {
+  EXPECT_TRUE(truthy("@n == 3", {{"n", "3.9"}}));
+  EXPECT_TRUE(truthy("&n > 3.5", {{"n", "3.9"}}));
+}
+
+TEST(EvalConditions, NonNumericAttributeMakesTestFalse) {
+  EXPECT_FALSE(truthy("@n > 0", {{"n", "banana"}}));
+  EXPECT_FALSE(truthy("@n > 0", {}));  // unset -> "" -> not numeric
+  // ...but it must not poison other clauses.
+  EXPECT_EQ(run("@n > 0; true", {{"n", "banana"}}), 1u);
+}
+
+TEST(EvalConditions, DivisionByZeroIsFalseNotFatal) {
+  EXPECT_FALSE(truthy("@a / @b > 0", {{"a", "4"}, {"b", "0"}}));
+  EXPECT_FALSE(truthy("@a % @b == 0", {{"a", "4"}, {"b", "0"}}));
+}
+
+TEST(EvalConditions, ConcatAndIndirection) {
+  EXPECT_TRUE(truthy("Domain . \"/\" . Role == \"Finance/Clerk\"",
+                     {{"Domain", "Finance"}, {"Role", "Clerk"}}));
+  EXPECT_TRUE(truthy("$ptr == \"target-value\"",
+                     {{"ptr", "target"}, {"target", "target-value"}}));
+}
+
+TEST(EvalConditions, RegexSearch) {
+  EXPECT_TRUE(truthy("path ~= \"^/srv/.*\"", {{"path", "/srv/data/x"}}));
+  EXPECT_FALSE(truthy("path ~= \"^/srv/.*\"", {{"path", "/tmp/x"}}));
+  EXPECT_TRUE(truthy("name ~= \"ger\"", {{"name", "Manager"}}));
+}
+
+TEST(EvalConditions, MalformedRegexIsFalse) {
+  EXPECT_FALSE(truthy("x ~= \"(unclosed\"", {{"x", "anything"}}));
+}
+
+TEST(EvalConditions, BooleanConnectives) {
+  EXPECT_TRUE(truthy("true", {}));
+  EXPECT_FALSE(truthy("false", {}));
+  EXPECT_TRUE(truthy("!false", {}));
+  EXPECT_TRUE(truthy("true && !false || false", {}));
+}
+
+TEST(EvalConditions, MultiValueProgramTakesMaximum) {
+  auto values = ComplianceValueSet::make(
+      {"no", "readonly", "readwrite", "admin"}).take();
+  std::map<std::string, std::string> env{{"role", "manager"}};
+  EXPECT_EQ(run("role == \"manager\" -> \"readwrite\"; "
+                "role == \"manager\" -> \"readonly\"",
+                env, values),
+            2u);
+  // Unsatisfied program yields minimum.
+  EXPECT_EQ(run("role == \"clerk\" -> \"admin\"", env, values), 0u);
+  // Unknown value name in -> is skipped, not fatal.
+  EXPECT_EQ(run("role == \"manager\" -> \"bogus\"; "
+                "role == \"manager\" -> \"readonly\"",
+                env, values),
+            1u);
+}
+
+TEST(EvalConditions, NestedProgramContribution) {
+  auto values = ComplianceValueSet::make({"low", "mid", "high"}).take();
+  EXPECT_EQ(run("a == \"1\" -> { b == \"1\" -> \"high\"; b == \"2\" -> \"mid\" }",
+                {{"a", "1"}, {"b", "2"}}, values),
+            1u);
+  // Outer test fails: nested program never runs.
+  EXPECT_EQ(run("a == \"0\" -> { true -> \"high\" }", {{"a", "1"}}, values),
+            0u);
+  // Nested program with no satisfied clause contributes minimum.
+  EXPECT_EQ(run("a == \"1\" -> { b == \"9\" -> \"high\" }",
+                {{"a", "1"}, {"b", "2"}}, values),
+            0u);
+}
+
+TEST(EvalConditions, ReservedAttributesViaLookup) {
+  // The query layer maps _MIN_TRUST/_MAX_TRUST through the lookup chain;
+  // here we emulate it to check expression-level behaviour.
+  auto values = ComplianceValueSet();
+  auto prog = parse_conditions("x == _MAX_TRUST").take();
+  auto v = eval_conditions(prog, values, [&](std::string_view name) {
+    if (name == "_MAX_TRUST") return std::string("true");
+    if (name == "x") return std::string("true");
+    return std::string();
+  });
+  EXPECT_EQ(v, 1u);
+}
+
+TEST(EvalLicensees, PrincipalValuePassthrough) {
+  auto values = ComplianceValueSet();
+  auto e = parse_licensees("\"K1\"").take();
+  EXPECT_EQ(eval_licensees(e, values, [](const std::string&) { return 1u; }), 1u);
+  EXPECT_EQ(eval_licensees(e, values, [](const std::string&) { return 0u; }), 0u);
+}
+
+TEST(EvalLicensees, EmptyIsMinTrust) {
+  LicenseeExpr none;
+  EXPECT_EQ(eval_licensees(none, ComplianceValueSet(),
+                           [](const std::string&) { return 1u; }),
+            0u);
+}
+
+TEST(EvalLicensees, OrIsMaxAndIsMin) {
+  auto values = ComplianceValueSet::make({"v0", "v1", "v2"}).take();
+  std::map<std::string, std::size_t> pv{{"K1", 0}, {"K2", 2}, {"K3", 1}};
+  auto lookup = [&](const std::string& p) { return pv.at(p); };
+  EXPECT_EQ(eval_licensees(parse_licensees("\"K1\" || \"K2\" || \"K3\"").take(),
+                           values, lookup),
+            2u);
+  EXPECT_EQ(eval_licensees(parse_licensees("\"K1\" && \"K2\" && \"K3\"").take(),
+                           values, lookup),
+            0u);
+  EXPECT_EQ(eval_licensees(parse_licensees("\"K2\" && \"K3\"").take(), values,
+                           lookup),
+            1u);
+}
+
+TEST(EvalLicensees, ThresholdKthLargest) {
+  auto values = ComplianceValueSet::make({"v0", "v1", "v2"}).take();
+  std::map<std::string, std::size_t> pv{{"K1", 2}, {"K2", 1}, {"K3", 0}};
+  auto lookup = [&](const std::string& p) { return pv.at(p); };
+  auto e = parse_licensees("2-of(\"K1\", \"K2\", \"K3\")").take();
+  EXPECT_EQ(eval_licensees(e, values, lookup), 1u);  // 2nd largest of {2,1,0}
+  auto e1 = parse_licensees("1-of(\"K1\", \"K2\", \"K3\")").take();
+  EXPECT_EQ(eval_licensees(e1, values, lookup), 2u);
+  auto e3 = parse_licensees("3-of(\"K1\", \"K2\", \"K3\")").take();
+  EXPECT_EQ(eval_licensees(e3, values, lookup), 0u);
+}
+
+TEST(EvalTest, DirectTestHelper) {
+  auto prog = parse_conditions("a == \"1\"").take();
+  EXPECT_TRUE(eval_test(*prog.clauses[0].test, [](std::string_view n) {
+    return n == "a" ? std::string("1") : std::string();
+  }));
+}
+
+}  // namespace
+}  // namespace mwsec::keynote

@@ -1,0 +1,110 @@
+#include "keynote/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::keynote {
+namespace {
+
+std::vector<TokenKind> kinds(std::string_view src) {
+  auto toks = tokenize(src);
+  EXPECT_TRUE(toks.ok()) << (toks.ok() ? "" : toks.error().message);
+  std::vector<TokenKind> out;
+  if (toks.ok()) {
+    for (const auto& t : *toks) out.push_back(t.kind);
+  }
+  return out;
+}
+
+TEST(Lexer, PaperConditionsTokenise) {
+  // Straight from Figure 2 of the paper.
+  auto toks = tokenize(
+      "app_domain==\"SalariesDB\" && (oper==\"read\" || oper==\"write\")");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*toks)[0].text, "app_domain");
+  EXPECT_EQ((*toks)[1].kind, TokenKind::kEq);
+  EXPECT_EQ((*toks)[2].kind, TokenKind::kString);
+  EXPECT_EQ((*toks)[2].text, "SalariesDB");
+  EXPECT_EQ((*toks)[3].kind, TokenKind::kAndAnd);
+}
+
+TEST(Lexer, AllOperators) {
+  EXPECT_EQ(kinds("&& || ! == != < > <= >= ~= + - * / % ^ . @ & $ -> ; , ( ) { }"),
+            (std::vector<TokenKind>{
+                TokenKind::kAndAnd, TokenKind::kOrOr, TokenKind::kNot,
+                TokenKind::kEq, TokenKind::kNe, TokenKind::kLt, TokenKind::kGt,
+                TokenKind::kLe, TokenKind::kGe, TokenKind::kRegexMatch,
+                TokenKind::kPlus, TokenKind::kMinus, TokenKind::kStar,
+                TokenKind::kSlash, TokenKind::kPercent, TokenKind::kCaret,
+                TokenKind::kDot, TokenKind::kAt, TokenKind::kAmp,
+                TokenKind::kDollar, TokenKind::kArrow, TokenKind::kSemicolon,
+                TokenKind::kComma, TokenKind::kLParen, TokenKind::kRParen,
+                TokenKind::kLBrace, TokenKind::kRBrace, TokenKind::kEnd}));
+}
+
+TEST(Lexer, NumbersIntegerAndFloat) {
+  auto toks = tokenize("42 3.5");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kNumber);
+  EXPECT_EQ((*toks)[0].text, "42");
+  EXPECT_EQ((*toks)[1].kind, TokenKind::kNumber);
+  EXPECT_EQ((*toks)[1].text, "3.5");
+}
+
+TEST(Lexer, ThresholdToken) {
+  auto toks = tokenize("2-of(\"K1\",\"K2\",\"K3\")");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kThreshold);
+  EXPECT_EQ((*toks)[0].text, "2");
+  EXPECT_EQ((*toks)[1].kind, TokenKind::kLParen);
+}
+
+TEST(Lexer, NumberMinusIdentIsNotThreshold) {
+  // "2-ofx" is NUMBER MINUS IDENT: only the exact "-of" suffix forms a
+  // threshold. ("2-of" requires '(' later but lexes standalone.)
+  auto toks = tokenize("2 - offset");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokenKind::kNumber);
+  EXPECT_EQ((*toks)[1].kind, TokenKind::kMinus);
+  EXPECT_EQ((*toks)[2].kind, TokenKind::kIdent);
+}
+
+TEST(Lexer, StringEscapes) {
+  auto toks = tokenize(R"("a\"b\\c\nd")");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "a\"b\\c\nd");
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  auto toks = tokenize("\"abc");
+  ASSERT_FALSE(toks.ok());
+  EXPECT_EQ(toks.error().code, "lex");
+}
+
+TEST(Lexer, UnexpectedCharacterFails) {
+  EXPECT_FALSE(tokenize("a # b").ok());
+  EXPECT_FALSE(tokenize("a ? b").ok());
+}
+
+TEST(Lexer, EmptyInputOnlyEnd) {
+  EXPECT_EQ(kinds(""), (std::vector<TokenKind>{TokenKind::kEnd}));
+  EXPECT_EQ(kinds("  \t\n "), (std::vector<TokenKind>{TokenKind::kEnd}));
+}
+
+TEST(Lexer, IdentifiersWithUnderscores) {
+  auto toks = tokenize("_ACTION_AUTHORIZERS app_domain");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].text, "_ACTION_AUTHORIZERS");
+  EXPECT_EQ((*toks)[1].text, "app_domain");
+}
+
+TEST(Lexer, PositionsRecorded) {
+  auto toks = tokenize("ab == cd");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].pos, 0u);
+  EXPECT_EQ((*toks)[1].pos, 3u);
+  EXPECT_EQ((*toks)[2].pos, 6u);
+}
+
+}  // namespace
+}  // namespace mwsec::keynote

@@ -1,0 +1,243 @@
+// Golden reproduction of the paper's worked KeyNote examples:
+// Figures 2 and 4 (the Salaries application, Section 3) and Figures 5-7
+// (the WebCom RBAC encoding, Section 4). The figures print opaque
+// principal tags (Kbob, Kalice, ...); we evaluate them both verbatim
+// (signature checking off, as the figures omit real keys) and with real
+// RSA keys standing in for each tag.
+#include <gtest/gtest.h>
+
+#include "keynote/query.hpp"
+
+namespace mwsec::keynote {
+namespace {
+
+// --- Verbatim figure texts -------------------------------------------------
+
+constexpr const char* kFigure2 =
+    "Authorizer: POLICY\n"
+    "licensees: \"Kbob\"\n"
+    "Conditions: app_domain==\"SalariesDB\" &&\n"
+    "    (oper==\"read\" || oper==\"write\");\n";
+
+constexpr const char* kFigure4 =
+    "Authorizer: \"Kbob\"\n"
+    "licensees: \"Kalice\"\n"
+    "Conditions: app_domain==\"SalariesDB\"\n"
+    "    && oper==\"write\";\n";
+
+constexpr const char* kFigure5 =
+    "Authorizer: POLICY\n"
+    "Licensees: \"KWebCom\"\n"
+    "Conditions: app_domain == \"WebCom\" &&\n"
+    "    ObjectType == \"SalariesDB\" &&\n"
+    "    (Domain==\"Sales\" && Role==\"Manager\" && Permission==\"read\") ||\n"
+    "    (Domain==\"Finance\" && Role==\"Manager\"\n"
+    "        && (Permission==\"read\"||Permission==\"write\"))||\n"
+    "    (Domain==\"Finance\" && Role==\"Clerk\" && Permission==\"write\");\n";
+
+constexpr const char* kFigure6 =
+    "Authorizer: \"KWebCom\"\n"
+    "Licensees: \"Kclaire\"\n"
+    "Conditions: app_domain == \"WebCom\" &&\n"
+    "    Domain==\"Finance\" && Role==\"Manager\";\n";
+
+// Figure 7 as printed (Claire re-delegates her role membership to Fred;
+// the figure shows Domain=="Sales" which grants nothing under Figure 5's
+// Finance-Manager membership for Claire — reproduced verbatim below, and
+// the Finance variant is tested separately).
+constexpr const char* kFigure7 =
+    "Authorizer: \"Kclaire\"\n"
+    "licensees: \"Kfred\"\n"
+    "Conditions: app_domain==\"WebCom\" &&\n"
+    "    Domain==\"Sales\" && Role==\"Manager\";\n";
+
+QueryOptions lax() {
+  QueryOptions o;
+  o.verify_signatures = false;  // figures carry no real signatures
+  return o;
+}
+
+Query salaries_query(const std::string& requester, const std::string& oper) {
+  Query q;
+  q.action_authorizers = {requester};
+  q.env.set("app_domain", "SalariesDB");
+  q.env.set("oper", oper);
+  return q;
+}
+
+Query webcom_query(const std::string& requester, const std::string& domain,
+                   const std::string& role, const std::string& permission,
+                   const std::string& object_type = "SalariesDB") {
+  Query q;
+  q.action_authorizers = {requester};
+  q.env.set("app_domain", "WebCom");
+  q.env.set("ObjectType", object_type);
+  q.env.set("Domain", domain);
+  q.env.set("Role", role);
+  q.env.set("Permission", permission);
+  return q;
+}
+
+TEST(PaperFigures, Figure2BobReadsAndWrites) {
+  auto pol = Assertion::parse(kFigure2).take();
+  EXPECT_TRUE(evaluate({pol}, {}, salaries_query("Kbob", "read"))->authorized());
+  EXPECT_TRUE(evaluate({pol}, {}, salaries_query("Kbob", "write"))->authorized());
+  EXPECT_FALSE(
+      evaluate({pol}, {}, salaries_query("Kbob", "delete"))->authorized());
+}
+
+TEST(PaperFigures, Figure4AliceWritesButCannotRead) {
+  auto pol = Assertion::parse(kFigure2).take();
+  auto cred = Assertion::parse(kFigure4).take();
+  EXPECT_TRUE(evaluate({pol}, {cred}, salaries_query("Kalice", "write"), lax())
+                  ->authorized());
+  EXPECT_FALSE(evaluate({pol}, {cred}, salaries_query("Kalice", "read"), lax())
+                   ->authorized());
+  // Without Bob's credential Alice has nothing.
+  EXPECT_FALSE(
+      evaluate({pol}, {}, salaries_query("Kalice", "write"))->authorized());
+}
+
+TEST(PaperFigures, Figure5EncodesTheFigure1HasPermissionTable) {
+  auto pol = Assertion::parse(kFigure5).take();
+  struct Row {
+    const char* domain;
+    const char* role;
+    const char* permission;
+    bool expect;
+  };
+  // Figure 1 HasPermission: Finance/Clerk:write, Finance/Manager:read+write,
+  // Sales/Manager:read, Sales/Assistant: no access.
+  const Row rows[] = {
+      {"Finance", "Clerk", "write", true},
+      {"Finance", "Clerk", "read", false},
+      {"Finance", "Manager", "read", true},
+      {"Finance", "Manager", "write", true},
+      {"Sales", "Manager", "read", true},
+      {"Sales", "Manager", "write", false},
+      {"Sales", "Assistant", "read", false},
+      {"Sales", "Assistant", "write", false},
+      {"Sales", "Clerk", "write", false},
+  };
+  for (const auto& row : rows) {
+    auto r = evaluate({pol}, {},
+                      webcom_query("KWebCom", row.domain, row.role,
+                                   row.permission));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->authorized(), row.expect)
+        << row.domain << "/" << row.role << "/" << row.permission;
+  }
+}
+
+TEST(PaperFigures, Figure6ClaireActsAsFinanceManager) {
+  auto pol = Assertion::parse(kFigure5).take();
+  auto claire = Assertion::parse(kFigure6).take();
+  EXPECT_TRUE(evaluate({pol}, {claire},
+                       webcom_query("Kclaire", "Finance", "Manager", "read"),
+                       lax())
+                  ->authorized());
+  EXPECT_TRUE(evaluate({pol}, {claire},
+                       webcom_query("Kclaire", "Finance", "Manager", "write"),
+                       lax())
+                  ->authorized());
+  // Claire's membership is Finance/Manager only.
+  EXPECT_FALSE(evaluate({pol}, {claire},
+                        webcom_query("Kclaire", "Sales", "Manager", "read"),
+                        lax())
+                   ->authorized());
+  EXPECT_FALSE(evaluate({pol}, {claire},
+                        webcom_query("Kclaire", "Finance", "Clerk", "write"),
+                        lax())
+                   ->authorized());
+}
+
+TEST(PaperFigures, Figure7VerbatimDelegationGrantsNothing) {
+  // As printed, Claire (a Finance Manager per Figure 6) delegates a
+  // Sales/Manager membership to Fred. The intersection of the chain's
+  // conditions is empty, so Fred gets no access — KeyNote's guarantee
+  // that re-delegation cannot amplify authority.
+  auto pol = Assertion::parse(kFigure5).take();
+  auto claire = Assertion::parse(kFigure6).take();
+  auto fred = Assertion::parse(kFigure7).take();
+  for (const char* perm : {"read", "write"}) {
+    EXPECT_FALSE(evaluate({pol}, {claire, fred},
+                          webcom_query("Kfred", "Sales", "Manager", perm),
+                          lax())
+                     ->authorized());
+    EXPECT_FALSE(evaluate({pol}, {claire, fred},
+                          webcom_query("Kfred", "Finance", "Manager", perm),
+                          lax())
+                     ->authorized());
+  }
+}
+
+TEST(PaperFigures, Figure7FinanceVariantDelegatesEffectively) {
+  // The intended flow of Section 4.4: re-delegating the role Claire holds.
+  auto pol = Assertion::parse(kFigure5).take();
+  auto claire = Assertion::parse(kFigure6).take();
+  auto fred = Assertion::parse(
+                  "Authorizer: \"Kclaire\"\n"
+                  "licensees: \"Kfred\"\n"
+                  "Conditions: app_domain==\"WebCom\" &&\n"
+                  "    Domain==\"Finance\" && Role==\"Manager\";\n")
+                  .take();
+  EXPECT_TRUE(evaluate({pol}, {claire, fred},
+                       webcom_query("Kfred", "Finance", "Manager", "read"),
+                       lax())
+                  ->authorized());
+  EXPECT_TRUE(evaluate({pol}, {claire, fred},
+                       webcom_query("Kfred", "Finance", "Manager", "write"),
+                       lax())
+                  ->authorized());
+  // Without Claire's own membership credential, the chain is broken.
+  EXPECT_FALSE(evaluate({pol}, {fred},
+                        webcom_query("Kfred", "Finance", "Manager", "read"),
+                        lax())
+                   ->authorized());
+}
+
+TEST(PaperFigures, FullChainWithRealKeys) {
+  // Same scenario with real RSA keys for every tag and signature
+  // verification ON.
+  crypto::KeyRing ring(/*seed=*/1860, /*modulus_bits=*/256);
+  const auto& webcom = ring.identity("KWebCom");
+  const auto& claire = ring.identity("Kclaire");
+  const auto& fred = ring.identity("Kfred");
+
+  auto pol = AssertionBuilder()
+                 .authorizer("POLICY")
+                 .licensees("\"" + webcom.principal() + "\"")
+                 .conditions(
+                     "app_domain == \"WebCom\" && ObjectType == \"SalariesDB\""
+                     " && (Domain==\"Finance\" && Role==\"Manager\""
+                     " && (Permission==\"read\"||Permission==\"write\"))")
+                 .build()
+                 .take();
+  auto claire_cred =
+      AssertionBuilder()
+          .authorizer("\"" + webcom.principal() + "\"")
+          .licensees("\"" + claire.principal() + "\"")
+          .conditions(
+              "app_domain == \"WebCom\" && Domain==\"Finance\" && "
+              "Role==\"Manager\"")
+          .build_signed(webcom)
+          .take();
+  auto fred_cred =
+      AssertionBuilder()
+          .authorizer("\"" + claire.principal() + "\"")
+          .licensees("\"" + fred.principal() + "\"")
+          .conditions(
+              "app_domain==\"WebCom\" && Domain==\"Finance\" && "
+              "Role==\"Manager\"")
+          .build_signed(claire)
+          .take();
+
+  auto q = webcom_query(fred.principal(), "Finance", "Manager", "write");
+  auto r = evaluate({pol}, {claire_cred, fred_cred}, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->authorized());
+  EXPECT_TRUE(r->dropped_credentials.empty());
+}
+
+}  // namespace
+}  // namespace mwsec::keynote

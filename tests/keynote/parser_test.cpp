@@ -1,0 +1,197 @@
+#include "keynote/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::keynote {
+namespace {
+
+TEST(ConditionsParser, EmptyProgram) {
+  auto p = parse_conditions("");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->clauses.empty());
+}
+
+TEST(ConditionsParser, SingleComparisonClause) {
+  auto p = parse_conditions("app_domain == \"WebCom\"");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->clauses.size(), 1u);
+  EXPECT_EQ(p->clauses[0].outcome, Clause::Outcome::kDefault);
+  EXPECT_EQ(p->clauses[0].test->kind, keynote::Test::Kind::kStrCmp);
+}
+
+TEST(ConditionsParser, PaperFigure5Conditions) {
+  auto p = parse_conditions(
+      "app_domain == \"WebCom\" && ObjectType == \"SalariesDB\" && "
+      "(Domain==\"Sales\" && Role==\"Manager\" && Permission==\"read\") || "
+      "(Domain==\"Finance\" && Role==\"Manager\" && "
+      "(Permission==\"read\"||Permission==\"write\"))|| "
+      "(Domain==\"Finance\" && Role==\"Clerk\" && Permission==\"write\")");
+  ASSERT_TRUE(p.ok()) << p.error().message;
+  ASSERT_EQ(p->clauses.size(), 1u);
+  EXPECT_EQ(p->clauses[0].test->kind, keynote::Test::Kind::kOr);
+}
+
+TEST(ConditionsParser, ArrowValueClause) {
+  auto p = parse_conditions("oper == \"read\" -> \"allow\";");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p->clauses.size(), 1u);
+  EXPECT_EQ(p->clauses[0].outcome, Clause::Outcome::kValue);
+  EXPECT_EQ(p->clauses[0].value, "allow");
+}
+
+TEST(ConditionsParser, NestedProgramClause) {
+  auto p = parse_conditions(
+      "app_domain == \"db\" -> { oper == \"read\" -> \"low\"; "
+      "oper == \"write\" -> \"high\"; }");
+  ASSERT_TRUE(p.ok()) << p.error().message;
+  ASSERT_EQ(p->clauses.size(), 1u);
+  EXPECT_EQ(p->clauses[0].outcome, Clause::Outcome::kProgram);
+  ASSERT_NE(p->clauses[0].program, nullptr);
+  EXPECT_EQ(p->clauses[0].program->clauses.size(), 2u);
+}
+
+TEST(ConditionsParser, MultipleClauses) {
+  auto p = parse_conditions("a == \"x\"; b == \"y\"; c == \"z\"");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->clauses.size(), 3u);
+}
+
+TEST(ConditionsParser, TrailingSemicolonOk) {
+  EXPECT_TRUE(parse_conditions("a == \"x\";").ok());
+  EXPECT_TRUE(parse_conditions("a == \"x\";;").ok());
+}
+
+TEST(ConditionsParser, NumericComparisons) {
+  EXPECT_TRUE(parse_conditions("@count >= 3").ok());
+  EXPECT_TRUE(parse_conditions("&load < 0.5").ok());
+  EXPECT_TRUE(parse_conditions("@a + @b * 2 == 10").ok());
+  EXPECT_TRUE(parse_conditions("2 ^ @n > 1024").ok());
+  EXPECT_TRUE(parse_conditions("-@x < 0").ok());
+}
+
+TEST(ConditionsParser, MixedTypeComparisonRejected) {
+  EXPECT_FALSE(parse_conditions("oper == 3").ok());
+  EXPECT_FALSE(parse_conditions("@n == \"three\"").ok());
+}
+
+TEST(ConditionsParser, StringConcatAndIndirection) {
+  EXPECT_TRUE(parse_conditions("domain . \"/\" . role == \"Finance/Clerk\"").ok());
+  EXPECT_TRUE(parse_conditions("$(\"attr\" . \"name\") == \"v\"").ok());
+  EXPECT_TRUE(parse_conditions("$selector == \"v\"").ok());
+}
+
+TEST(ConditionsParser, RegexMatch) {
+  auto p = parse_conditions("filename ~= \"^/tmp/.*\\\\.log$\"");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->clauses[0].test->kind, keynote::Test::Kind::kRegex);
+}
+
+TEST(ConditionsParser, BooleanLiterals) {
+  auto p = parse_conditions("true; false -> \"true\"");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->clauses[0].test->kind, keynote::Test::Kind::kTrue);
+  EXPECT_EQ(p->clauses[1].test->kind, keynote::Test::Kind::kFalse);
+}
+
+TEST(ConditionsParser, ParenthesisedTestVsTerm) {
+  // Parenthesised boolean sub-expression.
+  EXPECT_TRUE(parse_conditions("(a == \"x\" || b == \"y\") && c == \"z\"").ok());
+  // Parenthesised term comparison.
+  EXPECT_TRUE(parse_conditions("(a) == (b)").ok());
+  // Parenthesised numeric term.
+  EXPECT_TRUE(parse_conditions("(@a + 1) * 2 == 6").ok());
+}
+
+TEST(ConditionsParser, NotOperator) {
+  auto p = parse_conditions("!(oper == \"delete\")");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->clauses[0].test->kind, keynote::Test::Kind::kNot);
+}
+
+TEST(ConditionsParser, ErrorsAreDiagnosed) {
+  EXPECT_FALSE(parse_conditions("a ==").ok());
+  EXPECT_FALSE(parse_conditions("a == \"x\" &&").ok());
+  EXPECT_FALSE(parse_conditions("-> \"v\"").ok());
+  EXPECT_FALSE(parse_conditions("a == \"x\" -> {").ok());
+  EXPECT_FALSE(parse_conditions("a == \"x\" b == \"y\"").ok());
+  EXPECT_FALSE(parse_conditions("\"lonely string\"").ok());
+}
+
+TEST(ConditionsParser, ArithmeticOnStringsRejected) {
+  EXPECT_FALSE(parse_conditions("a + b == 3").ok());
+  EXPECT_FALSE(parse_conditions("\"x\" . 3 == \"x3\"").ok());
+}
+
+TEST(LicenseesParser, Empty) {
+  auto e = parse_licensees("");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->kind, LicenseeExpr::Kind::kNone);
+}
+
+TEST(LicenseesParser, SinglePrincipalQuotedOrBare) {
+  auto q = parse_licensees("\"Kbob\"");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->kind, LicenseeExpr::Kind::kPrincipal);
+  EXPECT_EQ(q->principal, "Kbob");
+
+  auto b = parse_licensees("KWebCom");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->principal, "KWebCom");
+}
+
+TEST(LicenseesParser, DisjunctionFlattens) {
+  auto e = parse_licensees("\"K1\" || \"K2\" || \"K3\"");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->kind, LicenseeExpr::Kind::kOr);
+  EXPECT_EQ(e->children.size(), 3u);
+}
+
+TEST(LicenseesParser, ConjunctionBindsTighterThanDisjunction) {
+  auto e = parse_licensees("\"K1\" && \"K2\" || \"K3\"");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->kind, LicenseeExpr::Kind::kOr);
+  ASSERT_EQ(e->children.size(), 2u);
+  EXPECT_EQ(e->children[0].kind, LicenseeExpr::Kind::kAnd);
+  EXPECT_EQ(e->children[1].kind, LicenseeExpr::Kind::kPrincipal);
+}
+
+TEST(LicenseesParser, Threshold) {
+  auto e = parse_licensees("2-of(\"K1\", \"K2\", \"K3\")");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->kind, LicenseeExpr::Kind::kThreshold);
+  EXPECT_EQ(e->k, 2u);
+  EXPECT_EQ(e->children.size(), 3u);
+}
+
+TEST(LicenseesParser, ThresholdOfCompoundMembers) {
+  auto e = parse_licensees("2-of(\"K1\" && \"K2\", \"K3\", \"K4\" || \"K5\")");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->children.size(), 3u);
+}
+
+TEST(LicenseesParser, ThresholdOutOfRangeRejected) {
+  EXPECT_FALSE(parse_licensees("4-of(\"K1\", \"K2\")").ok());
+  EXPECT_FALSE(parse_licensees("0-of(\"K1\")").ok());
+}
+
+TEST(LicenseesParser, Parentheses) {
+  auto e = parse_licensees("(\"K1\" || \"K2\") && \"K3\"");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->kind, LicenseeExpr::Kind::kAnd);
+}
+
+TEST(LicenseesParser, TrailingGarbageRejected) {
+  EXPECT_FALSE(parse_licensees("\"K1\" \"K2\"").ok());
+  EXPECT_FALSE(parse_licensees("\"K1\" &&").ok());
+}
+
+TEST(LicenseesParser, CollectPrincipals) {
+  auto e = parse_licensees("2-of(\"K1\", \"K2\" && \"K3\", \"K1\")");
+  ASSERT_TRUE(e.ok());
+  std::vector<std::string> names;
+  e->collect_principals(names);
+  EXPECT_EQ(names, (std::vector<std::string>{"K1", "K2", "K3", "K1"}));
+}
+
+}  // namespace
+}  // namespace mwsec::keynote

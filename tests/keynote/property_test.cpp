@@ -1,0 +1,205 @@
+// Property and fuzz tests for the KeyNote engine.
+//
+//  * Monotonicity: adding credentials never lowers a query's compliance
+//    value; removing credentials never raises it (RFC 2704's semantics
+//    are a least fixpoint over a monotone operator).
+//  * Serialisation: to_text() -> parse() is a fixed point.
+//  * Robustness: the parsers never crash or hang on garbage, and the
+//    evaluator is deterministic.
+#include <gtest/gtest.h>
+
+#include "keynote/eval.hpp"
+#include "keynote/lexer.hpp"
+#include "keynote/parser.hpp"
+#include "keynote/query.hpp"
+#include "util/rng.hpp"
+
+namespace mwsec::keynote {
+namespace {
+
+using util::Rng;
+
+/// Random principal tag from a small universe, so chains actually link.
+std::string principal(Rng& rng) {
+  return "K" + std::to_string(rng.below(8));
+}
+
+/// Random conditions program over attributes {a, b, c} (values "0".."3").
+std::string random_conditions(Rng& rng, int depth = 0) {
+  auto atom = [&] {
+    std::string attr(1, static_cast<char>('a' + rng.below(3)));
+    std::string value = std::to_string(rng.below(4));
+    const char* op = rng.chance(0.7) ? "==" : "!=";
+    return attr + " " + op + " \"" + value + "\"";
+  };
+  if (depth >= 2 || rng.chance(0.4)) return atom();
+  std::string l = random_conditions(rng, depth + 1);
+  std::string r = random_conditions(rng, depth + 1);
+  const char* joiner = rng.chance(0.5) ? " && " : " || ";
+  return "(" + l + joiner + r + ")";
+}
+
+Assertion random_policy(Rng& rng) {
+  return AssertionBuilder()
+      .authorizer("POLICY")
+      .licensees("\"" + principal(rng) + "\"")
+      .conditions(random_conditions(rng))
+      .build()
+      .take();
+}
+
+Assertion random_credential(Rng& rng) {
+  return AssertionBuilder()
+      .authorizer("\"" + principal(rng) + "\"")
+      .licensees("\"" + principal(rng) + "\"")
+      .conditions(random_conditions(rng))
+      .build()
+      .take();
+}
+
+Query random_query(Rng& rng) {
+  Query q;
+  q.action_authorizers = {principal(rng)};
+  for (char attr : {'a', 'b', 'c'}) {
+    q.env.set(std::string(1, attr), std::to_string(rng.below(4)));
+  }
+  return q;
+}
+
+class Monotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Monotonicity, AddingCredentialsNeverLowersTheVerdict) {
+  Rng rng(GetParam() * 6364136223846793005ULL + 1);
+  QueryOptions lax;
+  lax.verify_signatures = false;
+
+  std::vector<Assertion> policies{random_policy(rng), random_policy(rng)};
+  std::vector<Assertion> credentials;
+  Query q = random_query(rng);
+
+  std::size_t last = evaluate(policies, credentials, q, lax)->value_index;
+  for (int step = 0; step < 12; ++step) {
+    credentials.push_back(random_credential(rng));
+    std::size_t now = evaluate(policies, credentials, q, lax)->value_index;
+    ASSERT_GE(now, last) << "adding a credential lowered the verdict";
+    last = now;
+  }
+  // And in reverse: removing from the back never raises it.
+  while (!credentials.empty()) {
+    credentials.pop_back();
+    std::size_t now = evaluate(policies, credentials, q, lax)->value_index;
+    ASSERT_LE(now, last) << "removing a credential raised the verdict";
+    last = now;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Monotonicity,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+class Determinism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Determinism, EvaluationIsAFunction) {
+  Rng rng(GetParam() * 2654435761ULL + 3);
+  QueryOptions lax;
+  lax.verify_signatures = false;
+  std::vector<Assertion> policies{random_policy(rng)};
+  std::vector<Assertion> credentials;
+  for (int i = 0; i < 6; ++i) credentials.push_back(random_credential(rng));
+  Query q = random_query(rng);
+  auto first = evaluate(policies, credentials, q, lax)->value_index;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(evaluate(policies, credentials, q, lax)->value_index, first);
+  }
+  // Credential order must not matter.
+  std::reverse(credentials.begin(), credentials.end());
+  EXPECT_EQ(evaluate(policies, credentials, q, lax)->value_index, first);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Determinism,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+class SerialisationFixedPoint : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerialisationFixedPoint, ToTextParseToText) {
+  Rng rng(GetParam() * 40503 + 11);
+  for (int i = 0; i < 20; ++i) {
+    Assertion a = rng.chance(0.5) ? random_policy(rng) : random_credential(rng);
+    std::string text1 = a.to_text();
+    auto reparsed = Assertion::parse(text1);
+    ASSERT_TRUE(reparsed.ok()) << text1 << "\n" << reparsed.error().message;
+    EXPECT_EQ(reparsed->to_text(), text1);
+    EXPECT_EQ(reparsed->authorizer(), a.authorizer());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerialisationFixedPoint,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+TEST(ParserFuzz, GarbageNeverCrashes) {
+  Rng rng(424242);
+  const std::string alphabet =
+      "abcKP \t\n\"'()&|!=<>~+-*/%^.@$;{}0123456789_\\";
+  for (int i = 0; i < 3000; ++i) {
+    std::size_t len = rng.below(60);
+    std::string s;
+    for (std::size_t j = 0; j < len; ++j) {
+      s.push_back(alphabet[rng.index(alphabet.size())]);
+    }
+    // Must return (ok or error), not crash/throw/hang.
+    (void)tokenize(s);
+    (void)Assertion::parse(s);
+    (void)Assertion::parse("Authorizer: POLICY\nConditions: " + s + "\n");
+    (void)Assertion::parse("Authorizer: POLICY\nLicensees: " + s + "\n");
+  }
+  SUCCEED();
+}
+
+TEST(ParserFuzz, MutatedValidAssertionsNeverCrash) {
+  Rng rng(777);
+  const std::string base =
+      "KeyNote-Version: 2\n"
+      "Local-Constants: A=\"Kx\"\n"
+      "Authorizer: POLICY\n"
+      "Licensees: A || \"Ky\" && 2-of(\"K1\",\"K2\",\"K3\")\n"
+      "Conditions: app_domain == \"WebCom\" && @n < 4 -> \"true\";\n";
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = base;
+    int edits = 1 + static_cast<int>(rng.below(4));
+    for (int e = 0; e < edits; ++e) {
+      std::size_t pos = rng.index(mutated.size());
+      switch (rng.below(3)) {
+        case 0: mutated[pos] = static_cast<char>(rng.range(32, 126)); break;
+        case 1: mutated.erase(pos, 1); break;
+        default: mutated.insert(pos, 1, static_cast<char>(rng.range(32, 126)));
+      }
+    }
+    auto parsed = Assertion::parse(mutated);
+    if (parsed.ok()) {
+      // Whatever parsed must serialise and reparse.
+      auto again = Assertion::parse(parsed->to_text());
+      EXPECT_TRUE(again.ok()) << mutated;
+    }
+  }
+  SUCCEED();
+}
+
+TEST(EvaluatorFuzz, RandomProgramsEvaluateSafely) {
+  Rng rng(13579);
+  ComplianceValueSet values =
+      ComplianceValueSet::make({"v0", "v1", "v2", "v3"}).take();
+  for (int i = 0; i < 500; ++i) {
+    std::string cond = random_conditions(rng);
+    if (rng.chance(0.3)) {
+      cond += " -> \"v" + std::to_string(rng.below(5)) + "\"";  // maybe bogus
+    }
+    auto prog = parse_conditions(cond);
+    ASSERT_TRUE(prog.ok()) << cond;
+    std::size_t v = eval_conditions(*prog, values, [&](std::string_view) {
+      return std::to_string(rng.below(4));
+    });
+    EXPECT_LT(v, values.size());
+  }
+}
+
+}  // namespace
+}  // namespace mwsec::keynote

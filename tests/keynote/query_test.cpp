@@ -1,0 +1,315 @@
+#include "keynote/query.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::keynote {
+namespace {
+
+crypto::KeyRing& ring() {
+  static crypto::KeyRing r(/*seed=*/2718, /*modulus_bits=*/256);
+  return r;
+}
+
+Assertion policy_for(const std::string& licensee_name,
+                     const std::string& conditions) {
+  return AssertionBuilder()
+      .authorizer("POLICY")
+      .licensees("\"" + ring().principal(licensee_name) + "\"")
+      .conditions(conditions)
+      .build()
+      .take();
+}
+
+Assertion credential(const std::string& from, const std::string& to,
+                     const std::string& conditions) {
+  return AssertionBuilder()
+      .authorizer("\"" + ring().principal(from) + "\"")
+      .licensees("\"" + ring().principal(to) + "\"")
+      .conditions(conditions)
+      .build_signed(ring().identity(from))
+      .take();
+}
+
+Query make_query(const std::string& requester,
+                 std::initializer_list<std::pair<std::string, std::string>>
+                     attrs) {
+  Query q;
+  q.action_authorizers.push_back(ring().principal(requester));
+  for (const auto& [k, v] : attrs) q.env.set(k, v);
+  return q;
+}
+
+TEST(Query, DirectPolicyAuthorisation) {
+  auto pol = policy_for("Kbob",
+                        "app_domain==\"SalariesDB\" && "
+                        "(oper==\"read\" || oper==\"write\")");
+  auto q = make_query("Kbob", {{"app_domain", "SalariesDB"}, {"oper", "read"}});
+  auto r = evaluate({pol}, {}, q);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_TRUE(r->authorized());
+  EXPECT_EQ(r->value_name, "true");
+}
+
+TEST(Query, DeniedWhenConditionsUnmet) {
+  auto pol = policy_for("Kbob", "oper==\"read\"");
+  auto q = make_query("Kbob", {{"oper", "write"}});
+  auto r = evaluate({pol}, {}, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->authorized());
+}
+
+TEST(Query, DeniedForUnknownRequester) {
+  auto pol = policy_for("Kbob", "true");
+  auto q = make_query("Kmallory", {});
+  auto r = evaluate({pol}, {}, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->authorized());
+}
+
+TEST(Query, OneHopDelegation) {
+  // Paper Figures 2+4: POLICY -> Kbob (read|write), Kbob -> Kalice (write).
+  auto pol = policy_for("Kbob",
+                        "app_domain==\"SalariesDB\" && "
+                        "(oper==\"read\" || oper==\"write\")");
+  auto cred = credential("Kbob", "Kalice",
+                         "app_domain==\"SalariesDB\" && oper==\"write\"");
+  auto q_write =
+      make_query("Kalice", {{"app_domain", "SalariesDB"}, {"oper", "write"}});
+  auto r = evaluate({pol}, {cred}, q_write);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->authorized());
+
+  // Alice never got read.
+  auto q_read =
+      make_query("Kalice", {{"app_domain", "SalariesDB"}, {"oper", "read"}});
+  auto r2 = evaluate({pol}, {cred}, q_read);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->authorized());
+}
+
+TEST(Query, DelegationChainIntersectsConditions) {
+  // Delegation cannot amplify: Bob only holds "read", so Alice's broader
+  // credential still only yields "read".
+  auto pol = policy_for("Kbob", "oper==\"read\"");
+  auto cred = credential("Kbob", "Kalice", "true");
+  auto r_read = evaluate({pol}, {cred}, make_query("Kalice", {{"oper", "read"}}));
+  EXPECT_TRUE(r_read->authorized());
+  auto r_write = evaluate({pol}, {cred}, make_query("Kalice", {{"oper", "write"}}));
+  EXPECT_FALSE(r_write->authorized());
+}
+
+TEST(Query, DeepDelegationChain) {
+  std::vector<Assertion> creds;
+  auto pol = policy_for("K0", "true");
+  for (int i = 0; i < 10; ++i) {
+    creds.push_back(credential("K" + std::to_string(i),
+                               "K" + std::to_string(i + 1), "true"));
+  }
+  auto r = evaluate({pol}, creds, make_query("K10", {}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->authorized());
+  // A principal off the chain is not authorised.
+  auto r2 = evaluate({pol}, creds, make_query("K99", {}));
+  EXPECT_FALSE(r2->authorized());
+}
+
+TEST(Query, DelegationCycleIsSafe) {
+  auto pol = policy_for("Kx", "false");  // policy grants nothing
+  std::vector<Assertion> creds{credential("Kx", "Ky", "true"),
+                               credential("Ky", "Kx", "true")};
+  auto r = evaluate({pol}, creds, make_query("Kz", {}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->authorized());
+}
+
+TEST(Query, MutualDelegationStillConverges) {
+  // Kb and Kc delegate to each other; Kc also delegates to the requester.
+  auto pol = policy_for("Kb", "true");
+  std::vector<Assertion> creds{credential("Kb", "Kc", "true"),
+                               credential("Kc", "Kb", "true"),
+                               credential("Kc", "Kreq", "true")};
+  auto r = evaluate({pol}, creds, make_query("Kreq", {}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->authorized());
+}
+
+TEST(Query, ConjunctiveLicenseesRequireBoth) {
+  auto pol = AssertionBuilder()
+                 .authorizer("POLICY")
+                 .licensees("\"" + ring().principal("Ka") + "\" && \"" +
+                            ring().principal("Kb") + "\"")
+                 .conditions("true")
+                 .build()
+                 .take();
+  Query q;
+  q.action_authorizers = {ring().principal("Ka")};
+  EXPECT_FALSE(evaluate({pol}, {}, q)->authorized());
+  q.action_authorizers = {ring().principal("Ka"), ring().principal("Kb")};
+  EXPECT_TRUE(evaluate({pol}, {}, q)->authorized());
+}
+
+TEST(Query, ThresholdLicensees) {
+  auto pol = AssertionBuilder()
+                 .authorizer("POLICY")
+                 .licensees("2-of(\"" + ring().principal("Ka") + "\", \"" +
+                            ring().principal("Kb") + "\", \"" +
+                            ring().principal("Kc") + "\")")
+                 .conditions("true")
+                 .build()
+                 .take();
+  Query q;
+  q.action_authorizers = {ring().principal("Ka")};
+  EXPECT_FALSE(evaluate({pol}, {}, q)->authorized());
+  q.action_authorizers = {ring().principal("Ka"), ring().principal("Kc")};
+  EXPECT_TRUE(evaluate({pol}, {}, q)->authorized());
+}
+
+TEST(Query, ForgedCredentialIsDropped) {
+  auto pol = policy_for("Kbob", "true");
+  // Credential "signed" by the wrong key: built for Kbob's principal but
+  // signed by Keve — sign_with refuses, so emulate a forgery textually.
+  auto good = credential("Kbob", "Kalice", "true");
+  std::string text = good.to_text();
+  // Flip a hex digit inside the signature.
+  auto pos = text.find("Signature: ");
+  ASSERT_NE(pos, std::string::npos);
+  std::size_t digit = text.find_first_of("0123456789abcdef", pos + 30);
+  text[digit] = text[digit] == '0' ? '1' : '0';
+  auto forged = Assertion::parse(text).take();
+
+  auto r = evaluate({pol}, {forged}, make_query("Kalice", {}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->authorized());
+  ASSERT_EQ(r->dropped_credentials.size(), 1u);
+}
+
+TEST(Query, SignatureCheckingCanBeDisabled) {
+  auto pol = policy_for("Kbob", "true");
+  auto unsigned_cred = AssertionBuilder()
+                           .authorizer("\"" + ring().principal("Kbob") + "\"")
+                           .licensees("\"" + ring().principal("Kalice") + "\"")
+                           .conditions("true")
+                           .build()
+                           .take();
+  QueryOptions lax;
+  lax.verify_signatures = false;
+  EXPECT_TRUE(evaluate({pol}, {unsigned_cred}, make_query("Kalice", {}), lax)
+                  ->authorized());
+  EXPECT_FALSE(
+      evaluate({pol}, {unsigned_cred}, make_query("Kalice", {}))->authorized());
+}
+
+TEST(Query, PolicyAssertionAmongCredentialsIsDropped) {
+  auto pol = policy_for("Kbob", "false");
+  auto smuggled = policy_for("Kmallory", "true");
+  auto r = evaluate({pol}, {smuggled}, make_query("Kmallory", {}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->authorized());
+  EXPECT_EQ(r->dropped_credentials.size(), 1u);
+}
+
+TEST(Query, NonPolicyAmongPoliciesIsAnError) {
+  auto cred = credential("Kbob", "Kalice", "true");
+  auto r = evaluate({cred}, {}, make_query("Kalice", {}));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Query, MultiValueComplianceOrdering) {
+  Query q;
+  q.values = ComplianceValueSet::make({"none", "observe", "operate"}).take();
+  q.action_authorizers = {ring().principal("Kop")};
+  q.env.set("role", "operator");
+  auto pol = AssertionBuilder()
+                 .authorizer("POLICY")
+                 .licensees("\"" + ring().principal("Kop") + "\"")
+                 .conditions("role == \"operator\" -> \"observe\"; "
+                             "role == \"admin\" -> \"operate\"")
+                 .build()
+                 .take();
+  auto r = evaluate({pol}, {}, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value_name, "observe");
+  EXPECT_EQ(r->value_index, 1u);
+}
+
+TEST(Query, DelegationTakesMinAcrossMultiValueChain) {
+  Query q;
+  q.values = ComplianceValueSet::make({"v0", "v1", "v2"}).take();
+  q.action_authorizers = {ring().principal("Kleaf")};
+  // POLICY grants Kmid up to v2; Kmid grants leaf only v1.
+  auto pol = AssertionBuilder()
+                 .authorizer("POLICY")
+                 .licensees("\"" + ring().principal("Kmid") + "\"")
+                 .conditions("true -> \"v2\"")
+                 .build()
+                 .take();
+  auto mid = AssertionBuilder()
+                 .authorizer("\"" + ring().principal("Kmid") + "\"")
+                 .licensees("\"" + ring().principal("Kleaf") + "\"")
+                 .conditions("true -> \"v1\"")
+                 .build_signed(ring().identity("Kmid"))
+                 .take();
+  auto r = evaluate({pol}, {mid}, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value_name, "v1");
+}
+
+TEST(Query, ActionAuthorizersReservedAttribute) {
+  auto pol = AssertionBuilder()
+                 .authorizer("POLICY")
+                 .licensees("\"" + ring().principal("Kbob") + "\"")
+                 .conditions("_ACTION_AUTHORIZERS ~= \"" +
+                             ring().principal("Kbob").substr(0, 16) + "\"")
+                 .build()
+                 .take();
+  auto r = evaluate({pol}, {}, make_query("Kbob", {}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->authorized());
+}
+
+TEST(Query, MonotonicityAddingCredentialsNeverLowers) {
+  auto pol = policy_for("Kbob", "oper==\"read\"");
+  auto cred = credential("Kbob", "Kalice", "oper==\"read\"");
+  auto q = make_query("Kalice", {{"oper", "read"}});
+  auto before = evaluate({pol}, {}, q).take();
+  auto after = evaluate({pol}, {cred}, q).take();
+  EXPECT_GE(after.value_index, before.value_index);
+}
+
+TEST(Session, AccumulatesAndQueries) {
+  Session s;
+  ASSERT_TRUE(s.add_policy_text("Authorizer: POLICY\nLicensees: \"" +
+                                ring().principal("Kbob") +
+                                "\"\nConditions: oper == \"read\"\n")
+                  .ok());
+  auto cred = credential("Kbob", "Kalice", "oper == \"read\"");
+  ASSERT_TRUE(s.add_credential(cred).ok());
+  s.add_action_authorizer(ring().principal("Kalice"));
+  s.add_action_attribute("oper", "read");
+  auto r = s.query();
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->authorized());
+
+  s.clear_action();
+  s.add_action_authorizer(ring().principal("Kalice"));
+  s.add_action_attribute("oper", "write");
+  EXPECT_FALSE(s.query()->authorized());
+}
+
+TEST(Session, RejectsMisfiledAssertions) {
+  Session s;
+  auto cred = credential("Kbob", "Kalice", "true");
+  EXPECT_FALSE(s.add_policy(cred).ok());
+  auto pol = policy_for("Kbob", "true");
+  EXPECT_FALSE(s.add_credential(pol).ok());
+}
+
+TEST(Session, CustomComplianceValues) {
+  Session s;
+  ASSERT_TRUE(s.set_compliance_values({"deny", "audit", "permit"}).ok());
+  EXPECT_FALSE(s.set_compliance_values({}).ok());
+  EXPECT_FALSE(s.set_compliance_values({"a", "a"}).ok());
+}
+
+}  // namespace
+}  // namespace mwsec::keynote

@@ -1,0 +1,153 @@
+#include "keynote/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace mwsec::keynote {
+namespace {
+
+crypto::KeyRing& ring() {
+  static crypto::KeyRing r(/*seed=*/31415, /*modulus_bits=*/256);
+  return r;
+}
+
+Assertion policy_for(const std::string& licensee, const std::string& cond) {
+  return AssertionBuilder()
+      .authorizer("POLICY")
+      .licensees("\"" + ring().principal(licensee) + "\"")
+      .conditions(cond)
+      .build()
+      .take();
+}
+
+Assertion credential(const std::string& from, const std::string& to,
+                     const std::string& cond) {
+  return AssertionBuilder()
+      .authorizer("\"" + ring().principal(from) + "\"")
+      .licensees("\"" + ring().principal(to) + "\"")
+      .conditions(cond)
+      .build_signed(ring().identity(from))
+      .take();
+}
+
+TEST(CredentialStore, AddAndCount) {
+  CredentialStore store;
+  EXPECT_TRUE(store.add_policy(policy_for("Ka", "true")).ok());
+  EXPECT_TRUE(store.add_credential(credential("Ka", "Kb", "true")).ok());
+  EXPECT_EQ(store.policy_count(), 1u);
+  EXPECT_EQ(store.credential_count(), 1u);
+}
+
+TEST(CredentialStore, RejectsMisfiled) {
+  CredentialStore store;
+  EXPECT_FALSE(store.add_policy(credential("Ka", "Kb", "true")).ok());
+}
+
+TEST(CredentialStore, RejectsUnverifiableCredential) {
+  CredentialStore store;
+  auto unsigned_cred = AssertionBuilder()
+                           .authorizer("\"" + ring().principal("Ka") + "\"")
+                           .licensees("\"Kb\"")
+                           .conditions("true")
+                           .build()
+                           .take();
+  EXPECT_FALSE(store.add_credential(unsigned_cred).ok());
+  EXPECT_EQ(store.credential_count(), 0u);
+}
+
+TEST(CredentialStore, AddIsIdempotent) {
+  CredentialStore store;
+  auto c = credential("Ka", "Kb", "true");
+  EXPECT_TRUE(store.add_credential(c).ok());
+  EXPECT_TRUE(store.add_credential(c).ok());
+  EXPECT_EQ(store.credential_count(), 1u);
+}
+
+TEST(CredentialStore, RemoveMatching) {
+  CredentialStore store;
+  auto c1 = credential("Ka", "Kb", "oper==\"read\"");
+  auto c2 = credential("Ka", "Kb", "oper==\"write\"");
+  store.add_credential(c1).ok();
+  store.add_credential(c2).ok();
+  EXPECT_EQ(store.remove_matching(c1.to_text()), 1u);
+  EXPECT_EQ(store.credential_count(), 1u);
+  EXPECT_EQ(store.remove_matching(c1.to_text()), 0u);
+}
+
+TEST(CredentialStore, RemoveByAuthorizer) {
+  CredentialStore store;
+  store.add_credential(credential("Ka", "Kb", "true")).ok();
+  store.add_credential(credential("Ka", "Kc", "true")).ok();
+  store.add_credential(credential("Kd", "Ke", "true")).ok();
+  EXPECT_EQ(store.remove_by_authorizer(ring().principal("Ka")), 2u);
+  EXPECT_EQ(store.credential_count(), 1u);
+}
+
+TEST(CredentialStore, CredentialsByAuthorizer) {
+  CredentialStore store;
+  store.add_credential(credential("Ka", "Kb", "true")).ok();
+  store.add_credential(credential("Kd", "Ke", "true")).ok();
+  EXPECT_EQ(store.credentials_by_authorizer(ring().principal("Ka")).size(), 1u);
+  EXPECT_EQ(store.credentials_by_authorizer("nobody").size(), 0u);
+}
+
+TEST(CredentialStore, QueryUsesStoredAndPresented) {
+  CredentialStore store;
+  store.add_policy(policy_for("Ka", "true")).ok();
+  Query q;
+  q.action_authorizers = {ring().principal("Kb")};
+  EXPECT_FALSE(store.query(q)->authorized());
+  // Presented at request time, not stored.
+  auto c = credential("Ka", "Kb", "true");
+  EXPECT_TRUE(store.query(q, {c})->authorized());
+  EXPECT_EQ(store.credential_count(), 0u);
+}
+
+TEST(CredentialStore, BundleRoundTrip) {
+  CredentialStore store;
+  store.add_policy(policy_for("Ka", "oper==\"read\"")).ok();
+  store.add_credential(credential("Ka", "Kb", "oper==\"read\"")).ok();
+  auto bundle = Assertion::parse_bundle(store.to_bundle_text());
+  ASSERT_TRUE(bundle.ok()) << bundle.error().message;
+  EXPECT_EQ(bundle->size(), 2u);
+}
+
+TEST(CredentialStore, ClearEmptiesEverything) {
+  CredentialStore store;
+  store.add_policy(policy_for("Ka", "true")).ok();
+  store.add_credential(credential("Ka", "Kb", "true")).ok();
+  store.clear();
+  EXPECT_EQ(store.policy_count(), 0u);
+  EXPECT_EQ(store.credential_count(), 0u);
+}
+
+TEST(CredentialStore, ConcurrentAddAndQuery) {
+  CredentialStore store;
+  store.add_policy(policy_for("Ka", "true")).ok();
+  // Pre-mint identities so threads do not race on key generation order
+  // (KeyRing is thread-safe, but determinism of *which* key a name gets
+  // depends on insertion order).
+  for (int i = 0; i < 8; ++i) ring().identity("Kw" + std::to_string(i));
+
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t] {
+      store.add_credential(
+          credential("Ka", "Kw" + std::to_string(t), "true")).ok();
+    });
+  }
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&store, t] {
+      Query q;
+      q.action_authorizers = {ring().principal("Kw" + std::to_string(t))};
+      (void)store.query(q);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(store.credential_count(), 4u);
+}
+
+}  // namespace
+}  // namespace mwsec::keynote

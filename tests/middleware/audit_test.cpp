@@ -1,0 +1,56 @@
+#include "middleware/common/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace mwsec::middleware {
+namespace {
+
+TEST(AuditLog, RecordsEventsInOrder) {
+  AuditLog log;
+  log.record({"sysA", "alice", "DB:read", true, ""});
+  log.record({"sysA", "bob", "DB:write", false, "no role"});
+  auto events = log.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].principal, "alice");
+  EXPECT_TRUE(events[0].allowed);
+  EXPECT_EQ(events[1].principal, "bob");
+  EXPECT_FALSE(events[1].allowed);
+  EXPECT_EQ(events[1].detail, "no role");
+}
+
+TEST(AuditLog, CountsAreMonotonic) {
+  AuditLog log(/*capacity=*/2);
+  for (int i = 0; i < 10; ++i) {
+    log.record({"s", "u", "a", i % 2 == 0, ""});
+  }
+  EXPECT_EQ(log.size(), 2u);  // bounded
+  EXPECT_EQ(log.allowed_count(), 5u);
+  EXPECT_EQ(log.denied_count(), 5u);
+}
+
+TEST(AuditLog, ClearResets) {
+  AuditLog log;
+  log.record({"s", "u", "a", true, ""});
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.allowed_count(), 0u);
+}
+
+TEST(AuditLog, ConcurrentRecording) {
+  AuditLog log(100000);
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < 1000; ++i) log.record({"s", "u", "a", true, ""});
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(log.allowed_count(), 4000u);
+  EXPECT_EQ(log.size(), 4000u);
+}
+
+}  // namespace
+}  // namespace mwsec::middleware

@@ -1,0 +1,179 @@
+#include "middleware/com/catalogue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::middleware::com {
+namespace {
+
+/// The Salaries scenario in COM+ terms on NT domain "Finance".
+Catalogue finance_catalogue(AuditLog* audit = nullptr) {
+  Catalogue cat("winsrv1", "Finance", audit);
+  EXPECT_TRUE(cat.register_application({"SalariesDB", "salaries app", {}}).ok());
+  EXPECT_TRUE(cat.define_role("Clerk").ok());
+  EXPECT_TRUE(cat.define_role("Manager").ok());
+  EXPECT_TRUE(cat.grant("Clerk", "SalariesDB", kAccess).ok());
+  EXPECT_TRUE(cat.grant("Manager", "SalariesDB", kLaunch).ok());
+  EXPECT_TRUE(cat.grant("Manager", "SalariesDB", kAccess).ok());
+  EXPECT_TRUE(cat.add_user_to_role("Alice", "Clerk").ok());
+  EXPECT_TRUE(cat.add_user_to_role("Bob", "Manager").ok());
+  EXPECT_TRUE(cat.install_handler("SalariesDB", "GetSalary",
+                                  [](const std::string&, const std::string& a) {
+                                    return "salary(" + a + ")=100";
+                                  })
+                  .ok());
+  return cat;
+}
+
+TEST(ComCatalogue, PermissionVocabularyIsClosed) {
+  EXPECT_TRUE(is_com_permission("Launch"));
+  EXPECT_TRUE(is_com_permission("Access"));
+  EXPECT_TRUE(is_com_permission("RunAs"));
+  EXPECT_FALSE(is_com_permission("read"));
+  Catalogue cat("h", "D");
+  cat.register_application({"App", "", {}}).ok();
+  cat.define_role("R").ok();
+  EXPECT_FALSE(cat.grant("R", "App", "read").ok());
+}
+
+TEST(ComCatalogue, AdministrationValidation) {
+  Catalogue cat("h", "D");
+  EXPECT_FALSE(cat.register_application({"", "", {}}).ok());
+  cat.register_application({"App", "", {}}).ok();
+  EXPECT_FALSE(cat.register_application({"App", "", {}}).ok());  // dup
+  EXPECT_FALSE(cat.grant("NoRole", "App", kLaunch).ok());
+  cat.define_role("R").ok();
+  EXPECT_FALSE(cat.grant("R", "NoApp", kLaunch).ok());
+  EXPECT_FALSE(cat.add_user_to_role("u", "NoRole").ok());
+  EXPECT_FALSE(cat.install_handler("NoApp", "m", nullptr).ok());
+}
+
+TEST(ComCatalogue, LaunchRequiresLaunchPermission) {
+  auto cat = finance_catalogue();
+  EXPECT_TRUE(cat.launch("Bob", "SalariesDB").ok());
+  auto denied = cat.launch("Alice", "SalariesDB");  // Clerk has only Access
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, "denied");
+  EXPECT_FALSE(cat.launch("Mallory", "SalariesDB").ok());
+  EXPECT_FALSE(cat.launch("Bob", "NoApp").ok());
+}
+
+TEST(ComCatalogue, CallRequiresAccessPermission) {
+  auto cat = finance_catalogue();
+  auto r = cat.call("Alice", "SalariesDB", "GetSalary", "Alice");
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(*r, "salary(Alice)=100");
+  EXPECT_FALSE(cat.call("Mallory", "SalariesDB", "GetSalary").ok());
+  EXPECT_FALSE(cat.call("Alice", "SalariesDB", "NoMethod").ok());
+}
+
+TEST(ComCatalogue, RemoveUserFromRoleRevokes) {
+  auto cat = finance_catalogue();
+  ASSERT_TRUE(cat.remove_user_from_role("Alice", "Clerk").ok());
+  EXPECT_FALSE(cat.call("Alice", "SalariesDB", "GetSalary").ok());
+  EXPECT_FALSE(cat.remove_user_from_role("Alice", "Clerk").ok());
+}
+
+TEST(ComCatalogue, ExportPolicyProjectsNativeState) {
+  auto cat = finance_catalogue();
+  auto p = cat.export_policy();
+  EXPECT_TRUE(p.has_permission("Finance", "Clerk", "SalariesDB", "Access"));
+  EXPECT_TRUE(p.has_permission("Finance", "Manager", "SalariesDB", "Launch"));
+  EXPECT_TRUE(p.user_in_role("Alice", "Finance", "Clerk"));
+  EXPECT_TRUE(p.user_in_role("Bob", "Finance", "Manager"));
+  EXPECT_EQ(p.grants().size(), 3u);
+  EXPECT_EQ(p.assignments().size(), 2u);
+}
+
+TEST(ComCatalogue, ImportPolicyCommissionsRows) {
+  Catalogue cat("h", "Finance");
+  rbac::Policy p;
+  p.grant("Finance", "Auditor", "LedgerApp", "Access").ok();
+  p.assign("Carol", "Finance", "Auditor").ok();
+  auto stats = cat.import_policy(p);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->grants_applied, 1u);
+  EXPECT_EQ(stats->assignments_applied, 1u);
+  EXPECT_TRUE(stats->skipped.empty());
+  EXPECT_TRUE(cat.mediate("Carol", "LedgerApp", "Access"));
+}
+
+TEST(ComCatalogue, ImportSkipsInexpressibleRows) {
+  Catalogue cat("h", "Finance");
+  rbac::Policy p;
+  p.grant("Finance", "Clerk", "SalariesDB", "write").ok();  // not COM verb
+  p.grant("Sales", "Clerk", "SalariesDB", "Access").ok();   // foreign domain
+  p.grant("Finance", "Clerk", "SalariesDB", "Access").ok();
+  p.assign("Zoe", "Sales", "Clerk").ok();  // foreign domain
+  auto stats = cat.import_policy(p);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->grants_applied, 1u);
+  EXPECT_EQ(stats->assignments_applied, 0u);
+  EXPECT_EQ(stats->skipped.size(), 3u);
+}
+
+TEST(ComCatalogue, ExportImportRoundTrip) {
+  auto cat = finance_catalogue();
+  auto exported = cat.export_policy();
+  Catalogue fresh("winsrv2", "Finance");
+  ASSERT_TRUE(fresh.import_policy(exported).ok());
+  EXPECT_EQ(fresh.export_policy(), exported);
+}
+
+TEST(ComCatalogue, MediateMatchesExportedPolicyCheck) {
+  auto cat = finance_catalogue();
+  auto p = cat.export_policy();
+  for (const char* user : {"Alice", "Bob", "Mallory"}) {
+    for (const char* perm : {"Launch", "Access", "RunAs"}) {
+      EXPECT_EQ(cat.mediate(user, "SalariesDB", perm),
+                p.check({user, "SalariesDB", perm}))
+          << user << " " << perm;
+    }
+  }
+}
+
+TEST(ComCatalogue, ComponentsPaletteListsAppsAndMethods) {
+  auto cat = finance_catalogue();
+  auto comps = cat.components();
+  ASSERT_EQ(comps.size(), 2u);  // Launch component + GetSalary method
+  EXPECT_EQ(comps[0].object_type, "SalariesDB");
+  EXPECT_EQ(comps[0].operation, "Launch");
+  EXPECT_EQ(comps[1].operation, "Access");
+  EXPECT_NE(comps[1].id.find("#GetSalary"), std::string::npos);
+}
+
+TEST(ComCatalogue, RunAsConfigurationRequiresRunAsPermission) {
+  auto cat = finance_catalogue();
+  EXPECT_EQ(cat.run_as("SalariesDB"), "interactive user");
+  // Nobody holds RunAs yet.
+  EXPECT_FALSE(cat.set_run_as("Bob", "SalariesDB", "svc-payroll").ok());
+  cat.grant("Manager", "SalariesDB", kRunAs).ok();
+  ASSERT_TRUE(cat.set_run_as("Bob", "SalariesDB", "svc-payroll").ok());
+  EXPECT_EQ(cat.run_as("SalariesDB"), "svc-payroll");
+  EXPECT_FALSE(cat.set_run_as("Alice", "SalariesDB", "root").ok());
+  EXPECT_FALSE(cat.set_run_as("Bob", "NoApp", "x").ok());
+}
+
+TEST(ComCatalogue, LaunchReportsRunAsIdentity) {
+  auto cat = finance_catalogue();
+  EXPECT_EQ(cat.launch("Bob", "SalariesDB").value(),
+            "activated SalariesDB as interactive user");
+  cat.grant("Manager", "SalariesDB", kRunAs).ok();
+  cat.set_run_as("Bob", "SalariesDB", "svc-payroll").ok();
+  EXPECT_EQ(cat.launch("Bob", "SalariesDB").value(),
+            "activated SalariesDB as svc-payroll");
+}
+
+TEST(ComCatalogue, AuditTrailRecordsDecisions) {
+  AuditLog audit;
+  auto cat = finance_catalogue(&audit);
+  cat.launch("Bob", "SalariesDB").ok();
+  cat.launch("Alice", "SalariesDB").ok();
+  EXPECT_EQ(audit.allowed_count(), 1u);
+  EXPECT_EQ(audit.denied_count(), 1u);
+  auto events = audit.events();
+  EXPECT_EQ(events[0].system, "winsrv1/Finance");
+  EXPECT_EQ(events[0].action, "SalariesDB:Launch");
+}
+
+}  // namespace
+}  // namespace mwsec::middleware::com

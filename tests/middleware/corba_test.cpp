@@ -1,0 +1,160 @@
+#include "middleware/corba/orb.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::middleware::corba {
+namespace {
+
+/// The Salaries scenario on an ORB.
+Orb salaries_orb(AuditLog* audit = nullptr) {
+  Orb orb("unixhost", "orb1", audit);
+  EXPECT_TRUE(orb.define_interface(
+                     {"SalariesDB", "salary records", {"read", "write"}})
+                  .ok());
+  EXPECT_TRUE(orb.define_role("Clerk").ok());
+  EXPECT_TRUE(orb.define_role("Manager").ok());
+  EXPECT_TRUE(orb.grant("Clerk", "SalariesDB", "write").ok());
+  EXPECT_TRUE(orb.grant("Manager", "SalariesDB", "read").ok());
+  EXPECT_TRUE(orb.grant("Manager", "SalariesDB", "write").ok());
+  EXPECT_TRUE(orb.add_user_to_role("Alice", "Clerk").ok());
+  EXPECT_TRUE(orb.add_user_to_role("Bob", "Manager").ok());
+  return orb;
+}
+
+TEST(Orb, InterfaceRepositoryValidation) {
+  Orb orb("h", "o");
+  EXPECT_FALSE(orb.define_interface({"", "", {}}).ok());
+  orb.define_interface({"I", "", {"op"}}).ok();
+  EXPECT_FALSE(orb.define_interface({"I", "", {}}).ok());  // duplicate
+}
+
+TEST(Orb, GrantValidatesRoleInterfaceAndOperation) {
+  Orb orb = salaries_orb();
+  EXPECT_FALSE(orb.grant("Ghost", "SalariesDB", "read").ok());
+  EXPECT_FALSE(orb.grant("Clerk", "NoIface", "read").ok());
+  EXPECT_FALSE(orb.grant("Clerk", "SalariesDB", "explode").ok());
+}
+
+TEST(Orb, ActivateObjectReturnsUniqueIors) {
+  Orb orb = salaries_orb();
+  auto servant = [](const std::string& op, const std::string&) {
+    return "did-" + op;
+  };
+  auto ior1 = orb.activate_object("SalariesDB", servant);
+  auto ior2 = orb.activate_object("SalariesDB", servant);
+  ASSERT_TRUE(ior1.ok());
+  ASSERT_TRUE(ior2.ok());
+  EXPECT_NE(*ior1, *ior2);
+  EXPECT_EQ(orb.iors_of("SalariesDB").size(), 2u);
+  EXPECT_FALSE(orb.activate_object("NoIface", servant).ok());
+}
+
+TEST(Orb, InvokeRunsAccessInterceptorThenServant) {
+  Orb orb = salaries_orb();
+  auto ior = orb.activate_object("SalariesDB",
+                                 [](const std::string& op, const std::string&) {
+                                   return "ok:" + op;
+                                 })
+                 .take();
+  auto r = orb.invoke("Bob", ior, "read");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "ok:read");
+  auto denied = orb.invoke("Alice", ior, "read");  // Clerk: write only
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, "denied");
+  EXPECT_NE(denied.error().message.find("NO_PERMISSION"), std::string::npos);
+}
+
+TEST(Orb, InvokeCorbaSystemExceptions) {
+  Orb orb = salaries_orb();
+  auto ior = orb.activate_object("SalariesDB",
+                                 [](const std::string&, const std::string&) {
+                                   return "x";
+                                 })
+                 .take();
+  auto bad_obj = orb.invoke("Bob", "IOR:bogus", "read");
+  ASSERT_FALSE(bad_obj.ok());
+  EXPECT_NE(bad_obj.error().message.find("OBJECT_NOT_EXIST"),
+            std::string::npos);
+  auto bad_op = orb.invoke("Bob", ior, "frobnicate");
+  ASSERT_FALSE(bad_op.ok());
+  EXPECT_NE(bad_op.error().message.find("BAD_OPERATION"), std::string::npos);
+}
+
+TEST(Orb, DomainIsMachineSlashOrb) {
+  Orb orb = salaries_orb();
+  EXPECT_EQ(orb.domain(), "unixhost/orb1");
+  EXPECT_EQ(orb.name(), "unixhost/orb1");
+  EXPECT_EQ(orb.kind(), "CORBA");
+}
+
+TEST(Orb, ExportPolicyMatchesFigure1Shape) {
+  Orb orb = salaries_orb();
+  auto p = orb.export_policy();
+  EXPECT_TRUE(p.has_permission("unixhost/orb1", "Clerk", "SalariesDB", "write"));
+  EXPECT_TRUE(p.has_permission("unixhost/orb1", "Manager", "SalariesDB", "read"));
+  EXPECT_FALSE(p.has_permission("unixhost/orb1", "Clerk", "SalariesDB", "read"));
+  EXPECT_TRUE(p.user_in_role("Alice", "unixhost/orb1", "Clerk"));
+}
+
+TEST(Orb, ImportPolicyExtendsRepository) {
+  Orb orb("unixhost", "orb2");
+  rbac::Policy p;
+  p.grant("unixhost/orb2", "Trader", "OrdersDB", "place").ok();
+  p.assign("Tina", "unixhost/orb2", "Trader").ok();
+  p.grant("otherhost/orbX", "R", "O", "m").ok();  // foreign domain
+  auto stats = orb.import_policy(p);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->grants_applied, 1u);
+  EXPECT_EQ(stats->assignments_applied, 1u);
+  EXPECT_EQ(stats->skipped.size(), 1u);
+  EXPECT_TRUE(orb.mediate("Tina", "OrdersDB", "place"));
+  // Imported interface is live: activate and invoke.
+  auto ior = orb.activate_object("OrdersDB",
+                                 [](const std::string&, const std::string&) {
+                                   return "placed";
+                                 });
+  ASSERT_TRUE(ior.ok());
+  EXPECT_TRUE(orb.invoke("Tina", *ior, "place").ok());
+}
+
+TEST(Orb, ExportImportRoundTrip) {
+  Orb orb = salaries_orb();
+  auto exported = orb.export_policy();
+  Orb fresh("unixhost", "orb1");
+  ASSERT_TRUE(fresh.import_policy(exported).ok());
+  EXPECT_EQ(fresh.export_policy(), exported);
+}
+
+TEST(Orb, RemoveUserFromRoleRevokes) {
+  Orb orb = salaries_orb();
+  ASSERT_TRUE(orb.remove_user_from_role("Bob", "Manager").ok());
+  EXPECT_FALSE(orb.mediate("Bob", "SalariesDB", "read"));
+  EXPECT_FALSE(orb.remove_user_from_role("Bob", "Manager").ok());
+}
+
+TEST(Orb, ComponentsPaletteListsOperations) {
+  Orb orb = salaries_orb();
+  auto comps = orb.components();
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0].object_type, "SalariesDB");
+  EXPECT_NE(comps[0].id.find("corba://unixhost/orb1/SalariesDB#"),
+            std::string::npos);
+}
+
+TEST(Orb, AuditTrail) {
+  AuditLog audit;
+  Orb orb = salaries_orb(&audit);
+  auto ior = orb.activate_object("SalariesDB",
+                                 [](const std::string&, const std::string&) {
+                                   return "x";
+                                 })
+                 .take();
+  orb.invoke("Bob", ior, "read").ok();
+  orb.invoke("Alice", ior, "read").ok();
+  EXPECT_EQ(audit.allowed_count(), 1u);
+  EXPECT_EQ(audit.denied_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mwsec::middleware::corba

@@ -1,0 +1,199 @@
+#include "middleware/ejb/container.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::middleware::ejb {
+namespace {
+
+/// The Salaries scenario as a deployed EJB application.
+Server payroll_server(AuditLog* audit = nullptr) {
+  Server srv("apphost", "ejbsrv1", audit);
+  EXPECT_TRUE(srv.create_container("ejb/payroll").ok());
+  BeanDescriptor bean;
+  bean.bean_name = "SalariesDB";
+  bean.description = "salary records";
+  bean.security_roles = {"Clerk", "Manager"};
+  bean.method_permissions["write"] = {"Clerk", "Manager"};
+  bean.method_permissions["read"] = {"Manager"};
+  EXPECT_TRUE(srv.deploy("ejb/payroll", bean).ok());
+  EXPECT_TRUE(srv.register_user("Alice").ok());
+  EXPECT_TRUE(srv.register_user("Bob").ok());
+  EXPECT_TRUE(srv.add_user_to_role("Alice", "ejb/payroll", "Clerk").ok());
+  EXPECT_TRUE(srv.add_user_to_role("Bob", "ejb/payroll", "Manager").ok());
+  EXPECT_TRUE(srv.install_method("ejb/payroll", "SalariesDB", "read",
+                                 [](const std::string&, const std::string& a) {
+                                   return "row:" + a;
+                                 })
+                  .ok());
+  EXPECT_TRUE(srv.install_method("ejb/payroll", "SalariesDB", "write",
+                                 [](const std::string& u, const std::string&) {
+                                   return "written-by:" + u;
+                                 })
+                  .ok());
+  return srv;
+}
+
+TEST(EjbServer, DeploymentValidation) {
+  Server srv("h", "s");
+  EXPECT_FALSE(srv.create_container("").ok());
+  srv.create_container("ejb/x").ok();
+  EXPECT_FALSE(srv.create_container("ejb/x").ok());  // already bound
+  BeanDescriptor bad;
+  bad.bean_name = "B";
+  bad.method_permissions["m"] = {"GhostRole"};  // undeclared role
+  EXPECT_FALSE(srv.deploy("ejb/x", bad).ok());
+  EXPECT_FALSE(srv.deploy("ejb/missing", BeanDescriptor{"B", "", {}, {}, {}}).ok());
+  BeanDescriptor nameless;
+  EXPECT_FALSE(srv.deploy("ejb/x", nameless).ok());
+}
+
+TEST(EjbServer, UsersAreServerGlobal) {
+  Server srv = payroll_server();
+  // Unregistered user cannot be put in a role.
+  EXPECT_FALSE(srv.add_user_to_role("Ghost", "ejb/payroll", "Clerk").ok());
+  // A registered user can join roles in a second container (different
+  // domain), as Section 2 describes.
+  srv.create_container("ejb/hr").ok();
+  BeanDescriptor bean{"HrBean", "", {"Viewer"}, {{"view", {"Viewer"}}}, {}};
+  ASSERT_TRUE(srv.deploy("ejb/hr", bean).ok());
+  EXPECT_TRUE(srv.add_user_to_role("Alice", "ejb/hr", "Viewer").ok());
+  auto p = srv.export_policy();
+  EXPECT_TRUE(p.user_in_role("Alice", "apphost/ejbsrv1/ejb/payroll", "Clerk"));
+  EXPECT_TRUE(p.user_in_role("Alice", "apphost/ejbsrv1/ejb/hr", "Viewer"));
+}
+
+TEST(EjbServer, RoleMustBeDeclaredByABean) {
+  Server srv = payroll_server();
+  EXPECT_FALSE(srv.add_user_to_role("Alice", "ejb/payroll", "Wizard").ok());
+}
+
+TEST(EjbServer, InvokeEnforcesMethodPermissions) {
+  Server srv = payroll_server();
+  auto r = srv.invoke("Bob", "ejb/payroll", "SalariesDB", "read", "Bob");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "row:Bob");
+  EXPECT_TRUE(srv.invoke("Alice", "ejb/payroll", "SalariesDB", "write").ok());
+  auto denied = srv.invoke("Alice", "ejb/payroll", "SalariesDB", "read");
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, "denied");
+  EXPECT_FALSE(srv.invoke("Mallory", "ejb/payroll", "SalariesDB", "read").ok());
+}
+
+TEST(EjbServer, InvokeDeniesUndeclaredMethodsByDefault) {
+  Server srv = payroll_server();
+  auto r = srv.invoke("Bob", "ejb/payroll", "SalariesDB", "drop");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "denied");
+}
+
+TEST(EjbServer, InvokeNameErrors) {
+  Server srv = payroll_server();
+  EXPECT_FALSE(srv.invoke("Bob", "ejb/none", "SalariesDB", "read").ok());
+  EXPECT_FALSE(srv.invoke("Bob", "ejb/payroll", "NoBean", "read").ok());
+}
+
+TEST(EjbServer, JndiLookup) {
+  Server srv = payroll_server();
+  auto beans = srv.lookup("ejb/payroll");
+  ASSERT_TRUE(beans.ok());
+  EXPECT_EQ(*beans, std::vector<std::string>{"SalariesDB"});
+  EXPECT_FALSE(srv.lookup("ejb/none").ok());
+}
+
+TEST(EjbServer, DomainNameCombinesHostServerJndi) {
+  Server srv = payroll_server();
+  EXPECT_EQ(srv.domain_of("ejb/payroll"), "apphost/ejbsrv1/ejb/payroll");
+  EXPECT_EQ(srv.name(), "apphost/ejbsrv1");
+}
+
+TEST(EjbServer, ExportPolicyUsesMethodsAsPermissions) {
+  Server srv = payroll_server();
+  auto p = srv.export_policy();
+  const std::string dom = "apphost/ejbsrv1/ejb/payroll";
+  EXPECT_TRUE(p.has_permission(dom, "Clerk", "SalariesDB", "write"));
+  EXPECT_TRUE(p.has_permission(dom, "Manager", "SalariesDB", "read"));
+  EXPECT_TRUE(p.has_permission(dom, "Manager", "SalariesDB", "write"));
+  EXPECT_FALSE(p.has_permission(dom, "Clerk", "SalariesDB", "read"));
+}
+
+TEST(EjbServer, ImportPolicyCreatesDescriptors) {
+  Server srv("apphost", "ejbsrv2");
+  rbac::Policy p;
+  p.grant("apphost/ejbsrv2/ejb/sales", "Agent", "OrdersDB", "place").ok();
+  p.assign("Oscar", "apphost/ejbsrv2/ejb/sales", "Agent").ok();
+  p.grant("elsewhere/other/x", "R", "O", "m").ok();  // foreign
+  auto stats = srv.import_policy(p);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->grants_applied, 1u);
+  EXPECT_EQ(stats->assignments_applied, 1u);
+  EXPECT_EQ(stats->skipped.size(), 1u);
+  EXPECT_TRUE(srv.mediate("Oscar", "OrdersDB", "place"));
+  // The imported descriptor supports real invocations once logic arrives.
+  ASSERT_TRUE(srv.install_method("ejb/sales", "OrdersDB", "place",
+                                 [](const std::string&, const std::string&) {
+                                   return "placed";
+                                 })
+                  .ok());
+  EXPECT_TRUE(srv.invoke("Oscar", "ejb/sales", "OrdersDB", "place").ok());
+}
+
+TEST(EjbServer, ExportImportRoundTrip) {
+  Server srv = payroll_server();
+  auto exported = srv.export_policy();
+  Server fresh("apphost", "ejbsrv1");
+  ASSERT_TRUE(fresh.import_policy(exported).ok());
+  EXPECT_EQ(fresh.export_policy(), exported);
+}
+
+TEST(EjbServer, RemoveUserFromRoleRevokes) {
+  Server srv = payroll_server();
+  ASSERT_TRUE(srv.remove_user_from_role("Bob", "ejb/payroll", "Manager").ok());
+  EXPECT_FALSE(srv.invoke("Bob", "ejb/payroll", "SalariesDB", "read").ok());
+  EXPECT_FALSE(srv.remove_user_from_role("Bob", "ejb/payroll", "Manager").ok());
+}
+
+TEST(EjbServer, ComponentsPalette) {
+  Server srv = payroll_server();
+  auto comps = srv.components();
+  ASSERT_EQ(comps.size(), 2u);  // read + write on SalariesDB
+  for (const auto& c : comps) {
+    EXPECT_EQ(c.object_type, "SalariesDB");
+    EXPECT_NE(c.id.find("ejb://apphost/ejbsrv1/ejb/payroll/SalariesDB#"),
+              std::string::npos);
+  }
+}
+
+TEST(EjbServer, UncheckedMethodsOpenToAuthenticatedUsers) {
+  Server srv("h", "s");
+  srv.create_container("ejb/x").ok();
+  BeanDescriptor bean;
+  bean.bean_name = "InfoBean";
+  bean.security_roles = {"Admin"};
+  bean.method_permissions["configure"] = {"Admin"};
+  bean.unchecked_methods = {"ping"};
+  ASSERT_TRUE(srv.deploy("ejb/x", bean).ok());
+  srv.register_user("anyone").ok();
+  srv.install_method("ejb/x", "InfoBean", "ping",
+                     [](const std::string&, const std::string&) {
+                       return std::string("pong");
+                     })
+      .ok();
+  // Registered users may call the unchecked method without any role...
+  EXPECT_EQ(srv.invoke("anyone", "ejb/x", "InfoBean", "ping").value(), "pong");
+  // ...but unregistered principals may not (unchecked != unauthenticated).
+  EXPECT_FALSE(srv.invoke("stranger", "ejb/x", "InfoBean", "ping").ok());
+  // Checked methods still require the role.
+  EXPECT_FALSE(srv.invoke("anyone", "ejb/x", "InfoBean", "configure").ok());
+}
+
+TEST(EjbServer, AuditTrail) {
+  AuditLog audit;
+  Server srv = payroll_server(&audit);
+  srv.invoke("Bob", "ejb/payroll", "SalariesDB", "read").ok();
+  srv.invoke("Alice", "ejb/payroll", "SalariesDB", "read").ok();
+  EXPECT_EQ(audit.allowed_count(), 1u);
+  EXPECT_EQ(audit.denied_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mwsec::middleware::ejb

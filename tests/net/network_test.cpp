@@ -1,0 +1,157 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace std::chrono_literals;
+
+namespace mwsec::net {
+namespace {
+
+TEST(Network, OpenAndSendDelivers) {
+  Network net;
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  ASSERT_TRUE(a->send("b", "hello", util::to_bytes("payload")).ok());
+  auto m = b->receive(100ms);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->from, "a");
+  EXPECT_EQ(m->subject, "hello");
+  EXPECT_EQ(util::to_string(m->payload), "payload");
+  EXPECT_GT(m->id, 0u);
+}
+
+TEST(Network, DuplicateNameRejected) {
+  Network net;
+  auto a = net.open("a").take();
+  EXPECT_FALSE(net.open("a").ok());
+}
+
+TEST(Network, NameReusableAfterEndpointDies) {
+  Network net;
+  { auto a = net.open("a").take(); }
+  EXPECT_TRUE(net.open("a").ok());
+}
+
+TEST(Network, SendToUnknownEndpointFails) {
+  Network net;
+  auto a = net.open("a").take();
+  auto s = a->send("ghost", "x", {});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "net");
+  EXPECT_EQ(net.stats().undeliverable, 1u);
+}
+
+TEST(Network, ReceiveTimesOut) {
+  Network net;
+  auto a = net.open("a").take();
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(a->receive(30ms).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - start, 25ms);
+}
+
+TEST(Network, TryReceiveNonBlocking) {
+  Network net;
+  auto a = net.open("a").take();
+  EXPECT_FALSE(a->try_receive().has_value());
+  auto b = net.open("b").take();
+  b->send("a", "x", {}).ok();
+  EXPECT_TRUE(a->try_receive().has_value());
+}
+
+TEST(Network, FifoOrderPreserved) {
+  Network net;
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  for (int i = 0; i < 10; ++i) {
+    a->send("b", std::to_string(i), {}).ok();
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto m = b->receive(100ms);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->subject, std::to_string(i));
+  }
+}
+
+TEST(Network, PartitionBlocksBothDirections) {
+  Network net;
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  net.set_partitioned("a", "b", true);
+  EXPECT_FALSE(a->send("b", "x", {}).ok());
+  EXPECT_FALSE(b->send("a", "x", {}).ok());
+  EXPECT_EQ(net.stats().partitioned, 2u);
+  net.set_partitioned("b", "a", false);  // order-insensitive
+  EXPECT_TRUE(a->send("b", "x", {}).ok());
+}
+
+TEST(Network, DropProbabilityLosesMessages) {
+  Network::Options opts;
+  opts.seed = 99;
+  opts.drop_probability = 0.5;
+  Network net(opts);
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  for (int i = 0; i < 200; ++i) {
+    a->send("b", "x", {}).ok();  // drop is silent success
+  }
+  auto st = net.stats();
+  EXPECT_EQ(st.sent, 200u);
+  EXPECT_GT(st.dropped, 50u);
+  EXPECT_LT(st.dropped, 150u);
+  EXPECT_EQ(st.delivered + st.dropped, 200u);
+  EXPECT_EQ(b->pending(), st.delivered);
+}
+
+TEST(Network, KillClosesEndpoint) {
+  Network net;
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  net.kill("b");
+  EXPECT_TRUE(b->closed());
+  EXPECT_FALSE(a->send("b", "x", {}).ok());
+}
+
+TEST(Network, CloseWakesBlockedReceiver) {
+  Network net;
+  auto a = net.open("a").take();
+  std::thread closer([&] {
+    std::this_thread::sleep_for(20ms);
+    a->close();
+  });
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(a->receive(5s).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 1s);
+  closer.join();
+}
+
+TEST(Network, CrossThreadDelivery) {
+  Network net;
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  std::thread sender([&] {
+    for (int i = 0; i < 100; ++i) {
+      a->send("b", "tick", util::to_bytes(std::to_string(i))).ok();
+    }
+  });
+  int received = 0;
+  while (received < 100) {
+    auto m = b->receive(1s);
+    ASSERT_TRUE(m.has_value());
+    ++received;
+  }
+  sender.join();
+  EXPECT_EQ(net.stats().delivered, 100u);
+}
+
+TEST(Network, StatsCountBytes) {
+  Network net;
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  a->send("b", "x", util::Bytes(64, 0)).ok();
+  EXPECT_EQ(net.stats().bytes, 64u);
+}
+
+}  // namespace
+}  // namespace mwsec::net

@@ -1,0 +1,60 @@
+#include "rbac/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rbac/fixtures.hpp"
+
+namespace mwsec::rbac {
+namespace {
+
+TEST(Sod, ExclusionIsSymmetric) {
+  SodConstraints sod;
+  ASSERT_TRUE(sod.add_exclusion("Finance", "Clerk", "Audit", "Auditor").ok());
+  EXPECT_TRUE(sod.excludes("Finance", "Clerk", "Audit", "Auditor"));
+  EXPECT_TRUE(sod.excludes("Audit", "Auditor", "Finance", "Clerk"));
+  EXPECT_FALSE(sod.excludes("Finance", "Clerk", "Finance", "Manager"));
+}
+
+TEST(Sod, SelfExclusionRejected) {
+  SodConstraints sod;
+  EXPECT_FALSE(sod.add_exclusion("D", "R", "D", "R").ok());
+}
+
+TEST(Sod, DuplicateInsertIsIdempotent) {
+  SodConstraints sod;
+  sod.add_exclusion("A", "r1", "B", "r2").ok();
+  sod.add_exclusion("B", "r2", "A", "r1").ok();
+  EXPECT_EQ(sod.exclusions().size(), 1u);
+}
+
+TEST(Sod, CheckAssignmentBlocksConflicts) {
+  Policy p = salaries_policy();
+  SodConstraints sod;
+  sod.add_exclusion("Finance", "Clerk", "Finance", "Manager").ok();
+  // Alice is a Finance Clerk; promoting her to Finance Manager conflicts.
+  EXPECT_FALSE(sod.check_assignment(p, "Alice", "Finance", "Manager").ok());
+  // Claire (Sales Manager) may become a Finance Manager.
+  EXPECT_TRUE(sod.check_assignment(p, "Claire", "Finance", "Manager").ok());
+  // Fresh users are unconstrained.
+  EXPECT_TRUE(sod.check_assignment(p, "Newhire", "Finance", "Clerk").ok());
+}
+
+TEST(Sod, ViolationsAuditFindsExistingConflicts) {
+  Policy p;
+  p.assign("mallory", "Finance", "Clerk").ok();
+  p.assign("mallory", "Audit", "Auditor").ok();
+  p.assign("alice", "Finance", "Clerk").ok();
+  SodConstraints sod;
+  sod.add_exclusion("Finance", "Clerk", "Audit", "Auditor").ok();
+  auto v = sod.violations(p);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("mallory"), std::string::npos);
+}
+
+TEST(Sod, NoConstraintsNoViolations) {
+  SodConstraints sod;
+  EXPECT_TRUE(sod.violations(salaries_policy()).empty());
+}
+
+}  // namespace
+}  // namespace mwsec::rbac

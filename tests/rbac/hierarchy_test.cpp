@@ -1,0 +1,106 @@
+#include "rbac/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rbac/fixtures.hpp"
+
+namespace mwsec::rbac {
+namespace {
+
+Policy base() {
+  Policy p;
+  p.grant("Eng", "Engineer", "Repo", "read").ok();
+  p.grant("Eng", "Senior", "Repo", "merge").ok();
+  p.grant("Eng", "Lead", "Repo", "admin").ok();
+  p.assign("lena", "Eng", "Lead").ok();
+  p.assign("sam", "Eng", "Senior").ok();
+  p.assign("eve", "Eng", "Engineer").ok();
+  return p;
+}
+
+RoleHierarchy chain() {
+  RoleHierarchy h;
+  EXPECT_TRUE(h.add_inheritance("Eng", "Lead", "Senior").ok());
+  EXPECT_TRUE(h.add_inheritance("Eng", "Senior", "Engineer").ok());
+  return h;
+}
+
+TEST(Hierarchy, SeniorInheritsTransitively) {
+  Policy p = base();
+  RoleHierarchy h = chain();
+  EXPECT_TRUE(h.check(p, {"lena", "Repo", "admin"}));
+  EXPECT_TRUE(h.check(p, {"lena", "Repo", "merge"}));
+  EXPECT_TRUE(h.check(p, {"lena", "Repo", "read"}));
+  EXPECT_TRUE(h.check(p, {"sam", "Repo", "merge"}));
+  EXPECT_TRUE(h.check(p, {"sam", "Repo", "read"}));
+  EXPECT_FALSE(h.check(p, {"sam", "Repo", "admin"}));
+  EXPECT_FALSE(h.check(p, {"eve", "Repo", "merge"}));
+}
+
+TEST(Hierarchy, WithoutEdgesMatchesPlainCheck) {
+  Policy p = base();
+  RoleHierarchy h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.check(p, {"lena", "Repo", "read"}),
+            p.check({"lena", "Repo", "read"}));
+  EXPECT_FALSE(h.check(p, {"lena", "Repo", "read"}));
+}
+
+TEST(Hierarchy, CycleRejected) {
+  RoleHierarchy h = chain();
+  EXPECT_FALSE(h.add_inheritance("Eng", "Engineer", "Lead").ok());
+  EXPECT_FALSE(h.add_inheritance("Eng", "Engineer", "Senior").ok());
+  EXPECT_FALSE(h.add_inheritance("Eng", "Lead", "Lead").ok());
+}
+
+TEST(Hierarchy, EdgesAreDomainLocal) {
+  RoleHierarchy h;
+  h.add_inheritance("Eng", "Lead", "Engineer").ok();
+  Policy p;
+  p.grant("Ops", "Engineer", "Prod", "deploy").ok();
+  p.assign("lena", "Eng", "Lead").ok();
+  // Lena's Eng/Lead does not reach Ops/Engineer.
+  EXPECT_FALSE(h.check(p, {"lena", "Prod", "deploy"}));
+}
+
+TEST(Hierarchy, RemoveInheritance) {
+  RoleHierarchy h = chain();
+  EXPECT_TRUE(h.remove_inheritance("Eng", "Senior", "Engineer"));
+  EXPECT_FALSE(h.remove_inheritance("Eng", "Senior", "Engineer"));
+  Policy p = base();
+  EXPECT_FALSE(h.check(p, {"lena", "Repo", "read"}));
+  EXPECT_TRUE(h.check(p, {"lena", "Repo", "merge"}));
+}
+
+TEST(Hierarchy, ReachableJuniorsIncludesSelf) {
+  RoleHierarchy h = chain();
+  auto r = h.reachable_juniors("Eng", "Lead");
+  EXPECT_EQ(r, (std::vector<std::string>{"Engineer", "Lead", "Senior"}));
+  EXPECT_EQ(h.reachable_juniors("Eng", "Engineer"),
+            (std::vector<std::string>{"Engineer"}));
+}
+
+TEST(Hierarchy, FlattenCompilesInheritanceAway) {
+  Policy p = base();
+  RoleHierarchy h = chain();
+  Policy flat = h.flatten(p);
+  // Flat policy answers inheritance queries with a plain check.
+  EXPECT_TRUE(flat.check({"lena", "Repo", "read"}));
+  EXPECT_TRUE(flat.check({"sam", "Repo", "read"}));
+  EXPECT_FALSE(flat.check({"eve", "Repo", "merge"}));
+  // Flattening preserves the original grants.
+  for (const auto& g : p.grants()) {
+    EXPECT_TRUE(flat.grants().count(g));
+  }
+  // And agrees with hierarchical checks on every (user, permission) pair.
+  for (const char* user : {"lena", "sam", "eve"}) {
+    for (const char* perm : {"read", "merge", "admin"}) {
+      EXPECT_EQ(flat.check({user, "Repo", perm}),
+                h.check(p, {user, "Repo", perm}))
+          << user << " " << perm;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mwsec::rbac

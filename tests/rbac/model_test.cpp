@@ -1,0 +1,156 @@
+#include "rbac/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rbac/fixtures.hpp"
+
+namespace mwsec::rbac {
+namespace {
+
+TEST(Policy, GrantAndQuery) {
+  Policy p;
+  ASSERT_TRUE(p.grant("Finance", "Clerk", "SalariesDB", "write").ok());
+  EXPECT_TRUE(p.has_permission("Finance", "Clerk", "SalariesDB", "write"));
+  EXPECT_FALSE(p.has_permission("Finance", "Clerk", "SalariesDB", "read"));
+  EXPECT_FALSE(p.has_permission("Sales", "Clerk", "SalariesDB", "write"));
+}
+
+TEST(Policy, GrantRejectsEmptyComponents) {
+  Policy p;
+  EXPECT_FALSE(p.grant("", "Clerk", "DB", "read").ok());
+  EXPECT_FALSE(p.grant("D", "", "DB", "read").ok());
+  EXPECT_FALSE(p.grant("D", "R", "", "read").ok());
+  EXPECT_FALSE(p.grant("D", "R", "DB", "").ok());
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(Policy, AssignRejectsEmptyComponents) {
+  Policy p;
+  EXPECT_FALSE(p.assign("", "D", "R").ok());
+  EXPECT_FALSE(p.assign("U", "", "R").ok());
+  EXPECT_FALSE(p.assign("U", "D", "").ok());
+}
+
+TEST(Policy, GrantIsIdempotent) {
+  Policy p;
+  p.grant("D", "R", "O", "read").ok();
+  p.grant("D", "R", "O", "read").ok();
+  EXPECT_EQ(p.grants().size(), 1u);
+}
+
+TEST(Policy, RevokeGrant) {
+  Policy p;
+  PermissionGrant g{"D", "R", "O", "read"};
+  p.grant(g).ok();
+  EXPECT_TRUE(p.revoke_grant(g));
+  EXPECT_FALSE(p.revoke_grant(g));
+  EXPECT_FALSE(p.has_permission("D", "R", "O", "read"));
+}
+
+TEST(Policy, CheckRequiresMembershipAndGrant) {
+  Policy p = salaries_policy();
+  EXPECT_TRUE(p.check({"Alice", "SalariesDB", "write"}));
+  EXPECT_FALSE(p.check({"Alice", "SalariesDB", "read"}));
+  EXPECT_TRUE(p.check({"Bob", "SalariesDB", "read"}));
+  EXPECT_TRUE(p.check({"Bob", "SalariesDB", "write"}));
+  EXPECT_TRUE(p.check({"Claire", "SalariesDB", "read"}));
+  EXPECT_FALSE(p.check({"Claire", "SalariesDB", "write"}));
+  EXPECT_FALSE(p.check({"Dave", "SalariesDB", "read"}));
+  EXPECT_FALSE(p.check({"Dave", "SalariesDB", "write"}));
+  EXPECT_FALSE(p.check({"Mallory", "SalariesDB", "read"}));
+  EXPECT_FALSE(p.check({"Alice", "OrdersDB", "write"}));
+}
+
+TEST(Policy, RemoveUserDropsAllMemberships) {
+  Policy p = salaries_policy();
+  p.assign("Elaine", "Finance", "Clerk").ok();
+  EXPECT_EQ(p.remove_user("Elaine"), 2u);
+  EXPECT_FALSE(p.check({"Elaine", "SalariesDB", "read"}));
+  EXPECT_EQ(p.remove_user("Elaine"), 0u);
+}
+
+TEST(Policy, RemoveRoleDropsGrantsAndMemberships) {
+  Policy p = salaries_policy();
+  std::size_t removed = p.remove_role("Sales", "Manager");
+  EXPECT_EQ(removed, 3u);  // 1 grant + Claire + Elaine
+  EXPECT_FALSE(p.check({"Claire", "SalariesDB", "read"}));
+}
+
+TEST(Policy, EnumerationAccessors) {
+  Policy p = salaries_policy();
+  EXPECT_EQ(p.domains(), (std::vector<std::string>{"Finance", "Sales"}));
+  EXPECT_EQ(p.roles_in("Finance"),
+            (std::vector<std::string>{"Clerk", "Manager"}));
+  EXPECT_EQ(p.roles_in("Sales"),
+            (std::vector<std::string>{"Assistant", "Manager"}));
+  EXPECT_EQ(p.users(), (std::vector<std::string>{"Alice", "Bob", "Claire",
+                                                 "Dave", "Elaine"}));
+  EXPECT_EQ(p.object_types(), (std::vector<std::string>{"SalariesDB"}));
+  EXPECT_EQ(p.grants_of("Finance", "Manager").size(), 2u);
+  EXPECT_EQ(p.assignments_of("Bob").size(), 1u);
+  EXPECT_EQ(p.roles_in("Marketing").size(), 0u);
+}
+
+TEST(Policy, MergeIsUnion) {
+  Policy a, b;
+  a.grant("D", "R", "O", "read").ok();
+  a.assign("u1", "D", "R").ok();
+  b.grant("D", "R", "O", "write").ok();
+  b.grant("D", "R", "O", "read").ok();  // overlap
+  b.assign("u2", "D", "R").ok();
+  Policy m = Policy::merge(a, b);
+  EXPECT_EQ(m.grants().size(), 2u);
+  EXPECT_EQ(m.assignments().size(), 2u);
+  EXPECT_TRUE(m.check({"u1", "O", "write"}));
+}
+
+TEST(Policy, DiffComputesExactDelta) {
+  Policy from = salaries_policy();
+  Policy to = from;
+  to.grant("Sales", "Manager", "SalariesDB", "write").ok();
+  to.revoke_grant({"Finance", "Clerk", "SalariesDB", "write"});
+  to.assign("Fred", "Sales", "Manager").ok();
+  to.remove_user("Dave");
+
+  auto d = Policy::diff(from, to);
+  ASSERT_EQ(d.grants_added.size(), 1u);
+  EXPECT_EQ(d.grants_added[0].permission, "write");
+  ASSERT_EQ(d.grants_removed.size(), 1u);
+  EXPECT_EQ(d.grants_removed[0].role, "Clerk");
+  ASSERT_EQ(d.assignments_added.size(), 1u);
+  EXPECT_EQ(d.assignments_added[0].user, "Fred");
+  ASSERT_EQ(d.assignments_removed.size(), 1u);
+  EXPECT_EQ(d.assignments_removed[0].user, "Dave");
+}
+
+TEST(Policy, DiffOfIdenticalPoliciesIsEmpty) {
+  Policy p = salaries_policy();
+  EXPECT_TRUE(Policy::diff(p, p).empty());
+}
+
+TEST(Policy, EqualityIsStructural) {
+  EXPECT_EQ(salaries_policy(), salaries_policy());
+  Policy p = salaries_policy();
+  p.assign("Zed", "Sales", "Manager").ok();
+  EXPECT_NE(p, salaries_policy());
+}
+
+TEST(Policy, SyntheticGeneratorIsDeterministic) {
+  SyntheticSpec spec;
+  EXPECT_EQ(synthetic_policy(spec, 7), synthetic_policy(spec, 7));
+  EXPECT_NE(synthetic_policy(spec, 7), synthetic_policy(spec, 8));
+}
+
+TEST(Policy, SyntheticGeneratorShape) {
+  SyntheticSpec spec;
+  spec.domains = 3;
+  spec.roles_per_domain = 4;
+  spec.users = 20;
+  Policy p = synthetic_policy(spec, 1);
+  EXPECT_EQ(p.domains().size(), 3u);
+  EXPECT_EQ(p.users().size(), 20u);
+  EXPECT_FALSE(p.grants().empty());
+}
+
+}  // namespace
+}  // namespace mwsec::rbac

@@ -1,0 +1,111 @@
+#include "rbac/sessions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rbac/fixtures.hpp"
+
+namespace mwsec::rbac {
+namespace {
+
+TEST(Sessions, OpenActivateCheck) {
+  Policy p = salaries_policy();
+  SessionManager mgr(p);
+  auto id = mgr.open("Bob");
+  // Nothing active yet: everything denied.
+  EXPECT_FALSE(mgr.check(id, "SalariesDB", "read"));
+  ASSERT_TRUE(mgr.activate(id, "Finance", "Manager").ok());
+  EXPECT_TRUE(mgr.check(id, "SalariesDB", "read"));
+  EXPECT_TRUE(mgr.check(id, "SalariesDB", "write"));
+  EXPECT_FALSE(mgr.check(id, "OrdersDB", "read"));
+}
+
+TEST(Sessions, ActivateRequiresMembership) {
+  Policy p = salaries_policy();
+  SessionManager mgr(p);
+  auto id = mgr.open("Alice");
+  EXPECT_FALSE(mgr.activate(id, "Finance", "Manager").ok());
+  EXPECT_TRUE(mgr.activate(id, "Finance", "Clerk").ok());
+}
+
+TEST(Sessions, DeactivateRemovesAuthority) {
+  Policy p = salaries_policy();
+  SessionManager mgr(p);
+  auto id = mgr.open("Claire");
+  mgr.activate(id, "Sales", "Manager").ok();
+  EXPECT_TRUE(mgr.check(id, "SalariesDB", "read"));
+  ASSERT_TRUE(mgr.deactivate(id, "Sales", "Manager").ok());
+  EXPECT_FALSE(mgr.check(id, "SalariesDB", "read"));
+  EXPECT_FALSE(mgr.deactivate(id, "Sales", "Manager").ok());
+}
+
+TEST(Sessions, DynamicSodBlocksCoactivation) {
+  Policy p;
+  p.assign("mallory", "Finance", "Clerk").ok();
+  p.assign("mallory", "Audit", "Auditor").ok();
+  SodConstraints sod;
+  sod.add_exclusion("Finance", "Clerk", "Audit", "Auditor").ok();
+  SessionManager mgr(p, &sod);
+  auto id = mgr.open("mallory");
+  ASSERT_TRUE(mgr.activate(id, "Finance", "Clerk").ok());
+  // Static membership in both is allowed; simultaneous activation is not.
+  EXPECT_FALSE(mgr.activate(id, "Audit", "Auditor").ok());
+  // After deactivating, the other role may be activated.
+  mgr.deactivate(id, "Finance", "Clerk").ok();
+  EXPECT_TRUE(mgr.activate(id, "Audit", "Auditor").ok());
+}
+
+TEST(Sessions, UnknownSessionOperationsFail) {
+  Policy p = salaries_policy();
+  SessionManager mgr(p);
+  EXPECT_FALSE(mgr.activate(999, "Finance", "Clerk").ok());
+  EXPECT_FALSE(mgr.deactivate(999, "Finance", "Clerk").ok());
+  EXPECT_FALSE(mgr.check(999, "SalariesDB", "read"));
+  EXPECT_FALSE(mgr.close(999).ok());
+}
+
+TEST(Sessions, CloseReleases) {
+  Policy p = salaries_policy();
+  SessionManager mgr(p);
+  auto id = mgr.open("Bob");
+  EXPECT_EQ(mgr.open_count(), 1u);
+  ASSERT_TRUE(mgr.close(id).ok());
+  EXPECT_EQ(mgr.open_count(), 0u);
+  EXPECT_FALSE(mgr.check(id, "SalariesDB", "read"));
+}
+
+TEST(Sessions, ActiveRolesReported) {
+  Policy p = salaries_policy();
+  p.assign("Bob", "Sales", "Manager").ok();
+  SessionManager mgr(p);
+  auto id = mgr.open("Bob");
+  mgr.activate(id, "Finance", "Manager").ok();
+  mgr.activate(id, "Sales", "Manager").ok();
+  auto roles = mgr.active_roles(id);
+  EXPECT_EQ(roles.size(), 2u);
+}
+
+TEST(Sessions, ConcurrentSessionsAreIsolated) {
+  Policy p = salaries_policy();
+  SessionManager mgr(p);
+  std::vector<std::thread> threads;
+  std::atomic<int> successes{0};
+  threads.reserve(8);
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&mgr, &successes] {
+      auto id = mgr.open("Bob");
+      if (mgr.activate(id, "Finance", "Manager").ok() &&
+          mgr.check(id, "SalariesDB", "write")) {
+        successes.fetch_add(1);
+      }
+      mgr.close(id).ok();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(successes.load(), 8);
+  EXPECT_EQ(mgr.open_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mwsec::rbac

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "rbac/fixtures.hpp"
+
+namespace mwsec::rbac {
+namespace {
+
+TEST(TableIo, RoundTripsFigure1) {
+  Policy p = salaries_policy();
+  auto parsed = Policy::parse_table(p.to_table());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(*parsed, p);
+}
+
+TEST(TableIo, RoundTripsSyntheticPolicies) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    SyntheticSpec spec;
+    spec.users = 30;
+    Policy p = synthetic_policy(spec, seed);
+    auto parsed = Policy::parse_table(p.to_table());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, p);
+  }
+}
+
+TEST(TableIo, AcceptsCommentsAndBlankLines) {
+  auto p = Policy::parse_table(
+      "# salaries policy\n"
+      "\n"
+      "HasPermission (Domain, Role, ObjectType, Permission):\n"
+      "  Finance | Clerk | SalariesDB | write\n"
+      "\n"
+      "UserRole (Domain, Role, User):\n"
+      "# the clerk\n"
+      "  Finance | Clerk | Alice\n");
+  ASSERT_TRUE(p.ok()) << p.error().message;
+  EXPECT_TRUE(p->check({"Alice", "SalariesDB", "write"}));
+}
+
+TEST(TableIo, EmptyInputIsEmptyPolicy) {
+  auto p = Policy::parse_table("");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->empty());
+}
+
+TEST(TableIo, RejectsDataBeforeSection) {
+  auto p = Policy::parse_table("  Finance | Clerk | DB | read\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error().message.find("before a section"), std::string::npos);
+}
+
+TEST(TableIo, RejectsWrongArity) {
+  EXPECT_FALSE(Policy::parse_table("HasPermission:\n  a | b | c\n").ok());
+  EXPECT_FALSE(Policy::parse_table("UserRole:\n  a | b | c | d\n").ok());
+}
+
+TEST(TableIo, RejectsEmptyFieldsWithLineNumber) {
+  auto p = Policy::parse_table("UserRole:\n  Finance |  | Alice\n");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.error().message.find("line 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mwsec::rbac

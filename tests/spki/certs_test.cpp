@@ -1,0 +1,204 @@
+#include "spki/certs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::spki {
+namespace {
+
+crypto::KeyRing& ring() {
+  static crypto::KeyRing r(/*seed=*/2693, /*modulus_bits=*/256);
+  return r;
+}
+
+NameCert name_cert(const std::string& issuer, const std::string& id,
+                   Subject subject) {
+  NameCert c;
+  c.issuer_key = ring().principal(issuer);
+  c.identifier = id;
+  c.subject = std::move(subject);
+  EXPECT_TRUE(c.sign_with(ring().identity(issuer)).ok());
+  return c;
+}
+
+AuthCert auth_cert(const std::string& issuer, Subject subject, bool delegate,
+                   const char* tag) {
+  AuthCert c;
+  c.issuer_key = ring().principal(issuer);
+  c.subject = std::move(subject);
+  c.delegate = delegate;
+  c.tag = Tag::parse(tag).take();
+  EXPECT_TRUE(c.sign_with(ring().identity(issuer)).ok());
+  return c;
+}
+
+Subject key_of(const std::string& name) {
+  return Subject::of_key(ring().principal(name));
+}
+
+TEST(Certs, SignaturesVerifyAndTamperFails) {
+  auto nc = name_cert("Kadmin", "managers", key_of("Kbob"));
+  EXPECT_TRUE(nc.verify().ok());
+  nc.identifier = "admins";
+  EXPECT_FALSE(nc.verify().ok());
+
+  auto ac = auth_cert("Kadmin", key_of("Kbob"), true, "(salaries read)");
+  EXPECT_TRUE(ac.verify().ok());
+  ac.delegate = false;
+  EXPECT_FALSE(ac.verify().ok());
+}
+
+TEST(Certs, SignRequiresIssuerIdentity) {
+  NameCert c;
+  c.issuer_key = ring().principal("Kadmin");
+  c.identifier = "x";
+  c.subject = key_of("Kbob");
+  EXPECT_FALSE(c.sign_with(ring().identity("Kmallory")).ok());
+}
+
+TEST(CertStore, RejectsUnsignedUnlessTrusted) {
+  CertStore store;
+  NameCert c;
+  c.issuer_key = ring().principal("Kadmin");
+  c.identifier = "x";
+  c.subject = key_of("Kbob");
+  EXPECT_FALSE(store.add(c).ok());
+  EXPECT_TRUE(store.add(c, /*trusted=*/true).ok());
+  EXPECT_EQ(store.name_cert_count(), 1u);
+}
+
+TEST(CertStore, ResolveSimpleName) {
+  CertStore store;
+  store.add(name_cert("Kadmin", "managers", key_of("Kbob"))).ok();
+  store.add(name_cert("Kadmin", "managers", key_of("Kelaine"))).ok();
+  auto keys = store.resolve(ring().principal("Kadmin"), {"managers"});
+  EXPECT_EQ(keys.size(), 2u);
+  EXPECT_TRUE(keys.count(ring().principal("Kbob")));
+  EXPECT_TRUE(keys.count(ring().principal("Kelaine")));
+  EXPECT_TRUE(store.resolve(ring().principal("Kadmin"), {"nobody"}).empty());
+}
+
+TEST(CertStore, ResolveLinkedNames) {
+  // admin's "friends" includes bob; bob's "team" includes carol.
+  // admin's (friends team) therefore includes carol — SDSI linking.
+  CertStore store;
+  store.add(name_cert("Kadmin", "friends", key_of("Kbob"))).ok();
+  store.add(name_cert("Kbob", "team", key_of("Kcarol"))).ok();
+  auto keys = store.resolve(ring().principal("Kadmin"), {"friends", "team"});
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_TRUE(keys.count(ring().principal("Kcarol")));
+}
+
+TEST(CertStore, ResolveNameToName) {
+  // admin's "staff" is defined as bob's "team".
+  CertStore store;
+  store.add(name_cert("Kadmin", "staff",
+                      Subject::of_name(ring().principal("Kbob"), {"team"})))
+      .ok();
+  store.add(name_cert("Kbob", "team", key_of("Kdave"))).ok();
+  auto keys = store.resolve(ring().principal("Kadmin"), {"staff"});
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_TRUE(keys.count(ring().principal("Kdave")));
+}
+
+TEST(CertStore, ResolveCycleSafe) {
+  CertStore store;
+  store.add(name_cert("Ka", "x",
+                      Subject::of_name(ring().principal("Kb"), {"y"})))
+      .ok();
+  store.add(name_cert("Kb", "y",
+                      Subject::of_name(ring().principal("Ka"), {"x"})))
+      .ok();
+  EXPECT_TRUE(store.resolve(ring().principal("Ka"), {"x"}).empty());
+}
+
+TEST(Authorize, DirectGrantToKey) {
+  CertStore store;
+  store.add(auth_cert("Kroot", key_of("Kbob"), false, "(salaries read)")).ok();
+  EXPECT_TRUE(store.authorize(ring().principal("Kroot"),
+                              ring().principal("Kbob"),
+                              Tag::parse("(salaries read)").take()));
+  EXPECT_FALSE(store.authorize(ring().principal("Kroot"),
+                               ring().principal("Kbob"),
+                               Tag::parse("(salaries write)").take()));
+  EXPECT_FALSE(store.authorize(ring().principal("Kroot"),
+                               ring().principal("Kmallory"),
+                               Tag::parse("(salaries read)").take()));
+}
+
+TEST(Authorize, RootIsSelfAuthorised) {
+  CertStore store;
+  EXPECT_TRUE(store.authorize(ring().principal("Kroot"),
+                              ring().principal("Kroot"),
+                              Tag::parse("(anything)").take()));
+}
+
+TEST(Authorize, GrantThroughName) {
+  CertStore store;
+  store.add(name_cert("Kroot", "managers", key_of("Kbob"))).ok();
+  store.add(auth_cert("Kroot",
+                      Subject::of_name(ring().principal("Kroot"), {"managers"}),
+                      false, "(salaries (* set read write))"))
+      .ok();
+  EXPECT_TRUE(store.authorize(ring().principal("Kroot"),
+                              ring().principal("Kbob"),
+                              Tag::parse("(salaries write)").take()));
+  EXPECT_FALSE(store.authorize(ring().principal("Kroot"),
+                               ring().principal("Kcarol"),
+                               Tag::parse("(salaries write)").take()));
+}
+
+TEST(Authorize, DelegationBitGatesChains) {
+  // root -> bob (no delegate); bob -> carol. Carol must NOT be authorised.
+  CertStore no_delegate;
+  no_delegate.add(auth_cert("Kroot", key_of("Kbob"), false, "(db read)")).ok();
+  no_delegate.add(auth_cert("Kbob", key_of("Kcarol"), false, "(db read)")).ok();
+  EXPECT_FALSE(no_delegate.authorize(ring().principal("Kroot"),
+                                     ring().principal("Kcarol"),
+                                     Tag::parse("(db read)").take()));
+  // Same chain with the delegation bit set on the first hop.
+  CertStore with_delegate;
+  with_delegate.add(auth_cert("Kroot", key_of("Kbob"), true, "(db read)")).ok();
+  with_delegate.add(auth_cert("Kbob", key_of("Kcarol"), false, "(db read)"))
+      .ok();
+  EXPECT_TRUE(with_delegate.authorize(ring().principal("Kroot"),
+                                      ring().principal("Kcarol"),
+                                      Tag::parse("(db read)").take()));
+}
+
+TEST(Authorize, ChainTagsIntersect) {
+  // root grants (db (* set read write)) with delegation; bob re-delegates
+  // only (db read). Carol gets read, not write.
+  CertStore store;
+  store.add(auth_cert("Kroot", key_of("Kbob"), true,
+                      "(db (* set read write))"))
+      .ok();
+  store.add(auth_cert("Kbob", key_of("Kcarol"), false, "(db read)")).ok();
+  EXPECT_TRUE(store.authorize(ring().principal("Kroot"),
+                              ring().principal("Kcarol"),
+                              Tag::parse("(db read)").take()));
+  EXPECT_FALSE(store.authorize(ring().principal("Kroot"),
+                               ring().principal("Kcarol"),
+                               Tag::parse("(db write)").take()));
+  // A rogue re-delegation broader than the grant conveys nothing extra.
+  store.add(auth_cert("Kbob", key_of("Kdave"), false, "(*)")).ok();
+  EXPECT_TRUE(store.authorize(ring().principal("Kroot"),
+                              ring().principal("Kdave"),
+                              Tag::parse("(db write)").take()));
+  EXPECT_FALSE(store.authorize(ring().principal("Kroot"),
+                               ring().principal("Kdave"),
+                               Tag::parse("(other thing)").take()));
+}
+
+TEST(Authorize, DelegationCycleSafe) {
+  CertStore store;
+  store.add(auth_cert("Ka", key_of("Kb"), true, "(x)")).ok();
+  store.add(auth_cert("Kb", key_of("Ka"), true, "(x)")).ok();
+  EXPECT_FALSE(store.authorize(ring().principal("Ka"),
+                               ring().principal("Kz"),
+                               Tag::parse("(x)").take()));
+  EXPECT_TRUE(store.authorize(ring().principal("Ka"), ring().principal("Kb"),
+                              Tag::parse("(x)").take()));
+}
+
+}  // namespace
+}  // namespace mwsec::spki

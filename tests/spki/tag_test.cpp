@@ -1,0 +1,145 @@
+#include "spki/tag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::spki {
+namespace {
+
+Tag parse(const char* s) {
+  auto t = Tag::parse(s);
+  EXPECT_TRUE(t.ok()) << (t.ok() ? "" : t.error().message);
+  return t.ok() ? *t : Tag::all();
+}
+
+TEST(TagParse, Forms) {
+  EXPECT_EQ(parse("read").kind(), Tag::Kind::kAtom);
+  EXPECT_EQ(parse("(*)").kind(), Tag::Kind::kAll);
+  EXPECT_EQ(parse("(* set read write)").kind(), Tag::Kind::kSet);
+  EXPECT_EQ(parse("(* prefix /srv/)").kind(), Tag::Kind::kPrefix);
+  EXPECT_EQ(parse("(salaries read)").kind(), Tag::Kind::kList);
+}
+
+TEST(TagParse, UnwrapsTagWrapper) {
+  Tag t = parse("(tag (salaries read))");
+  ASSERT_EQ(t.kind(), Tag::Kind::kList);
+  EXPECT_EQ(t.elements()[0].text(), "salaries");
+}
+
+TEST(TagParse, QuotedAtoms) {
+  Tag t = parse("(\"two words\" \"a\\\"b\")");
+  EXPECT_EQ(t.elements()[0].text(), "two words");
+  EXPECT_EQ(t.elements()[1].text(), "a\"b");
+}
+
+TEST(TagParse, Errors) {
+  EXPECT_FALSE(Tag::parse("(unclosed").ok());
+  EXPECT_FALSE(Tag::parse("(a) trailing").ok());
+  EXPECT_FALSE(Tag::parse("(* set)").ok());
+  EXPECT_FALSE(Tag::parse("(* bogus x)").ok());
+  EXPECT_FALSE(Tag::parse("(tag a b)").ok());
+  EXPECT_FALSE(Tag::parse("").ok());
+}
+
+TEST(TagText, RoundTrips) {
+  for (const char* s :
+       {"read", "(*)", "(* set read write)", "(* prefix /srv/)",
+        "(salaries (* set read write))", "(a (b c) (* prefix x))"}) {
+    Tag t = parse(s);
+    auto again = Tag::parse(t.to_text());
+    ASSERT_TRUE(again.ok()) << s;
+    EXPECT_TRUE(t == *again) << s;
+  }
+}
+
+TEST(TagIntersect, AllIsIdentity) {
+  Tag r = parse("(salaries read)");
+  auto i = Tag::intersect(Tag::all(), r);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_TRUE(*i == r);
+  EXPECT_TRUE(*Tag::intersect(r, Tag::all()) == r);
+}
+
+TEST(TagIntersect, Atoms) {
+  EXPECT_TRUE(Tag::intersect(parse("read"), parse("read")).has_value());
+  EXPECT_FALSE(Tag::intersect(parse("read"), parse("write")).has_value());
+}
+
+TEST(TagIntersect, PrefixAndAtom) {
+  auto i = Tag::intersect(parse("(* prefix /srv/)"), parse("/srv/data"));
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->text(), "/srv/data");
+  EXPECT_FALSE(
+      Tag::intersect(parse("(* prefix /srv/)"), parse("/tmp/x")).has_value());
+}
+
+TEST(TagIntersect, PrefixPrefix) {
+  auto i = Tag::intersect(parse("(* prefix /srv/)"), parse("(* prefix /srv/pay/)"));
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->text(), "/srv/pay/");
+  EXPECT_FALSE(Tag::intersect(parse("(* prefix /a/)"), parse("(* prefix /b/)"))
+                   .has_value());
+}
+
+TEST(TagIntersect, SetsDistribute) {
+  auto i = Tag::intersect(parse("(* set read write)"), parse("read"));
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->text(), "read");
+  auto j = Tag::intersect(parse("(* set read write)"),
+                          parse("(* set write delete)"));
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->text(), "write");
+  EXPECT_FALSE(Tag::intersect(parse("(* set a b)"), parse("(* set c d)"))
+                   .has_value());
+}
+
+TEST(TagIntersect, ListsPositionwise) {
+  auto i = Tag::intersect(parse("(salaries (* set read write))"),
+                          parse("(salaries read)"));
+  ASSERT_TRUE(i.has_value());
+  EXPECT_TRUE(*i == parse("(salaries read)"));
+  EXPECT_FALSE(Tag::intersect(parse("(salaries read)"), parse("(orders read)"))
+                   .has_value());
+}
+
+TEST(TagIntersect, ShorterListIsMoreGeneral) {
+  // (ftp) covers (ftp /home/alice) — RFC 2693's canonical example.
+  auto i = Tag::intersect(parse("(ftp)"), parse("(ftp /home/alice)"));
+  ASSERT_TRUE(i.has_value());
+  EXPECT_TRUE(*i == parse("(ftp /home/alice)"));
+}
+
+TEST(TagIntersect, AtomListDisjoint) {
+  EXPECT_FALSE(Tag::intersect(parse("read"), parse("(read)")).has_value());
+}
+
+TEST(TagCovers, Semantics) {
+  EXPECT_TRUE(Tag::covers(Tag::all(), parse("(x y)")));
+  EXPECT_TRUE(Tag::covers(parse("(* set read write)"), parse("read")));
+  EXPECT_FALSE(Tag::covers(parse("read"), parse("(* set read write)")));
+  EXPECT_TRUE(Tag::covers(parse("(ftp)"), parse("(ftp /home)")));
+  EXPECT_FALSE(Tag::covers(parse("(ftp /home)"), parse("(ftp)")));
+  EXPECT_TRUE(Tag::covers(parse("(webcom SalariesDB (* set read write))"),
+                          parse("(webcom SalariesDB read)")));
+  EXPECT_FALSE(Tag::covers(parse("(webcom SalariesDB read)"),
+                           parse("(webcom SalariesDB write)")));
+}
+
+TEST(TagIntersect, IsCommutative) {
+  const char* cases[][2] = {
+      {"(a (* set x y))", "(a x)"},
+      {"(* prefix ab)", "abc"},
+      {"(ftp)", "(ftp /home)"},
+      {"(*)", "(a b)"},
+  };
+  for (const auto& c : cases) {
+    auto ab = Tag::intersect(parse(c[0]), parse(c[1]));
+    auto ba = Tag::intersect(parse(c[1]), parse(c[0]));
+    ASSERT_EQ(ab.has_value(), ba.has_value());
+    if (ab) {
+      EXPECT_TRUE(*ab == *ba) << c[0] << " vs " << c[1];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mwsec::spki

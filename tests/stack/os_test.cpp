@@ -1,0 +1,64 @@
+#include "stack/os.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::stack {
+namespace {
+
+OsSecurity basic() {
+  OsSecurity os;
+  EXPECT_TRUE(os.add_account("alice").ok());
+  EXPECT_TRUE(os.add_account("bob").ok());
+  EXPECT_TRUE(os.add_group("staff").ok());
+  EXPECT_TRUE(os.add_member("alice", "staff").ok());
+  EXPECT_TRUE(os.grant("alice", "/srv/salaries.db", "write").ok());
+  EXPECT_TRUE(os.grant("staff", "/srv/salaries.db", "read").ok());
+  return os;
+}
+
+TEST(OsSecurity, DirectGrant) {
+  auto os = basic();
+  EXPECT_TRUE(os.check("alice", "/srv/salaries.db", "write"));
+  EXPECT_FALSE(os.check("bob", "/srv/salaries.db", "write"));
+}
+
+TEST(OsSecurity, GroupGrant) {
+  auto os = basic();
+  EXPECT_TRUE(os.check("alice", "/srv/salaries.db", "read"));
+  EXPECT_FALSE(os.check("bob", "/srv/salaries.db", "read"));  // not in staff
+  os.add_member("bob", "staff").ok();
+  EXPECT_TRUE(os.check("bob", "/srv/salaries.db", "read"));
+}
+
+TEST(OsSecurity, UnknownAccountDenied) {
+  auto os = basic();
+  EXPECT_FALSE(os.check("mallory", "/srv/salaries.db", "read"));
+  EXPECT_FALSE(os.account_exists("mallory"));
+  EXPECT_TRUE(os.account_exists("alice"));
+}
+
+TEST(OsSecurity, AdministrationValidation) {
+  OsSecurity os;
+  EXPECT_FALSE(os.add_account("").ok());
+  EXPECT_FALSE(os.add_group("").ok());
+  EXPECT_FALSE(os.add_member("ghost", "staff").ok());
+  os.add_account("u").ok();
+  EXPECT_FALSE(os.add_member("u", "staff").ok());  // group missing
+  EXPECT_FALSE(os.grant("nobody", "obj", "read").ok());
+}
+
+TEST(OsSecurity, RevokeRemovesGrant) {
+  auto os = basic();
+  EXPECT_TRUE(os.revoke("alice", "/srv/salaries.db", "write").ok());
+  EXPECT_FALSE(os.check("alice", "/srv/salaries.db", "write"));
+  EXPECT_FALSE(os.revoke("alice", "/srv/salaries.db", "write").ok());
+}
+
+TEST(OsSecurity, GroupsOf) {
+  auto os = basic();
+  EXPECT_EQ(os.groups_of("alice"), std::vector<std::string>{"staff"});
+  EXPECT_TRUE(os.groups_of("bob").empty());
+}
+
+}  // namespace
+}  // namespace mwsec::stack

@@ -1,0 +1,151 @@
+#include "translate/keynote_to_rbac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rbac/fixtures.hpp"
+#include "translate/rbac_to_keynote.hpp"
+
+namespace mwsec::translate {
+namespace {
+
+TEST(Vocabulary, ExtractsLiteralsByAttribute) {
+  auto a = keynote::Assertion::parse(
+               "Authorizer: POLICY\n"
+               "Licensees: \"K\"\n"
+               "Conditions: app_domain == \"WebCom\" && "
+               "ObjectType == \"SalariesDB\" && "
+               "(Domain==\"Sales\" && Role==\"Manager\" && "
+               "Permission==\"read\") || "
+               "(Domain==\"Finance\" && Role==\"Clerk\" && "
+               "Permission==\"write\");\n")
+               .take();
+  auto v = extract_vocabulary({a});
+  EXPECT_EQ(v.domains, (std::set<std::string>{"Sales", "Finance"}));
+  EXPECT_EQ(v.roles, (std::set<std::string>{"Manager", "Clerk"}));
+  EXPECT_EQ(v.object_types, (std::set<std::string>{"SalariesDB"}));
+  EXPECT_EQ(v.permissions, (std::set<std::string>{"read", "write"}));
+}
+
+TEST(Vocabulary, HandlesReversedOperandsAndNesting) {
+  auto a = keynote::Assertion::parse(
+               "Authorizer: POLICY\n"
+               "Conditions: \"HR\" == Domain -> { !(Role == \"Temp\") };\n")
+               .take();
+  auto v = extract_vocabulary({a});
+  EXPECT_TRUE(v.domains.count("HR"));
+  EXPECT_TRUE(v.roles.count("Temp"));
+}
+
+TEST(Vocabulary, MergeAndCombinations) {
+  Vocabulary a, b;
+  a.domains = {"D1"};
+  a.roles = {"R1"};
+  b.domains = {"D2"};
+  b.object_types = {"O"};
+  b.permissions = {"p", "q"};
+  a.merge(b);
+  EXPECT_EQ(a.domains.size(), 2u);
+  EXPECT_EQ(a.combinations(), 2u * 1u * 1u * 2u);
+}
+
+TEST(Synthesis, ReconstructsFigure1FromCompiledAssertions) {
+  OpaqueDirectory dir;
+  auto original = rbac::salaries_policy();
+  auto compiled = compile_policy(original, "KWebCom", dir).take();
+  auto synth = synthesize_policy({compiled.policy},
+                                 compiled.membership_credentials, "KWebCom",
+                                 dir);
+  ASSERT_TRUE(synth.ok()) << synth.error().message;
+  EXPECT_TRUE(synth->unresolved.empty());
+  EXPECT_EQ(synth->policy.grants(), original.grants());
+  EXPECT_EQ(synth->policy.assignments(), original.assignments());
+}
+
+TEST(Synthesis, HonoursExtraVocabulary) {
+  // A policy written by hand with a wildcard-ish condition that never
+  // mentions "audit" can still be probed for it via extra vocabulary.
+  auto pol = keynote::Assertion::parse(
+                 "Authorizer: POLICY\n"
+                 "Licensees: \"KAdmin\"\n"
+                 "Conditions: app_domain == \"WebCom\" && "
+                 "ObjectType == \"Logs\" && Domain == \"Ops\" && "
+                 "Role == \"SRE\";\n")
+                 .take();
+  OpaqueDirectory dir;
+  Vocabulary extra;
+  extra.permissions = {"audit"};
+  auto synth = synthesize_policy({pol}, {}, "KAdmin", dir, extra);
+  ASSERT_TRUE(synth.ok());
+  // The conditions ignore Permission entirely, so every probed permission
+  // (here just "audit") is granted.
+  EXPECT_TRUE(synth->policy.has_permission("Ops", "SRE", "Logs", "audit"));
+}
+
+TEST(Synthesis, ReportsUnresolvableCredentials) {
+  OpaqueDirectory dir;
+  auto compiled = compile_policy(rbac::salaries_policy(), "KWebCom", dir)
+                      .take();
+  // A credential authored by someone else.
+  auto foreign = keynote::AssertionBuilder()
+                     .authorizer("\"Kclaire\"")
+                     .licensees("\"Kfred\"")
+                     .conditions("app_domain == \"WebCom\"")
+                     .build()
+                     .take();
+  // A threshold licensee the synthesiser cannot attribute to one user.
+  auto compound = keynote::AssertionBuilder()
+                      .authorizer("\"KWebCom\"")
+                      .licensees("2-of(\"Ka\", \"Kb\", \"Kc\")")
+                      .conditions("app_domain == \"WebCom\"")
+                      .build()
+                      .take();
+  // A licensee key the directory does not know.
+  auto unknown = keynote::AssertionBuilder()
+                     .authorizer("\"KWebCom\"")
+                     .licensees("\"rsa-hex:0042\"")
+                     .conditions("app_domain == \"WebCom\"")
+                     .build()
+                     .take();
+  auto creds = compiled.membership_credentials;
+  creds.push_back(foreign);
+  creds.push_back(compound);
+  creds.push_back(unknown);
+  auto synth = synthesize_policy({compiled.policy}, creds, "KWebCom", dir);
+  ASSERT_TRUE(synth.ok());
+  EXPECT_EQ(synth->unresolved.size(), 3u);
+  // The resolvable ones still synthesise correctly.
+  EXPECT_EQ(synth->policy.assignments(),
+            rbac::salaries_policy().assignments());
+}
+
+TEST(Synthesis, EmptyInputsYieldEmptyPolicy) {
+  OpaqueDirectory dir;
+  auto synth = synthesize_policy({}, {}, "KWebCom", dir);
+  ASSERT_TRUE(synth.ok());
+  EXPECT_TRUE(synth->policy.empty());
+}
+
+TEST(Synthesis, DelegationCannotForgeMembership) {
+  // A user-authored credential (not the admin key) must not create
+  // UserRole rows even if its conditions are maximally permissive.
+  OpaqueDirectory dir;
+  auto compiled = compile_policy(rbac::salaries_policy(), "KWebCom", dir)
+                      .take();
+  auto rogue = keynote::AssertionBuilder()
+                   .authorizer("\"Kmallory\"")
+                   .licensees("\"Kmallory\"")
+                   .conditions("true")
+                   .build()
+                   .take();
+  auto creds = compiled.membership_credentials;
+  creds.push_back(rogue);
+  auto synth = synthesize_policy({compiled.policy}, creds, "KWebCom", dir);
+  ASSERT_TRUE(synth.ok());
+  EXPECT_FALSE(synth->policy.user_in_role("mallory", "Finance", "Clerk"));
+  for (const auto& a : synth->policy.assignments()) {
+    EXPECT_NE(a.user, "mallory");
+  }
+}
+
+}  // namespace
+}  // namespace mwsec::translate

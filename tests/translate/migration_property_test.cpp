@@ -1,0 +1,107 @@
+// Property tests for migration: random policies moved across the three
+// middlewares preserve access decisions wherever the target vocabulary
+// can express them.
+#include <gtest/gtest.h>
+
+#include "middleware/com/catalogue.hpp"
+#include "middleware/corba/orb.hpp"
+#include "middleware/ejb/container.hpp"
+#include "rbac/fixtures.hpp"
+#include "translate/migration.hpp"
+#include "util/rng.hpp"
+
+namespace mwsec::translate {
+namespace {
+
+namespace com = middleware::com;
+namespace ejb = middleware::ejb;
+namespace corba = middleware::corba;
+
+/// Random COM+ catalogue: uses only COM verbs so every target can express
+/// the policy modulo domain renaming.
+com::Catalogue random_com(std::uint64_t seed) {
+  util::Rng rng(seed);
+  com::Catalogue cat("winsrc", "Finance");
+  const char* verbs[] = {com::kLaunch, com::kAccess, com::kRunAs};
+  for (int a = 0; a < 3; ++a) {
+    cat.register_application({"App" + std::to_string(a), "", {}}).ok();
+  }
+  for (int r = 0; r < 5; ++r) {
+    std::string role = "Role" + std::to_string(r);
+    cat.define_role(role).ok();
+    for (int g = 0; g < 2; ++g) {
+      cat.grant(role, "App" + std::to_string(rng.below(3)),
+                verbs[rng.below(3)])
+          .ok();
+    }
+  }
+  for (int u = 0; u < 15; ++u) {
+    cat.add_user_to_role("user" + std::to_string(u),
+                         "Role" + std::to_string(rng.below(5)))
+        .ok();
+  }
+  return cat;
+}
+
+class MigrationDecisions : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MigrationDecisions, PreservedAcrossEveryTarget) {
+  auto source = random_com(GetParam() * 7919 + 5);
+
+  ejb::Server to_ejb("hostX", "ejbsrv");
+  MigrationOptions ejb_opts;
+  ejb_opts.domain_mapping["Finance"] = "hostX/ejbsrv/ejb/fin";
+  ASSERT_TRUE(migrate(source, to_ejb, ejb_opts).ok());
+
+  corba::Orb to_corba("unixZ", "orb1");
+  MigrationOptions corba_opts;
+  corba_opts.domain_mapping["Finance"] = "unixZ/orb1";
+  ASSERT_TRUE(migrate(source, to_corba, corba_opts).ok());
+
+  com::Catalogue to_com("winZ", "Finance");
+  ASSERT_TRUE(migrate(source, to_com, {}).ok());
+
+  auto src_policy = source.export_policy();
+  for (const auto& user : src_policy.users()) {
+    for (int a = 0; a < 3; ++a) {
+      std::string app = "App" + std::to_string(a);
+      for (const char* verb : {com::kLaunch, com::kAccess, com::kRunAs}) {
+        bool expect = source.mediate(user, app, verb);
+        EXPECT_EQ(to_ejb.mediate(user, app, verb), expect)
+            << "EJB " << user << " " << app << " " << verb;
+        EXPECT_EQ(to_corba.mediate(user, app, verb), expect)
+            << "CORBA " << user << " " << app << " " << verb;
+        EXPECT_EQ(to_com.mediate(user, app, verb), expect)
+            << "COM " << user << " " << app << " " << verb;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationDecisions,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+class KeynotePipelineEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KeynotePipelineEquivalence, ViaKeynoteMatchesDirect) {
+  auto source = random_com(GetParam() * 104729 + 13);
+  crypto::KeyRing ring(GetParam() + 9000, /*modulus_bits=*/256);
+  KeyRingDirectory dir(ring);
+  const auto& admin = ring.identity("KWebCom");
+  MigrationOptions opts;
+  opts.domain_mapping["Finance"] = "hostX/ejbsrv/ejb/fin";
+
+  ejb::Server direct_target("hostX", "ejbsrv");
+  auto direct = migrate(source, direct_target, opts).take();
+  ejb::Server keynote_target("hostX", "ejbsrv");
+  auto via = migrate_via_keynote(source, keynote_target, admin, dir, opts);
+  ASSERT_TRUE(via.ok()) << via.error().message;
+  EXPECT_EQ(via->commissioned, direct.commissioned);
+  EXPECT_EQ(keynote_target.export_policy(), direct_target.export_policy());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeynotePipelineEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 4));
+
+}  // namespace
+}  // namespace mwsec::translate

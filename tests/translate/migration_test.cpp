@@ -1,0 +1,160 @@
+// Migration pipeline tests: the Figure 9 interoperability scenarios.
+#include "translate/migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "middleware/com/catalogue.hpp"
+#include "middleware/corba/orb.hpp"
+#include "middleware/ejb/container.hpp"
+
+namespace mwsec::translate {
+namespace {
+
+namespace com = middleware::com;
+namespace ejb = middleware::ejb;
+namespace corba = middleware::corba;
+
+/// Legacy COM+ system (Figure 9's Y): the Salaries application.
+com::Catalogue legacy_com() {
+  com::Catalogue cat("winY", "Finance");
+  cat.register_application({"SalariesDB", "legacy salaries", {}}).ok();
+  cat.define_role("Clerk").ok();
+  cat.define_role("Manager").ok();
+  cat.grant("Clerk", "SalariesDB", com::kAccess).ok();
+  cat.grant("Manager", "SalariesDB", com::kAccess).ok();
+  cat.grant("Manager", "SalariesDB", com::kLaunch).ok();
+  cat.add_user_to_role("Alice", "Clerk").ok();
+  cat.add_user_to_role("Bob", "Manager").ok();
+  return cat;
+}
+
+TEST(Migration, ComToEjbDirect) {
+  auto source = legacy_com();
+  ejb::Server target("hostX", "ejbsrv");
+  MigrationOptions opts;
+  opts.domain_mapping["Finance"] = "hostX/ejbsrv/ejb/finance";
+  auto report = migrate(source, target, opts);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_EQ(report->import_stats.grants_applied, 3u);
+  EXPECT_EQ(report->import_stats.assignments_applied, 2u);
+  EXPECT_TRUE(report->import_stats.skipped.empty());
+  // Access decisions carry over (COM verbs become EJB "methods").
+  EXPECT_TRUE(target.mediate("Alice", "SalariesDB", "Access"));
+  EXPECT_TRUE(target.mediate("Bob", "SalariesDB", "Launch"));
+  EXPECT_FALSE(target.mediate("Alice", "SalariesDB", "Launch"));
+}
+
+TEST(Migration, EjbToComMapsMethodsOntoComVerbs) {
+  ejb::Server source("hostX", "ejbsrv");
+  source.create_container("ejb/payroll").ok();
+  ejb::BeanDescriptor bean{"SalariesDB",
+                           "",
+                           {"Clerk", "Manager"},
+                           {{"read", {"Manager"}}, {"write", {"Clerk"}}},
+                           {}};
+  ASSERT_TRUE(source.deploy("ejb/payroll", bean).ok());
+  source.register_user("Alice").ok();
+  source.register_user("Bob").ok();
+  source.add_user_to_role("Alice", "ejb/payroll", "Clerk").ok();
+  source.add_user_to_role("Bob", "ejb/payroll", "Manager").ok();
+
+  com::Catalogue target("winY", "Finance");
+  MigrationOptions opts;
+  opts.domain_mapping["hostX/ejbsrv/ejb/payroll"] = "Finance";
+  opts.target_permissions = {com::kLaunch, com::kAccess, com::kRunAs};
+  auto report = migrate(source, target, opts);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  // "read" maps to Access via the synonym metric; "write" has no COM
+  // equivalent above threshold and is reported unmapped.
+  ASSERT_TRUE(report->permission_mapping.count("read"));
+  EXPECT_EQ(report->permission_mapping.at("read").candidate, com::kAccess);
+  EXPECT_TRUE(target.mediate("Bob", "SalariesDB", com::kAccess));
+  if (report->permission_mapping.count("write") == 0) {
+    EXPECT_FALSE(report->unmapped.empty());
+  }
+}
+
+TEST(Migration, ComToCorbaPreservesEverything) {
+  auto source = legacy_com();
+  corba::Orb target("unixZ", "orb1");
+  MigrationOptions opts;
+  opts.domain_mapping["Finance"] = "unixZ/orb1";
+  auto report = migrate(source, target, opts);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->unmapped.empty());
+  EXPECT_TRUE(target.mediate("Alice", "SalariesDB", "Access"));
+  EXPECT_FALSE(target.mediate("Alice", "SalariesDB", "Launch"));
+  // The migrated interface is invocable.
+  auto ior = target.activate_object("SalariesDB",
+                                    [](const std::string&, const std::string&) {
+                                      return "ok";
+                                    });
+  ASSERT_TRUE(ior.ok());
+  EXPECT_TRUE(target.invoke("Alice", *ior, "Access").ok());
+}
+
+TEST(Migration, ViaKeynoteMatchesDirectMigration) {
+  // The paper's full path (legacy COM policy -> KeyNote credentials ->
+  // replacement EJB policy) must commission the same rows as the direct
+  // RBAC-interlingua path.
+  auto source = legacy_com();
+  crypto::KeyRing ring(/*seed=*/5150, /*modulus_bits=*/256);
+  KeyRingDirectory dir(ring);
+  const auto& admin = ring.identity("KWebCom");
+  MigrationOptions opts;
+  opts.domain_mapping["Finance"] = "hostX/ejbsrv/ejb/finance";
+
+  ejb::Server direct_target("hostX", "ejbsrv");
+  auto direct = migrate(source, direct_target, opts).take();
+
+  ejb::Server keynote_target("hostX", "ejbsrv");
+  auto via = migrate_via_keynote(source, keynote_target, admin, dir, opts);
+  ASSERT_TRUE(via.ok()) << via.error().message;
+  EXPECT_EQ(via->commissioned, direct.commissioned);
+  EXPECT_EQ(keynote_target.export_policy(), direct_target.export_policy());
+}
+
+TEST(Migration, UnmappedDomainsPassThrough) {
+  auto source = legacy_com();
+  ejb::Server target("hostX", "ejbsrv");
+  // No domain mapping: rows keep domain "Finance", which the EJB server
+  // does not serve, so everything is skipped (and reported).
+  auto report = migrate(source, target, {});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->import_stats.grants_applied, 0u);
+  EXPECT_EQ(report->import_stats.skipped.size(), 5u);
+}
+
+TEST(Migration, RemapPolicyReportsMappingsOnce) {
+  rbac::Policy p;
+  p.grant("D", "R1", "O", "read").ok();
+  p.grant("D", "R2", "O", "read").ok();
+  p.grant("D", "R1", "O", "teleport").ok();
+  MigrationOptions opts;
+  opts.target_permissions = {"Access", "Launch"};
+  MigrationReport report;
+  auto metric = CombinedMetric::standard();
+  auto out = remap_policy(p, opts, metric, report);
+  EXPECT_EQ(report.permission_mapping.size(), 1u);  // read cached once
+  EXPECT_EQ(report.unmapped.size(), 1u);            // teleport dropped
+  EXPECT_EQ(out.grants().size(), 2u);
+}
+
+TEST(Migration, RoundTripComEjbComIsStableOnExpressibleRows) {
+  auto source = legacy_com();
+  ejb::Server middle("hostX", "ejbsrv");
+  MigrationOptions to_ejb;
+  to_ejb.domain_mapping["Finance"] = "hostX/ejbsrv/ejb/fin";
+  ASSERT_TRUE(migrate(source, middle, to_ejb).ok());
+
+  com::Catalogue back("winY2", "Finance");
+  MigrationOptions to_com;
+  to_com.domain_mapping["hostX/ejbsrv/ejb/fin"] = "Finance";
+  to_com.target_permissions = {com::kLaunch, com::kAccess, com::kRunAs};
+  ASSERT_TRUE(migrate(middle, back, to_com).ok());
+
+  EXPECT_EQ(back.export_policy(), source.export_policy());
+}
+
+}  // namespace
+}  // namespace mwsec::translate

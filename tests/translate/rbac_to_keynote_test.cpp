@@ -1,0 +1,155 @@
+#include "translate/rbac_to_keynote.hpp"
+
+#include <gtest/gtest.h>
+
+#include "keynote/query.hpp"
+#include "rbac/fixtures.hpp"
+
+namespace mwsec::translate {
+namespace {
+
+TEST(RbacToKeynote, Figure5GoldenEncoding) {
+  // The compiled conditions must encode exactly Figure 5's semantics for
+  // the Figure 1 policy (grouping per ObjectType, one disjunct per
+  // domain/role with its permissions).
+  EXPECT_EQ(
+      render_haspermission_conditions(rbac::salaries_policy()),
+      "(app_domain == \"WebCom\" && ObjectType == \"SalariesDB\" && ("
+      "(Domain==\"Finance\" && Role==\"Clerk\" && Permission==\"write\") || "
+      "(Domain==\"Finance\" && Role==\"Manager\" && "
+      "(Permission==\"read\"||Permission==\"write\")) || "
+      "(Domain==\"Sales\" && Role==\"Manager\" && Permission==\"read\")))");
+}
+
+TEST(RbacToKeynote, EmptyPolicyCompilesToFalse) {
+  EXPECT_EQ(render_haspermission_conditions(rbac::Policy{}), "false");
+}
+
+TEST(RbacToKeynote, MembershipConditionsMatchFigure6) {
+  std::vector<rbac::RoleAssignment> memberships{
+      {"Finance", "Manager", "Claire"}};
+  EXPECT_EQ(render_membership_conditions(memberships),
+            "app_domain == \"WebCom\" && "
+            "((Domain==\"Finance\" && Role==\"Manager\"))");
+}
+
+TEST(RbacToKeynote, MultiMembershipDisjunction) {
+  std::vector<rbac::RoleAssignment> memberships{
+      {"Finance", "Manager", "X"}, {"Sales", "Manager", "X"}};
+  EXPECT_EQ(render_membership_conditions(memberships),
+            "app_domain == \"WebCom\" && "
+            "((Domain==\"Finance\" && Role==\"Manager\") || "
+            "(Domain==\"Sales\" && Role==\"Manager\"))");
+}
+
+TEST(RbacToKeynote, CompileProducesPolicyAndCredentials) {
+  OpaqueDirectory dir;
+  auto compiled = compile_policy(rbac::salaries_policy(), "KWebCom", dir);
+  ASSERT_TRUE(compiled.ok()) << compiled.error().message;
+  EXPECT_TRUE(compiled->policy.is_policy());
+  EXPECT_EQ(compiled->policy.licensees().principal, "KWebCom");
+  // One membership credential per user of Figure 1.
+  EXPECT_EQ(compiled->membership_credentials.size(), 5u);
+  for (const auto& cred : compiled->membership_credentials) {
+    EXPECT_EQ(cred.authorizer(), "KWebCom");
+    EXPECT_EQ(cred.licensees().kind, keynote::LicenseeExpr::Kind::kPrincipal);
+    EXPECT_EQ(cred.licensees().principal[0], 'K');
+  }
+}
+
+TEST(RbacToKeynote, CompiledPolicyAnswersLikeFigure5) {
+  OpaqueDirectory dir;
+  auto compiled = compile_policy(rbac::salaries_policy(), "KWebCom", dir);
+  ASSERT_TRUE(compiled.ok());
+  auto probe = [&](const char* d, const char* r, const char* perm) {
+    keynote::Query q;
+    q.action_authorizers = {"KWebCom"};
+    q.env.set("app_domain", "WebCom");
+    q.env.set("ObjectType", "SalariesDB");
+    q.env.set("Domain", d);
+    q.env.set("Role", r);
+    q.env.set("Permission", perm);
+    return keynote::evaluate({compiled->policy}, {}, q)->authorized();
+  };
+  EXPECT_TRUE(probe("Finance", "Clerk", "write"));
+  EXPECT_FALSE(probe("Finance", "Clerk", "read"));
+  EXPECT_TRUE(probe("Finance", "Manager", "read"));
+  EXPECT_TRUE(probe("Finance", "Manager", "write"));
+  EXPECT_TRUE(probe("Sales", "Manager", "read"));
+  EXPECT_FALSE(probe("Sales", "Manager", "write"));
+  EXPECT_FALSE(probe("Sales", "Assistant", "read"));
+}
+
+TEST(RbacToKeynote, EndToEndUserAccessThroughCredentials) {
+  OpaqueDirectory dir;
+  auto compiled = compile_policy(rbac::salaries_policy(), "KWebCom", dir);
+  ASSERT_TRUE(compiled.ok());
+  keynote::QueryOptions lax;
+  lax.verify_signatures = false;  // opaque principals cannot sign
+
+  auto user_probe = [&](const char* user, const char* d, const char* r,
+                        const char* perm) {
+    keynote::Query q;
+    q.action_authorizers = {dir.principal_of(user)};
+    q.env.set("app_domain", "WebCom");
+    q.env.set("ObjectType", "SalariesDB");
+    q.env.set("Domain", d);
+    q.env.set("Role", r);
+    q.env.set("Permission", perm);
+    return keynote::evaluate({compiled->policy},
+                             compiled->membership_credentials, q, lax)
+        ->authorized();
+  };
+  // The KeyNote chain reproduces Figure 1's decision matrix end to end.
+  EXPECT_TRUE(user_probe("Alice", "Finance", "Clerk", "write"));
+  EXPECT_FALSE(user_probe("Alice", "Finance", "Clerk", "read"));
+  EXPECT_FALSE(user_probe("Alice", "Finance", "Manager", "write"));
+  EXPECT_TRUE(user_probe("Bob", "Finance", "Manager", "read"));
+  EXPECT_TRUE(user_probe("Claire", "Sales", "Manager", "read"));
+  EXPECT_FALSE(user_probe("Dave", "Sales", "Assistant", "read"));
+  EXPECT_FALSE(user_probe("Mallory", "Finance", "Clerk", "write"));
+}
+
+TEST(RbacToKeynote, SignedCompilationVerifies) {
+  crypto::KeyRing ring(/*seed=*/99, /*modulus_bits=*/256);
+  KeyRingDirectory dir(ring);
+  const auto& admin = ring.identity("KWebCom");
+  auto compiled = compile_policy_signed(rbac::salaries_policy(), admin, dir);
+  ASSERT_TRUE(compiled.ok()) << compiled.error().message;
+  for (const auto& cred : compiled->membership_credentials) {
+    EXPECT_TRUE(cred.verify().ok());
+  }
+  // Full chain with signatures enforced.
+  keynote::Query q;
+  q.action_authorizers = {dir.principal_of("Bob")};
+  q.env.set("app_domain", "WebCom");
+  q.env.set("ObjectType", "SalariesDB");
+  q.env.set("Domain", "Finance");
+  q.env.set("Role", "Manager");
+  q.env.set("Permission", "write");
+  auto r = keynote::evaluate({compiled->policy},
+                             compiled->membership_credentials, q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->authorized());
+  EXPECT_TRUE(r->dropped_credentials.empty());
+}
+
+TEST(RbacToKeynote, QuotingSurvivesHostileNames) {
+  rbac::Policy p;
+  p.grant("Do\"main", "Ro\\le", "Obj", "per\"m").ok();
+  p.assign("us\"er", "Do\"main", "Ro\\le").ok();
+  OpaqueDirectory dir;
+  auto compiled = compile_policy(p, "KAdmin", dir);
+  ASSERT_TRUE(compiled.ok()) << compiled.error().message;
+  keynote::Query q;
+  q.action_authorizers = {"KAdmin"};
+  q.env.set("app_domain", "WebCom");
+  q.env.set("ObjectType", "Obj");
+  q.env.set("Domain", "Do\"main");
+  q.env.set("Role", "Ro\\le");
+  q.env.set("Permission", "per\"m");
+  EXPECT_TRUE(keynote::evaluate({compiled->policy}, {}, q)->authorized());
+}
+
+}  // namespace
+}  // namespace mwsec::translate

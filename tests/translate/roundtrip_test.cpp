@@ -1,0 +1,86 @@
+// Property tests for the paper's central claim (§4, abstract): middleware
+// RBAC policies can be encoded as KeyNote credentials *and vice-versa* —
+// i.e. RBAC -> KeyNote -> RBAC is the identity on the relation sets.
+#include <gtest/gtest.h>
+
+#include "rbac/fixtures.hpp"
+#include "translate/keynote_to_rbac.hpp"
+#include "translate/rbac_to_keynote.hpp"
+
+namespace mwsec::translate {
+namespace {
+
+class RoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripProperty, CompileThenSynthesizeIsIdentity) {
+  rbac::SyntheticSpec spec;
+  spec.domains = 2 + GetParam() % 4;
+  spec.roles_per_domain = 2 + GetParam() % 5;
+  spec.object_types = 1 + GetParam() % 3;
+  spec.users = 5 + GetParam() % 20;
+  spec.roles_per_user = 1 + GetParam() % 3;
+  rbac::Policy original = rbac::synthetic_policy(spec, GetParam() * 7919 + 1);
+
+  OpaqueDirectory dir;
+  auto compiled = compile_policy(original, "KWebCom", dir);
+  ASSERT_TRUE(compiled.ok()) << compiled.error().message;
+  auto synth = synthesize_policy({compiled->policy},
+                                 compiled->membership_credentials, "KWebCom",
+                                 dir);
+  ASSERT_TRUE(synth.ok()) << synth.error().message;
+  EXPECT_TRUE(synth->unresolved.empty());
+  EXPECT_EQ(synth->policy.grants(), original.grants());
+  EXPECT_EQ(synth->policy.assignments(), original.assignments());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+class DecisionPreservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecisionPreservation, AccessDecisionsSurviveTheRoundTrip) {
+  rbac::SyntheticSpec spec;
+  spec.users = 10;
+  rbac::Policy original = rbac::synthetic_policy(spec, GetParam() * 104729);
+  OpaqueDirectory dir;
+  auto compiled = compile_policy(original, "KWebCom", dir).take();
+  auto synth = synthesize_policy({compiled.policy},
+                                 compiled.membership_credentials, "KWebCom",
+                                 dir)
+                   .take();
+  // Probe a grid of access requests on both policies.
+  for (const auto& user : original.users()) {
+    for (const auto& ot : original.object_types()) {
+      for (const char* perm : {"read", "write", "create", "delete", "launch",
+                               "access", "bogus"}) {
+        rbac::AccessRequest req{user, ot, perm};
+        EXPECT_EQ(original.check(req), synth.policy.check(req))
+            << user << " " << ot << " " << perm;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecisionPreservation,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(RoundTrip, SecondRoundTripIsStable) {
+  // Idempotence: translating twice changes nothing further.
+  OpaqueDirectory dir;
+  rbac::Policy p0 = rbac::salaries_policy();
+  auto c1 = compile_policy(p0, "KWebCom", dir).take();
+  auto p1 = synthesize_policy({c1.policy}, c1.membership_credentials,
+                              "KWebCom", dir)
+                .take()
+                .policy;
+  auto c2 = compile_policy(p1, "KWebCom", dir).take();
+  auto p2 = synthesize_policy({c2.policy}, c2.membership_credentials,
+                              "KWebCom", dir)
+                .take()
+                .policy;
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(c1.policy.conditions_text(), c2.policy.conditions_text());
+}
+
+}  // namespace
+}  // namespace mwsec::translate

@@ -1,0 +1,94 @@
+#include "translate/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::translate {
+namespace {
+
+TEST(EditDistanceMetric, BasicScores) {
+  EditDistanceMetric m;
+  EXPECT_DOUBLE_EQ(m.score("read", "read"), 1.0);
+  EXPECT_DOUBLE_EQ(m.score("Read", "read"), 1.0);  // case-insensitive
+  EXPECT_GT(m.score("launch", "launcher"), 0.7);
+  EXPECT_LT(m.score("read", "write"), 0.5);
+  EXPECT_DOUBLE_EQ(m.score("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(m.score("abc", ""), 0.0);
+}
+
+TEST(TokenSetMetric, Tokenisation) {
+  EXPECT_EQ(TokenSetMetric::tokens("GetSalaryRecord"),
+            (std::set<std::string>{"get", "salary", "record"}));
+  EXPECT_EQ(TokenSetMetric::tokens("get_salary-record"),
+            (std::set<std::string>{"get", "salary", "record"}));
+  EXPECT_EQ(TokenSetMetric::tokens(""), (std::set<std::string>{}));
+  EXPECT_EQ(TokenSetMetric::tokens("READ"), (std::set<std::string>{"read"}));
+}
+
+TEST(TokenSetMetric, JaccardScores) {
+  TokenSetMetric m;
+  EXPECT_DOUBLE_EQ(m.score("GetSalary", "get_salary"), 1.0);
+  EXPECT_NEAR(m.score("GetSalary", "get_salary_record"), 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.score("read", "write"), 0.0);
+}
+
+TEST(SynonymMetric, DefaultMiddlewareGroups) {
+  SynonymMetric m;
+  EXPECT_DOUBLE_EQ(m.score("read", "Access"), 1.0);
+  EXPECT_DOUBLE_EQ(m.score("execute", "Launch"), 1.0);
+  EXPECT_DOUBLE_EQ(m.score("write", "update"), 1.0);
+  EXPECT_DOUBLE_EQ(m.score("read", "Launch"), 0.0);
+  EXPECT_DOUBLE_EQ(m.score("anything", "anything"), 1.0);
+}
+
+TEST(SynonymMetric, TokenLevelSynonymy) {
+  SynonymMetric m;
+  // "GetSalary" contains token "get", synonymous with "read".
+  EXPECT_NEAR(m.score("GetSalary", "read"), 0.9, 1e-9);
+  // Shared non-synonym token.
+  EXPECT_NEAR(m.score("salary_report", "report_viewer"), 0.8, 1e-9);
+}
+
+TEST(SynonymMetric, CustomGroups) {
+  SynonymMetric m;
+  m.add_group({"pay", "disburse"});
+  EXPECT_DOUBLE_EQ(m.score("Pay", "disburse"), 1.0);
+}
+
+TEST(CombinedMetric, TakesTheBestComponent) {
+  auto m = CombinedMetric::standard();
+  EXPECT_DOUBLE_EQ(m.score("read", "read"), 1.0);
+  EXPECT_DOUBLE_EQ(m.score("read", "Access"), 1.0);       // synonym wins
+  EXPECT_GT(m.score("launcher", "Launch"), 0.7);          // edit wins
+  EXPECT_DOUBLE_EQ(m.score("GetSalary", "get_salary"), 1.0);  // tokens win
+  EXPECT_LT(m.score("read", "RunAs"), 0.5);
+}
+
+TEST(BestMatch, PicksHighestAboveThreshold) {
+  auto m = CombinedMetric::standard();
+  std::vector<std::string> com_vocab{"Launch", "Access", "RunAs"};
+  auto r = best_match(m, "read", com_vocab, 0.5);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->candidate, "Access");
+  auto e = best_match(m, "execute", com_vocab, 0.5);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->candidate, "Launch");
+}
+
+TEST(BestMatch, ReturnsNulloptBelowThreshold) {
+  auto m = CombinedMetric::standard();
+  EXPECT_FALSE(best_match(m, "zzzz", {"Launch", "Access"}, 0.5).has_value());
+  EXPECT_FALSE(best_match(m, "read", {}, 0.0).has_value());
+}
+
+TEST(BestMatch, ExactBeatsSynonym) {
+  auto m = CombinedMetric::standard();
+  auto r = best_match(m, "Access", {"read", "Access"}, 0.1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->candidate, "read");  // both score 1.0; first wins ties
+  // Order sensitivity documents the tie-break contract.
+  auto r2 = best_match(m, "Access", {"Access", "read"}, 0.1);
+  EXPECT_EQ(r2->candidate, "Access");
+}
+
+}  // namespace
+}  // namespace mwsec::translate

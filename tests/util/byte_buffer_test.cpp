@@ -1,0 +1,71 @@
+#include "util/byte_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::util {
+namespace {
+
+TEST(ByteBuffer, RoundTripsScalars) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8().value(), 0xab);
+  EXPECT_EQ(r.u32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBuffer, RoundTripsStringsAndBlobs) {
+  ByteWriter w;
+  w.str("app_domain==\"WebCom\"");
+  w.blob(Bytes{1, 2, 3});
+  w.str("");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str().value(), "app_domain==\"WebCom\"");
+  EXPECT_EQ(r.blob().value(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str().value(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBuffer, RawAppendsWithoutPrefix) {
+  ByteWriter w;
+  w.raw(Bytes{9, 8});
+  EXPECT_EQ(w.bytes(), (Bytes{9, 8}));
+}
+
+TEST(ByteBuffer, TruncatedScalarFails) {
+  ByteWriter w;
+  w.u8(1);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.u32().ok() == false);
+}
+
+TEST(ByteBuffer, TruncatedStringPayloadFails) {
+  ByteWriter w;
+  w.u32(100);  // length prefix promising 100 bytes that never arrive
+  ByteReader r(w.bytes());
+  auto s = r.str();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "wire");
+}
+
+TEST(ByteBuffer, ReadingPastEndFailsNotCrashes) {
+  Bytes empty;
+  ByteReader r(empty);
+  EXPECT_FALSE(r.u8().ok());
+  EXPECT_FALSE(r.u64().ok());
+  EXPECT_FALSE(r.blob().ok());
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteBuffer, TakeMovesBufferOut) {
+  ByteWriter w;
+  w.u8(5);
+  Bytes b = w.take();
+  EXPECT_EQ(b, (Bytes{5}));
+}
+
+}  // namespace
+}  // namespace mwsec::util

@@ -1,0 +1,83 @@
+#include "util/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mwsec::util {
+namespace {
+
+TEST(Hex, EncodesKnownBytes) {
+  EXPECT_EQ(hex_encode(Bytes{0x00, 0xff, 0x10}), "00ff10");
+  EXPECT_EQ(hex_encode(Bytes{}), "");
+}
+
+TEST(Hex, DecodesUpperAndLower) {
+  auto r = hex_decode("DEADbeef");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_FALSE(hex_decode("abc").ok());
+}
+
+TEST(Hex, RejectsNonHexCharacters) {
+  EXPECT_FALSE(hex_decode("zz").ok());
+}
+
+TEST(Base64, KnownVectors) {
+  // RFC 4648 test vectors.
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeKnownVectors) {
+  auto r = base64_decode("Zm9vYmFy");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(to_string(*r), "foobar");
+}
+
+TEST(Base64, DecodeIgnoresWhitespace) {
+  auto r = base64_decode("Zm9v\nYmFy");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(to_string(*r), "foobar");
+}
+
+TEST(Base64, RejectsDataAfterPadding) {
+  EXPECT_FALSE(base64_decode("Zg==Zg").ok());
+}
+
+TEST(Base64, RejectsInvalidCharacters) {
+  EXPECT_FALSE(base64_decode("Zm9v!").ok());
+}
+
+class CodecRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CodecRoundTrip, HexRoundTripsRandomBytes) {
+  Rng rng(GetParam() * 7919 + 1);
+  Bytes data = rng.bytes(GetParam());
+  auto decoded = hex_decode(hex_encode(data));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST_P(CodecRoundTrip, Base64RoundTripsRandomBytes) {
+  Rng rng(GetParam() * 104729 + 3);
+  Bytes data = rng.bytes(GetParam());
+  auto decoded = base64_decode(base64_encode(data));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CodecRoundTrip,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 31, 32, 33, 255,
+                                           256, 1000, 4096));
+
+}  // namespace
+}  // namespace mwsec::util

@@ -1,0 +1,54 @@
+#include "util/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mwsec {
+namespace {
+
+Result<int> parse_positive(int v) {
+  if (v <= 0) return Error::make("not positive", "range");
+  return v;
+}
+
+TEST(Result, OkValueAccess) {
+  auto r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Result, ErrorCarriesMessageAndCode) {
+  auto r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message, "not positive");
+  EXPECT_EQ(r.error().code, "range");
+}
+
+TEST(Result, ValueOrFallsBack) {
+  EXPECT_EQ(parse_positive(3).value_or(9), 3);
+  EXPECT_EQ(parse_positive(0).value_or(9), 9);
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string s = std::move(r).take();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Result, VoidSpecialisation) {
+  Status ok = ok_status();
+  EXPECT_TRUE(ok.ok());
+  Status bad = Error::make("boom");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().message, "boom");
+}
+
+TEST(Result, BoolConversion) {
+  EXPECT_TRUE(static_cast<bool>(parse_positive(1)));
+  EXPECT_FALSE(static_cast<bool>(parse_positive(0)));
+}
+
+}  // namespace
+}  // namespace mwsec

@@ -1,0 +1,95 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mwsec::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(5);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    auto v = rng.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    hit_lo |= (v == 3);
+    hit_hi |= (v == 6);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(Rng, BytesHasRequestedLength) {
+  Rng rng(17);
+  EXPECT_EQ(rng.bytes(0).size(), 0u);
+  EXPECT_EQ(rng.bytes(7).size(), 7u);
+  EXPECT_EQ(rng.bytes(64).size(), 64u);
+}
+
+TEST(Rng, IdentifierShape) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    auto id = rng.identifier(8);
+    ASSERT_EQ(id.size(), 8u);
+    EXPECT_TRUE(id[0] >= 'a' && id[0] <= 'z');
+    for (char c : id) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9'));
+    }
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (parent.next() == child.next());
+  EXPECT_LT(same, 4);
+}
+
+}  // namespace
+}  // namespace mwsec::util

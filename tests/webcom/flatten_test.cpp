@@ -1,0 +1,175 @@
+#include "webcom/flatten.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "webcom/engine.hpp"
+
+namespace mwsec::webcom {
+namespace {
+
+const OperationRegistry& reg() {
+  static OperationRegistry r = OperationRegistry::with_builtins();
+  return r;
+}
+
+/// sub: add(x, step) — one entry (x), `step` a literal.
+Graph adder(const std::string& step) {
+  Graph sub;
+  NodeId in = sub.add_node("in", "const", 1);
+  NodeId inc = sub.add_node("inc", "add", 2);
+  sub.connect(in, inc, 0).ok();
+  sub.set_literal(inc, 1, step).ok();
+  sub.set_exit(inc).ok();
+  sub.add_entry(in, 0).ok();
+  return sub;
+}
+
+TEST(Flatten, NoCondensationsIsStructurallyEquivalent) {
+  Graph g;
+  NodeId a = g.add_constant("a", "1");
+  NodeId b = g.add_node("b", "add", 2);
+  g.connect(a, b, 0).ok();
+  g.set_literal(b, 1, "2").ok();
+  g.set_exit(b).ok();
+  EXPECT_FALSE(has_condensations(g));
+  auto flat = flatten(g);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->nodes().size(), 2u);
+  EXPECT_EQ(evaluate(*flat, reg()).value(), evaluate(g, reg()).value());
+}
+
+TEST(Flatten, SingleCondensation) {
+  Graph g;
+  NodeId c = g.add_constant("c", "41");
+  NodeId box = g.add_condensed("box", adder("1"));
+  g.connect(c, box, 0).ok();
+  g.set_exit(box).ok();
+  EXPECT_TRUE(has_condensations(g));
+
+  auto flat = flatten(g);
+  ASSERT_TRUE(flat.ok()) << flat.error().message;
+  EXPECT_FALSE(has_condensations(*flat));
+  EXPECT_EQ(flat->nodes().size(), 3u);  // c + in + inc
+  EXPECT_EQ(evaluate(*flat, reg()).value(), "42");
+  // Spliced names carry the condensation prefix.
+  bool found = false;
+  for (const auto& node : flat->nodes()) {
+    if (node.name == "box/inc") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Flatten, LiteralBoundOnCondensedPort) {
+  Graph g;
+  NodeId box = g.add_condensed("box", adder("5"));
+  g.set_literal(box, 0, "10").ok();
+  g.set_exit(box).ok();
+  auto flat = flatten(g);
+  ASSERT_TRUE(flat.ok()) << flat.error().message;
+  EXPECT_EQ(evaluate(*flat, reg()).value(), "15");
+}
+
+TEST(Flatten, NestedCondensations) {
+  Graph middle;
+  NodeId min_ = middle.add_node("min", "const", 1);
+  NodeId mbox = middle.add_condensed("inner", adder("1"));
+  middle.connect(min_, mbox, 0).ok();
+  middle.set_exit(mbox).ok();
+  middle.add_entry(min_, 0).ok();
+
+  Graph outer;
+  NodeId c = outer.add_constant("c", "40");
+  NodeId obox = outer.add_condensed("outer", middle);
+  NodeId plus1 = outer.add_node("plus1", "add", 2);
+  outer.connect(c, obox, 0).ok();
+  outer.connect(obox, plus1, 0).ok();
+  outer.set_literal(plus1, 1, "1").ok();
+  outer.set_exit(plus1).ok();
+
+  auto flat = flatten(outer);
+  ASSERT_TRUE(flat.ok()) << flat.error().message;
+  EXPECT_FALSE(has_condensations(*flat));
+  EXPECT_EQ(evaluate(*flat, reg()).value(), "42");
+}
+
+TEST(Flatten, CondensedResultFansOut) {
+  Graph g;
+  NodeId c = g.add_constant("c", "1");
+  NodeId box = g.add_condensed("box", adder("1"));
+  g.connect(c, box, 0).ok();
+  NodeId sum = g.add_node("sum", "add", 2);
+  g.connect(box, sum, 0).ok();
+  g.connect(box, sum, 1).ok();  // both ports from the condensation
+  g.set_exit(sum).ok();
+  auto flat = flatten(g);
+  ASSERT_TRUE(flat.ok()) << flat.error().message;
+  EXPECT_EQ(evaluate(*flat, reg()).value(), "4");
+}
+
+TEST(Flatten, TargetInheritance) {
+  Graph sub = adder("1");
+  // Give the inner "inc" node its own target; "in" has none.
+  SecurityTarget own;
+  own.domain = "Inner";
+  sub.set_target(1, own).ok();
+
+  Graph g;
+  NodeId box = g.add_condensed("box", std::move(sub));
+  g.set_literal(box, 0, "1").ok();
+  SecurityTarget outer;
+  outer.domain = "Outer";
+  g.set_target(box, outer).ok();
+  g.set_exit(box).ok();
+
+  auto flat = flatten(g);
+  ASSERT_TRUE(flat.ok());
+  for (const auto& node : flat->nodes()) {
+    ASSERT_TRUE(node.target.has_value()) << node.name;
+    if (node.name == "box/inc") {
+      EXPECT_EQ(node.target->domain, "Inner");  // own target kept
+    } else {
+      EXPECT_EQ(node.target->domain, "Outer");  // inherited
+    }
+  }
+}
+
+TEST(Flatten, InvalidInputRejected) {
+  Graph g;  // empty
+  EXPECT_FALSE(flatten(g).ok());
+}
+
+TEST(Flatten, EquivalenceOnRandomGraphsWithCondensations) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g;
+    std::vector<NodeId> nodes;
+    nodes.push_back(g.add_constant("c0", std::to_string(rng.below(50))));
+    nodes.push_back(g.add_constant("c1", std::to_string(rng.below(50))));
+    for (int i = 0; i < 6; ++i) {
+      if (rng.chance(0.4)) {
+        NodeId box = g.add_condensed("box" + std::to_string(i),
+                                     adder(std::to_string(rng.below(9))));
+        g.connect(nodes[rng.index(nodes.size())], box, 0).ok();
+        nodes.push_back(box);
+      } else {
+        NodeId s = g.add_node("n" + std::to_string(i), "add", 2);
+        g.connect(nodes[rng.index(nodes.size())], s, 0).ok();
+        g.connect(nodes[rng.index(nodes.size())], s, 1).ok();
+        nodes.push_back(s);
+      }
+    }
+    g.set_exit(nodes.back()).ok();
+
+    auto direct = evaluate(g, reg());  // engine evaporates on the fly
+    auto flat = flatten(g);
+    ASSERT_TRUE(flat.ok()) << flat.error().message;
+    auto flattened = evaluate(*flat, reg());
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(flattened.ok());
+    EXPECT_EQ(*direct, *flattened) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace mwsec::webcom

@@ -1,0 +1,180 @@
+// Gateway tests: Figure 3's untrusted-principal submission path.
+#include "webcom/gateway.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::webcom {
+namespace {
+
+using namespace std::chrono_literals;
+
+crypto::KeyRing& ring() {
+  static crypto::KeyRing r(/*seed=*/355, /*modulus_bits=*/256);
+  return r;
+}
+
+struct Rig {
+  net::Network network;
+  std::unique_ptr<Master> master;
+  std::unique_ptr<Client> client;
+  std::unique_ptr<Gateway> gateway;
+
+  Rig() {
+    MasterOptions mopts;
+    mopts.security_enabled = false;
+    mopts.task_timeout = 500ms;
+    master = std::make_unique<Master>(network, "m", ring().identity("KMaster"),
+                                      mopts);
+    ClientOptions copts;
+    copts.security_enabled = false;
+    client = std::make_unique<Client>(network, "c0", ring().identity("Kc0"),
+                                      OperationRegistry::with_builtins(),
+                                      copts);
+    EXPECT_TRUE(client->start().ok());
+    ClientInfo info;
+    info.endpoint = "c0";
+    info.principal = ring().principal("Kc0");
+    EXPECT_TRUE(master->attach_client(info).ok());
+
+    gateway = std::make_unique<Gateway>(network, "gw", *master);
+    // Trust root: Kalice may submit the "payroll" graph, nothing else.
+    gateway->store()
+        .add_policy_text(
+            "Authorizer: POLICY\nLicensees: \"" + ring().principal("Kalice") +
+            "\"\nConditions: app_domain == \"WebCom\" && "
+            "Operation == \"submit\" && Graph == \"payroll\";\n")
+        .ok();
+    EXPECT_TRUE(gateway->start().ok());
+  }
+};
+
+Graph small_graph() {
+  Graph g;
+  NodeId a = g.add_node("a", "add", 2);
+  g.set_literal(a, 0, "40").ok();
+  g.set_literal(a, 1, "2").ok();
+  g.set_exit(a).ok();
+  return g;
+}
+
+SubmitRequest make_request(const std::string& signer,
+                           const std::string& graph_name) {
+  SubmitRequest req;
+  req.graph_name = graph_name;
+  req.graph_bytes = encode_graph(small_graph());
+  req.sign(ring().identity(signer));
+  return req;
+}
+
+TEST(Gateway, AuthorisedSubmissionExecutes) {
+  Rig rig;
+  auto submitter = rig.network.open("alice-box").take();
+  auto reply = submit_graph(*submitter, "gw", make_request("Kalice", "payroll"));
+  ASSERT_TRUE(reply.ok()) << reply.error().message;
+  EXPECT_TRUE(reply->ok) << reply->value;
+  EXPECT_EQ(reply->value, "42");
+  EXPECT_EQ(rig.gateway->stats().accepted, 1u);
+}
+
+TEST(Gateway, UnauthorisedSubmitterRejected) {
+  Rig rig;
+  auto submitter = rig.network.open("mallory-box").take();
+  auto reply = submit_graph(*submitter, "gw", make_request("Kmallory", "payroll"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->code, "denied");
+}
+
+TEST(Gateway, AuthorisedSubmitterWrongGraphRejected) {
+  Rig rig;
+  auto submitter = rig.network.open("alice-box2").take();
+  auto reply = submit_graph(*submitter, "gw", make_request("Kalice", "reactor"));
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->code, "denied");
+}
+
+TEST(Gateway, TamperedGraphRejected) {
+  Rig rig;
+  auto submitter = rig.network.open("alice-box3").take();
+  auto req = make_request("Kalice", "payroll");
+  // Swap the graph after signing: the hash in the signed body mismatches.
+  Graph other;
+  NodeId n = other.add_node("n", "upper", 1);
+  other.set_literal(n, 0, "sneaky").ok();
+  other.set_exit(n).ok();
+  req.graph_bytes = encode_graph(other);
+  auto reply = submit_graph(*submitter, "gw", req);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->ok);
+  EXPECT_NE(reply->value.find("signature"), std::string::npos);
+}
+
+TEST(Gateway, DelegatedSubmissionAuthority) {
+  // Alice delegates her payroll-submission right to Bob (Figure 4 style);
+  // Bob submits with the credential attached.
+  Rig rig;
+  auto cred = keynote::AssertionBuilder()
+                  .authorizer("\"" + ring().principal("Kalice") + "\"")
+                  .licensees("\"" + ring().principal("Kbob") + "\"")
+                  .conditions("app_domain == \"WebCom\" && "
+                              "Operation == \"submit\" && Graph == \"payroll\"")
+                  .build_signed(ring().identity("Kalice"))
+                  .take();
+  auto submitter = rig.network.open("bob-box").take();
+  auto req = make_request("Kbob", "payroll");
+  req.credentials = cred.to_text();
+  req.sign(ring().identity("Kbob"));  // re-sign: credentials are in the body
+  auto reply = submit_graph(*submitter, "gw", req);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->ok) << reply->value;
+  EXPECT_EQ(reply->value, "42");
+}
+
+TEST(Gateway, MalformedPayloadAnswered) {
+  Rig rig;
+  auto submitter = rig.network.open("fuzz-box").take();
+  ASSERT_TRUE(submitter->send("gw", kSubjectSubmit, util::Bytes{9, 9}).ok());
+  auto deadline = std::chrono::steady_clock::now() + 2s;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto m = submitter->receive(50ms);
+    if (m.has_value() && m->subject == kSubjectSubmitResult) {
+      auto reply = SubmitReply::decode(m->payload);
+      ASSERT_TRUE(reply.ok());
+      EXPECT_FALSE(reply->ok);
+      return;
+    }
+  }
+  FAIL() << "gateway never replied";
+}
+
+TEST(Gateway, GraphExecutionErrorsAreReported) {
+  Rig rig;
+  auto submitter = rig.network.open("alice-box4").take();
+  SubmitRequest req;
+  req.graph_name = "payroll";
+  Graph bad;
+  NodeId n = bad.add_node("n", "no-such-op", 0);
+  bad.set_exit(n).ok();
+  req.graph_bytes = encode_graph(bad);
+  req.sign(ring().identity("Kalice"));
+  auto reply = submit_graph(*submitter, "gw", req);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->ok);
+  EXPECT_EQ(reply->code, "ops");
+}
+
+TEST(GatewayWire, RequestRoundTrip) {
+  auto req = make_request("Kalice", "payroll");
+  req.credentials = "Authorizer: POLICY\nConditions: true\n";
+  req.sign(ring().identity("Kalice"));
+  auto decoded = SubmitRequest::decode(req.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->submitter, req.submitter);
+  EXPECT_EQ(decoded->graph_name, "payroll");
+  EXPECT_EQ(decoded->graph_bytes, req.graph_bytes);
+  EXPECT_TRUE(decoded->verify().ok());
+}
+
+}  // namespace
+}  // namespace mwsec::webcom

@@ -1,0 +1,118 @@
+#include "webcom/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "webcom/engine.hpp"
+
+namespace mwsec::webcom {
+namespace {
+
+Graph sample_graph() {
+  Graph sub;
+  NodeId in = sub.add_node("in", "const", 1);
+  NodeId h = sub.add_node("h", "sha.hex", 1);
+  sub.connect(in, h, 0).ok();
+  sub.set_exit(h).ok();
+  sub.add_entry(in, 0).ok();
+
+  Graph g;
+  NodeId c = g.add_constant("c", "payload");
+  NodeId box = g.add_condensed("box", sub);
+  NodeId len = g.add_node("len", "len", 1);
+  g.connect(c, box, 0).ok();
+  g.connect(box, len, 0).ok();
+  SecurityTarget t;
+  t.object_type = "Digest";
+  t.permission = "hash";
+  t.domain = "Finance";
+  g.set_target(box, t).ok();
+  g.set_exit(len).ok();
+  return g;
+}
+
+TEST(GraphIo, RoundTripPreservesStructure) {
+  Graph g = sample_graph();
+  auto decoded = decode_graph(encode_graph(g));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_TRUE(graphs_equal(g, *decoded));
+}
+
+TEST(GraphIo, RoundTripPreservesSemantics) {
+  Graph g = sample_graph();
+  auto decoded = decode_graph(encode_graph(g)).take();
+  auto registry = OperationRegistry::with_builtins();
+  auto v1 = evaluate(g, registry);
+  auto v2 = evaluate(decoded, registry);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v1, *v2);
+  EXPECT_EQ(*v1, "64");  // sha256 hex digest length
+}
+
+TEST(GraphIo, GraphsEqualDetectsDifferences) {
+  Graph a = sample_graph();
+  Graph b = sample_graph();
+  EXPECT_TRUE(graphs_equal(a, b));
+  b.set_literal(0, 0, "other").ok();
+  EXPECT_FALSE(graphs_equal(a, b));
+  Graph c = sample_graph();
+  c.set_target(2, SecurityTarget{"X", "", "", "", ""}).ok();
+  EXPECT_FALSE(graphs_equal(a, c));
+}
+
+TEST(GraphIo, RejectsBadVersion) {
+  auto bytes = encode_graph(sample_graph());
+  bytes[0] = 99;
+  EXPECT_FALSE(decode_graph(bytes).ok());
+}
+
+TEST(GraphIo, RejectsTruncation) {
+  auto bytes = encode_graph(sample_graph());
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    std::size_t cut = 1 + rng.index(bytes.size() - 1);
+    util::Bytes truncated(bytes.begin(),
+                          bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(decode_graph(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(GraphIo, RejectsTrailingBytes) {
+  auto bytes = encode_graph(sample_graph());
+  bytes.push_back(0);
+  EXPECT_FALSE(decode_graph(bytes).ok());
+}
+
+TEST(GraphIo, FuzzDecoderNeverCrashes) {
+  util::Rng rng(1337);
+  for (int i = 0; i < 2000; ++i) {
+    auto junk = rng.bytes(rng.below(200));
+    (void)decode_graph(junk);
+  }
+  // Mutations of a valid encoding.
+  auto bytes = encode_graph(sample_graph());
+  for (int i = 0; i < 2000; ++i) {
+    auto mutated = bytes;
+    mutated[rng.index(mutated.size())] =
+        static_cast<std::uint8_t>(rng.below(256));
+    auto decoded = decode_graph(mutated);
+    if (decoded.ok()) {
+      // Anything that decodes must re-encode and decode identically.
+      auto again = decode_graph(encode_graph(*decoded));
+      ASSERT_TRUE(again.ok());
+      EXPECT_TRUE(graphs_equal(*decoded, *again));
+    }
+  }
+  SUCCEED();
+}
+
+TEST(GraphIo, EmptyGraphRoundTrips) {
+  Graph g;  // invalid for execution, but serialisable
+  auto decoded = decode_graph(encode_graph(g));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(graphs_equal(g, *decoded));
+}
+
+}  // namespace
+}  // namespace mwsec::webcom

@@ -1,0 +1,144 @@
+#include "webcom/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::webcom {
+namespace {
+
+Graph diamond() {
+  // a -> b, a -> c, (b, c) -> d
+  Graph g;
+  NodeId a = g.add_constant("a", "1");
+  NodeId b = g.add_node("b", "f", 1);
+  NodeId c = g.add_node("c", "g", 1);
+  NodeId d = g.add_node("d", "h", 2);
+  EXPECT_TRUE(g.connect(a, b, 0).ok());
+  EXPECT_TRUE(g.connect(a, c, 0).ok());
+  EXPECT_TRUE(g.connect(b, d, 0).ok());
+  EXPECT_TRUE(g.connect(c, d, 1).ok());
+  EXPECT_TRUE(g.set_exit(d).ok());
+  return g;
+}
+
+TEST(Graph, ValidDiamondPassesValidation) {
+  EXPECT_TRUE(diamond().validate().ok());
+}
+
+TEST(Graph, EmptyGraphInvalid) {
+  Graph g;
+  EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(Graph, MissingExitInvalid) {
+  Graph g;
+  g.add_constant("a", "1");
+  EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(Graph, UnboundPortInvalid) {
+  Graph g;
+  NodeId a = g.add_node("a", "f", 1);  // port never bound
+  g.set_exit(a).ok();
+  auto s = g.validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().message.find("unbound"), std::string::npos);
+}
+
+TEST(Graph, MultiplyBoundPortInvalid) {
+  Graph g;
+  NodeId a = g.add_constant("a", "1");
+  NodeId b = g.add_constant("b", "2");
+  NodeId c = g.add_node("c", "f", 1);
+  g.connect(a, c, 0).ok();
+  g.connect(b, c, 0).ok();
+  g.set_exit(c).ok();
+  auto s = g.validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().message.find("multiply"), std::string::npos);
+}
+
+TEST(Graph, CycleDetected) {
+  Graph g;
+  NodeId a = g.add_node("a", "f", 1);
+  NodeId b = g.add_node("b", "g", 1);
+  g.connect(a, b, 0).ok();
+  g.connect(b, a, 0).ok();
+  g.set_exit(b).ok();
+  EXPECT_FALSE(g.topological_order().ok());
+  EXPECT_FALSE(g.validate().ok());
+}
+
+TEST(Graph, ConnectValidatesRanges) {
+  Graph g;
+  NodeId a = g.add_constant("a", "1");
+  NodeId b = g.add_node("b", "f", 1);
+  EXPECT_FALSE(g.connect(a, 99, 0).ok());
+  EXPECT_FALSE(g.connect(99, b, 0).ok());
+  EXPECT_FALSE(g.connect(a, b, 5).ok());
+  EXPECT_FALSE(g.set_literal(99, 0, "x").ok());
+  EXPECT_FALSE(g.set_literal(b, 5, "x").ok());
+  EXPECT_FALSE(g.set_exit(99).ok());
+  EXPECT_FALSE(g.set_target(99, {}).ok());
+}
+
+TEST(Graph, ProducersAndConsumers) {
+  Graph g = diamond();
+  auto producers = g.producers_of(3);
+  ASSERT_EQ(producers.size(), 2u);
+  EXPECT_EQ(producers[0], 1u);
+  EXPECT_EQ(producers[1], 2u);
+  auto consumers = g.consumers_of(0);
+  EXPECT_EQ(consumers.size(), 2u);
+}
+
+TEST(Graph, TopologicalOrderRespectsArcs) {
+  Graph g = diamond();
+  auto order = g.topological_order().take();
+  std::vector<std::size_t> pos(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const auto& arc : g.arcs()) {
+    EXPECT_LT(pos[arc.from], pos[arc.to]);
+  }
+}
+
+TEST(Graph, SecurityTargetAttachment) {
+  Graph g = diamond();
+  SecurityTarget t;
+  t.object_type = "SalariesDB";
+  t.permission = "read";
+  t.domain = "Finance";
+  EXPECT_TRUE(g.set_target(1, t).ok());
+  ASSERT_TRUE(g.nodes()[1].target.has_value());
+  EXPECT_TRUE(g.nodes()[1].target->constrained());
+  EXPECT_FALSE(SecurityTarget{}.constrained());
+}
+
+TEST(Graph, CondensedNodeValidatesSubgraph) {
+  Graph sub;
+  NodeId in = sub.add_node("in", "const", 1);
+  NodeId out = sub.add_node("out", "f", 1);
+  sub.connect(in, out, 0).ok();
+  sub.set_exit(out).ok();
+  sub.add_entry(in, 0).ok();
+
+  Graph g;
+  NodeId c = g.add_constant("c", "41");
+  NodeId cond = g.add_condensed("boxed", sub);
+  EXPECT_EQ(g.nodes()[cond].arity, 1u);
+  g.connect(c, cond, 0).ok();
+  g.set_exit(cond).ok();
+  EXPECT_TRUE(g.validate().ok());
+}
+
+TEST(Graph, CondensedNodeWithBrokenSubgraphInvalid) {
+  Graph sub;  // no exit, no nodes
+  Graph g;
+  NodeId cond = g.add_condensed("bad", sub);
+  g.set_exit(cond).ok();
+  auto s = g.validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().message.find("condensed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mwsec::webcom

@@ -1,0 +1,92 @@
+#include "webcom/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::webcom {
+namespace {
+
+TEST(Messages, TaskRoundTrip) {
+  TaskMessage m;
+  m.task_id = 42;
+  m.node_name = "pay";
+  m.operation = "salaries.read";
+  m.inputs = {"Alice", "2004-06"};
+  m.target.object_type = "SalariesDB";
+  m.target.permission = "read";
+  m.target.domain = "Finance";
+  m.target.role = "Manager";
+  m.target.user = "Bob";
+  m.master_principal = "rsa-hex:00aa";
+  m.master_credentials = "Authorizer: POLICY\nConditions: true\n";
+
+  auto decoded = TaskMessage::decode(m.encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded->task_id, 42u);
+  EXPECT_EQ(decoded->node_name, "pay");
+  EXPECT_EQ(decoded->operation, "salaries.read");
+  EXPECT_EQ(decoded->inputs, m.inputs);
+  EXPECT_EQ(decoded->target.object_type, "SalariesDB");
+  EXPECT_EQ(decoded->target.user, "Bob");
+  EXPECT_EQ(decoded->master_principal, "rsa-hex:00aa");
+  EXPECT_EQ(decoded->master_credentials, m.master_credentials);
+}
+
+TEST(Messages, TaskWithEmptyFieldsRoundTrips) {
+  TaskMessage m;
+  auto decoded = TaskMessage::decode(m.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->inputs.size(), 0u);
+  EXPECT_FALSE(decoded->target.constrained());
+}
+
+TEST(Messages, TaskRejectsTruncation) {
+  TaskMessage m;
+  m.inputs = {"x"};
+  auto bytes = m.encode();
+  for (std::size_t cut = 1; cut < bytes.size(); cut += 7) {
+    util::Bytes truncated(bytes.begin(),
+                          bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(TaskMessage::decode(truncated).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(Messages, TaskRejectsTrailingBytes) {
+  TaskMessage m;
+  auto bytes = m.encode();
+  bytes.push_back(0);
+  EXPECT_FALSE(TaskMessage::decode(bytes).ok());
+}
+
+TEST(Messages, ResultRoundTrip) {
+  TaskResultMessage m;
+  m.task_id = 7;
+  m.ok = false;
+  m.value = "NO_PERMISSION";
+  m.code = "denied";
+  auto decoded = TaskResultMessage::decode(m.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->task_id, 7u);
+  EXPECT_FALSE(decoded->ok);
+  EXPECT_EQ(decoded->value, "NO_PERMISSION");
+  EXPECT_EQ(decoded->code, "denied");
+}
+
+TEST(Messages, ResultSuccessRoundTrip) {
+  TaskResultMessage m;
+  m.task_id = 9;
+  m.ok = true;
+  m.value = "42";
+  auto decoded = TaskResultMessage::decode(m.encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->ok);
+  EXPECT_EQ(decoded->value, "42");
+  EXPECT_TRUE(decoded->code.empty());
+}
+
+TEST(Messages, ResultRejectsGarbage) {
+  EXPECT_FALSE(TaskResultMessage::decode(util::Bytes{1, 2, 3}).ok());
+  EXPECT_FALSE(TaskResultMessage::decode({}).ok());
+}
+
+}  // namespace
+}  // namespace mwsec::webcom

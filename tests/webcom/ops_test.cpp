@@ -1,0 +1,72 @@
+#include "webcom/ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::webcom {
+namespace {
+
+TEST(Ops, BuiltinsPresent) {
+  auto r = OperationRegistry::with_builtins();
+  for (const char* name : {"const", "concat", "add", "sub", "mul", "sum",
+                           "upper", "len", "if", "sha.hex"}) {
+    EXPECT_TRUE(r.has(name)) << name;
+  }
+  EXPECT_FALSE(r.has("teleport"));
+}
+
+TEST(Ops, Arithmetic) {
+  auto r = OperationRegistry::with_builtins();
+  EXPECT_EQ(r.invoke("add", {"2", "3"}).value(), "5");
+  EXPECT_EQ(r.invoke("sub", {"2", "3"}).value(), "-1");
+  EXPECT_EQ(r.invoke("mul", {"-4", "3"}).value(), "-12");
+  EXPECT_EQ(r.invoke("sum", {"1", "2", "3", "4"}).value(), "10");
+  EXPECT_EQ(r.invoke("sum", {}).value(), "0");
+}
+
+TEST(Ops, ArithmeticRejectsGarbage) {
+  auto r = OperationRegistry::with_builtins();
+  EXPECT_FALSE(r.invoke("add", {"two", "3"}).ok());
+  EXPECT_FALSE(r.invoke("add", {"2"}).ok());
+  EXPECT_FALSE(r.invoke("add", {"2", "3", "4"}).ok());
+  EXPECT_FALSE(r.invoke("sum", {"1", "x"}).ok());
+}
+
+TEST(Ops, Strings) {
+  auto r = OperationRegistry::with_builtins();
+  EXPECT_EQ(r.invoke("concat", {"foo", "bar", "!"}).value(), "foobar!");
+  EXPECT_EQ(r.invoke("concat", {}).value(), "");
+  EXPECT_EQ(r.invoke("upper", {"Salaries"}).value(), "SALARIES");
+  EXPECT_EQ(r.invoke("len", {"abcd"}).value(), "4");
+}
+
+TEST(Ops, Conditional) {
+  auto r = OperationRegistry::with_builtins();
+  EXPECT_EQ(r.invoke("if", {"true", "t", "f"}).value(), "t");
+  EXPECT_EQ(r.invoke("if", {"false", "t", "f"}).value(), "f");
+  EXPECT_EQ(r.invoke("if", {"banana", "t", "f"}).value(), "f");
+}
+
+TEST(Ops, ShaMatchesCryptoModule) {
+  auto r = OperationRegistry::with_builtins();
+  EXPECT_EQ(r.invoke("sha.hex", {"abc"}).value(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Ops, UnknownOperationErrors) {
+  auto r = OperationRegistry::with_builtins();
+  auto v = r.invoke("warp", {});
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code, "ops");
+}
+
+TEST(Ops, CustomOperationsRegister) {
+  OperationRegistry r;
+  r.add("greet", [](const std::vector<Value>& in) -> mwsec::Result<Value> {
+    return "hello " + (in.empty() ? "world" : in[0]);
+  });
+  EXPECT_EQ(r.invoke("greet", {"webcom"}).value(), "hello webcom");
+  EXPECT_EQ(r.names(), std::vector<std::string>{"greet"});
+}
+
+}  // namespace
+}  // namespace mwsec::webcom

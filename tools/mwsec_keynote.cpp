@@ -1,0 +1,196 @@
+// mwsec-keynote — command-line front end for the KeyNote engine, shaped
+#include <chrono>
+// after the classic `keynote` utility that shipped with the reference
+// implementation the paper used.
+//
+//   mwsec-keynote keygen <basename> [bits]
+//       write <basename>.pub (principal string) and <basename>.key
+//       (private key; keep it secret).
+//   mwsec-keynote sign <assertion-file> <private-key-file>
+//       sign the assertion (its Authorizer must be the matching public
+//       key) and print the signed assertion.
+//   mwsec-keynote verify <assertion-file>
+//       check the signature; exits 0 iff valid.
+//   mwsec-keynote query -p <policy-file> [-c <credential-file>]...
+//                       -a <authorizer>... [attr=value]...
+//       evaluate; prints the compliance value, exits 0 iff _MAX_TRUST.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "crypto/keys.hpp"
+#include "crypto/rsa.hpp"
+#include "keynote/query.hpp"
+#include "util/rng.hpp"
+
+using namespace mwsec;
+
+namespace {
+
+mwsec::Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error::make("cannot open " + path, "io");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+mwsec::Status write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Error::make("cannot write " + path, "io");
+  out << body;
+  return {};
+}
+
+int fail(const Error& e) {
+  std::fprintf(stderr, "mwsec-keynote: %s\n", e.message.c_str());
+  return 2;
+}
+
+int cmd_keygen(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: mwsec-keynote keygen <basename> [bits]\n");
+    return 2;
+  }
+  std::size_t bits = args.size() > 1 ? std::stoul(args[1]) : 512;
+  // Seed from the OS entropy-ish sources available offline.
+  util::Rng rng(static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count()));
+  auto keys = crypto::rsa_generate(rng, bits);
+  if (auto s = write_file(args[0] + ".pub",
+                          crypto::encode_public_key(keys.pub) + "\n");
+      !s.ok()) {
+    return fail(s.error());
+  }
+  if (auto s = write_file(args[0] + ".key",
+                          crypto::encode_private_key(keys.priv) + "\n");
+      !s.ok()) {
+    return fail(s.error());
+  }
+  std::printf("wrote %s.pub and %s.key (%zu-bit modulus)\n", args[0].c_str(),
+              args[0].c_str(), bits);
+  return 0;
+}
+
+int cmd_sign(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: mwsec-keynote sign <assertion-file> <key-file>\n");
+    return 2;
+  }
+  auto text = read_file(args[0]);
+  if (!text.ok()) return fail(text.error());
+  auto key_text = read_file(args[1]);
+  if (!key_text.ok()) return fail(key_text.error());
+  auto priv = crypto::decode_private_key(*key_text);
+  if (!priv.ok()) return fail(priv.error());
+
+  auto assertion = keynote::Assertion::parse(*text);
+  if (!assertion.ok()) return fail(assertion.error());
+  // Reconstruct the identity: principal from the private key's modulus
+  // must match the assertion's authorizer.
+  crypto::RsaPublicKey pub{priv->n, crypto::BigInt(65537)};
+  crypto::Identity identity("cli", crypto::RsaKeyPair{pub, *priv});
+  if (auto s = assertion.value().sign_with(identity); !s.ok()) {
+    return fail(s.error());
+  }
+  std::fputs(assertion->to_text().c_str(), stdout);
+  return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    std::fprintf(stderr, "usage: mwsec-keynote verify <assertion-file>\n");
+    return 2;
+  }
+  auto text = read_file(args[0]);
+  if (!text.ok()) return fail(text.error());
+  auto assertion = keynote::Assertion::parse(*text);
+  if (!assertion.ok()) return fail(assertion.error());
+  auto v = assertion->verify();
+  if (v.ok()) {
+    std::printf("signature OK (authorizer %.24s...)\n",
+                assertion->authorizer().c_str());
+    return 0;
+  }
+  std::printf("signature INVALID: %s\n", v.error().message.c_str());
+  return 1;
+}
+
+int cmd_query(const std::vector<std::string>& args) {
+  keynote::Session session;
+  bool have_policy = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> mwsec::Result<std::string> {
+      if (i + 1 >= args.size()) {
+        return Error::make("missing argument after " + a, "cli");
+      }
+      return args[++i];
+    };
+    if (a == "-p") {
+      auto path = next();
+      if (!path.ok()) return fail(path.error());
+      auto text = read_file(*path);
+      if (!text.ok()) return fail(text.error());
+      if (auto s = session.add_policy_text(*text); !s.ok()) {
+        return fail(s.error());
+      }
+      have_policy = true;
+    } else if (a == "-c") {
+      auto path = next();
+      if (!path.ok()) return fail(path.error());
+      auto text = read_file(*path);
+      if (!text.ok()) return fail(text.error());
+      if (auto s = session.add_credential_text(*text); !s.ok()) {
+        return fail(s.error());
+      }
+    } else if (a == "-a") {
+      auto principal = next();
+      if (!principal.ok()) return fail(principal.error());
+      session.add_action_authorizer(*principal);
+    } else {
+      auto eq = a.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "mwsec-keynote: expected attr=value, got %s\n",
+                     a.c_str());
+        return 2;
+      }
+      session.add_action_attribute(a.substr(0, eq), a.substr(eq + 1));
+    }
+  }
+  if (!have_policy) {
+    std::fprintf(stderr,
+                 "usage: mwsec-keynote query -p <policy> [-c <cred>]... "
+                 "-a <authorizer>... [attr=value]...\n");
+    return 2;
+  }
+  auto result = session.query();
+  if (!result.ok()) return fail(result.error());
+  std::printf("compliance value: %s\n", result->value_name.c_str());
+  for (const auto& dropped : result->dropped_credentials) {
+    std::fprintf(stderr, "dropped credential: %s\n", dropped.c_str());
+  }
+  return result->authorized() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: mwsec-keynote <keygen|sign|verify|query> ...\n");
+    return 2;
+  }
+  std::string cmd = args[0];
+  args.erase(args.begin());
+  if (cmd == "keygen") return cmd_keygen(args);
+  if (cmd == "sign") return cmd_sign(args);
+  if (cmd == "verify") return cmd_verify(args);
+  if (cmd == "query") return cmd_query(args);
+  std::fprintf(stderr, "mwsec-keynote: unknown command %s\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,145 @@
+// mwsec-translate — policy translation from the command line.
+//
+//   mwsec-translate compile <policy-table-file> [--admin <principal>]
+//       RBAC -> KeyNote: print the Figure 5 POLICY assertion and one
+//       membership credential per user (unsigned, opaque Kuser
+//       principals; pipe through mwsec-keynote sign for real keys).
+//   mwsec-translate synthesize <assertion-bundle-file> [--admin <principal>]
+//       KeyNote -> RBAC: print the reconstructed relation tables.
+//   mwsec-translate map <term> <candidate>... [--threshold t]
+//       similarity-map a permission name onto a target vocabulary.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rbac/model.hpp"
+#include "translate/keynote_to_rbac.hpp"
+#include "translate/rbac_to_keynote.hpp"
+#include "translate/similarity.hpp"
+
+using namespace mwsec;
+
+namespace {
+
+mwsec::Result<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error::make("cannot open " + path, "io");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int fail(const Error& e) {
+  std::fprintf(stderr, "mwsec-translate: %s\n", e.message.c_str());
+  return 2;
+}
+
+std::string pick_admin(std::vector<std::string>& args) {
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == "--admin") {
+      std::string v = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i + 2));
+      return v;
+    }
+  }
+  return "KWebCom";
+}
+
+int cmd_compile(std::vector<std::string> args) {
+  std::string admin = pick_admin(args);
+  if (args.size() != 1) {
+    std::fprintf(stderr,
+                 "usage: mwsec-translate compile <policy-table-file> "
+                 "[--admin <principal>]\n");
+    return 2;
+  }
+  auto text = read_file(args[0]);
+  if (!text.ok()) return fail(text.error());
+  auto policy = rbac::Policy::parse_table(*text);
+  if (!policy.ok()) return fail(policy.error());
+  translate::OpaqueDirectory directory;
+  auto compiled = translate::compile_policy(*policy, admin, directory);
+  if (!compiled.ok()) return fail(compiled.error());
+  std::fputs(compiled->policy.to_text().c_str(), stdout);
+  for (const auto& cred : compiled->membership_credentials) {
+    std::printf("\n%s", cred.to_text().c_str());
+  }
+  return 0;
+}
+
+int cmd_synthesize(std::vector<std::string> args) {
+  std::string admin = pick_admin(args);
+  if (args.size() != 1) {
+    std::fprintf(stderr,
+                 "usage: mwsec-translate synthesize <bundle-file> "
+                 "[--admin <principal>]\n");
+    return 2;
+  }
+  auto text = read_file(args[0]);
+  if (!text.ok()) return fail(text.error());
+  auto bundle = keynote::Assertion::parse_bundle(*text);
+  if (!bundle.ok()) return fail(bundle.error());
+  std::vector<keynote::Assertion> policies, credentials;
+  for (auto& a : *bundle) {
+    (a.is_policy() ? policies : credentials).push_back(a);
+  }
+  translate::OpaqueDirectory directory;
+  auto synth = translate::synthesize_policy(policies, credentials, admin,
+                                            directory);
+  if (!synth.ok()) return fail(synth.error());
+  std::fputs(synth->policy.to_table().c_str(), stdout);
+  for (const auto& u : synth->unresolved) {
+    std::fprintf(stderr, "unresolved: %s\n", u.c_str());
+  }
+  return 0;
+}
+
+int cmd_map(std::vector<std::string> args) {
+  double threshold = 0.5;
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == "--threshold") {
+      threshold = std::stod(args[i + 1]);
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i + 2));
+      break;
+    }
+  }
+  if (args.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: mwsec-translate map <term> <candidate>... "
+                 "[--threshold t]\n");
+    return 2;
+  }
+  std::string term = args[0];
+  std::vector<std::string> candidates(args.begin() + 1, args.end());
+  auto metric = translate::CombinedMetric::standard();
+  auto match = translate::best_match(metric, term, candidates, threshold);
+  if (!match) {
+    std::printf("%s -> (no candidate above %.2f)\n", term.c_str(), threshold);
+    return 1;
+  }
+  std::printf("%s -> %s (score %.2f)\n", term.c_str(),
+              match->candidate.c_str(), match->score);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: mwsec-translate <compile|synthesize|map> ...\n");
+    return 2;
+  }
+  std::string cmd = args[0];
+  args.erase(args.begin());
+  if (cmd == "compile") return cmd_compile(std::move(args));
+  if (cmd == "synthesize") return cmd_synthesize(std::move(args));
+  if (cmd == "map") return cmd_map(std::move(args));
+  std::fprintf(stderr, "mwsec-translate: unknown command %s\n", cmd.c_str());
+  return 2;
+}
