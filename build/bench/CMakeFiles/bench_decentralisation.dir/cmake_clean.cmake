@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_decentralisation.dir/bench_decentralisation.cpp.o"
+  "CMakeFiles/bench_decentralisation.dir/bench_decentralisation.cpp.o.d"
+  "bench_decentralisation"
+  "bench_decentralisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decentralisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

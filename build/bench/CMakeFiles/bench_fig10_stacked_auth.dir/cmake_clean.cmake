@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_stacked_auth.dir/bench_fig10_stacked_auth.cpp.o"
+  "CMakeFiles/bench_fig10_stacked_auth.dir/bench_fig10_stacked_auth.cpp.o.d"
+  "bench_fig10_stacked_auth"
+  "bench_fig10_stacked_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_stacked_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

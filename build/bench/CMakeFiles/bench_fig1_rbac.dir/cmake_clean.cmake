@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_rbac.dir/bench_fig1_rbac.cpp.o"
+  "CMakeFiles/bench_fig1_rbac.dir/bench_fig1_rbac.cpp.o.d"
+  "bench_fig1_rbac"
+  "bench_fig1_rbac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_rbac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_rbac_to_keynote.dir/bench_fig5_rbac_to_keynote.cpp.o"
+  "CMakeFiles/bench_fig5_rbac_to_keynote.dir/bench_fig5_rbac_to_keynote.cpp.o.d"
+  "bench_fig5_rbac_to_keynote"
+  "bench_fig5_rbac_to_keynote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_rbac_to_keynote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_delegation_roundtrip.dir/bench_fig7_delegation_roundtrip.cpp.o"
+  "CMakeFiles/bench_fig7_delegation_roundtrip.dir/bench_fig7_delegation_roundtrip.cpp.o.d"
+  "bench_fig7_delegation_roundtrip"
+  "bench_fig7_delegation_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_delegation_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

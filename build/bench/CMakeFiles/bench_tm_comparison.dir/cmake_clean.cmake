@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tm_comparison.dir/bench_tm_comparison.cpp.o"
+  "CMakeFiles/bench_tm_comparison.dir/bench_tm_comparison.cpp.o.d"
+  "bench_tm_comparison"
+  "bench_tm_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tm_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delegation_lifecycle.dir/delegation_lifecycle.cpp.o"
+  "CMakeFiles/delegation_lifecycle.dir/delegation_lifecycle.cpp.o.d"
+  "delegation_lifecycle"
+  "delegation_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delegation_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ide_palette.dir/ide_palette.cpp.o"
+  "CMakeFiles/ide_palette.dir/ide_palette.cpp.o.d"
+  "ide_palette"
+  "ide_palette.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ide_palette.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_migration.dir/policy_migration.cpp.o"
+  "CMakeFiles/policy_migration.dir/policy_migration.cpp.o.d"
+  "policy_migration"
+  "policy_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

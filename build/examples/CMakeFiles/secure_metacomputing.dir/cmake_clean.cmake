@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_metacomputing.dir/secure_metacomputing.cpp.o"
+  "CMakeFiles/secure_metacomputing.dir/secure_metacomputing.cpp.o.d"
+  "secure_metacomputing"
+  "secure_metacomputing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_metacomputing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spki_delegation.dir/spki_delegation.cpp.o"
+  "CMakeFiles/spki_delegation.dir/spki_delegation.cpp.o.d"
+  "spki_delegation"
+  "spki_delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spki_delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

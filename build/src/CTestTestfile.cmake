@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("keynote")
+subdirs("rbac")
+subdirs("middleware")
+subdirs("translate")
+subdirs("net")
+subdirs("keycom")
+subdirs("stack")
+subdirs("webcom")
+subdirs("ide")
+subdirs("spki")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsec_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/mwsec_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/mwsec_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/mwsec_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/mwsec_crypto.dir/keys.cpp.o"
+  "CMakeFiles/mwsec_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/mwsec_crypto.dir/prime.cpp.o"
+  "CMakeFiles/mwsec_crypto.dir/prime.cpp.o.d"
+  "CMakeFiles/mwsec_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/mwsec_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/mwsec_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/mwsec_crypto.dir/sha256.cpp.o.d"
+  "libmwsec_crypto.a"
+  "libmwsec_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsec_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

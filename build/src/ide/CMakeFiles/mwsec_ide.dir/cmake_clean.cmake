@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsec_ide.dir/palette.cpp.o"
+  "CMakeFiles/mwsec_ide.dir/palette.cpp.o.d"
+  "libmwsec_ide.a"
+  "libmwsec_ide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsec_ide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mwsec_ide.
+# This may be replaced when dependencies are built.

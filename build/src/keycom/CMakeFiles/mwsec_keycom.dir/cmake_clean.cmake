@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsec_keycom.dir/server.cpp.o"
+  "CMakeFiles/mwsec_keycom.dir/server.cpp.o.d"
+  "CMakeFiles/mwsec_keycom.dir/service.cpp.o"
+  "CMakeFiles/mwsec_keycom.dir/service.cpp.o.d"
+  "libmwsec_keycom.a"
+  "libmwsec_keycom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsec_keycom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/keynote/assertion.cpp" "src/keynote/CMakeFiles/mwsec_keynote.dir/assertion.cpp.o" "gcc" "src/keynote/CMakeFiles/mwsec_keynote.dir/assertion.cpp.o.d"
+  "/root/repo/src/keynote/eval.cpp" "src/keynote/CMakeFiles/mwsec_keynote.dir/eval.cpp.o" "gcc" "src/keynote/CMakeFiles/mwsec_keynote.dir/eval.cpp.o.d"
+  "/root/repo/src/keynote/lexer.cpp" "src/keynote/CMakeFiles/mwsec_keynote.dir/lexer.cpp.o" "gcc" "src/keynote/CMakeFiles/mwsec_keynote.dir/lexer.cpp.o.d"
+  "/root/repo/src/keynote/parser.cpp" "src/keynote/CMakeFiles/mwsec_keynote.dir/parser.cpp.o" "gcc" "src/keynote/CMakeFiles/mwsec_keynote.dir/parser.cpp.o.d"
+  "/root/repo/src/keynote/query.cpp" "src/keynote/CMakeFiles/mwsec_keynote.dir/query.cpp.o" "gcc" "src/keynote/CMakeFiles/mwsec_keynote.dir/query.cpp.o.d"
+  "/root/repo/src/keynote/store.cpp" "src/keynote/CMakeFiles/mwsec_keynote.dir/store.cpp.o" "gcc" "src/keynote/CMakeFiles/mwsec_keynote.dir/store.cpp.o.d"
+  "/root/repo/src/keynote/values.cpp" "src/keynote/CMakeFiles/mwsec_keynote.dir/values.cpp.o" "gcc" "src/keynote/CMakeFiles/mwsec_keynote.dir/values.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mwsec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mwsec_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsec_keynote.dir/assertion.cpp.o"
+  "CMakeFiles/mwsec_keynote.dir/assertion.cpp.o.d"
+  "CMakeFiles/mwsec_keynote.dir/eval.cpp.o"
+  "CMakeFiles/mwsec_keynote.dir/eval.cpp.o.d"
+  "CMakeFiles/mwsec_keynote.dir/lexer.cpp.o"
+  "CMakeFiles/mwsec_keynote.dir/lexer.cpp.o.d"
+  "CMakeFiles/mwsec_keynote.dir/parser.cpp.o"
+  "CMakeFiles/mwsec_keynote.dir/parser.cpp.o.d"
+  "CMakeFiles/mwsec_keynote.dir/query.cpp.o"
+  "CMakeFiles/mwsec_keynote.dir/query.cpp.o.d"
+  "CMakeFiles/mwsec_keynote.dir/store.cpp.o"
+  "CMakeFiles/mwsec_keynote.dir/store.cpp.o.d"
+  "CMakeFiles/mwsec_keynote.dir/values.cpp.o"
+  "CMakeFiles/mwsec_keynote.dir/values.cpp.o.d"
+  "libmwsec_keynote.a"
+  "libmwsec_keynote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsec_keynote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

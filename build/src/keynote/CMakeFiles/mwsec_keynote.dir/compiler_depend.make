@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mwsec_keynote.
+# This may be replaced when dependencies are built.

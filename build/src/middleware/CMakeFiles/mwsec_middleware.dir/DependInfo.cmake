@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/middleware/com/catalogue.cpp" "src/middleware/CMakeFiles/mwsec_middleware.dir/com/catalogue.cpp.o" "gcc" "src/middleware/CMakeFiles/mwsec_middleware.dir/com/catalogue.cpp.o.d"
+  "/root/repo/src/middleware/common/audit.cpp" "src/middleware/CMakeFiles/mwsec_middleware.dir/common/audit.cpp.o" "gcc" "src/middleware/CMakeFiles/mwsec_middleware.dir/common/audit.cpp.o.d"
+  "/root/repo/src/middleware/corba/orb.cpp" "src/middleware/CMakeFiles/mwsec_middleware.dir/corba/orb.cpp.o" "gcc" "src/middleware/CMakeFiles/mwsec_middleware.dir/corba/orb.cpp.o.d"
+  "/root/repo/src/middleware/ejb/container.cpp" "src/middleware/CMakeFiles/mwsec_middleware.dir/ejb/container.cpp.o" "gcc" "src/middleware/CMakeFiles/mwsec_middleware.dir/ejb/container.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mwsec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbac/CMakeFiles/mwsec_rbac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsec_middleware.dir/com/catalogue.cpp.o"
+  "CMakeFiles/mwsec_middleware.dir/com/catalogue.cpp.o.d"
+  "CMakeFiles/mwsec_middleware.dir/common/audit.cpp.o"
+  "CMakeFiles/mwsec_middleware.dir/common/audit.cpp.o.d"
+  "CMakeFiles/mwsec_middleware.dir/corba/orb.cpp.o"
+  "CMakeFiles/mwsec_middleware.dir/corba/orb.cpp.o.d"
+  "CMakeFiles/mwsec_middleware.dir/ejb/container.cpp.o"
+  "CMakeFiles/mwsec_middleware.dir/ejb/container.cpp.o.d"
+  "libmwsec_middleware.a"
+  "libmwsec_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsec_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

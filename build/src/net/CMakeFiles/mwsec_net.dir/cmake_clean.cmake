@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsec_net.dir/network.cpp.o"
+  "CMakeFiles/mwsec_net.dir/network.cpp.o.d"
+  "libmwsec_net.a"
+  "libmwsec_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsec_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rbac/constraints.cpp" "src/rbac/CMakeFiles/mwsec_rbac.dir/constraints.cpp.o" "gcc" "src/rbac/CMakeFiles/mwsec_rbac.dir/constraints.cpp.o.d"
+  "/root/repo/src/rbac/fixtures.cpp" "src/rbac/CMakeFiles/mwsec_rbac.dir/fixtures.cpp.o" "gcc" "src/rbac/CMakeFiles/mwsec_rbac.dir/fixtures.cpp.o.d"
+  "/root/repo/src/rbac/hierarchy.cpp" "src/rbac/CMakeFiles/mwsec_rbac.dir/hierarchy.cpp.o" "gcc" "src/rbac/CMakeFiles/mwsec_rbac.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/rbac/model.cpp" "src/rbac/CMakeFiles/mwsec_rbac.dir/model.cpp.o" "gcc" "src/rbac/CMakeFiles/mwsec_rbac.dir/model.cpp.o.d"
+  "/root/repo/src/rbac/sessions.cpp" "src/rbac/CMakeFiles/mwsec_rbac.dir/sessions.cpp.o" "gcc" "src/rbac/CMakeFiles/mwsec_rbac.dir/sessions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mwsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

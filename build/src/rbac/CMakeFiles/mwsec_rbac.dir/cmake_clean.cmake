@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsec_rbac.dir/constraints.cpp.o"
+  "CMakeFiles/mwsec_rbac.dir/constraints.cpp.o.d"
+  "CMakeFiles/mwsec_rbac.dir/fixtures.cpp.o"
+  "CMakeFiles/mwsec_rbac.dir/fixtures.cpp.o.d"
+  "CMakeFiles/mwsec_rbac.dir/hierarchy.cpp.o"
+  "CMakeFiles/mwsec_rbac.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/mwsec_rbac.dir/model.cpp.o"
+  "CMakeFiles/mwsec_rbac.dir/model.cpp.o.d"
+  "CMakeFiles/mwsec_rbac.dir/sessions.cpp.o"
+  "CMakeFiles/mwsec_rbac.dir/sessions.cpp.o.d"
+  "libmwsec_rbac.a"
+  "libmwsec_rbac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsec_rbac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mwsec_rbac.
+# This may be replaced when dependencies are built.

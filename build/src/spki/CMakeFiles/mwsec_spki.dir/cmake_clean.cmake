@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsec_spki.dir/certs.cpp.o"
+  "CMakeFiles/mwsec_spki.dir/certs.cpp.o.d"
+  "CMakeFiles/mwsec_spki.dir/rbac_to_spki.cpp.o"
+  "CMakeFiles/mwsec_spki.dir/rbac_to_spki.cpp.o.d"
+  "CMakeFiles/mwsec_spki.dir/tag.cpp.o"
+  "CMakeFiles/mwsec_spki.dir/tag.cpp.o.d"
+  "libmwsec_spki.a"
+  "libmwsec_spki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsec_spki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

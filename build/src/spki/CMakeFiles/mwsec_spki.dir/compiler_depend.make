@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mwsec_spki.
+# This may be replaced when dependencies are built.

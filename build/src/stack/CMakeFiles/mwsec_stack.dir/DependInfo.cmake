@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stack/layers.cpp" "src/stack/CMakeFiles/mwsec_stack.dir/layers.cpp.o" "gcc" "src/stack/CMakeFiles/mwsec_stack.dir/layers.cpp.o.d"
+  "/root/repo/src/stack/os.cpp" "src/stack/CMakeFiles/mwsec_stack.dir/os.cpp.o" "gcc" "src/stack/CMakeFiles/mwsec_stack.dir/os.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mwsec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/keynote/CMakeFiles/mwsec_keynote.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/mwsec_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mwsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbac/CMakeFiles/mwsec_rbac.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

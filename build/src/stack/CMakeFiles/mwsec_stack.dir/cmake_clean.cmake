@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsec_stack.dir/layers.cpp.o"
+  "CMakeFiles/mwsec_stack.dir/layers.cpp.o.d"
+  "CMakeFiles/mwsec_stack.dir/os.cpp.o"
+  "CMakeFiles/mwsec_stack.dir/os.cpp.o.d"
+  "libmwsec_stack.a"
+  "libmwsec_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsec_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

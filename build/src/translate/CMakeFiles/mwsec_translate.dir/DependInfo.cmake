@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/translate/keynote_to_rbac.cpp" "src/translate/CMakeFiles/mwsec_translate.dir/keynote_to_rbac.cpp.o" "gcc" "src/translate/CMakeFiles/mwsec_translate.dir/keynote_to_rbac.cpp.o.d"
+  "/root/repo/src/translate/migration.cpp" "src/translate/CMakeFiles/mwsec_translate.dir/migration.cpp.o" "gcc" "src/translate/CMakeFiles/mwsec_translate.dir/migration.cpp.o.d"
+  "/root/repo/src/translate/rbac_to_keynote.cpp" "src/translate/CMakeFiles/mwsec_translate.dir/rbac_to_keynote.cpp.o" "gcc" "src/translate/CMakeFiles/mwsec_translate.dir/rbac_to_keynote.cpp.o.d"
+  "/root/repo/src/translate/similarity.cpp" "src/translate/CMakeFiles/mwsec_translate.dir/similarity.cpp.o" "gcc" "src/translate/CMakeFiles/mwsec_translate.dir/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mwsec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mwsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/keynote/CMakeFiles/mwsec_keynote.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbac/CMakeFiles/mwsec_rbac.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/mwsec_middleware.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

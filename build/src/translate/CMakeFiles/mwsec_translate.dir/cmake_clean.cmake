@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsec_translate.dir/keynote_to_rbac.cpp.o"
+  "CMakeFiles/mwsec_translate.dir/keynote_to_rbac.cpp.o.d"
+  "CMakeFiles/mwsec_translate.dir/migration.cpp.o"
+  "CMakeFiles/mwsec_translate.dir/migration.cpp.o.d"
+  "CMakeFiles/mwsec_translate.dir/rbac_to_keynote.cpp.o"
+  "CMakeFiles/mwsec_translate.dir/rbac_to_keynote.cpp.o.d"
+  "CMakeFiles/mwsec_translate.dir/similarity.cpp.o"
+  "CMakeFiles/mwsec_translate.dir/similarity.cpp.o.d"
+  "libmwsec_translate.a"
+  "libmwsec_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsec_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsec_util.dir/byte_buffer.cpp.o"
+  "CMakeFiles/mwsec_util.dir/byte_buffer.cpp.o.d"
+  "CMakeFiles/mwsec_util.dir/encoding.cpp.o"
+  "CMakeFiles/mwsec_util.dir/encoding.cpp.o.d"
+  "CMakeFiles/mwsec_util.dir/logging.cpp.o"
+  "CMakeFiles/mwsec_util.dir/logging.cpp.o.d"
+  "CMakeFiles/mwsec_util.dir/rng.cpp.o"
+  "CMakeFiles/mwsec_util.dir/rng.cpp.o.d"
+  "CMakeFiles/mwsec_util.dir/strings.cpp.o"
+  "CMakeFiles/mwsec_util.dir/strings.cpp.o.d"
+  "libmwsec_util.a"
+  "libmwsec_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/webcom/engine.cpp" "src/webcom/CMakeFiles/mwsec_webcom.dir/engine.cpp.o" "gcc" "src/webcom/CMakeFiles/mwsec_webcom.dir/engine.cpp.o.d"
+  "/root/repo/src/webcom/flatten.cpp" "src/webcom/CMakeFiles/mwsec_webcom.dir/flatten.cpp.o" "gcc" "src/webcom/CMakeFiles/mwsec_webcom.dir/flatten.cpp.o.d"
+  "/root/repo/src/webcom/gateway.cpp" "src/webcom/CMakeFiles/mwsec_webcom.dir/gateway.cpp.o" "gcc" "src/webcom/CMakeFiles/mwsec_webcom.dir/gateway.cpp.o.d"
+  "/root/repo/src/webcom/graph.cpp" "src/webcom/CMakeFiles/mwsec_webcom.dir/graph.cpp.o" "gcc" "src/webcom/CMakeFiles/mwsec_webcom.dir/graph.cpp.o.d"
+  "/root/repo/src/webcom/graph_io.cpp" "src/webcom/CMakeFiles/mwsec_webcom.dir/graph_io.cpp.o" "gcc" "src/webcom/CMakeFiles/mwsec_webcom.dir/graph_io.cpp.o.d"
+  "/root/repo/src/webcom/messages.cpp" "src/webcom/CMakeFiles/mwsec_webcom.dir/messages.cpp.o" "gcc" "src/webcom/CMakeFiles/mwsec_webcom.dir/messages.cpp.o.d"
+  "/root/repo/src/webcom/ops.cpp" "src/webcom/CMakeFiles/mwsec_webcom.dir/ops.cpp.o" "gcc" "src/webcom/CMakeFiles/mwsec_webcom.dir/ops.cpp.o.d"
+  "/root/repo/src/webcom/scheduler.cpp" "src/webcom/CMakeFiles/mwsec_webcom.dir/scheduler.cpp.o" "gcc" "src/webcom/CMakeFiles/mwsec_webcom.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mwsec_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mwsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/keynote/CMakeFiles/mwsec_keynote.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mwsec_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

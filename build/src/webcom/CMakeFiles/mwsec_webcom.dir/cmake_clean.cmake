@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsec_webcom.dir/engine.cpp.o"
+  "CMakeFiles/mwsec_webcom.dir/engine.cpp.o.d"
+  "CMakeFiles/mwsec_webcom.dir/flatten.cpp.o"
+  "CMakeFiles/mwsec_webcom.dir/flatten.cpp.o.d"
+  "CMakeFiles/mwsec_webcom.dir/gateway.cpp.o"
+  "CMakeFiles/mwsec_webcom.dir/gateway.cpp.o.d"
+  "CMakeFiles/mwsec_webcom.dir/graph.cpp.o"
+  "CMakeFiles/mwsec_webcom.dir/graph.cpp.o.d"
+  "CMakeFiles/mwsec_webcom.dir/graph_io.cpp.o"
+  "CMakeFiles/mwsec_webcom.dir/graph_io.cpp.o.d"
+  "CMakeFiles/mwsec_webcom.dir/messages.cpp.o"
+  "CMakeFiles/mwsec_webcom.dir/messages.cpp.o.d"
+  "CMakeFiles/mwsec_webcom.dir/ops.cpp.o"
+  "CMakeFiles/mwsec_webcom.dir/ops.cpp.o.d"
+  "CMakeFiles/mwsec_webcom.dir/scheduler.cpp.o"
+  "CMakeFiles/mwsec_webcom.dir/scheduler.cpp.o.d"
+  "libmwsec_webcom.a"
+  "libmwsec_webcom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsec_webcom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mwsec_webcom.
+# This may be replaced when dependencies are built.

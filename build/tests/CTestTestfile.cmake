@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("keynote")
+subdirs("rbac")
+subdirs("middleware")
+subdirs("translate")
+subdirs("net")
+subdirs("webcom")
+subdirs("stack")
+subdirs("keycom")
+subdirs("ide")
+subdirs("spki")
+subdirs("integration")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_prime_test.dir/prime_test.cpp.o"
+  "CMakeFiles/crypto_prime_test.dir/prime_test.cpp.o.d"
+  "crypto_prime_test"
+  "crypto_prime_test.pdb"
+  "crypto_prime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_prime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ide_palette_test.dir/palette_test.cpp.o"
+  "CMakeFiles/ide_palette_test.dir/palette_test.cpp.o.d"
+  "ide_palette_test"
+  "ide_palette_test.pdb"
+  "ide_palette_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ide_palette_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ide
+# Build directory: /root/repo/build/tests/ide
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ide/ide_palette_test[1]_include.cmake")

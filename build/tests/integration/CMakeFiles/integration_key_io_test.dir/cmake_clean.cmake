@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_key_io_test.dir/key_io_test.cpp.o"
+  "CMakeFiles/integration_key_io_test.dir/key_io_test.cpp.o.d"
+  "integration_key_io_test"
+  "integration_key_io_test.pdb"
+  "integration_key_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_key_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[FullSystem.PaperScenarioEndToEnd]=]  /root/repo/build/tests/integration/integration_full_system_test [==[--gtest_filter=FullSystem.PaperScenarioEndToEnd]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[FullSystem.PaperScenarioEndToEnd]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests/integration SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_full_system_test_TESTS FullSystem.PaperScenarioEndToEnd)

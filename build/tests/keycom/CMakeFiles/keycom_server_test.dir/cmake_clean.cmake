@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keycom_server_test.dir/server_test.cpp.o"
+  "CMakeFiles/keycom_server_test.dir/server_test.cpp.o.d"
+  "keycom_server_test"
+  "keycom_server_test.pdb"
+  "keycom_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keycom_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keycom_service_test.dir/service_test.cpp.o"
+  "CMakeFiles/keycom_service_test.dir/service_test.cpp.o.d"
+  "keycom_service_test"
+  "keycom_service_test.pdb"
+  "keycom_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keycom_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keynote_assertion_test.dir/assertion_test.cpp.o"
+  "CMakeFiles/keynote_assertion_test.dir/assertion_test.cpp.o.d"
+  "keynote_assertion_test"
+  "keynote_assertion_test.pdb"
+  "keynote_assertion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keynote_assertion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keynote_conditions_semantics_test.dir/conditions_semantics_test.cpp.o"
+  "CMakeFiles/keynote_conditions_semantics_test.dir/conditions_semantics_test.cpp.o.d"
+  "keynote_conditions_semantics_test"
+  "keynote_conditions_semantics_test.pdb"
+  "keynote_conditions_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keynote_conditions_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keynote_eval_test.dir/eval_test.cpp.o"
+  "CMakeFiles/keynote_eval_test.dir/eval_test.cpp.o.d"
+  "keynote_eval_test"
+  "keynote_eval_test.pdb"
+  "keynote_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keynote_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keynote_lexer_test.dir/lexer_test.cpp.o"
+  "CMakeFiles/keynote_lexer_test.dir/lexer_test.cpp.o.d"
+  "keynote_lexer_test"
+  "keynote_lexer_test.pdb"
+  "keynote_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keynote_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keynote_paper_figures_test.dir/paper_figures_test.cpp.o"
+  "CMakeFiles/keynote_paper_figures_test.dir/paper_figures_test.cpp.o.d"
+  "keynote_paper_figures_test"
+  "keynote_paper_figures_test.pdb"
+  "keynote_paper_figures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keynote_paper_figures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

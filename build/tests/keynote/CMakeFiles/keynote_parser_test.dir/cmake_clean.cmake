@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keynote_parser_test.dir/parser_test.cpp.o"
+  "CMakeFiles/keynote_parser_test.dir/parser_test.cpp.o.d"
+  "keynote_parser_test"
+  "keynote_parser_test.pdb"
+  "keynote_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keynote_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keynote_property_test.dir/property_test.cpp.o"
+  "CMakeFiles/keynote_property_test.dir/property_test.cpp.o.d"
+  "keynote_property_test"
+  "keynote_property_test.pdb"
+  "keynote_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keynote_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keynote_query_test.dir/query_test.cpp.o"
+  "CMakeFiles/keynote_query_test.dir/query_test.cpp.o.d"
+  "keynote_query_test"
+  "keynote_query_test.pdb"
+  "keynote_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keynote_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

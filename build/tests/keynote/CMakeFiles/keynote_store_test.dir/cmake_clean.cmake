@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keynote_store_test.dir/store_test.cpp.o"
+  "CMakeFiles/keynote_store_test.dir/store_test.cpp.o.d"
+  "keynote_store_test"
+  "keynote_store_test.pdb"
+  "keynote_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keynote_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/keynote
+# Build directory: /root/repo/build/tests/keynote
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/keynote/keynote_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/keynote/keynote_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/keynote/keynote_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/keynote/keynote_assertion_test[1]_include.cmake")
+include("/root/repo/build/tests/keynote/keynote_query_test[1]_include.cmake")
+include("/root/repo/build/tests/keynote/keynote_store_test[1]_include.cmake")
+include("/root/repo/build/tests/keynote/keynote_paper_figures_test[1]_include.cmake")
+include("/root/repo/build/tests/keynote/keynote_property_test[1]_include.cmake")
+include("/root/repo/build/tests/keynote/keynote_conditions_semantics_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_audit_test.dir/audit_test.cpp.o"
+  "CMakeFiles/middleware_audit_test.dir/audit_test.cpp.o.d"
+  "middleware_audit_test"
+  "middleware_audit_test.pdb"
+  "middleware_audit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_audit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_com_test.dir/com_test.cpp.o"
+  "CMakeFiles/middleware_com_test.dir/com_test.cpp.o.d"
+  "middleware_com_test"
+  "middleware_com_test.pdb"
+  "middleware_com_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_com_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

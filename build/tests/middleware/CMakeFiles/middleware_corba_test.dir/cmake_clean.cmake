@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_corba_test.dir/corba_test.cpp.o"
+  "CMakeFiles/middleware_corba_test.dir/corba_test.cpp.o.d"
+  "middleware_corba_test"
+  "middleware_corba_test.pdb"
+  "middleware_corba_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_corba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

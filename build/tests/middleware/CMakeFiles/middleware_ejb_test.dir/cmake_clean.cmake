@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/middleware_ejb_test.dir/ejb_test.cpp.o"
+  "CMakeFiles/middleware_ejb_test.dir/ejb_test.cpp.o.d"
+  "middleware_ejb_test"
+  "middleware_ejb_test.pdb"
+  "middleware_ejb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/middleware_ejb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

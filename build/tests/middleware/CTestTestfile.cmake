@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/middleware
+# Build directory: /root/repo/build/tests/middleware
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/middleware/middleware_audit_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware/middleware_com_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware/middleware_ejb_test[1]_include.cmake")
+include("/root/repo/build/tests/middleware/middleware_corba_test[1]_include.cmake")

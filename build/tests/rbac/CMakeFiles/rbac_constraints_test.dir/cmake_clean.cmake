@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbac_constraints_test.dir/constraints_test.cpp.o"
+  "CMakeFiles/rbac_constraints_test.dir/constraints_test.cpp.o.d"
+  "rbac_constraints_test"
+  "rbac_constraints_test.pdb"
+  "rbac_constraints_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbac_constraints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

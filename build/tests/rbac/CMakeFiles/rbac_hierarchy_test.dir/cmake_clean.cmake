@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbac_hierarchy_test.dir/hierarchy_test.cpp.o"
+  "CMakeFiles/rbac_hierarchy_test.dir/hierarchy_test.cpp.o.d"
+  "rbac_hierarchy_test"
+  "rbac_hierarchy_test.pdb"
+  "rbac_hierarchy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbac_hierarchy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

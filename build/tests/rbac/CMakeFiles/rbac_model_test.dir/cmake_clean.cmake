@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbac_model_test.dir/model_test.cpp.o"
+  "CMakeFiles/rbac_model_test.dir/model_test.cpp.o.d"
+  "rbac_model_test"
+  "rbac_model_test.pdb"
+  "rbac_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbac_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbac_salaries_golden_test.dir/salaries_golden_test.cpp.o"
+  "CMakeFiles/rbac_salaries_golden_test.dir/salaries_golden_test.cpp.o.d"
+  "rbac_salaries_golden_test"
+  "rbac_salaries_golden_test.pdb"
+  "rbac_salaries_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbac_salaries_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

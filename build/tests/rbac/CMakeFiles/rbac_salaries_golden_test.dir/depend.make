@@ -1,0 +1,2 @@
+# Empty dependencies file for rbac_salaries_golden_test.
+# This may be replaced when dependencies are built.

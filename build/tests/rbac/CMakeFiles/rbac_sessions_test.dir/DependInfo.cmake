@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rbac/sessions_test.cpp" "tests/rbac/CMakeFiles/rbac_sessions_test.dir/sessions_test.cpp.o" "gcc" "tests/rbac/CMakeFiles/rbac_sessions_test.dir/sessions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/keycom/CMakeFiles/mwsec_keycom.dir/DependInfo.cmake"
+  "/root/repo/build/src/ide/CMakeFiles/mwsec_ide.dir/DependInfo.cmake"
+  "/root/repo/build/src/webcom/CMakeFiles/mwsec_webcom.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mwsec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/spki/CMakeFiles/mwsec_spki.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/mwsec_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/mwsec_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/keynote/CMakeFiles/mwsec_keynote.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mwsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/middleware/CMakeFiles/mwsec_middleware.dir/DependInfo.cmake"
+  "/root/repo/build/src/rbac/CMakeFiles/mwsec_rbac.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mwsec_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbac_sessions_test.dir/sessions_test.cpp.o"
+  "CMakeFiles/rbac_sessions_test.dir/sessions_test.cpp.o.d"
+  "rbac_sessions_test"
+  "rbac_sessions_test.pdb"
+  "rbac_sessions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbac_sessions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbac_table_io_test.dir/table_io_test.cpp.o"
+  "CMakeFiles/rbac_table_io_test.dir/table_io_test.cpp.o.d"
+  "rbac_table_io_test"
+  "rbac_table_io_test.pdb"
+  "rbac_table_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbac_table_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/rbac
+# Build directory: /root/repo/build/tests/rbac
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rbac/rbac_model_test[1]_include.cmake")
+include("/root/repo/build/tests/rbac/rbac_salaries_golden_test[1]_include.cmake")
+include("/root/repo/build/tests/rbac/rbac_hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/rbac/rbac_constraints_test[1]_include.cmake")
+include("/root/repo/build/tests/rbac/rbac_sessions_test[1]_include.cmake")
+include("/root/repo/build/tests/rbac/rbac_table_io_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spki_certs_test.dir/certs_test.cpp.o"
+  "CMakeFiles/spki_certs_test.dir/certs_test.cpp.o.d"
+  "spki_certs_test"
+  "spki_certs_test.pdb"
+  "spki_certs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spki_certs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spki_rbac_test.dir/rbac_test.cpp.o"
+  "CMakeFiles/spki_rbac_test.dir/rbac_test.cpp.o.d"
+  "spki_rbac_test"
+  "spki_rbac_test.pdb"
+  "spki_rbac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spki_rbac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

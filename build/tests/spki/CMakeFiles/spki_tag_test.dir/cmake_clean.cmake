@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spki_tag_test.dir/tag_test.cpp.o"
+  "CMakeFiles/spki_tag_test.dir/tag_test.cpp.o.d"
+  "spki_tag_test"
+  "spki_tag_test.pdb"
+  "spki_tag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spki_tag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/spki
+# Build directory: /root/repo/build/tests/spki
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/spki/spki_tag_test[1]_include.cmake")
+include("/root/repo/build/tests/spki/spki_certs_test[1]_include.cmake")
+include("/root/repo/build/tests/spki/spki_rbac_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_layers_test.dir/layers_test.cpp.o"
+  "CMakeFiles/stack_layers_test.dir/layers_test.cpp.o.d"
+  "stack_layers_test"
+  "stack_layers_test.pdb"
+  "stack_layers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_layers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_os_test.dir/os_test.cpp.o"
+  "CMakeFiles/stack_os_test.dir/os_test.cpp.o.d"
+  "stack_os_test"
+  "stack_os_test.pdb"
+  "stack_os_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_os_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

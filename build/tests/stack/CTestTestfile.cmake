@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/stack
+# Build directory: /root/repo/build/tests/stack
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/stack/stack_os_test[1]_include.cmake")
+include("/root/repo/build/tests/stack/stack_layers_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_hierarchy_translate_test.dir/hierarchy_translate_test.cpp.o"
+  "CMakeFiles/translate_hierarchy_translate_test.dir/hierarchy_translate_test.cpp.o.d"
+  "translate_hierarchy_translate_test"
+  "translate_hierarchy_translate_test.pdb"
+  "translate_hierarchy_translate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_hierarchy_translate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_keynote_to_rbac_test.dir/keynote_to_rbac_test.cpp.o"
+  "CMakeFiles/translate_keynote_to_rbac_test.dir/keynote_to_rbac_test.cpp.o.d"
+  "translate_keynote_to_rbac_test"
+  "translate_keynote_to_rbac_test.pdb"
+  "translate_keynote_to_rbac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_keynote_to_rbac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

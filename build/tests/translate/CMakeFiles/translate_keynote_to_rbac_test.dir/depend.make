@@ -1,0 +1,2 @@
+# Empty dependencies file for translate_keynote_to_rbac_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_migration_property_test.dir/migration_property_test.cpp.o"
+  "CMakeFiles/translate_migration_property_test.dir/migration_property_test.cpp.o.d"
+  "translate_migration_property_test"
+  "translate_migration_property_test.pdb"
+  "translate_migration_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_migration_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

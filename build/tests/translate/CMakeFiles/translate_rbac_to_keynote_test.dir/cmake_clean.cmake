@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_rbac_to_keynote_test.dir/rbac_to_keynote_test.cpp.o"
+  "CMakeFiles/translate_rbac_to_keynote_test.dir/rbac_to_keynote_test.cpp.o.d"
+  "translate_rbac_to_keynote_test"
+  "translate_rbac_to_keynote_test.pdb"
+  "translate_rbac_to_keynote_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_rbac_to_keynote_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for translate_rbac_to_keynote_test.
+# This may be replaced when dependencies are built.

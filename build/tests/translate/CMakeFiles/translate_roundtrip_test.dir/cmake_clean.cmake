@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_roundtrip_test.dir/roundtrip_test.cpp.o"
+  "CMakeFiles/translate_roundtrip_test.dir/roundtrip_test.cpp.o.d"
+  "translate_roundtrip_test"
+  "translate_roundtrip_test.pdb"
+  "translate_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_similarity_test.dir/similarity_test.cpp.o"
+  "CMakeFiles/translate_similarity_test.dir/similarity_test.cpp.o.d"
+  "translate_similarity_test"
+  "translate_similarity_test.pdb"
+  "translate_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/translate
+# Build directory: /root/repo/build/tests/translate
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/translate/translate_rbac_to_keynote_test[1]_include.cmake")
+include("/root/repo/build/tests/translate/translate_keynote_to_rbac_test[1]_include.cmake")
+include("/root/repo/build/tests/translate/translate_roundtrip_test[1]_include.cmake")
+include("/root/repo/build/tests/translate/translate_similarity_test[1]_include.cmake")
+include("/root/repo/build/tests/translate/translate_migration_test[1]_include.cmake")
+include("/root/repo/build/tests/translate/translate_migration_property_test[1]_include.cmake")
+include("/root/repo/build/tests/translate/translate_hierarchy_translate_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_encoding_test.dir/encoding_test.cpp.o"
+  "CMakeFiles/util_encoding_test.dir/encoding_test.cpp.o.d"
+  "util_encoding_test"
+  "util_encoding_test.pdb"
+  "util_encoding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webcom_engine_test.dir/engine_test.cpp.o"
+  "CMakeFiles/webcom_engine_test.dir/engine_test.cpp.o.d"
+  "webcom_engine_test"
+  "webcom_engine_test.pdb"
+  "webcom_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webcom_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webcom_fault_injection_test.dir/fault_injection_test.cpp.o"
+  "CMakeFiles/webcom_fault_injection_test.dir/fault_injection_test.cpp.o.d"
+  "webcom_fault_injection_test"
+  "webcom_fault_injection_test.pdb"
+  "webcom_fault_injection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webcom_fault_injection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webcom_flatten_test.dir/flatten_test.cpp.o"
+  "CMakeFiles/webcom_flatten_test.dir/flatten_test.cpp.o.d"
+  "webcom_flatten_test"
+  "webcom_flatten_test.pdb"
+  "webcom_flatten_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webcom_flatten_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webcom_gateway_test.dir/gateway_test.cpp.o"
+  "CMakeFiles/webcom_gateway_test.dir/gateway_test.cpp.o.d"
+  "webcom_gateway_test"
+  "webcom_gateway_test.pdb"
+  "webcom_gateway_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webcom_gateway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

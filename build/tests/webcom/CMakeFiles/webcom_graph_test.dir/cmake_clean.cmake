@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webcom_graph_test.dir/graph_test.cpp.o"
+  "CMakeFiles/webcom_graph_test.dir/graph_test.cpp.o.d"
+  "webcom_graph_test"
+  "webcom_graph_test.pdb"
+  "webcom_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webcom_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

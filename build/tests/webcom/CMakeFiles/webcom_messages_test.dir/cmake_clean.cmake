@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webcom_messages_test.dir/messages_test.cpp.o"
+  "CMakeFiles/webcom_messages_test.dir/messages_test.cpp.o.d"
+  "webcom_messages_test"
+  "webcom_messages_test.pdb"
+  "webcom_messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webcom_messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webcom_ops_test.dir/ops_test.cpp.o"
+  "CMakeFiles/webcom_ops_test.dir/ops_test.cpp.o.d"
+  "webcom_ops_test"
+  "webcom_ops_test.pdb"
+  "webcom_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webcom_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

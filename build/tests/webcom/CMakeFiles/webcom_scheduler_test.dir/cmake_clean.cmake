@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webcom_scheduler_test.dir/scheduler_test.cpp.o"
+  "CMakeFiles/webcom_scheduler_test.dir/scheduler_test.cpp.o.d"
+  "webcom_scheduler_test"
+  "webcom_scheduler_test.pdb"
+  "webcom_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webcom_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/webcom
+# Build directory: /root/repo/build/tests/webcom
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/webcom/webcom_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/webcom/webcom_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/webcom/webcom_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/webcom/webcom_messages_test[1]_include.cmake")
+include("/root/repo/build/tests/webcom/webcom_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/webcom/webcom_flatten_test[1]_include.cmake")
+include("/root/repo/build/tests/webcom/webcom_fault_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/webcom/webcom_graph_io_test[1]_include.cmake")
+include("/root/repo/build/tests/webcom/webcom_gateway_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsec-keynote.dir/mwsec_keynote.cpp.o"
+  "CMakeFiles/mwsec-keynote.dir/mwsec_keynote.cpp.o.d"
+  "mwsec-keynote"
+  "mwsec-keynote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsec-keynote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

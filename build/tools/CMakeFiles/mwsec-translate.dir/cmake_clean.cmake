@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mwsec-translate.dir/mwsec_translate.cpp.o"
+  "CMakeFiles/mwsec-translate.dir/mwsec_translate.cpp.o.d"
+  "mwsec-translate"
+  "mwsec-translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mwsec-translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
