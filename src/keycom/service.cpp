@@ -120,8 +120,8 @@ mwsec::Result<UpdateRequest> UpdateRequest::decode(
   return out;
 }
 
-bool Service::authorised(const std::string& requester,
-                         const std::vector<keynote::Assertion>& presented,
+bool Service::authorised(const keynote::CompiledStore::Snapshot& snapshot,
+                         const std::string& requester,
                          const std::string& domain, const std::string& role,
                          const std::string& object_type,
                          const std::string& permission) {
@@ -132,7 +132,7 @@ bool Service::authorised(const std::string& requester,
   q.env.set("Role", role);
   if (!object_type.empty()) q.env.set("ObjectType", object_type);
   if (!permission.empty()) q.env.set("Permission", permission);
-  auto r = store_.query(q, presented);
+  auto r = snapshot.query(q);
   return r.ok() && r->authorized();
 }
 
@@ -152,11 +152,14 @@ mwsec::Result<UpdateReport> Service::apply(const UpdateRequest& request) {
     if (!bundle.ok()) return bundle.error();
     presented = std::move(bundle).take();
   }
+  // Verify and compile the presented bundle once; every row of this
+  // request is then authorised against the same snapshot.
+  auto snapshot = store_.snapshot_with(presented);
 
   UpdateReport report;
   rbac::Policy additions;
   for (const auto& a : request.add_assignments) {
-    if (!authorised(request.requester, presented, a.domain, a.role, "", "")) {
+    if (!authorised(*snapshot, request.requester, a.domain, a.role, "", "")) {
       report.rejected.push_back("assignment " + a.domain + "/" + a.role +
                                 " for " + a.user + ": requester lacks "
                                 "delegated authority");
@@ -165,7 +168,7 @@ mwsec::Result<UpdateReport> Service::apply(const UpdateRequest& request) {
     additions.assign(a).ok();
   }
   for (const auto& g : request.add_grants) {
-    if (!authorised(request.requester, presented, g.domain, g.role,
+    if (!authorised(*snapshot, request.requester, g.domain, g.role,
                     g.object_type, g.permission)) {
       report.rejected.push_back("grant " + g.domain + "/" + g.role + " " +
                                 g.permission + " on " + g.object_type +
@@ -188,7 +191,7 @@ mwsec::Result<UpdateReport> Service::apply(const UpdateRequest& request) {
   // Revocation: withdrawing a membership requires the same authority as
   // granting it.
   for (const auto& a : request.remove_assignments) {
-    if (!authorised(request.requester, presented, a.domain, a.role, "", "")) {
+    if (!authorised(*snapshot, request.requester, a.domain, a.role, "", "")) {
       report.rejected.push_back("removal " + a.domain + "/" + a.role +
                                 " for " + a.user + ": requester lacks "
                                 "delegated authority");

@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "crypto/keys.hpp"
-#include "keynote/store.hpp"
+#include "keynote/compiled_store.hpp"
 #include "middleware/common/audit.hpp"
 #include "middleware/common/system.hpp"
 #include "rbac/model.hpp"
@@ -62,12 +62,14 @@ class Service {
   /// The service's local trust root: POLICY assertions saying whose
   /// updates it accepts (typically the WebCom administration key, whose
   /// authority users acquire by delegation).
-  keynote::CredentialStore& trust_root() { return store_; }
+  keynote::CompiledStore& trust_root() { return store_; }
 
   /// Validate and apply a request. Per-row authorisation: each row is
   /// granted only if KeyNote derives authority for the requester over
   /// that row's attributes from the trust root plus the presented
-  /// credentials. Partial application is reported, not hidden.
+  /// credentials. The presented bundle is verified and compiled once per
+  /// request; every row then queries that one snapshot. Partial
+  /// application is reported, not hidden.
   mwsec::Result<UpdateReport> apply(const UpdateRequest& request);
 
   struct Stats {
@@ -79,15 +81,14 @@ class Service {
   const Stats& stats() const { return stats_; }
 
  private:
-  bool authorised(const std::string& requester,
-                  const std::vector<keynote::Assertion>& presented,
-                  const std::string& domain, const std::string& role,
-                  const std::string& object_type,
+  bool authorised(const keynote::CompiledStore::Snapshot& snapshot,
+                  const std::string& requester, const std::string& domain,
+                  const std::string& role, const std::string& object_type,
                   const std::string& permission);
 
   middleware::SecuritySystem& target_;
   middleware::AuditLog* audit_;
-  keynote::CredentialStore store_;
+  keynote::CompiledStore store_;
   Stats stats_;
 };
 

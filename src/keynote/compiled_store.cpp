@@ -1,0 +1,418 @@
+#include "keynote/compiled_store.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+
+#include "keynote/eval.hpp"
+
+namespace mwsec::keynote {
+
+namespace {
+
+constexpr std::size_t kUnsetConditions = static_cast<std::size_t>(-1);
+
+CompiledLicensee compile_licensee(const LicenseeExpr& e,
+                                  PrincipalTable& principals) {
+  CompiledLicensee out;
+  out.kind = e.kind;
+  out.k = e.k;
+  if (e.kind == LicenseeExpr::Kind::kPrincipal) {
+    out.principal = principals.intern(e.principal);
+  }
+  out.children.reserve(e.children.size());
+  for (const auto& child : e.children) {
+    out.children.push_back(compile_licensee(child, principals));
+  }
+  return out;
+}
+
+void collect_ids(const CompiledLicensee& e, std::vector<std::uint32_t>& out) {
+  if (e.kind == LicenseeExpr::Kind::kPrincipal) out.push_back(e.principal);
+  for (const auto& child : e.children) collect_ids(child, out);
+}
+
+/// Licensee evaluation over the interned value vector: || is max, && is
+/// min, K-of is the K-th largest member value, exactly as eval_licensees.
+std::size_t eval_compiled(const CompiledLicensee& e,
+                          const std::vector<std::size_t>& value,
+                          std::size_t vmin, std::size_t vmax) {
+  switch (e.kind) {
+    case LicenseeExpr::Kind::kNone:
+      return vmin;
+    case LicenseeExpr::Kind::kPrincipal:
+      return value[e.principal];
+    case LicenseeExpr::Kind::kAnd: {
+      std::size_t v = vmax;
+      for (const auto& child : e.children) {
+        v = std::min(v, eval_compiled(child, value, vmin, vmax));
+      }
+      return v;
+    }
+    case LicenseeExpr::Kind::kOr: {
+      std::size_t v = vmin;
+      for (const auto& child : e.children) {
+        v = std::max(v, eval_compiled(child, value, vmin, vmax));
+      }
+      return v;
+    }
+    case LicenseeExpr::Kind::kThreshold: {
+      std::vector<std::size_t> member_values;
+      member_values.reserve(e.children.size());
+      for (const auto& child : e.children) {
+        member_values.push_back(eval_compiled(child, value, vmin, vmax));
+      }
+      std::sort(member_values.begin(), member_values.end(),
+                std::greater<std::size_t>());
+      return member_values[e.k - 1];
+    }
+  }
+  return vmin;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PrincipalTable
+
+PrincipalTable::PrincipalTable() {
+  intern("POLICY");  // id 0, by construction
+}
+
+std::uint32_t PrincipalTable::intern(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<std::uint32_t> PrincipalTable::find(std::string_view name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// ConditionsCache
+
+std::optional<std::size_t> ConditionsCache::get(
+    std::size_t assertion, std::uint64_t fingerprint) const {
+  std::scoped_lock lock(mu_);
+  const auto& memo = memo_[assertion];
+  auto it = memo.find(fingerprint);
+  if (it == memo.end()) return std::nullopt;
+  return it->second;
+}
+
+void ConditionsCache::put(std::size_t assertion, std::uint64_t fingerprint,
+                          std::size_t value) {
+  std::scoped_lock lock(mu_);
+  memo_[assertion].emplace(fingerprint, value);
+}
+
+// ---------------------------------------------------------------------------
+// CompiledIndex
+
+void CompiledIndex::add(const Assertion& assertion) {
+  CompiledAssertion compiled;
+  compiled.source = &assertion;
+  compiled.authorizer = assertion.is_policy()
+                            ? kPolicyId
+                            : principals_.intern(assertion.authorizer());
+  compiled.licensees = compile_licensee(assertion.licensees(), principals_);
+
+  auto index = static_cast<std::uint32_t>(assertions_.size());
+  std::vector<std::uint32_t> deps;
+  collect_ids(compiled.licensees, deps);
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+
+  if (by_authorizer_.size() < principals_.size()) {
+    by_authorizer_.resize(principals_.size());
+    dependents_.resize(principals_.size());
+  }
+  by_authorizer_[compiled.authorizer].push_back(index);
+  for (std::uint32_t p : deps) dependents_[p].push_back(index);
+  assertions_.push_back(std::move(compiled));
+}
+
+std::size_t CompiledIndex::conditions_value(std::size_t assertion,
+                                            const QueryContext& context) const {
+  const Assertion& source = *assertions_[assertion].source;
+  return eval_conditions(source.conditions(), context.query().values,
+                         context.lookup(source));
+}
+
+std::size_t CompiledIndex::policy_value(const QueryContext& context,
+                                        ConditionsCache* cache) const {
+  const Query& q = context.query();
+  const std::size_t vmin = q.values.min_index();
+  const std::size_t vmax = q.values.max_index();
+  const std::size_t n_principals = principals_.size();
+
+  std::vector<std::size_t> value(n_principals, vmin);
+  std::vector<char> is_requester(n_principals, 0);
+  for (const auto& r : q.action_authorizers) {
+    if (auto id = principals_.find(r)) {
+      value[*id] = vmax;
+      is_requester[*id] = 1;
+    }
+  }
+  // POLICY requesting from itself is trivially maximal (the reference
+  // engine's requester set short-circuits the same way).
+  if (is_requester[kPolicyId]) return vmax;
+  // No assertions: nothing can raise POLICY (and by_authorizer_ /
+  // dependents_ were never sized).
+  if (assertions_.empty()) return vmin;
+
+  // Per-query lazy conditions values, backed by the cross-query cache.
+  std::vector<std::size_t> conditions(assertions_.size(), kUnsetConditions);
+  const std::uint64_t fp = context.fingerprint();
+  auto conditions_of = [&](std::size_t i) -> std::size_t {
+    if (conditions[i] != kUnsetConditions) return conditions[i];
+    if (cache != nullptr) {
+      if (auto hit = cache->get(i, fp)) return conditions[i] = *hit;
+    }
+    std::size_t v = conditions_value(i, context);
+    if (cache != nullptr) cache->put(i, fp, v);
+    return conditions[i] = v;
+  };
+
+  // Worklist fixpoint (chaotic iteration): recompute a principal's value
+  // as the max over its assertions of min(licensees, conditions); when it
+  // rises, requeue only the authorizers of assertions that mention it.
+  // Monotone, so this reaches the same least fixpoint as the reference
+  // engine's full Kleene sweeps.
+  std::deque<std::uint32_t> work;
+  std::vector<char> queued(n_principals, 0);
+  for (std::uint32_t p = 0; p < n_principals; ++p) {
+    if (!by_authorizer_[p].empty() && !is_requester[p]) {
+      work.push_back(p);
+      queued[p] = 1;
+    }
+  }
+
+  while (!work.empty()) {
+    std::uint32_t p = work.front();
+    work.pop_front();
+    queued[p] = 0;
+
+    std::size_t best = value[p];
+    for (std::uint32_t i : by_authorizer_[p]) {
+      std::size_t lic =
+          eval_compiled(assertions_[i].licensees, value, vmin, vmax);
+      // min(lic, conditions) cannot beat `best` unless lic does; in
+      // particular an assertion whose licensees are at _MIN_TRUST never
+      // needs its conditions evaluated.
+      if (lic <= best) continue;
+      best = std::max(best, std::min(lic, conditions_of(i)));
+      if (best == vmax) break;
+    }
+    if (best > value[p]) {
+      value[p] = best;
+      if (p == kPolicyId && best == vmax) return vmax;
+      for (std::uint32_t i : dependents_[p]) {
+        std::uint32_t authorizer = assertions_[i].authorizer;
+        if (!is_requester[authorizer] && !queued[authorizer]) {
+          queued[authorizer] = 1;
+          work.push_back(authorizer);
+        }
+      }
+    }
+  }
+  return value[kPolicyId];
+}
+
+// ---------------------------------------------------------------------------
+// CompiledStore
+
+mwsec::Status CompiledStore::add_policy(Assertion assertion) {
+  if (!assertion.is_policy()) {
+    return Error::make("not a POLICY assertion", "store");
+  }
+  std::scoped_lock lock(mu_);
+  policies_.push_back(std::move(assertion));
+  ++version_;
+  return {};
+}
+
+mwsec::Status CompiledStore::add_policy_text(std::string_view text) {
+  auto bundle = Assertion::parse_bundle(text);
+  if (!bundle.ok()) return bundle.error();
+  for (auto& a : *bundle) {
+    if (auto s = add_policy(std::move(a)); !s.ok()) return s;
+  }
+  return {};
+}
+
+mwsec::Status CompiledStore::add_credential(Assertion assertion) {
+  if (auto v = assertion.verify(); !v.ok()) return v;
+  std::scoped_lock lock(mu_);
+  // Idempotent: identical text is stored once.
+  for (const auto& existing : credentials_) {
+    if (existing.to_text() == assertion.to_text()) return {};
+  }
+  credentials_.push_back(std::move(assertion));
+  ++version_;
+  return {};
+}
+
+std::size_t CompiledStore::remove_matching(const std::string& text) {
+  std::scoped_lock lock(mu_);
+  auto before = credentials_.size();
+  std::erase_if(credentials_,
+                [&](const Assertion& a) { return a.to_text() == text; });
+  auto removed = before - credentials_.size();
+  if (removed != 0) ++version_;
+  return removed;
+}
+
+std::size_t CompiledStore::remove_by_authorizer(const std::string& authorizer) {
+  std::scoped_lock lock(mu_);
+  auto before = credentials_.size();
+  std::erase_if(credentials_, [&](const Assertion& a) {
+    return a.authorizer() == authorizer;
+  });
+  auto removed = before - credentials_.size();
+  if (removed != 0) ++version_;
+  return removed;
+}
+
+std::vector<Assertion> CompiledStore::policies() const {
+  std::scoped_lock lock(mu_);
+  return policies_;
+}
+
+std::vector<Assertion> CompiledStore::credentials() const {
+  std::scoped_lock lock(mu_);
+  return credentials_;
+}
+
+std::vector<Assertion> CompiledStore::credentials_by_authorizer(
+    const std::string& authorizer) const {
+  std::scoped_lock lock(mu_);
+  std::vector<Assertion> out;
+  for (const auto& a : credentials_) {
+    if (a.authorizer() == authorizer) out.push_back(a);
+  }
+  return out;
+}
+
+std::size_t CompiledStore::policy_count() const {
+  std::scoped_lock lock(mu_);
+  return policies_.size();
+}
+
+std::size_t CompiledStore::credential_count() const {
+  std::scoped_lock lock(mu_);
+  return credentials_.size();
+}
+
+void CompiledStore::clear() {
+  std::scoped_lock lock(mu_);
+  policies_.clear();
+  credentials_.clear();
+  ++version_;
+}
+
+std::uint64_t CompiledStore::version() const {
+  std::scoped_lock lock(mu_);
+  return version_;
+}
+
+std::shared_ptr<const CompiledStore::Snapshot>
+CompiledStore::base_snapshot_locked() const {
+  if (cached_ == nullptr || cached_version_ != version_) {
+    auto snap = std::make_shared<Snapshot>();
+    snap->assertions_.reserve(policies_.size() + credentials_.size());
+    snap->assertions_.insert(snap->assertions_.end(), policies_.begin(),
+                             policies_.end());
+    snap->assertions_.insert(snap->assertions_.end(), credentials_.begin(),
+                             credentials_.end());
+    for (const auto& a : snap->assertions_) snap->index_.add(a);
+    snap->cond_cache_ =
+        std::make_unique<ConditionsCache>(snap->assertions_.size());
+    cached_ = std::move(snap);
+    cached_version_ = version_;
+  }
+  return cached_;
+}
+
+std::shared_ptr<const CompiledStore::Snapshot> CompiledStore::snapshot()
+    const {
+  std::scoped_lock lock(mu_);
+  return base_snapshot_locked();
+}
+
+std::shared_ptr<const CompiledStore::Snapshot> CompiledStore::snapshot_with(
+    const std::vector<Assertion>& presented,
+    const QueryOptions& options) const {
+  if (presented.empty()) return snapshot();
+
+  std::vector<Assertion> stored_policies, stored_credentials;
+  {
+    std::scoped_lock lock(mu_);
+    stored_policies = policies_;
+    stored_credentials = credentials_;
+  }
+  auto snap = std::make_shared<Snapshot>();
+  snap->assertions_ = std::move(stored_policies);
+  snap->assertions_.reserve(snap->assertions_.size() +
+                            stored_credentials.size() + presented.size());
+  snap->assertions_.insert(snap->assertions_.end(),
+                           std::make_move_iterator(stored_credentials.begin()),
+                           std::make_move_iterator(stored_credentials.end()));
+  // Presented credentials are screened once, here; every query answered by
+  // this snapshot reuses the admission verdicts.
+  for (const auto& a : presented) {
+    if (a.is_policy()) {
+      snap->dropped_.push_back("POLICY assertion offered as credential");
+      continue;
+    }
+    if (options.verify_signatures) {
+      if (auto v = a.verify(); !v.ok()) {
+        snap->dropped_.push_back(v.error().message);
+        continue;
+      }
+    }
+    snap->assertions_.push_back(a);
+  }
+  for (const auto& a : snap->assertions_) snap->index_.add(a);
+  snap->cond_cache_ =
+      std::make_unique<ConditionsCache>(snap->assertions_.size());
+  return snap;
+}
+
+mwsec::Result<QueryResult> CompiledStore::Snapshot::query(
+    const Query& q) const {
+  QueryContext context(q);
+  QueryResult result;
+  result.value_index = index_.policy_value(context, cond_cache_.get());
+  result.value_name = q.values.name(result.value_index);
+  result.dropped_credentials = dropped_;
+  return result;
+}
+
+mwsec::Result<QueryResult> CompiledStore::query(
+    const Query& q, const std::vector<Assertion>& presented,
+    const QueryOptions& options) const {
+  return snapshot_with(presented, options)->query(q);
+}
+
+std::string CompiledStore::to_bundle_text() const {
+  std::scoped_lock lock(mu_);
+  std::string out;
+  for (const auto& p : policies_) {
+    out += p.to_text();
+    out += "\n";
+  }
+  for (const auto& c : credentials_) {
+    out += c.to_text();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mwsec::keynote

@@ -1,0 +1,210 @@
+// The compiled KeyNote query engine.
+//
+// `evaluate()` re-interprets the assertion set on every call: it rebuilds
+// string-keyed maps of authorizers, evaluates every Conditions program up
+// front, and sweeps all assertions per Kleene pass. That is faithful to
+// RFC 2704 but wasteful on the hot paths this repository cares about — the
+// WebCom scheduler and the KeyCOM administration service issue thousands of
+// queries against a store that changes rarely.
+//
+// The compiled engine splits the work by how often it changes:
+//
+//   per credential-set change  — principal names are interned to dense ids,
+//     Licensees expressions are compiled over those ids, and a reverse
+//     dependency index (principal -> assertions mentioning it) is built
+//     (`CompiledIndex`). Credential signatures are verified exactly once,
+//     at admission (`CompiledStore::add_credential`).
+//   per action environment     — each assertion's Conditions value is
+//     memoized keyed by a fingerprint of the action environment
+//     (`ConditionsCache`), so repeated queries that differ only in e.g.
+//     (Domain, Role) pay conditions evaluation once per distinct
+//     environment.
+//   per query                  — a worklist fixpoint over
+//     `std::vector<std::size_t>` principal values that only revisits
+//     assertions whose licensees changed value, evaluates Conditions
+//     lazily (an assertion whose licensee value is _MIN_TRUST never needs
+//     its conditions), and exits early once POLICY reaches _MAX_TRUST.
+//
+// `CompiledStore` packages this behind the same mutator/query surface as
+// `CredentialStore`; queries run against an immutable `Snapshot` that is
+// rebuilt lazily when the store's version counter moves.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "keynote/assertion.hpp"
+#include "keynote/query.hpp"
+
+namespace mwsec::keynote {
+
+/// Dense interning of principal names. Id 0 is always "POLICY".
+class PrincipalTable {
+ public:
+  PrincipalTable();
+
+  std::uint32_t intern(std::string_view name);
+  /// Id of `name` if it has been interned.
+  std::optional<std::uint32_t> find(std::string_view name) const;
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(std::uint32_t id) const { return names_[id]; }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t, Hash, std::equal_to<>> ids_;
+};
+
+/// A Licensees expression with principals resolved to interned ids, so the
+/// fixpoint evaluates it over a flat value vector with no string lookups.
+struct CompiledLicensee {
+  LicenseeExpr::Kind kind = LicenseeExpr::Kind::kNone;
+  std::uint32_t principal = 0;  // for kPrincipal
+  std::size_t k = 0;            // for kThreshold
+  std::vector<CompiledLicensee> children;
+};
+
+struct CompiledAssertion {
+  /// Conditions program + local constants live in the source assertion,
+  /// which must outlive the index.
+  const Assertion* source = nullptr;
+  std::uint32_t authorizer = 0;
+  CompiledLicensee licensees;
+};
+
+/// Cross-query memo of per-assertion Conditions values, keyed by the query
+/// environment fingerprint. Thread-safe; owned by a `Snapshot` so it is
+/// discarded whenever the assertion set (and thus assertion indices) change.
+class ConditionsCache {
+ public:
+  explicit ConditionsCache(std::size_t assertion_count)
+      : memo_(assertion_count) {}
+
+  std::optional<std::size_t> get(std::size_t assertion,
+                                 std::uint64_t fingerprint) const;
+  void put(std::size_t assertion, std::uint64_t fingerprint, std::size_t value);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unordered_map<std::uint64_t, std::size_t>> memo_;
+};
+
+/// The compiled, immutable form of one admitted assertion set.
+class CompiledIndex {
+ public:
+  static constexpr std::uint32_t kPolicyId = 0;
+
+  /// Compile and add one admitted assertion. `assertion` must stay valid
+  /// (and unmoved) for the life of the index.
+  void add(const Assertion& assertion);
+
+  void reserve(std::size_t assertion_count) {
+    assertions_.reserve(assertion_count);
+  }
+
+  /// Compliance value of POLICY for `query`: the worklist fixpoint.
+  /// `cache`, when non-null, memoizes Conditions values across queries
+  /// under `context.fingerprint()`.
+  std::size_t policy_value(const QueryContext& context,
+                           ConditionsCache* cache) const;
+
+  std::size_t assertion_count() const { return assertions_.size(); }
+
+ private:
+  std::size_t conditions_value(std::size_t assertion,
+                               const QueryContext& context) const;
+
+  PrincipalTable principals_;
+  std::vector<CompiledAssertion> assertions_;
+  /// principal id -> assertions it authored.
+  std::vector<std::vector<std::uint32_t>> by_authorizer_;
+  /// principal id -> assertions whose Licensees mention it (deduplicated).
+  std::vector<std::vector<std::uint32_t>> dependents_;
+};
+
+/// Drop-in replacement for `CredentialStore` with compiled queries.
+/// Mutators mirror `CredentialStore`; every mutation bumps `version()`,
+/// which consumers (e.g. the WebCom scheduler's decision cache) use for
+/// invalidation.
+class CompiledStore {
+ public:
+  mwsec::Status add_policy(Assertion assertion);
+  mwsec::Status add_policy_text(std::string_view text);
+
+  /// Add a credential; its signature is verified here, exactly once —
+  /// queries never re-verify stored credentials.
+  mwsec::Status add_credential(Assertion assertion);
+
+  std::size_t remove_matching(const std::string& text);
+  std::size_t remove_by_authorizer(const std::string& authorizer);
+
+  std::vector<Assertion> policies() const;
+  std::vector<Assertion> credentials() const;
+  std::vector<Assertion> credentials_by_authorizer(
+      const std::string& authorizer) const;
+
+  std::size_t policy_count() const;
+  std::size_t credential_count() const;
+  void clear();
+
+  /// Monotone counter, bumped by every successful mutation.
+  std::uint64_t version() const;
+
+  /// An immutable compiled view of the store (optionally extended with
+  /// presented credentials): answers many queries against one admission.
+  class Snapshot {
+   public:
+    mwsec::Result<QueryResult> query(const Query& q) const;
+
+   private:
+    friend class CompiledStore;
+    std::vector<Assertion> assertions_;  // owned; index points into this
+    CompiledIndex index_;
+    std::unique_ptr<ConditionsCache> cond_cache_;
+    std::vector<std::string> dropped_;  // presented credentials not admitted
+  };
+
+  /// Compiled view of the stored assertions alone. Cached; rebuilt only
+  /// when the store has changed since the last call.
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Compiled view of the store plus `presented` credentials, each
+  /// verified once here (unless `options.verify_signatures` is false).
+  /// Use this to answer many queries for one request — e.g. KeyCOM
+  /// authorising every row of an update against the same presented bundle.
+  std::shared_ptr<const Snapshot> snapshot_with(
+      const std::vector<Assertion>& presented,
+      const QueryOptions& options = {}) const;
+
+  /// One-shot convenience: `snapshot_with(presented, options)->query(q)`.
+  mwsec::Result<QueryResult> query(const Query& q,
+                                   const std::vector<Assertion>& presented = {},
+                                   const QueryOptions& options = {}) const;
+
+  /// Serialise the full store as a parseable bundle.
+  std::string to_bundle_text() const;
+
+ private:
+  std::shared_ptr<const Snapshot> base_snapshot_locked() const;
+
+  mutable std::mutex mu_;
+  std::vector<Assertion> policies_;
+  std::vector<Assertion> credentials_;
+  std::uint64_t version_ = 1;
+  mutable std::shared_ptr<const Snapshot> cached_;
+  mutable std::uint64_t cached_version_ = 0;
+};
+
+}  // namespace mwsec::keynote

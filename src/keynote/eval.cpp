@@ -16,16 +16,28 @@ struct EvalError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-std::string eval_string(const StringExpr& e, const AttrLookup& lookup) {
+/// Evaluates to a view valid as long as `storage` and the lookup's backing
+/// storage live. Only computed results (concatenation) materialise into
+/// `storage`; literals and attribute accesses are allocation-free.
+std::string_view eval_string(const StringExpr& e, const AttrLookup& lookup,
+                             std::string& storage) {
   switch (e.kind) {
     case StringExpr::Kind::kLiteral:
       return e.text;
     case StringExpr::Kind::kAttr:
       return lookup(e.text);
-    case StringExpr::Kind::kIndirect:
-      return lookup(eval_string(*e.a, lookup));
-    case StringExpr::Kind::kConcat:
-      return eval_string(*e.a, lookup) + eval_string(*e.b, lookup);
+    case StringExpr::Kind::kIndirect: {
+      std::string name_storage;
+      return lookup(eval_string(*e.a, lookup, name_storage));
+    }
+    case StringExpr::Kind::kConcat: {
+      std::string left_storage;
+      std::string out(eval_string(*e.a, lookup, left_storage));
+      std::string right_storage;
+      out.append(eval_string(*e.b, lookup, right_storage));
+      storage = std::move(out);
+      return storage;
+    }
   }
   throw EvalError("corrupt string expression");
 }
@@ -36,10 +48,12 @@ double eval_num(const NumExpr& e, const AttrLookup& lookup) {
       return e.literal;
     case NumExpr::Kind::kIntAttr:
     case NumExpr::Kind::kFloatAttr: {
-      std::string raw = eval_string(*e.attr, lookup);
+      std::string storage;
+      std::string_view raw = eval_string(*e.attr, lookup, storage);
       auto trimmed = util::trim(raw);
       if (!util::is_number(trimmed)) {
-        throw EvalError("attribute is not numeric: '" + raw + "'");
+        throw EvalError("attribute is not numeric: '" + std::string(raw) +
+                        "'");
       }
       double v = std::stod(std::string(trimmed));
       return e.kind == NumExpr::Kind::kIntAttr ? std::trunc(v) : v;
@@ -93,14 +107,20 @@ bool eval_test_impl(const Test& t, const AttrLookup& lookup) {
       return eval_test_impl(*t.ta, lookup) || eval_test_impl(*t.tb, lookup);
     case Test::Kind::kNot:
       return !eval_test_impl(*t.ta, lookup);
-    case Test::Kind::kStrCmp:
-      return apply_cmp(t.op, eval_string(*t.sl, lookup),
-                       eval_string(*t.sr, lookup));
+    case Test::Kind::kStrCmp: {
+      std::string left_storage;
+      std::string_view l = eval_string(*t.sl, lookup, left_storage);
+      std::string right_storage;
+      std::string_view r = eval_string(*t.sr, lookup, right_storage);
+      return apply_cmp(t.op, l, r);
+    }
     case Test::Kind::kNumCmp:
       return apply_cmp(t.op, eval_num(*t.nl, lookup), eval_num(*t.nr, lookup));
     case Test::Kind::kRegex: {
-      std::string subject = eval_string(*t.sl, lookup);
-      std::string pattern = eval_string(*t.sr, lookup);
+      std::string subject_storage;
+      std::string subject(eval_string(*t.sl, lookup, subject_storage));
+      std::string pattern_storage;
+      std::string pattern(eval_string(*t.sr, lookup, pattern_storage));
       try {
         std::regex re(pattern, std::regex::extended);
         return std::regex_search(subject, re);

@@ -21,7 +21,13 @@ namespace mwsec::keynote {
 /// Resolves attribute names during evaluation. Layered: assertion-local
 /// constants shadow the query's action environment; the reserved
 /// attributes (_MIN_TRUST etc.) are synthesised by the query engine.
-using AttrLookup = std::function<std::string(std::string_view)>;
+///
+/// Returns a view so that plain attribute access allocates nothing: the
+/// callable must return views into storage that outlives the evaluation
+/// (the assertion, the action environment, or per-query precomputed
+/// strings — see QueryContext). Beware lambdas returning `std::string`:
+/// they convert silently and dangle.
+using AttrLookup = std::function<std::string_view(std::string_view)>;
 
 /// Evaluate a Conditions program to a compliance-value index.
 std::size_t eval_conditions(const Program& program,

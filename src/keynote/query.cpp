@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "keynote/compiled_store.hpp"
 #include "keynote/eval.hpp"
 #include "util/strings.hpp"
 
@@ -13,29 +14,42 @@ namespace {
 
 constexpr std::string_view kPolicyPrincipal = "POLICY";
 
-/// Attribute lookup chain for one assertion: reserved attributes, then the
-/// assertion's local constants, then the action environment.
-AttrLookup make_lookup(const Assertion& assertion, const Query& query) {
-  return [&assertion, &query](std::string_view name) -> std::string {
-    if (name == "_MIN_TRUST") return query.values.min_name();
-    if (name == "_MAX_TRUST") return query.values.max_name();
-    if (name == "_VALUES") return query.values.joined();
-    if (name == "_ACTION_AUTHORIZERS") {
-      return util::join(query.action_authorizers, ",");
-    }
-    if (const std::string* c = assertion.find_constant(name)) return *c;
-    return query.env.get(name);
-  };
+std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  // Field separator, so {"ab","c"} and {"a","bc"} fingerprint differently.
+  h ^= 0x1f;
+  h *= 0x100000001b3ULL;
+  return h;
 }
 
-}  // namespace
+/// Screen `credentials` for admission: POLICY assertions are never
+/// credentials, and signatures must verify unless checking is disabled.
+/// Admitted credentials are appended to `admitted`; the rest are reported
+/// in `dropped`.
+void admit_credentials(const std::vector<Assertion>& credentials,
+                       const QueryOptions& options,
+                       std::vector<const Assertion*>& admitted,
+                       std::vector<std::string>& dropped) {
+  admitted.reserve(admitted.size() + credentials.size());
+  for (const auto& c : credentials) {
+    if (c.is_policy()) {
+      dropped.push_back("POLICY assertion offered as credential");
+      continue;
+    }
+    if (options.verify_signatures) {
+      if (auto v = c.verify(); !v.ok()) {
+        dropped.push_back(v.error().message);
+        continue;
+      }
+    }
+    admitted.push_back(&c);
+  }
+}
 
-mwsec::Result<QueryResult> evaluate(const std::vector<Assertion>& policies,
-                                    const std::vector<Assertion>& credentials,
-                                    const Query& query,
-                                    const QueryOptions& options) {
-  QueryResult result;
-
+mwsec::Status check_policies(const std::vector<Assertion>& policies) {
   for (const auto& p : policies) {
     if (!p.is_policy()) {
       return Error::make(
@@ -44,24 +58,70 @@ mwsec::Result<QueryResult> evaluate(const std::vector<Assertion>& policies,
           "query");
     }
   }
+  return {};
+}
 
-  // Admit credentials: verified ones only (unless checking is disabled).
-  std::vector<const Assertion*> admitted;
-  admitted.reserve(credentials.size());
-  for (const auto& c : credentials) {
-    if (c.is_policy()) {
-      result.dropped_credentials.push_back(
-          "POLICY assertion offered as credential");
-      continue;
-    }
-    if (options.verify_signatures) {
-      if (auto v = c.verify(); !v.ok()) {
-        result.dropped_credentials.push_back(v.error().message);
-        continue;
-      }
-    }
-    admitted.push_back(&c);
+}  // namespace
+
+QueryContext::QueryContext(const Query& query)
+    : query_(&query),
+      values_joined_(query.values.joined()),
+      authorizers_joined_(util::join(query.action_authorizers, ",")) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a(h, values_joined_);
+  h = fnv1a(h, authorizers_joined_);
+  for (const auto& [name, value] : query.env.attrs()) {
+    h = fnv1a(h, name);
+    h = fnv1a(h, value);
   }
+  fingerprint_ = h;
+}
+
+AttrLookup QueryContext::lookup(const Assertion& assertion) const {
+  return [this, &assertion](std::string_view name) -> std::string_view {
+    if (name == "_MIN_TRUST") return query_->values.min_name();
+    if (name == "_MAX_TRUST") return query_->values.max_name();
+    if (name == "_VALUES") return values_joined_;
+    if (name == "_ACTION_AUTHORIZERS") return authorizers_joined_;
+    if (const std::string* c = assertion.find_constant(name)) return *c;
+    return query_->env.get(name);
+  };
+}
+
+mwsec::Result<QueryResult> evaluate(const std::vector<Assertion>& policies,
+                                    const std::vector<Assertion>& credentials,
+                                    const Query& query,
+                                    const QueryOptions& options) {
+  if (auto s = check_policies(policies); !s.ok()) return s.error();
+
+  QueryResult result;
+  std::vector<const Assertion*> admitted;
+  admit_credentials(credentials, options, admitted,
+                    result.dropped_credentials);
+
+  CompiledIndex index;
+  index.reserve(policies.size() + admitted.size());
+  for (const auto& p : policies) index.add(p);
+  for (const Assertion* c : admitted) index.add(*c);
+
+  QueryContext context(query);
+  result.value_index = index.policy_value(context, /*cache=*/nullptr);
+  result.value_name = query.values.name(result.value_index);
+  return result;
+}
+
+mwsec::Result<QueryResult> evaluate_reference(
+    const std::vector<Assertion>& policies,
+    const std::vector<Assertion>& credentials, const Query& query,
+    const QueryOptions& options) {
+  if (auto s = check_policies(policies); !s.ok()) return s.error();
+
+  QueryResult result;
+  std::vector<const Assertion*> admitted;
+  admit_credentials(credentials, options, admitted,
+                    result.dropped_credentials);
+
+  QueryContext context(query);
 
   // Assertion list with POLICY assertions included; per-assertion
   // conditions value is fixed for the whole fixpoint computation.
@@ -72,13 +132,12 @@ mwsec::Result<QueryResult> evaluate(const std::vector<Assertion>& policies,
   std::map<std::string, std::vector<Entry>> by_authorizer;
   for (const auto& p : policies) {
     by_authorizer[std::string(kPolicyPrincipal)].push_back(
-        {&p, eval_conditions(p.conditions(), query.values,
-                             make_lookup(p, query))});
+        {&p, eval_conditions(p.conditions(), query.values, context.lookup(p))});
   }
   for (const Assertion* c : admitted) {
     by_authorizer[c->authorizer()].push_back(
-        {c, eval_conditions(c->conditions(), query.values,
-                            make_lookup(*c, query))});
+        {c,
+         eval_conditions(c->conditions(), query.values, context.lookup(*c))});
   }
 
   // Principal values: requesters at _MAX_TRUST, everyone else _MIN_TRUST.

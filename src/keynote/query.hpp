@@ -14,10 +14,12 @@
 // insensitive to delegation cycles.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "keynote/assertion.hpp"
+#include "keynote/eval.hpp"
 #include "keynote/values.hpp"
 #include "util/result.hpp"
 
@@ -46,13 +48,53 @@ struct QueryResult {
   bool authorized() const { return value_index > 0; }
 };
 
+/// Per-query evaluation context: precomputes the reserved attributes
+/// (_VALUES, _ACTION_AUTHORIZERS) so attribute lookups can return views
+/// into stable storage, and fingerprints everything an assertion's
+/// Conditions program can observe apart from its own local constants —
+/// the key under which Conditions results are memoized across queries.
+class QueryContext {
+ public:
+  explicit QueryContext(const Query& query);
+
+  const Query& query() const { return *query_; }
+
+  /// Attribute lookup chain for one assertion: reserved attributes, then
+  /// the assertion's local constants, then the action environment. The
+  /// returned views point into the assertion, the query, and this context
+  /// — keep all three alive while evaluating.
+  AttrLookup lookup(const Assertion& assertion) const;
+
+  /// Fingerprint of (compliance values, action authorizers, environment).
+  /// 64-bit FNV-1a: collisions are possible in principle but negligible
+  /// against the handful of distinct environments a store ever sees.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+ private:
+  const Query* query_;
+  std::string values_joined_;
+  std::string authorizers_joined_;
+  std::uint64_t fingerprint_;
+};
+
 /// Evaluate a query. `policies` must contain only POLICY assertions;
 /// non-policy assertions among them are an error (they would bypass
-/// signature checking).
+/// signature checking). Internally compiles the assertion set and runs
+/// the worklist fixpoint (see compiled_store.hpp); for a store queried
+/// repeatedly, CompiledStore amortises that compilation too.
 mwsec::Result<QueryResult> evaluate(const std::vector<Assertion>& policies,
                                     const std::vector<Assertion>& credentials,
                                     const Query& query,
                                     const QueryOptions& options = {});
+
+/// The original interpreting evaluator: string-keyed maps and a full
+/// Kleene sweep, exactly as RFC 2704 describes the semantics. Kept as the
+/// executable specification the compiled engine is differentially tested
+/// against; not used on any hot path.
+mwsec::Result<QueryResult> evaluate_reference(
+    const std::vector<Assertion>& policies,
+    const std::vector<Assertion>& credentials, const Query& query,
+    const QueryOptions& options = {});
 
 /// RFC 2704 §6-style session facade: the "KeyNote API" the paper's
 /// applications call. Accumulates policies, credentials and action

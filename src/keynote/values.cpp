@@ -39,9 +39,10 @@ std::string ComplianceValueSet::joined() const {
   return util::join(ordered_, ", ");
 }
 
-std::string ActionEnvironment::get(std::string_view name) const {
+const std::string& ActionEnvironment::get(std::string_view name) const {
+  static const std::string kEmpty;
   auto it = attrs_.find(name);
-  return it == attrs_.end() ? std::string() : it->second;
+  return it == attrs_.end() ? kEmpty : it->second;
 }
 
 bool ActionEnvironment::has(std::string_view name) const {

@@ -60,7 +60,9 @@ class ActionEnvironment {
   }
 
   /// RFC 2704: a reference to an unset attribute yields the empty string.
-  std::string get(std::string_view name) const;
+  /// Returns a reference into the environment (or a static empty string),
+  /// so the conditions interpreter can read attributes without copying.
+  const std::string& get(std::string_view name) const;
   bool has(std::string_view name) const;
 
   const std::map<std::string, std::string, std::less<>>& attrs() const {

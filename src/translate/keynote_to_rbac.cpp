@@ -130,12 +130,12 @@ mwsec::Result<SynthesisResult> synthesize_policy(
     }
     for (const auto& domain : vocab.domains) {
       for (const auto& role : vocab.roles) {
-        auto lookup = [&](std::string_view name) -> std::string {
+        auto lookup = [&](std::string_view name) -> std::string_view {
           if (name == kAppDomainAttr) return kAppDomainValue;
           if (name == "Domain") return domain;
           if (name == "Role") return role;
           if (const std::string* c = cred.find_constant(name)) return *c;
-          return std::string();
+          return {};
         };
         std::size_t val = keynote::eval_conditions(cred.conditions(), values,
                                                    lookup);

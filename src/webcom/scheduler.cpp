@@ -35,8 +35,16 @@ Master::Master(net::Network& network, const std::string& endpoint_name,
     : network_(network), identity_(identity), options_(options) {
   auto ep = network_.open(endpoint_name);
   // An unusable endpoint is a programming error at construction time; the
-  // scheduler cannot run without one.
-  endpoint_ = ep.ok() ? std::move(ep).take() : nullptr;
+  // scheduler cannot run without one. attach_client/execute report it as
+  // an error, but say why here, while the cause is still known.
+  if (ep.ok()) {
+    endpoint_ = std::move(ep).take();
+  } else {
+    MWSEC_LOG(kError, "webcom")
+        << "master endpoint '" << endpoint_name
+        << "' failed to open: " << ep.error().message;
+    endpoint_ = nullptr;
+  }
 }
 
 void Master::set_outbound_credentials(std::string bundle_text) {
@@ -59,7 +67,33 @@ mwsec::Status Master::attach_client(ClientInfo info) {
   }
   client_alive_[info.endpoint] = true;
   clients_.push_back(std::move(info));
+  // New credentials can only have been admitted above, which bumps the
+  // store version — but flush explicitly so a client attaching with no
+  // credentials (or with security disabled) can never be answered from
+  // decisions cached before it existed.
+  decision_cache_.clear();
+  decision_cache_version_ = store_.version();
   return {};
+}
+
+bool Master::authorised_cached(const ClientInfo& client,
+                               const SecurityTarget& t) {
+  if (store_.version() != decision_cache_version_) {
+    decision_cache_.clear();
+    decision_cache_version_ = store_.version();
+  }
+  DecisionKey key{client.principal, client.domain, client.role, t.object_type,
+                  t.permission};
+  if (auto it = decision_cache_.find(key); it != decision_cache_.end()) {
+    ++stats_.decision_cache_hits;
+    return it->second;
+  }
+  ++stats_.keynote_queries;
+  auto q = scheduling_query(client.principal, t, client.domain, client.role);
+  auto r = store_.query(q);
+  bool verdict = r.ok() && r->authorized();
+  decision_cache_.emplace(std::move(key), verdict);
+  return verdict;
 }
 
 bool Master::eligible(const ClientInfo& client, const Node& node) {
@@ -72,10 +106,7 @@ bool Master::eligible(const ClientInfo& client, const Node& node) {
   if (!t.user.empty() && t.user != client.user) return false;
   if (!options_.security_enabled) return true;
   if (t.object_type.empty() && t.permission.empty()) return true;
-  ++stats_.keynote_queries;
-  auto q = scheduling_query(client.principal, t, client.domain, client.role);
-  auto r = store_.query(q);
-  return r.ok() && r->authorized();
+  return authorised_cached(client, t);
 }
 
 mwsec::Result<Value> Master::execute(const Graph& graph) {

@@ -24,7 +24,7 @@
 #include <thread>
 
 #include "crypto/keys.hpp"
-#include "keynote/store.hpp"
+#include "keynote/compiled_store.hpp"
 #include "net/network.hpp"
 #include "webcom/engine.hpp"
 #include "webcom/messages.hpp"
@@ -56,7 +56,8 @@ struct MasterStats {
   std::uint64_t tasks_denied_by_master = 0;  // no eligible client
   std::uint64_t tasks_denied_by_client = 0;
   std::uint64_t tasks_timed_out = 0;
-  std::uint64_t keynote_queries = 0;
+  std::uint64_t keynote_queries = 0;  // actual store queries (cache misses)
+  std::uint64_t decision_cache_hits = 0;
 };
 
 class Master {
@@ -67,8 +68,10 @@ class Master {
   Master(net::Network& network, const std::string& endpoint_name,
          const crypto::Identity& identity, MasterOptions options = {});
 
-  /// The master's trust root: policies trusting client keys.
-  keynote::CredentialStore& store() { return store_; }
+  /// The master's trust root: policies trusting client keys. Compiled:
+  /// credential signatures are checked once at admission and queries run
+  /// against a cached compiled snapshot.
+  keynote::CompiledStore& store() { return store_; }
   /// Credentials shipped to clients with every task.
   void set_outbound_credentials(std::string bundle_text);
 
@@ -92,16 +95,31 @@ class Master {
   /// Is `client` allowed (and placed) to run `node`?
   bool eligible(const ClientInfo& client, const Node& node);
 
+  /// KeyNote verdict for (client, target), through the decision cache.
+  bool authorised_cached(const ClientInfo& client, const SecurityTarget& t);
+
+  /// A scheduling decision is a pure function of these five attributes
+  /// (given a fixed store), so `eligible` answers repeats from a cache
+  /// instead of paying a KeyNote query per (client, node) pair.
+  using DecisionKey =
+      std::tuple<std::string, std::string, std::string, std::string,
+                 std::string>;  // principal, domain, role, object type, perm
+
   net::Network& network_;
   std::shared_ptr<net::Endpoint> endpoint_;
   const crypto::Identity& identity_;
   MasterOptions options_;
-  keynote::CredentialStore store_;
+  keynote::CompiledStore store_;
   std::string outbound_credentials_;
   std::vector<ClientInfo> clients_;
   std::map<std::string, bool> client_alive_;
   MasterStats stats_;
   std::uint64_t next_task_id_ = 1;
+  /// Valid only for store version `decision_cache_version_`; any store
+  /// mutation (attach_client admitting credentials, policy edits through
+  /// store()) moves the version and flushes the cache.
+  std::map<DecisionKey, bool> decision_cache_;
+  std::uint64_t decision_cache_version_ = 0;
 };
 
 struct ClientOptions {
@@ -127,7 +145,7 @@ class Client {
   ~Client();
 
   /// The client's trust root: policies trusting master keys to schedule.
-  keynote::CredentialStore& store() { return store_; }
+  keynote::CompiledStore& store() { return store_; }
 
   const std::string& endpoint_name() const { return endpoint_name_; }
   const std::string& principal() const { return identity_.principal(); }
@@ -147,7 +165,7 @@ class Client {
   const crypto::Identity& identity_;
   OperationRegistry registry_;
   ClientOptions options_;
-  keynote::CredentialStore store_;
+  keynote::CompiledStore store_;
   std::shared_ptr<net::Endpoint> endpoint_;
   std::jthread thread_;
   mutable std::mutex stats_mu_;

@@ -17,11 +17,12 @@ std::size_t run(std::string_view src,
   auto prog = parse_conditions(src);
   EXPECT_TRUE(prog.ok()) << (prog.ok() ? "" : prog.error().message);
   if (!prog.ok()) return 0;
-  return eval_conditions(*prog, values,
-                         [attrs = std::move(attrs)](std::string_view name) {
-                           auto it = attrs.find(std::string(name));
-                           return it == attrs.end() ? std::string() : it->second;
-                         });
+  return eval_conditions(
+      *prog, values,
+      [attrs = std::move(attrs)](std::string_view name) -> std::string_view {
+        auto it = attrs.find(std::string(name));
+        return it == attrs.end() ? std::string_view() : it->second;
+      });
 }
 
 bool truthy(std::string_view src, std::map<std::string, std::string> attrs) {
@@ -146,11 +147,12 @@ TEST(EvalConditions, ReservedAttributesViaLookup) {
   // here we emulate it to check expression-level behaviour.
   auto values = ComplianceValueSet();
   auto prog = parse_conditions("x == _MAX_TRUST").take();
-  auto v = eval_conditions(prog, values, [&](std::string_view name) {
-    if (name == "_MAX_TRUST") return std::string("true");
-    if (name == "x") return std::string("true");
-    return std::string();
-  });
+  auto v = eval_conditions(prog, values,
+                           [&](std::string_view name) -> std::string_view {
+                             if (name == "_MAX_TRUST") return "true";
+                             if (name == "x") return "true";
+                             return {};
+                           });
   EXPECT_EQ(v, 1u);
 }
 
@@ -197,9 +199,10 @@ TEST(EvalLicensees, ThresholdKthLargest) {
 
 TEST(EvalTest, DirectTestHelper) {
   auto prog = parse_conditions("a == \"1\"").take();
-  EXPECT_TRUE(eval_test(*prog.clauses[0].test, [](std::string_view n) {
-    return n == "a" ? std::string("1") : std::string();
-  }));
+  EXPECT_TRUE(
+      eval_test(*prog.clauses[0].test, [](std::string_view n) -> std::string_view {
+        return n == "a" ? "1" : "";
+      }));
 }
 
 }  // namespace

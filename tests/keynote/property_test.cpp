@@ -194,9 +194,12 @@ TEST(EvaluatorFuzz, RandomProgramsEvaluateSafely) {
     }
     auto prog = parse_conditions(cond);
     ASSERT_TRUE(prog.ok()) << cond;
-    std::size_t v = eval_conditions(*prog, values, [&](std::string_view) {
-      return std::to_string(rng.below(4));
-    });
+    std::string attr_storage;
+    std::size_t v = eval_conditions(
+        *prog, values, [&](std::string_view) -> std::string_view {
+          attr_storage = std::to_string(rng.below(4));
+          return attr_storage;
+        });
     EXPECT_LT(v, values.size());
   }
 }

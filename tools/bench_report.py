@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Run the KeyNote-path Google Benchmark binaries and collect one JSON report.
+
+Usage:
+    python3 tools/bench_report.py [--build-dir build] [--out BENCH_keynote.json]
+                                  [--min-time 0.2] [--filter REGEX]
+
+Each binary is invoked with --benchmark_format=json; the per-benchmark
+entries are merged into a single report keyed by binary, with the run
+context (CPU, load, date) of each run preserved. The report backs the
+numbers quoted in EXPERIMENTS.md ("Performance"); re-run after touching
+src/keynote/ to refresh them.
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+# The benchmark binaries that exercise the KeyNote decision path.
+BENCH_BINARIES = [
+    "bench/bench_fig2_keynote_query",
+    "bench/bench_fig3_secure_scheduling",
+]
+
+
+def run_binary(path: pathlib.Path, min_time: float, bench_filter: str):
+    cmd = [
+        str(path),
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"error: {path} exited {proc.returncode}:\n{proc.stderr}",
+              file=sys.stderr)
+        return None
+    # A filter that matches nothing exits 0 with a plain-text notice
+    # instead of JSON; report the binary as having no results.
+    if "Failed to match any benchmarks" in (proc.stdout + proc.stderr):
+        print(f"note: {path}: no benchmarks match the filter",
+              file=sys.stderr)
+        return {"context": {}, "benchmarks": []}
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} produced unparseable JSON: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build directory holding the bench binaries")
+    ap.add_argument("--out", default="BENCH_keynote.json",
+                    help="output report path")
+    ap.add_argument("--min-time", type=float, default=0.2,
+                    help="per-benchmark minimum running time (seconds)")
+    ap.add_argument("--filter", default="",
+                    help="optional --benchmark_filter regex applied to all "
+                         "binaries")
+    args = ap.parse_args()
+
+    build_dir = pathlib.Path(args.build_dir)
+    report = {"benchmarks": {}}
+    missing = []
+    for rel in BENCH_BINARIES:
+        binary = build_dir / rel
+        if not binary.exists():
+            missing.append(str(binary))
+            continue
+        print(f"running {binary} ...", file=sys.stderr)
+        result = run_binary(binary, args.min_time, args.filter)
+        if result is None:
+            return 1
+        report["benchmarks"][pathlib.Path(rel).name] = {
+            "context": result.get("context", {}),
+            "results": result.get("benchmarks", []),
+        }
+
+    if missing:
+        print("error: missing benchmark binaries (build them first):",
+              file=sys.stderr)
+        for m in missing:
+            print(f"  {m}", file=sys.stderr)
+        return 1
+
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    n = sum(len(v["results"]) for v in report["benchmarks"].values())
+    print(f"wrote {out} ({n} benchmark entries)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
