@@ -13,8 +13,11 @@
 //                               memo amortising per-query cost.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "keynote/compiled_store.hpp"
 #include "keynote/query.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -134,6 +137,55 @@ void BM_Fig2_RepeatedQueries(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_Fig2_RepeatedQueries);
+
+void BM_Fig2_ObservedRepeatedQueries(benchmark::State& state) {
+  // NOT a latency figure (metrics are ON inside the loop; compare
+  // RepeatedQueries for timing). Runs the scheduler-shaped workload
+  // instrumented, reports the conditions-memo hit rate as a counter, and
+  // appends the full registry snapshot to $MWSEC_METRICS_OUT as one
+  // JSONL line labelled "fig2" for tools/bench_report.py to merge.
+  const int kStore = 256;
+  keynote::CompiledStore store;
+  for (int i = 0; i < kStore; ++i) {
+    store
+        .add_policy(keynote::AssertionBuilder()
+                        .authorizer("POLICY")
+                        .licensees("\"K" + std::to_string(i) + "\"")
+                        .conditions("Domain==\"d" + std::to_string(i % 4) +
+                                    "\" && Role==\"r" + std::to_string(i % 3) +
+                                    "\"")
+                        .build()
+                        .take())
+        .ok();
+  }
+  auto snapshot = store.snapshot();
+  std::vector<keynote::Query> queries;
+  for (int i = 0; i < 12; ++i) {
+    keynote::Query q;
+    q.action_authorizers = {"K" + std::to_string(kStore - 1 - i)};
+    q.env.set("Domain", "d" + std::to_string(i % 4));
+    q.env.set("Role", "r" + std::to_string(i % 3));
+    queries.push_back(std::move(q));
+  }
+  obs::Registry::global().reset();
+  obs::set_metrics_enabled(true);
+  for (auto _ : state) {
+    for (int i = 0; i < 1000; ++i) {
+      benchmark::DoNotOptimize(snapshot->query(queries[i % queries.size()]));
+    }
+  }
+  obs::set_metrics_enabled(false);
+  auto metrics = obs::Registry::global().snapshot();
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["memo_hit_rate"] = metrics.hit_rate(
+      "keynote.conditions_memo_hits", "keynote.conditions_memo_misses");
+  state.counters["kn_queries"] =
+      static_cast<double>(metrics.counter_or_zero("keynote.queries"));
+  if (const char* out = std::getenv("MWSEC_METRICS_OUT")) {
+    obs::append_snapshot_jsonl(out, "fig2", metrics);
+  }
+}
+BENCHMARK(BM_Fig2_ObservedRepeatedQueries);
 
 void BM_Fig2_ConditionsComplexity(benchmark::State& state) {
   // One assertion whose conditions program has N disjuncts; the request

@@ -4,6 +4,8 @@
 // mid-deployment.
 #include <cstdio>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "webcom/scheduler.hpp"
 
 using namespace mwsec;
@@ -19,6 +21,11 @@ std::string trust_for(const std::string& principal) {
 }  // namespace
 
 int main() {
+  // Observability on for the whole run: every scheduling decision leaves
+  // a span, every cache hit a counter tick.
+  obs::set_metrics_enabled(true);
+  obs::Tracer::global().set_enabled(true);
+
   crypto::KeyRing ring(/*seed=*/42);
   net::Network network;
 
@@ -112,5 +119,20 @@ int main() {
               (*v1 == *v2 ? "yes" : "NO — mismatch!"));
   std::printf("timed-out tasks rescheduled: %llu\n",
               static_cast<unsigned long long>(master.stats().tasks_timed_out));
+
+  // The observability dump: the metrics registry (including the KeyNote
+  // decision-cache hit rate) and the per-node decision trace.
+  auto snapshot = obs::Registry::global().snapshot();
+  std::printf("\n== metrics ==\n%s", obs::render_text(snapshot).c_str());
+  std::printf("webcom decision-cache hit rate: %.2f (%llu hits, %llu misses)\n",
+              snapshot.hit_rate("webcom.decision_cache_hits",
+                                "webcom.decision_cache_misses"),
+              static_cast<unsigned long long>(
+                  snapshot.counter_or_zero("webcom.decision_cache_hits")),
+              static_cast<unsigned long long>(
+                  snapshot.counter_or_zero("webcom.decision_cache_misses")));
+
+  std::printf("\n== per-node decision trace (JSONL) ==\n%s",
+              obs::Tracer::global().to_jsonl().c_str());
   return 0;
 }

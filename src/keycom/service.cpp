@@ -1,8 +1,29 @@
 #include "keycom/service.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mwsec::keycom {
 
 namespace {
+
+struct KeycomMetrics {
+  obs::Counter& requests;
+  obs::Counter& bad_signatures;
+  obs::Counter& rows_applied;
+  obs::Counter& rows_rejected;
+  obs::Histogram& apply_us;
+
+  static KeycomMetrics& get() {
+    auto& r = obs::Registry::global();
+    static KeycomMetrics m{
+        r.counter("keycom.requests"),      r.counter("keycom.bad_signatures"),
+        r.counter("keycom.rows_applied"),  r.counter("keycom.rows_rejected"),
+        r.histogram("keycom.apply_us"),
+    };
+    return m;
+  }
+};
 void write_assignment(util::ByteWriter& w, const rbac::RoleAssignment& a) {
   w.str(a.domain);
   w.str(a.role);
@@ -137,9 +158,25 @@ bool Service::authorised(const keynote::CompiledStore::Snapshot& snapshot,
 }
 
 mwsec::Result<UpdateReport> Service::apply(const UpdateRequest& request) {
+  auto& metrics = KeycomMetrics::get();
   ++stats_.requests;
+  metrics.requests.inc();
+  obs::ScopedTimer timer(metrics.apply_us);
+  auto span = obs::Tracer::global().root("keycom.apply");
+  if (span.active()) {
+    span.set_attr(obs::kAttrSystem, "KeyCOM/" + target_.name());
+    span.set_attr(obs::kAttrPrincipal, request.requester);
+    span.set_attr(obs::kAttrAction, "policy-update");
+  }
   if (auto s = request.verify(); !s.ok()) {
     ++stats_.bad_signatures;
+    metrics.bad_signatures.inc();
+    if (span.active()) {
+      span.set_attr(obs::kAttrDecision, "deny");
+      span.set_attr(obs::kAttrDeniedBy, "keycom-signature");
+      span.set_attr(obs::kAttrReason, s.error().message);
+      span.set_status("deny");
+    }
     if (audit_ != nullptr) {
       audit_->record({"KeyCOM/" + target_.name(), request.requester,
                       "policy-update", false, s.error().message});
@@ -210,6 +247,22 @@ mwsec::Result<UpdateReport> Service::apply(const UpdateRequest& request) {
   stats_.rows_applied +=
       report.assignments_applied + report.grants_applied;
   stats_.rows_rejected += report.rejected.size();
+  metrics.rows_applied.inc(report.assignments_applied +
+                           report.grants_applied);
+  metrics.rows_rejected.inc(report.rejected.size());
+  if (span.active()) {
+    span.set_attr(obs::kAttrDecision,
+                  report.fully_applied() ? "permit" : "deny");
+    span.set_attr("rows_applied",
+                  std::to_string(report.assignments_applied +
+                                 report.grants_applied));
+    span.set_attr("rows_rejected", std::to_string(report.rejected.size()));
+    if (!report.fully_applied()) {
+      span.set_attr(obs::kAttrDeniedBy, "keycom-delegation");
+      span.set_attr(obs::kAttrReason, report.rejected.front());
+    }
+    span.set_status(report.fully_applied() ? "permit" : "deny");
+  }
   if (audit_ != nullptr) {
     audit_->record({"KeyCOM/" + target_.name(), request.requester,
                     "policy-update", report.fully_applied(),

@@ -5,12 +5,45 @@
 #include <functional>
 
 #include "keynote/eval.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mwsec::keynote {
 
 namespace {
 
 constexpr std::size_t kUnsetConditions = static_cast<std::size_t>(-1);
+
+/// Registry references resolved once; recording is gated inside each
+/// metric by the global enable flag, so the disabled hot path pays one
+/// branch per site.
+struct EngineMetrics {
+  obs::Counter& queries;
+  obs::Histogram& query_us;
+  obs::Counter& memo_hits;
+  obs::Counter& memo_misses;
+  obs::Counter& fixpoint_steps;
+  obs::Counter& snapshot_rebuilds;
+  obs::Counter& snapshot_with_builds;
+  obs::Counter& admission_verifies;
+  obs::Counter& presented_dropped;
+
+  static EngineMetrics& get() {
+    auto& r = obs::Registry::global();
+    static EngineMetrics m{
+        r.counter("keynote.queries"),
+        r.histogram("keynote.query_us"),
+        r.counter("keynote.conditions_memo_hits"),
+        r.counter("keynote.conditions_memo_misses"),
+        r.counter("keynote.fixpoint_steps"),
+        r.counter("keynote.snapshot_rebuilds"),
+        r.counter("keynote.snapshot_with_builds"),
+        r.counter("keynote.admission_verifies"),
+        r.counter("keynote.presented_dropped"),
+    };
+    return m;
+  }
+};
 
 CompiledLicensee compile_licensee(const LicenseeExpr& e,
                                   PrincipalTable& principals) {
@@ -168,13 +201,29 @@ std::size_t CompiledIndex::policy_value(const QueryContext& context,
   if (assertions_.empty()) return vmin;
 
   // Per-query lazy conditions values, backed by the cross-query cache.
+  // Counts are tallied in locals and flushed once on exit so the inner
+  // loops pay no enabled-flag branches (a disabled inc() per worklist pop
+  // is measurable at small store sizes).
+  struct Tally {
+    std::uint64_t memo_hits = 0, memo_misses = 0, fixpoint_steps = 0;
+    ~Tally() {
+      auto& m = EngineMetrics::get();
+      if (memo_hits != 0) m.memo_hits.inc(memo_hits);
+      if (memo_misses != 0) m.memo_misses.inc(memo_misses);
+      if (fixpoint_steps != 0) m.fixpoint_steps.inc(fixpoint_steps);
+    }
+  } tally;
   std::vector<std::size_t> conditions(assertions_.size(), kUnsetConditions);
   const std::uint64_t fp = context.fingerprint();
   auto conditions_of = [&](std::size_t i) -> std::size_t {
     if (conditions[i] != kUnsetConditions) return conditions[i];
     if (cache != nullptr) {
-      if (auto hit = cache->get(i, fp)) return conditions[i] = *hit;
+      if (auto hit = cache->get(i, fp)) {
+        ++tally.memo_hits;
+        return conditions[i] = *hit;
+      }
     }
+    ++tally.memo_misses;
     std::size_t v = conditions_value(i, context);
     if (cache != nullptr) cache->put(i, fp, v);
     return conditions[i] = v;
@@ -198,6 +247,7 @@ std::size_t CompiledIndex::policy_value(const QueryContext& context,
     std::uint32_t p = work.front();
     work.pop_front();
     queued[p] = 0;
+    ++tally.fixpoint_steps;
 
     std::size_t best = value[p];
     for (std::uint32_t i : by_authorizer_[p]) {
@@ -248,6 +298,7 @@ mwsec::Status CompiledStore::add_policy_text(std::string_view text) {
 }
 
 mwsec::Status CompiledStore::add_credential(Assertion assertion) {
+  EngineMetrics::get().admission_verifies.inc();
   if (auto v = assertion.verify(); !v.ok()) return v;
   std::scoped_lock lock(mu_);
   // Idempotent: identical text is stored once.
@@ -325,6 +376,7 @@ std::uint64_t CompiledStore::version() const {
 std::shared_ptr<const CompiledStore::Snapshot>
 CompiledStore::base_snapshot_locked() const {
   if (cached_ == nullptr || cached_version_ != version_) {
+    EngineMetrics::get().snapshot_rebuilds.inc();
     auto snap = std::make_shared<Snapshot>();
     snap->assertions_.reserve(policies_.size() + credentials_.size());
     snap->assertions_.insert(snap->assertions_.end(), policies_.begin(),
@@ -350,6 +402,7 @@ std::shared_ptr<const CompiledStore::Snapshot> CompiledStore::snapshot_with(
     const std::vector<Assertion>& presented,
     const QueryOptions& options) const {
   if (presented.empty()) return snapshot();
+  EngineMetrics::get().snapshot_with_builds.inc();
 
   std::vector<Assertion> stored_policies, stored_credentials;
   {
@@ -369,11 +422,14 @@ std::shared_ptr<const CompiledStore::Snapshot> CompiledStore::snapshot_with(
   for (const auto& a : presented) {
     if (a.is_policy()) {
       snap->dropped_.push_back("POLICY assertion offered as credential");
+      EngineMetrics::get().presented_dropped.inc();
       continue;
     }
     if (options.verify_signatures) {
+      EngineMetrics::get().admission_verifies.inc();
       if (auto v = a.verify(); !v.ok()) {
         snap->dropped_.push_back(v.error().message);
+        EngineMetrics::get().presented_dropped.inc();
         continue;
       }
     }
@@ -387,11 +443,30 @@ std::shared_ptr<const CompiledStore::Snapshot> CompiledStore::snapshot_with(
 
 mwsec::Result<QueryResult> CompiledStore::Snapshot::query(
     const Query& q) const {
+  auto& metrics = EngineMetrics::get();
+  metrics.queries.inc();
+  obs::ScopedTimer timer(metrics.query_us);
+  // Span (and its name string) built only when tracing is on, keeping the
+  // disabled query path to flag-check branches.
+  obs::Span span;
+  if (obs::Tracer::global().enabled()) {
+    span = obs::Tracer::global().root("keynote.query");
+  }
   QueryContext context(q);
   QueryResult result;
   result.value_index = index_.policy_value(context, cond_cache_.get());
   result.value_name = q.values.name(result.value_index);
   result.dropped_credentials = dropped_;
+  if (span.active()) {
+    span.set_attr("requester", q.action_authorizers.empty()
+                                   ? std::string_view{}
+                                   : std::string_view(q.action_authorizers[0]));
+    span.set_attr("compliance", result.value_name);
+    if (!dropped_.empty()) {
+      span.set_attr("dropped_credentials", std::to_string(dropped_.size()));
+    }
+    span.set_status(result.authorized() ? "permit" : "deny");
+  }
   return result;
 }
 

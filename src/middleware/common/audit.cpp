@@ -13,6 +13,33 @@ void AuditLog::record(AuditEvent event) {
   while (events_.size() > capacity_) events_.pop_front();
 }
 
+void AuditLog::record_from(const obs::SpanRecord& span) {
+  const std::string* decision = span.attr(obs::kAttrDecision);
+  if (decision == nullptr) return;
+  AuditEvent event;
+  if (const auto* v = span.attr(obs::kAttrSystem)) event.system = *v;
+  if (const auto* v = span.attr(obs::kAttrPrincipal)) event.principal = *v;
+  if (const auto* v = span.attr(obs::kAttrAction)) event.action = *v;
+  event.allowed = *decision == "permit" || *decision == "allow";
+  if (const auto* v = span.attr(obs::kAttrReason)) {
+    event.detail = *v;
+  }
+  if (const auto* v = span.attr(obs::kAttrDeniedBy)) {
+    event.detail = event.detail.empty() ? "denied by " + *v
+                                        : *v + ": " + event.detail;
+  }
+  record(std::move(event));
+}
+
+std::uint64_t AuditLog::attach(obs::Tracer& tracer) {
+  return tracer.add_sink(
+      [this](const obs::SpanRecord& span) { record_from(span); });
+}
+
+void AuditLog::detach(obs::Tracer& tracer, std::uint64_t sink_id) {
+  tracer.remove_sink(sink_id);
+}
+
 std::vector<AuditEvent> AuditLog::events() const {
   std::scoped_lock lock(mu_);
   return {events_.begin(), events_.end()};

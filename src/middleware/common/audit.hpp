@@ -1,5 +1,14 @@
 // Mediation audit log, shared by the middleware simulators, the stacked
 // authoriser and the KeyCOM administration service. Thread-safe; bounded.
+//
+// The audit log is a consumer of the observability trace stream: every
+// decision a mediation point makes is described by one obs::SpanRecord
+// carrying the shared attribute vocabulary (obs::kAttrSystem,
+// kAttrPrincipal, kAttrAction, kAttrDecision, kAttrReason...), and the
+// audit event is derived from that record — either directly
+// (record_from, used by producers holding an AuditLog*) or by
+// subscribing the log to a tracer (attach), which audits every decision
+// span any component emits.
 #pragma once
 
 #include <cstddef>
@@ -7,6 +16,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 namespace mwsec::middleware {
 
@@ -23,6 +34,17 @@ class AuditLog {
   explicit AuditLog(std::size_t capacity = 4096) : capacity_(capacity) {}
 
   void record(AuditEvent event);
+  /// Derive an AuditEvent from a decision span (a record carrying
+  /// obs::kAttrDecision) and record it. Spans without a decision
+  /// attribute are ignored — they are timing detail, not decisions.
+  void record_from(const obs::SpanRecord& span);
+
+  /// Subscribe this log to `tracer`: every finished decision span is
+  /// audited via record_from. Returns the sink id for detach(). The log
+  /// must outlive the subscription.
+  std::uint64_t attach(obs::Tracer& tracer);
+  void detach(obs::Tracer& tracer, std::uint64_t sink_id);
+
   std::vector<AuditEvent> events() const;
   std::size_t size() const;
   /// Counts of allowed/denied events recorded so far (monotonic, not

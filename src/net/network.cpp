@@ -2,9 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "util/result.hpp"
 
 namespace mwsec::net {
+
+namespace {
+
+/// Process-wide counters mirroring Network::Stats, so a metrics snapshot
+/// shows traffic alongside the authorisation-pipeline counters.
+struct NetMetrics {
+  obs::Counter& sent;
+  obs::Counter& delivered;
+  obs::Counter& dropped;
+  obs::Counter& partitioned;
+  obs::Counter& undeliverable;
+  obs::Counter& bytes;
+
+  static NetMetrics& get() {
+    auto& r = obs::Registry::global();
+    static NetMetrics m{
+        r.counter("net.sent"),          r.counter("net.delivered"),
+        r.counter("net.dropped"),       r.counter("net.partitioned"),
+        r.counter("net.undeliverable"), r.counter("net.bytes"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Endpoint::~Endpoint() { close(); }
 
@@ -73,31 +99,38 @@ mwsec::Result<std::shared_ptr<Endpoint>> Network::open(
 }
 
 mwsec::Status Network::send(Message m) {
+  auto& metrics = NetMetrics::get();
   std::shared_ptr<Endpoint> dest;
   {
     std::scoped_lock lock(mu_);
     ++stats_.sent;
     stats_.bytes += m.payload.size();
+    metrics.sent.inc();
+    metrics.bytes.inc(m.payload.size());
     m.id = next_id_++;
 
     auto key = std::minmax(m.from, m.to);
     if (partitions_.count({key.first, key.second})) {
       ++stats_.partitioned;
+      metrics.partitioned.inc();
       return Error::make("link partitioned: " + m.from + " <-> " + m.to,
                          "net");
     }
     if (options_.drop_probability > 0.0 &&
         rng_.chance(options_.drop_probability)) {
       ++stats_.dropped;
+      metrics.dropped.inc();
       return {};  // silently lost, as real networks do
     }
     auto it = endpoints_.find(m.to);
     if (it != endpoints_.end()) dest = it->second.lock();
     if (dest == nullptr || dest->closed()) {
       ++stats_.undeliverable;
+      metrics.undeliverable.inc();
       return Error::make("no such endpoint: " + m.to, "net");
     }
     ++stats_.delivered;
+    metrics.delivered.inc();
   }
   dest->deliver(std::move(m));
   return {};

@@ -1,0 +1,174 @@
+// Lock-cheap metrics for the authorisation pipeline.
+//
+// Every mediation hot path (the compiled KeyNote engine, the WebCom
+// scheduler, the stacked authoriser, KeyCOM, the simulated network)
+// records into a process-wide `Registry` of named counters, gauges and
+// fixed-bucket latency histograms. Recording is guarded by one relaxed
+// atomic enable flag and is disabled by default, so an uninstrumented run
+// pays a single predictable branch per site — the fig2/fig3 benchmark
+// numbers must not move when observability is off.
+//
+// Instrumentation sites hold references obtained once (function-local
+// statics); metric objects have stable addresses for the life of the
+// registry, so the hot path never touches the registry map.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mwsec::obs {
+
+/// Process-wide metrics switch. Relaxed loads: recording may lag an
+/// enable/disable by a few operations, which is fine for statistics.
+bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+/// Monotone event count. inc() is a no-op while metrics are disabled.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if (!metrics_enabled()) return;
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// A settable level (queue depths, live clients...). set() applies even
+/// while disabled — a gauge is state, not an event stream.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) {
+    if (!metrics_enabled()) return;
+    v_.fetch_add(d, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
+/// with an implicit overflow bucket above the last. Observation is a
+/// branchless-ish linear scan (bucket counts are small) plus two relaxed
+/// atomics; snapshots interpolate p50/p95/p99 within the hit bucket.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Geometric microsecond buckets 0.1 µs .. ~13 s, the default for
+  /// per-request latency.
+  static std::vector<double> latency_bounds_us();
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    std::vector<double> bounds;          ///< upper bounds, ascending
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 counts
+    double mean() const { return count == 0 ? 0 : sum / double(count); }
+  };
+  Snapshot snapshot() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{0};
+  std::atomic<double> max_{0};
+};
+
+/// Named metric registry. Creation takes a mutex (cold); recorded objects
+/// are stable for the registry's lifetime, so hot paths cache references.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `bounds` applies on first creation only; later callers get the
+  /// existing histogram whatever bounds they pass.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds = {});
+
+  /// Zero every value. Registrations (and site-cached references) survive.
+  void reset();
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+
+    /// Counter value by exact name; 0 when absent.
+    std::uint64_t counter_or_zero(std::string_view name) const;
+    /// hits / (hits + misses), or 0 when nothing was recorded. The
+    /// canonical derivation for the cache-rate metrics.
+    double hit_rate(std::string_view hits, std::string_view misses) const;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  Registry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Records elapsed microseconds into `h` on destruction. Reads the clock
+/// only while metrics are enabled; otherwise construction is one branch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h)
+      : h_(metrics_enabled() ? &h : nullptr),
+        start_(h_ != nullptr ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{}) {}
+  ~ScopedTimer() {
+    if (h_ == nullptr) return;
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start_)
+                  .count();
+    h_->observe(double(ns) / 1000.0);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Human-readable dump, one metric per line (histograms show
+/// count/mean/p50/p95/p99).
+std::string render_text(const Registry::Snapshot& snapshot);
+/// The same snapshot as one JSON object:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {...}}}.
+std::string render_json(const Registry::Snapshot& snapshot);
+
+/// Append one JSON line {"label": label, ...snapshot...} to `path` —
+/// the hand-off format bench binaries use to feed metrics snapshots into
+/// tools/bench_report.py (see MWSEC_METRICS_OUT).
+bool append_snapshot_jsonl(const std::string& path, std::string_view label,
+                           const Registry::Snapshot& snapshot);
+
+}  // namespace mwsec::obs

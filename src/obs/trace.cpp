@@ -1,0 +1,172 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace mwsec::obs {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string* SpanRecord::attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string SpanRecord::to_json() const {
+  std::ostringstream os;
+  os << "{\"id\":" << id << ",\"parent\":" << parent << ",\"name\":\""
+     << json_escape(name) << "\",\"start_ns\":" << start_ns
+     << ",\"duration_ns\":" << duration_ns << ",\"status\":\""
+     << json_escape(status) << "\"";
+  if (!attrs.empty()) {
+    os << ",\"attrs\":{";
+    for (std::size_t i = 0; i < attrs.size(); ++i) {
+      if (i != 0) os << ",";
+      os << "\"" << json_escape(attrs[i].first) << "\":\""
+         << json_escape(attrs[i].second) << "\"";
+    }
+    os << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  std::scoped_lock lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+void Tracer::Span::set_attr(std::string_view key, std::string_view value) {
+  if (rec_ == nullptr) return;
+  for (auto& [k, v] : rec_->attrs) {
+    if (k == key) {
+      v = std::string(value);
+      return;
+    }
+  }
+  rec_->attrs.emplace_back(std::string(key), std::string(value));
+}
+
+void Tracer::Span::set_status(std::string_view status) {
+  if (rec_ == nullptr) return;
+  rec_->status = std::string(status);
+}
+
+Tracer::Span Tracer::Span::child(std::string name) {
+  if (tracer_ == nullptr) return {};
+  return tracer_->make_span(std::move(name), rec_->id);
+}
+
+void Tracer::Span::finish() {
+  if (tracer_ == nullptr) return;
+  auto now = std::chrono::steady_clock::now();
+  rec_->duration_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - start_)
+          .count());
+  Tracer* t = tracer_;
+  tracer_ = nullptr;
+  t->record(std::move(*rec_));
+  rec_.reset();
+}
+
+Tracer::Span Tracer::root(std::string name) {
+  if (!enabled()) return {};
+  return make_span(std::move(name), 0);
+}
+
+Tracer::Span Tracer::make_span(std::string name, std::uint64_t parent) {
+  Span span;
+  span.tracer_ = this;
+  span.rec_ = std::make_unique<SpanRecord>();
+  span.rec_->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.rec_->parent = parent;
+  span.rec_->name = std::move(name);
+  span.start_ = std::chrono::steady_clock::now();
+  span.rec_->start_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(span.start_ -
+                                                           epoch_)
+          .count());
+  return span;
+}
+
+void Tracer::record(SpanRecord rec) {
+  std::scoped_lock lock(mu_);
+  for (const auto& [id, sink] : sinks_) sink(rec);
+  records_.push_back(std::move(rec));
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+std::uint64_t Tracer::add_sink(Sink sink) {
+  std::scoped_lock lock(mu_);
+  auto id = next_sink_id_++;
+  sinks_.emplace_back(id, std::move(sink));
+  return id;
+}
+
+void Tracer::remove_sink(std::uint64_t sink_id) {
+  std::scoped_lock lock(mu_);
+  std::erase_if(sinks_,
+                [&](const auto& entry) { return entry.first == sink_id; });
+}
+
+std::vector<SpanRecord> Tracer::records() const {
+  std::scoped_lock lock(mu_);
+  return {records_.begin(), records_.end()};
+}
+
+std::string Tracer::to_jsonl() const {
+  std::scoped_lock lock(mu_);
+  std::string out;
+  for (const auto& rec : records_) {
+    out += rec.to_json();
+    out += "\n";
+  }
+  return out;
+}
+
+std::size_t Tracer::size() const {
+  std::scoped_lock lock(mu_);
+  return records_.size();
+}
+
+void Tracer::clear() {
+  std::scoped_lock lock(mu_);
+  records_.clear();
+}
+
+}  // namespace mwsec::obs

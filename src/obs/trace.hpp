@@ -1,0 +1,145 @@
+// Structured decision tracing for the authorisation pipeline.
+//
+// A `Tracer` records spans — named, timed operations with string
+// attributes and a parent link — into a bounded in-memory ring, and fans
+// finished spans out to registered sinks (the audit log is one such
+// consumer; see middleware::AuditLog::attach). Spans are RAII handles:
+// when tracing is disabled, `root()` hands back an inert span and every
+// operation on it is a null-pointer check, so the mediation hot paths pay
+// nothing measurable with tracing off.
+//
+// Mediation points use the well-known attribute keys below so a consumer
+// (audit log, mwsec-stats, a human reading the JSONL export) can answer
+// "why was this request denied, and by which layer?" without knowing the
+// producer: a denied stacked decision, for example, carries
+//   decision=deny denied_by=L2-keynote reason=<failing condition>.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mwsec::obs {
+
+/// Attribute keys shared by every decision-producing component.
+inline constexpr const char* kAttrSystem = "system";
+inline constexpr const char* kAttrPrincipal = "principal";
+inline constexpr const char* kAttrAction = "action";
+inline constexpr const char* kAttrDecision = "decision";  // "permit"/"deny"
+inline constexpr const char* kAttrDeniedBy = "denied_by";  // layer name
+inline constexpr const char* kAttrReason = "reason";  // failing constraint
+
+/// One finished span.
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  ///< 0 for roots
+  std::string name;
+  std::uint64_t start_ns = 0;  ///< steady-clock ns since tracer creation
+  std::uint64_t duration_ns = 0;
+  std::string status;  ///< e.g. "complete", "timeout", "permit", "deny"
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  /// Attribute value by key, or nullptr.
+  const std::string* attr(std::string_view key) const;
+  /// One-line JSON object (the JSONL export element).
+  std::string to_json() const;
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  /// The process-wide tracer the pipeline components record into.
+  static Tracer& global();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Bound on buffered records (oldest evicted first). Default 8192.
+  void set_capacity(std::size_t capacity);
+
+  /// RAII span handle. Movable, not copyable; finishes (records duration
+  /// and hands the record to the tracer) on destruction or finish().
+  /// A default-constructed or disabled-tracer span is inert.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept
+        : tracer_(other.tracer_), rec_(std::move(other.rec_)),
+          start_(other.start_) {
+      other.tracer_ = nullptr;
+    }
+    Span& operator=(Span&& other) noexcept {
+      if (this != &other) {
+        finish();
+        tracer_ = other.tracer_;
+        rec_ = std::move(other.rec_);
+        start_ = other.start_;
+        other.tracer_ = nullptr;
+      }
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { finish(); }
+
+    bool active() const { return tracer_ != nullptr; }
+    std::uint64_t id() const { return rec_ != nullptr ? rec_->id : 0; }
+
+    void set_attr(std::string_view key, std::string_view value);
+    void set_status(std::string_view status);
+    /// A child span of this one (inert if this span is inert).
+    Span child(std::string name);
+    /// Record and emit now (idempotent; the destructor is a no-op after).
+    void finish();
+
+   private:
+    friend class Tracer;
+    Tracer* tracer_ = nullptr;
+    std::unique_ptr<SpanRecord> rec_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  /// Start a root span; inert when tracing is disabled.
+  Span root(std::string name);
+
+  /// Sinks observe every finished span (called with the tracer's sink
+  /// lock held — keep them fast, do not re-enter the tracer).
+  using Sink = std::function<void(const SpanRecord&)>;
+  std::uint64_t add_sink(Sink sink);
+  void remove_sink(std::uint64_t sink_id);
+
+  /// Buffered finished spans, oldest first.
+  std::vector<SpanRecord> records() const;
+  /// Buffered spans as JSON lines (one span per line).
+  std::string to_jsonl() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  Span make_span(std::string name, std::uint64_t parent);
+  void record(SpanRecord rec);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::size_t capacity_ = 8192;
+  std::deque<SpanRecord> records_;
+  std::vector<std::pair<std::uint64_t, Sink>> sinks_;
+  std::uint64_t next_sink_id_ = 1;
+};
+
+using Span = Tracer::Span;
+
+}  // namespace mwsec::obs

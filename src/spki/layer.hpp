@@ -24,6 +24,18 @@ class SpkiLayer final : public stack::Layer {
                : stack::Decision::kDeny;
   }
 
+  std::string explain(const stack::Request& request,
+                      stack::Decision decision) const override {
+    std::string tag = "(tag " + request.object_type + " " +
+                      request.permission + ")";
+    if (decision == stack::Decision::kPermit) {
+      return "certificate chain from admin reaches '" + request.principal +
+             "' with " + tag;
+    }
+    return "no certificate chain from admin to '" + request.principal +
+           "' authorises " + tag;
+  }
+
  private:
   const CertStore& store_;
   std::string admin_principal_;

@@ -1,6 +1,50 @@
 #include "stack/layers.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mwsec::stack {
+
+namespace {
+
+struct StackMetrics {
+  obs::Counter& decisions;
+  obs::Counter& permits;
+  obs::Counter& denies;
+  obs::Histogram& decide_us;
+
+  static StackMetrics& get() {
+    auto& r = obs::Registry::global();
+    static StackMetrics m{
+        r.counter("stack.decisions"),
+        r.counter("stack.permits"),
+        r.counter("stack.denies"),
+        r.histogram("stack.decide_us"),
+    };
+    return m;
+  }
+};
+
+/// The Figure 5 action environment the trust layer queries with — also
+/// the "failing constraint" a denied-request trace reports.
+keynote::Query trust_query(const Request& request) {
+  keynote::Query q;
+  q.action_authorizers = {request.principal};
+  q.env.set("app_domain", "WebCom");
+  q.env.set("ObjectType", request.object_type);
+  q.env.set("Permission", request.permission);
+  q.env.set("Domain", request.domain);
+  q.env.set("Role", request.role);
+  return q;
+}
+
+std::string trust_env_text(const Request& request) {
+  return "{app_domain=WebCom, ObjectType=" + request.object_type +
+         ", Permission=" + request.permission + ", Domain=" + request.domain +
+         ", Role=" + request.role + "}";
+}
+
+}  // namespace
 
 const char* decision_name(Decision d) {
   switch (d) {
@@ -26,6 +70,19 @@ Decision OsLayer::decide(const Request& request) const {
   return Decision::kAbstain;
 }
 
+std::string OsLayer::explain(const Request& request, Decision decision) const {
+  switch (decision) {
+    case Decision::kDeny:
+      return "no OS account '" + request.user + "'";
+    case Decision::kPermit:
+      return "ACL grants " + request.user + " " + request.object_type + ":" +
+             request.permission;
+    case Decision::kAbstain:
+      return "no ACL entry for " + request.object_type + " (not an OS object)";
+  }
+  return {};
+}
+
 Decision MiddlewareLayer::decide(const Request& request) const {
   // Does this middleware serve the object type at all?
   bool serves = false;
@@ -42,17 +99,41 @@ Decision MiddlewareLayer::decide(const Request& request) const {
              : Decision::kDeny;
 }
 
+std::string MiddlewareLayer::explain(const Request& request,
+                                     Decision decision) const {
+  switch (decision) {
+    case Decision::kDeny:
+      return "no " + system_.kind() + " grant for user '" + request.user +
+             "' on " + request.object_type + ":" + request.permission;
+    case Decision::kPermit:
+      return system_.kind() + " catalogue grants " + request.object_type +
+             ":" + request.permission;
+    case Decision::kAbstain:
+      return request.object_type + " is not served by this middleware";
+  }
+  return {};
+}
+
 Decision TrustLayer::decide(const Request& request) const {
-  keynote::Query q;
-  q.action_authorizers = {request.principal};
-  q.env.set("app_domain", "WebCom");
-  q.env.set("ObjectType", request.object_type);
-  q.env.set("Permission", request.permission);
-  q.env.set("Domain", request.domain);
-  q.env.set("Role", request.role);
-  auto r = store_.query(q, request.credentials);
+  auto r = store_.query(trust_query(request), request.credentials);
   if (!r.ok()) return Decision::kDeny;
   return r->authorized() ? Decision::kPermit : Decision::kDeny;
+}
+
+std::string TrustLayer::explain(const Request& request,
+                                Decision decision) const {
+  // Re-evaluate to recover the compliance value and any dropped
+  // credentials; explain() runs on the trace/audit path only.
+  auto r = store_.query(trust_query(request), request.credentials);
+  if (!r.ok()) {
+    return "query failed: " + r.error().message;
+  }
+  std::string out = "compliance '" + r->value_name + "' for principal '" +
+                    request.principal + "' under " + trust_env_text(request);
+  if (decision == Decision::kDeny && !r->dropped_credentials.empty()) {
+    out += "; dropped credentials: " + r->dropped_credentials.front();
+  }
+  return out;
 }
 
 void StackedAuthorizer::push(std::shared_ptr<Layer> layer, bool enabled) {
@@ -83,9 +164,19 @@ std::vector<std::string> StackedAuthorizer::layer_names() const {
 }
 
 Decision StackedAuthorizer::decide(const Request& request) const {
+  auto& metrics = StackMetrics::get();
+  metrics.decisions.inc();
+  obs::ScopedTimer timer(metrics.decide_us);
+  auto span = obs::Tracer::global().root("stack.decide");
+  // The audit event is derived from the same decision record the trace
+  // exports (explain() is only consulted when one of the two wants it).
+  const bool explaining = span.active() || audit_ != nullptr;
+
   Decision verdict = Decision::kAbstain;
   bool any_permit = false;
   bool any_deny = false;
+  std::string denied_by;   // first (top-most) denying layer
+  std::string deny_reason;
 
   // Layers are consulted top-down: last pushed (highest layer) first,
   // mirroring Figure 10 where trust management sits above the middleware.
@@ -96,6 +187,19 @@ Decision StackedAuthorizer::decide(const Request& request) const {
       case Decision::kPermit: ++it->stats.permits; any_permit = true; break;
       case Decision::kDeny: ++it->stats.denies; any_deny = true; break;
       case Decision::kAbstain: ++it->stats.abstains; break;
+    }
+    if (span.active()) {
+      auto layer_span = span.child("stack.layer");
+      layer_span.set_attr("layer", it->layer->name());
+      layer_span.set_status(decision_name(d));
+      if (d == Decision::kDeny) {
+        layer_span.set_attr(obs::kAttrReason,
+                            it->layer->explain(request, d));
+      }
+    }
+    if (d == Decision::kDeny && denied_by.empty()) {
+      denied_by = it->layer->name();
+      if (explaining) deny_reason = it->layer->explain(request, d);
     }
     if (composition_ == Composition::kFirstDecisive &&
         d != Decision::kAbstain) {
@@ -117,10 +221,39 @@ Decision StackedAuthorizer::decide(const Request& request) const {
   // Fail closed: a stack with no opinion denies.
   Decision final_verdict =
       verdict == Decision::kAbstain ? Decision::kDeny : verdict;
-  if (audit_ != nullptr) {
-    audit_->record(middleware::AuditEvent{
-        "stack", request.user, request.object_type + ":" + request.permission,
-        final_verdict == Decision::kPermit, decision_name(verdict)});
+  if (final_verdict == Decision::kPermit) {
+    metrics.permits.inc();
+  } else {
+    metrics.denies.inc();
+  }
+  if (final_verdict == Decision::kDeny && denied_by.empty()) {
+    denied_by = "stack";
+    deny_reason = "all enabled layers abstained (fail-closed)";
+  }
+
+  if (span.active() || audit_ != nullptr) {
+    obs::SpanRecord decision_rec;
+    decision_rec.name = "stack.decide";
+    decision_rec.status = decision_name(final_verdict);
+    decision_rec.attrs = {
+        {obs::kAttrSystem, "stack"},
+        {obs::kAttrPrincipal, request.user},
+        {obs::kAttrAction, request.object_type + ":" + request.permission},
+        {obs::kAttrDecision,
+         final_verdict == Decision::kPermit ? "permit" : "deny"},
+    };
+    if (final_verdict == Decision::kDeny) {
+      decision_rec.attrs.emplace_back(obs::kAttrDeniedBy, denied_by);
+      decision_rec.attrs.emplace_back(obs::kAttrReason, deny_reason);
+    } else {
+      decision_rec.attrs.emplace_back(obs::kAttrReason,
+                                      decision_name(verdict));
+    }
+    if (audit_ != nullptr) audit_->record_from(decision_rec);
+    if (span.active()) {
+      for (const auto& [k, v] : decision_rec.attrs) span.set_attr(k, v);
+      span.set_status(decision_rec.status);
+    }
   }
   return final_verdict;
 }

@@ -45,6 +45,15 @@ class Layer {
   virtual ~Layer() = default;
   virtual std::string name() const = 0;
   virtual Decision decide(const Request& request) const = 0;
+  /// Human-readable account of why this layer reached `decision` for
+  /// `request` — the failing condition/constraint for a deny. Consulted
+  /// only on the audit/trace path (never on the hot path), so an
+  /// implementation may re-evaluate the request to explain it.
+  virtual std::string explain(const Request& request,
+                              Decision decision) const {
+    (void)request;
+    return decision == Decision::kDeny ? "denied (no detail)" : std::string{};
+  }
 };
 
 /// L0: OS accounts + ACLs. Denies requests from non-existent accounts;
@@ -54,6 +63,8 @@ class OsLayer final : public Layer {
   explicit OsLayer(const OsSecurity& os) : os_(os) {}
   std::string name() const override { return "L0-os"; }
   Decision decide(const Request& request) const override;
+  std::string explain(const Request& request,
+                      Decision decision) const override;
 
  private:
   const OsSecurity& os_;
@@ -67,6 +78,8 @@ class MiddlewareLayer final : public Layer {
       : system_(system) {}
   std::string name() const override { return "L1-" + system_.kind(); }
   Decision decide(const Request& request) const override;
+  std::string explain(const Request& request,
+                      Decision decision) const override;
 
  private:
   const middleware::SecuritySystem& system_;
@@ -80,6 +93,8 @@ class TrustLayer final : public Layer {
   explicit TrustLayer(const keynote::CredentialStore& store) : store_(store) {}
   std::string name() const override { return "L2-keynote"; }
   Decision decide(const Request& request) const override;
+  std::string explain(const Request& request,
+                      Decision decision) const override;
 
  private:
   const keynote::CredentialStore& store_;

@@ -21,20 +21,21 @@ Logger& Logger::instance() {
   return logger;
 }
 
-void Logger::set_level(LogLevel level) {
+void Logger::set_sink(Sink sink) {
   std::scoped_lock lock(mu_);
-  level_ = level;
-}
-
-LogLevel Logger::level() const {
-  std::scoped_lock lock(mu_);
-  return level_;
+  sink_ = std::move(sink);
 }
 
 void Logger::log(LogLevel level, std::string_view component,
                  std::string_view msg) {
+  // Re-check under the lock: callers normally come through MWSEC_LOG
+  // (already checked), but log() is also a public entry point.
+  if (!enabled(level)) return;
   std::scoped_lock lock(mu_);
-  if (level > level_ || level_ == LogLevel::kOff) return;
+  if (sink_) {
+    sink_(level, component, msg);
+    return;
+  }
   std::fprintf(stderr, "[%s] [%.*s] %.*s\n", level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(msg.size()), msg.data());

@@ -2,8 +2,16 @@
 //
 // The simulators log mediation decisions and scheduling events; tests set
 // the level to kOff to keep output clean, the examples run at kInfo.
+//
+// MWSEC_LOG(kDebug, "x") << expensive() evaluates nothing — not the
+// stream operands, not the LogLine — unless the level is enabled: the
+// macro checks `Logger::enabled()` (one relaxed atomic load) first.
+// Output goes to a pluggable sink (stderr by default) so tests and
+// mwsec-stats can capture lines instead of polluting ctest logs.
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -18,8 +26,25 @@ class Logger {
   /// Process-wide logger instance.
   static Logger& instance();
 
-  void set_level(LogLevel level);
-  LogLevel level() const;
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
+
+  /// Would a line at `level` be emitted? Cheap: one relaxed load. The
+  /// MWSEC_LOG macro consults this before building the line.
+  bool enabled(LogLevel level) const {
+    LogLevel current = this->level();
+    return current != LogLevel::kOff && level <= current;
+  }
+
+  /// Receives every emitted line. Called with the logger's output lock
+  /// held, so lines from concurrent threads never interleave.
+  using Sink =
+      std::function<void(LogLevel, std::string_view component,
+                         std::string_view message)>;
+  /// Replace the output sink; an empty function restores stderr.
+  void set_sink(Sink sink);
 
   /// Emit one line: "[level] [component] message".
   void log(LogLevel level, std::string_view component, std::string_view msg);
@@ -27,7 +52,8 @@ class Logger {
  private:
   Logger() = default;
   mutable std::mutex mu_;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  Sink sink_;  // empty -> stderr
 };
 
 /// Streaming helper: MWSEC_LOG(kInfo, "webcom") << "scheduled " << n;
@@ -49,7 +75,19 @@ class LogLine {
   std::ostringstream os_;
 };
 
+/// Swallows a LogLine in the disabled branch of MWSEC_LOG. operator&
+/// binds looser than operator<<, so the whole stream chain is dead code
+/// (never evaluated) when the level check fails.
+struct LogLineVoidify {
+  void operator&(LogLine&) {}
+  void operator&(LogLine&&) {}
+};
+
 }  // namespace mwsec::util
 
-#define MWSEC_LOG(level, component) \
-  ::mwsec::util::LogLine(::mwsec::util::LogLevel::level, component)
+#define MWSEC_LOG(level, component)                                  \
+  !::mwsec::util::Logger::instance().enabled(                        \
+      ::mwsec::util::LogLevel::level)                                \
+      ? (void)0                                                      \
+      : ::mwsec::util::LogLineVoidify() &                            \
+            ::mwsec::util::LogLine(::mwsec::util::LogLevel::level, component)

@@ -6,11 +6,52 @@
 #include <deque>
 #include <set>
 
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace mwsec::webcom {
 
 namespace {
+
+/// Scheduler lifecycle counters. Mirrors MasterStats (which stays per
+/// master) as process-wide metrics, plus client-side outcomes.
+struct WebcomMetrics {
+  obs::Counter& tasks_dispatched;
+  obs::Counter& tasks_completed;
+  obs::Counter& tasks_timed_out;
+  obs::Counter& tasks_denied_by_master;
+  obs::Counter& tasks_denied_by_client;
+  obs::Counter& retries;        ///< timed-out tasks put back on the queue
+  obs::Counter& redispatches;   ///< dispatches beyond a node's first attempt
+  obs::Counter& quarantines;
+  obs::Counter& decision_cache_hits;
+  obs::Counter& decision_cache_misses;
+  obs::Counter& client_executed;
+  obs::Counter& client_rejected;
+  obs::Counter& client_failed;
+  obs::Histogram& task_us;      ///< dispatch-to-completion latency
+
+  static WebcomMetrics& get() {
+    auto& r = obs::Registry::global();
+    static WebcomMetrics m{
+        r.counter("webcom.tasks_dispatched"),
+        r.counter("webcom.tasks_completed"),
+        r.counter("webcom.tasks_timed_out"),
+        r.counter("webcom.tasks_denied_by_master"),
+        r.counter("webcom.tasks_denied_by_client"),
+        r.counter("webcom.retries"),
+        r.counter("webcom.redispatches"),
+        r.counter("webcom.quarantines"),
+        r.counter("webcom.decision_cache_hits"),
+        r.counter("webcom.decision_cache_misses"),
+        r.counter("webcom.client.tasks_executed"),
+        r.counter("webcom.client.tasks_rejected"),
+        r.counter("webcom.client.tasks_failed"),
+        r.histogram("webcom.task_us"),
+    };
+    return m;
+  }
+};
 
 /// KeyNote action environment for scheduling a node to run as
 /// (domain, role): the Figure 5 attribute vocabulary.
@@ -86,9 +127,11 @@ bool Master::authorised_cached(const ClientInfo& client,
                   t.permission};
   if (auto it = decision_cache_.find(key); it != decision_cache_.end()) {
     ++stats_.decision_cache_hits;
+    WebcomMetrics::get().decision_cache_hits.inc();
     return it->second;
   }
   ++stats_.keynote_queries;
+  WebcomMetrics::get().decision_cache_misses.inc();
   auto q = scheduling_query(client.principal, t, client.domain, client.role);
   auto r = store_.query(q);
   bool verdict = r.ok() && r->authorized();
@@ -121,6 +164,11 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
     if (!flat.ok()) return flat.error();
     return execute(*flat);
   }
+
+  auto& metrics = WebcomMetrics::get();
+  auto run_span = obs::Tracer::global().root("webcom.execute");
+  run_span.set_attr(obs::kAttrSystem, "webcom");
+  run_span.set_attr("nodes", std::to_string(graph.nodes().size()));
 
   const std::size_t n = graph.nodes().size();
   std::vector<std::size_t> missing(n, 0);
@@ -176,6 +224,16 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
     }
     if (!any_eligible) {
       ++stats_.tasks_denied_by_master;
+      metrics.tasks_denied_by_master.inc();
+      if (run_span.active()) {
+        auto deny = run_span.child("webcom.schedule");
+        deny.set_attr("node", node.name);
+        deny.set_attr(obs::kAttrDecision, "deny");
+        deny.set_attr(obs::kAttrDeniedBy, "master");
+        deny.set_attr(obs::kAttrReason,
+                      "no attached client is authorised for " + node.name);
+        deny.set_status("denied");
+      }
       return Error::make("no client is authorised to execute component " +
                              node.name,
                          "denied");
@@ -196,13 +254,21 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
 
     auto send = endpoint_->send(chosen->endpoint, kSubjectTask, task.encode());
     ++stats_.tasks_dispatched;
+    metrics.tasks_dispatched.inc();
+    if (attempts[id] > 0) metrics.redispatches.inc();
     ++attempts[id];
+    auto task_span = run_span.child("webcom.task");
+    if (task_span.active()) {
+      task_span.set_attr("node", node.name);
+      task_span.set_attr("client", chosen->endpoint);
+      task_span.set_attr("attempt", std::to_string(attempts[id]));
+    }
     // A send error (partition) is treated like a timed-out task below.
     busy.insert(chosen->endpoint);
     inflight[task.task_id] =
         Pending{id, chosen->endpoint,
                 std::chrono::steady_clock::now() + options_.task_timeout,
-                attempts[id]};
+                attempts[id], std::move(task_span)};
     (void)send;
     return {};
   };
@@ -233,9 +299,19 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
         if (it != inflight.end()) {
           NodeId id = it->second.node;
           busy.erase(it->second.client_endpoint);
+          if (obs::metrics_enabled()) {
+            auto dispatched_at = it->second.deadline - options_.task_timeout;
+            metrics.task_us.observe(
+                std::chrono::duration<double, std::micro>(now - dispatched_at)
+                    .count());
+          }
+          Pending pending = std::move(it->second);
           inflight.erase(it);
           if (result->ok) {
             ++stats_.tasks_completed;
+            metrics.tasks_completed.inc();
+            pending.span.set_status("complete");
+            pending.span.finish();
             results[id] = result->value;
             ++completed;
             for (NodeId consumer : graph.consumers_of(id)) {
@@ -243,11 +319,20 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
             }
           } else if (result->code == "denied") {
             ++stats_.tasks_denied_by_client;
+            metrics.tasks_denied_by_client.inc();
+            pending.span.set_attr(obs::kAttrDecision, "deny");
+            pending.span.set_attr(obs::kAttrDeniedBy, "client");
+            pending.span.set_attr(obs::kAttrReason, result->value);
+            pending.span.set_status("denied");
+            pending.span.finish();
             return Error::make("client refused task " +
                                    graph.nodes()[id].name + ": " +
                                    result->value,
                                "denied");
           } else {
+            pending.span.set_attr(obs::kAttrReason, result->value);
+            pending.span.set_status("failed");
+            pending.span.finish();
             return Error::make("task " + graph.nodes()[id].name +
                                    " failed: " + result->value,
                                result->code);
@@ -263,9 +348,13 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
         continue;
       }
       ++stats_.tasks_timed_out;
+      metrics.tasks_timed_out.inc();
+      metrics.quarantines.inc();
       MWSEC_LOG(kInfo, "webcom")
           << "task on " << it->second.client_endpoint
           << " timed out; quarantining client";
+      it->second.span.set_status("timeout");
+      it->second.span.finish();
       client_alive_[it->second.client_endpoint] = false;
       busy.erase(it->second.client_endpoint);
       NodeId id = it->second.node;
@@ -276,6 +365,7 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
                                std::to_string(attempts[id]) + " attempts",
                            "webcom");
       }
+      metrics.retries.inc();
       ready.push_back(id);
     }
   }
@@ -284,6 +374,7 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
   if (!results[exit].has_value()) {
     return Error::make("exit node did not complete", "webcom");
   }
+  run_span.set_status("complete");
   return *results[exit];
 }
 
@@ -343,11 +434,27 @@ void Client::serve(std::stop_token st) {
 
     TaskResultMessage reply;
     reply.task_id = task->task_id;
+    auto& metrics = WebcomMetrics::get();
     if (!authorise_master(*task)) {
       reply.ok = false;
       reply.code = "denied";
       reply.value = "master " + task->master_principal.substr(0, 16) +
                     "... is not authorised to schedule " + task->node_name;
+      metrics.client_rejected.inc();
+      auto span = obs::Tracer::global().root("webcom.client.authorise");
+      if (span.active()) {
+        span.set_attr(obs::kAttrSystem, "webcom-client");
+        span.set_attr(obs::kAttrPrincipal, task->master_principal);
+        span.set_attr(obs::kAttrAction,
+                      task->target.object_type + ":" +
+                          task->target.permission);
+        span.set_attr(obs::kAttrDecision, "deny");
+        span.set_attr(obs::kAttrDeniedBy, "L2-keynote");
+        span.set_attr(obs::kAttrReason,
+                      "master credentials do not authorise scheduling " +
+                          task->node_name);
+        span.set_status("deny");
+      }
       std::scoped_lock lock(stats_mu_);
       ++stats_.tasks_rejected;
     } else {
@@ -355,12 +462,14 @@ void Client::serve(std::stop_token st) {
       if (value.ok()) {
         reply.ok = true;
         reply.value = std::move(value).take();
+        metrics.client_executed.inc();
         std::scoped_lock lock(stats_mu_);
         ++stats_.tasks_executed;
       } else {
         reply.ok = false;
         reply.value = value.error().message;
         reply.code = value.error().code.empty() ? "ops" : value.error().code;
+        metrics.client_failed.inc();
         std::scoped_lock lock(stats_mu_);
         ++stats_.tasks_failed;
       }

@@ -26,6 +26,7 @@
 #include "crypto/keys.hpp"
 #include "keynote/compiled_store.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "webcom/engine.hpp"
 #include "webcom/messages.hpp"
 
@@ -90,6 +91,9 @@ class Master {
     std::string client_endpoint;
     std::chrono::steady_clock::time_point deadline;
     int attempts;
+    /// Open span covering this dispatch, finished when the task
+    /// completes, is denied, or times out. Inert when tracing is off.
+    obs::Span span;
   };
 
   /// Is `client` allowed (and placed) to run `node`?

@@ -38,6 +38,76 @@ TEST(AuditLog, ClearResets) {
   EXPECT_EQ(log.allowed_count(), 0u);
 }
 
+TEST(AuditLog, EvictionKeepsNewestAndMonotonicTotals) {
+  AuditLog log(/*capacity=*/3);
+  for (int i = 0; i < 8; ++i) {
+    log.record({"s", "user" + std::to_string(i), "a", i >= 6, ""});
+  }
+  auto events = log.events();
+  ASSERT_EQ(events.size(), 3u);  // oldest five evicted
+  EXPECT_EQ(events[0].principal, "user5");
+  EXPECT_EQ(events[2].principal, "user7");
+  // Totals count every event ever recorded, not just the survivors.
+  EXPECT_EQ(log.allowed_count(), 2u);
+  EXPECT_EQ(log.denied_count(), 6u);
+  EXPECT_EQ(log.allowed_count() + log.denied_count(), 8u);
+}
+
+TEST(AuditLog, RecordFromDecisionSpan) {
+  AuditLog log;
+  obs::SpanRecord rec;
+  rec.name = "stack.decide";
+  rec.status = "deny";
+  rec.attrs = {{obs::kAttrSystem, "stack"},
+               {obs::kAttrPrincipal, "mallory"},
+               {obs::kAttrAction, "DB:write"},
+               {obs::kAttrDecision, "deny"},
+               {obs::kAttrDeniedBy, "L2-keynote"},
+               {obs::kAttrReason, "compliance '_MIN_TRUST'"}};
+  log.record_from(rec);
+  auto events = log.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].system, "stack");
+  EXPECT_EQ(events[0].principal, "mallory");
+  EXPECT_EQ(events[0].action, "DB:write");
+  EXPECT_FALSE(events[0].allowed);
+  // The denying layer is attributable from the audit trail alone.
+  EXPECT_NE(events[0].detail.find("L2-keynote"), std::string::npos);
+  EXPECT_NE(events[0].detail.find("_MIN_TRUST"), std::string::npos);
+}
+
+TEST(AuditLog, RecordFromIgnoresNonDecisionSpans) {
+  AuditLog log;
+  obs::SpanRecord rec;
+  rec.name = "keynote.query";  // timing span: no decision attribute
+  rec.attrs = {{"requester", "alice"}};
+  log.record_from(rec);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(AuditLog, AttachAuditsDecisionSpansFromTracer) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  AuditLog log;
+  auto sink = log.attach(tracer);
+  {
+    auto span = tracer.root("stack.decide");
+    span.set_attr(obs::kAttrSystem, "stack");
+    span.set_attr(obs::kAttrPrincipal, "alice");
+    span.set_attr(obs::kAttrAction, "DB:read");
+    span.set_attr(obs::kAttrDecision, "permit");
+  }
+  tracer.root("keynote.query").finish();  // not a decision: not audited
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.allowed_count(), 1u);
+  log.detach(tracer, sink);
+  {
+    auto span = tracer.root("stack.decide");
+    span.set_attr(obs::kAttrDecision, "deny");
+  }
+  EXPECT_EQ(log.size(), 1u);  // detached: deny not recorded
+}
+
 TEST(AuditLog, ConcurrentRecording) {
   AuditLog log(100000);
   std::vector<std::thread> threads;

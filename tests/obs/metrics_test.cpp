@@ -1,0 +1,186 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace mwsec::obs {
+namespace {
+
+/// Metrics are process-global; every test runs enabled and leaves the
+/// switch off (the default) so unrelated tests stay uninstrumented.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    Registry::global().reset();
+  }
+  void TearDown() override {
+    Registry::global().reset();
+    set_metrics_enabled(false);
+  }
+};
+
+TEST_F(MetricsTest, CounterCountsWhenEnabled) {
+  Counter c;
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST_F(MetricsTest, CounterIsInertWhenDisabled) {
+  Counter c;
+  set_metrics_enabled(false);
+  c.inc();
+  c.inc(100);
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, GaugeSetAppliesEvenWhenDisabled) {
+  Gauge g;
+  set_metrics_enabled(false);
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(3);  // add is an event: gated
+  EXPECT_EQ(g.value(), 7);
+  set_metrics_enabled(true);
+  g.add(3);
+  EXPECT_EQ(g.value(), 10);
+}
+
+TEST_F(MetricsTest, RegistryReturnsSameObjectByName) {
+  auto& a = Registry::global().counter("test.same");
+  auto& b = Registry::global().counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST_F(MetricsTest, RegistryResetZeroesValuesButKeepsReferences) {
+  auto& c = Registry::global().counter("test.reset");
+  c.inc(9);
+  Registry::global().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();  // the cached reference still works after reset
+  EXPECT_EQ(Registry::global().counter("test.reset").value(), 1u);
+}
+
+TEST_F(MetricsTest, HistogramSnapshotQuantiles) {
+  Histogram h({1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 100; ++i) h.observe(0.5);  // all in first bucket
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 0.5);
+  EXPECT_NEAR(s.mean(), 0.5, 1e-9);
+  // Quantiles interpolate inside the [0, 1] bucket.
+  EXPECT_GE(s.p50, 0.0);
+  EXPECT_LE(s.p50, 1.0);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST_F(MetricsTest, HistogramSpreadAcrossBuckets) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (int i = 0; i < 50; ++i) h.observe(0.5);    // bucket 0
+  for (int i = 0; i < 49; ++i) h.observe(5.0);    // bucket 1
+  h.observe(5000.0);                              // overflow bucket
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.max, 5000.0);
+  EXPECT_LE(s.p50, 1.0);    // the median is still in the first bucket
+  EXPECT_GT(s.p95, 1.0);    // p95 lands in the second
+  EXPECT_LE(s.p95, 10.0);
+  ASSERT_EQ(s.buckets.size(), s.bounds.size() + 1);
+  EXPECT_EQ(s.buckets[0], 50u);
+  EXPECT_EQ(s.buckets[1], 49u);
+  EXPECT_EQ(s.buckets.back(), 1u);
+}
+
+TEST_F(MetricsTest, HistogramObserveIsInertWhenDisabled) {
+  Histogram h({1.0});
+  set_metrics_enabled(false);
+  h.observe(0.5);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(MetricsTest, ScopedTimerRecordsMicroseconds) {
+  auto& h = Registry::global().histogram("test.timer_us");
+  {
+    ScopedTimer t(h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  auto s = h.snapshot();
+  ASSERT_EQ(s.count, 1u);
+  EXPECT_GE(s.sum, 1000.0);  // slept >= 2ms, recorded in µs
+}
+
+TEST_F(MetricsTest, SnapshotLookupAndHitRate) {
+  Registry::global().counter("test.hits").inc(3);
+  Registry::global().counter("test.misses").inc(1);
+  auto snap = Registry::global().snapshot();
+  EXPECT_EQ(snap.counter_or_zero("test.hits"), 3u);
+  EXPECT_EQ(snap.counter_or_zero("test.nothere"), 0u);
+  EXPECT_DOUBLE_EQ(snap.hit_rate("test.hits", "test.misses"), 0.75);
+  EXPECT_DOUBLE_EQ(snap.hit_rate("test.nothere", "test.alsonot"), 0.0);
+}
+
+TEST_F(MetricsTest, RenderTextAndJsonContainMetricNames) {
+  Registry::global().counter("test.render").inc(2);
+  Registry::global().gauge("test.level").set(-4);
+  Registry::global().histogram("test.lat_us").observe(1.5);
+  auto snap = Registry::global().snapshot();
+  auto text = render_text(snap);
+  EXPECT_NE(text.find("test.render"), std::string::npos);
+  EXPECT_NE(text.find("test.level"), std::string::npos);
+  EXPECT_NE(text.find("test.lat_us"), std::string::npos);
+  auto json = render_json(snap);
+  EXPECT_NE(json.find("\"test.render\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, AppendSnapshotJsonlWritesOneLabelledLine) {
+  Registry::global().counter("test.jsonl").inc(5);
+  auto snap = Registry::global().snapshot();
+  std::string path = ::testing::TempDir() + "metrics_test_snap.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(append_snapshot_jsonl(path, "fig2", snap));
+  ASSERT_TRUE(append_snapshot_jsonl(path, "fig3", snap));
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NE(line.find("\"label\""), std::string::npos);
+    EXPECT_NE(line.find("test.jsonl"), std::string::npos);
+  }
+  EXPECT_EQ(lines, 2);
+  std::remove(path.c_str());
+}
+
+TEST_F(MetricsTest, LatencyBoundsAreAscending) {
+  auto bounds = Histogram::latency_bounds_us();
+  ASSERT_GT(bounds.size(), 4u);
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST_F(MetricsTest, CountersAreThreadSafe) {
+  auto& c = Registry::global().counter("test.mt");
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) c.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+}  // namespace
+}  // namespace mwsec::obs

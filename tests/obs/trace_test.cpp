@@ -1,0 +1,131 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mwsec::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::global().set_enabled(true);
+    Tracer::global().clear();
+  }
+  void TearDown() override {
+    Tracer::global().clear();
+    Tracer::global().set_enabled(false);
+  }
+};
+
+TEST_F(TraceTest, DisabledTracerHandsOutInertSpans) {
+  Tracer::global().set_enabled(false);
+  auto span = Tracer::global().root("nothing");
+  EXPECT_FALSE(span.active());
+  span.set_attr("k", "v");     // all no-ops, must not crash
+  span.set_status("done");
+  auto child = span.child("child");
+  EXPECT_FALSE(child.active());
+  span.finish();
+  EXPECT_EQ(Tracer::global().size(), 0u);
+}
+
+TEST_F(TraceTest, SpanRecordsOnFinish) {
+  {
+    auto span = Tracer::global().root("op");
+    span.set_attr("key", "value");
+    span.set_status("ok");
+  }  // finished by destructor
+  auto records = Tracer::global().records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "op");
+  EXPECT_EQ(records[0].status, "ok");
+  ASSERT_NE(records[0].attr("key"), nullptr);
+  EXPECT_EQ(*records[0].attr("key"), "value");
+  EXPECT_EQ(records[0].attr("absent"), nullptr);
+  EXPECT_EQ(records[0].parent, 0u);
+}
+
+TEST_F(TraceTest, FinishIsIdempotent) {
+  auto span = Tracer::global().root("once");
+  span.finish();
+  span.finish();
+  span.set_status("late");  // after finish: ignored
+  EXPECT_EQ(Tracer::global().size(), 1u);
+}
+
+TEST_F(TraceTest, ChildSpansLinkToParent) {
+  std::uint64_t parent_id = 0;
+  {
+    auto parent = Tracer::global().root("parent");
+    parent_id = parent.id();
+    auto child = parent.child("child");
+    EXPECT_TRUE(child.active());
+    child.set_status("done");
+  }
+  auto records = Tracer::global().records();
+  ASSERT_EQ(records.size(), 2u);
+  // Children finish before parents (destruction order).
+  EXPECT_EQ(records[0].name, "child");
+  EXPECT_EQ(records[0].parent, parent_id);
+  EXPECT_EQ(records[1].name, "parent");
+}
+
+TEST_F(TraceTest, MoveTransfersOwnership) {
+  auto a = Tracer::global().root("moved");
+  auto b = std::move(a);
+  EXPECT_FALSE(a.active());  // NOLINT(bugprone-use-after-move): testing it
+  EXPECT_TRUE(b.active());
+  b.finish();
+  EXPECT_EQ(Tracer::global().size(), 1u);
+}
+
+TEST_F(TraceTest, CapacityEvictsOldestRecords) {
+  Tracer::global().set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    Tracer::global().root("span" + std::to_string(i)).finish();
+  }
+  auto records = Tracer::global().records();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().name, "span6");
+  EXPECT_EQ(records.back().name, "span9");
+  Tracer::global().set_capacity(8192);
+}
+
+TEST_F(TraceTest, SinksSeeEveryFinishedSpan) {
+  std::vector<std::string> seen;
+  auto id = Tracer::global().add_sink(
+      [&](const SpanRecord& rec) { seen.push_back(rec.name); });
+  Tracer::global().root("a").finish();
+  Tracer::global().root("b").finish();
+  Tracer::global().remove_sink(id);
+  Tracer::global().root("c").finish();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "a");
+  EXPECT_EQ(seen[1], "b");
+}
+
+TEST_F(TraceTest, JsonExportEscapesAndNamesFields) {
+  {
+    auto span = Tracer::global().root("json \"quoted\"");
+    span.set_attr(kAttrDecision, "deny");
+    span.set_attr(kAttrDeniedBy, "L2-keynote");
+    span.set_status("deny");
+  }
+  auto jsonl = Tracer::global().to_jsonl();
+  EXPECT_NE(jsonl.find("\"name\":\"json \\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"decision\":\"deny\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"denied_by\":\"L2-keynote\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"duration_ns\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearEmptiesTheBuffer) {
+  Tracer::global().root("gone").finish();
+  EXPECT_EQ(Tracer::global().size(), 1u);
+  Tracer::global().clear();
+  EXPECT_EQ(Tracer::global().size(), 0u);
+}
+
+}  // namespace
+}  // namespace mwsec::obs

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "middleware/corba/orb.hpp"
+#include "obs/trace.hpp"
 #include "rbac/fixtures.hpp"
 #include "translate/directory.hpp"
 #include "translate/rbac_to_keynote.hpp"
@@ -214,6 +215,132 @@ TEST(Stack, PerLayerStatsAccumulate) {
   EXPECT_EQ(audit.size(), 2u);
   EXPECT_EQ(stack.layer_names(),
             (std::vector<std::string>{"L0-os", "L2-keynote"}));
+}
+
+/// Enables the global tracer for one test and restores the off-by-default
+/// state (other tests must stay uninstrumented).
+struct TracerGuard {
+  TracerGuard() {
+    obs::Tracer::global().clear();
+    obs::Tracer::global().set_enabled(true);
+  }
+  ~TracerGuard() {
+    obs::Tracer::global().set_enabled(false);
+    obs::Tracer::global().clear();
+  }
+};
+
+const obs::SpanRecord* find_last(const std::vector<obs::SpanRecord>& records,
+                                 const std::string& name) {
+  const obs::SpanRecord* found = nullptr;
+  for (const auto& rec : records) {
+    if (rec.name == name) found = &rec;
+  }
+  return found;
+}
+
+TEST(StackTrace, DeniedTraceNamesDenyingLayerAndConstraint) {
+  Rig rig;
+  load_memberships(rig);
+  TracerGuard guard;
+  middleware::AuditLog audit;
+  StackedAuthorizer stack(Composition::kAllMustPermit, &audit);
+  stack.push(std::make_shared<OsLayer>(rig.os));
+  stack.push(std::make_shared<MiddlewareLayer>(rig.orb));
+  stack.push(std::make_shared<TrustLayer>(rig.keynote_store));
+
+  // Figure 1: Finance clerks write but do not read — KeyNote denies.
+  EXPECT_FALSE(
+      stack.permitted(rig.request("Alice", "read", "Finance", "Clerk")));
+
+  auto records = obs::Tracer::global().records();
+  const auto* decide = find_last(records, "stack.decide");
+  ASSERT_NE(decide, nullptr);
+  ASSERT_NE(decide->attr(obs::kAttrDecision), nullptr);
+  EXPECT_EQ(*decide->attr(obs::kAttrDecision), "deny");
+  ASSERT_NE(decide->attr(obs::kAttrDeniedBy), nullptr);
+  EXPECT_EQ(*decide->attr(obs::kAttrDeniedBy), "L2-keynote");
+  // The reason names the failing constraint: the action environment the
+  // trust query ran under, and the compliance value it produced.
+  ASSERT_NE(decide->attr(obs::kAttrReason), nullptr);
+  const std::string& reason = *decide->attr(obs::kAttrReason);
+  EXPECT_NE(reason.find("compliance"), std::string::npos);
+  EXPECT_NE(reason.find("Permission=read"), std::string::npos);
+  EXPECT_NE(reason.find("ObjectType=SalariesDB"), std::string::npos);
+
+  // Per-layer child spans exist and link to the decision root.
+  const auto* layer_span = find_last(records, "stack.layer");
+  ASSERT_NE(layer_span, nullptr);
+  EXPECT_EQ(layer_span->parent, decide->id);
+
+  // The JSONL export is attributable without knowing the producer.
+  auto jsonl = obs::Tracer::global().to_jsonl();
+  EXPECT_NE(jsonl.find("\"denied_by\":\"L2-keynote\""), std::string::npos);
+
+  // The audit log consumed the same decision record.
+  auto events = audit.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].allowed);
+  EXPECT_EQ(events[0].principal, "Alice");
+  EXPECT_NE(events[0].detail.find("L2-keynote"), std::string::npos);
+}
+
+TEST(StackTrace, MiddlewareDenialIsAttributedToItsLayer) {
+  Rig rig;
+  load_memberships(rig);
+  TracerGuard guard;
+  StackedAuthorizer stack(Composition::kAllMustPermit);
+  stack.push(std::make_shared<MiddlewareLayer>(rig.orb));
+  stack.push(std::make_shared<TrustLayer>(rig.keynote_store));
+
+  // KeyNote permits Claire (Sales manager reads) but the ORB has no role
+  // for her: the deny is the middleware layer's.
+  EXPECT_FALSE(
+      stack.permitted(rig.request("Claire", "read", "Sales", "Manager")));
+  const auto* decide =
+      find_last(obs::Tracer::global().records(), "stack.decide");
+  ASSERT_NE(decide, nullptr);
+  ASSERT_NE(decide->attr(obs::kAttrDeniedBy), nullptr);
+  EXPECT_EQ(*decide->attr(obs::kAttrDeniedBy), "L1-CORBA");
+  ASSERT_NE(decide->attr(obs::kAttrReason), nullptr);
+  EXPECT_NE(decide->attr(obs::kAttrReason)->find("Claire"),
+            std::string::npos);
+}
+
+TEST(StackTrace, PermittedTraceCarriesNoDenyingLayer) {
+  Rig rig;
+  load_memberships(rig);
+  TracerGuard guard;
+  StackedAuthorizer stack(Composition::kAllMustPermit);
+  stack.push(std::make_shared<OsLayer>(rig.os));
+  stack.push(std::make_shared<TrustLayer>(rig.keynote_store));
+
+  EXPECT_TRUE(
+      stack.permitted(rig.request("Bob", "read", "Finance", "Manager")));
+  const auto* decide =
+      find_last(obs::Tracer::global().records(), "stack.decide");
+  ASSERT_NE(decide, nullptr);
+  ASSERT_NE(decide->attr(obs::kAttrDecision), nullptr);
+  EXPECT_EQ(*decide->attr(obs::kAttrDecision), "permit");
+  EXPECT_EQ(decide->attr(obs::kAttrDeniedBy), nullptr);
+}
+
+TEST(StackTrace, AllAbstainFailClosedIsAttributedToTheStack) {
+  Rig rig;
+  TracerGuard guard;
+  StackedAuthorizer stack;
+  stack.push(std::make_shared<ApplicationLayer>(
+      [](const Request&) { return Decision::kAbstain; }));
+  EXPECT_FALSE(
+      stack.permitted(rig.request("Bob", "read", "Finance", "Manager")));
+  const auto* decide =
+      find_last(obs::Tracer::global().records(), "stack.decide");
+  ASSERT_NE(decide, nullptr);
+  ASSERT_NE(decide->attr(obs::kAttrDeniedBy), nullptr);
+  EXPECT_EQ(*decide->attr(obs::kAttrDeniedBy), "stack");
+  ASSERT_NE(decide->attr(obs::kAttrReason), nullptr);
+  EXPECT_NE(decide->attr(obs::kAttrReason)->find("fail-closed"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,108 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mwsec::util {
+namespace {
+
+struct CapturedLine {
+  LogLevel level;
+  std::string component;
+  std::string message;
+};
+
+/// Swaps in a capturing sink and restores level/sink afterwards; the
+/// logger is process-global state.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = Logger::instance().level();
+    Logger::instance().set_sink(
+        [this](LogLevel level, std::string_view component,
+               std::string_view message) {
+          lines_.push_back(
+              {level, std::string(component), std::string(message)});
+        });
+  }
+  void TearDown() override {
+    Logger::instance().set_sink({});
+    Logger::instance().set_level(saved_level_);
+  }
+
+  std::vector<CapturedLine> lines_;
+  LogLevel saved_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, SinkReceivesEmittedLines) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  MWSEC_LOG(kInfo, "test") << "hello " << 42;
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].level, LogLevel::kInfo);
+  EXPECT_EQ(lines_[0].component, "test");
+  EXPECT_EQ(lines_[0].message, "hello 42");
+}
+
+TEST_F(LoggingTest, DisabledLevelEmitsNothing) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  MWSEC_LOG(kInfo, "test") << "suppressed";
+  MWSEC_LOG(kDebug, "test") << "also suppressed";
+  EXPECT_TRUE(lines_.empty());
+  MWSEC_LOG(kError, "test") << "kept";
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].message, "kept");
+}
+
+TEST_F(LoggingTest, OperandsAreNotEvaluatedWhenDisabled) {
+  Logger::instance().set_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return std::string("costly");
+  };
+  MWSEC_LOG(kDebug, "test") << expensive() << expensive();
+  EXPECT_EQ(evaluations, 0);
+  MWSEC_LOG(kError, "test") << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, MacroIsDanglingElseSafe) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  bool else_taken = false;
+  // Must compile and bind the else to the if, not to the macro's guts.
+  if (false)
+    MWSEC_LOG(kInfo, "test") << "never";
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LoggingTest, EmptySinkRestoresStderrWithoutCrashing) {
+  Logger::instance().set_level(LogLevel::kOff);
+  Logger::instance().set_sink({});
+  // With the sink cleared and the level off, nothing is emitted and the
+  // stderr path is not exercised; this line must simply not crash.
+  MWSEC_LOG(kError, "test") << "quiet";
+  Logger::instance().set_level(LogLevel::kError);
+}
+
+TEST_F(LoggingTest, KOffDisablesEverything) {
+  Logger::instance().set_level(LogLevel::kOff);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::kError));
+  MWSEC_LOG(kError, "test") << "nothing";
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LoggingTest, DirectLogCallRespectsLevel) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  Logger::instance().log(LogLevel::kDebug, "test", "suppressed");
+  EXPECT_TRUE(lines_.empty());
+  Logger::instance().log(LogLevel::kWarn, "test", "kept");
+  ASSERT_EQ(lines_.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mwsec::util

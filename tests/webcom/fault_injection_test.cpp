@@ -4,6 +4,7 @@
 // or a clean error — never a hang, never a wrong answer.
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
 #include "webcom/scheduler.hpp"
 
 namespace mwsec::webcom {
@@ -155,6 +156,57 @@ TEST(FaultInjection, OperationFailureIsNotRetriedBlindly) {
   ASSERT_FALSE(v.ok());
   EXPECT_EQ(v.error().code, "ops");
   EXPECT_EQ(rig.master->stats().tasks_dispatched, 1u);
+}
+
+TEST(FaultInjection, TimeoutRescheduleQuarantineShowInMetrics) {
+  // The fault loop — timeout -> quarantine the client -> re-schedule the
+  // node elsewhere — is observable through the metrics registry alone.
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().reset();
+
+  Rig rig(3, {}, 80ms, /*attempts=*/10);
+  // A dead (partitioned) client forces the first dispatch to time out.
+  rig.network.set_partitioned("m", "c0", true);
+  auto v = rig.master->execute(pipeline_graph(3));
+  ASSERT_TRUE(v.ok()) << v.error().message;
+  EXPECT_EQ(*v, "3");
+
+  auto snap = obs::Registry::global().snapshot();
+  obs::set_metrics_enabled(false);
+  // Something timed out, each timeout quarantined a client, and every
+  // timed-out node was retried (re-dispatched) and eventually completed.
+  EXPECT_GE(snap.counter_or_zero("webcom.tasks_timed_out"), 1u);
+  EXPECT_EQ(snap.counter_or_zero("webcom.quarantines"),
+            snap.counter_or_zero("webcom.tasks_timed_out"));
+  EXPECT_GE(snap.counter_or_zero("webcom.retries"), 1u);
+  EXPECT_GE(snap.counter_or_zero("webcom.redispatches"),
+            snap.counter_or_zero("webcom.retries"));
+  // 4 nodes: the seed constant plus the three adds.
+  EXPECT_EQ(snap.counter_or_zero("webcom.tasks_completed"), 4u);
+  EXPECT_EQ(snap.counter_or_zero("webcom.tasks_dispatched"),
+            snap.counter_or_zero("webcom.tasks_completed") +
+                snap.counter_or_zero("webcom.tasks_timed_out"));
+  // Master-side stats agree with the registry.
+  EXPECT_EQ(rig.master->stats().tasks_timed_out,
+            snap.counter_or_zero("webcom.tasks_timed_out"));
+}
+
+TEST(FaultInjection, TotalLossBoundsRetriesInMetrics) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().reset();
+  net::Network::Options opts;
+  opts.seed = 11;
+  opts.drop_probability = 1.0;
+  Rig rig(2, opts, 60ms, /*attempts=*/2);
+  auto v = rig.master->execute(pipeline_graph(1));
+  EXPECT_FALSE(v.ok());
+  auto snap = obs::Registry::global().snapshot();
+  obs::set_metrics_enabled(false);
+  // max_attempts=2: one initial dispatch plus exactly one retry.
+  EXPECT_EQ(snap.counter_or_zero("webcom.tasks_dispatched"), 2u);
+  EXPECT_EQ(snap.counter_or_zero("webcom.retries"), 1u);
+  EXPECT_EQ(snap.counter_or_zero("webcom.tasks_timed_out"), 2u);
+  EXPECT_EQ(snap.counter_or_zero("webcom.tasks_completed"), 0u);
 }
 
 TEST(FaultInjection, SequentialExecutionsReuseTheRig) {

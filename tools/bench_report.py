@@ -10,13 +10,23 @@ entries are merged into a single report keyed by binary, with the run
 context (CPU, load, date) of each run preserved. The report backs the
 numbers quoted in EXPERIMENTS.md ("Performance"); re-run after touching
 src/keynote/ to refresh them.
+
+Binaries are run with MWSEC_METRICS_OUT pointing at a scratch JSONL file:
+the BM_*_Observed* benchmarks append one labelled metrics-registry
+snapshot each (counters, gauges, latency histograms — see
+obs::append_snapshot_jsonl). Those snapshots are merged into the report
+under "metrics", so cache hit rates sit alongside the µs/op numbers:
+
+    "metrics": {"fig2": {"label": "fig2", "counters": {...}, ...}, ...}
 """
 
 import argparse
 import json
+import os
 import pathlib
 import subprocess
 import sys
+import tempfile
 
 # The benchmark binaries that exercise the KeyNote decision path.
 BENCH_BINARIES = [
@@ -25,7 +35,8 @@ BENCH_BINARIES = [
 ]
 
 
-def run_binary(path: pathlib.Path, min_time: float, bench_filter: str):
+def run_binary(path: pathlib.Path, min_time: float, bench_filter: str,
+               metrics_out: pathlib.Path):
     cmd = [
         str(path),
         "--benchmark_format=json",
@@ -33,7 +44,8 @@ def run_binary(path: pathlib.Path, min_time: float, bench_filter: str):
     ]
     if bench_filter:
         cmd.append(f"--benchmark_filter={bench_filter}")
-    proc = subprocess.run(cmd, capture_output=True, text=True)
+    env = dict(os.environ, MWSEC_METRICS_OUT=str(metrics_out))
+    proc = subprocess.run(cmd, capture_output=True, text=True, env=env)
     if proc.returncode != 0:
         print(f"error: {path} exited {proc.returncode}:\n{proc.stderr}",
               file=sys.stderr)
@@ -52,6 +64,28 @@ def run_binary(path: pathlib.Path, min_time: float, bench_filter: str):
         return None
 
 
+def load_metrics_snapshots(path: pathlib.Path) -> dict:
+    """Parse an append_snapshot_jsonl file into {label: snapshot}.
+
+    Later lines win for a repeated label (the file is append-only across
+    binaries and repeats)."""
+    snapshots = {}
+    if not path.exists():
+        return snapshots
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            snap = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"note: {path}:{lineno}: skipping bad snapshot line: {exc}",
+                  file=sys.stderr)
+            continue
+        snapshots[snap.get("label", f"line{lineno}")] = snap
+    return snapshots
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build",
@@ -68,19 +102,23 @@ def main() -> int:
     build_dir = pathlib.Path(args.build_dir)
     report = {"benchmarks": {}}
     missing = []
-    for rel in BENCH_BINARIES:
-        binary = build_dir / rel
-        if not binary.exists():
-            missing.append(str(binary))
-            continue
-        print(f"running {binary} ...", file=sys.stderr)
-        result = run_binary(binary, args.min_time, args.filter)
-        if result is None:
-            return 1
-        report["benchmarks"][pathlib.Path(rel).name] = {
-            "context": result.get("context", {}),
-            "results": result.get("benchmarks", []),
-        }
+    with tempfile.TemporaryDirectory(prefix="mwsec-bench-") as tmp:
+        metrics_out = pathlib.Path(tmp) / "metrics.jsonl"
+        for rel in BENCH_BINARIES:
+            binary = build_dir / rel
+            if not binary.exists():
+                missing.append(str(binary))
+                continue
+            print(f"running {binary} ...", file=sys.stderr)
+            result = run_binary(binary, args.min_time, args.filter,
+                                metrics_out)
+            if result is None:
+                return 1
+            report["benchmarks"][pathlib.Path(rel).name] = {
+                "context": result.get("context", {}),
+                "results": result.get("benchmarks", []),
+            }
+        report["metrics"] = load_metrics_snapshots(metrics_out)
 
     if missing:
         print("error: missing benchmark binaries (build them first):",
@@ -92,7 +130,8 @@ def main() -> int:
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     n = sum(len(v["results"]) for v in report["benchmarks"].values())
-    print(f"wrote {out} ({n} benchmark entries)", file=sys.stderr)
+    print(f"wrote {out} ({n} benchmark entries, "
+          f"{len(report['metrics'])} metrics snapshots)", file=sys.stderr)
     return 0
 
 

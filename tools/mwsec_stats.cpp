@@ -1,0 +1,126 @@
+// mwsec-stats — dump the observability registry and decision-trace
+// stream for a representative mediation run.
+//
+//   mwsec-stats demo [--json]
+//       run the Figure 10 stacked-authorisation scenario with metrics and
+//       tracing enabled, then dump the metrics registry (text, or one
+//       JSON object with --json) followed by the decision spans as JSONL.
+//   mwsec-stats trace
+//       the same run, but print only the trace JSONL (one span per
+//       line) — pipe into jq or a trace viewer.
+//
+// The same dump path (obs::render_text / render_json /
+// Tracer::to_jsonl) is what examples/secure_metacomputing and the bench
+// binaries (MWSEC_METRICS_OUT) use; this tool exists so the formats can
+// be inspected without building a workflow first.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "middleware/common/audit.hpp"
+#include "middleware/corba/orb.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rbac/fixtures.hpp"
+#include "stack/layers.hpp"
+#include "stack/os.hpp"
+#include "translate/directory.hpp"
+#include "translate/rbac_to_keynote.hpp"
+
+using namespace mwsec;
+
+namespace {
+
+/// The layers_test rig, condensed: OS + CORBA + KeyNote over the paper's
+/// Figure 1 Salaries policy, exercised with a mix of permitted and
+/// denied requests so every metric and span kind shows up in the dump.
+void run_demo(middleware::AuditLog& audit) {
+  static crypto::KeyRing ring(/*seed=*/9321, /*modulus_bits=*/256);
+  stack::OsSecurity os;
+  for (const char* u : {"Alice", "Bob", "Claire"}) os.add_account(u).ok();
+  os.grant("Bob", "SalariesDB", "read").ok();
+  os.grant("Bob", "SalariesDB", "write").ok();
+  os.grant("Alice", "SalariesDB", "write").ok();
+
+  middleware::corba::Orb orb("unixhost", "orb1");
+  orb.define_interface({"SalariesDB", "", {"read", "write"}}).ok();
+  orb.define_role("Clerk").ok();
+  orb.define_role("Manager").ok();
+  orb.grant("Clerk", "SalariesDB", "write").ok();
+  orb.grant("Manager", "SalariesDB", "read").ok();
+  orb.grant("Manager", "SalariesDB", "write").ok();
+  orb.add_user_to_role("Alice", "Clerk").ok();
+  orb.add_user_to_role("Bob", "Manager").ok();
+
+  keynote::CredentialStore store;
+  translate::KeyRingDirectory directory(ring);
+  auto compiled = translate::compile_policy_signed(
+                      rbac::salaries_policy(), ring.identity("KWebCom"),
+                      directory)
+                      .take();
+  store.add_policy(compiled.policy).ok();
+  for (const auto& cred : compiled.membership_credentials) {
+    store.add_credential(cred).ok();
+  }
+
+  stack::StackedAuthorizer authorizer(stack::Composition::kAllMustPermit,
+                                      &audit);
+  authorizer.push(std::make_shared<stack::OsLayer>(os));
+  authorizer.push(std::make_shared<stack::MiddlewareLayer>(orb));
+  authorizer.push(std::make_shared<stack::TrustLayer>(store));
+
+  auto request = [&](const std::string& user, const std::string& perm,
+                     const std::string& domain, const std::string& role) {
+    stack::Request r;
+    r.user = user;
+    r.principal = directory.principal_of(user);
+    r.object_type = "SalariesDB";
+    r.permission = perm;
+    r.domain = domain;
+    r.role = role;
+    return r;
+  };
+  authorizer.permitted(request("Bob", "read", "Finance", "Manager"));
+  authorizer.permitted(request("Alice", "write", "Finance", "Clerk"));
+  authorizer.permitted(request("Alice", "read", "Finance", "Clerk"));
+  authorizer.permitted(request("Mallory", "read", "Finance", "Manager"));
+}
+
+int usage() {
+  std::fprintf(stderr, "usage: mwsec-stats demo [--json] | trace\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+  bool json = argc > 2 && std::strcmp(argv[2], "--json") == 0;
+  if (cmd != "demo" && cmd != "trace") return usage();
+
+  obs::set_metrics_enabled(true);
+  obs::Tracer::global().set_enabled(true);
+  middleware::AuditLog audit;
+  run_demo(audit);
+
+  auto snapshot = obs::Registry::global().snapshot();
+  if (cmd == "demo") {
+    if (json) {
+      std::printf("%s\n", obs::render_json(snapshot).c_str());
+    } else {
+      std::printf("== metrics ==\n%s", obs::render_text(snapshot).c_str());
+      std::printf("\n== audit (%zu events, %zu allowed, %zu denied) ==\n",
+                  audit.size(), audit.allowed_count(), audit.denied_count());
+      for (const auto& e : audit.events()) {
+        std::printf("%-7s %-8s %-20s %s\n", e.allowed ? "permit" : "DENY",
+                    e.principal.c_str(), e.action.c_str(), e.detail.c_str());
+      }
+      std::printf("\n== decision trace (JSONL) ==\n");
+    }
+  }
+  if (cmd == "trace" || !json) {
+    std::printf("%s", obs::Tracer::global().to_jsonl().c_str());
+  }
+  return 0;
+}
