@@ -1,0 +1,123 @@
+#include "authz/caching.hpp"
+
+#include <functional>
+
+namespace mwsec::authz {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+}  // namespace
+
+CachingAuthorizer::CachingAuthorizer(const Authorizer& inner)
+    : CachingAuthorizer(inner, Options{}) {}
+
+CachingAuthorizer::CachingAuthorizer(const Authorizer& inner, Options options)
+    : inner_(inner),
+      shard_mask_(round_up_pow2(options.shards == 0 ? 1 : options.shards) - 1),
+      shards_(new Shard[shard_mask_ + 1]),
+      obs_hits_(
+          obs::Registry::global().counter(options.metric_prefix + "_hits")),
+      obs_misses_(
+          obs::Registry::global().counter(options.metric_prefix + "_misses")) {
+  for (std::size_t i = 0; i <= shard_mask_; ++i) shards_[i].epoch = kNoEpoch;
+}
+
+std::string CachingAuthorizer::cache_key(const Request& request) {
+  // One allocation: the identity fields joined on a separator that cannot
+  // occur in them (0x1f, ASCII unit separator).
+  std::string key;
+  key.reserve(request.user.size() + request.principal.size() +
+              request.object_type.size() + request.permission.size() +
+              request.domain.size() + request.role.size() + 5);
+  key += request.user;
+  key += '\x1f';
+  key += request.principal;
+  key += '\x1f';
+  key += request.object_type;
+  key += '\x1f';
+  key += request.permission;
+  key += '\x1f';
+  key += request.domain;
+  key += '\x1f';
+  key += request.role;
+  return key;
+}
+
+CachingAuthorizer::Shard& CachingAuthorizer::shard_for(
+    const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) & shard_mask_];
+}
+
+Verdict CachingAuthorizer::decide(const Request& request) const {
+  if (!request.credentials.empty()) {
+    bypasses_.fetch_add(1, kRelaxed);
+    return inner_.decide(request);
+  }
+  const std::uint64_t now = inner_.epoch();
+  std::string key = cache_key(request);
+  Shard& shard = shard_for(key);
+  {
+    std::scoped_lock lock(shard.mu);
+    if (shard.epoch != now) {
+      if (!shard.entries.empty()) {
+        shard.entries.clear();
+        invalidations_.fetch_add(1, kRelaxed);
+      }
+      shard.epoch = now;
+    }
+    if (auto it = shard.entries.find(key); it != shard.entries.end()) {
+      hits_.fetch_add(1, kRelaxed);
+      obs_hits_.inc();
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, kRelaxed);
+  obs_misses_.inc();
+  // The backend query runs outside the shard lock (it may be slow);
+  // concurrent misses on the same key duplicate the query harmlessly.
+  Verdict verdict = inner_.decide(request);
+  {
+    std::scoped_lock lock(shard.mu);
+    // Only cache a verdict computed under the epoch the shard is at — a
+    // store mutation racing the query would otherwise pin a stale answer.
+    if (shard.epoch == verdict.epoch) {
+      shard.entries.emplace(std::move(key), verdict);
+    }
+  }
+  return verdict;
+}
+
+void CachingAuthorizer::invalidate() {
+  bool dropped = false;
+  for (std::size_t i = 0; i <= shard_mask_; ++i) {
+    std::scoped_lock lock(shards_[i].mu);
+    dropped = dropped || !shards_[i].entries.empty();
+    shards_[i].entries.clear();
+    shards_[i].epoch = kNoEpoch;
+  }
+  if (dropped) invalidations_.fetch_add(1, kRelaxed);
+}
+
+CachingAuthorizer::Stats CachingAuthorizer::stats() const {
+  return Stats{hits_.load(kRelaxed), misses_.load(kRelaxed),
+               bypasses_.load(kRelaxed), invalidations_.load(kRelaxed)};
+}
+
+std::size_t CachingAuthorizer::size() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i <= shard_mask_; ++i) {
+    std::scoped_lock lock(shards_[i].mu);
+    n += shards_[i].entries.size();
+  }
+  return n;
+}
+
+}  // namespace mwsec::authz

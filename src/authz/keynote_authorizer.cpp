@@ -1,0 +1,40 @@
+#include "authz/keynote_authorizer.hpp"
+
+namespace mwsec::authz {
+
+mwsec::Result<keynote::QueryResult> KeyNoteAuthorizer::run(
+    const Request& request) const {
+  auto q = fig5_query(request);
+  if (store_ != nullptr) return store_->query(q, request.credentials);
+  return snapshot_->query(q);
+}
+
+Verdict KeyNoteAuthorizer::decide(const Request& request) const {
+  const std::uint64_t at = epoch();
+  auto r = run(request);
+  if (!r.ok()) {
+    Verdict v = Verdict::deny(name_, at);
+    v.explanation = "query failed: " + r.error().message;
+    return v;
+  }
+  return r->authorized() ? Verdict::permit(name_, at)
+                         : Verdict::deny(name_, at);
+}
+
+std::string KeyNoteAuthorizer::explain(const Request& request,
+                                       const Verdict& verdict) const {
+  // Re-evaluate to recover the compliance value and any dropped
+  // credentials; explain() runs on the trace/audit path only.
+  auto r = run(request);
+  if (!r.ok()) {
+    return "query failed: " + r.error().message;
+  }
+  std::string out = "compliance '" + r->value_name + "' for principal '" +
+                    request.principal + "' under " + fig5_env_text(request);
+  if (!verdict.permitted() && !r->dropped_credentials.empty()) {
+    out += "; dropped credentials: " + r->dropped_credentials.front();
+  }
+  return out;
+}
+
+}  // namespace mwsec::authz

@@ -1,0 +1,61 @@
+// KeyNote trust management as an `authz::Authorizer` (Figure 10, L2).
+//
+// Two modes share one decision path:
+//
+//   live store   — decisions run against a `keynote::CompiledStore`; the
+//     store's version() is the verdict epoch, so a `CachingAuthorizer` in
+//     front invalidates exactly when the credential set changes. Requests
+//     carrying presented credentials are compiled into a one-shot snapshot
+//     by the store (and bypass caches, see authz.hpp).
+//   fixed snapshot — decisions run against one immutable
+//     `CompiledStore::Snapshot`, e.g. KeyCOM authorising every row of an
+//     update request against the same store-plus-presented-bundle view.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "authz/authz.hpp"
+#include "keynote/compiled_store.hpp"
+
+namespace mwsec::authz {
+
+class KeyNoteAuthorizer final : public Authorizer {
+ public:
+  /// Live mode. `store` must outlive this authoriser.
+  explicit KeyNoteAuthorizer(const keynote::CompiledStore& store,
+                             std::string name = "L2-keynote")
+      : store_(&store), name_(std::move(name)) {}
+
+  /// Fixed-snapshot mode. `epoch` is the source store's version at the
+  /// time the snapshot was taken. Request credentials are ignored — a
+  /// snapshot's assertion set is closed (bake presented credentials in
+  /// via CompiledStore::snapshot_with).
+  KeyNoteAuthorizer(std::shared_ptr<const keynote::CompiledStore::Snapshot>
+                        snapshot,
+                    std::uint64_t epoch, std::string name = "L2-keynote")
+      : snapshot_(std::move(snapshot)), fixed_epoch_(epoch),
+        name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+  std::uint64_t epoch() const override {
+    return store_ != nullptr ? store_->version() : fixed_epoch_;
+  }
+
+  /// Permit on _MAX_TRUST, deny otherwise (including query errors). Never
+  /// abstains — trust management always has an opinion (deny-by-default).
+  Verdict decide(const Request& request) const override;
+
+  std::string explain(const Request& request,
+                      const Verdict& verdict) const override;
+
+ private:
+  mwsec::Result<keynote::QueryResult> run(const Request& request) const;
+
+  const keynote::CompiledStore* store_ = nullptr;
+  std::shared_ptr<const keynote::CompiledStore::Snapshot> snapshot_;
+  std::uint64_t fixed_epoch_ = 0;
+  std::string name_;
+};
+
+}  // namespace mwsec::authz

@@ -1,0 +1,36 @@
+#include "authz/middleware_authorizer.hpp"
+
+namespace mwsec::authz {
+
+Verdict MiddlewareAuthorizer::decide(const Request& request) const {
+  // Does this middleware serve the object type at all?
+  bool serves = false;
+  for (const auto& component : system_.components()) {
+    if (component.object_type == request.object_type) {
+      serves = true;
+      break;
+    }
+  }
+  if (!serves) return Verdict::abstain(name_);
+  return system_.mediate(request.user, request.object_type,
+                         request.permission)
+             ? Verdict::permit(name_)
+             : Verdict::deny(name_);
+}
+
+std::string MiddlewareAuthorizer::explain(const Request& request,
+                                          const Verdict& verdict) const {
+  switch (verdict.decision) {
+    case Decision::kDeny:
+      return "no " + system_.kind() + " grant for user '" + request.user +
+             "' on " + request.object_type + ":" + request.permission;
+    case Decision::kPermit:
+      return system_.kind() + " catalogue grants " + request.object_type +
+             ":" + request.permission;
+    case Decision::kAbstain:
+      return request.object_type + " is not served by this middleware";
+  }
+  return {};
+}
+
+}  // namespace mwsec::authz

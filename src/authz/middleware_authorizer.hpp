@@ -1,0 +1,31 @@
+// A middleware's native mediation as an `authz::Authorizer` (Figure 10,
+// L1). Wraps `middleware::SecuritySystem::mediate` so CORBA / EJB / COM+
+// plug into the stack and the scheduler identically. Abstains when the
+// object type is not served by this middleware (no component exposes it).
+#pragma once
+
+#include <string>
+
+#include "authz/authz.hpp"
+#include "middleware/common/system.hpp"
+
+namespace mwsec::authz {
+
+class MiddlewareAuthorizer final : public Authorizer {
+ public:
+  explicit MiddlewareAuthorizer(const middleware::SecuritySystem& system)
+      : system_(system), name_("L1-" + system.kind()) {}
+
+  std::string name() const override { return name_; }
+
+  Verdict decide(const Request& request) const override;
+
+  std::string explain(const Request& request,
+                      const Verdict& verdict) const override;
+
+ private:
+  const middleware::SecuritySystem& system_;
+  std::string name_;
+};
+
+}  // namespace mwsec::authz

@@ -1,0 +1,170 @@
+#include "authz/stack.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace mwsec::authz {
+
+namespace {
+
+struct StackMetrics {
+  obs::Counter& decisions;
+  obs::Counter& permits;
+  obs::Counter& denies;
+  obs::Histogram& decide_us;
+
+  static StackMetrics& get() {
+    auto& r = obs::Registry::global();
+    static StackMetrics m{
+        r.counter("stack.decisions"),
+        r.counter("stack.permits"),
+        r.counter("stack.denies"),
+        r.histogram("stack.decide_us"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+void Stack::push(std::shared_ptr<Authorizer> layer, bool enabled) {
+  slots_.push_back(Slot{std::move(layer), enabled, {}});
+}
+
+bool Stack::set_enabled(const std::string& name, bool enabled) {
+  for (auto& slot : slots_) {
+    if (slot.layer->name() == name) {
+      slot.enabled = enabled;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Stack::is_enabled(const std::string& name) const {
+  for (const auto& slot : slots_) {
+    if (slot.layer->name() == name) return slot.enabled;
+  }
+  return false;
+}
+
+std::vector<std::string> Stack::layer_names() const {
+  std::vector<std::string> out;
+  for (const auto& slot : slots_) out.push_back(slot.layer->name());
+  return out;
+}
+
+std::uint64_t Stack::epoch() const {
+  std::uint64_t e = 0;
+  for (const auto& slot : slots_) {
+    if (slot.enabled) e = std::max(e, slot.layer->epoch());
+  }
+  return e;
+}
+
+Verdict Stack::decide(const Request& request) const {
+  auto& metrics = StackMetrics::get();
+  metrics.decisions.inc();
+  obs::ScopedTimer timer(metrics.decide_us);
+  auto span = obs::Tracer::global().root("stack.decide");
+  // The audit event is derived from the same decision record the trace
+  // exports (explain() is only consulted when one of the two wants it).
+  const bool explaining = span.active() || audit_ != nullptr;
+
+  Decision fold = Decision::kAbstain;
+  bool any_permit = false;
+  bool any_deny = false;
+  std::string denied_by;   // first (top-most) denying layer
+  std::string deny_reason;
+  std::string decisive;    // kFirstDecisive: the layer that decided
+  std::uint64_t epoch_seen = 0;
+
+  // Layers are consulted top-down: last pushed (highest layer) first,
+  // mirroring Figure 10 where trust management sits above the middleware.
+  for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
+    if (!it->enabled) continue;
+    Verdict v = it->layer->decide(request);
+    epoch_seen = std::max(epoch_seen, v.epoch);
+    switch (v.decision) {
+      case Decision::kPermit: ++it->stats.permits; any_permit = true; break;
+      case Decision::kDeny: ++it->stats.denies; any_deny = true; break;
+      case Decision::kAbstain: ++it->stats.abstains; break;
+    }
+    if (span.active()) {
+      auto layer_span = span.child("stack.layer");
+      layer_span.set_attr("layer", it->layer->name());
+      layer_span.set_status(decision_name(v.decision));
+      if (v.decision == Decision::kDeny) {
+        layer_span.set_attr(obs::kAttrReason, it->layer->explain(request, v));
+      }
+    }
+    if (v.decision == Decision::kDeny && denied_by.empty()) {
+      denied_by = it->layer->name();
+      if (explaining) deny_reason = it->layer->explain(request, v);
+    }
+    if (composition_ == Composition::kFirstDecisive &&
+        v.decision != Decision::kAbstain) {
+      fold = v.decision;
+      decisive = it->layer->name();
+      break;
+    }
+  }
+
+  if (composition_ == Composition::kAllMustPermit) {
+    if (any_deny) fold = Decision::kDeny;
+    else if (any_permit) fold = Decision::kPermit;
+    else fold = Decision::kAbstain;
+  } else if (composition_ == Composition::kAnyPermits) {
+    if (any_permit) fold = Decision::kPermit;
+    else if (any_deny) fold = Decision::kDeny;
+    else fold = Decision::kAbstain;
+  }
+
+  // Fail closed: a stack with no opinion denies.
+  const Decision final_decision =
+      fold == Decision::kAbstain ? Decision::kDeny : fold;
+  if (final_decision == Decision::kPermit) {
+    metrics.permits.inc();
+  } else {
+    metrics.denies.inc();
+  }
+  if (final_decision == Decision::kDeny && denied_by.empty()) {
+    denied_by = "stack";
+    deny_reason = "all enabled layers abstained (fail-closed)";
+  }
+
+  Verdict verdict;
+  verdict.decision = final_decision;
+  verdict.epoch = epoch_seen;
+  if (final_decision == Decision::kDeny) {
+    verdict.authority = denied_by;
+    if (explaining) verdict.explanation = deny_reason;
+  } else {
+    verdict.authority = decisive.empty() ? std::string("stack") : decisive;
+  }
+
+  if (span.active() || audit_ != nullptr) {
+    // `fold` (pre-fail-closed) is the recorded reason on a permit, so a
+    // trace distinguishes an explicit permit from a default.
+    auto rec = decision_record(
+        "stack.decide", "stack", request, verdict,
+        final_decision == Decision::kDeny ? deny_reason
+                                          : std::string(decision_name(fold)));
+    if (audit_ != nullptr) audit_->record_from(rec);
+    if (span.active()) {
+      for (const auto& [k, v] : rec.attrs) span.set_attr(k, v);
+      span.set_status(rec.status);
+    }
+  }
+  return verdict;
+}
+
+Stack::LayerStats Stack::stats_for(const std::string& name) const {
+  for (const auto& slot : slots_) {
+    if (slot.layer->name() == name) return slot.stats;
+  }
+  return {};
+}
+
+}  // namespace mwsec::authz

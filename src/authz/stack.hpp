@@ -1,0 +1,81 @@
+// Stacked authorisation (paper §5, Figure 10) over the authz core.
+//
+// Security mediation in Secure WebCom is a stack of pluggable authorisers:
+//   L0 — operating system security,
+//   L1 — middleware security (CORBASec / EJB descriptors / COM+ catalogue),
+//   L2 — trust management (KeyNote, or SPKI/SDSI),
+//   L3 — application/workflow security (a hook; the paper defers it).
+// Layers are "pluggable in the sense of PAM" [17, 25]: any subset may be
+// enabled — e.g. an ORB without CORBASec support runs with KeyNote + OS
+// only — and the composition strategy decides how layer verdicts combine.
+// The stack is itself an `Authorizer`, so stacks nest and decorate like
+// any other backend; the tri-state fold and the fail-closed rule live
+// here, in the core.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "authz/authz.hpp"
+#include "middleware/common/audit.hpp"
+
+namespace mwsec::authz {
+
+/// How layer verdicts combine.
+enum class Composition {
+  kAllMustPermit,   ///< deny wins; every non-abstaining layer must permit
+  kFirstDecisive,   ///< top-most non-abstaining layer decides
+  kAnyPermits,      ///< a single permit suffices (audit-heavy deployments)
+};
+
+class Stack : public Authorizer {
+ public:
+  explicit Stack(Composition composition = Composition::kAllMustPermit,
+                 middleware::AuditLog* audit = nullptr)
+      : composition_(composition), audit_(audit) {}
+
+  /// Push a layer on top of the stack (L0 first, L3 last, by convention).
+  void push(std::shared_ptr<Authorizer> layer, bool enabled = true);
+
+  /// Plug a layer in or out by name; returns false if unknown.
+  bool set_enabled(const std::string& name, bool enabled);
+  bool is_enabled(const std::string& name) const;
+  std::vector<std::string> layer_names() const;
+
+  void set_composition(Composition c) { composition_ = c; }
+
+  std::string name() const override { return "stack"; }
+
+  /// Mediate: combine the enabled layers' verdicts. Never abstains
+  /// outward — an all-abstain stack denies (fail-closed), attributed to
+  /// "stack". A deny is attributed to the first (top-most) denying layer.
+  Verdict decide(const Request& request) const override;
+
+  bool permitted(const Request& request) const {
+    return decide(request).permitted();
+  }
+
+  /// The most recent epoch across enabled layers, so a cache in front of
+  /// a stack invalidates when any constituent store moves.
+  std::uint64_t epoch() const override;
+
+  struct LayerStats {
+    std::uint64_t permits = 0;
+    std::uint64_t denies = 0;
+    std::uint64_t abstains = 0;
+  };
+  LayerStats stats_for(const std::string& name) const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<Authorizer> layer;
+    bool enabled;
+    mutable LayerStats stats;
+  };
+  Composition composition_;
+  middleware::AuditLog* audit_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace mwsec::authz

@@ -1,5 +1,6 @@
 #include "keycom/service.hpp"
 
+#include "authz/keynote_authorizer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -141,20 +142,18 @@ mwsec::Result<UpdateRequest> UpdateRequest::decode(
   return out;
 }
 
-bool Service::authorised(const keynote::CompiledStore::Snapshot& snapshot,
+bool Service::authorised(const authz::Authorizer& authorizer,
                          const std::string& requester,
                          const std::string& domain, const std::string& role,
                          const std::string& object_type,
                          const std::string& permission) {
-  keynote::Query q;
-  q.action_authorizers = {requester};
-  q.env.set("app_domain", "WebCom");
-  q.env.set("Domain", domain);
-  q.env.set("Role", role);
-  if (!object_type.empty()) q.env.set("ObjectType", object_type);
-  if (!permission.empty()) q.env.set("Permission", permission);
-  auto r = snapshot.query(q);
-  return r.ok() && r->authorized();
+  authz::Request request;
+  request.principal = requester;
+  request.object_type = object_type;
+  request.permission = permission;
+  request.domain = domain;
+  request.role = role;
+  return authorizer.decide(request).permitted();
 }
 
 mwsec::Result<UpdateReport> Service::apply(const UpdateRequest& request) {
@@ -190,13 +189,16 @@ mwsec::Result<UpdateReport> Service::apply(const UpdateRequest& request) {
     presented = std::move(bundle).take();
   }
   // Verify and compile the presented bundle once; every row of this
-  // request is then authorised against the same snapshot.
-  auto snapshot = store_.snapshot_with(presented);
+  // request is then authorised against the same snapshot, through a
+  // fixed-snapshot KeyNote authoriser — the same Verdict type every other
+  // decision surface produces.
+  authz::KeyNoteAuthorizer row_authz(store_.snapshot_with(presented),
+                                     store_.version(), "keycom-delegation");
 
   UpdateReport report;
   rbac::Policy additions;
   for (const auto& a : request.add_assignments) {
-    if (!authorised(*snapshot, request.requester, a.domain, a.role, "", "")) {
+    if (!authorised(row_authz, request.requester, a.domain, a.role, "", "")) {
       report.rejected.push_back("assignment " + a.domain + "/" + a.role +
                                 " for " + a.user + ": requester lacks "
                                 "delegated authority");
@@ -205,7 +207,7 @@ mwsec::Result<UpdateReport> Service::apply(const UpdateRequest& request) {
     additions.assign(a).ok();
   }
   for (const auto& g : request.add_grants) {
-    if (!authorised(*snapshot, request.requester, g.domain, g.role,
+    if (!authorised(row_authz, request.requester, g.domain, g.role,
                     g.object_type, g.permission)) {
       report.rejected.push_back("grant " + g.domain + "/" + g.role + " " +
                                 g.permission + " on " + g.object_type +
@@ -228,7 +230,7 @@ mwsec::Result<UpdateReport> Service::apply(const UpdateRequest& request) {
   // Revocation: withdrawing a membership requires the same authority as
   // granting it.
   for (const auto& a : request.remove_assignments) {
-    if (!authorised(*snapshot, request.requester, a.domain, a.role, "", "")) {
+    if (!authorised(row_authz, request.requester, a.domain, a.role, "", "")) {
       report.rejected.push_back("removal " + a.domain + "/" + a.role +
                                 " for " + a.user + ": requester lacks "
                                 "delegated authority");
@@ -258,7 +260,7 @@ mwsec::Result<UpdateReport> Service::apply(const UpdateRequest& request) {
                                  report.grants_applied));
     span.set_attr("rows_rejected", std::to_string(report.rejected.size()));
     if (!report.fully_applied()) {
-      span.set_attr(obs::kAttrDeniedBy, "keycom-delegation");
+      span.set_attr(obs::kAttrDeniedBy, row_authz.name());
       span.set_attr(obs::kAttrReason, report.rejected.front());
     }
     span.set_status(report.fully_applied() ? "permit" : "deny");

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "authz/authz.hpp"
 #include "crypto/keys.hpp"
 #include "keynote/compiled_store.hpp"
 #include "middleware/common/audit.hpp"
@@ -81,10 +82,13 @@ class Service {
   const Stats& stats() const { return stats_; }
 
  private:
-  bool authorised(const keynote::CompiledStore::Snapshot& snapshot,
-                  const std::string& requester, const std::string& domain,
-                  const std::string& role, const std::string& object_type,
-                  const std::string& permission);
+  /// Per-row check through the authz core: `authorizer` is a snapshot-mode
+  /// KeyNoteAuthorizer over the store-plus-presented-bundle view.
+  static bool authorised(const authz::Authorizer& authorizer,
+                         const std::string& requester,
+                         const std::string& domain, const std::string& role,
+                         const std::string& object_type,
+                         const std::string& permission);
 
   middleware::SecuritySystem& target_;
   middleware::AuditLog* audit_;

@@ -109,11 +109,15 @@ mwsec::Status Network::send(Message m) {
     metrics.bytes.inc(m.payload.size());
     m.id = next_id_++;
 
+    // Failure Statuses name the destination, so a caller's retry log (the
+    // scheduler's, in particular) identifies the dead endpoint without
+    // having to thread it through separately.
     auto key = std::minmax(m.from, m.to);
     if (partitions_.count({key.first, key.second})) {
       ++stats_.partitioned;
       metrics.partitioned.inc();
-      return Error::make("link partitioned: " + m.from + " <-> " + m.to,
+      return Error::make("send to '" + m.to + "' failed: link partitioned (" +
+                             m.from + " <-> " + m.to + ")",
                          "net");
     }
     if (options_.drop_probability > 0.0 &&
@@ -127,7 +131,10 @@ mwsec::Status Network::send(Message m) {
     if (dest == nullptr || dest->closed()) {
       ++stats_.undeliverable;
       metrics.undeliverable.inc();
-      return Error::make("no such endpoint: " + m.to, "net");
+      return Error::make("send to '" + m.to + "' failed: " +
+                             (dest == nullptr ? "no such endpoint"
+                                              : "endpoint closed"),
+                         "net");
     }
     ++stats_.delivered;
     metrics.delivered.inc();

@@ -17,18 +17,18 @@ class SpkiLayer final : public stack::Layer {
 
   std::string name() const override { return "L2-spki"; }
 
-  stack::Decision decide(const stack::Request& request) const override {
+  stack::Verdict decide(const stack::Request& request) const override {
     return spki_check(store_, admin_principal_, request.principal,
                       request.object_type, request.permission)
-               ? stack::Decision::kPermit
-               : stack::Decision::kDeny;
+               ? stack::Verdict::permit("L2-spki")
+               : stack::Verdict::deny("L2-spki");
   }
 
   std::string explain(const stack::Request& request,
-                      stack::Decision decision) const override {
+                      const stack::Verdict& verdict) const override {
     std::string tag = "(tag " + request.object_type + " " +
                       request.permission + ")";
-    if (decision == stack::Decision::kPermit) {
+    if (verdict.decision == stack::Decision::kPermit) {
       return "certificate chain from admin reaches '" + request.principal +
              "' with " + tag;
     }

@@ -1,64 +1,11 @@
 #include "stack/layers.hpp"
 
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
-
 namespace mwsec::stack {
 
-namespace {
-
-struct StackMetrics {
-  obs::Counter& decisions;
-  obs::Counter& permits;
-  obs::Counter& denies;
-  obs::Histogram& decide_us;
-
-  static StackMetrics& get() {
-    auto& r = obs::Registry::global();
-    static StackMetrics m{
-        r.counter("stack.decisions"),
-        r.counter("stack.permits"),
-        r.counter("stack.denies"),
-        r.histogram("stack.decide_us"),
-    };
-    return m;
-  }
-};
-
-/// The Figure 5 action environment the trust layer queries with — also
-/// the "failing constraint" a denied-request trace reports.
-keynote::Query trust_query(const Request& request) {
-  keynote::Query q;
-  q.action_authorizers = {request.principal};
-  q.env.set("app_domain", "WebCom");
-  q.env.set("ObjectType", request.object_type);
-  q.env.set("Permission", request.permission);
-  q.env.set("Domain", request.domain);
-  q.env.set("Role", request.role);
-  return q;
-}
-
-std::string trust_env_text(const Request& request) {
-  return "{app_domain=WebCom, ObjectType=" + request.object_type +
-         ", Permission=" + request.permission + ", Domain=" + request.domain +
-         ", Role=" + request.role + "}";
-}
-
-}  // namespace
-
-const char* decision_name(Decision d) {
-  switch (d) {
-    case Decision::kPermit: return "permit";
-    case Decision::kDeny: return "deny";
-    case Decision::kAbstain: return "abstain";
-  }
-  return "?";
-}
-
-Decision OsLayer::decide(const Request& request) const {
-  if (!os_.account_exists(request.user)) return Decision::kDeny;
+Verdict OsLayer::decide(const Request& request) const {
+  if (!os_.account_exists(request.user)) return Verdict::deny("L0-os");
   if (os_.check(request.user, request.object_type, request.permission)) {
-    return Decision::kPermit;
+    return Verdict::permit("L0-os");
   }
   // The account exists but holds no grant: the OS may simply not manage
   // this object (middleware-level resources usually are not OS files).
@@ -67,11 +14,12 @@ Decision OsLayer::decide(const Request& request) const {
   // A conservative approximation: abstain always on a missing grant,
   // deny only for unknown accounts. Deployments wanting strict OS
   // mediation grant explicitly.
-  return Decision::kAbstain;
+  return Verdict::abstain("L0-os");
 }
 
-std::string OsLayer::explain(const Request& request, Decision decision) const {
-  switch (decision) {
+std::string OsLayer::explain(const Request& request,
+                             const Verdict& verdict) const {
+  switch (verdict.decision) {
     case Decision::kDeny:
       return "no OS account '" + request.user + "'";
     case Decision::kPermit:
@@ -83,187 +31,27 @@ std::string OsLayer::explain(const Request& request, Decision decision) const {
   return {};
 }
 
-Decision MiddlewareLayer::decide(const Request& request) const {
-  // Does this middleware serve the object type at all?
-  bool serves = false;
-  for (const auto& component : system_.components()) {
-    if (component.object_type == request.object_type) {
-      serves = true;
-      break;
-    }
-  }
-  if (!serves) return Decision::kAbstain;
-  return system_.mediate(request.user, request.object_type,
-                         request.permission)
-             ? Decision::kPermit
-             : Decision::kDeny;
-}
-
-std::string MiddlewareLayer::explain(const Request& request,
-                                     Decision decision) const {
-  switch (decision) {
-    case Decision::kDeny:
-      return "no " + system_.kind() + " grant for user '" + request.user +
-             "' on " + request.object_type + ":" + request.permission;
-    case Decision::kPermit:
-      return system_.kind() + " catalogue grants " + request.object_type +
-             ":" + request.permission;
-    case Decision::kAbstain:
-      return request.object_type + " is not served by this middleware";
-  }
-  return {};
-}
-
-Decision TrustLayer::decide(const Request& request) const {
-  auto r = store_.query(trust_query(request), request.credentials);
-  if (!r.ok()) return Decision::kDeny;
-  return r->authorized() ? Decision::kPermit : Decision::kDeny;
+Verdict TrustLayer::decide(const Request& request) const {
+  auto r = store_.query(authz::fig5_query(request), request.credentials);
+  if (!r.ok()) return Verdict::deny(name());
+  return r->authorized() ? Verdict::permit(name()) : Verdict::deny(name());
 }
 
 std::string TrustLayer::explain(const Request& request,
-                                Decision decision) const {
+                                const Verdict& verdict) const {
   // Re-evaluate to recover the compliance value and any dropped
   // credentials; explain() runs on the trace/audit path only.
-  auto r = store_.query(trust_query(request), request.credentials);
+  auto r = store_.query(authz::fig5_query(request), request.credentials);
   if (!r.ok()) {
     return "query failed: " + r.error().message;
   }
   std::string out = "compliance '" + r->value_name + "' for principal '" +
-                    request.principal + "' under " + trust_env_text(request);
-  if (decision == Decision::kDeny && !r->dropped_credentials.empty()) {
+                    request.principal + "' under " +
+                    authz::fig5_env_text(request);
+  if (verdict.decision == Decision::kDeny && !r->dropped_credentials.empty()) {
     out += "; dropped credentials: " + r->dropped_credentials.front();
   }
   return out;
-}
-
-void StackedAuthorizer::push(std::shared_ptr<Layer> layer, bool enabled) {
-  slots_.push_back(Slot{std::move(layer), enabled, {}});
-}
-
-bool StackedAuthorizer::set_enabled(const std::string& name, bool enabled) {
-  for (auto& slot : slots_) {
-    if (slot.layer->name() == name) {
-      slot.enabled = enabled;
-      return true;
-    }
-  }
-  return false;
-}
-
-bool StackedAuthorizer::is_enabled(const std::string& name) const {
-  for (const auto& slot : slots_) {
-    if (slot.layer->name() == name) return slot.enabled;
-  }
-  return false;
-}
-
-std::vector<std::string> StackedAuthorizer::layer_names() const {
-  std::vector<std::string> out;
-  for (const auto& slot : slots_) out.push_back(slot.layer->name());
-  return out;
-}
-
-Decision StackedAuthorizer::decide(const Request& request) const {
-  auto& metrics = StackMetrics::get();
-  metrics.decisions.inc();
-  obs::ScopedTimer timer(metrics.decide_us);
-  auto span = obs::Tracer::global().root("stack.decide");
-  // The audit event is derived from the same decision record the trace
-  // exports (explain() is only consulted when one of the two wants it).
-  const bool explaining = span.active() || audit_ != nullptr;
-
-  Decision verdict = Decision::kAbstain;
-  bool any_permit = false;
-  bool any_deny = false;
-  std::string denied_by;   // first (top-most) denying layer
-  std::string deny_reason;
-
-  // Layers are consulted top-down: last pushed (highest layer) first,
-  // mirroring Figure 10 where trust management sits above the middleware.
-  for (auto it = slots_.rbegin(); it != slots_.rend(); ++it) {
-    if (!it->enabled) continue;
-    Decision d = it->layer->decide(request);
-    switch (d) {
-      case Decision::kPermit: ++it->stats.permits; any_permit = true; break;
-      case Decision::kDeny: ++it->stats.denies; any_deny = true; break;
-      case Decision::kAbstain: ++it->stats.abstains; break;
-    }
-    if (span.active()) {
-      auto layer_span = span.child("stack.layer");
-      layer_span.set_attr("layer", it->layer->name());
-      layer_span.set_status(decision_name(d));
-      if (d == Decision::kDeny) {
-        layer_span.set_attr(obs::kAttrReason,
-                            it->layer->explain(request, d));
-      }
-    }
-    if (d == Decision::kDeny && denied_by.empty()) {
-      denied_by = it->layer->name();
-      if (explaining) deny_reason = it->layer->explain(request, d);
-    }
-    if (composition_ == Composition::kFirstDecisive &&
-        d != Decision::kAbstain) {
-      verdict = d;
-      break;
-    }
-  }
-
-  if (composition_ == Composition::kAllMustPermit) {
-    if (any_deny) verdict = Decision::kDeny;
-    else if (any_permit) verdict = Decision::kPermit;
-    else verdict = Decision::kAbstain;
-  } else if (composition_ == Composition::kAnyPermits) {
-    if (any_permit) verdict = Decision::kPermit;
-    else if (any_deny) verdict = Decision::kDeny;
-    else verdict = Decision::kAbstain;
-  }
-
-  // Fail closed: a stack with no opinion denies.
-  Decision final_verdict =
-      verdict == Decision::kAbstain ? Decision::kDeny : verdict;
-  if (final_verdict == Decision::kPermit) {
-    metrics.permits.inc();
-  } else {
-    metrics.denies.inc();
-  }
-  if (final_verdict == Decision::kDeny && denied_by.empty()) {
-    denied_by = "stack";
-    deny_reason = "all enabled layers abstained (fail-closed)";
-  }
-
-  if (span.active() || audit_ != nullptr) {
-    obs::SpanRecord decision_rec;
-    decision_rec.name = "stack.decide";
-    decision_rec.status = decision_name(final_verdict);
-    decision_rec.attrs = {
-        {obs::kAttrSystem, "stack"},
-        {obs::kAttrPrincipal, request.user},
-        {obs::kAttrAction, request.object_type + ":" + request.permission},
-        {obs::kAttrDecision,
-         final_verdict == Decision::kPermit ? "permit" : "deny"},
-    };
-    if (final_verdict == Decision::kDeny) {
-      decision_rec.attrs.emplace_back(obs::kAttrDeniedBy, denied_by);
-      decision_rec.attrs.emplace_back(obs::kAttrReason, deny_reason);
-    } else {
-      decision_rec.attrs.emplace_back(obs::kAttrReason,
-                                      decision_name(verdict));
-    }
-    if (audit_ != nullptr) audit_->record_from(decision_rec);
-    if (span.active()) {
-      for (const auto& [k, v] : decision_rec.attrs) span.set_attr(k, v);
-      span.set_status(decision_rec.status);
-    }
-  }
-  return final_verdict;
-}
-
-StackedAuthorizer::LayerStats StackedAuthorizer::stats_for(
-    const std::string& name) const {
-  for (const auto& slot : slots_) {
-    if (slot.layer->name() == name) return slot.stats;
-  }
-  return {};
 }
 
 }  // namespace mwsec::stack

@@ -1,60 +1,37 @@
 // Stacked authorisation (paper §5, Figure 10).
 //
-// Security mediation in Secure WebCom is a stack of pluggable layers:
-//   L0 — operating system security,
-//   L1 — middleware security (CORBASec / EJB descriptors / COM+ catalogue),
-//   L2 — trust management (KeyNote),
-//   L3 — application/workflow security (a hook; the paper defers it).
-// Layers are "pluggable in the sense of PAM" [17, 25]: any subset may be
-// enabled — e.g. an ORB without CORBASec support runs with KeyNote + OS
-// only — and the composition strategy decides how layer verdicts combine.
+// The layer model now lives in the authz core (src/authz): `Layer` IS
+// `authz::Authorizer`, the tri-state fold and fail-closed rule are
+// `authz::Stack`, and the middleware adapter is
+// `authz::MiddlewareAuthorizer` — this header keeps the Figure 10 names
+// and provides the layers with stack-specific backends: the OS layer
+// (accounts + ACLs) and the KeyNote trust layer over the interpreting
+// `CredentialStore` (the compiled-store variant is
+// `authz::KeyNoteAuthorizer`).
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <string>
-#include <vector>
 
+#include "authz/authz.hpp"
+#include "authz/middleware_authorizer.hpp"
+#include "authz/stack.hpp"
 #include "keynote/store.hpp"
-#include "middleware/common/audit.hpp"
-#include "middleware/common/system.hpp"
 #include "stack/os.hpp"
 
 namespace mwsec::stack {
 
-/// A layer may permit, deny, or abstain (it has no opinion — e.g. the OS
-/// layer abstains on requests for objects it does not manage).
-enum class Decision { kPermit, kDeny, kAbstain };
-
-const char* decision_name(Decision d);
-
-/// One mediation request, carrying everything any layer might need.
-struct Request {
-  std::string user;        ///< OS / middleware user name
-  std::string principal;   ///< the user's key (for the TM layer)
-  std::string object_type;
-  std::string permission;
-  std::string domain;      ///< RBAC domain context
-  std::string role;        ///< RBAC role context
-  /// Credentials presented with the request (TM layer).
-  std::vector<keynote::Assertion> credentials;
-};
-
-class Layer {
- public:
-  virtual ~Layer() = default;
-  virtual std::string name() const = 0;
-  virtual Decision decide(const Request& request) const = 0;
-  /// Human-readable account of why this layer reached `decision` for
-  /// `request` — the failing condition/constraint for a deny. Consulted
-  /// only on the audit/trace path (never on the hot path), so an
-  /// implementation may re-evaluate the request to explain it.
-  virtual std::string explain(const Request& request,
-                              Decision decision) const {
-    (void)request;
-    return decision == Decision::kDeny ? "denied (no detail)" : std::string{};
-  }
-};
+using Decision = authz::Decision;
+using Request = authz::Request;
+using Verdict = authz::Verdict;
+using Layer = authz::Authorizer;
+using Composition = authz::Composition;
+using StackedAuthorizer = authz::Stack;
+/// L1: a middleware's native mediation (abstains when the object type is
+/// not served by this middleware).
+using MiddlewareLayer = authz::MiddlewareAuthorizer;
+using authz::decision_name;
 
 /// L0: OS accounts + ACLs. Denies requests from non-existent accounts;
 /// abstains on objects it has no ACL entries for.
@@ -62,39 +39,25 @@ class OsLayer final : public Layer {
  public:
   explicit OsLayer(const OsSecurity& os) : os_(os) {}
   std::string name() const override { return "L0-os"; }
-  Decision decide(const Request& request) const override;
+  Verdict decide(const Request& request) const override;
   std::string explain(const Request& request,
-                      Decision decision) const override;
+                      const Verdict& verdict) const override;
 
  private:
   const OsSecurity& os_;
 };
 
-/// L1: a middleware's native mediation. Abstains when the object type is
-/// not served by this middleware (no component exposes it).
-class MiddlewareLayer final : public Layer {
- public:
-  explicit MiddlewareLayer(const middleware::SecuritySystem& system)
-      : system_(system) {}
-  std::string name() const override { return "L1-" + system_.kind(); }
-  Decision decide(const Request& request) const override;
-  std::string explain(const Request& request,
-                      Decision decision) const override;
-
- private:
-  const middleware::SecuritySystem& system_;
-};
-
-/// L2: KeyNote. Queries the store with the Figure 5 attribute vocabulary;
-/// permits on _MAX_TRUST, denies otherwise. Never abstains — trust
-/// management always has an opinion (deny-by-default).
+/// L2: KeyNote over the interpreting `CredentialStore`. Queries with the
+/// Figure 5 attribute vocabulary; permits on _MAX_TRUST, denies otherwise.
+/// Never abstains — trust management always has an opinion
+/// (deny-by-default).
 class TrustLayer final : public Layer {
  public:
   explicit TrustLayer(const keynote::CredentialStore& store) : store_(store) {}
   std::string name() const override { return "L2-keynote"; }
-  Decision decide(const Request& request) const override;
+  Verdict decide(const Request& request) const override;
   std::string explain(const Request& request,
-                      Decision decision) const override;
+                      const Verdict& verdict) const override;
 
  private:
   const keynote::CredentialStore& store_;
@@ -108,60 +71,17 @@ class ApplicationLayer final : public Layer {
   explicit ApplicationLayer(Predicate predicate)
       : predicate_(std::move(predicate)) {}
   std::string name() const override { return "L3-application"; }
-  Decision decide(const Request& request) const override {
-    return predicate_(request);
+  Verdict decide(const Request& request) const override {
+    switch (predicate_(request)) {
+      case Decision::kPermit: return Verdict::permit(name());
+      case Decision::kDeny: return Verdict::deny(name());
+      case Decision::kAbstain: break;
+    }
+    return Verdict::abstain(name());
   }
 
  private:
   Predicate predicate_;
-};
-
-/// How layer verdicts combine.
-enum class Composition {
-  kAllMustPermit,   ///< deny wins; every non-abstaining layer must permit
-  kFirstDecisive,   ///< top-most non-abstaining layer decides
-  kAnyPermits,      ///< a single permit suffices (audit-heavy deployments)
-};
-
-class StackedAuthorizer {
- public:
-  explicit StackedAuthorizer(Composition composition = Composition::kAllMustPermit,
-                             middleware::AuditLog* audit = nullptr)
-      : composition_(composition), audit_(audit) {}
-
-  /// Push a layer on top of the stack (L0 first, L3 last, by convention).
-  void push(std::shared_ptr<Layer> layer, bool enabled = true);
-
-  /// Plug a layer in or out by name; returns false if unknown.
-  bool set_enabled(const std::string& name, bool enabled);
-  bool is_enabled(const std::string& name) const;
-  std::vector<std::string> layer_names() const;
-
-  void set_composition(Composition c) { composition_ = c; }
-
-  /// Mediate: combine the enabled layers' verdicts. An all-abstain stack
-  /// denies (fail-closed).
-  Decision decide(const Request& request) const;
-  bool permitted(const Request& request) const {
-    return decide(request) == Decision::kPermit;
-  }
-
-  struct LayerStats {
-    std::uint64_t permits = 0;
-    std::uint64_t denies = 0;
-    std::uint64_t abstains = 0;
-  };
-  LayerStats stats_for(const std::string& name) const;
-
- private:
-  struct Slot {
-    std::shared_ptr<Layer> layer;
-    bool enabled;
-    mutable LayerStats stats;
-  };
-  Composition composition_;
-  middleware::AuditLog* audit_;
-  std::vector<Slot> slots_;
 };
 
 }  // namespace mwsec::stack

@@ -24,8 +24,6 @@ struct WebcomMetrics {
   obs::Counter& retries;        ///< timed-out tasks put back on the queue
   obs::Counter& redispatches;   ///< dispatches beyond a node's first attempt
   obs::Counter& quarantines;
-  obs::Counter& decision_cache_hits;
-  obs::Counter& decision_cache_misses;
   obs::Counter& client_executed;
   obs::Counter& client_rejected;
   obs::Counter& client_failed;
@@ -42,8 +40,8 @@ struct WebcomMetrics {
         r.counter("webcom.retries"),
         r.counter("webcom.redispatches"),
         r.counter("webcom.quarantines"),
-        r.counter("webcom.decision_cache_hits"),
-        r.counter("webcom.decision_cache_misses"),
+        // The decision-cache counters ("webcom.decision_cache_hits"/
+        // "_misses") are published by the master's CachingAuthorizer.
         r.counter("webcom.client.tasks_executed"),
         r.counter("webcom.client.tasks_rejected"),
         r.counter("webcom.client.tasks_failed"),
@@ -52,22 +50,6 @@ struct WebcomMetrics {
     return m;
   }
 };
-
-/// KeyNote action environment for scheduling a node to run as
-/// (domain, role): the Figure 5 attribute vocabulary.
-keynote::Query scheduling_query(const std::string& requester,
-                                const SecurityTarget& target,
-                                const std::string& domain,
-                                const std::string& role) {
-  keynote::Query q;
-  q.action_authorizers = {requester};
-  q.env.set("app_domain", "WebCom");
-  q.env.set("ObjectType", target.object_type);
-  q.env.set("Permission", target.permission);
-  q.env.set("Domain", domain);
-  q.env.set("Role", role);
-  return q;
-}
 
 }  // namespace
 
@@ -109,37 +91,25 @@ mwsec::Status Master::attach_client(ClientInfo info) {
   client_alive_[info.endpoint] = true;
   clients_.push_back(std::move(info));
   // New credentials can only have been admitted above, which bumps the
-  // store version — but flush explicitly so a client attaching with no
-  // credentials (or with security disabled) can never be answered from
+  // store version — but invalidate explicitly so a client attaching with
+  // no credentials (or with security disabled) can never be answered from
   // decisions cached before it existed.
-  decision_cache_.clear();
-  decision_cache_version_ = store_.version();
+  authz_.invalidate();
   return {};
 }
 
-bool Master::authorised_cached(const ClientInfo& client,
-                               const SecurityTarget& t) {
-  if (store_.version() != decision_cache_version_) {
-    decision_cache_.clear();
-    decision_cache_version_ = store_.version();
-  }
-  DecisionKey key{client.principal, client.domain, client.role, t.object_type,
-                  t.permission};
-  if (auto it = decision_cache_.find(key); it != decision_cache_.end()) {
-    ++stats_.decision_cache_hits;
-    WebcomMetrics::get().decision_cache_hits.inc();
-    return it->second;
-  }
-  ++stats_.keynote_queries;
-  WebcomMetrics::get().decision_cache_misses.inc();
-  auto q = scheduling_query(client.principal, t, client.domain, client.role);
-  auto r = store_.query(q);
-  bool verdict = r.ok() && r->authorized();
-  decision_cache_.emplace(std::move(key), verdict);
-  return verdict;
+MasterStats Master::stats() const {
+  // One source of truth for the query/cache columns: the unified decision
+  // cache. (The scheduler used to count them a second time alongside the
+  // obs registry.)
+  MasterStats out = stats_;
+  const auto cache = authz_.stats();
+  out.keynote_queries = cache.misses + cache.bypasses;
+  out.decision_cache_hits = cache.hits;
+  return out;
 }
 
-bool Master::eligible(const ClientInfo& client, const Node& node) {
+bool Master::placement_ok(const ClientInfo& client, const Node& node) const {
   if (!node.target.has_value()) return true;
   const SecurityTarget& t = *node.target;
   // Section 6 placement: every constrained field must match the client's
@@ -147,9 +117,26 @@ bool Master::eligible(const ClientInfo& client, const Node& node) {
   if (!t.domain.empty() && t.domain != client.domain) return false;
   if (!t.role.empty() && t.role != client.role) return false;
   if (!t.user.empty() && t.user != client.user) return false;
-  if (!options_.security_enabled) return true;
-  if (t.object_type.empty() && t.permission.empty()) return true;
-  return authorised_cached(client, t);
+  return true;
+}
+
+bool Master::needs_authorisation(const Node& node) const {
+  if (!options_.security_enabled) return false;
+  if (!node.target.has_value()) return false;
+  return !node.target->object_type.empty() ||
+         !node.target->permission.empty();
+}
+
+authz::Request Master::scheduling_request(const ClientInfo& client,
+                                          const SecurityTarget& target) const {
+  authz::Request r;
+  r.user = client.user;
+  r.principal = client.principal;
+  r.object_type = target.object_type;
+  r.permission = target.permission;
+  r.domain = client.domain;
+  r.role = client.role;
+  return r;
 }
 
 mwsec::Result<Value> Master::execute(const Graph& graph) {
@@ -211,15 +198,47 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
           "(evaluate locally or inline the subgraph)",
           "webcom");
     }
-    // Pick the first eligible, alive, idle client.
-    const ClientInfo* chosen = nullptr;
-    bool any_eligible = false;
+    // Candidates: alive clients satisfying the placement constraint...
+    std::vector<const ClientInfo*> candidates;
+    candidates.reserve(clients_.size());
     for (const auto& client : clients_) {
       if (!client_alive_[client.endpoint]) continue;
-      if (!eligible(client, node)) continue;
-      any_eligible = true;
-      if (busy.count(client.endpoint)) continue;
-      chosen = &client;
+      if (!placement_ok(client, node)) continue;
+      candidates.push_back(&client);
+    }
+    // ...narrowed by one batched authorisation decision over all of them
+    // (the unified cache answers repeats without a KeyNote query). When
+    // every candidate is busy the outcome cannot matter this attempt —
+    // dispatch would defer either way — so authorisation itself is
+    // deferred too, keeping the busy-retry path free of decision work.
+    if (needs_authorisation(node) && !candidates.empty()) {
+      const bool any_idle =
+          std::any_of(candidates.begin(), candidates.end(),
+                      [&](const ClientInfo* c) {
+                        return busy.count(c->endpoint) == 0;
+                      });
+      if (!any_idle) {
+        ready.push_back(id);  // all candidates busy; re-authorise later
+        return {};
+      }
+      std::vector<authz::Request> requests;
+      requests.reserve(candidates.size());
+      for (const ClientInfo* c : candidates) {
+        requests.push_back(scheduling_request(*c, *node.target));
+      }
+      const auto verdicts = authz_.decide_batch(requests);
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (verdicts[i].permitted()) candidates[kept++] = candidates[i];
+      }
+      candidates.resize(kept);
+    }
+    // Pick the first eligible idle client.
+    const bool any_eligible = !candidates.empty();
+    const ClientInfo* chosen = nullptr;
+    for (const ClientInfo* c : candidates) {
+      if (busy.count(c->endpoint)) continue;
+      chosen = c;
       break;
     }
     if (!any_eligible) {
@@ -263,13 +282,20 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
       task_span.set_attr("client", chosen->endpoint);
       task_span.set_attr("attempt", std::to_string(attempts[id]));
     }
-    // A send error (partition) is treated like a timed-out task below.
+    // A send error (partition, dead endpoint) is treated like a timed-out
+    // task below — but name the unreachable destination in the retry log
+    // now, while the cause is still known.
     busy.insert(chosen->endpoint);
     inflight[task.task_id] =
         Pending{id, chosen->endpoint,
                 std::chrono::steady_clock::now() + options_.task_timeout,
                 attempts[id], std::move(task_span)};
-    (void)send;
+    if (!send.ok()) {
+      MWSEC_LOG(kWarn, "webcom")
+          << "dispatch of " << node.name << " to " << chosen->endpoint
+          << " failed (" << send.error().message << "); will retry after "
+          << "timeout";
+    }
     return {};
   };
 
@@ -407,18 +433,26 @@ ClientStats Client::stats() const {
   return stats_;
 }
 
-bool Client::authorise_master(const TaskMessage& task) {
-  if (!options_.security_enabled) return true;
-  std::vector<keynote::Assertion> presented;
+authz::Verdict Client::authorise_master(const TaskMessage& task) {
+  if (!options_.security_enabled) {
+    return authz::Verdict::permit("webcom-client");
+  }
+  authz::Request request;
+  request.principal = task.master_principal;
+  request.object_type = task.target.object_type;
+  request.permission = task.target.permission;
+  request.domain = options_.domain;
+  request.role = options_.role;
   if (!task.master_credentials.empty()) {
     auto bundle = keynote::Assertion::parse_bundle(task.master_credentials);
-    if (!bundle.ok()) return false;
-    presented = std::move(bundle).take();
+    if (!bundle.ok()) {
+      auto v = authz::Verdict::deny(authz_.name());
+      v.explanation = "bad credential bundle: " + bundle.error().message;
+      return v;
+    }
+    request.credentials = std::move(bundle).take();
   }
-  auto q = scheduling_query(task.master_principal, task.target,
-                            options_.domain, options_.role);
-  auto r = store_.query(q, presented);
-  return r.ok() && r->authorized();
+  return authz_.decide(request);
 }
 
 void Client::serve(std::stop_token st) {
@@ -435,7 +469,7 @@ void Client::serve(std::stop_token st) {
     TaskResultMessage reply;
     reply.task_id = task->task_id;
     auto& metrics = WebcomMetrics::get();
-    if (!authorise_master(*task)) {
+    if (const auto verdict = authorise_master(*task); !verdict.permitted()) {
       reply.ok = false;
       reply.code = "denied";
       reply.value = "master " + task->master_principal.substr(0, 16) +
@@ -443,17 +477,16 @@ void Client::serve(std::stop_token st) {
       metrics.client_rejected.inc();
       auto span = obs::Tracer::global().root("webcom.client.authorise");
       if (span.active()) {
-        span.set_attr(obs::kAttrSystem, "webcom-client");
-        span.set_attr(obs::kAttrPrincipal, task->master_principal);
-        span.set_attr(obs::kAttrAction,
-                      task->target.object_type + ":" +
-                          task->target.permission);
-        span.set_attr(obs::kAttrDecision, "deny");
-        span.set_attr(obs::kAttrDeniedBy, "L2-keynote");
-        span.set_attr(obs::kAttrReason,
-                      "master credentials do not authorise scheduling " +
-                          task->node_name);
-        span.set_status("deny");
+        authz::Request request;
+        request.principal = task->master_principal;
+        request.object_type = task->target.object_type;
+        request.permission = task->target.permission;
+        auto rec = authz::decision_record(
+            "webcom.client.authorise", "webcom-client", request, verdict,
+            "master credentials do not authorise scheduling " +
+                task->node_name);
+        for (const auto& [k, v] : rec.attrs) span.set_attr(k, v);
+        span.set_status(rec.status);
       }
       std::scoped_lock lock(stats_mu_);
       ++stats_.tasks_rejected;

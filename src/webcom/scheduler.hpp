@@ -23,6 +23,8 @@
 #include <optional>
 #include <thread>
 
+#include "authz/caching.hpp"
+#include "authz/keynote_authorizer.hpp"
 #include "crypto/keys.hpp"
 #include "keynote/compiled_store.hpp"
 #include "net/network.hpp"
@@ -57,6 +59,8 @@ struct MasterStats {
   std::uint64_t tasks_denied_by_master = 0;  // no eligible client
   std::uint64_t tasks_denied_by_client = 0;
   std::uint64_t tasks_timed_out = 0;
+  /// Derived from the unified decision cache (authz::CachingAuthorizer)
+  /// rather than counted a second time by the scheduler.
   std::uint64_t keynote_queries = 0;  // actual store queries (cache misses)
   std::uint64_t decision_cache_hits = 0;
 };
@@ -83,7 +87,12 @@ class Master {
   /// calling thread until the exit value is produced or the graph fails.
   mwsec::Result<Value> execute(const Graph& graph);
 
-  const MasterStats& stats() const { return stats_; }
+  /// Lifecycle counters, with the query/cache columns derived from the
+  /// unified decision cache at read time (no double bookkeeping).
+  MasterStats stats() const;
+
+  /// The unified decision cache fronting the KeyNote store.
+  const authz::CachingAuthorizer& authorizer() const { return authz_; }
 
  private:
   struct Pending {
@@ -96,34 +105,36 @@ class Master {
     obs::Span span;
   };
 
-  /// Is `client` allowed (and placed) to run `node`?
-  bool eligible(const ClientInfo& client, const Node& node);
+  /// Does `client` satisfy the node's (possibly partial) Section 6
+  /// placement constraint?
+  bool placement_ok(const ClientInfo& client, const Node& node) const;
 
-  /// KeyNote verdict for (client, target), through the decision cache.
-  bool authorised_cached(const ClientInfo& client, const SecurityTarget& t);
+  /// Does scheduling `node` require a trust-management decision?
+  bool needs_authorisation(const Node& node) const;
 
-  /// A scheduling decision is a pure function of these five attributes
-  /// (given a fixed store), so `eligible` answers repeats from a cache
-  /// instead of paying a KeyNote query per (client, node) pair.
-  using DecisionKey =
-      std::tuple<std::string, std::string, std::string, std::string,
-                 std::string>;  // principal, domain, role, object type, perm
+  /// The authz request for scheduling `target` onto `client`.
+  authz::Request scheduling_request(const ClientInfo& client,
+                                    const SecurityTarget& target) const;
 
   net::Network& network_;
   std::shared_ptr<net::Endpoint> endpoint_;
   const crypto::Identity& identity_;
   MasterOptions options_;
   keynote::CompiledStore store_;
+  /// KeyNote over `store_`, behind the sharded version-keyed decision
+  /// cache: a scheduling decision is a pure function of the request
+  /// fields and the store version, so `execute` answers repeats from the
+  /// cache instead of paying a KeyNote query per (client, node) pair.
+  /// Store mutations (attach_client admitting credentials, policy edits
+  /// through store()) move the version and invalidate.
+  authz::KeyNoteAuthorizer keynote_authz_{store_};
+  authz::CachingAuthorizer authz_{
+      keynote_authz_, {.metric_prefix = "webcom.decision_cache"}};
   std::string outbound_credentials_;
   std::vector<ClientInfo> clients_;
   std::map<std::string, bool> client_alive_;
   MasterStats stats_;
   std::uint64_t next_task_id_ = 1;
-  /// Valid only for store version `decision_cache_version_`; any store
-  /// mutation (attach_client admitting credentials, policy edits through
-  /// store()) moves the version and flushes the cache.
-  std::map<DecisionKey, bool> decision_cache_;
-  std::uint64_t decision_cache_version_ = 0;
 };
 
 struct ClientOptions {
@@ -162,7 +173,10 @@ class Client {
 
  private:
   void serve(std::stop_token st);
-  bool authorise_master(const TaskMessage& task);
+  /// Would the client execute this task? KeyNote over the client's own
+  /// trust root plus the master's presented credentials (verified per
+  /// task — presented bundles bypass any cache by design).
+  authz::Verdict authorise_master(const TaskMessage& task);
 
   net::Network& network_;
   std::string endpoint_name_;
@@ -170,6 +184,7 @@ class Client {
   OperationRegistry registry_;
   ClientOptions options_;
   keynote::CompiledStore store_;
+  authz::KeyNoteAuthorizer authz_{store_};
   std::shared_ptr<net::Endpoint> endpoint_;
   std::jthread thread_;
   mutable std::mutex stats_mu_;

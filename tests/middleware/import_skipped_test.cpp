@@ -1,0 +1,128 @@
+// Cross-adapter coverage for ImportStats::skipped: every middleware
+// adapter must report — not silently drop — rows it cannot express
+// (paper §5: translation into a weaker native model loses information,
+// and the loss has to be visible to the commissioning tool).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "middleware/com/catalogue.hpp"
+#include "middleware/corba/orb.hpp"
+#include "middleware/ejb/container.hpp"
+#include "rbac/model.hpp"
+
+namespace mwsec::middleware {
+namespace {
+
+bool any_contains(const std::vector<std::string>& reasons,
+                  const std::string& needle) {
+  return std::any_of(reasons.begin(), reasons.end(), [&](const auto& r) {
+    return r.find(needle) != std::string::npos;
+  });
+}
+
+// --- COM+: closed Launch/Access/RunAs vocabulary ------------------------
+
+TEST(ImportSkipped, ComReportsInexpressiblePermission) {
+  com::Catalogue cat("winsrv1", "Finance");
+  rbac::Policy p;
+  ASSERT_TRUE(p.grant("Finance", "Clerk", "SalariesDB", com::kAccess).ok());
+  // "read" is a generic RBAC verb with no COM+ equivalent.
+  ASSERT_TRUE(p.grant("Finance", "Clerk", "SalariesDB", "read").ok());
+  ASSERT_TRUE(p.grant("Finance", "Manager", "SalariesDB", com::kRunAs).ok());
+  auto stats = cat.import_policy(p);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->grants_applied, 2u);
+  ASSERT_EQ(stats->skipped.size(), 1u);
+  // The reason names the offending permission and the full row, so a
+  // KeyCOM report can be traced back to the source policy.
+  EXPECT_TRUE(any_contains(stats->skipped, "'read'"));
+  EXPECT_TRUE(any_contains(stats->skipped, "not expressible in COM+"));
+  EXPECT_TRUE(any_contains(stats->skipped, "Finance/Clerk on SalariesDB"));
+}
+
+TEST(ImportSkipped, ComReportsForeignDomainRows) {
+  com::Catalogue cat("winsrv1", "Finance");
+  rbac::Policy p;
+  ASSERT_TRUE(p.grant("Engineering", "Dev", "BuildFarm", com::kLaunch).ok());
+  ASSERT_TRUE(p.assign("Alice", "Engineering", "Dev").ok());
+  ASSERT_TRUE(p.assign("Bob", "Finance", "Clerk").ok());
+  auto stats = cat.import_policy(p);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->grants_applied, 0u);
+  EXPECT_EQ(stats->assignments_applied, 1u);
+  ASSERT_EQ(stats->skipped.size(), 2u);
+  EXPECT_TRUE(any_contains(stats->skipped,
+                           "grant for foreign domain Engineering"));
+  EXPECT_TRUE(any_contains(stats->skipped,
+                           "assignment for foreign domain Engineering"));
+}
+
+// --- EJB: domains are host/server/jndi paths ----------------------------
+
+TEST(ImportSkipped, EjbReportsForeignDomainRows) {
+  ejb::Server server("apphost", "ejbsrv");
+  rbac::Policy p;
+  // Served: prefix "apphost/ejbsrv/". Containers auto-create on import.
+  ASSERT_TRUE(
+      p.grant("apphost/ejbsrv/payroll", "Clerk", "SalaryBean", "getSalary")
+          .ok());
+  ASSERT_TRUE(p.assign("Alice", "apphost/ejbsrv/payroll", "Clerk").ok());
+  // Wrong host and wrong server are both foreign.
+  ASSERT_TRUE(
+      p.grant("otherhost/ejbsrv/payroll", "Clerk", "SalaryBean", "getSalary")
+          .ok());
+  ASSERT_TRUE(p.assign("Bob", "apphost/other/payroll", "Clerk").ok());
+  auto stats = server.import_policy(p);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->grants_applied, 1u);
+  EXPECT_EQ(stats->assignments_applied, 1u);
+  ASSERT_EQ(stats->skipped.size(), 2u);
+  EXPECT_TRUE(any_contains(stats->skipped,
+                           "grant for foreign domain otherhost/ejbsrv/payroll"));
+  EXPECT_TRUE(any_contains(
+      stats->skipped, "assignment for foreign domain apphost/other/payroll"));
+}
+
+// --- CORBA: one machine/orb domain per Orb ------------------------------
+
+TEST(ImportSkipped, CorbaReportsForeignDomainRows) {
+  corba::Orb orb("node1", "orb1");
+  ASSERT_EQ(orb.domain(), "node1/orb1");
+  rbac::Policy p;
+  ASSERT_TRUE(p.grant("node1/orb1", "Clerk", "Salaries", "getSalary").ok());
+  ASSERT_TRUE(p.grant("node2/orb1", "Clerk", "Salaries", "getSalary").ok());
+  ASSERT_TRUE(p.assign("Alice", "node1/orb1", "Clerk").ok());
+  ASSERT_TRUE(p.assign("Bob", "node1/orb9", "Clerk").ok());
+  auto stats = orb.import_policy(p);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->grants_applied, 1u);
+  EXPECT_EQ(stats->assignments_applied, 1u);
+  ASSERT_EQ(stats->skipped.size(), 2u);
+  EXPECT_TRUE(any_contains(stats->skipped,
+                           "grant for foreign domain node2/orb1"));
+  EXPECT_TRUE(any_contains(stats->skipped,
+                           "assignment for foreign domain node1/orb9"));
+}
+
+// Applied rows must actually land in the native model even when other
+// rows of the same batch were skipped: partial application, not
+// all-or-nothing.
+
+TEST(ImportSkipped, PartialApplicationStillCommissionsGoodRows) {
+  com::Catalogue cat("winsrv1", "Finance");
+  rbac::Policy p;
+  ASSERT_TRUE(p.grant("Finance", "Clerk", "SalariesDB", com::kAccess).ok());
+  ASSERT_TRUE(p.grant("Finance", "Clerk", "SalariesDB", "read").ok());
+  ASSERT_TRUE(p.assign("Alice", "Finance", "Clerk").ok());
+  auto stats = cat.import_policy(p);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->skipped.size(), 1u);
+  // The expressible grant and the assignment took effect.
+  EXPECT_TRUE(cat.mediate("Alice", "SalariesDB", com::kAccess));
+  EXPECT_FALSE(cat.mediate("Alice", "SalariesDB", com::kLaunch));
+}
+
+}  // namespace
+}  // namespace mwsec::middleware

@@ -40,7 +40,24 @@ TEST(Network, SendToUnknownEndpointFails) {
   auto s = a->send("ghost", "x", {});
   ASSERT_FALSE(s.ok());
   EXPECT_EQ(s.error().code, "net");
+  // The Status names the destination so callers can log which endpoint
+  // was unreachable without carrying it alongside the Status.
+  EXPECT_NE(s.error().message.find("'ghost'"), std::string::npos)
+      << s.error().message;
   EXPECT_EQ(net.stats().undeliverable, 1u);
+}
+
+TEST(Network, SendToClosedEndpointNamesDestination) {
+  Network net;
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  b->close();
+  auto s = a->send("b", "x", {});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().message.find("'b'"), std::string::npos)
+      << s.error().message;
+  EXPECT_NE(s.error().message.find("closed"), std::string::npos)
+      << s.error().message;
 }
 
 TEST(Network, ReceiveTimesOut) {
@@ -79,7 +96,12 @@ TEST(Network, PartitionBlocksBothDirections) {
   auto a = net.open("a").take();
   auto b = net.open("b").take();
   net.set_partitioned("a", "b", true);
-  EXPECT_FALSE(a->send("b", "x", {}).ok());
+  auto s = a->send("b", "x", {});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().message.find("'b'"), std::string::npos)
+      << s.error().message;
+  EXPECT_NE(s.error().message.find("partitioned"), std::string::npos)
+      << s.error().message;
   EXPECT_FALSE(b->send("a", "x", {}).ok());
   EXPECT_EQ(net.stats().partitioned, 2u);
   net.set_partitioned("b", "a", false);  // order-insensitive

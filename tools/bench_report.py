@@ -31,6 +31,7 @@ import tempfile
 # The benchmark binaries that exercise the KeyNote decision path.
 BENCH_BINARIES = [
     "bench/bench_fig2_keynote_query",
+    "bench/bench_authz_cache",
     "bench/bench_fig3_secure_scheduling",
 ]
 
