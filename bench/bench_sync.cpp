@@ -1,0 +1,136 @@
+// Live policy synchronisation: revocation propagation latency.
+//
+// One authority publishes a revocation; the benchmark measures the wall
+// time until EVERY subscribed replica's authorisation decision has flipped
+// from permit to deny — attached consumers are never re-attached and no
+// bundle is re-shipped. Swept over the fan-out (4 / 32 / 128 replicas) and
+// the network's message-loss rate (0 / 1 / 5%), so the table in
+// EXPERIMENTS.md shows both the steady-state broadcast latency and the
+// ack/retransmit tail under loss.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "authz/keynote_authorizer.hpp"
+#include "net/network.hpp"
+#include "sync/authority.hpp"
+#include "sync/replica.hpp"
+
+namespace {
+
+using namespace mwsec;
+using namespace std::chrono_literals;
+
+crypto::KeyRing& ring() {
+  static crypto::KeyRing r(/*seed=*/1618, /*modulus_bits=*/256);
+  return r;
+}
+
+struct Fleet {
+  net::Network network;
+  keynote::CompiledStore authority_store;
+  std::unique_ptr<sync::Authority> authority;
+  std::vector<std::unique_ptr<keynote::CompiledStore>> stores;
+  std::vector<std::unique_ptr<sync::Replica>> replicas;
+
+  Fleet(int n_replicas, double loss)
+      : network([&] {
+          net::Network::Options o;
+          o.seed = 97;
+          o.drop_probability = loss;
+          return o;
+        }()) {
+    sync::Authority::Options aopts;
+    aopts.poll_interval = 1ms;
+    aopts.retransmit_interval = 10ms;
+    authority = std::make_unique<sync::Authority>(network, "admin",
+                                                 authority_store, aopts);
+    authority->start().ok();
+    authority
+        ->publish_policy_text("Authorizer: POLICY\nLicensees: \"" +
+                              ring().principal("KAdm") +
+                              "\"\nConditions: app_domain == \"WebCom\";\n")
+        .ok();
+    for (int i = 0; i < n_replicas; ++i) {
+      sync::Replica::Options ropts;
+      ropts.poll_interval = 1ms;
+      ropts.heartbeat_interval = 10ms;
+      stores.push_back(std::make_unique<keynote::CompiledStore>());
+      replicas.push_back(std::make_unique<sync::Replica>(
+          network, "rep" + std::to_string(i), *stores.back(), ropts));
+      replicas.back()->subscribe("admin").ok();
+    }
+  }
+
+  void wait_all(std::uint64_t epoch) {
+    for (auto& r : replicas) r->wait_for_epoch(epoch, 30s);
+  }
+};
+
+keynote::Assertion user_credential() {
+  return keynote::AssertionBuilder()
+      .authorizer("\"" + ring().principal("KAdm") + "\"")
+      .licensees("\"" + ring().principal("KUser") + "\"")
+      .conditions("app_domain == \"WebCom\"")
+      .build_signed(ring().identity("KAdm"))
+      .take();
+}
+
+/// Publish a revocation at the authority; time until every replica-side
+/// decision for the revoked principal reads deny.
+void BM_Sync_RevocationPropagation(benchmark::State& state) {
+  const int n_replicas = static_cast<int>(state.range(0));
+  const double loss = static_cast<double>(state.range(1)) / 100.0;
+  Fleet fleet(n_replicas, loss);
+  const auto cred = user_credential();
+
+  std::vector<std::unique_ptr<authz::KeyNoteAuthorizer>> deciders;
+  for (auto& store : fleet.stores) {
+    deciders.push_back(std::make_unique<authz::KeyNoteAuthorizer>(*store));
+  }
+  authz::Request req;
+  req.principal = ring().principal("KUser");
+
+  for (auto _ : state) {
+    // Untimed: (re)grant and let the fleet converge on permit.
+    fleet.authority->publish_credential(cred).ok();
+    fleet.wait_all(fleet.authority->epoch());
+    for (auto& d : deciders) {
+      if (!d->decide(req).permitted()) {
+        state.SkipWithError("replica failed to converge on permit");
+        return;
+      }
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    fleet.authority->revoke_by_licensee(ring().principal("KUser"));
+    const auto target = fleet.authority->epoch();
+    // The decision flip, not just delta arrival: every replica must
+    // answer deny through the standard authoriser surface.
+    for (std::size_t i = 0; i < deciders.size(); ++i) {
+      fleet.replicas[i]->wait_for_epoch(target, 30s);
+      while (deciders[i]->decide(req).permitted()) {
+        std::this_thread::yield();
+      }
+    }
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+
+  std::uint64_t retransmits = fleet.authority->stats().retransmits;
+  std::uint64_t snapshots = fleet.authority->stats().snapshots_served;
+  state.counters["replicas"] = static_cast<double>(n_replicas);
+  state.counters["loss_pct"] = static_cast<double>(state.range(1));
+  state.counters["retransmits"] = static_cast<double>(retransmits);
+  state.counters["snapshots"] = static_cast<double>(snapshots);
+}
+BENCHMARK(BM_Sync_RevocationPropagation)
+    ->ArgsProduct({{4, 32, 128}, {0, 1, 5}})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(12);
+
+}  // namespace

@@ -5,9 +5,12 @@
 // way.
 #include <cstdio>
 
+#include "authz/keynote_authorizer.hpp"
 #include "keycom/server.hpp"
 #include "middleware/com/catalogue.hpp"
 #include "middleware/ejb/container.hpp"
+#include "sync/authority.hpp"
+#include "sync/replica.hpp"
 
 using namespace mwsec;
 using namespace std::chrono_literals;
@@ -31,6 +34,22 @@ int main() {
                            "\"\nConditions: app_domain == \"WebCom\";\n";
   com_service.trust_root().add_policy_text(root).ok();
   ejb_service.trust_root().add_policy_text(root).ok();
+
+  // Live propagation (Figures 7–8 end to end): the COM+ KeyCOM service
+  // publishes every applied delegation and revocation through a
+  // replication authority, and a running WebCom master's trust root —
+  // modelled here as a subscribed replica store — follows along without
+  // anyone re-attaching or re-shipping credential bundles.
+  keynote::CompiledStore org_store;
+  sync::Authority authority(network, "admin", org_store);
+  authority.publish_policy_text(root).ok();
+  authority.start().ok();
+  com_service.set_publisher(&authority);
+  com_service.register_principal("Fred", fred.principal());
+
+  keynote::CompiledStore master_trust;
+  sync::Replica master_replica(network, "webcom-master.sync", master_trust);
+  master_replica.subscribe("admin").ok();
 
   keycom::Server com_server(network, "keycom-com", com_service);
   keycom::Server ejb_server(network, "keycom-ejb", ejb_service);
@@ -110,6 +129,18 @@ int main() {
   std::printf("Fred can Access SalariesDB: %s\n",
               com_store.mediate("Fred", "SalariesDB", "Access") ? "yes" : "no");
 
+  // The commission was published live: the WebCom master's replicated
+  // trust root now derives Fred's authority from the same chain.
+  master_replica.wait_for_epoch(authority.epoch(), 2s);
+  authz::KeyNoteAuthorizer master_authz(master_trust);
+  authz::Request fred_req;
+  fred_req.principal = fred.principal();
+  fred_req.domain = "Finance";
+  fred_req.role = "Manager";
+  std::printf("WebCom master (replica at epoch %llu) authorises Fred: %s\n",
+              static_cast<unsigned long long>(master_replica.epoch()),
+              master_authz.decide(fred_req).permitted() ? "yes" : "no");
+
   keycom::UpdateRequest revoke;
   revoke.remove_assignments.push_back({"Finance", "Manager", "Fred"});
   revoke.sign(webcom);
@@ -118,6 +149,13 @@ int main() {
               rr.report.assignments_removed);
   std::printf("Fred can Access SalariesDB after revocation: %s\n",
               com_store.mediate("Fred", "SalariesDB", "Access") ? "yes" : "no");
+
+  // And the revocation propagated the same way: the attached master flips
+  // Fred to denied on its next decision, no re-attach, no new bundle.
+  master_replica.wait_for_epoch(authority.epoch(), 2s);
+  std::printf("WebCom master (replica at epoch %llu) authorises Fred: %s\n",
+              static_cast<unsigned long long>(master_replica.epoch()),
+              master_authz.decide(fred_req).permitted() ? "yes" : "no");
 
   std::printf("\naudit events recorded: %zu\n", audit.size());
   return 0;

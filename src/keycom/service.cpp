@@ -229,6 +229,7 @@ mwsec::Result<UpdateReport> Service::apply(const UpdateRequest& request) {
 
   // Revocation: withdrawing a membership requires the same authority as
   // granting it.
+  std::vector<const rbac::RoleAssignment*> withdrawn;
   for (const auto& a : request.remove_assignments) {
     if (!authorised(row_authz, request.requester, a.domain, a.role, "", "")) {
       report.rejected.push_back("removal " + a.domain + "/" + a.role +
@@ -239,10 +240,34 @@ mwsec::Result<UpdateReport> Service::apply(const UpdateRequest& request) {
     auto removed = target_.remove_assignment(a);
     if (removed.ok()) {
       ++report.assignments_removed;
+      withdrawn.push_back(&a);
     } else {
       report.rejected.push_back("removal " + a.domain + "/" + a.role +
                                 " for " + a.user + ": " +
                                 removed.error().message);
+    }
+  }
+
+  // Figures 7–8 end to end: applied writes propagate through the live
+  // replication channel, not just into this service's native store.
+  if (publisher_ != nullptr) {
+    if (report.assignments_applied + report.grants_applied > 0) {
+      // The presented chain proved the delegation; publishing it is what
+      // makes the new authority visible to every subscribed store.
+      // publish_credential is idempotent, so re-presented chains are
+      // silent.
+      for (const auto& cred : presented) {
+        const auto before = publisher_->epoch();
+        publisher_->publish_credential(cred).ok();
+        if (publisher_->epoch() != before) ++stats_.credentials_published;
+      }
+    }
+    for (const rbac::RoleAssignment* a : withdrawn) {
+      auto principal = principals_.find(a->user);
+      if (principal == principals_.end()) continue;
+      if (publisher_->revoke_by_licensee(principal->second) != 0) {
+        ++stats_.revocations_published;
+      }
     }
   }
 

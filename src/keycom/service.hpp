@@ -10,6 +10,7 @@
 // authorisation without a human in the loop.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "middleware/common/audit.hpp"
 #include "middleware/common/system.hpp"
 #include "rbac/model.hpp"
+#include "sync/authority.hpp"
 #include "util/byte_buffer.hpp"
 
 namespace mwsec::keycom {
@@ -65,6 +67,22 @@ class Service {
   /// authority users acquire by delegation).
   keynote::CompiledStore& trust_root() { return store_; }
 
+  /// Route this service's delegation/revocation writes through a live
+  /// replication authority (Figures 7–8 end to end): applied updates
+  /// publish the presented credential chain, and applied membership
+  /// withdrawals publish `revoke_by_licensee` for the revoked user's key
+  /// — so every subscribed store (WebCom masters above all) flips the
+  /// revoked principal to denied without anyone re-attaching. The
+  /// authority must outlive the service.
+  void set_publisher(sync::Authority* publisher) { publisher_ = publisher; }
+
+  /// KeyCOM fronts a user directory (originally the NT domain): map an
+  /// RBAC user name to its key so revocation rows can be published as
+  /// principal revocations. Unmapped users revoke locally only.
+  void register_principal(const std::string& user, std::string principal) {
+    principals_[user] = std::move(principal);
+  }
+
   /// Validate and apply a request. Per-row authorisation: each row is
   /// granted only if KeyNote derives authority for the requester over
   /// that row's attributes from the trust root plus the presented
@@ -78,6 +96,8 @@ class Service {
     std::uint64_t rows_applied = 0;
     std::uint64_t rows_rejected = 0;
     std::uint64_t bad_signatures = 0;
+    std::uint64_t credentials_published = 0;
+    std::uint64_t revocations_published = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -93,6 +113,8 @@ class Service {
   middleware::SecuritySystem& target_;
   middleware::AuditLog* audit_;
   keynote::CompiledStore store_;
+  sync::Authority* publisher_ = nullptr;
+  std::map<std::string, std::string> principals_;  ///< RBAC user -> key
   Stats stats_;
 };
 

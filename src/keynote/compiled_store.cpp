@@ -297,9 +297,12 @@ mwsec::Status CompiledStore::add_policy_text(std::string_view text) {
   return {};
 }
 
-mwsec::Status CompiledStore::add_credential(Assertion assertion) {
-  EngineMetrics::get().admission_verifies.inc();
-  if (auto v = assertion.verify(); !v.ok()) return v;
+mwsec::Status CompiledStore::add_credential(Assertion assertion,
+                                            bool verify_signature) {
+  if (verify_signature) {
+    EngineMetrics::get().admission_verifies.inc();
+    if (auto v = assertion.verify(); !v.ok()) return v;
+  }
   std::scoped_lock lock(mu_);
   // Idempotent: identical text is stored once.
   for (const auto& existing : credentials_) {
@@ -325,6 +328,20 @@ std::size_t CompiledStore::remove_by_authorizer(const std::string& authorizer) {
   auto before = credentials_.size();
   std::erase_if(credentials_, [&](const Assertion& a) {
     return a.authorizer() == authorizer;
+  });
+  auto removed = before - credentials_.size();
+  if (removed != 0) ++version_;
+  return removed;
+}
+
+std::size_t CompiledStore::remove_by_licensee(const std::string& principal) {
+  std::scoped_lock lock(mu_);
+  auto before = credentials_.size();
+  std::erase_if(credentials_, [&](const Assertion& a) {
+    std::vector<std::string> mentioned;
+    a.licensees().collect_principals(mentioned);
+    return std::find(mentioned.begin(), mentioned.end(), principal) !=
+           mentioned.end();
   });
   auto removed = before - credentials_.size();
   if (removed != 0) ++version_;
@@ -371,6 +388,35 @@ void CompiledStore::clear() {
 std::uint64_t CompiledStore::version() const {
   std::scoped_lock lock(mu_);
   return version_;
+}
+
+void CompiledStore::advance_version_to(std::uint64_t v) {
+  std::scoped_lock lock(mu_);
+  if (v > version_) version_ = v;
+}
+
+mwsec::Status CompiledStore::install_bundle(std::string_view bundle_text,
+                                            std::uint64_t version,
+                                            bool verify_signatures) {
+  auto bundle = Assertion::parse_bundle(bundle_text);
+  if (!bundle.ok()) return bundle.error();
+  std::vector<Assertion> policies, credentials;
+  for (auto& a : *bundle) {
+    if (a.is_policy()) {
+      policies.push_back(std::move(a));
+    } else {
+      if (verify_signatures) {
+        EngineMetrics::get().admission_verifies.inc();
+        if (auto v = a.verify(); !v.ok()) return v;
+      }
+      credentials.push_back(std::move(a));
+    }
+  }
+  std::scoped_lock lock(mu_);
+  policies_ = std::move(policies);
+  credentials_ = std::move(credentials);
+  version_ = std::max(version, version_ + 1);
+  return {};
 }
 
 std::shared_ptr<const CompiledStore::Snapshot>

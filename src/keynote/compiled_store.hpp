@@ -144,11 +144,19 @@ class CompiledStore {
   mwsec::Status add_policy_text(std::string_view text);
 
   /// Add a credential; its signature is verified here, exactly once —
-  /// queries never re-verify stored credentials.
-  mwsec::Status add_credential(Assertion assertion);
+  /// queries never re-verify stored credentials. A replica applying a
+  /// delta from an authority that already verified at admission may pass
+  /// `verify_signature = false` (the sync channel vouches for it).
+  mwsec::Status add_credential(Assertion assertion,
+                               bool verify_signature = true);
 
   std::size_t remove_matching(const std::string& text);
   std::size_t remove_by_authorizer(const std::string& authorizer);
+  /// Remove every credential whose Licensees expression mentions
+  /// `principal` — revocation by withdrawal of everything delegated *to*
+  /// a key (RFC 2704's credential-removal model; the sync layer's
+  /// `revoke_by_licensee` delta).
+  std::size_t remove_by_licensee(const std::string& principal);
 
   std::vector<Assertion> policies() const;
   std::vector<Assertion> credentials() const;
@@ -161,6 +169,20 @@ class CompiledStore {
 
   /// Monotone counter, bumped by every successful mutation.
   std::uint64_t version() const;
+
+  /// Raise version() to at least `v`. A replicated store calls this after
+  /// applying a delta so its version tracks the authority's epoch exactly;
+  /// version never moves backwards (caches key on equality, so a forced
+  /// move only ever invalidates).
+  void advance_version_to(std::uint64_t v);
+
+  /// Replace the entire contents from a bundle (anti-entropy snapshot
+  /// install): atomic — on any parse or verification error the store is
+  /// left untouched. On success version() becomes max(`version`,
+  /// version()+1), i.e. the authority's epoch when the replica is behind.
+  mwsec::Status install_bundle(std::string_view bundle_text,
+                               std::uint64_t version,
+                               bool verify_signatures = true);
 
   /// An immutable compiled view of the store (optionally extended with
   /// presented credentials): answers many queries against one admission.

@@ -15,6 +15,8 @@ struct NetMetrics {
   obs::Counter& sent;
   obs::Counter& delivered;
   obs::Counter& dropped;
+  obs::Counter& duplicated;
+  obs::Counter& reordered;
   obs::Counter& partitioned;
   obs::Counter& undeliverable;
   obs::Counter& bytes;
@@ -23,7 +25,8 @@ struct NetMetrics {
     auto& r = obs::Registry::global();
     static NetMetrics m{
         r.counter("net.sent"),          r.counter("net.delivered"),
-        r.counter("net.dropped"),       r.counter("net.partitioned"),
+        r.counter("net.dropped"),       r.counter("net.duplicated"),
+        r.counter("net.reordered"),     r.counter("net.partitioned"),
         r.counter("net.undeliverable"), r.counter("net.bytes"),
     };
     return m;
@@ -77,11 +80,17 @@ bool Endpoint::closed() const {
   return closed_;
 }
 
-void Endpoint::deliver(Message m) {
+bool Endpoint::deliver(Message m, bool front) {
   std::scoped_lock lock(mu_);
-  if (closed_) return;
-  queue_.push_back(std::move(m));
+  if (closed_) return false;
+  const bool jumped = front && !queue_.empty();
+  if (jumped) {
+    queue_.push_front(std::move(m));
+  } else {
+    queue_.push_back(std::move(m));
+  }
   cv_.notify_one();
+  return jumped;
 }
 
 Network::Network(Options options) : options_(options), rng_(options.seed) {}
@@ -101,6 +110,8 @@ mwsec::Result<std::shared_ptr<Endpoint>> Network::open(
 mwsec::Status Network::send(Message m) {
   auto& metrics = NetMetrics::get();
   std::shared_ptr<Endpoint> dest;
+  bool duplicate = false;
+  bool reorder = false;
   {
     std::scoped_lock lock(mu_);
     ++stats_.sent;
@@ -138,8 +149,29 @@ mwsec::Status Network::send(Message m) {
     }
     ++stats_.delivered;
     metrics.delivered.inc();
+    duplicate = options_.duplicate_probability > 0.0 &&
+                rng_.chance(options_.duplicate_probability);
+    reorder = options_.reorder_probability > 0.0 &&
+              rng_.chance(options_.reorder_probability);
   }
-  dest->deliver(std::move(m));
+  Message copy;
+  if (duplicate) copy = m;  // same id: a true wire-level duplicate
+  const bool jumped = dest->deliver(std::move(m), reorder);
+  bool dup_jumped = false;
+  if (duplicate) dup_jumped = dest->deliver(std::move(copy), reorder);
+  if (duplicate || jumped || dup_jumped) {
+    std::scoped_lock lock(mu_);
+    if (duplicate) {
+      ++stats_.duplicated;
+      metrics.duplicated.inc();
+    }
+    const std::uint64_t jumps =
+        (jumped ? 1u : 0u) + (dup_jumped ? 1u : 0u);
+    if (jumps != 0) {
+      stats_.reordered += jumps;
+      metrics.reordered.inc(jumps);
+    }
+  }
   return {};
 }
 

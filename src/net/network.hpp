@@ -62,7 +62,9 @@ class Endpoint {
   friend class Network;
   Endpoint(Network* network, std::string name)
       : network_(network), name_(std::move(name)) {}
-  void deliver(Message m);
+  /// `front` asks for reordered delivery (ahead of the queue); returns
+  /// whether the message actually jumped ahead of anything.
+  bool deliver(Message m, bool front = false);
 
   Network* network_;
   std::string name_;
@@ -77,6 +79,15 @@ class Network {
   struct Options {
     std::uint64_t seed = 1;
     double drop_probability = 0.0;  ///< uniform message loss
+    /// Deliver the message twice (same id) — duplicate delivery, the
+    /// failure mode that makes at-least-once protocols require idempotent
+    /// application (the sync layer's delta epochs, in particular).
+    double duplicate_probability = 0.0;
+    /// Deliver the message ahead of everything already queued at the
+    /// destination instead of behind it. Only reorders against messages
+    /// still in the queue (an empty queue leaves nothing to jump), which
+    /// is exactly the burst-reordering a real network exhibits under load.
+    double reorder_probability = 0.0;
   };
   Network() : Network(Options{}) {}
   explicit Network(Options options);
@@ -97,6 +108,8 @@ class Network {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;       // random loss
+    std::uint64_t duplicated = 0;    // extra copies delivered
+    std::uint64_t reordered = 0;     // jumped ahead of queued messages
     std::uint64_t partitioned = 0;   // blocked by partition
     std::uint64_t undeliverable = 0; // unknown/closed destination
     std::uint64_t bytes = 0;

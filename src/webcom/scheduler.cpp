@@ -74,6 +74,20 @@ void Master::set_outbound_credentials(std::string bundle_text) {
   outbound_credentials_ = std::move(bundle_text);
 }
 
+mwsec::Status Master::subscribe_policy(const std::string& authority_endpoint,
+                                       sync::Replica::Options options) {
+  if (endpoint_ == nullptr) {
+    return Error::make("master endpoint failed to open", "webcom");
+  }
+  if (replica_ == nullptr) {
+    // The replica applies deltas to store_ from its own thread; the
+    // CachingAuthorizer in front observes the version move per decide.
+    replica_ = std::make_unique<sync::Replica>(
+        network_, endpoint_->name() + ".sync", store_, options);
+  }
+  return replica_->subscribe(authority_endpoint);
+}
+
 mwsec::Status Master::attach_client(ClientInfo info) {
   if (endpoint_ == nullptr) {
     return Error::make("master endpoint failed to open", "webcom");
@@ -411,6 +425,15 @@ Client::Client(net::Network& network, const std::string& endpoint_name,
       registry_(std::move(registry)), options_(std::move(options)) {}
 
 Client::~Client() { stop(); }
+
+mwsec::Status Client::subscribe_policy(const std::string& authority_endpoint,
+                                       sync::Replica::Options options) {
+  if (replica_ == nullptr) {
+    replica_ = std::make_unique<sync::Replica>(
+        network_, endpoint_name_ + ".sync", store_, options);
+  }
+  return replica_->subscribe(authority_endpoint);
+}
 
 mwsec::Status Client::start() {
   auto ep = network_.open(endpoint_name_);

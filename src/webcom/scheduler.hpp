@@ -29,6 +29,7 @@
 #include "keynote/compiled_store.hpp"
 #include "net/network.hpp"
 #include "obs/trace.hpp"
+#include "sync/replica.hpp"
 #include "webcom/engine.hpp"
 #include "webcom/messages.hpp"
 
@@ -79,6 +80,16 @@ class Master {
   keynote::CompiledStore& store() { return store_; }
   /// Credentials shipped to clients with every task.
   void set_outbound_credentials(std::string bundle_text);
+
+  /// Turn the master's trust root into a live replica of a
+  /// `sync::Authority`: delegations and revocations published there apply
+  /// to store() mid-run, the store version moves with each delta, and the
+  /// decision cache invalidates — a revoked client flips to denied on the
+  /// next scheduling round without re-attaching anyone.
+  mwsec::Status subscribe_policy(const std::string& authority_endpoint,
+                                 sync::Replica::Options options = {});
+  /// The live replica feeding store(), when subscribed.
+  const sync::Replica* policy_replica() const { return replica_.get(); }
 
   mwsec::Status attach_client(ClientInfo info);
   std::size_t client_count() const { return clients_.size(); }
@@ -131,6 +142,7 @@ class Master {
   authz::CachingAuthorizer authz_{
       keynote_authz_, {.metric_prefix = "webcom.decision_cache"}};
   std::string outbound_credentials_;
+  std::unique_ptr<sync::Replica> replica_;
   std::vector<ClientInfo> clients_;
   std::map<std::string, bool> client_alive_;
   MasterStats stats_;
@@ -162,6 +174,15 @@ class Client {
   /// The client's trust root: policies trusting master keys to schedule.
   keynote::CompiledStore& store() { return store_; }
 
+  /// Subscribe the client's trust root to a policy authority at attach
+  /// time, replacing the one-shot per-task credential bundle: the master
+  /// ships no `master_credentials`, and the client's willingness to serve
+  /// it follows the replicated store live — including mid-run revocation
+  /// of the master's authority.
+  mwsec::Status subscribe_policy(const std::string& authority_endpoint,
+                                 sync::Replica::Options options = {});
+  const sync::Replica* policy_replica() const { return replica_.get(); }
+
   const std::string& endpoint_name() const { return endpoint_name_; }
   const std::string& principal() const { return identity_.principal(); }
 
@@ -185,6 +206,7 @@ class Client {
   ClientOptions options_;
   keynote::CompiledStore store_;
   authz::KeyNoteAuthorizer authz_{store_};
+  std::unique_ptr<sync::Replica> replica_;
   std::shared_ptr<net::Endpoint> endpoint_;
   std::jthread thread_;
   mutable std::mutex stats_mu_;

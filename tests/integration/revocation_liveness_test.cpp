@@ -1,0 +1,152 @@
+// End-to-end revocation liveness (Figures 7–8 wired through src/sync): a
+// KeyCOM administration service publishes delegation and revocation
+// through a replication authority; a WebCom master's trust root is a
+// subscribed replica. Commissioning a user makes their client eligible;
+// withdrawing the membership flips the same, still-attached client to
+// denied on the next scheduling round — over a 1%-lossy network.
+#include <gtest/gtest.h>
+
+#include "keycom/service.hpp"
+#include "middleware/com/catalogue.hpp"
+#include "sync/authority.hpp"
+#include "webcom/scheduler.hpp"
+
+namespace mwsec {
+namespace {
+
+using namespace std::chrono_literals;
+
+crypto::KeyRing& ring() {
+  static crypto::KeyRing r(/*seed=*/2704, /*modulus_bits=*/256);
+  return r;
+}
+
+std::string webcom_root() {
+  return "Authorizer: POLICY\nLicensees: \"" + ring().principal("KWebCom") +
+         "\"\nConditions: app_domain == \"WebCom\";\n";
+}
+
+keynote::Assertion finance_manager(const std::string& from,
+                                   const std::string& to) {
+  return keynote::AssertionBuilder()
+      .authorizer("\"" + ring().principal(from) + "\"")
+      .licensees("\"" + ring().principal(to) + "\"")
+      .conditions(
+          "app_domain == \"WebCom\" && Domain == \"Finance\" && "
+          "Role == \"Manager\"")
+      .build_signed(ring().identity(from))
+      .take();
+}
+
+webcom::Graph one_task_graph() {
+  webcom::Graph g;
+  webcom::NodeId n = g.add_node("up", "upper", 1);
+  g.set_literal(n, 0, "pay").ok();
+  webcom::SecurityTarget t;
+  t.object_type = "SalariesDB";
+  t.permission = "Access";
+  g.set_target(n, t).ok();
+  g.set_exit(n).ok();
+  return g;
+}
+
+TEST(RevocationLiveness, KeycomWithdrawalFlipsAttachedClientUnderLoss) {
+  net::Network::Options nopts;
+  nopts.seed = 271828;
+  nopts.drop_probability = 0.01;  // the ISSUE's 1% loss
+  net::Network network(nopts);
+
+  // The administration point: a replication authority whose store is the
+  // organisation's trust root, written to by a KeyCOM service.
+  keynote::CompiledStore admin_store;
+  sync::Authority::Options aopts;
+  aopts.poll_interval = 2ms;
+  aopts.retransmit_interval = 15ms;
+  sync::Authority authority(network, "admin", admin_store, aopts);
+  ASSERT_TRUE(authority.start().ok());
+  ASSERT_TRUE(authority.publish_policy_text(webcom_root()).ok());
+
+  middleware::AuditLog audit;
+  middleware::com::Catalogue catalogue("winsrv", "Finance", &audit);
+  keycom::Service service(catalogue, &audit);
+  ASSERT_TRUE(service.trust_root().add_policy_text(webcom_root()).ok());
+  service.set_publisher(&authority);
+  service.register_principal("Fred", ring().principal("Kfred"));
+
+  // The WebCom master's trust root is a live replica of the admin store.
+  const auto& master_id = ring().identity("KMaster");
+  webcom::MasterOptions mopts;
+  mopts.task_timeout = 150ms;
+  webcom::Master master(network, "m", master_id, mopts);
+  sync::Replica::Options ropts;
+  ropts.poll_interval = 2ms;
+  ropts.heartbeat_interval = 15ms;
+  ASSERT_TRUE(master.subscribe_policy("admin", ropts).ok());
+
+  // Fred's client attaches once and never re-attaches.
+  const auto& fred = ring().identity("Kfred");
+  webcom::ClientOptions copts;
+  copts.domain = "Finance";
+  copts.role = "Manager";
+  copts.user = "Fred";
+  webcom::Client client(network, "cf", fred,
+                        webcom::OperationRegistry::with_builtins(), copts);
+  ASSERT_TRUE(client.store()
+                  .add_policy_text(
+                      "Authorizer: POLICY\nLicensees: \"" +
+                      master_id.principal() +
+                      "\"\nConditions: app_domain == \"WebCom\";\n")
+                  .ok());
+  ASSERT_TRUE(client.start().ok());
+  webcom::ClientInfo info{"cf", fred.principal(), {}, "Finance", "Manager",
+                          "Fred"};
+  ASSERT_TRUE(master.attach_client(info).ok());
+
+  // Before commissioning, Fred is attached but not authorised.
+  ASSERT_NE(master.policy_replica(), nullptr);
+  ASSERT_TRUE(
+      master.policy_replica()->wait_for_epoch(authority.epoch(), 5s));
+  EXPECT_FALSE(master.execute(one_task_graph()).ok());
+
+  // Commission through KeyCOM (Figure 7): the manager's chain proves the
+  // delegation; applying the row publishes the chain to every replica.
+  keycom::UpdateRequest commission;
+  commission.add_assignments.push_back({"Finance", "Manager", "Fred"});
+  commission.credentials = finance_manager("KWebCom", "Kclaire").to_text() +
+                           "\n" + finance_manager("Kclaire", "Kfred").to_text();
+  commission.sign(fred);
+  auto report = service.apply(commission);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  ASSERT_TRUE(report->fully_applied());
+  EXPECT_EQ(service.stats().credentials_published, 2u);
+
+  ASSERT_TRUE(
+      master.policy_replica()->wait_for_epoch(authority.epoch(), 5s));
+  auto v = master.execute(one_task_graph());
+  ASSERT_TRUE(v.ok()) << v.error().message;
+  EXPECT_EQ(*v, "PAY");
+
+  // Withdraw the membership (Figure 8's revocation path). The service
+  // publishes revoke-by-licensee for Fred's key; the replicated store
+  // drops Claire's delegation to him; the master's decision cache epoch
+  // moves with the store version — next round denies, no re-attach.
+  keycom::UpdateRequest withdraw;
+  withdraw.remove_assignments.push_back({"Finance", "Manager", "Fred"});
+  withdraw.sign(ring().identity("KWebCom"));
+  auto wreport = service.apply(withdraw);
+  ASSERT_TRUE(wreport.ok()) << wreport.error().message;
+  EXPECT_EQ(wreport->assignments_removed, 1u);
+  EXPECT_EQ(service.stats().revocations_published, 1u);
+  EXPECT_FALSE(catalogue.export_policy().user_in_role("Fred", "Finance",
+                                                      "Manager"));
+
+  ASSERT_TRUE(
+      master.policy_replica()->wait_for_epoch(authority.epoch(), 5s));
+  auto denied = master.execute(one_task_graph());
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, "denied");
+  EXPECT_GT(master.stats().tasks_denied_by_master, 0u);
+}
+
+}  // namespace
+}  // namespace mwsec

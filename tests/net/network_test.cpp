@@ -126,6 +126,76 @@ TEST(Network, DropProbabilityLosesMessages) {
   EXPECT_EQ(b->pending(), st.delivered);
 }
 
+TEST(Network, DuplicateProbabilityDeliversTwice) {
+  Network::Options opts;
+  opts.seed = 7;
+  opts.duplicate_probability = 1.0;
+  Network net(opts);
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  ASSERT_TRUE(a->send("b", "x", util::to_bytes("p")).ok());
+  auto first = b->receive(100ms);
+  auto second = b->receive(100ms);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  // The duplicate is a true re-delivery: same id, subject, payload.
+  EXPECT_EQ(first->id, second->id);
+  EXPECT_EQ(first->subject, second->subject);
+  EXPECT_EQ(util::to_string(second->payload), "p");
+  auto st = net.stats();
+  EXPECT_EQ(st.sent, 1u);
+  EXPECT_EQ(st.delivered, 2u);
+  EXPECT_EQ(st.duplicated, 1u);
+}
+
+TEST(Network, DuplicateProbabilityIsProbabilistic) {
+  Network::Options opts;
+  opts.seed = 21;
+  opts.duplicate_probability = 0.5;
+  Network net(opts);
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  for (int i = 0; i < 200; ++i) a->send("b", "x", {}).ok();
+  auto st = net.stats();
+  EXPECT_GT(st.duplicated, 50u);
+  EXPECT_LT(st.duplicated, 150u);
+  EXPECT_EQ(b->pending(), 200u + st.duplicated);
+}
+
+TEST(Network, ReorderProbabilityJumpsQueue) {
+  Network::Options opts;
+  opts.seed = 5;
+  opts.reorder_probability = 1.0;
+  Network net(opts);
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  // With an empty destination queue the first message cannot jump
+  // anything; the second front-inserts ahead of it.
+  a->send("b", "first", {}).ok();
+  a->send("b", "second", {}).ok();
+  auto m1 = b->receive(100ms);
+  auto m2 = b->receive(100ms);
+  ASSERT_TRUE(m1.has_value());
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m1->subject, "second");
+  EXPECT_EQ(m2->subject, "first");
+  EXPECT_EQ(net.stats().reordered, 1u);
+}
+
+TEST(Network, ReorderIntoEmptyQueueIsNotCounted) {
+  Network::Options opts;
+  opts.seed = 5;
+  opts.reorder_probability = 1.0;
+  Network net(opts);
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  a->send("b", "only", {}).ok();
+  EXPECT_EQ(net.stats().reordered, 0u);
+  auto m = b->receive(100ms);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->subject, "only");
+}
+
 TEST(Network, KillClosesEndpoint) {
   Network net;
   auto a = net.open("a").take();

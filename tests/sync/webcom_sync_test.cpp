@@ -1,0 +1,168 @@
+// Live policy synchronisation wired into the WebCom scheduler: masters and
+// clients subscribe to a policy authority at attach time, so trust arrives
+// — and dies — by replication, with no bundle re-distribution and no
+// re-attach.
+#include <gtest/gtest.h>
+
+#include "sync/authority.hpp"
+#include "webcom/scheduler.hpp"
+
+namespace mwsec::webcom {
+namespace {
+
+using namespace std::chrono_literals;
+
+crypto::KeyRing& ring() {
+  static crypto::KeyRing r(/*seed=*/60417, /*modulus_bits=*/256);
+  return r;
+}
+
+std::string trust_everything(const std::string& principal) {
+  return "Authorizer: POLICY\nLicensees: \"" + principal +
+         "\"\nConditions: app_domain == \"WebCom\";\n";
+}
+
+keynote::Assertion delegation(const std::string& from_key,
+                              const std::string& to_principal) {
+  return keynote::AssertionBuilder()
+      .authorizer("\"" + ring().principal(from_key) + "\"")
+      .licensees("\"" + to_principal + "\"")
+      .conditions("app_domain == \"WebCom\"")
+      .build_signed(ring().identity(from_key))
+      .take();
+}
+
+Graph one_task_graph() {
+  Graph g;
+  NodeId n = g.add_node("up", "upper", 1);
+  g.set_literal(n, 0, "x").ok();
+  SecurityTarget t;
+  t.object_type = "Calc";
+  t.permission = "add";
+  g.set_target(n, t).ok();
+  g.set_exit(n).ok();
+  return g;
+}
+
+sync::Authority::Options fast_authority() {
+  sync::Authority::Options o;
+  o.poll_interval = 2ms;
+  o.retransmit_interval = 10ms;
+  return o;
+}
+
+sync::Replica::Options fast_replica() {
+  sync::Replica::Options o;
+  o.poll_interval = 2ms;
+  o.heartbeat_interval = 10ms;
+  return o;
+}
+
+TEST(WebComSync, MasterTrustArrivesAndDiesByReplication) {
+  net::Network network;
+  keynote::CompiledStore admin_store;
+  sync::Authority authority(network, "admin", admin_store, fast_authority());
+  ASSERT_TRUE(authority.start().ok());
+
+  const auto& master_id = ring().identity("KMaster");
+  MasterOptions mopts;
+  mopts.task_timeout = 150ms;
+  Master master(network, "m", master_id, mopts);
+  // The master's trust root is live: nothing is seeded into its store
+  // directly; everything arrives as replicated deltas.
+  ASSERT_TRUE(master.subscribe_policy("admin", fast_replica()).ok());
+
+  const auto& cid = ring().identity("Kc0");
+  ClientOptions copts;
+  copts.domain = "Finance";
+  copts.role = "Manager";
+  copts.user = "u0";
+  Client client(network, "c0", cid, OperationRegistry::with_builtins(), copts);
+  ASSERT_TRUE(
+      client.store()
+          .add_policy_text(trust_everything(master_id.principal()))
+          .ok());
+  ASSERT_TRUE(client.start().ok());
+
+  // Delegation chain published at the authority: POLICY -> KAdmin -> c0.
+  ASSERT_TRUE(
+      authority.publish_policy_text(trust_everything(ring().principal("KAdmin")))
+          .ok());
+  ASSERT_TRUE(
+      authority.publish_credential(delegation("KAdmin", cid.principal()))
+          .ok());
+  ASSERT_NE(master.policy_replica(), nullptr);
+  ASSERT_TRUE(master.policy_replica()->wait_for_epoch(authority.epoch(), 2s));
+
+  ClientInfo info{"c0", cid.principal(), {}, "Finance", "Manager", "u0"};
+  ASSERT_TRUE(master.attach_client(info).ok());
+  auto v = master.execute(one_task_graph());
+  ASSERT_TRUE(v.ok()) << v.error().message;
+  EXPECT_EQ(*v, "X");
+
+  // Revoke at the authority. The client stays attached; the next run must
+  // be denied purely because the replicated credential disappeared.
+  EXPECT_EQ(authority.revoke_by_licensee(cid.principal()), 1u);
+  ASSERT_TRUE(master.policy_replica()->wait_for_epoch(authority.epoch(), 2s));
+  auto denied = master.execute(one_task_graph());
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, "denied");
+  EXPECT_GT(master.stats().tasks_denied_by_master, 0u);
+}
+
+TEST(WebComSync, ClientTrustRootIsLiveToo) {
+  net::Network network;
+  keynote::CompiledStore admin_store;
+  sync::Authority authority(network, "admin", admin_store, fast_authority());
+  ASSERT_TRUE(authority.start().ok());
+
+  const auto& master_id = ring().identity("KMaster");
+  MasterOptions mopts;
+  mopts.task_timeout = 150ms;
+  Master master(network, "m2", master_id, mopts);
+  ASSERT_TRUE(
+      master.store()
+          .add_policy(keynote::Assertion::parse(
+                          trust_everything(ring().principal("Kc1")))
+                          .take())
+          .ok());
+
+  const auto& cid = ring().identity("Kc1");
+  ClientOptions copts;
+  copts.domain = "Finance";
+  copts.role = "Manager";
+  copts.user = "u1";
+  Client client(network, "c1", cid, OperationRegistry::with_builtins(), copts);
+  // No static trust: the client subscribes for its trust root instead of
+  // carrying a one-shot bundle from attach time.
+  ASSERT_TRUE(client.subscribe_policy("admin", fast_replica()).ok());
+  ASSERT_TRUE(client.start().ok());
+
+  ASSERT_TRUE(
+      authority.publish_policy_text(trust_everything(ring().principal("KAdmin")))
+          .ok());
+  ASSERT_TRUE(
+      authority
+          .publish_credential(delegation("KAdmin", master_id.principal()))
+          .ok());
+  ASSERT_NE(client.policy_replica(), nullptr);
+  ASSERT_TRUE(client.policy_replica()->wait_for_epoch(authority.epoch(), 2s));
+
+  ClientInfo info{"c1", cid.principal(), {}, "Finance", "Manager", "u1"};
+  ASSERT_TRUE(master.attach_client(info).ok());
+  auto v = master.execute(one_task_graph());
+  ASSERT_TRUE(v.ok()) << v.error().message;
+
+  // Revoking the *master's* delegation flips the client's mediation: it
+  // now refuses the master's dispatches mid-attachment.
+  EXPECT_EQ(authority.revoke_by_licensee(master_id.principal()), 1u);
+  ASSERT_TRUE(client.policy_replica()->wait_for_epoch(authority.epoch(), 2s));
+  auto denied = master.execute(one_task_graph());
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, "denied");
+  EXPECT_GT(client.stats().tasks_rejected, 0u);
+  EXPECT_GT(master.stats().tasks_denied_by_client, 0u);
+}
+
+}  // namespace
+}  // namespace mwsec::webcom

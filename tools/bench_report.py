@@ -33,6 +33,7 @@ BENCH_BINARIES = [
     "bench/bench_fig2_keynote_query",
     "bench/bench_authz_cache",
     "bench/bench_fig3_secure_scheduling",
+    "bench/bench_sync",
 ]
 
 
