@@ -3,14 +3,21 @@
 // then with the credential store swept from 1 to 1000 assertions to show
 // how decision latency scales with policy size.
 //
-// The store sweep exists in three flavours:
-//   QueryVsStoreSize          — a prebuilt CompiledStore, the deployment
-//                               path (compile once, query many);
-//   QueryVsStoreSizeUncached  — evaluate_reference(), the map-based
-//                               Kleene interpreter, as the baseline;
-//   RepeatedQueries           — one store, many queries varying only
-//                               (Domain, Role), showing the conditions
-//                               memo amortising per-query cost.
+// The store sweep exists in four flavours:
+//   QueryVsStoreSize           — a prebuilt CompiledStore, the deployment
+//                                path (compile once, query many);
+//   QueryVsStoreSizeUncached   — same prebuilt store, but every query
+//                                bypasses the conditions memo: the cold
+//                                path a fresh snapshot pays. With the
+//                                inverted assertion index this should be
+//                                near-flat in store size;
+//   QueryVsStoreSizeReference  — evaluate_reference(), the map-based
+//                                Kleene interpreter, as the baseline;
+//   RepeatedQueries            — one store, many queries varying only
+//                                (Domain, Role), showing the conditions
+//                                memo amortising per-query cost.
+// RevocationStorm measures the worst case the index exists for: a version
+// bump invalidates everything and N principals re-query cold.
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
@@ -86,9 +93,28 @@ void BM_Fig2_QueryVsStoreSize(benchmark::State& state) {
   }
   state.counters["assertions"] = n;
 }
-BENCHMARK(BM_Fig2_QueryVsStoreSize)->RangeMultiplier(10)->Range(1, 1000);
+BENCHMARK(BM_Fig2_QueryVsStoreSize)->RangeMultiplier(10)->Range(1, 10000);
 
 void BM_Fig2_QueryVsStoreSizeUncached(benchmark::State& state) {
+  // The cold path: same prebuilt snapshot, but the conditions memo is
+  // bypassed so every touched program is evaluated from bytecode. The
+  // requester-seeded worklist only visits its own delegation
+  // neighbourhood, so this stays near-flat as the store grows.
+  const int n = static_cast<int>(state.range(0));
+  keynote::CompiledStore store;
+  for (auto& p : sweep_policies(n)) store.add_policy(std::move(p)).ok();
+  auto snapshot = store.snapshot();
+  keynote::Query q = sweep_query(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snapshot->query_uncached(q));
+  }
+  state.counters["assertions"] = n;
+}
+BENCHMARK(BM_Fig2_QueryVsStoreSizeUncached)
+    ->RangeMultiplier(10)
+    ->Range(1, 10000);
+
+void BM_Fig2_QueryVsStoreSizeReference(benchmark::State& state) {
   // Baseline: the reference interpreter re-walks string-keyed maps and
   // evaluates every Conditions program on every call.
   const int n = static_cast<int>(state.range(0));
@@ -99,7 +125,63 @@ void BM_Fig2_QueryVsStoreSizeUncached(benchmark::State& state) {
   }
   state.counters["assertions"] = n;
 }
-BENCHMARK(BM_Fig2_QueryVsStoreSizeUncached)->RangeMultiplier(10)->Range(1, 1000);
+BENCHMARK(BM_Fig2_QueryVsStoreSizeReference)
+    ->RangeMultiplier(10)
+    ->Range(1, 1000);
+
+void BM_Fig2_RevocationStorm(benchmark::State& state) {
+  // A revocation epoch: the store version moves, every snapshot (and with
+  // it the conditions memo) is invalidated, and all N principals re-query
+  // cold at once. Each credential carries a per-principal guard
+  // (user == "u<i>"), so a cold query's candidate set is the policy plus
+  // one credential regardless of N — per-principal cost should track the
+  // candidate-set reduction, not the store size.
+  const int n = static_cast<int>(state.range(0));
+  keynote::CompiledStore store;
+  store
+      .add_policy(keynote::AssertionBuilder()
+                      .authorizer("POLICY")
+                      .licensees("\"Kadmin\"")
+                      .conditions("app_domain==\"SalariesDB\"")
+                      .build()
+                      .take())
+      .ok();
+  for (int i = 0; i < n; ++i) {
+    store
+        .add_credential(
+            keynote::AssertionBuilder()
+                .authorizer("\"Kadmin\"")
+                .licensees("\"K" + std::to_string(i) + "\"")
+                .conditions("app_domain==\"SalariesDB\" && user==\"u" +
+                            std::to_string(i) + "\"")
+                .build()
+                .take(),
+            /*verify_signature=*/false)
+        .ok();
+  }
+  std::vector<keynote::Query> queries;
+  queries.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    keynote::Query q;
+    q.action_authorizers = {"K" + std::to_string(i)};
+    q.env.set("app_domain", "SalariesDB");
+    q.env.set("user", "u" + std::to_string(i));
+    queries.push_back(std::move(q));
+  }
+  for (auto _ : state) {
+    store.advance_version_to(store.version() + 1);
+    auto snapshot = store.snapshot();  // rebuilt: memo starts cold
+    for (const auto& q : queries) {
+      benchmark::DoNotOptimize(snapshot->query(q));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["principals"] = n;
+  keynote::QueryContext ctx(queries[0]);
+  state.counters["candidates"] = static_cast<double>(
+      store.snapshot()->index().candidate_count(ctx));
+}
+BENCHMARK(BM_Fig2_RevocationStorm)->RangeMultiplier(10)->Range(100, 10000);
 
 void BM_Fig2_RepeatedQueries(benchmark::State& state) {
   // One compiled store, 1000 queries per iteration cycling through a few
@@ -123,10 +205,14 @@ void BM_Fig2_RepeatedQueries(benchmark::State& state) {
   auto snapshot = store.snapshot();
   std::vector<keynote::Query> queries;
   for (int i = 0; i < 12; ++i) {
+    // Environment matching the target policy's conditions, so the query
+    // exercises conditions evaluation (and its memo) rather than being
+    // rejected by the guard index before any program runs.
+    const int p = kStore - 1 - i;
     keynote::Query q;
-    q.action_authorizers = {"K" + std::to_string(kStore - 1 - i)};
-    q.env.set("Domain", "d" + std::to_string(i % 4));
-    q.env.set("Role", "r" + std::to_string(i % 3));
+    q.action_authorizers = {"K" + std::to_string(p)};
+    q.env.set("Domain", "d" + std::to_string(p % 4));
+    q.env.set("Role", "r" + std::to_string(p % 3));
     queries.push_back(std::move(q));
   }
   for (auto _ : state) {
@@ -161,10 +247,14 @@ void BM_Fig2_ObservedRepeatedQueries(benchmark::State& state) {
   auto snapshot = store.snapshot();
   std::vector<keynote::Query> queries;
   for (int i = 0; i < 12; ++i) {
+    // Environment matching the target policy's conditions, so the query
+    // exercises conditions evaluation (and its memo) rather than being
+    // rejected by the guard index before any program runs.
+    const int p = kStore - 1 - i;
     keynote::Query q;
-    q.action_authorizers = {"K" + std::to_string(kStore - 1 - i)};
-    q.env.set("Domain", "d" + std::to_string(i % 4));
-    q.env.set("Role", "r" + std::to_string(i % 3));
+    q.action_authorizers = {"K" + std::to_string(p)};
+    q.env.set("Domain", "d" + std::to_string(p % 4));
+    q.env.set("Role", "r" + std::to_string(p % 3));
     queries.push_back(std::move(q));
   }
   obs::Registry::global().reset();

@@ -1,0 +1,776 @@
+#include "keynote/bytecode.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace mwsec::keynote {
+
+// ---------------------------------------------------------------------------
+// AttrTable
+
+std::uint32_t AttrTable::intern(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  auto slot = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), slot);
+  return slot;
+}
+
+std::optional<std::uint32_t> AttrTable::find(std::string_view name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool is_reserved_attr(std::string_view name) {
+  return name == "_MIN_TRUST" || name == "_MAX_TRUST" || name == "_VALUES" ||
+         name == "_ACTION_AUTHORIZERS";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Folding lattices. Strings never error (an unset attribute reads as "");
+// numbers and tests can: an Error folds to "the enclosing clause's test
+// aborts", which is distinct from False inside compound tests (the whole
+// clause fails, even under a negation or a would-be-true disjunct).
+
+enum class NumState : std::uint8_t { kUnknown, kKnown, kError };
+struct FoldNum {
+  NumState state = NumState::kUnknown;
+  double value = 0.0;
+};
+
+enum class TestState : std::uint8_t { kUnknown, kTrue, kFalse, kError };
+
+template <typename T>
+bool apply_cmp(CmpOp op, const T& l, const T& r) {
+  switch (op) {
+    case CmpOp::kEq: return l == r;
+    case CmpOp::kNe: return l != r;
+    case CmpOp::kLt: return l < r;
+    case CmpOp::kGt: return l > r;
+    case CmpOp::kLe: return l <= r;
+    case CmpOp::kGe: return l >= r;
+  }
+  return false;
+}
+
+/// Guard requirement of one test: `req` maps attribute name to the literal
+/// values it must take for the test to possibly be true; `unsat` marks a
+/// test that can never be true (e.g. a=="x" && a=="y").
+struct Guard {
+  bool unsat = false;
+  std::map<std::string, std::set<std::string>> req;
+};
+
+constexpr std::uint32_t kUnboundLabel = 0xffffffffu;
+
+class Compiler {
+ public:
+  Compiler(const std::map<std::string, std::string>& constants,
+           AttrTable& attrs)
+      : constants_(constants), attrs_(attrs) {}
+
+  CompiledConditions run(const Program& program) {
+    // RFC 2704: an empty Conditions field places no constraint.
+    if (program.clauses.empty()) {
+      out_.constant = ProgramConst::kMax;
+      return std::move(out_);
+    }
+    ProgramConst c = fold_program(program);
+    if (c != ProgramConst::kNo) {
+      out_.constant = c;
+      return std::move(out_);
+    }
+    extract_guards(program);
+    if (out_.constant == ProgramConst::kMin) return std::move(out_);
+
+    std::uint32_t end = new_label();
+    emit_program(program, end);
+    bind(end);
+    emit(Op::kRet);
+    patch();
+    return std::move(out_);
+  }
+
+ private:
+  // -- folding ------------------------------------------------------------
+
+  /// Compile-time value of a string expression, or nullopt. Local
+  /// constants shadow the environment but not the reserved attributes,
+  /// exactly as QueryContext::lookup.
+  std::optional<std::string> fold_str(const StringExpr& e) const {
+    switch (e.kind) {
+      case StringExpr::Kind::kLiteral:
+        return e.text;
+      case StringExpr::Kind::kAttr:
+        return constant_of(e.text);
+      case StringExpr::Kind::kIndirect: {
+        auto name = fold_str(*e.a);
+        if (!name) return std::nullopt;
+        return constant_of(*name);
+      }
+      case StringExpr::Kind::kConcat: {
+        auto l = fold_str(*e.a);
+        if (!l) return std::nullopt;
+        auto r = fold_str(*e.b);
+        if (!r) return std::nullopt;
+        return *l + *r;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> constant_of(std::string_view name) const {
+    if (is_reserved_attr(name)) return std::nullopt;
+    auto it = constants_.find(std::string(name));
+    if (it == constants_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  FoldNum fold_num(const NumExpr& e) const {
+    switch (e.kind) {
+      case NumExpr::Kind::kLiteral:
+        return {NumState::kKnown, e.literal};
+      case NumExpr::Kind::kIntAttr:
+      case NumExpr::Kind::kFloatAttr: {
+        auto s = fold_str(*e.attr);
+        if (!s) return {};
+        auto trimmed = util::trim(*s);
+        if (!util::is_number(trimmed)) return {NumState::kError, 0.0};
+        double v;
+        try {
+          v = std::stod(std::string(trimmed));
+        } catch (const std::out_of_range&) {
+          return {NumState::kError, 0.0};
+        }
+        if (e.kind == NumExpr::Kind::kIntAttr) v = std::trunc(v);
+        return {NumState::kKnown, v};
+      }
+      case NumExpr::Kind::kNeg: {
+        FoldNum a = fold_num(*e.a);
+        if (a.state == NumState::kKnown) a.value = -a.value;
+        return a;
+      }
+      default:
+        break;
+    }
+    FoldNum a = fold_num(*e.a);
+    FoldNum b = fold_num(*e.b);
+    if (a.state == NumState::kError || b.state == NumState::kError) {
+      return {NumState::kError, 0.0};
+    }
+    if ((e.kind == NumExpr::Kind::kDiv || e.kind == NumExpr::Kind::kMod) &&
+        b.state == NumState::kKnown && b.value == 0.0) {
+      return {NumState::kError, 0.0};
+    }
+    if (a.state != NumState::kKnown || b.state != NumState::kKnown) return {};
+    double v = 0.0;
+    switch (e.kind) {
+      case NumExpr::Kind::kAdd: v = a.value + b.value; break;
+      case NumExpr::Kind::kSub: v = a.value - b.value; break;
+      case NumExpr::Kind::kMul: v = a.value * b.value; break;
+      case NumExpr::Kind::kDiv: v = a.value / b.value; break;
+      case NumExpr::Kind::kMod: v = std::fmod(a.value, b.value); break;
+      case NumExpr::Kind::kPow: v = std::pow(a.value, b.value); break;
+      default: return {};
+    }
+    return {NumState::kKnown, v};
+  }
+
+  TestState fold_test(const Test& t) const {
+    switch (t.kind) {
+      case Test::Kind::kTrue:
+        return TestState::kTrue;
+      case Test::Kind::kFalse:
+        return TestState::kFalse;
+      case Test::Kind::kAnd: {
+        TestState a = fold_test(*t.ta);
+        if (a == TestState::kError || a == TestState::kFalse) return a;
+        TestState b = fold_test(*t.tb);
+        if (a == TestState::kTrue) return b;
+        return TestState::kUnknown;  // left side decides at runtime
+      }
+      case Test::Kind::kOr: {
+        TestState a = fold_test(*t.ta);
+        if (a == TestState::kError || a == TestState::kTrue) return a;
+        TestState b = fold_test(*t.tb);
+        if (a == TestState::kFalse) return b;
+        return TestState::kUnknown;
+      }
+      case Test::Kind::kNot:
+        switch (fold_test(*t.ta)) {
+          case TestState::kTrue: return TestState::kFalse;
+          case TestState::kFalse: return TestState::kTrue;
+          case TestState::kError: return TestState::kError;
+          case TestState::kUnknown: return TestState::kUnknown;
+        }
+        return TestState::kUnknown;
+      case Test::Kind::kStrCmp: {
+        auto l = fold_str(*t.sl);
+        if (!l) return TestState::kUnknown;
+        auto r = fold_str(*t.sr);
+        if (!r) return TestState::kUnknown;
+        return apply_cmp(t.op, *l, *r) ? TestState::kTrue : TestState::kFalse;
+      }
+      case Test::Kind::kNumCmp: {
+        FoldNum l = fold_num(*t.nl);
+        FoldNum r = fold_num(*t.nr);
+        // Both operands are evaluated before comparing, so an error in
+        // either aborts the clause even when the other is unknown.
+        if (l.state == NumState::kError || r.state == NumState::kError) {
+          return TestState::kError;
+        }
+        if (l.state != NumState::kKnown || r.state != NumState::kKnown) {
+          return TestState::kUnknown;
+        }
+        return apply_cmp(t.op, l.value, r.value) ? TestState::kTrue
+                                                 : TestState::kFalse;
+      }
+      case Test::Kind::kRegex: {
+        auto pattern = fold_str(*t.sr);
+        if (!pattern) return TestState::kUnknown;
+        try {
+          std::regex re(*pattern, std::regex::extended);
+          auto subject = fold_str(*t.sl);
+          if (!subject) return TestState::kUnknown;
+          return std::regex_search(*subject, re) ? TestState::kTrue
+                                                 : TestState::kFalse;
+        } catch (const std::regex_error&) {
+          return TestState::kError;
+        }
+      }
+    }
+    return TestState::kUnknown;
+  }
+
+  /// True when the clause can be dropped outright: its test can never be
+  /// satisfied, or a satisfied test would contribute nothing.
+  bool clause_dropped(const Clause& clause) const {
+    TestState t = fold_test(*clause.test);
+    if (t == TestState::kFalse || t == TestState::kError) return true;
+    if (clause.outcome == Clause::Outcome::kProgram &&
+        fold_program_sub(*clause.program) == ProgramConst::kMin) {
+      return true;
+    }
+    return false;
+  }
+
+  /// Constant value of a *sub*program (eval_program semantics: an empty
+  /// clause list is _MIN_TRUST — only the top-level Conditions field gets
+  /// the empty-means-unconstrained reading).
+  ProgramConst fold_program_sub(const Program& p) const {
+    if (p.clauses.empty()) return ProgramConst::kMin;
+    return fold_program(p);
+  }
+
+  ProgramConst fold_program(const Program& p) const {
+    bool any_live = false;
+    for (const auto& clause : p.clauses) {
+      if (clause_dropped(clause)) continue;
+      TestState t = fold_test(*clause.test);
+      switch (clause.outcome) {
+        case Clause::Outcome::kDefault:
+          if (t == TestState::kTrue) return ProgramConst::kMax;
+          break;
+        case Clause::Outcome::kProgram:
+          if (t == TestState::kTrue &&
+              fold_program_sub(*clause.program) == ProgramConst::kMax) {
+            return ProgramConst::kMax;
+          }
+          break;
+        case Clause::Outcome::kValue:
+          // The name→index mapping is per-query; never constant.
+          break;
+      }
+      any_live = true;
+    }
+    return any_live ? ProgramConst::kNo : ProgramConst::kMin;
+  }
+
+  // -- guard extraction ---------------------------------------------------
+
+  Guard guard_top() const { return {}; }
+
+  Guard guard_of_test(const Test& t) const {
+    switch (t.kind) {
+      case Test::Kind::kStrCmp: {
+        if (t.op != CmpOp::kEq) return guard_top();
+        auto atom = [&](const StringExpr& attr_side,
+                        const StringExpr& lit_side) -> std::optional<Guard> {
+          if (attr_side.kind != StringExpr::Kind::kAttr) return std::nullopt;
+          if (is_reserved_attr(attr_side.text) ||
+              constants_.count(attr_side.text) != 0) {
+            return std::nullopt;
+          }
+          auto lit = fold_str(lit_side);
+          if (!lit) return std::nullopt;
+          Guard g;
+          g.req[attr_side.text].insert(*lit);
+          return g;
+        };
+        if (auto g = atom(*t.sl, *t.sr)) return *g;
+        if (auto g = atom(*t.sr, *t.sl)) return *g;
+        return guard_top();
+      }
+      case Test::Kind::kAnd: {
+        Guard a = guard_of_test(*t.ta);
+        Guard b = guard_of_test(*t.tb);
+        if (a.unsat || b.unsat) return {true, {}};
+        // Union of keys; a key required by both sides must satisfy both,
+        // so its admissible values intersect.
+        for (auto& [name, vals] : b.req) {
+          auto it = a.req.find(name);
+          if (it == a.req.end()) {
+            a.req.emplace(name, std::move(vals));
+            continue;
+          }
+          std::set<std::string> both;
+          std::set_intersection(it->second.begin(), it->second.end(),
+                                vals.begin(), vals.end(),
+                                std::inserter(both, both.begin()));
+          if (both.empty()) return {true, {}};
+          it->second = std::move(both);
+        }
+        return a;
+      }
+      case Test::Kind::kOr: {
+        Guard a = guard_of_test(*t.ta);
+        Guard b = guard_of_test(*t.tb);
+        if (a.unsat) return b;
+        if (b.unsat) return a;
+        // Only keys constrained on *both* sides survive; their value sets
+        // union.
+        Guard out;
+        for (auto& [name, vals] : a.req) {
+          auto it = b.req.find(name);
+          if (it == b.req.end()) continue;
+          auto& merged = out.req[name];
+          merged = std::move(vals);
+          merged.insert(it->second.begin(), it->second.end());
+        }
+        return out;
+      }
+      default:
+        // kNot, numeric and regex tests constrain nothing we can index.
+        return guard_top();
+    }
+  }
+
+  void extract_guards(const Program& program) {
+    // An attribute guards the program iff every clause that could
+    // contribute pins it to literal(s); the admissible set is the union
+    // across clauses.
+    std::map<std::string, std::set<std::string>> acc;
+    bool first = true;
+    bool any_contributing = false;
+    for (const auto& clause : program.clauses) {
+      if (clause_dropped(clause)) continue;
+      Guard g = guard_of_test(*clause.test);
+      if (g.unsat) continue;  // can never be satisfied: no contribution
+      any_contributing = true;
+      if (first) {
+        acc = std::move(g.req);
+        first = false;
+        continue;
+      }
+      for (auto it = acc.begin(); it != acc.end();) {
+        auto other = g.req.find(it->first);
+        if (other == g.req.end()) {
+          it = acc.erase(it);
+          continue;
+        }
+        it->second.insert(other->second.begin(), other->second.end());
+        ++it;
+      }
+      if (acc.empty()) break;
+    }
+    if (!any_contributing) {
+      // Folding kept clauses whose tests are unsatisfiable only by guard
+      // reasoning (a=="x" && a=="y"); the program still never grants.
+      out_.constant = ProgramConst::kMin;
+      return;
+    }
+    for (auto& [name, vals] : acc) {
+      out_.guards.emplace_back(
+          attrs_.intern(name),
+          std::vector<std::string>(vals.begin(), vals.end()));
+    }
+  }
+
+  // -- emission -----------------------------------------------------------
+
+  std::uint32_t new_label() {
+    labels_.push_back(kUnboundLabel);
+    return static_cast<std::uint32_t>(labels_.size() - 1);
+  }
+
+  void bind(std::uint32_t label) {
+    labels_[label] = static_cast<std::uint32_t>(out_.code.size());
+  }
+
+  void emit(Op op, std::uint8_t flag = 0, std::uint32_t a = 0,
+            std::uint32_t b = 0) {
+    out_.code.push_back({op, flag, a, b});
+  }
+
+  /// Emit an instruction whose `a` is a forward label, patched at the end.
+  void emit_to(Op op, std::uint32_t label, std::uint8_t flag = 0,
+               std::uint32_t b = 0) {
+    patches_.push_back({out_.code.size(), label});
+    out_.code.push_back({op, flag, 0, b});
+  }
+
+  void patch() {
+    for (auto& [instr, label] : patches_) out_.code[instr].a = labels_[label];
+    patches_.clear();
+  }
+
+  std::uint32_t str_idx(std::string s) {
+    auto it = str_ids_.find(s);
+    if (it != str_ids_.end()) return it->second;
+    auto idx = static_cast<std::uint32_t>(out_.str_pool.size());
+    out_.str_pool.push_back(std::move(s));
+    str_ids_.emplace(out_.str_pool.back(), idx);
+    return idx;
+  }
+
+  std::uint32_t num_idx(double v) {
+    auto it = num_ids_.find(v);
+    if (it != num_ids_.end()) return it->second;
+    auto idx = static_cast<std::uint32_t>(out_.num_pool.size());
+    out_.num_pool.push_back(v);
+    num_ids_.emplace(v, idx);
+    return idx;
+  }
+
+  std::uint32_t regex_idx(const std::string& pattern) {
+    auto it = regex_ids_.find(pattern);
+    if (it != regex_ids_.end()) return it->second;
+    auto idx = static_cast<std::uint32_t>(out_.regex_pool.size());
+    // fold_test already vetted the pattern; a throw here cannot happen.
+    out_.regex_pool.emplace_back(pattern, std::regex::extended);
+    out_.regex_texts.push_back(pattern);
+    regex_ids_.emplace(pattern, idx);
+    return idx;
+  }
+
+  void emit_str(const StringExpr& e) {
+    if (auto s = fold_str(e)) {
+      emit(Op::kPushStr, 0, str_idx(std::move(*s)));
+      return;
+    }
+    switch (e.kind) {
+      case StringExpr::Kind::kAttr:
+        emit(Op::kLoadAttr, 0, attrs_.intern(e.text));
+        return;
+      case StringExpr::Kind::kIndirect:
+        // A constant name that is not a local constant is an ordinary
+        // attribute read; only a computed name needs the dynamic chain.
+        if (auto name = fold_str(*e.a)) {
+          emit(Op::kLoadAttr, 0, attrs_.intern(*name));
+          return;
+        }
+        emit_str(*e.a);
+        emit(Op::kLoadDyn);
+        out_.needs_dyn = true;
+        return;
+      case StringExpr::Kind::kConcat:
+        emit_str(*e.a);
+        emit_str(*e.b);
+        emit(Op::kConcat);
+        return;
+      case StringExpr::Kind::kLiteral:
+        emit(Op::kPushStr, 0, str_idx(e.text));  // unreachable (folds)
+        return;
+    }
+  }
+
+  void emit_num(const NumExpr& e) {
+    FoldNum f = fold_num(e);
+    if (f.state == NumState::kKnown) {
+      emit(Op::kPushNum, 0, num_idx(f.value));
+      return;
+    }
+    switch (e.kind) {
+      case NumExpr::Kind::kIntAttr:
+      case NumExpr::Kind::kFloatAttr:
+        emit_str(*e.attr);
+        emit(e.kind == NumExpr::Kind::kIntAttr ? Op::kStrToInt
+                                               : Op::kStrToFloat);
+        return;
+      case NumExpr::Kind::kNeg:
+        emit_num(*e.a);
+        emit(Op::kNeg);
+        return;
+      case NumExpr::Kind::kAdd:
+      case NumExpr::Kind::kSub:
+      case NumExpr::Kind::kMul:
+      case NumExpr::Kind::kDiv:
+      case NumExpr::Kind::kMod:
+      case NumExpr::Kind::kPow: {
+        emit_num(*e.a);
+        emit_num(*e.b);
+        Op op = Op::kAdd;
+        switch (e.kind) {
+          case NumExpr::Kind::kSub: op = Op::kSub; break;
+          case NumExpr::Kind::kMul: op = Op::kMul; break;
+          case NumExpr::Kind::kDiv: op = Op::kDiv; break;
+          case NumExpr::Kind::kMod: op = Op::kMod; break;
+          case NumExpr::Kind::kPow: op = Op::kPow; break;
+          default: break;
+        }
+        emit(op);
+        return;
+      }
+      case NumExpr::Kind::kLiteral:
+        emit(Op::kPushNum, 0, num_idx(e.literal));  // unreachable (folds)
+        return;
+    }
+  }
+
+  static std::uint8_t cmp_flag(CmpOp op, bool want) {
+    return static_cast<std::uint8_t>(static_cast<std::uint8_t>(op) |
+                                     (want ? 0x8 : 0));
+  }
+
+  /// Emit code that jumps to `target` when the test's value equals `want`
+  /// and falls through otherwise; a runtime error jumps to `err` (the
+  /// clause's failure label — the VM's error target is set to the same
+  /// place by kClause, so this only matters for folded errors).
+  void emit_test(const Test& t, std::uint32_t target, bool want,
+                 std::uint32_t err) {
+    switch (fold_test(t)) {
+      case TestState::kTrue:
+        if (want) emit_to(Op::kJump, target);
+        return;
+      case TestState::kFalse:
+        if (!want) emit_to(Op::kJump, target);
+        return;
+      case TestState::kError:
+        emit_to(Op::kJump, err);
+        return;
+      case TestState::kUnknown:
+        break;
+    }
+    switch (t.kind) {
+      case Test::Kind::kNot:
+        emit_test(*t.ta, target, !want, err);
+        return;
+      case Test::Kind::kAnd:
+        if (!want) {
+          emit_test(*t.ta, target, false, err);
+          emit_test(*t.tb, target, false, err);
+        } else {
+          std::uint32_t skip = new_label();
+          emit_test(*t.ta, skip, false, err);
+          emit_test(*t.tb, target, true, err);
+          bind(skip);
+        }
+        return;
+      case Test::Kind::kOr:
+        if (want) {
+          emit_test(*t.ta, target, true, err);
+          emit_test(*t.tb, target, true, err);
+        } else {
+          std::uint32_t skip = new_label();
+          emit_test(*t.ta, skip, true, err);
+          emit_test(*t.tb, target, false, err);
+          bind(skip);
+        }
+        return;
+      case Test::Kind::kStrCmp:
+        emit_str(*t.sl);
+        emit_str(*t.sr);
+        emit_to(Op::kCmpStr, target, cmp_flag(t.op, want));
+        return;
+      case Test::Kind::kNumCmp:
+        emit_num(*t.nl);
+        emit_num(*t.nr);
+        emit_to(Op::kCmpNum, target, cmp_flag(t.op, want));
+        return;
+      case Test::Kind::kRegex:
+        if (auto pattern = fold_str(*t.sr)) {
+          emit_str(*t.sl);
+          emit_to(Op::kRegexConst, target, want ? 0x8 : 0,
+                  regex_idx(*pattern));
+        } else {
+          emit_str(*t.sl);
+          emit_str(*t.sr);
+          emit_to(Op::kRegexDyn, target, want ? 0x8 : 0);
+        }
+        return;
+      case Test::Kind::kTrue:
+      case Test::Kind::kFalse:
+        return;  // handled by folding
+    }
+  }
+
+  void emit_program(const Program& p, std::uint32_t end) {
+    for (const auto& clause : p.clauses) {
+      if (clause_dropped(clause)) continue;
+      std::uint32_t next = new_label();
+      emit_to(Op::kClause, next);
+      if (fold_test(*clause.test) != TestState::kTrue) {
+        emit_test(*clause.test, next, false, next);
+      }
+      switch (clause.outcome) {
+        case Clause::Outcome::kDefault:
+          emit_to(Op::kContribMax, end);
+          break;
+        case Clause::Outcome::kValue:
+          emit_to(Op::kContribVal, end, 0, str_idx(clause.value));
+          break;
+        case Clause::Outcome::kProgram:
+          if (fold_program_sub(*clause.program) == ProgramConst::kMax) {
+            emit_to(Op::kContribMax, end);
+          } else {
+            emit(Op::kBeginSub);
+            std::uint32_t sub_end = new_label();
+            emit_program(*clause.program, sub_end);
+            bind(sub_end);
+            emit_to(Op::kEndSub, end);
+          }
+          break;
+      }
+      bind(next);
+    }
+  }
+
+  const std::map<std::string, std::string>& constants_;
+  AttrTable& attrs_;
+  CompiledConditions out_;
+  std::vector<std::uint32_t> labels_;
+  std::vector<std::pair<std::size_t, std::uint32_t>> patches_;
+  std::unordered_map<std::string, std::uint32_t> str_ids_;
+  std::unordered_map<double, std::uint32_t> num_ids_;
+  std::unordered_map<std::string, std::uint32_t> regex_ids_;
+};
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kPushStr: return "push_str";
+    case Op::kLoadAttr: return "load_attr";
+    case Op::kLoadDyn: return "load_dyn";
+    case Op::kConcat: return "concat";
+    case Op::kPushNum: return "push_num";
+    case Op::kStrToInt: return "str_to_int";
+    case Op::kStrToFloat: return "str_to_float";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kMod: return "mod";
+    case Op::kPow: return "pow";
+    case Op::kNeg: return "neg";
+    case Op::kCmpStr: return "cmp_str";
+    case Op::kCmpNum: return "cmp_num";
+    case Op::kRegexConst: return "regex";
+    case Op::kRegexDyn: return "regex_dyn";
+    case Op::kJump: return "jump";
+    case Op::kClause: return "clause";
+    case Op::kContribMax: return "contrib_max";
+    case Op::kContribVal: return "contrib_val";
+    case Op::kBeginSub: return "begin_sub";
+    case Op::kEndSub: return "end_sub";
+    case Op::kRet: return "ret";
+  }
+  return "?";
+}
+
+const char* cmp_name(std::uint8_t flag) {
+  switch (static_cast<CmpOp>(flag & 0x7)) {
+    case CmpOp::kEq: return "==";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+}  // namespace
+
+CompiledConditions compile_conditions(
+    const Program& program,
+    const std::map<std::string, std::string>& constants, AttrTable& attrs) {
+  return Compiler(constants, attrs).run(program);
+}
+
+std::string disassemble(const CompiledConditions& prog,
+                        const AttrTable& attrs) {
+  std::string out;
+  switch (prog.constant) {
+    case ProgramConst::kMin:
+      return "  <constant: _MIN_TRUST>\n";
+    case ProgramConst::kMax:
+      return "  <constant: _MAX_TRUST>\n";
+    case ProgramConst::kNo:
+      break;
+  }
+  for (std::size_t pc = 0; pc < prog.code.size(); ++pc) {
+    const Instr& in = prog.code[pc];
+    out += "  " + std::to_string(pc) + ": ";
+    out += op_name(in.op);
+    switch (in.op) {
+      case Op::kPushStr:
+        out += " \"" + prog.str_pool[in.a] + "\"";
+        break;
+      case Op::kLoadAttr:
+        out += " " + attrs.name(in.a) + " (slot " + std::to_string(in.a) + ")";
+        break;
+      case Op::kPushNum:
+        out += " " + std::to_string(prog.num_pool[in.a]);
+        break;
+      case Op::kCmpStr:
+      case Op::kCmpNum:
+        out += std::string(" ") + cmp_name(in.flag) +
+               ((in.flag & 0x8) ? " jump_if_true " : " jump_if_false ") +
+               std::to_string(in.a);
+        break;
+      case Op::kRegexConst:
+        out += " /" + prog.regex_texts[in.b] + "/" +
+               ((in.flag & 0x8) ? " jump_if_true " : " jump_if_false ") +
+               std::to_string(in.a);
+        break;
+      case Op::kRegexDyn:
+        out += (in.flag & 0x8) ? " jump_if_true " : " jump_if_false ";
+        out += std::to_string(in.a);
+        break;
+      case Op::kJump:
+      case Op::kClause:
+      case Op::kContribMax:
+      case Op::kEndSub:
+        out += " -> " + std::to_string(in.a);
+        break;
+      case Op::kContribVal:
+        out += " \"" + prog.str_pool[in.b] + "\" -> " + std::to_string(in.a);
+        break;
+      default:
+        break;
+    }
+    out += "\n";
+  }
+  if (!prog.guards.empty()) {
+    out += "  guards:";
+    for (const auto& [slot, vals] : prog.guards) {
+      out += " " + attrs.name(slot) + "={";
+      for (std::size_t i = 0; i < vals.size(); ++i) {
+        if (i != 0) out += ",";
+        out += "\"" + vals[i] + "\"";
+      }
+      out += "}";
+    }
+    out += "\n";
+  }
+  if (prog.needs_dyn) out += "  needs dynamic attribute lookup\n";
+  return out;
+}
+
+}  // namespace mwsec::keynote

@@ -1,0 +1,149 @@
+// Bytecode compilation of Conditions programs (the admission-time half of
+// the compiled query engine; vm.hpp is the query-time half).
+//
+// The tree-walking interpreter in eval.cpp re-resolves every attribute
+// name through a std::function chain and re-discovers constants, regex
+// patterns and clause structure on every evaluation. This compiler lowers
+// a parsed Conditions `Program` once, at admission, into a flat
+// instruction vector:
+//
+//   * attribute references become dense slots in a store-wide `AttrTable`
+//     (the VM reads a pre-resolved string_view vector — zero per-access
+//     string hashing);
+//   * the assertion's Local-Constants are folded in, which in turn enables
+//     constant folding of tests, numeric subtrees and regex patterns
+//     (a constant pattern is compiled to a std::regex once, here);
+//   * boolean structure becomes short-circuit conditional jumps — the VM
+//     has no boolean stack and no recursion;
+//   * clause outcomes become accumulator ops with early exit once the
+//     accumulator reaches _MAX_TRUST, mirroring eval_program's `break`.
+//
+// Folding also classifies some programs as constant (`ProgramConst`): an
+// empty Conditions field is _MAX_TRUST by RFC 2704, a program whose every
+// clause folds away can never grant anything, and a clause that is
+// unconditionally true with a default outcome makes the whole program
+// _MAX_TRUST. Constant programs are never executed at query time.
+//
+// Finally the compiler extracts a *guard*: action attributes that every
+// satisfiable clause pins to a literal via `attr == "lit"`. A program
+// guarded on (attr, {lits}) can only evaluate above _MIN_TRUST when the
+// action environment's `attr` is one of the lits — the inverted assertion
+// index in compiled_store.cpp is built from exactly this fact.
+//
+// Error semantics are preserved bit-for-bit with eval.cpp: any runtime
+// error (non-numeric dereference, division by zero, malformed dynamic
+// regex) aborts the *enclosing clause's* test, which then contributes
+// nothing. Every clause therefore begins with kClause, which points the
+// VM's error target at the next clause.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <regex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "keynote/ast.hpp"
+
+namespace mwsec::keynote {
+
+/// Dense interning of action-attribute names, shared by every compiled
+/// program of one store snapshot. Slot i's query-time value is resolved
+/// once per query (reserved attribute or environment lookup).
+class AttrTable {
+ public:
+  std::uint32_t intern(std::string_view name);
+  std::optional<std::uint32_t> find(std::string_view name) const;
+  std::size_t size() const { return names_.size(); }
+  const std::string& name(std::uint32_t slot) const { return names_[slot]; }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t, Hash, std::equal_to<>> ids_;
+};
+
+/// True for the four attribute names RFC 2704 reserves for the query
+/// engine; they are resolved per query and never fold or act as guards.
+bool is_reserved_attr(std::string_view name);
+
+enum class Op : std::uint8_t {
+  // String stack.
+  kPushStr,     // push str_pool[a]
+  kLoadAttr,    // push the resolved value of attribute slot a
+  kLoadDyn,     // pop name, push dynamic lookup(name)  ($expr)
+  kConcat,      // pop r, pop l, push l.r (owned by VM scratch)
+  // Number stack.
+  kPushNum,     // push num_pool[a]
+  kStrToInt,    // pop string, parse, truncate; error if not numeric
+  kStrToFloat,  // pop string, parse; error if not numeric
+  kAdd, kSub, kMul, kDiv, kMod, kPow,  // pop r, pop l, push l op r
+  kNeg,                                // negate top of number stack
+  // Tests: compare and conditionally jump to a. flag = CmpOp | (want<<3):
+  // jump when the comparison result equals `want`, else fall through.
+  kCmpStr,      // pop r, pop l from the string stack
+  kCmpNum,      // pop r, pop l from the number stack
+  kRegexConst,  // pop subject; search regex_pool[b]; branch like kCmpStr
+  kRegexDyn,    // pop pattern, pop subject; compile + search; bad → error
+  kJump,        // pc = a
+  kClause,      // start of a clause: error target = a (the next clause)
+  // Outcomes (acc = the program/subprogram compliance accumulator).
+  kContribMax,  // acc = _MAX_TRUST; jump a (this level is decided)
+  kContribVal,  // acc = max(acc, index_of(str_pool[b])); unknown name is a
+                // no-op; jump a when acc hit _MAX_TRUST
+  kBeginSub,    // push acc, acc = _MIN_TRUST  ("-> { ... }")
+  kEndSub,      // parent acc = max(parent, sub); jump a at _MAX_TRUST
+  kRet,         // return acc
+};
+
+struct Instr {
+  Op op;
+  std::uint8_t flag = 0;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+/// Compile-time classification of a whole program.
+enum class ProgramConst : std::uint8_t {
+  kNo,   // must be executed
+  kMin,  // provably _MIN_TRUST for every query (never grants)
+  kMax,  // provably _MAX_TRUST for every query (empty Conditions, or an
+         // unconditional default clause)
+};
+
+struct CompiledConditions {
+  std::vector<Instr> code;
+  std::vector<std::string> str_pool;
+  std::vector<double> num_pool;
+  std::vector<std::regex> regex_pool;
+  /// Patterns of regex_pool, kept for disassembly.
+  std::vector<std::string> regex_texts;
+  ProgramConst constant = ProgramConst::kNo;
+  /// Program uses $-indirection with a non-constant name: the VM needs the
+  /// full dynamic lookup chain (local constants included).
+  bool needs_dyn = false;
+  /// Guard: (attribute slot, sorted literal values). Every satisfiable
+  /// clause requires attr == one of the literals, so the program is
+  /// _MIN_TRUST whenever the environment value is outside the set.
+  std::vector<std::pair<std::uint32_t, std::vector<std::string>>> guards;
+};
+
+/// Compile `program` with `constants` (the assertion's Local-Constants)
+/// folded in. Interns attribute slots into `attrs`.
+CompiledConditions compile_conditions(
+    const Program& program,
+    const std::map<std::string, std::string>& constants, AttrTable& attrs);
+
+/// Human-readable listing (one instruction per line) for tooling/tests.
+std::string disassemble(const CompiledConditions& prog,
+                        const AttrTable& attrs);
+
+}  // namespace mwsec::keynote

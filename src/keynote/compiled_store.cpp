@@ -1,18 +1,17 @@
 #include "keynote/compiled_store.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <functional>
+#include <set>
 
 #include "keynote/eval.hpp"
+#include "keynote/vm.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace mwsec::keynote {
 
 namespace {
-
-constexpr std::size_t kUnsetConditions = static_cast<std::size_t>(-1);
 
 /// Registry references resolved once; recording is gated inside each
 /// metric by the global enable flag, so the disabled hot path pays one
@@ -22,11 +21,19 @@ struct EngineMetrics {
   obs::Histogram& query_us;
   obs::Counter& memo_hits;
   obs::Counter& memo_misses;
+  obs::Counter& memo_collisions;
   obs::Counter& fixpoint_steps;
   obs::Counter& snapshot_rebuilds;
   obs::Counter& snapshot_with_builds;
   obs::Counter& admission_verifies;
   obs::Counter& presented_dropped;
+  obs::Counter& programs_compiled;
+  obs::Counter& programs_shared;
+  obs::Gauge& index_assertions;
+  obs::Gauge& index_programs;
+  obs::Gauge& index_guarded;
+  obs::Gauge& index_unguarded;
+  obs::Gauge& index_never;
 
   static EngineMetrics& get() {
     auto& r = obs::Registry::global();
@@ -35,11 +42,19 @@ struct EngineMetrics {
         r.histogram("keynote.query_us"),
         r.counter("keynote.conditions_memo_hits"),
         r.counter("keynote.conditions_memo_misses"),
+        r.counter("keynote.conditions_memo_collisions"),
         r.counter("keynote.fixpoint_steps"),
         r.counter("keynote.snapshot_rebuilds"),
         r.counter("keynote.snapshot_with_builds"),
         r.counter("keynote.admission_verifies"),
         r.counter("keynote.presented_dropped"),
+        r.counter("keynote.programs_compiled"),
+        r.counter("keynote.programs_shared"),
+        r.gauge("keynote.index.assertions"),
+        r.gauge("keynote.index.programs"),
+        r.gauge("keynote.index.guarded"),
+        r.gauge("keynote.index.unguarded"),
+        r.gauge("keynote.index.never"),
     };
     return m;
   }
@@ -65,27 +80,45 @@ void collect_ids(const CompiledLicensee& e, std::vector<std::uint32_t>& out) {
   for (const auto& child : e.children) collect_ids(child, out);
 }
 
+/// Epoch-stamped principal values: a principal whose stamp is not the
+/// current epoch still sits at the fixpoint's bottom (`vmin`), so a new
+/// query resets every principal by bumping the epoch instead of
+/// memsetting an O(principals) vector.
+struct PrincipalValues {
+  std::vector<std::size_t>& val;
+  std::vector<std::uint64_t>& stamp;
+  std::uint64_t epoch;
+  std::size_t vmin;
+
+  std::size_t get(std::uint32_t p) const {
+    return stamp[p] == epoch ? val[p] : vmin;
+  }
+  void set(std::uint32_t p, std::size_t v) {
+    val[p] = v;
+    stamp[p] = epoch;
+  }
+};
+
 /// Licensee evaluation over the interned value vector: || is max, && is
 /// min, K-of is the K-th largest member value, exactly as eval_licensees.
-std::size_t eval_compiled(const CompiledLicensee& e,
-                          const std::vector<std::size_t>& value,
+std::size_t eval_compiled(const CompiledLicensee& e, const PrincipalValues& pv,
                           std::size_t vmin, std::size_t vmax) {
   switch (e.kind) {
     case LicenseeExpr::Kind::kNone:
       return vmin;
     case LicenseeExpr::Kind::kPrincipal:
-      return value[e.principal];
+      return pv.get(e.principal);
     case LicenseeExpr::Kind::kAnd: {
       std::size_t v = vmax;
       for (const auto& child : e.children) {
-        v = std::min(v, eval_compiled(child, value, vmin, vmax));
+        v = std::min(v, eval_compiled(child, pv, vmin, vmax));
       }
       return v;
     }
     case LicenseeExpr::Kind::kOr: {
       std::size_t v = vmin;
       for (const auto& child : e.children) {
-        v = std::max(v, eval_compiled(child, value, vmin, vmax));
+        v = std::max(v, eval_compiled(child, pv, vmin, vmax));
       }
       return v;
     }
@@ -93,7 +126,7 @@ std::size_t eval_compiled(const CompiledLicensee& e,
       std::vector<std::size_t> member_values;
       member_values.reserve(e.children.size());
       for (const auto& child : e.children) {
-        member_values.push_back(eval_compiled(child, value, vmin, vmax));
+        member_values.push_back(eval_compiled(child, pv, vmin, vmax));
       }
       std::sort(member_values.begin(), member_values.end(),
                 std::greater<std::size_t>());
@@ -130,19 +163,33 @@ std::optional<std::uint32_t> PrincipalTable::find(std::string_view name) const {
 // ---------------------------------------------------------------------------
 // ConditionsCache
 
-std::optional<std::size_t> ConditionsCache::get(
-    std::size_t assertion, std::uint64_t fingerprint) const {
+std::optional<std::size_t> ConditionsCache::get(std::size_t program,
+                                                std::uint64_t fingerprint,
+                                                std::uint64_t verifier) const {
   std::scoped_lock lock(mu_);
-  const auto& memo = memo_[assertion];
+  const auto& memo = memo_[program];
   auto it = memo.find(fingerprint);
   if (it == memo.end()) return std::nullopt;
-  return it->second;
+  if (it->second.verifier != verifier) {
+    // Two distinct environments share a fingerprint: detected, counted,
+    // and treated as a miss (the colliding entry is left in place — the
+    // older environment keeps its hit).
+    ++collisions_;
+    EngineMetrics::get().memo_collisions.inc();
+    return std::nullopt;
+  }
+  return it->second.value;
 }
 
-void ConditionsCache::put(std::size_t assertion, std::uint64_t fingerprint,
-                          std::size_t value) {
+void ConditionsCache::put(std::size_t program, std::uint64_t fingerprint,
+                          std::uint64_t verifier, std::size_t value) {
   std::scoped_lock lock(mu_);
-  memo_[assertion].emplace(fingerprint, value);
+  memo_[program].emplace(fingerprint, Entry{verifier, value});
+}
+
+std::uint64_t ConditionsCache::collisions() const {
+  std::scoped_lock lock(mu_);
+  return collisions_;
 }
 
 // ---------------------------------------------------------------------------
@@ -156,26 +203,182 @@ void CompiledIndex::add(const Assertion& assertion) {
                             : principals_.intern(assertion.authorizer());
   compiled.licensees = compile_licensee(assertion.licensees(), principals_);
 
+  // Deduplicate programs: assertions sharing conditions text and local
+  // constants (the fig2 sweep, translated RBAC credentials...) share one
+  // bytecode program, one memo row, one compile.
+  std::string key = assertion.conditions_text();
+  for (const auto& [name, val] : assertion.local_constants()) {
+    key += '\x01';
+    key += name;
+    key += '\x02';
+    key += val;
+  }
+  auto it = program_keys_.find(key);
+  if (it != program_keys_.end()) {
+    compiled.program = it->second;
+    EngineMetrics::get().programs_shared.inc();
+  } else {
+    compiled.program = static_cast<std::uint32_t>(programs_.size());
+    ProgramEntry entry;
+    entry.compiled = compile_conditions(assertion.conditions(),
+                                        assertion.local_constants(), attrs_);
+    entry.rep = &assertion;
+    programs_.push_back(std::move(entry));
+    program_keys_.emplace(std::move(key), compiled.program);
+    EngineMetrics::get().programs_compiled.inc();
+  }
+
   auto index = static_cast<std::uint32_t>(assertions_.size());
   std::vector<std::uint32_t> deps;
   collect_ids(compiled.licensees, deps);
   std::sort(deps.begin(), deps.end());
   deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
 
-  if (by_authorizer_.size() < principals_.size()) {
-    by_authorizer_.resize(principals_.size());
+  if (dependents_.size() < principals_.size()) {
     dependents_.resize(principals_.size());
   }
-  by_authorizer_[compiled.authorizer].push_back(index);
   for (std::uint32_t p : deps) dependents_[p].push_back(index);
   assertions_.push_back(std::move(compiled));
+  finalized_ = false;
 }
 
-std::size_t CompiledIndex::conditions_value(std::size_t assertion,
-                                            const QueryContext& context) const {
-  const Assertion& source = *assertions_[assertion].source;
-  return eval_conditions(source.conditions(), context.query().values,
-                         context.lookup(source));
+void CompiledIndex::finalize() {
+  guards_.clear();
+  unguarded_.clear();
+  never_count_ = 0;
+
+  // One posting-list group per guard attribute an assertion actually
+  // keys on; pick each assertion's most selective guard attribute, where
+  // selectivity is approximated store-wide by the number of distinct
+  // literals seen for the attribute (a per-principal attribute like
+  // `user` beats a constant one like `app_domain`).
+  std::vector<std::size_t> distinct(attrs_.size(), 0);
+  {
+    std::vector<std::set<std::string_view>> lits(attrs_.size());
+    for (const auto& entry : programs_) {
+      for (const auto& [slot, vals] : entry.compiled.guards) {
+        for (const auto& v : vals) lits[slot].insert(v);
+      }
+    }
+    for (std::size_t s = 0; s < lits.size(); ++s) distinct[s] = lits[s].size();
+  }
+
+  std::vector<std::uint32_t> slot_to_group(attrs_.size(), 0xffffffffu);
+  for (std::uint32_t i = 0; i < assertions_.size(); ++i) {
+    const CompiledConditions& prog = programs_[assertions_[i].program].compiled;
+    if (prog.constant == ProgramConst::kMin) {
+      ++never_count_;  // can never grant: drop from every candidate set
+      continue;
+    }
+    const std::vector<std::string>* best_vals = nullptr;
+    std::uint32_t best_slot = 0;
+    std::size_t best_distinct = 0;
+    for (const auto& [slot, vals] : prog.guards) {
+      if (best_vals == nullptr || distinct[slot] > best_distinct) {
+        best_vals = &vals;
+        best_slot = slot;
+        best_distinct = distinct[slot];
+      }
+    }
+    if (best_vals == nullptr) {
+      unguarded_.push_back(i);
+      continue;
+    }
+    std::uint32_t group = slot_to_group[best_slot];
+    if (group == 0xffffffffu) {
+      group = static_cast<std::uint32_t>(guards_.size());
+      slot_to_group[best_slot] = group;
+      guards_.emplace_back();
+      guards_.back().slot = best_slot;
+    }
+    for (const auto& v : *best_vals) guards_[group].by_value[v].push_back(i);
+  }
+  all_candidates_ = guards_.empty() && never_count_ == 0;
+  finalized_ = true;
+
+  auto& m = EngineMetrics::get();
+  m.index_assertions.set(static_cast<std::int64_t>(assertions_.size()));
+  m.index_programs.set(static_cast<std::int64_t>(programs_.size()));
+  m.index_unguarded.set(static_cast<std::int64_t>(unguarded_.size()));
+  m.index_never.set(static_cast<std::int64_t>(never_count_));
+  m.index_guarded.set(static_cast<std::int64_t>(
+      assertions_.size() - unguarded_.size() - never_count_));
+}
+
+void CompiledIndex::resolve_attrs(
+    const QueryContext& context,
+    std::vector<std::string_view>& attr_values) const {
+  attr_values.resize(attrs_.size());
+  for (std::uint32_t s = 0; s < attr_values.size(); ++s) {
+    attr_values[s] = context.reserved_or_env(attrs_.name(s));
+  }
+}
+
+void CompiledIndex::candidate_mask(
+    const std::vector<std::string_view>& attr_values,
+    std::vector<char>& mask) const {
+  if (all_candidates_) {
+    mask.clear();  // empty mask = everything is a candidate
+    return;
+  }
+  mask.assign(assertions_.size(), 0);
+  for (std::uint32_t i : unguarded_) mask[i] = 1;
+  for (const auto& g : guards_) {
+    auto it = g.by_value.find(attr_values[g.slot]);
+    if (it == g.by_value.end()) continue;
+    for (std::uint32_t i : it->second) mask[i] = 1;
+  }
+}
+
+bool CompiledIndex::candidate_mask(
+    const std::vector<std::string_view>& attr_values,
+    std::vector<std::uint64_t>& stamp, std::uint64_t epoch) const {
+  if (all_candidates_) return false;
+  // resize (not assign): stale stamps never equal a fresh epoch, so only
+  // the candidates written below cost anything — O(candidates), not
+  // O(store), per query.
+  if (stamp.size() != assertions_.size()) stamp.assign(assertions_.size(), 0);
+  for (std::uint32_t i : unguarded_) stamp[i] = epoch;
+  for (const auto& g : guards_) {
+    auto it = g.by_value.find(attr_values[g.slot]);
+    if (it == g.by_value.end()) continue;
+    for (std::uint32_t i : it->second) stamp[i] = epoch;
+  }
+  return true;
+}
+
+std::size_t CompiledIndex::candidate_count(const QueryContext& context) const {
+  std::vector<std::string_view> attr_values;
+  resolve_attrs(context, attr_values);
+  std::vector<char> mask;
+  candidate_mask(attr_values, mask);
+  if (mask.empty()) return assertions_.size();
+  return static_cast<std::size_t>(
+      std::count(mask.begin(), mask.end(), char(1)));
+}
+
+CompiledIndex::Stats CompiledIndex::stats() const {
+  Stats s;
+  s.assertions = assertions_.size();
+  s.programs = programs_.size();
+  s.unguarded = unguarded_.size();
+  s.never = never_count_;
+  s.guarded = s.assertions - s.unguarded - s.never;
+  s.guard_attrs = guards_.size();
+  s.attr_slots = attrs_.size();
+  return s;
+}
+
+std::string CompiledIndex::describe() const {
+  std::string out;
+  for (std::size_t i = 0; i < assertions_.size(); ++i) {
+    const auto& a = assertions_[i];
+    out += "assertion " + std::to_string(i) + " (authorizer " +
+           principals_.name(a.authorizer) + ", program " +
+           std::to_string(a.program) + ")\n";
+    out += disassemble(programs_[a.program].compiled, attrs_);
+  }
+  return out;
 }
 
 std::size_t CompiledIndex::policy_value(const QueryContext& context,
@@ -185,25 +388,54 @@ std::size_t CompiledIndex::policy_value(const QueryContext& context,
   const std::size_t vmax = q.values.max_index();
   const std::size_t n_principals = principals_.size();
 
-  std::vector<std::size_t> value(n_principals, vmin);
-  std::vector<char> is_requester(n_principals, 0);
+  // Per-query working state, thread-local so repeated queries on one
+  // thread reuse capacity: a warm query performs no heap allocation at
+  // all (the deque the worklist once used was a malloc per query, which
+  // dominated single-assertion stores). Every per-principal, per-program
+  // and per-assertion array is epoch-stamped rather than memset, so the
+  // per-query reset is O(1) and the query itself touches only the
+  // requester's reachable subgraph — no O(store) term survives.
+  struct QueryScratch {
+    std::uint64_t epoch = 0;
+    std::vector<std::size_t> value;            // principal -> value
+    std::vector<std::uint64_t> value_stamp;    //   valid iff == epoch
+    std::vector<std::uint32_t> requester_ids;
+    std::vector<std::string_view> attr_values;
+    std::vector<std::size_t> conditions;       // program -> value
+    std::vector<std::uint64_t> cond_stamp;     //   valid iff == epoch
+    VmScratch vm;
+    std::vector<std::uint64_t> mask_stamp;     // assertion candidate iff == epoch
+    std::vector<std::uint32_t> work;
+    std::vector<std::uint64_t> queued_stamp;   // assertion queued iff == epoch
+  };
+  static thread_local QueryScratch qs;
+  const std::uint64_t epoch = ++qs.epoch;
+
+  if (qs.value.size() < n_principals) {
+    qs.value.resize(n_principals);
+    qs.value_stamp.resize(n_principals, 0);
+  }
+  PrincipalValues pv{qs.value, qs.value_stamp, epoch, vmin};
+  std::vector<std::uint32_t>& requester_ids = qs.requester_ids;
+  requester_ids.clear();
   for (const auto& r : q.action_authorizers) {
     if (auto id = principals_.find(r)) {
-      value[*id] = vmax;
-      is_requester[*id] = 1;
+      if (pv.stamp[*id] != epoch) requester_ids.push_back(*id);
+      pv.set(*id, vmax);
     }
   }
   // POLICY requesting from itself is trivially maximal (the reference
-  // engine's requester set short-circuits the same way).
-  if (is_requester[kPolicyId]) return vmax;
-  // No assertions: nothing can raise POLICY (and by_authorizer_ /
-  // dependents_ were never sized).
+  // engine's requester set short-circuits the same way). Only requesters
+  // have been stamped so far, so a stamped POLICY means requester.
+  if (pv.stamp[kPolicyId] == epoch) return vmax;
+  // No assertions: nothing can raise POLICY (and dependents_ was never
+  // sized).
   if (assertions_.empty()) return vmin;
 
-  // Per-query lazy conditions values, backed by the cross-query cache.
-  // Counts are tallied in locals and flushed once on exit so the inner
-  // loops pay no enabled-flag branches (a disabled inc() per worklist pop
-  // is measurable at small store sizes).
+  // Per-query lazy conditions values (per deduplicated program), backed
+  // by the cross-query cache. Counts are tallied in locals and flushed
+  // once on exit so the inner loops pay no enabled-flag branches (a
+  // disabled inc() per worklist pop is measurable at small store sizes).
   struct Tally {
     std::uint64_t memo_hits = 0, memo_misses = 0, fixpoint_steps = 0;
     ~Tally() {
@@ -213,66 +445,100 @@ std::size_t CompiledIndex::policy_value(const QueryContext& context,
       if (fixpoint_steps != 0) m.fixpoint_steps.inc(fixpoint_steps);
     }
   } tally;
-  std::vector<std::size_t> conditions(assertions_.size(), kUnsetConditions);
+
+  std::vector<std::string_view>& attr_values = qs.attr_values;
+  resolve_attrs(context, attr_values);
+
+  std::vector<std::size_t>& conditions = qs.conditions;
+  std::vector<std::uint64_t>& cond_stamp = qs.cond_stamp;
+  if (conditions.size() < programs_.size()) {
+    conditions.resize(programs_.size());
+    cond_stamp.resize(programs_.size(), 0);
+  }
   const std::uint64_t fp = context.fingerprint();
-  auto conditions_of = [&](std::size_t i) -> std::size_t {
-    if (conditions[i] != kUnsetConditions) return conditions[i];
+  const std::uint64_t verifier = context.verifier();
+  VmScratch& scratch = qs.vm;
+  auto remember = [&](std::uint32_t program, std::size_t v) {
+    conditions[program] = v;
+    cond_stamp[program] = epoch;
+    return v;
+  };
+  auto conditions_of = [&](std::uint32_t program) -> std::size_t {
+    if (cond_stamp[program] == epoch) return conditions[program];
+    const ProgramEntry& entry = programs_[program];
+    if (entry.compiled.constant == ProgramConst::kMax) {
+      return remember(program, vmax);
+    }
+    if (entry.compiled.constant == ProgramConst::kMin) {
+      return remember(program, vmin);
+    }
     if (cache != nullptr) {
-      if (auto hit = cache->get(i, fp)) {
+      if (auto hit = cache->get(program, fp, verifier)) {
         ++tally.memo_hits;
-        return conditions[i] = *hit;
+        return remember(program, *hit);
       }
     }
     ++tally.memo_misses;
-    std::size_t v = conditions_value(i, context);
-    if (cache != nullptr) cache->put(i, fp, v);
-    return conditions[i] = v;
+    std::size_t v;
+    if (entry.compiled.needs_dyn) {
+      AttrLookup dyn = context.lookup(*entry.rep);
+      v = run_conditions(entry.compiled, q.values, attr_values, &dyn, scratch);
+    } else {
+      v = run_conditions(entry.compiled, q.values, attr_values, nullptr,
+                         scratch);
+    }
+    if (cache != nullptr) cache->put(program, fp, verifier, v);
+    return remember(program, v);
   };
 
-  // Worklist fixpoint (chaotic iteration): recompute a principal's value
-  // as the max over its assertions of min(licensees, conditions); when it
-  // rises, requeue only the authorizers of assertions that mention it.
-  // Monotone, so this reaches the same least fixpoint as the reference
-  // engine's full Kleene sweeps.
-  std::deque<std::uint32_t> work;
-  std::vector<char> queued(n_principals, 0);
-  for (std::uint32_t p = 0; p < n_principals; ++p) {
-    if (!by_authorizer_[p].empty() && !is_requester[p]) {
-      work.push_back(p);
-      queued[p] = 1;
+  // Assertion-driven worklist fixpoint (chaotic iteration), seeded from
+  // the assertions that mention a requester and survive the candidate
+  // filter: with every non-requester at _MIN_TRUST an assertion's
+  // licensee value can only exceed _MIN_TRUST once some mentioned
+  // principal's value has risen, so processing exactly the assertions
+  // whose mentioned principals moved reaches the same least fixpoint as
+  // the reference engine's full Kleene sweeps — touching only the
+  // requester's reachable delegation subgraph instead of the whole store.
+  std::vector<std::uint64_t>& mask = qs.mask_stamp;
+  const bool use_mask = candidate_mask(attr_values, mask, epoch);
+
+  // LIFO worklist: chaotic iteration reaches the same least fixpoint in
+  // any processing order, and a vector-backed stack reuses its buffer.
+  std::vector<std::uint32_t>& work = qs.work;
+  work.clear();
+  std::vector<std::uint64_t>& queued = qs.queued_stamp;
+  if (queued.size() < assertions_.size()) queued.resize(assertions_.size(), 0);
+  auto enqueue_dependents = [&](std::uint32_t p) {
+    if (p >= dependents_.size()) return;
+    for (std::uint32_t i : dependents_[p]) {
+      if (queued[i] == epoch) continue;
+      if (use_mask && mask[i] != epoch) continue;
+      queued[i] = epoch;
+      work.push_back(i);
     }
-  }
+  };
+  for (std::uint32_t r : requester_ids) enqueue_dependents(r);
 
   while (!work.empty()) {
-    std::uint32_t p = work.front();
-    work.pop_front();
-    queued[p] = 0;
+    std::uint32_t i = work.back();
+    work.pop_back();
+    queued[i] = 0;  // 0 never equals a live epoch: eligible to re-queue
     ++tally.fixpoint_steps;
 
-    std::size_t best = value[p];
-    for (std::uint32_t i : by_authorizer_[p]) {
-      std::size_t lic =
-          eval_compiled(assertions_[i].licensees, value, vmin, vmax);
-      // min(lic, conditions) cannot beat `best` unless lic does; in
-      // particular an assertion whose licensees are at _MIN_TRUST never
-      // needs its conditions evaluated.
-      if (lic <= best) continue;
-      best = std::max(best, std::min(lic, conditions_of(i)));
-      if (best == vmax) break;
-    }
-    if (best > value[p]) {
-      value[p] = best;
-      if (p == kPolicyId && best == vmax) return vmax;
-      for (std::uint32_t i : dependents_[p]) {
-        std::uint32_t authorizer = assertions_[i].authorizer;
-        if (!is_requester[authorizer] && !queued[authorizer]) {
-          queued[authorizer] = 1;
-          work.push_back(authorizer);
-        }
-      }
+    const CompiledAssertion& a = assertions_[i];
+    std::size_t lic = eval_compiled(a.licensees, pv, vmin, vmax);
+    // min(lic, conditions) cannot raise the authorizer unless lic does;
+    // in particular an assertion whose licensees are at the authorizer's
+    // current value never needs its conditions evaluated.
+    if (lic <= pv.get(a.authorizer)) continue;
+    std::size_t v = std::min(lic, conditions_of(a.program));
+    if (v > pv.get(a.authorizer)) {
+      pv.set(a.authorizer, v);
+      if (a.authorizer == kPolicyId && v == vmax) return vmax;
+      enqueue_dependents(a.authorizer);
     }
   }
-  return value[kPolicyId];
+  return pv.get(kPolicyId);
 }
 
 // ---------------------------------------------------------------------------
@@ -430,8 +696,9 @@ CompiledStore::base_snapshot_locked() const {
     snap->assertions_.insert(snap->assertions_.end(), credentials_.begin(),
                              credentials_.end());
     for (const auto& a : snap->assertions_) snap->index_.add(a);
+    snap->index_.finalize();
     snap->cond_cache_ =
-        std::make_unique<ConditionsCache>(snap->assertions_.size());
+        std::make_unique<ConditionsCache>(snap->index_.program_count());
     cached_ = std::move(snap);
     cached_version_ = version_;
   }
@@ -482,13 +749,24 @@ std::shared_ptr<const CompiledStore::Snapshot> CompiledStore::snapshot_with(
     snap->assertions_.push_back(a);
   }
   for (const auto& a : snap->assertions_) snap->index_.add(a);
+  snap->index_.finalize();
   snap->cond_cache_ =
-      std::make_unique<ConditionsCache>(snap->assertions_.size());
+      std::make_unique<ConditionsCache>(snap->index_.program_count());
   return snap;
 }
 
 mwsec::Result<QueryResult> CompiledStore::Snapshot::query(
     const Query& q) const {
+  return query_impl(q, cond_cache_.get());
+}
+
+mwsec::Result<QueryResult> CompiledStore::Snapshot::query_uncached(
+    const Query& q) const {
+  return query_impl(q, nullptr);
+}
+
+mwsec::Result<QueryResult> CompiledStore::Snapshot::query_impl(
+    const Query& q, ConditionsCache* cache) const {
   auto& metrics = EngineMetrics::get();
   metrics.queries.inc();
   obs::ScopedTimer timer(metrics.query_us);
@@ -500,7 +778,7 @@ mwsec::Result<QueryResult> CompiledStore::Snapshot::query(
   }
   QueryContext context(q);
   QueryResult result;
-  result.value_index = index_.policy_value(context, cond_cache_.get());
+  result.value_index = index_.policy_value(context, cache);
   result.value_name = q.values.name(result.value_index);
   result.dropped_credentials = dropped_;
   if (span.active()) {

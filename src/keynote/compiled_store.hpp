@@ -12,18 +12,29 @@
 //   per credential-set change  — principal names are interned to dense ids,
 //     Licensees expressions are compiled over those ids, and a reverse
 //     dependency index (principal -> assertions mentioning it) is built
-//     (`CompiledIndex`). Credential signatures are verified exactly once,
-//     at admission (`CompiledStore::add_credential`).
-//   per action environment     — each assertion's Conditions value is
+//     (`CompiledIndex`). Conditions programs are lowered to bytecode
+//     (bytecode.hpp/vm.hpp) and deduplicated — assertions sharing one
+//     conditions text + local constants share one program. `finalize()`
+//     then builds the *inverted assertion index*: each program's guard
+//     (action attributes every satisfiable clause pins to literals, e.g.
+//     app_domain == "SalariesDB") becomes a posting list
+//     (attribute, literal) -> candidate assertion ids. Credential
+//     signatures are verified exactly once, at admission
+//     (`CompiledStore::add_credential`).
+//   per action environment     — each *program's* Conditions value is
 //     memoized keyed by a fingerprint of the action environment
 //     (`ConditionsCache`), so repeated queries that differ only in e.g.
 //     (Domain, Role) pay conditions evaluation once per distinct
-//     environment.
-//   per query                  — a worklist fixpoint over
-//     `std::vector<std::size_t>` principal values that only revisits
-//     assertions whose licensees changed value, evaluates Conditions
-//     lazily (an assertion whose licensee value is _MIN_TRUST never needs
-//     its conditions), and exits early once POLICY reaches _MAX_TRUST.
+//     environment per distinct program. Entries carry a second,
+//     independent verifier hash so a fingerprint collision is detected
+//     instead of silently returning the wrong compliance value.
+//   per query                  — an assertion-driven worklist fixpoint:
+//     seeded from the assertions that mention a requester *and* survive
+//     the candidate filter (posting-list lookup under the query's
+//     attribute values), it traverses only the reachable delegation
+//     subgraph, evaluates Conditions lazily, and exits early once POLICY
+//     reaches _MAX_TRUST. Cold-query cost therefore scales with the
+//     requester's delegation neighbourhood, not with store size.
 //
 // `CompiledStore` packages this behind the same mutator/query surface as
 // `CredentialStore`; queries run against an immutable `Snapshot` that is
@@ -40,6 +51,7 @@
 #include <vector>
 
 #include "keynote/assertion.hpp"
+#include "keynote/bytecode.hpp"
 #include "keynote/query.hpp"
 
 namespace mwsec::keynote {
@@ -81,24 +93,39 @@ struct CompiledAssertion {
   /// which must outlive the index.
   const Assertion* source = nullptr;
   std::uint32_t authorizer = 0;
+  /// Index into the deduplicated program table.
+  std::uint32_t program = 0;
   CompiledLicensee licensees;
 };
 
-/// Cross-query memo of per-assertion Conditions values, keyed by the query
-/// environment fingerprint. Thread-safe; owned by a `Snapshot` so it is
-/// discarded whenever the assertion set (and thus assertion indices) change.
+/// Cross-query memo of per-*program* Conditions values, keyed by the query
+/// environment fingerprint. Each entry also stores the context's verifier
+/// hash: a lookup whose fingerprint matches but whose verifier does not is
+/// a detected collision and reported as a miss, never a wrong value.
+/// Thread-safe; owned by a `Snapshot` so it is discarded whenever the
+/// assertion set (and thus program ids) change.
 class ConditionsCache {
  public:
-  explicit ConditionsCache(std::size_t assertion_count)
-      : memo_(assertion_count) {}
+  explicit ConditionsCache(std::size_t program_count)
+      : memo_(program_count) {}
 
-  std::optional<std::size_t> get(std::size_t assertion,
-                                 std::uint64_t fingerprint) const;
-  void put(std::size_t assertion, std::uint64_t fingerprint, std::size_t value);
+  std::optional<std::size_t> get(std::size_t program,
+                                 std::uint64_t fingerprint,
+                                 std::uint64_t verifier) const;
+  void put(std::size_t program, std::uint64_t fingerprint,
+           std::uint64_t verifier, std::size_t value);
+
+  /// Detected fingerprint collisions since construction.
+  std::uint64_t collisions() const;
 
  private:
+  struct Entry {
+    std::uint64_t verifier;
+    std::size_t value;
+  };
   mutable std::mutex mu_;
-  std::vector<std::unordered_map<std::uint64_t, std::size_t>> memo_;
+  std::vector<std::unordered_map<std::uint64_t, Entry>> memo_;
+  mutable std::uint64_t collisions_ = 0;
 };
 
 /// The compiled, immutable form of one admitted assertion set.
@@ -114,6 +141,10 @@ class CompiledIndex {
     assertions_.reserve(assertion_count);
   }
 
+  /// Build the inverted assertion index (guard posting lists). Must be
+  /// called after the last `add()` and before the first `policy_value()`.
+  void finalize();
+
   /// Compliance value of POLICY for `query`: the worklist fixpoint.
   /// `cache`, when non-null, memoizes Conditions values across queries
   /// under `context.fingerprint()`.
@@ -121,17 +152,80 @@ class CompiledIndex {
                            ConditionsCache* cache) const;
 
   std::size_t assertion_count() const { return assertions_.size(); }
+  /// Deduplicated bytecode programs (ConditionsCache is sized by this).
+  std::size_t program_count() const { return programs_.size(); }
+
+  struct Stats {
+    std::size_t assertions = 0;
+    std::size_t programs = 0;   // after dedup
+    std::size_t guarded = 0;    // assertions reachable only via posting lists
+    std::size_t unguarded = 0;  // assertions that are always candidates
+    std::size_t never = 0;      // constant-_MIN_TRUST programs, never run
+    std::size_t guard_attrs = 0;
+    std::size_t attr_slots = 0;
+  };
+  Stats stats() const;
+
+  /// Number of assertions the candidate filter admits for this query
+  /// (assertion_count() when the store is entirely unguarded). Exposed for
+  /// index-correctness tests and the revocation-storm bench.
+  std::size_t candidate_count(const QueryContext& context) const;
+
+  /// Bytecode listing of every assertion's program (tooling).
+  std::string describe() const;
 
  private:
-  std::size_t conditions_value(std::size_t assertion,
-                               const QueryContext& context) const;
+  struct ProgramEntry {
+    CompiledConditions compiled;
+    /// Representative assertion: supplies the dynamic lookup chain when
+    /// the program needs one (identical local constants by construction).
+    const Assertion* rep = nullptr;
+  };
+
+  /// Candidate filter under one query. `mask` is empty when every
+  /// assertion is a candidate.
+  void candidate_mask(const std::vector<std::string_view>& attr_values,
+                      std::vector<char>& mask) const;
+
+  /// Epoch-stamped candidate filter: `stamp[i] == epoch` marks assertion
+  /// i a candidate, stale stamps from earlier queries are never reset
+  /// (incrementing the epoch invalidates them in O(1)). Returns false
+  /// when every assertion is a candidate and no stamps were written.
+  bool candidate_mask(const std::vector<std::string_view>& attr_values,
+                      std::vector<std::uint64_t>& stamp,
+                      std::uint64_t epoch) const;
+
+  void resolve_attrs(const QueryContext& context,
+                     std::vector<std::string_view>& attr_values) const;
 
   PrincipalTable principals_;
+  AttrTable attrs_;
   std::vector<CompiledAssertion> assertions_;
-  /// principal id -> assertions it authored.
-  std::vector<std::vector<std::uint32_t>> by_authorizer_;
+  std::vector<ProgramEntry> programs_;
+  /// conditions_text + local constants -> program id (admission dedup).
+  std::unordered_map<std::string, std::uint32_t> program_keys_;
   /// principal id -> assertions whose Licensees mention it (deduplicated).
   std::vector<std::vector<std::uint32_t>> dependents_;
+
+  // finalize() products — the inverted assertion index.
+  struct AttrHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct GuardPostings {
+    std::uint32_t slot = 0;  // attribute slot the assertions are keyed by
+    std::unordered_map<std::string, std::vector<std::uint32_t>, AttrHash,
+                       std::equal_to<>>
+        by_value;
+  };
+  bool finalized_ = false;
+  std::vector<GuardPostings> guards_;
+  std::vector<std::uint32_t> unguarded_;
+  std::size_t never_count_ = 0;
+  /// No guards and no never-programs: skip building the mask entirely.
+  bool all_candidates_ = true;
 };
 
 /// Drop-in replacement for `CredentialStore` with compiled queries.
@@ -190,8 +284,25 @@ class CompiledStore {
    public:
     mwsec::Result<QueryResult> query(const Query& q) const;
 
+    /// As query(), but bypassing the cross-query Conditions memo: every
+    /// Conditions program the fixpoint touches is evaluated cold. This is
+    /// the revocation-storm path (version bump -> fresh Snapshot -> cold
+    /// memo), made callable on a warm snapshot so it can be benchmarked
+    /// in isolation.
+    mwsec::Result<QueryResult> query_uncached(const Query& q) const;
+
+    /// The compiled index (stats and candidate sets for tests/tools).
+    const CompiledIndex& index() const { return index_; }
+
+    /// Detected Conditions-memo fingerprint collisions.
+    std::uint64_t memo_collisions() const {
+      return cond_cache_->collisions();
+    }
+
    private:
     friend class CompiledStore;
+    mwsec::Result<QueryResult> query_impl(const Query& q,
+                                          ConditionsCache* cache) const;
     std::vector<Assertion> assertions_;  // owned; index points into this
     CompiledIndex index_;
     std::unique_ptr<ConditionsCache> cond_cache_;

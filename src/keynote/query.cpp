@@ -25,6 +25,18 @@ std::uint64_t fnv1a(std::uint64_t h, std::string_view s) {
   return h;
 }
 
+/// The verifier hash: xorshift-multiply mixing, structurally unlike FNV-1a
+/// so the two hashes do not collide together for related inputs.
+std::uint64_t mix64(std::uint64_t h, std::string_view s) {
+  for (unsigned char c : s) {
+    h = (h ^ c) * 0x2545F4914F6CDD1DULL;
+    h ^= h >> 29;
+  }
+  h = (h ^ 0x9E3779B97F4A7C15ULL) * 0x2545F4914F6CDD1DULL;
+  h ^= h >> 32;
+  return h;
+}
+
 /// Screen `credentials` for admission: POLICY assertions are never
 /// credentials, and signatures must verify unless checking is disabled.
 /// Admitted credentials are appended to `admitted`; the rest are reported
@@ -68,13 +80,27 @@ QueryContext::QueryContext(const Query& query)
       values_joined_(query.values.joined()),
       authorizers_joined_(util::join(query.action_authorizers, ",")) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
+  std::uint64_t v = 0x9E3779B97F4A7C15ULL;
   h = fnv1a(h, values_joined_);
+  v = mix64(v, values_joined_);
   h = fnv1a(h, authorizers_joined_);
+  v = mix64(v, authorizers_joined_);
   for (const auto& [name, value] : query.env.attrs()) {
     h = fnv1a(h, name);
+    v = mix64(v, name);
     h = fnv1a(h, value);
+    v = mix64(v, value);
   }
   fingerprint_ = h;
+  verifier_ = v;
+}
+
+std::string_view QueryContext::reserved_or_env(std::string_view name) const {
+  if (name == "_MIN_TRUST") return query_->values.min_name();
+  if (name == "_MAX_TRUST") return query_->values.max_name();
+  if (name == "_VALUES") return values_joined_;
+  if (name == "_ACTION_AUTHORIZERS") return authorizers_joined_;
+  return query_->env.get(name);
 }
 
 AttrLookup QueryContext::lookup(const Assertion& assertion) const {
@@ -103,6 +129,7 @@ mwsec::Result<QueryResult> evaluate(const std::vector<Assertion>& policies,
   index.reserve(policies.size() + admitted.size());
   for (const auto& p : policies) index.add(p);
   for (const Assertion* c : admitted) index.add(*c);
+  index.finalize();
 
   QueryContext context(query);
   result.value_index = index.policy_value(context, /*cache=*/nullptr);

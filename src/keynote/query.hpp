@@ -66,15 +66,30 @@ class QueryContext {
   AttrLookup lookup(const Assertion& assertion) const;
 
   /// Fingerprint of (compliance values, action authorizers, environment).
-  /// 64-bit FNV-1a: collisions are possible in principle but negligible
-  /// against the handful of distinct environments a store ever sees.
+  /// 64-bit FNV-1a: collisions are possible in principle, so memo entries
+  /// also carry `verifier()` and a hit requires both to match — a silent
+  /// wrong-value hit needs a simultaneous collision in two unrelated
+  /// 64-bit hashes.
   std::uint64_t fingerprint() const { return fingerprint_; }
+
+  /// Second, independent 64-bit hash of the same data (xorshift-multiply
+  /// mixing, not FNV with a different basis), stored alongside memo
+  /// entries to verify fingerprint hits.
+  std::uint64_t verifier() const { return verifier_; }
+
+  /// Value of an attribute *outside* any assertion's local constants: the
+  /// four RFC 2704 reserved attributes, else the action environment
+  /// (unset reads as ""). This is the resolution used to fill the compiled
+  /// engine's per-query attribute slot vector — local constants never
+  /// reach a slot because the compiler folds them.
+  std::string_view reserved_or_env(std::string_view name) const;
 
  private:
   const Query* query_;
   std::string values_joined_;
   std::string authorizers_joined_;
   std::uint64_t fingerprint_;
+  std::uint64_t verifier_;
 };
 
 /// Evaluate a query. `policies` must contain only POLICY assertions;

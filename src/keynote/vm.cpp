@@ -1,0 +1,261 @@
+#include "keynote/vm.hpp"
+
+#include <cmath>
+#include <regex>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace mwsec::keynote {
+
+namespace {
+
+bool apply_cmp(CmpOp op, int sign) {
+  switch (op) {
+    case CmpOp::kEq: return sign == 0;
+    case CmpOp::kNe: return sign != 0;
+    case CmpOp::kLt: return sign < 0;
+    case CmpOp::kGt: return sign > 0;
+    case CmpOp::kLe: return sign <= 0;
+    case CmpOp::kGe: return sign >= 0;
+  }
+  return false;
+}
+
+bool cmp_num(CmpOp op, double l, double r) {
+  switch (op) {
+    case CmpOp::kEq: return l == r;
+    case CmpOp::kNe: return l != r;
+    case CmpOp::kLt: return l < r;
+    case CmpOp::kGt: return l > r;
+    case CmpOp::kLe: return l <= r;
+    case CmpOp::kGe: return l >= r;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t run_conditions(const CompiledConditions& prog,
+                           const ComplianceValueSet& values,
+                           const std::vector<std::string_view>& attr_values,
+                           const AttrLookup* dyn, VmScratch& scratch) {
+  switch (prog.constant) {
+    case ProgramConst::kMax:
+      return values.max_index();
+    case ProgramConst::kMin:
+      return values.min_index();
+    case ProgramConst::kNo:
+      break;
+  }
+  auto& ss = scratch.sstack;
+  auto& ns = scratch.nstack;
+  auto& accs = scratch.accs;
+  ss.clear();
+  ns.clear();
+  accs.clear();
+  scratch.owned.clear();
+
+  const std::size_t vmin = values.min_index();
+  const std::size_t vmax = values.max_index();
+  const Instr* code = prog.code.data();
+  const std::size_t size = prog.code.size();
+  std::size_t acc = vmin;
+  std::size_t pc = 0;
+  // kClause precedes every fallible instruction, so the initial value is
+  // never consulted; end-of-program is a safe default regardless.
+  std::size_t err_target = size;
+
+  auto pop_s = [&ss]() {
+    std::string_view v = ss.back();
+    ss.pop_back();
+    return v;
+  };
+  auto pop_n = [&ns]() {
+    double v = ns.back();
+    ns.pop_back();
+    return v;
+  };
+
+  while (pc < size) {
+    const Instr& in = code[pc];
+    bool error = false;
+    switch (in.op) {
+      case Op::kPushStr:
+        ss.push_back(prog.str_pool[in.a]);
+        break;
+      case Op::kLoadAttr:
+        ss.push_back(attr_values[in.a]);
+        break;
+      case Op::kLoadDyn: {
+        std::string_view name = pop_s();
+        ss.push_back((*dyn)(name));
+        break;
+      }
+      case Op::kConcat: {
+        std::string_view r = pop_s();
+        std::string_view l = pop_s();
+        std::string joined;
+        joined.reserve(l.size() + r.size());
+        joined.append(l).append(r);
+        scratch.owned.push_back(std::move(joined));
+        ss.push_back(scratch.owned.back());
+        break;
+      }
+      case Op::kPushNum:
+        ns.push_back(prog.num_pool[in.a]);
+        break;
+      case Op::kStrToInt:
+      case Op::kStrToFloat: {
+        std::string_view raw = pop_s();
+        auto trimmed = util::trim(raw);
+        if (!util::is_number(trimmed)) {
+          error = true;
+          break;
+        }
+        double v = std::stod(std::string(trimmed));
+        ns.push_back(in.op == Op::kStrToInt ? std::trunc(v) : v);
+        break;
+      }
+      case Op::kAdd: {
+        double r = pop_n();
+        ns.back() += r;
+        break;
+      }
+      case Op::kSub: {
+        double r = pop_n();
+        ns.back() -= r;
+        break;
+      }
+      case Op::kMul: {
+        double r = pop_n();
+        ns.back() *= r;
+        break;
+      }
+      case Op::kDiv: {
+        double r = pop_n();
+        if (r == 0.0) {
+          error = true;
+          break;
+        }
+        ns.back() /= r;
+        break;
+      }
+      case Op::kMod: {
+        double r = pop_n();
+        if (r == 0.0) {
+          error = true;
+          break;
+        }
+        ns.back() = std::fmod(ns.back(), r);
+        break;
+      }
+      case Op::kPow: {
+        double r = pop_n();
+        ns.back() = std::pow(ns.back(), r);
+        break;
+      }
+      case Op::kNeg:
+        ns.back() = -ns.back();
+        break;
+      case Op::kCmpStr: {
+        std::string_view r = pop_s();
+        std::string_view l = pop_s();
+        bool res = apply_cmp(static_cast<CmpOp>(in.flag & 0x7),
+                             l.compare(r) < 0 ? -1 : (l == r ? 0 : 1));
+        if (res == ((in.flag & 0x8) != 0)) {
+          pc = in.a;
+          continue;
+        }
+        break;
+      }
+      case Op::kCmpNum: {
+        double r = pop_n();
+        double l = pop_n();
+        if (cmp_num(static_cast<CmpOp>(in.flag & 0x7), l, r) ==
+            ((in.flag & 0x8) != 0)) {
+          pc = in.a;
+          continue;
+        }
+        break;
+      }
+      case Op::kRegexConst: {
+        std::string_view subject = pop_s();
+        bool res = std::regex_search(subject.begin(), subject.end(),
+                                     prog.regex_pool[in.b]);
+        if (res == ((in.flag & 0x8) != 0)) {
+          pc = in.a;
+          continue;
+        }
+        break;
+      }
+      case Op::kRegexDyn: {
+        std::string_view pattern = pop_s();
+        std::string_view subject = pop_s();
+        bool res = false;
+        try {
+          std::regex re(std::string(pattern), std::regex::extended);
+          res = std::regex_search(subject.begin(), subject.end(), re);
+        } catch (const std::regex_error&) {
+          error = true;
+          break;
+        }
+        if (res == ((in.flag & 0x8) != 0)) {
+          pc = in.a;
+          continue;
+        }
+        break;
+      }
+      case Op::kJump:
+        pc = in.a;
+        continue;
+      case Op::kClause:
+        err_target = in.a;
+        break;
+      case Op::kContribMax:
+        acc = vmax;
+        pc = in.a;
+        continue;
+      case Op::kContribVal: {
+        // An unknown value name is an error local to this clause: it
+        // contributes nothing and execution falls through.
+        if (auto idx = values.index_of(prog.str_pool[in.b]); idx.ok()) {
+          if (*idx > acc) acc = *idx;
+          if (acc == vmax) {
+            pc = in.a;
+            continue;
+          }
+        }
+        break;
+      }
+      case Op::kBeginSub:
+        accs.push_back(acc);
+        acc = vmin;
+        break;
+      case Op::kEndSub: {
+        std::size_t sub = acc;
+        acc = accs.back();
+        accs.pop_back();
+        if (sub > acc) acc = sub;
+        if (acc == vmax) {
+          pc = in.a;
+          continue;
+        }
+        break;
+      }
+      case Op::kRet:
+        return acc;
+    }
+    if (error) {
+      // RFC 2704: an erroneous test makes its clause contribute nothing.
+      ss.clear();
+      ns.clear();
+      pc = err_target;
+      continue;
+    }
+    ++pc;
+  }
+  return acc;
+}
+
+}  // namespace mwsec::keynote

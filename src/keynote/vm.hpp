@@ -1,0 +1,49 @@
+// The Conditions bytecode VM (query-time half of the compiler in
+// bytecode.hpp).
+//
+// Evaluates a CompiledConditions program to a compliance-value index with
+// no recursion, no std::function dispatch and no per-attribute string
+// hashing: attribute slots are pre-resolved into `attr_values` once per
+// query, so the hot fig2-style program (two attribute equality tests) runs
+// as a handful of array reads and conditional jumps.
+//
+// Error semantics match eval.cpp exactly: a runtime error (non-numeric
+// dereference, division or modulo by zero, malformed dynamic regex)
+// transfers control to the current clause's failure target (set by
+// kClause), making that clause contribute nothing.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string_view>
+#include <vector>
+
+#include "keynote/bytecode.hpp"
+#include "keynote/eval.hpp"
+#include "keynote/values.hpp"
+
+namespace mwsec::keynote {
+
+/// Reusable evaluation scratch. One instance per query (or thread) avoids
+/// re-allocating the operand stacks for every assertion evaluated.
+struct VmScratch {
+  std::vector<std::string_view> sstack;
+  std::vector<double> nstack;
+  std::vector<std::size_t> accs;
+  /// Backing storage for computed strings (concatenations); a deque so
+  /// views stay valid as more are appended.
+  std::deque<std::string> owned;
+};
+
+/// Run a compiled program. `attr_values[slot]` must hold the resolved
+/// value of every attribute slot the program references (see
+/// AttrTable); `dyn` supplies the full lookup chain and is only required
+/// when `prog.needs_dyn`. Constant programs (prog.constant != kNo) must be
+/// short-circuited by the caller; running them here is a programming
+/// error answered with _MIN_TRUST.
+std::size_t run_conditions(const CompiledConditions& prog,
+                           const ComplianceValueSet& values,
+                           const std::vector<std::string_view>& attr_values,
+                           const AttrLookup* dyn, VmScratch& scratch);
+
+}  // namespace mwsec::keynote

@@ -13,7 +13,11 @@
 //       check the signature; exits 0 iff valid.
 //   mwsec-keynote query -p <policy-file> [-c <credential-file>]...
 //                       -a <authorizer>... [attr=value]...
+//                       [--dump-conditions]
 //       evaluate; prints the compliance value, exits 0 iff _MAX_TRUST.
+//       --dump-conditions first prints each assertion's compiled
+//       Conditions bytecode, guards and index stats; with no -a it only
+//       dumps.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -22,6 +26,7 @@
 
 #include "crypto/keys.hpp"
 #include "crypto/rsa.hpp"
+#include "keynote/compiled_store.hpp"
 #include "keynote/query.hpp"
 #include "util/rng.hpp"
 
@@ -122,6 +127,8 @@ int cmd_verify(const std::vector<std::string>& args) {
 int cmd_query(const std::vector<std::string>& args) {
   keynote::Session session;
   bool have_policy = false;
+  bool have_authorizer = false;
+  bool dump_conditions = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     auto next = [&]() -> mwsec::Result<std::string> {
@@ -151,6 +158,9 @@ int cmd_query(const std::vector<std::string>& args) {
       auto principal = next();
       if (!principal.ok()) return fail(principal.error());
       session.add_action_authorizer(*principal);
+      have_authorizer = true;
+    } else if (a == "--dump-conditions") {
+      dump_conditions = true;
     } else {
       auto eq = a.find('=');
       if (eq == std::string::npos) {
@@ -164,8 +174,25 @@ int cmd_query(const std::vector<std::string>& args) {
   if (!have_policy) {
     std::fprintf(stderr,
                  "usage: mwsec-keynote query -p <policy> [-c <cred>]... "
-                 "-a <authorizer>... [attr=value]...\n");
+                 "-a <authorizer>... [attr=value]... [--dump-conditions]\n");
     return 2;
+  }
+  if (dump_conditions) {
+    // What the query engine actually executes: every assertion compiled
+    // to bytecode, with the guards the inverted index is keyed by.
+    keynote::CompiledIndex index;
+    for (const auto& p : session.policies()) index.add(p);
+    for (const auto& c : session.credentials()) index.add(c);
+    index.finalize();
+    std::fputs(index.describe().c_str(), stdout);
+    auto st = index.stats();
+    std::printf(
+        "index: %zu assertions, %zu programs after dedup "
+        "(%zu guarded, %zu unguarded, %zu never-grant), "
+        "%zu guard attrs over %zu slots\n",
+        st.assertions, st.programs, st.guarded, st.unguarded, st.never,
+        st.guard_attrs, st.attr_slots);
+    if (!have_authorizer) return 0;
   }
   auto result = session.query();
   if (!result.ok()) return fail(result.error());
