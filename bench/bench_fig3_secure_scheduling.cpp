@@ -30,11 +30,12 @@ struct Rig {
   std::unique_ptr<webcom::Master> master;
   std::vector<std::unique_ptr<webcom::Client>> clients;
 
-  Rig(std::size_t n_clients, bool security) {
+  Rig(std::size_t n_clients, bool security, std::size_t workers = 0) {
     const auto& master_id = ring().identity("KMaster");
     webcom::MasterOptions mopts;
     mopts.security_enabled = security;
     mopts.task_timeout = 2000ms;
+    mopts.workers = workers;
     master = std::make_unique<webcom::Master>(network, "master", master_id,
                                               mopts);
     for (std::size_t i = 0; i < n_clients; ++i) {
@@ -124,6 +125,33 @@ BENCHMARK(BM_Fig3_SchedulingSecure)
     ->Args({8, 4})
     ->Args({32, 4})
     ->Args({128, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig3_SecureSchedulingThreaded(benchmark::State& state) {
+  // The worker-pool master on the heaviest secure workload (128x4): wave
+  // authorisation + dispatch fan out across `workers` pool threads
+  // (workers = 1 is the serial scheduler, the single-thread regression
+  // guard). The counter is named "workers" because Google Benchmark
+  // reserves the JSON field "threads" for its own --threads sweeps;
+  // tools/bench_report.py copies it into a "threads" field on merge.
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  Rig rig(4, /*security=*/true, workers);
+  webcom::Graph g = wide_graph(128, true);
+  for (auto _ : state) {
+    auto v = rig.master->execute(g);
+    if (!v.ok()) state.SkipWithError(v.error().message.c_str());
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * 129);
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["kn_queries"] =
+      static_cast<double>(rig.master->stats().keynote_queries);
+}
+BENCHMARK(BM_Fig3_SecureSchedulingThreaded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 void BM_Fig3_ObservedSecureScheduling(benchmark::State& state) {

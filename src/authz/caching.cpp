@@ -1,6 +1,9 @@
 #include "authz/caching.hpp"
 
+#include <condition_variable>
 #include <functional>
+#include <mutex>
+#include <vector>
 
 namespace mwsec::authz {
 
@@ -23,6 +26,8 @@ CachingAuthorizer::CachingAuthorizer(const Authorizer& inner, Options options)
     : inner_(inner),
       shard_mask_(round_up_pow2(options.shards == 0 ? 1 : options.shards) - 1),
       shards_(new Shard[shard_mask_ + 1]),
+      pool_(options.pool),
+      min_batch_fanout_(options.min_batch_fanout),
       obs_hits_(
           obs::Registry::global().counter(options.metric_prefix + "_hits")),
       obs_misses_(
@@ -51,9 +56,16 @@ std::string CachingAuthorizer::cache_key(const Request& request) {
   return key;
 }
 
+std::size_t CachingAuthorizer::shard_index(const Request& request) const {
+  // Principal hash, not full-key hash: one principal's decisions live in
+  // one shard, so shards partition the principal space and a worker that
+  // owns a shard owns those principals outright.
+  return std::hash<std::string>{}(request.principal) & shard_mask_;
+}
+
 CachingAuthorizer::Shard& CachingAuthorizer::shard_for(
-    const std::string& key) const {
-  return shards_[std::hash<std::string>{}(key) & shard_mask_];
+    const Request& request) const {
+  return shards_[shard_index(request)];
 }
 
 Verdict CachingAuthorizer::decide(const Request& request) const {
@@ -63,7 +75,7 @@ Verdict CachingAuthorizer::decide(const Request& request) const {
   }
   const std::uint64_t now = inner_.epoch();
   std::string key = cache_key(request);
-  Shard& shard = shard_for(key);
+  Shard& shard = shard_for(request);
   {
     std::scoped_lock lock(shard.mu);
     if (shard.epoch != now) {
@@ -95,6 +107,53 @@ Verdict CachingAuthorizer::decide(const Request& request) const {
   return verdict;
 }
 
+std::vector<Verdict> CachingAuthorizer::decide_batch(
+    std::span<const Request> requests) const {
+  if (pool_ == nullptr || requests.size() < min_batch_fanout_) {
+    return Authorizer::decide_batch(requests);
+  }
+  batch_fanouts_.fetch_add(1, kRelaxed);
+  // Partition by owning worker so each shard's requests are decided by
+  // exactly one thread: shared-nothing within the batch, and shard-affine
+  // across batches (the same principal always lands on the same worker's
+  // shard group, whose map stays warm in that worker's cache).
+  const std::size_t n_workers = pool_->size();
+  std::vector<std::vector<std::uint32_t>> by_worker(n_workers);
+  for (std::uint32_t i = 0; i < requests.size(); ++i) {
+    by_worker[shard_index(requests[i]) % n_workers].push_back(i);
+  }
+  std::vector<Verdict> out(requests.size());
+  std::size_t populated = 0;
+  std::size_t caller_worker = n_workers;  // first populated group, run inline
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    if (by_worker[w].empty()) continue;
+    ++populated;
+    if (caller_worker == n_workers) caller_worker = w;
+  }
+  struct Gather {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+  } gather{{}, {}, populated == 0 ? 0 : populated - 1};
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    if (w == caller_worker || by_worker[w].empty()) continue;
+    pool_->submit_to(w, [this, &requests, &out, &gather,
+                         group = &by_worker[w]] {
+      for (std::uint32_t i : *group) out[i] = decide(requests[i]);
+      std::scoped_lock lock(gather.mu);
+      if (--gather.remaining == 0) gather.cv.notify_one();
+    });
+  }
+  if (caller_worker != n_workers) {
+    for (std::uint32_t i : by_worker[caller_worker]) {
+      out[i] = decide(requests[i]);
+    }
+  }
+  std::unique_lock lock(gather.mu);
+  gather.cv.wait(lock, [&] { return gather.remaining == 0; });
+  return out;
+}
+
 void CachingAuthorizer::invalidate() {
   bool dropped = false;
   for (std::size_t i = 0; i <= shard_mask_; ++i) {
@@ -108,7 +167,8 @@ void CachingAuthorizer::invalidate() {
 
 CachingAuthorizer::Stats CachingAuthorizer::stats() const {
   return Stats{hits_.load(kRelaxed), misses_.load(kRelaxed),
-               bypasses_.load(kRelaxed), invalidations_.load(kRelaxed)};
+               bypasses_.load(kRelaxed), invalidations_.load(kRelaxed),
+               batch_fanouts_.load(kRelaxed)};
 }
 
 std::size_t CachingAuthorizer::size() const {

@@ -10,6 +10,24 @@ mwsec::Result<keynote::QueryResult> KeyNoteAuthorizer::run(
 }
 
 Verdict KeyNoteAuthorizer::decide(const Request& request) const {
+  // Live-store, no-presented-credentials path: acquire one RCU handle so
+  // the verdict's epoch is exactly the version of the snapshot it was
+  // computed from. (Reading epoch() and querying separately would let a
+  // concurrent mutation slip between the two, labelling a new-store
+  // verdict with the old epoch — the coherence the caching layer and the
+  // concurrency stress tests depend on.)
+  if (store_ != nullptr && request.credentials.empty()) {
+    auto handle = store_->acquire();
+    auto q = fig5_query(request);
+    auto r = handle.snapshot->query(q);
+    if (!r.ok()) {
+      Verdict v = Verdict::deny(name_, handle.version);
+      v.explanation = "query failed: " + r.error().message;
+      return v;
+    }
+    return r->authorized() ? Verdict::permit(name_, handle.version)
+                           : Verdict::deny(name_, handle.version);
+  }
   const std::uint64_t at = epoch();
   auto r = run(request);
   if (!r.ok()) {

@@ -652,13 +652,14 @@ void CompiledStore::clear() {
 }
 
 std::uint64_t CompiledStore::version() const {
-  std::scoped_lock lock(mu_);
-  return version_;
+  return version_.load(std::memory_order_acquire);
 }
 
 void CompiledStore::advance_version_to(std::uint64_t v) {
   std::scoped_lock lock(mu_);
-  if (v > version_) version_ = v;
+  if (v > version_.load(std::memory_order_relaxed)) {
+    version_.store(v, std::memory_order_release);
+  }
 }
 
 mwsec::Status CompiledStore::install_bundle(std::string_view bundle_text,
@@ -705,10 +706,28 @@ CompiledStore::base_snapshot_locked() const {
   return cached_;
 }
 
+CompiledStore::StoreHandle CompiledStore::acquire() const {
+  // Fast path: the published handle is current. Two acquire loads; no
+  // mutex. A writer that moves version_ concurrently either wins (we see
+  // the mismatch and take the slow path) or loses (we return the old
+  // handle, whose version labels it correctly as the pre-mutation view).
+  auto handle = published_.load(std::memory_order_acquire);
+  if (handle != nullptr &&
+      handle->version == version_.load(std::memory_order_acquire)) {
+    return *handle;
+  }
+  std::scoped_lock lock(mu_);
+  auto snap = base_snapshot_locked();
+  auto fresh = std::make_shared<StoreHandle>();
+  fresh->snapshot = std::move(snap);
+  fresh->version = cached_version_;
+  published_.store(fresh, std::memory_order_release);
+  return *fresh;
+}
+
 std::shared_ptr<const CompiledStore::Snapshot> CompiledStore::snapshot()
     const {
-  std::scoped_lock lock(mu_);
-  return base_snapshot_locked();
+  return acquire().snapshot;
 }
 
 std::shared_ptr<const CompiledStore::Snapshot> CompiledStore::snapshot_with(

@@ -41,6 +41,7 @@
 // rebuilt lazily when the store's version counter moves.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -309,8 +310,26 @@ class CompiledStore {
     std::vector<std::string> dropped_;  // presented credentials not admitted
   };
 
-  /// Compiled view of the stored assertions alone. Cached; rebuilt only
-  /// when the store has changed since the last call.
+  /// An epoch-stamped immutable view: the compiled snapshot plus the
+  /// version it was built at, captured as one consistent unit. This is the
+  /// RCU read-side handle (DESIGN.md §12): handles are published through
+  /// an atomic shared_ptr, so `acquire()` on an unchanged store is
+  /// lock-free — readers never block writers and a reader that races a
+  /// mutation simply keeps the pre-mutation view, correctly labelled with
+  /// the pre-mutation version (decision caches key on that version, so a
+  /// stale verdict can never be filed under the new epoch).
+  struct StoreHandle {
+    std::shared_ptr<const Snapshot> snapshot;
+    std::uint64_t version = 0;
+  };
+
+  /// The current published handle. Lock-free while the store is
+  /// unchanged; a version moved by a writer sends exactly one reader per
+  /// epoch through the locked rebuild-and-republish slow path.
+  StoreHandle acquire() const;
+
+  /// Compiled view of the stored assertions alone (`acquire().snapshot`).
+  /// Cached; rebuilt only when the store has changed since the last call.
   std::shared_ptr<const Snapshot> snapshot() const;
 
   /// Compiled view of the store plus `presented` credentials, each
@@ -335,9 +354,14 @@ class CompiledStore {
   mutable std::mutex mu_;
   std::vector<Assertion> policies_;
   std::vector<Assertion> credentials_;
-  std::uint64_t version_ = 1;
+  /// Atomic so version()/acquire() fast paths never take mu_; writers
+  /// only move it while holding mu_.
+  std::atomic<std::uint64_t> version_{1};
   mutable std::shared_ptr<const Snapshot> cached_;
   mutable std::uint64_t cached_version_ = 0;
+  /// RCU publication point: the last handle handed out. Readers load it
+  /// wait-free; the locked slow path swaps in a fresh one after a rebuild.
+  mutable std::atomic<std::shared_ptr<const StoreHandle>> published_;
 };
 
 }  // namespace mwsec::keynote

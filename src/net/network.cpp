@@ -9,6 +9,8 @@ namespace mwsec::net {
 
 namespace {
 
+constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
 /// Process-wide counters mirroring Network::Stats, so a metrics snapshot
 /// shows traffic alongside the authorisation-pipeline counters.
 struct NetMetrics {
@@ -80,24 +82,28 @@ bool Endpoint::closed() const {
   return closed_;
 }
 
-bool Endpoint::deliver(Message m, bool front) {
+bool Endpoint::deliver(Message m, bool front, bool* jumped) {
   std::scoped_lock lock(mu_);
-  if (closed_) return false;
-  const bool jumped = front && !queue_.empty();
-  if (jumped) {
+  if (closed_) {
+    if (jumped != nullptr) *jumped = false;
+    return false;
+  }
+  const bool overtook = front && !queue_.empty();
+  if (overtook) {
     queue_.push_front(std::move(m));
   } else {
     queue_.push_back(std::move(m));
   }
+  if (jumped != nullptr) *jumped = overtook;
   cv_.notify_one();
-  return jumped;
+  return true;
 }
 
 Network::Network(Options options) : options_(options), rng_(options.seed) {}
 
 mwsec::Result<std::shared_ptr<Endpoint>> Network::open(
     const std::string& name) {
-  std::scoped_lock lock(mu_);
+  std::unique_lock lock(route_mu_);
   auto it = endpoints_.find(name);
   if (it != endpoints_.end() && !it->second.expired()) {
     return Error::make("endpoint name already bound: " + name, "net");
@@ -107,77 +113,92 @@ mwsec::Result<std::shared_ptr<Endpoint>> Network::open(
   return ep;
 }
 
+bool Network::roll(double probability) {
+  if (probability <= 0.0) return false;
+  std::scoped_lock lock(rng_mu_);
+  return rng_.chance(probability);
+}
+
 mwsec::Status Network::send(Message m) {
   auto& metrics = NetMetrics::get();
-  std::shared_ptr<Endpoint> dest;
-  bool duplicate = false;
-  bool reorder = false;
-  {
-    std::scoped_lock lock(mu_);
-    ++stats_.sent;
-    stats_.bytes += m.payload.size();
-    metrics.sent.inc();
-    metrics.bytes.inc(m.payload.size());
-    m.id = next_id_++;
+  stats_.sent.fetch_add(1, kRelaxed);
+  stats_.bytes.fetch_add(m.payload.size(), kRelaxed);
+  metrics.sent.inc();
+  metrics.bytes.inc(m.payload.size());
+  m.id = next_id_.fetch_add(1, kRelaxed);
 
+  // Route lookup + partition check under the shared lock only: concurrent
+  // senders read the routing table together, writers (open/kill/
+  // set_partitioned) are rare and take it exclusively.
+  std::shared_ptr<Endpoint> dest;
+  {
+    std::shared_lock lock(route_mu_);
     // Failure Statuses name the destination, so a caller's retry log (the
     // scheduler's, in particular) identifies the dead endpoint without
     // having to thread it through separately.
     auto key = std::minmax(m.from, m.to);
     if (partitions_.count({key.first, key.second})) {
-      ++stats_.partitioned;
+      stats_.partitioned.fetch_add(1, kRelaxed);
       metrics.partitioned.inc();
       return Error::make("send to '" + m.to + "' failed: link partitioned (" +
                              m.from + " <-> " + m.to + ")",
                          "net");
     }
-    if (options_.drop_probability > 0.0 &&
-        rng_.chance(options_.drop_probability)) {
-      ++stats_.dropped;
-      metrics.dropped.inc();
-      return {};  // silently lost, as real networks do
-    }
     auto it = endpoints_.find(m.to);
     if (it != endpoints_.end()) dest = it->second.lock();
-    if (dest == nullptr || dest->closed()) {
-      ++stats_.undeliverable;
-      metrics.undeliverable.inc();
-      return Error::make("send to '" + m.to + "' failed: " +
-                             (dest == nullptr ? "no such endpoint"
-                                              : "endpoint closed"),
-                         "net");
-    }
-    ++stats_.delivered;
-    metrics.delivered.inc();
-    duplicate = options_.duplicate_probability > 0.0 &&
-                rng_.chance(options_.duplicate_probability);
-    reorder = options_.reorder_probability > 0.0 &&
-              rng_.chance(options_.reorder_probability);
   }
+  if (roll(options_.drop_probability)) {
+    stats_.dropped.fetch_add(1, kRelaxed);
+    metrics.dropped.inc();
+    return {};  // silently lost, as real networks do
+  }
+  if (dest == nullptr || dest->closed()) {
+    stats_.undeliverable.fetch_add(1, kRelaxed);
+    metrics.undeliverable.inc();
+    return Error::make(
+        "send to '" + m.to + "' failed: " +
+            (dest == nullptr ? "no such endpoint" : "endpoint closed"),
+        "net");
+  }
+  const bool duplicate = roll(options_.duplicate_probability);
+  const bool reorder = roll(options_.reorder_probability);
   Message copy;
   if (duplicate) copy = m;  // same id: a true wire-level duplicate
-  const bool jumped = dest->deliver(std::move(m), reorder);
-  bool dup_jumped = false;
-  if (duplicate) dup_jumped = dest->deliver(std::move(copy), reorder);
-  if (duplicate || jumped || dup_jumped) {
-    std::scoped_lock lock(mu_);
-    if (duplicate) {
-      ++stats_.duplicated;
+
+  // Delivered counts copies actually enqueued (a closed-endpoint race
+  // discards the copy and counts undeliverable instead), so the invariant
+  // delivered == sum of receivers' enqueues holds even with duplication.
+  bool jumped = false;
+  const bool accepted = dest->deliver(std::move(m), reorder, &jumped);
+  if (!accepted) {
+    stats_.undeliverable.fetch_add(1, kRelaxed);
+    metrics.undeliverable.inc();
+    return Error::make("send to '" + m.to + "' failed: endpoint closed",
+                       "net");
+  }
+  stats_.delivered.fetch_add(1, kRelaxed);
+  metrics.delivered.inc();
+  std::uint64_t jumps = jumped ? 1u : 0u;
+  if (duplicate) {
+    bool dup_jumped = false;
+    if (dest->deliver(std::move(copy), reorder, &dup_jumped)) {
+      stats_.delivered.fetch_add(1, kRelaxed);
+      metrics.delivered.inc();
+      stats_.duplicated.fetch_add(1, kRelaxed);
       metrics.duplicated.inc();
+      jumps += dup_jumped ? 1u : 0u;
     }
-    const std::uint64_t jumps =
-        (jumped ? 1u : 0u) + (dup_jumped ? 1u : 0u);
-    if (jumps != 0) {
-      stats_.reordered += jumps;
-      metrics.reordered.inc(jumps);
-    }
+  }
+  if (jumps != 0) {
+    stats_.reordered.fetch_add(jumps, kRelaxed);
+    metrics.reordered.inc(jumps);
   }
   return {};
 }
 
 void Network::set_partitioned(const std::string& a, const std::string& b,
                               bool partitioned) {
-  std::scoped_lock lock(mu_);
+  std::unique_lock lock(route_mu_);
   auto key = std::minmax(a, b);
   if (partitioned) {
     partitions_.insert({key.first, key.second});
@@ -189,7 +210,7 @@ void Network::set_partitioned(const std::string& a, const std::string& b,
 void Network::kill(const std::string& name) {
   std::shared_ptr<Endpoint> ep;
   {
-    std::scoped_lock lock(mu_);
+    std::unique_lock lock(route_mu_);
     auto it = endpoints_.find(name);
     if (it == endpoints_.end()) return;
     ep = it->second.lock();
@@ -199,8 +220,16 @@ void Network::kill(const std::string& name) {
 }
 
 Network::Stats Network::stats() const {
-  std::scoped_lock lock(mu_);
-  return stats_;
+  Stats out;
+  out.sent = stats_.sent.load(kRelaxed);
+  out.delivered = stats_.delivered.load(kRelaxed);
+  out.dropped = stats_.dropped.load(kRelaxed);
+  out.duplicated = stats_.duplicated.load(kRelaxed);
+  out.reordered = stats_.reordered.load(kRelaxed);
+  out.partitioned = stats_.partitioned.load(kRelaxed);
+  out.undeliverable = stats_.undeliverable.load(kRelaxed);
+  out.bytes = stats_.bytes.load(kRelaxed);
+  return out;
 }
 
 }  // namespace mwsec::net

@@ -7,8 +7,20 @@
 // — message drop probability and explicit link partitions — models the
 // "untrusted network" of Figure 3 and drives the scheduler's
 // fault-tolerance tests.
+//
+// Concurrency (DESIGN.md §12): each mailbox is an MPSC queue under its own
+// endpoint mutex, so concurrent senders to *different* endpoints share
+// nothing and concurrent senders to the *same* endpoint serialise only on
+// that endpoint's lock. The network-wide state splits by mutation rate:
+// routing (the name→endpoint map) and partitions are read-mostly behind a
+// shared_mutex (senders take it shared), traffic statistics are relaxed
+// atomics, and the fault-injection RNG — only consulted when a fault
+// probability is non-zero — has its own lock. The worker-pool WebCom
+// master dispatches from many threads through one Network; none of them
+// contend on a global lock.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -18,6 +30,7 @@
 #include <mutex>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 
@@ -37,6 +50,8 @@ struct Message {
 class Network;
 
 /// A mailbox bound to a name on the network. Closed on destruction.
+/// The queue is MPSC-safe: any number of concurrent senders, one (or
+/// more) receivers, all under the endpoint's own lock.
 class Endpoint {
  public:
   ~Endpoint();
@@ -62,9 +77,11 @@ class Endpoint {
   friend class Network;
   Endpoint(Network* network, std::string name)
       : network_(network), name_(std::move(name)) {}
-  /// `front` asks for reordered delivery (ahead of the queue); returns
-  /// whether the message actually jumped ahead of anything.
-  bool deliver(Message m, bool front = false);
+  /// Enqueue one copy. `front` asks for reordered delivery (ahead of the
+  /// queue); `*jumped` reports whether it actually overtook anything.
+  /// Returns false if the endpoint closed (the copy is discarded) — the
+  /// caller counts delivered per copy actually accepted.
+  bool deliver(Message m, bool front, bool* jumped);
 
   Network* network_;
   std::string name_;
@@ -96,6 +113,7 @@ class Network {
   mwsec::Result<std::shared_ptr<Endpoint>> open(const std::string& name);
 
   /// Deliver (or drop) a message. Errors on unknown/closed destination.
+  /// Safe for any number of concurrent senders.
   mwsec::Status send(Message m);
 
   /// Sever / restore the (bidirectional) link between two endpoints.
@@ -106,7 +124,7 @@ class Network {
 
   struct Stats {
     std::uint64_t sent = 0;
-    std::uint64_t delivered = 0;
+    std::uint64_t delivered = 0;     // copies actually enqueued
     std::uint64_t dropped = 0;       // random loss
     std::uint64_t duplicated = 0;    // extra copies delivered
     std::uint64_t reordered = 0;     // jumped ahead of queued messages
@@ -117,13 +135,35 @@ class Network {
   Stats stats() const;
 
  private:
-  mutable std::mutex mu_;
-  Options options_;
-  util::Rng rng_;
+  /// Counter twin of Stats: updated with relaxed atomics so concurrent
+  /// senders never serialise on bookkeeping; stats() snapshots it.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> duplicated{0};
+    std::atomic<std::uint64_t> reordered{0};
+    std::atomic<std::uint64_t> partitioned{0};
+    std::atomic<std::uint64_t> undeliverable{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+
+  /// Fault-injection decisions for one send. Off-path unless the matching
+  /// probability is non-zero.
+  bool roll(double probability);
+
+  const Options options_;
+  /// Routing state: read per send (shared), written by open/kill/
+  /// set_partitioned (exclusive).
+  mutable std::shared_mutex route_mu_;
   std::map<std::string, std::weak_ptr<Endpoint>> endpoints_;
   std::set<std::pair<std::string, std::string>> partitions_;
-  Stats stats_;
-  std::uint64_t next_id_ = 1;
+  /// The RNG is stateful; its lock is taken only when a fault probability
+  /// asks for a roll (fault-injection runs, never the fast path).
+  std::mutex rng_mu_;
+  util::Rng rng_;
+  AtomicStats stats_;
+  std::atomic<std::uint64_t> next_id_{1};
 };
 
 }  // namespace mwsec::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <sstream>
 
 namespace mwsec::obs {
@@ -61,6 +62,16 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+/// Stripe index for the calling thread: a dense per-thread counter (wraps
+/// modulo the stripe count) distributes threads evenly where hashing
+/// std::thread::id tends to collide.
+std::size_t this_thread_stripe(std::size_t stripes) {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return mine & (stripes - 1);
+}
+
 }  // namespace
 
 bool metrics_enabled() {
@@ -74,9 +85,19 @@ void set_metrics_enabled(bool enabled) {
 // ---------------------------------------------------------------------------
 // Histogram
 
-Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
+  for (auto& stripe : stripes_) {
+    stripe.buckets =
+        std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    // ±inf sentinels make min/max pure CAS-min/max with no racy
+    // "first observation" special case; snapshot() skips stripes whose
+    // count is 0, so the sentinels never leak out.
+    stripe.min.store(std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+    stripe.max.store(-std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+  }
 }
 
 std::vector<double> Histogram::latency_bounds_us() {
@@ -89,28 +110,46 @@ void Histogram::observe(double v) {
   if (!metrics_enabled()) return;
   auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   auto idx = static_cast<std::size_t>(it - bounds_.begin());
-  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
-  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
-    min_.store(v, std::memory_order_relaxed);
-    max_.store(v, std::memory_order_relaxed);
-  } else {
-    atomic_min_double(min_, v);
-    atomic_max_double(max_, v);
+  Stripe& stripe = stripes_[this_thread_stripe(kStripes)];
+  stripe.buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  atomic_min_double(stripe.min, v);
+  atomic_max_double(stripe.max, v);
+  atomic_add_double(stripe.sum, v);
+  // Count last: a snapshot that sees count > 0 is guaranteed at least one
+  // fully recorded min/max, so the ±inf sentinels stay internal.
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t n = 0;
+  for (const auto& stripe : stripes_) {
+    n += stripe.count.load(std::memory_order_relaxed);
   }
-  atomic_add_double(sum_, v);
+  return n;
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
   Snapshot s;
   s.bounds = bounds_;
-  s.buckets.reserve(buckets_.size());
-  for (const auto& b : buckets_) {
-    s.buckets.push_back(b.load(std::memory_order_relaxed));
-    s.count += s.buckets.back();
+  s.buckets.assign(bounds_.size() + 1, 0);
+  bool first = true;
+  for (const auto& stripe : stripes_) {
+    for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+      const auto b = stripe.buckets[i].load(std::memory_order_relaxed);
+      s.buckets[i] += b;
+      s.count += b;
+    }
+    s.sum += stripe.sum.load(std::memory_order_relaxed);
+    // min/max only from stripes that recorded something, so idle stripes'
+    // zero-initialised extremes don't pollute the merge; an empty
+    // histogram keeps min = max = 0 as before.
+    if (stripe.count.load(std::memory_order_relaxed) == 0) continue;
+    const double lo = stripe.min.load(std::memory_order_relaxed);
+    const double hi = stripe.max.load(std::memory_order_relaxed);
+    s.min = first ? lo : std::min(s.min, lo);
+    s.max = first ? hi : std::max(s.max, hi);
+    first = false;
   }
-  s.sum = sum_.load(std::memory_order_relaxed);
-  s.min = min_.load(std::memory_order_relaxed);
-  s.max = max_.load(std::memory_order_relaxed);
 
   // Quantile: find the bucket holding the q-th observation, interpolate
   // linearly inside it. The overflow bucket reports the observed max.
@@ -139,11 +178,17 @@ Histogram::Snapshot Histogram::snapshot() const {
 }
 
 void Histogram::reset() {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0, std::memory_order_relaxed);
-  min_.store(0, std::memory_order_relaxed);
-  max_.store(0, std::memory_order_relaxed);
+  for (auto& stripe : stripes_) {
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+      stripe.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    stripe.count.store(0, std::memory_order_relaxed);
+    stripe.sum.store(0, std::memory_order_relaxed);
+    stripe.min.store(std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+    stripe.max.store(-std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -13,6 +13,7 @@
 // registry, so the hot path never touches the registry map.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -62,8 +63,16 @@ class Gauge {
 
 /// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds,
 /// with an implicit overflow bucket above the last. Observation is a
-/// branchless-ish linear scan (bucket counts are small) plus two relaxed
-/// atomics; snapshots interpolate p50/p95/p99 within the hit bucket.
+/// linear bound scan (bucket counts are small) plus a few relaxed atomics;
+/// snapshots interpolate p50/p95/p99 within the hit bucket.
+///
+/// Contention tolerance (DESIGN.md §12): state is striped — each thread
+/// records into one of kStripes independent stripe blocks (picked by a
+/// per-thread index), so concurrent observers on different threads bump
+/// disjoint cache lines instead of CAS-looping on one shared sum/min/max.
+/// snapshot() and reset() merge/clear across stripes; a snapshot racing
+/// observers sees each stripe's values at slightly different instants,
+/// which is fine for statistics.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -87,16 +96,21 @@ class Histogram {
     double mean() const { return count == 0 ? 0 : sum / double(count); }
   };
   Snapshot snapshot() const;
-  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t count() const;
   void reset();
 
  private:
+  static constexpr std::size_t kStripes = 8;  // power of two
+  struct alignas(64) Stripe {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0};
+    std::atomic<double> min{0};
+    std::atomic<double> max{0};
+  };
+
   std::vector<double> bounds_;
-  std::vector<std::atomic<std::uint64_t>> buckets_;
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<double> sum_{0};
-  std::atomic<double> min_{0};
-  std::atomic<double> max_{0};
+  std::array<Stripe, kStripes> stripes_;
 };
 
 /// Named metric registry. Creation takes a mutex (cold); recorded objects

@@ -22,18 +22,22 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_sink(Sink sink) {
-  std::scoped_lock lock(mu_);
-  sink_ = std::move(sink);
+  sink_.store(sink ? std::make_shared<const Sink>(std::move(sink)) : nullptr,
+              std::memory_order_release);
 }
 
 void Logger::log(LogLevel level, std::string_view component,
                  std::string_view msg) {
-  // Re-check under the lock: callers normally come through MWSEC_LOG
-  // (already checked), but log() is also a public entry point.
+  // Re-check: callers normally come through MWSEC_LOG (already checked),
+  // but log() is also a public entry point.
   if (!enabled(level)) return;
-  std::scoped_lock lock(mu_);
-  if (sink_) {
-    sink_(level, component, msg);
+  // Snapshot the sink before taking the emit lock: set_sink never waits
+  // on an emission in progress, and the shared_ptr keeps the functor this
+  // call runs alive even if it is swapped out mid-emission.
+  const auto sink = sink_.load(std::memory_order_acquire);
+  std::scoped_lock lock(emit_mu_);
+  if (sink != nullptr) {
+    (*sink)(level, component, msg);
     return;
   }
   std::fprintf(stderr, "[%s] [%.*s] %.*s\n", level_name(level),

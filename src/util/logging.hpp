@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -39,11 +40,16 @@ class Logger {
   }
 
   /// Receives every emitted line. Called with the logger's output lock
-  /// held, so lines from concurrent threads never interleave.
+  /// held, so lines from concurrent threads never interleave — which also
+  /// means a sink must not call back into log()/MWSEC_LOG (self-deadlock).
   using Sink =
       std::function<void(LogLevel, std::string_view component,
                          std::string_view message)>;
-  /// Replace the output sink; an empty function restores stderr.
+  /// Replace the output sink; an empty function restores stderr. Safe to
+  /// call while other threads are logging: the sink is published through
+  /// an atomic shared_ptr, so a swap never blocks on an in-flight
+  /// emission, and an emission mid-call keeps the functor it is running
+  /// alive even after it has been swapped out.
   void set_sink(Sink sink);
 
   /// Emit one line: "[level] [component] message".
@@ -51,9 +57,9 @@ class Logger {
 
  private:
   Logger() = default;
-  mutable std::mutex mu_;
+  mutable std::mutex emit_mu_;  ///< serialises emission only
   std::atomic<LogLevel> level_{LogLevel::kWarn};
-  Sink sink_;  // empty -> stderr
+  std::atomic<std::shared_ptr<const Sink>> sink_;  // null -> stderr
 };
 
 /// Streaming helper: MWSEC_LOG(kInfo, "webcom") << "scheduled " << n;

@@ -1,0 +1,129 @@
+#include "util/task_pool.hpp"
+
+#include <algorithm>
+
+namespace mwsec::util {
+
+TaskPool::TaskPool(std::size_t workers) {
+  const std::size_t n = std::max<std::size_t>(1, workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { run(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    // The lock orders stop_ against the waiters' predicate check: a worker
+    // between its predicate and its sleep cannot miss the flag.
+    std::scoped_lock lock(sleep_mu_);
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  sleep_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void TaskPool::submit_to(std::size_t worker, Task task) {
+  Worker& w = *workers_[worker % workers_.size()];
+  {
+    std::scoped_lock lock(w.mu);
+    w.queue.push_back(std::move(task));
+    w.depth.store(w.queue.size(), std::memory_order_release);
+  }
+  // Empty critical section: serialises against a worker that just saw
+  // every queue empty and is about to wait — it either sees the depth
+  // written above or wakes on the notify.
+  { std::scoped_lock lock(sleep_mu_); }
+  sleep_cv_.notify_one();
+}
+
+void TaskPool::submit(Task task) {
+  submit_to(next_.fetch_add(1, std::memory_order_relaxed), std::move(task));
+}
+
+bool TaskPool::try_pop(std::size_t me, Task& task) {
+  Worker& own = *workers_[me];
+  {
+    std::scoped_lock lock(own.mu);
+    if (!own.queue.empty()) {
+      task = std::move(own.queue.front());
+      own.queue.pop_front();
+      own.depth.store(own.queue.size(), std::memory_order_release);
+      return true;
+    }
+  }
+  const std::size_t n = workers_.size();
+  for (std::size_t off = 1; off < n; ++off) {
+    Worker& victim = *workers_[(me + off) % n];
+    if (victim.depth.load(std::memory_order_acquire) == 0) continue;
+    std::scoped_lock lock(victim.mu);
+    if (victim.queue.empty()) continue;
+    task = std::move(victim.queue.back());
+    victim.queue.pop_back();
+    victim.depth.store(victim.queue.size(), std::memory_order_release);
+    stolen_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool TaskPool::any_queued() const {
+  for (const auto& w : workers_) {
+    if (w->depth.load(std::memory_order_acquire) != 0) return true;
+  }
+  return false;
+}
+
+void TaskPool::run(std::size_t me) {
+  Task task;
+  while (true) {
+    if (try_pop(me, task)) {
+      task();
+      task = nullptr;  // release captures before sleeping
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock lock(sleep_mu_);
+    sleep_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_relaxed) || any_queued();
+    });
+    // Drain-on-stop: keep popping until every queue is empty so a task
+    // submitted just before destruction still runs.
+    if (stop_.load(std::memory_order_relaxed) && !any_queued()) return;
+  }
+}
+
+void TaskPool::parallel_for(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // The caller runs chunk 0; workers get the rest, pinned one per queue.
+  const std::size_t parts = std::min(n, workers_.size() + 1);
+  if (parts == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunk = (n + parts - 1) / parts;
+  struct Gather {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+  } gather{{}, {}, parts - 1};
+  for (std::size_t p = 1; p < parts; ++p) {
+    const std::size_t lo = p * chunk;
+    const std::size_t hi = std::min(n, lo + chunk);
+    submit_to(p - 1, [lo, hi, &fn, &gather] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+      std::scoped_lock lock(gather.mu);
+      if (--gather.remaining == 0) gather.cv.notify_one();
+    });
+  }
+  for (std::size_t i = 0; i < std::min(n, chunk); ++i) fn(i);
+  std::unique_lock lock(gather.mu);
+  gather.cv.wait(lock, [&] { return gather.remaining == 0; });
+}
+
+}  // namespace mwsec::util

@@ -1,0 +1,97 @@
+// A fixed worker pool with per-worker queues and work stealing.
+//
+// Built for the concurrent WebCom master (DESIGN.md §12): shard-affine
+// work — an authz shard's cache entries, a wave of scheduling decisions —
+// is submitted to a *specific* worker's queue with `submit_to`, so the
+// steady state is shared-nothing (each worker drains its own queue and
+// touches only its own shard's data). Stealing exists for balance, not
+// for the common case: a worker that runs dry takes from the *back* of a
+// victim's queue while the owner pops from the front, so owner and thief
+// contend only when a queue is nearly empty.
+//
+// Tasks must not throw — the pool runs them on bare threads (the
+// codebase reports failures through mwsec::Status, not exceptions).
+//
+// `parallel_for` is the scatter/gather primitive the scheduler and
+// `CachingAuthorizer::decide_batch` use: contiguous index chunks are
+// pinned one-per-worker and the calling thread executes the first chunk
+// itself, so a pool of W workers applies W+1 threads to the loop and a
+// 1-worker pool still overlaps the caller with one helper.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mwsec::util {
+
+class TaskPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `workers` threads (at least 1).
+  explicit TaskPool(std::size_t workers);
+  /// Drains every queued task, then joins the workers.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue on `worker % size()`'s own queue. The owning worker pops its
+  /// queue front before thieves see the back — shard affinity holds
+  /// whenever the pool keeps up.
+  void submit_to(std::size_t worker, Task task);
+
+  /// Enqueue on the next queue round-robin.
+  void submit(Task task);
+
+  /// Run fn(i) for every i in [0, n): contiguous chunks, one pinned per
+  /// worker, calling thread included. Returns once every index has run.
+  /// Do not call from inside a pool task (the worker would wait on work
+  /// only it can run).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Tasks executed by pool workers (not parallel_for chunks run inline
+  /// by callers); diagnostics/tests.
+  std::uint64_t tasks_executed() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  /// Tasks taken from another worker's queue; diagnostics/tests.
+  std::uint64_t tasks_stolen() const {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> queue;
+    /// queue.size() mirrored for the lock-free "anything anywhere?" scan
+    /// workers do before sleeping.
+    std::atomic<std::size_t> depth{0};
+  };
+
+  void run(std::size_t me);
+  bool try_pop(std::size_t me, Task& task);
+  bool any_queued() const;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  /// Guards only the sleep/wake protocol; never held while running tasks.
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+};
+
+}  // namespace mwsec::util

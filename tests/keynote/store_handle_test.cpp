@@ -1,0 +1,141 @@
+// RCU-style snapshot publication: CompiledStore::acquire() hands out
+// immutable version-stamped StoreHandles. A reader holding an old handle
+// keeps evaluating against the store it acquired — consistently — while a
+// writer installs a new bundle; fresh acquires see the new store with the
+// new version, never a new store labelled with an old version (the
+// coherence the decision cache keys on).
+#include "keynote/compiled_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "keynote/query.hpp"
+
+namespace mwsec::keynote {
+namespace {
+
+std::string trust(const std::string& principal) {
+  return "Authorizer: POLICY\nLicensees: \"" + principal +
+         "\"\nConditions: app_domain == \"WebCom\";\n";
+}
+
+Query query_for(const std::string& principal) {
+  Query q;
+  q.action_authorizers = {principal};
+  q.env.set("app_domain", "WebCom");
+  return q;
+}
+
+bool permits(const CompiledStore::StoreHandle& handle,
+             const std::string& principal) {
+  auto r = handle.snapshot->query(query_for(principal));
+  return r.ok() && r->authorized();
+}
+
+TEST(StoreHandle, CarriesTheVersionOfItsSnapshot) {
+  CompiledStore store;
+  ASSERT_TRUE(store.add_policy_text(trust("kalice")).ok());
+  auto handle = store.acquire();
+  EXPECT_EQ(handle.version, store.version());
+  ASSERT_NE(handle.snapshot, nullptr);
+  EXPECT_TRUE(permits(handle, "kalice"));
+  EXPECT_FALSE(permits(handle, "kbob"));
+}
+
+TEST(StoreHandle, RepeatAcquireOnUnchangedStoreReusesThePublishedHandle) {
+  CompiledStore store;
+  ASSERT_TRUE(store.add_policy_text(trust("kalice")).ok());
+  auto a = store.acquire();
+  auto b = store.acquire();
+  EXPECT_EQ(a.snapshot.get(), b.snapshot.get());
+  EXPECT_EQ(a.version, b.version);
+}
+
+TEST(StoreHandle, OldHandleSurvivesAMutationUnchanged) {
+  CompiledStore store;
+  ASSERT_TRUE(store.add_policy_text(trust("kalice")).ok());
+  auto old_handle = store.acquire();
+  const auto old_version = old_handle.version;
+
+  ASSERT_TRUE(store.add_policy_text(trust("kbob")).ok());
+
+  // The old handle still answers from the pre-mutation world...
+  EXPECT_EQ(old_handle.version, old_version);
+  EXPECT_TRUE(permits(old_handle, "kalice"));
+  EXPECT_FALSE(permits(old_handle, "kbob"));
+  // ...while a fresh acquire sees the new store at the new version.
+  auto fresh = store.acquire();
+  EXPECT_GT(fresh.version, old_version);
+  EXPECT_EQ(fresh.version, store.version());
+  EXPECT_TRUE(permits(fresh, "kbob"));
+}
+
+TEST(StoreHandle, OldHandleSurvivesInstallBundle) {
+  CompiledStore store;
+  ASSERT_TRUE(store.add_policy_text(trust("kalice")).ok());
+  auto old_handle = store.acquire();
+
+  // Replace the entire store contents (anti-entropy snapshot install).
+  const std::string bundle = trust("kbob") + "\n" + trust("kcarol");
+  ASSERT_TRUE(store.install_bundle(bundle, store.version() + 10).ok());
+
+  EXPECT_TRUE(permits(old_handle, "kalice"));
+  EXPECT_FALSE(permits(old_handle, "kbob"));
+  auto fresh = store.acquire();
+  EXPECT_FALSE(permits(fresh, "kalice"));
+  EXPECT_TRUE(permits(fresh, "kbob"));
+  EXPECT_TRUE(permits(fresh, "kcarol"));
+  EXPECT_EQ(fresh.version, store.version());
+}
+
+TEST(StoreHandle, ReadersStayConsistentWhileAWriterInstallsBundles) {
+  CompiledStore store;
+  ASSERT_TRUE(store.add_policy_text(trust("keven")).ok());
+
+  // Writer flips the store between trusting kalice and kbob; keven stays
+  // trusted in every version. Readers acquire a handle and check that the
+  // *pair* of answers from that one handle is internally consistent:
+  // exactly one of kalice/kbob permitted, keven always permitted.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> inconsistent{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto handle = store.acquire();
+        const bool alice = permits(handle, "kalice");
+        const bool bob = permits(handle, "kbob");
+        const bool even = permits(handle, "keven");
+        // Initial store: neither alice nor bob. After the writer's first
+        // install: exactly one of them. Never both.
+        if ((alice && bob) || !even) inconsistent.fetch_add(1);
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    for (int i = 0; i < 200; ++i) {
+      const std::string next = (i % 2 == 0) ? "kalice" : "kbob";
+      const std::string bundle = trust(next) + "\n" + trust("keven");
+      EXPECT_TRUE(store.install_bundle(bundle, store.version() + 1).ok());
+    }
+    stop.store(true, std::memory_order_relaxed);
+  });
+
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(inconsistent.load(), 0u);
+
+  // Terminal state: the writer's last install (i = 199 -> kbob) wins.
+  auto final_handle = store.acquire();
+  EXPECT_FALSE(permits(final_handle, "kalice"));
+  EXPECT_TRUE(permits(final_handle, "kbob"));
+  EXPECT_TRUE(permits(final_handle, "keven"));
+}
+
+}  // namespace
+}  // namespace mwsec::keynote

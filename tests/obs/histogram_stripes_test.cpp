@@ -1,0 +1,103 @@
+// Striped histogram: concurrent observers must never lose observations,
+// and the merged snapshot must report exact count/sum/min/max regardless
+// of which stripe each thread landed on.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mwsec::obs {
+namespace {
+
+class MetricsOn : public ::testing::Test {
+ protected:
+  void SetUp() override { set_metrics_enabled(true); }
+  void TearDown() override { set_metrics_enabled(false); }
+};
+
+using HistogramStripes = MetricsOn;
+
+TEST_F(HistogramStripes, ConcurrentObserversLoseNothing) {
+  Histogram h({1.0, 10.0, 100.0, 1000.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Thread t observes values centred on its own decade so min/max
+        // across threads are known: global min 0.5 (t=0), max 2000 (t=7).
+        h.observe(t == 0 && i == 0 ? 0.5
+                  : t == kThreads - 1 && i == 0
+                      ? 2000.0
+                      : double(1 + (i % 100)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count, std::uint64_t(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), s.count);
+  EXPECT_DOUBLE_EQ(s.min, 0.5);
+  EXPECT_DOUBLE_EQ(s.max, 2000.0);
+  // Bucket totals merged across stripes cover every observation.
+  std::uint64_t bucket_total = 0;
+  for (auto b : s.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, s.count);
+  EXPECT_GT(s.sum, 0.0);
+}
+
+TEST_F(HistogramStripes, SnapshotMatchesSerialReference) {
+  // Same observations recorded serially and concurrently must produce the
+  // same merged snapshot (sum compared with a tolerance: double addition
+  // order differs across stripes).
+  Histogram serial({2.0, 8.0, 32.0});
+  Histogram striped({2.0, 8.0, 32.0});
+  std::vector<double> values;
+  for (int i = 0; i < 4000; ++i) values.push_back(double(i % 50));
+  for (double v : values) serial.observe(v);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = t; i < values.size(); i += 4) {
+        striped.observe(values[i]);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  auto a = serial.snapshot();
+  auto b = striped.snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.buckets, b.buckets);
+  EXPECT_DOUBLE_EQ(a.min, b.min);
+  EXPECT_DOUBLE_EQ(a.max, b.max);
+  EXPECT_NEAR(a.sum, b.sum, 1e-6 * a.sum);
+  EXPECT_DOUBLE_EQ(a.p50, b.p50);
+  EXPECT_DOUBLE_EQ(a.p95, b.p95);
+}
+
+TEST_F(HistogramStripes, ResetClearsEveryStripe) {
+  Histogram h({1.0, 10.0});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 100; ++i) h.observe(5.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), 800u);
+  h.reset();
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+}
+
+}  // namespace
+}  // namespace mwsec::obs

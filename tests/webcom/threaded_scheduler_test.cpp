@@ -1,0 +1,243 @@
+// Wave-parallel WebCom master (MasterOptions::workers > 1): results,
+// lifecycle counters and paper semantics must match the serial scheduler
+// — denial determinism, deferral-when-busy, quarantine/retry, and the
+// kn_queries accounting derived from the unified decision cache.
+#include "webcom/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mwsec::webcom {
+namespace {
+
+using namespace std::chrono_literals;
+
+crypto::KeyRing& ring() {
+  static crypto::KeyRing r(/*seed=*/90210, /*modulus_bits=*/256);
+  return r;
+}
+
+std::string trust_everything(const std::string& principal) {
+  return "Authorizer: POLICY\nLicensees: \"" + principal +
+         "\"\nConditions: app_domain == \"WebCom\";\n";
+}
+
+struct Rig {
+  net::Network network;
+  std::unique_ptr<Master> master;
+  std::vector<std::unique_ptr<Client>> clients;
+
+  Master& m() { return *master; }
+};
+
+std::unique_ptr<Rig> make_rig(std::size_t n_clients, std::size_t workers,
+                              bool security = true,
+                              const std::string& prefix = "t") {
+  auto rig = std::make_unique<Rig>();
+  const auto& master_id = ring().identity("KMaster");
+  MasterOptions mopts;
+  mopts.security_enabled = security;
+  mopts.task_timeout = 150ms;
+  mopts.workers = workers;
+  rig->master = std::make_unique<Master>(rig->network, prefix + "-m",
+                                         master_id, mopts);
+
+  for (std::size_t i = 0; i < n_clients; ++i) {
+    std::string name = prefix + "-c" + std::to_string(i);
+    const auto& cid = ring().identity("K" + name);
+    ClientOptions copts;
+    copts.security_enabled = security;
+    copts.domain = "Finance";
+    copts.role = "Manager";
+    copts.user = "u" + std::to_string(i);
+    auto client = std::make_unique<Client>(rig->network, name, cid,
+                                           OperationRegistry::with_builtins(),
+                                           copts);
+    if (security) {
+      EXPECT_TRUE(client->store()
+                      .add_policy_text(trust_everything(master_id.principal()))
+                      .ok());
+    }
+    EXPECT_TRUE(client->start().ok());
+    rig->clients.push_back(std::move(client));
+
+    if (security) {
+      EXPECT_TRUE(rig->master->store()
+                      .add_policy(keynote::Assertion::parse(
+                                      trust_everything(cid.principal()))
+                                      .take())
+                      .ok());
+    }
+    ClientInfo info;
+    info.endpoint = name;
+    info.principal = cid.principal();
+    info.domain = copts.domain;
+    info.role = copts.role;
+    info.user = copts.user;
+    EXPECT_TRUE(rig->master->attach_client(info).ok());
+  }
+  return rig;
+}
+
+/// A wide secure workload: `width` independent "add" nodes feeding one
+/// final "add" chain so the exit depends on everything.
+Graph wide_graph(std::size_t width, bool secure) {
+  Graph g;
+  SecurityTarget t;
+  t.object_type = "Calc";
+  t.permission = "add";
+  NodeId acc = g.add_node("n0", "add", 2);
+  g.set_literal(acc, 0, "1").ok();
+  g.set_literal(acc, 1, "0").ok();
+  if (secure) g.set_target(acc, t).ok();
+  for (std::size_t i = 1; i < width; ++i) {
+    NodeId leaf = g.add_node("leaf" + std::to_string(i), "add", 2);
+    g.set_literal(leaf, 0, "1").ok();
+    g.set_literal(leaf, 1, "0").ok();
+    if (secure) g.set_target(leaf, t).ok();
+    NodeId next = g.add_node("n" + std::to_string(i), "add", 2);
+    if (secure) g.set_target(next, t).ok();
+    g.connect(acc, next, 0).ok();
+    g.connect(leaf, next, 1).ok();
+    acc = next;
+  }
+  g.set_exit(acc).ok();
+  return g;
+}
+
+TEST(ThreadedScheduler, WorkersExposedAndSerialByDefault) {
+  auto serial = make_rig(1, /*workers=*/0, true, "wdflt");
+  EXPECT_EQ(serial->m().workers(), 0u);
+  auto threaded = make_rig(1, /*workers=*/4, true, "wexpo");
+  EXPECT_EQ(threaded->m().workers(), 4u);
+}
+
+TEST(ThreadedScheduler, SameResultAndCountersAsSerial) {
+  constexpr std::size_t kWidth = 16;
+  auto serial = make_rig(4, /*workers=*/0, true, "ser");
+  auto threaded = make_rig(4, /*workers=*/4, true, "thr");
+
+  auto vs = serial->m().execute(wide_graph(kWidth, true));
+  auto vt = threaded->m().execute(wide_graph(kWidth, true));
+  ASSERT_TRUE(vs.ok()) << vs.error().message;
+  ASSERT_TRUE(vt.ok()) << vt.error().message;
+  EXPECT_EQ(*vs, *vt);
+  EXPECT_EQ(*vt, std::to_string(kWidth));
+
+  const auto ss = serial->m().stats();
+  const auto st = threaded->m().stats();
+  EXPECT_EQ(st.tasks_completed, ss.tasks_completed);
+  EXPECT_EQ(st.tasks_completed, 2 * kWidth - 1);
+  EXPECT_EQ(st.tasks_denied_by_master, 0u);
+  EXPECT_EQ(st.tasks_denied_by_client, 0u);
+  // Every unique (client principal, target, epoch) key misses the cache at
+  // least once in both runs; concurrent wave workers may duplicate a miss
+  // for the same key (the cache allows harmless duplicate backend queries)
+  // but can never query less than the serial master does.
+  EXPECT_GE(st.keynote_queries, ss.keynote_queries);
+  EXPECT_GT(ss.keynote_queries, 0u);
+}
+
+TEST(ThreadedScheduler, InsecureRunMakesNoKeyNoteQueries) {
+  auto rig = make_rig(4, /*workers=*/4, /*security=*/false, "insec");
+  auto v = rig->m().execute(wide_graph(12, false));
+  ASSERT_TRUE(v.ok()) << v.error().message;
+  EXPECT_EQ(rig->m().stats().keynote_queries, 0u);
+  EXPECT_EQ(rig->m().stats().tasks_completed, 23u);
+}
+
+TEST(ThreadedScheduler, DenialIsDeterministic) {
+  auto rig = make_rig(2, /*workers=*/4, true, "deny");
+  Graph g;
+  NodeId node = g.add_node("nowhere", "upper", 1);
+  g.set_literal(node, 0, "x").ok();
+  SecurityTarget t;
+  t.user = "nosuchuser";
+  g.set_target(node, t).ok();
+  g.set_exit(node).ok();
+  auto v = rig->m().execute(g);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code, "denied");
+  EXPECT_EQ(rig->m().stats().tasks_denied_by_master, 1u);
+  EXPECT_EQ(rig->m().stats().tasks_dispatched, 0u);
+}
+
+TEST(ThreadedScheduler, ClientDenialPropagates) {
+  // Client trusts nobody: the threaded master must surface the client's
+  // refusal exactly like the serial one.
+  net::Network network;
+  const auto& master_id = ring().identity("KRogue");
+  MasterOptions mopts;
+  mopts.task_timeout = 150ms;
+  mopts.workers = 4;
+  Master master(network, "cd-m", master_id, mopts);
+
+  const auto& cid = ring().identity("Kwary");
+  ClientOptions copts;
+  copts.domain = "Finance";
+  copts.role = "Manager";
+  copts.user = "u";
+  Client client(network, "cd-c", cid, OperationRegistry::with_builtins(),
+                copts);
+  ASSERT_TRUE(client.start().ok());
+  master.store()
+      .add_policy(
+          keynote::Assertion::parse(trust_everything(cid.principal())).take())
+      .ok();
+  ClientInfo info{"cd-c", cid.principal(), {}, "Finance", "Manager", "u"};
+  ASSERT_TRUE(master.attach_client(info).ok());
+
+  Graph g;
+  NodeId node = g.add_node("task", "upper", 1);
+  g.set_literal(node, 0, "x").ok();
+  g.set_exit(node).ok();
+  auto v = master.execute(g);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.error().code, "denied");
+  EXPECT_EQ(master.stats().tasks_denied_by_client, 1u);
+}
+
+TEST(ThreadedScheduler, FaultToleranceReschedulesAfterClientDeath) {
+  auto rig = make_rig(3, /*workers=*/4, /*security=*/false, "ftol");
+  rig->network.kill("ftol-c0");
+  auto v = rig->m().execute(wide_graph(8, false));
+  ASSERT_TRUE(v.ok()) << v.error().message;
+  EXPECT_EQ(*v, "8");
+  const auto st = rig->m().stats();
+  EXPECT_GT(st.tasks_timed_out, 0u);
+  EXPECT_EQ(st.tasks_completed, 15u);
+}
+
+TEST(ThreadedScheduler, PlacementConstraintHoldsUnderParallelDispatch) {
+  auto rig = make_rig(3, /*workers=*/4, true, "plc");
+  Graph g;
+  NodeId node = g.add_node("only-u2", "upper", 1);
+  g.set_literal(node, 0, "x").ok();
+  SecurityTarget t;
+  t.user = "u2";
+  g.set_target(node, t).ok();
+  g.set_exit(node).ok();
+  auto v = rig->m().execute(g);
+  ASSERT_TRUE(v.ok()) << v.error().message;
+  EXPECT_EQ(*v, "X");
+  EXPECT_EQ(rig->clients[0]->stats().tasks_executed, 0u);
+  EXPECT_EQ(rig->clients[1]->stats().tasks_executed, 0u);
+  EXPECT_EQ(rig->clients[2]->stats().tasks_executed, 1u);
+}
+
+TEST(ThreadedScheduler, RepeatedExecutionsReuseTheDecisionCache) {
+  auto rig = make_rig(4, /*workers=*/4, true, "rep");
+  const Graph g = wide_graph(8, true);
+  auto first = rig->m().execute(g);
+  ASSERT_TRUE(first.ok()) << first.error().message;
+  const auto queries_after_first = rig->m().stats().keynote_queries;
+  auto second = rig->m().execute(g);
+  ASSERT_TRUE(second.ok()) << second.error().message;
+  // Same store epoch, same requests: the second run is all cache hits.
+  EXPECT_EQ(rig->m().stats().keynote_queries, queries_after_first);
+  EXPECT_GT(rig->m().stats().decision_cache_hits, 0u);
+}
+
+}  // namespace
+}  // namespace mwsec::webcom
