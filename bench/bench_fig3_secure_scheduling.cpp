@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "webcom/scheduler.hpp"
 
@@ -152,6 +153,31 @@ BENCHMARK(BM_Fig3_SecureSchedulingThreaded)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig3_FlightArmedSecureScheduling(benchmark::State& state) {
+  // The serial secure 128x4 workload (identical to
+  // BM_Fig3_SecureSchedulingThreaded/1) with the flight recorder ARMED
+  // but idle: no thresholds, no dumps, metrics off. Every decision pays
+  // one steady_clock pair plus a ring-slot write. Compare against
+  // Threaded/1 — the acceptance bound is <= 2% overhead.
+  auto& recorder = obs::FlightRecorder::global();
+  recorder.clear_thresholds();
+  recorder.arm();
+  Rig rig(4, /*security=*/true, /*workers=*/1);
+  webcom::Graph g = wide_graph(128, true);
+  for (auto _ : state) {
+    auto v = rig.master->execute(g);
+    if (!v.ok()) state.SkipWithError(v.error().message.c_str());
+    benchmark::DoNotOptimize(v);
+  }
+  recorder.disarm();
+  state.SetItemsProcessed(state.iterations() * 129);
+  state.counters["workers"] = 1.0;
+  state.counters["flight_events"] =
+      static_cast<double>(recorder.stats().events);
+}
+BENCHMARK(BM_Fig3_FlightArmedSecureScheduling)
     ->Unit(benchmark::kMillisecond);
 
 void BM_Fig3_ObservedSecureScheduling(benchmark::State& state) {

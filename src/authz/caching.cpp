@@ -1,9 +1,12 @@
 #include "authz/caching.hpp"
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
 #include <vector>
+
+#include "obs/flight_recorder.hpp"
 
 namespace mwsec::authz {
 
@@ -17,6 +20,16 @@ std::size_t round_up_pow2(std::size_t n) {
 
 constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
 
+/// One process-wide decide-latency histogram across every decision
+/// surface fronted by a CachingAuthorizer — the series the SLO
+/// "decide_p99_us" objective reads (per-instance hit/miss counters stay
+/// under the instance's metric_prefix).
+obs::Histogram& decide_us_histogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "authz.decide_us");
+  return h;
+}
+
 }  // namespace
 
 CachingAuthorizer::CachingAuthorizer(const Authorizer& inner)
@@ -24,6 +37,7 @@ CachingAuthorizer::CachingAuthorizer(const Authorizer& inner)
 
 CachingAuthorizer::CachingAuthorizer(const Authorizer& inner, Options options)
     : inner_(inner),
+      metric_prefix_(options.metric_prefix),
       shard_mask_(round_up_pow2(options.shards == 0 ? 1 : options.shards) - 1),
       shards_(new Shard[shard_mask_ + 1]),
       pool_(options.pool),
@@ -68,7 +82,30 @@ CachingAuthorizer::Shard& CachingAuthorizer::shard_for(
   return shards_[shard_index(request)];
 }
 
+void CachingAuthorizer::set_epoch_provenance(
+    std::function<obs::TraceContext()> provenance) {
+  provenance_ = std::move(provenance);
+}
+
 Verdict CachingAuthorizer::decide(const Request& request) const {
+  // Timing wrapper: one clock pair feeds both the decide-latency
+  // histogram (metrics on) and the flight recorder (armed). With both
+  // off — the default — this is two relaxed loads and a tail call.
+  auto& recorder = obs::FlightRecorder::global();
+  const bool timed = recorder.armed() || obs::metrics_enabled();
+  if (!timed) return decide_impl(request);
+  const auto t0 = std::chrono::steady_clock::now();
+  Verdict verdict = decide_impl(request);
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  decide_us_histogram().observe(us);
+  recorder.record(obs::FlightKind::kDecision, us,
+                  obs::current_context().trace_id);
+  return verdict;
+}
+
+Verdict CachingAuthorizer::decide_impl(const Request& request) const {
   if (!request.credentials.empty()) {
     bypasses_.fetch_add(1, kRelaxed);
     return inner_.decide(request);
@@ -82,6 +119,21 @@ Verdict CachingAuthorizer::decide(const Request& request) const {
       if (!shard.entries.empty()) {
         shard.entries.clear();
         invalidations_.fetch_add(1, kRelaxed);
+        // The flush is *the* observable verdict flip: whatever this
+        // shard answered before, it re-derives under the new epoch from
+        // here on. Join the span to whatever moved the epoch (the
+        // replica's apply, via the wired provenance) to close the
+        // revocation fan-out tree.
+        if (provenance_ && obs::Tracer::global().enabled()) {
+          if (obs::TraceContext origin = provenance_(); origin.valid()) {
+            obs::Span flip =
+                obs::Tracer::global().join("authz.verdict_flip", origin);
+            flip.set_attr("cache", metric_prefix_);
+            flip.set_attr("epoch", std::to_string(now));
+            flip.set_attr(obs::kAttrPrincipal, request.principal);
+            flip.set_status("flushed");
+          }
+        }
       }
       shard.epoch = now;
     }

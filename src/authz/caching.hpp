@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -35,6 +36,7 @@
 
 #include "authz/authz.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/task_pool.hpp"
 
 namespace mwsec::authz {
@@ -80,6 +82,15 @@ class CachingAuthorizer final : public Authorizer {
   /// decisions cached before it existed.
   void invalidate();
 
+  /// Wire the causal origin of epoch movements. When a shard flushes
+  /// because the backend epoch moved (a replicated delta landed, a policy
+  /// changed) and the provenance yields a valid context, the flush emits
+  /// an "authz.verdict_flip" span joined to it — the final hop of the
+  /// revocation fan-out tree (publish → net → apply → flip). The WebCom
+  /// master points this at its policy replica's last_applied_context().
+  /// Not synchronised: wire before concurrent decide() traffic starts.
+  void set_epoch_provenance(std::function<obs::TraceContext()> provenance);
+
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;        ///< backend queries paid
@@ -108,8 +119,11 @@ class CachingAuthorizer final : public Authorizer {
 
   static std::string cache_key(const Request& request);
   Shard& shard_for(const Request& request) const;
+  Verdict decide_impl(const Request& request) const;
 
   const Authorizer& inner_;
+  std::string metric_prefix_;
+  std::function<obs::TraceContext()> provenance_;
   std::size_t shard_mask_;
   std::unique_ptr<Shard[]> shards_;
   util::TaskPool* pool_;

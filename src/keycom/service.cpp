@@ -167,6 +167,11 @@ mwsec::Result<UpdateReport> Service::apply(const UpdateRequest& request) {
     span.set_attr(obs::kAttrPrincipal, request.requester);
     span.set_attr(obs::kAttrAction, "policy-update");
   }
+  // Ambient context for the scope of the apply: a sync::Authority publish
+  // triggered by this update (an admin pushing a revocation through
+  // KeyCOM) roots its "sync.publish" span under this apply, so the whole
+  // propagation tree hangs off the administrative action that caused it.
+  obs::ScopedTraceContext ambient(span.context());
   if (auto s = request.verify(); !s.ok()) {
     ++stats_.bad_signatures;
     metrics.bad_signatures.inc();

@@ -57,12 +57,13 @@ std::optional<Message> Endpoint::try_receive() {
 }
 
 mwsec::Status Endpoint::send(const std::string& to, const std::string& subject,
-                             util::Bytes payload) {
+                             util::Bytes payload, obs::TraceContext ctx) {
   Message m;
   m.from = name_;
   m.to = to;
   m.subject = subject;
   m.payload = std::move(payload);
+  m.ctx = ctx;
   return network_->send(std::move(m));
 }
 
@@ -127,6 +128,21 @@ mwsec::Status Network::send(Message m) {
   metrics.bytes.inc(m.payload.size());
   m.id = next_id_.fetch_add(1, kRelaxed);
 
+  // One hop span per traced message: joined to the sender's context, and
+  // the envelope is rewritten to the hop's own context so the receiver's
+  // spans nest under it (sender → net.deliver → receiver). Inert unless
+  // the message carries a context and tracing is on.
+  obs::Span hop;
+  if (m.ctx.valid()) {
+    hop = obs::Tracer::global().join("net.deliver", m.ctx);
+    if (hop.active()) {
+      hop.set_attr("from", m.from);
+      hop.set_attr("to", m.to);
+      hop.set_attr("subject", m.subject);
+      m.ctx = hop.context();
+    }
+  }
+
   // Route lookup + partition check under the shared lock only: concurrent
   // senders read the routing table together, writers (open/kill/
   // set_partitioned) are rare and take it exclusively.
@@ -140,6 +156,7 @@ mwsec::Status Network::send(Message m) {
     if (partitions_.count({key.first, key.second})) {
       stats_.partitioned.fetch_add(1, kRelaxed);
       metrics.partitioned.inc();
+      hop.set_status("partitioned");
       return Error::make("send to '" + m.to + "' failed: link partitioned (" +
                              m.from + " <-> " + m.to + ")",
                          "net");
@@ -150,11 +167,13 @@ mwsec::Status Network::send(Message m) {
   if (roll(options_.drop_probability)) {
     stats_.dropped.fetch_add(1, kRelaxed);
     metrics.dropped.inc();
+    hop.set_status("dropped");
     return {};  // silently lost, as real networks do
   }
   if (dest == nullptr || dest->closed()) {
     stats_.undeliverable.fetch_add(1, kRelaxed);
     metrics.undeliverable.inc();
+    hop.set_status("undeliverable");
     return Error::make(
         "send to '" + m.to + "' failed: " +
             (dest == nullptr ? "no such endpoint" : "endpoint closed"),
@@ -173,11 +192,13 @@ mwsec::Status Network::send(Message m) {
   if (!accepted) {
     stats_.undeliverable.fetch_add(1, kRelaxed);
     metrics.undeliverable.inc();
+    hop.set_status("undeliverable");
     return Error::make("send to '" + m.to + "' failed: endpoint closed",
                        "net");
   }
   stats_.delivered.fetch_add(1, kRelaxed);
   metrics.delivered.inc();
+  hop.set_status("delivered");
   std::uint64_t jumps = jumped ? 1u : 0u;
   if (duplicate) {
     bool dup_jumped = false;

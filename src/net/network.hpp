@@ -34,6 +34,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "util/byte_buffer.hpp"
 #include "util/rng.hpp"
 
@@ -45,6 +46,13 @@ struct Message {
   std::string subject;  ///< message type tag, e.g. "task", "task-result"
   util::Bytes payload;
   std::uint64_t id = 0;  ///< assigned by the network on send
+  /// Causal envelope: the sender's span context. When valid and tracing
+  /// is on, the network records a "net.deliver" hop span joined to it and
+  /// rewrites this field to the hop's context before delivery, so the
+  /// receiver's spans chain sender → net hop → receiver. (A socket
+  /// transport would frame these 16 bytes after the subject; here the
+  /// struct member *is* the wire slot.)
+  obs::TraceContext ctx;
 };
 
 class Network;
@@ -64,9 +72,10 @@ class Endpoint {
   std::optional<Message> receive(std::chrono::milliseconds timeout);
   /// Non-blocking receive.
   std::optional<Message> try_receive();
-  /// Convenience: send from this endpoint.
+  /// Convenience: send from this endpoint. `ctx` (optional) is the
+  /// sender's span context to propagate in the message envelope.
   mwsec::Status send(const std::string& to, const std::string& subject,
-                     util::Bytes payload);
+                     util::Bytes payload, obs::TraceContext ctx = {});
 
   std::size_t pending() const;
   /// Stop accepting and wake blocked receivers.

@@ -1,0 +1,88 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace mwsec::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void render_histogram(std::ostringstream& os, const std::string& name,
+                      const Histogram::Snapshot& h) {
+  os << "# TYPE " << name << " histogram\n";
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+    cum += i < h.buckets.size() ? h.buckets[i] : 0;
+    os << name << "_bucket{le=\"" << fmt_double(h.bounds[i]) << "\"} " << cum
+       << "\n";
+  }
+  os << name << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+  os << name << "_sum " << fmt_double(h.sum) << "\n";
+  os << name << "_count " << h.count << "\n";
+}
+
+}  // namespace
+
+std::string openmetrics_name(std::string_view name) {
+  std::string out = "mwsec_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string render_openmetrics(const Registry::Snapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, v] : snapshot.counters) {
+    const std::string n = openmetrics_name(name);
+    os << "# TYPE " << n << " counter\n" << n << "_total " << v << "\n";
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    const std::string n = openmetrics_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << " " << v << "\n";
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    render_histogram(os, openmetrics_name(name), h);
+  }
+  os << "# EOF\n";
+  return os.str();
+}
+
+mwsec::Status write_openmetrics_file(const std::string& path,
+                                     const Registry::Snapshot& snapshot) {
+  const std::string body = render_openmetrics(snapshot);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Error::make("openmetrics: cannot open " + tmp + ": " +
+                           std::strerror(errno),
+                       "obs");
+  }
+  const bool wrote = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return Error::make("openmetrics: short write to " + tmp, "obs");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Error::make("openmetrics: rename to " + path + " failed: " +
+                           std::strerror(errno),
+                       "obs");
+  }
+  return {};
+}
+
+}  // namespace mwsec::obs

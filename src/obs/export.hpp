@@ -1,0 +1,30 @@
+// OpenMetrics / Prometheus-text exposition of an obs::Registry snapshot.
+//
+// Metric names are sanitised (dots → underscores, "mwsec_" prefix);
+// counters gain the conventional `_total` suffix; histograms emit the
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`, ending
+// with le="+Inf". The output terminates with the OpenMetrics `# EOF`
+// marker, so a scraper (or promtool) can validate completeness.
+//
+// `write_openmetrics_file` writes atomically (temp file + rename) so a
+// scraper reading the path mid-update never sees a torn exposition —
+// this is the periodic file sink behind `mwsec-stats serve`.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::obs {
+
+/// "webcom.decision_cache_hits" → "mwsec_webcom_decision_cache_hits".
+std::string openmetrics_name(std::string_view name);
+
+std::string render_openmetrics(const Registry::Snapshot& snapshot);
+
+/// Atomic write: render to `path + ".tmp"`, then rename over `path`.
+mwsec::Status write_openmetrics_file(const std::string& path,
+                                     const Registry::Snapshot& snapshot);
+
+}  // namespace mwsec::obs

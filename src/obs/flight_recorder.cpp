@@ -1,0 +1,198 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/trace.hpp"
+#include "util/logging.hpp"
+
+namespace mwsec::obs {
+
+namespace {
+constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+}  // namespace
+
+const char* flight_kind_name(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kDecision: return "decision";
+    case FlightKind::kRetransmit: return "retransmit";
+    case FlightKind::kQuarantine: return "quarantine";
+    case FlightKind::kDeltaApply: return "delta_apply";
+    case FlightKind::kCustom: return "custom";
+  }
+  return "?";
+}
+
+std::string FlightEvent::to_json() const {
+  std::string out = "{\"ts_ns\":" + std::to_string(ts_ns) + ",\"kind\":\"" +
+                    flight_kind_name(kind) +
+                    "\",\"value\":" + fmt_double(value) +
+                    ",\"trace_id\":" + std::to_string(trace_id) +
+                    ",\"detail\":" + std::to_string(detail) +
+                    ",\"thread\":" + std::to_string(thread) + "}";
+  return out;
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder fr;
+  return fr;
+}
+
+FlightRecorder::Ring& FlightRecorder::ring_for_this_thread() {
+  // One registration (under the mutex) per thread per recorder; the
+  // pointer stays valid forever because rings are never destroyed before
+  // process exit (`global()` is a leaky singleton in practice — tests use
+  // reset(), which clears slots but keeps rings).
+  thread_local Ring* mine = nullptr;
+  thread_local FlightRecorder* owner = nullptr;
+  if (mine == nullptr || owner != this) {
+    std::scoped_lock lock(registry_mu_);
+    rings_.push_back(std::make_unique<Ring>());
+    rings_.back()->thread = util::this_thread_tag();
+    mine = rings_.back().get();
+    owner = this;
+  }
+  return *mine;
+}
+
+void FlightRecorder::record_armed(FlightKind kind, double value,
+                                  std::uint64_t trace_id,
+                                  std::uint64_t detail) {
+  Ring& ring = ring_for_this_thread();
+  Slot& slot = ring.slots[ring.head % kRingCapacity];
+  ++ring.head;
+  slot.ts_ns.store(process_now_ns(), kRelaxed);
+  slot.trace_id.store(trace_id, kRelaxed);
+  slot.detail.store(detail, kRelaxed);
+  slot.value.store(value, kRelaxed);
+  slot.kind.store(static_cast<std::uint8_t>(kind), kRelaxed);
+  // seq last, release: a reader that sees it non-zero sees the fields.
+  slot.seq.store(ring.head, std::memory_order_release);
+  events_.fetch_add(1, kRelaxed);
+
+  const auto k = static_cast<std::size_t>(kind);
+  if (threshold_set_[k].load(kRelaxed) &&
+      value >= thresholds_[k].load(kRelaxed)) {
+    maybe_dump(kind, value);
+  }
+}
+
+void FlightRecorder::set_threshold(FlightKind kind, double min_value) {
+  const auto k = static_cast<std::size_t>(kind);
+  if (min_value < 0) {
+    threshold_set_[k].store(false, kRelaxed);
+    return;
+  }
+  thresholds_[k].store(min_value, kRelaxed);
+  threshold_set_[k].store(true, kRelaxed);
+}
+
+void FlightRecorder::clear_thresholds() {
+  for (auto& set : threshold_set_) set.store(false, kRelaxed);
+}
+
+void FlightRecorder::set_dump_path(std::string path) {
+  std::scoped_lock lock(dump_mu_);
+  dump_path_ = std::move(path);
+}
+
+void FlightRecorder::set_dump_callback(DumpFn fn) {
+  std::scoped_lock lock(dump_mu_);
+  dump_fn_ = std::move(fn);
+}
+
+void FlightRecorder::set_dump_cooldown_ns(std::uint64_t ns) {
+  std::scoped_lock lock(dump_mu_);
+  dump_cooldown_ns_ = ns;
+}
+
+void FlightRecorder::maybe_dump(FlightKind kind, double value) {
+  // Cooldown gate: first trigger in a window wins the CAS and dumps; the
+  // storm behind it sees a fresh last_dump and returns.
+  const std::uint64_t now = process_now_ns();
+  std::uint64_t last = last_dump_ns_.load(kRelaxed);
+  std::uint64_t cooldown;
+  {
+    std::scoped_lock lock(dump_mu_);
+    cooldown = dump_cooldown_ns_;
+  }
+  // `now` can be 0 only within the first nanosecond of the epoch; +1
+  // keeps the very first trigger distinguishable from "never dumped".
+  if (last != 0 && now - last < cooldown) return;
+  if (!last_dump_ns_.compare_exchange_strong(last, now + 1, kRelaxed)) return;
+
+  const std::string jsonl = dump_jsonl(kind, value);
+  dumps_.fetch_add(1, kRelaxed);
+  std::scoped_lock lock(dump_mu_);
+  if (!dump_path_.empty()) {
+    if (std::FILE* f = std::fopen(dump_path_.c_str(), "a")) {
+      std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+      std::fclose(f);
+    }
+  }
+  if (dump_fn_) dump_fn_(jsonl, kind, value);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  std::vector<FlightEvent> out;
+  std::scoped_lock lock(registry_mu_);
+  for (const auto& ring : rings_) {
+    for (const Slot& slot : ring->slots) {
+      if (slot.seq.load(std::memory_order_acquire) == 0) continue;
+      FlightEvent e;
+      e.ts_ns = slot.ts_ns.load(kRelaxed);
+      e.trace_id = slot.trace_id.load(kRelaxed);
+      e.detail = slot.detail.load(kRelaxed);
+      e.value = slot.value.load(kRelaxed);
+      e.kind = static_cast<FlightKind>(slot.kind.load(kRelaxed));
+      e.thread = ring->thread;
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return out;
+}
+
+std::string FlightRecorder::dump_jsonl(FlightKind reason, double value) const {
+  std::string out = "{\"flight_dump\":{\"reason\":\"" +
+                    std::string(flight_kind_name(reason)) +
+                    "\",\"value\":" + fmt_double(value) +
+                    ",\"ts_ns\":" + std::to_string(process_now_ns()) + "}}\n";
+  for (const FlightEvent& e : snapshot()) {
+    out += e.to_json();
+    out += "\n";
+  }
+  return out;
+}
+
+FlightRecorder::Stats FlightRecorder::stats() const {
+  Stats s;
+  s.events = events_.load(kRelaxed);
+  s.dumps = dumps_.load(kRelaxed);
+  std::scoped_lock lock(registry_mu_);
+  s.threads = rings_.size();
+  return s;
+}
+
+void FlightRecorder::reset() {
+  std::scoped_lock lock(registry_mu_);
+  for (auto& ring : rings_) {
+    for (Slot& slot : ring->slots) slot.seq.store(0, kRelaxed);
+    // head intentionally kept: the owning thread's thread_local pointer
+    // still targets this ring and keeps writing monotonically.
+  }
+  events_.store(0, kRelaxed);
+  dumps_.store(0, kRelaxed);
+  last_dump_ns_.store(0, kRelaxed);
+}
+
+}  // namespace mwsec::obs

@@ -1,0 +1,154 @@
+// Always-on flight recorder: a lock-free, fixed-memory, per-thread ring
+// of recent noteworthy events (decision latencies, retransmits,
+// quarantines) that costs ~nothing while armed and idle, and dumps its
+// recent history the moment an anomaly trips a trigger.
+//
+// Design (DESIGN.md §13):
+//   - One ring per recording thread, `kRingCapacity` slots of plain-old
+//     atomics (~48 bytes each → ~48 KiB/thread, fixed at arm time, never
+//     freed). Rings register themselves once, under a mutex, on a
+//     thread's first record(); the hot path after that touches only the
+//     thread-local ring.
+//   - Every slot field is a relaxed std::atomic. The writer is single
+//     (the owning thread); dumpers read concurrently without stopping
+//     the world. A slot's `seq` is stamped last with release order, so a
+//     reader that acquires a non-zero seq sees a fully written event —
+//     and a torn read (writer lapping the reader) at worst yields one
+//     stale-but-well-formed event, never UB. TSan-clean by construction.
+//   - Timestamps are obs::process_now_ns() (the same epoch spans use), so
+//     a dump interleaves exactly with the trace tree.
+//   - Triggers: set_threshold(kind, min_value) arms "dump_on(anomaly)" —
+//     a record() whose value reaches the threshold snapshots every ring
+//     (JSONL, ts-ascending) to the configured path/callback, rate-limited
+//     by a cooldown so a latency storm produces one dump, not thousands.
+//
+// When disarmed (the default), record() is one relaxed load and a branch.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mwsec::obs {
+
+enum class FlightKind : std::uint8_t {
+  kDecision = 0,    ///< value = authz decide latency, µs
+  kRetransmit = 1,  ///< value = log-suffix length resent
+  kQuarantine = 2,  ///< value = delivery attempts when the client was cut
+  kDeltaApply = 3,  ///< value = applied epoch
+  kCustom = 4,
+};
+inline constexpr std::size_t kFlightKinds = 5;
+const char* flight_kind_name(FlightKind kind);
+
+/// One decoded event (the snapshot/dump element).
+struct FlightEvent {
+  std::uint64_t ts_ns = 0;     ///< obs::process_now_ns() at record time
+  std::uint64_t trace_id = 0;  ///< causal tree the event belongs to (0 = none)
+  std::uint64_t detail = 0;    ///< kind-specific (epoch, attempt count…)
+  double value = 0;
+  FlightKind kind = FlightKind::kCustom;
+  std::uint32_t thread = 0;  ///< util::this_thread_tag() of the recorder
+
+  std::string to_json() const;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kRingCapacity = 1024;  ///< slots per thread
+
+  /// The process-wide recorder every instrumentation site records into.
+  static FlightRecorder& global();
+
+  void arm() { armed_.store(true, std::memory_order_relaxed); }
+  void disarm() { armed_.store(false, std::memory_order_relaxed); }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Record one event. Disarmed: one relaxed load. Armed: a handful of
+  /// relaxed stores into the calling thread's ring (no locks after the
+  /// thread's first record), plus a threshold check.
+  void record(FlightKind kind, double value, std::uint64_t trace_id = 0,
+              std::uint64_t detail = 0) {
+    if (!armed()) return;
+    record_armed(kind, value, trace_id, detail);
+  }
+
+  /// Dump every ring when an event of `kind` records a value >= threshold
+  /// (dump_on(anomaly)). Pass a negative threshold to disable that kind.
+  void set_threshold(FlightKind kind, double min_value);
+  void clear_thresholds();
+
+  /// Where triggered dumps go: appended to `path` as JSONL (one event per
+  /// line plus a {"flight_dump":...} header), and/or handed to the
+  /// callback. Empty path / null callback disables that sink.
+  void set_dump_path(std::string path);
+  using DumpFn = std::function<void(const std::string& jsonl, FlightKind kind,
+                                    double value)>;
+  void set_dump_callback(DumpFn fn);
+  /// Minimum time between triggered dumps (default 1s): an anomaly storm
+  /// produces one dump, not one per event.
+  void set_dump_cooldown_ns(std::uint64_t ns);
+
+  /// All buffered events across every thread's ring, timestamp-ascending.
+  /// Safe concurrently with recording (see header comment).
+  std::vector<FlightEvent> snapshot() const;
+  /// snapshot() as JSON lines, prefixed with a {"flight_dump":...} header
+  /// naming the trigger (kCustom/0 for manual dumps).
+  std::string dump_jsonl(FlightKind reason, double value) const;
+
+  struct Stats {
+    std::uint64_t events = 0;  ///< total recorded since reset
+    std::uint64_t dumps = 0;   ///< triggered dumps emitted
+    std::size_t threads = 0;   ///< rings registered
+  };
+  Stats stats() const;
+
+  /// Clear all rings and counters (tests; not thread-safe vs recorders).
+  void reset();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< 0 = never written
+    std::atomic<std::uint64_t> ts_ns{0};
+    std::atomic<std::uint64_t> trace_id{0};
+    std::atomic<std::uint64_t> detail{0};
+    std::atomic<double> value{0};
+    std::atomic<std::uint8_t> kind{0};
+  };
+  struct Ring {
+    std::array<Slot, kRingCapacity> slots;
+    std::uint64_t head = 0;  ///< next slot; single writer (owning thread)
+    std::uint32_t thread = 0;
+  };
+
+  FlightRecorder() = default;
+  void record_armed(FlightKind kind, double value, std::uint64_t trace_id,
+                    std::uint64_t detail);
+  Ring& ring_for_this_thread();
+  void maybe_dump(FlightKind kind, double value);
+
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> events_{0};
+  std::atomic<std::uint64_t> dumps_{0};
+  std::atomic<std::uint64_t> last_dump_ns_{0};
+  std::array<std::atomic<double>, kFlightKinds> thresholds_{};
+  std::array<std::atomic<bool>, kFlightKinds> threshold_set_{};
+  std::uint64_t dump_cooldown_ns_ = 1'000'000'000;
+
+  /// Ring registry: appended under the mutex on a thread's first record,
+  /// then only read (snapshot) — rings are never freed, so a pointer
+  /// handed to a thread_local stays valid for the process lifetime.
+  mutable std::mutex registry_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+
+  mutable std::mutex dump_mu_;  ///< serialises dump emission + sink config
+  std::string dump_path_;
+  DumpFn dump_fn_;
+};
+
+}  // namespace mwsec::obs

@@ -1,0 +1,79 @@
+// Declarative service-level objectives evaluated against a metrics
+// snapshot plus the trace buffer — the machine-checked form of the
+// claims EXPERIMENTS.md makes in prose ("p99 decide latency", "revoke
+// reaches every replica", "the cache actually hits").
+//
+// An objective names a kind, the metric(s)/span(s) it reads, and a
+// threshold; evaluate_slo() turns a set of them into pass/fail results
+// with the measured value attached. SloReport::to_json() is the artifact
+// tools/bench_report.py merges into BENCH_keynote.json under "slo", and
+// what CI gates on (DESIGN.md §13 for the schema).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mwsec::obs {
+
+struct SloObjective {
+  enum class Kind {
+    /// histogram `metric` p99 <= threshold (µs for *_us histograms).
+    kHistogramP99Max,
+    /// hit_rate(metric, metric2) >= threshold (counters: hits, misses).
+    kHitRateMin,
+    /// counter `metric` >= threshold.
+    kCounterAtLeast,
+    /// counter `metric` <= threshold.
+    kCounterAtMost,
+    /// Trace-derived propagation lag: within each trace containing a span
+    /// named `metric` (the cause), the latest *end* of a span named
+    /// `metric2` (the effect) minus the cause's start, maximised over
+    /// traces, must be <= threshold µs. Fails if no trace pairs them —
+    /// an SLO about propagation is meaningless without evidence it
+    /// happened.
+    kSpanGapMax,
+  };
+
+  std::string name;    ///< report key, e.g. "decide_p99_us"
+  Kind kind;
+  std::string metric;  ///< histogram/counter/start-span name
+  std::string metric2; ///< misses counter / end-span name (kind-dependent)
+  double threshold = 0;
+};
+
+const char* slo_kind_name(SloObjective::Kind kind);
+
+struct SloResult {
+  std::string name;
+  std::string kind;
+  bool pass = false;
+  double value = 0;      ///< what was measured
+  double threshold = 0;
+  std::string detail;    ///< why it failed / how it was derived
+};
+
+struct SloReport {
+  std::vector<SloResult> results;
+
+  bool pass() const;
+  /// {"pass":bool,"objectives":[{...}]}
+  std::string to_json() const;
+};
+
+SloReport evaluate_slo(std::span<const SloObjective> objectives,
+                       const Registry::Snapshot& snapshot,
+                       std::span<const SpanRecord> spans);
+
+/// The standing objectives for the revocation/scheduling scenario that
+/// `mwsec-stats slo` runs (and CI gates on): p99 decide latency,
+/// revoke→verdict-flip propagation lag, decision-cache hit-rate floor,
+/// and denied-correctness (a post-revocation denial actually happened,
+/// with zero replica apply errors).
+std::vector<SloObjective> default_slo_objectives();
+
+}  // namespace mwsec::obs

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "util/logging.hpp"
+
 namespace mwsec::obs {
 
 namespace {
@@ -30,7 +32,38 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+/// One steady-clock origin per process (fixed at first use). Every span
+/// timestamp is relative to this, never to a tracer's creation time —
+/// components construct tracers at different moments, and per-tracer
+/// epochs made cross-component trees unorderable.
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+thread_local TraceContext t_current_context;
+
 }  // namespace
+
+std::uint64_t process_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - process_epoch())
+          .count());
+}
+
+TraceContext current_context() { return t_current_context; }
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx)
+    : saved_(t_current_context) {
+  t_current_context = ctx;
+  util::set_current_trace_id(ctx.trace_id);
+}
+
+ScopedTraceContext::~ScopedTraceContext() {
+  t_current_context = saved_;
+  util::set_current_trace_id(saved_.trace_id);
+}
 
 const std::string* SpanRecord::attr(std::string_view key) const {
   for (const auto& [k, v] : attrs) {
@@ -41,10 +74,10 @@ const std::string* SpanRecord::attr(std::string_view key) const {
 
 std::string SpanRecord::to_json() const {
   std::ostringstream os;
-  os << "{\"id\":" << id << ",\"parent\":" << parent << ",\"name\":\""
-     << json_escape(name) << "\",\"start_ns\":" << start_ns
-     << ",\"duration_ns\":" << duration_ns << ",\"status\":\""
-     << json_escape(status) << "\"";
+  os << "{\"trace_id\":" << trace_id << ",\"id\":" << id
+     << ",\"parent\":" << parent << ",\"name\":\"" << json_escape(name)
+     << "\",\"start_ns\":" << start_ns << ",\"duration_ns\":" << duration_ns
+     << ",\"status\":\"" << json_escape(status) << "\"";
   if (!attrs.empty()) {
     os << ",\"attrs\":{";
     for (std::size_t i = 0; i < attrs.size(); ++i) {
@@ -58,7 +91,7 @@ std::string SpanRecord::to_json() const {
   return os.str();
 }
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+Tracer::Tracer() { process_epoch(); }
 
 Tracer& Tracer::global() {
   static Tracer t;
@@ -89,7 +122,7 @@ void Tracer::Span::set_status(std::string_view status) {
 
 Tracer::Span Tracer::Span::child(std::string name) {
   if (tracer_ == nullptr) return {};
-  return tracer_->make_span(std::move(name), rec_->id);
+  return tracer_->make_span(std::move(name), rec_->id, rec_->trace_id);
 }
 
 void Tracer::Span::finish() {
@@ -106,20 +139,33 @@ void Tracer::Span::finish() {
 
 Tracer::Span Tracer::root(std::string name) {
   if (!enabled()) return {};
-  return make_span(std::move(name), 0);
+  return make_span(std::move(name), 0, 0);
 }
 
-Tracer::Span Tracer::make_span(std::string name, std::uint64_t parent) {
+Tracer::Span Tracer::join(std::string name, TraceContext ctx) {
+  if (!enabled()) return {};
+  if (!ctx.valid()) return make_span(std::move(name), 0, 0);
+  return make_span(std::move(name), ctx.span_id, ctx.trace_id);
+}
+
+Tracer::Span Tracer::start(std::string name) {
+  return join(std::move(name), current_context());
+}
+
+Tracer::Span Tracer::make_span(std::string name, std::uint64_t parent,
+                               std::uint64_t trace) {
   Span span;
   span.tracer_ = this;
   span.rec_ = std::make_unique<SpanRecord>();
   span.rec_->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  // A root starts a new trace named after itself.
+  span.rec_->trace_id = trace != 0 ? trace : span.rec_->id;
   span.rec_->parent = parent;
   span.rec_->name = std::move(name);
   span.start_ = std::chrono::steady_clock::now();
   span.rec_->start_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(span.start_ -
-                                                           epoch_)
+                                                           process_epoch())
           .count());
   return span;
 }

@@ -8,6 +8,19 @@
 // operation on it is a null-pointer check, so the mediation hot paths pay
 // nothing measurable with tracing off.
 //
+// Causal propagation: every span carries a (trace_id, span_id, parent)
+// triple. A root span starts a new trace (trace_id == its own id); a span
+// created with `join()` continues the trace described by a `TraceContext`
+// — the 16-byte envelope that `net::Message` and the sync delta frames
+// carry across component boundaries. `Span::context()` extracts the
+// context to forward; `ScopedTraceContext` + `Tracer::start()` provide an
+// ambient (thread-local) current context so deep callees join the
+// enclosing operation without threading a parameter through every layer.
+//
+// Timestamps are nanoseconds since one process-wide steady-clock epoch
+// (`process_now_ns`), so spans recorded by different components and
+// threads order correctly in one merged trace tree.
+//
 // Mediation points use the well-known attribute keys below so a consumer
 // (audit log, mwsec-stats, a human reading the JSONL export) can answer
 // "why was this request denied, and by which layer?" without knowing the
@@ -37,12 +50,48 @@ inline constexpr const char* kAttrDecision = "decision";  // "permit"/"deny"
 inline constexpr const char* kAttrDeniedBy = "denied_by";  // layer name
 inline constexpr const char* kAttrReason = "reason";  // failing constraint
 
+/// Nanoseconds since the process-wide steady-clock epoch (fixed at the
+/// first call, one epoch per process). All span timestamps derive from
+/// this so records from any tracer, thread, or component are comparable.
+std::uint64_t process_now_ns();
+
+/// The portable causal link: which trace an operation belongs to and
+/// which span caused it. This is what crosses component boundaries —
+/// stamped into net::Message envelopes and sync delta frames. A
+/// default-constructed context is invalid (joins fall back to roots).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0 && span_id != 0; }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// The calling thread's ambient trace context (set by ScopedTraceContext;
+/// invalid when no traced operation is active on this thread).
+TraceContext current_context();
+
+/// RAII: makes `ctx` the calling thread's ambient context for the scope,
+/// restoring the previous one on destruction. Also mirrors the trace id
+/// into util::Logger's line prefix (via util::set_current_trace_id).
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
 /// One finished span.
 struct SpanRecord {
+  std::uint64_t trace_id = 0;  ///< root span id of the causal tree
   std::uint64_t id = 0;
   std::uint64_t parent = 0;  ///< 0 for roots
   std::string name;
-  std::uint64_t start_ns = 0;  ///< steady-clock ns since tracer creation
+  std::uint64_t start_ns = 0;  ///< steady-clock ns since the process epoch
   std::uint64_t duration_ns = 0;
   std::string status;  ///< e.g. "complete", "timeout", "permit", "deny"
   std::vector<std::pair<std::string, std::string>> attrs;
@@ -95,6 +144,15 @@ class Tracer {
 
     bool active() const { return tracer_ != nullptr; }
     std::uint64_t id() const { return rec_ != nullptr ? rec_->id : 0; }
+    std::uint64_t trace_id() const {
+      return rec_ != nullptr ? rec_->trace_id : 0;
+    }
+    /// The context to forward so downstream work joins this span as its
+    /// parent. Invalid for inert spans.
+    TraceContext context() const {
+      return rec_ != nullptr ? TraceContext{rec_->trace_id, rec_->id}
+                             : TraceContext{};
+    }
 
     void set_attr(std::string_view key, std::string_view value);
     void set_status(std::string_view status);
@@ -110,8 +168,17 @@ class Tracer {
     std::chrono::steady_clock::time_point start_;
   };
 
-  /// Start a root span; inert when tracing is disabled.
+  /// Start a root span (a new trace); inert when tracing is disabled.
   Span root(std::string name);
+
+  /// Continue the trace described by `ctx` with a new span whose parent
+  /// is `ctx.span_id`. An invalid context starts a new trace (root).
+  /// Inert when tracing is disabled.
+  Span join(std::string name, TraceContext ctx);
+
+  /// Join the calling thread's ambient context (see ScopedTraceContext);
+  /// a root when no ambient context is set. Inert when disabled.
+  Span start(std::string name);
 
   /// Sinks observe every finished span (called with the tracer's sink
   /// lock held — keep them fast, do not re-enter the tracer).
@@ -127,12 +194,11 @@ class Tracer {
   void clear();
 
  private:
-  Span make_span(std::string name, std::uint64_t parent);
+  Span make_span(std::string name, std::uint64_t parent, std::uint64_t trace);
   void record(SpanRecord rec);
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::uint64_t> next_id_{1};
-  std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
   std::size_t capacity_ = 8192;
   std::deque<SpanRecord> records_;

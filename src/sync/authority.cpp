@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace mwsec::sync {
@@ -72,6 +74,17 @@ void Authority::publish_locked(Delta d) {
   auto& metrics = AuthorityMetrics::get();
   ++stats_.deltas_published;
   metrics.deltas_published.inc();
+  // The publish span roots (or, under an ambient context such as KeyCOM's
+  // apply, continues) the delta's causal tree; its context is stamped
+  // into the delta itself so retransmits and log replays keep pointing at
+  // this one publish. The span covers the initial broadcast fan-out.
+  obs::Span span = obs::Tracer::global().start("sync.publish");
+  if (span.active()) {
+    span.set_attr("kind", delta_kind_name(d.kind));
+    span.set_attr("epoch", std::to_string(d.epoch));
+    span.set_status("published");
+    d.ctx = span.context();
+  }
   log_.push_back(std::move(d));
   while (log_.size() > options_.max_log) log_.pop_front();
   if (endpoint_ == nullptr) return;
@@ -80,7 +93,8 @@ void Authority::publish_locked(Delta d) {
   auto payload = batch.encode();
   auto now = std::chrono::steady_clock::now();
   for (auto& [name, state] : replicas_) {
-    endpoint_->send(name, kSubjectDelta, payload).ok();  // loss → retransmit
+    endpoint_->send(name, kSubjectDelta, payload, log_.back().ctx)
+        .ok();  // loss → retransmit
     state.last_send = now;
     ++stats_.deltas_sent;
     metrics.deltas_sent.inc();
@@ -177,12 +191,20 @@ void Authority::send_missing_locked(const std::string& replica,
     if (replayable) {
       DeltaBatch batch;
       batch.deltas.assign(first, first + static_cast<std::ptrdiff_t>(gap));
-      endpoint_->send(replica, kSubjectDelta, batch.encode()).ok();
+      // The envelope carries the oldest resent delta's origin context;
+      // each delta also carries its own, so the replica attributes every
+      // apply to the right publish even in a mixed batch.
+      endpoint_->send(replica, kSubjectDelta, batch.encode(),
+                      batch.deltas.front().ctx)
+          .ok();
       stats_.deltas_sent += gap;
       metrics.deltas_sent.inc(gap);
       if (retransmission) {
         ++stats_.retransmits;
         metrics.retransmits.inc();
+        obs::FlightRecorder::global().record(
+            obs::FlightKind::kRetransmit, static_cast<double>(gap),
+            batch.deltas.front().ctx.trace_id, state.acked);
       }
       return;
     }

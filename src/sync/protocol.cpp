@@ -21,6 +21,11 @@ mwsec::Result<Delta> read_delta(util::ByteReader& r) {
   auto body = r.str();
   if (!body.ok()) return body.error();
   d.body = std::move(body).take();
+  auto trace = r.u64();
+  if (!trace.ok()) return trace.error();
+  auto span = r.u64();
+  if (!span.ok()) return span.error();
+  d.ctx = {*trace, *span};
   return d;
 }
 
@@ -44,6 +49,8 @@ util::Bytes DeltaBatch::encode() const {
     w.u64(d.epoch);
     w.u8(static_cast<std::uint8_t>(d.kind));
     w.str(d.body);
+    w.u64(d.ctx.trace_id);
+    w.u64(d.ctx.span_id);
   }
   return w.take();
 }

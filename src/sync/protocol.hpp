@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/byte_buffer.hpp"
 #include "util/result.hpp"
 
@@ -48,6 +49,12 @@ struct Delta {
   std::uint64_t epoch = 0;
   DeltaKind kind = DeltaKind::kAddPolicy;
   std::string body;
+  /// Causal origin: the publish span that created the delta. Carried in
+  /// the frame (16 bytes after the body) so a retransmitted or
+  /// log-replayed delta keeps its original trace identity — the fan-out
+  /// tree stays rooted at the one revocation no matter which send
+  /// attempt finally lands. Zero when tracing was off at publish.
+  obs::TraceContext ctx;
 };
 
 /// A run of deltas, ascending by epoch (a broadcast carries one; a

@@ -1,6 +1,8 @@
 #include "sync/replica.hpp"
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace mwsec::sync {
@@ -89,7 +91,22 @@ Replica::Stats Replica::stats() const {
   return stats_;
 }
 
+obs::TraceContext Replica::last_applied_context() const {
+  std::scoped_lock lock(mu_);
+  return last_applied_ctx_;
+}
+
 void Replica::apply_locked(const Delta& d) {
+  // Continue the publish's causal tree (via the net hop when handle()
+  // substituted the envelope context). The scoped ambient context tags
+  // any log line emitted during the apply with the trace id.
+  obs::Span span = obs::Tracer::global().join("sync.apply", d.ctx);
+  if (span.active()) {
+    span.set_attr("replica", endpoint_ != nullptr ? endpoint_->name() : "");
+    span.set_attr("kind", delta_kind_name(d.kind));
+    span.set_attr("epoch", std::to_string(d.epoch));
+  }
+  obs::ScopedTraceContext ambient(span.context());
   mwsec::Status status;
   switch (d.kind) {
     case DeltaKind::kAddPolicy:
@@ -122,16 +139,23 @@ void Replica::apply_locked(const Delta& d) {
     // stall every later (good) one; anti-entropy restores exact parity.
     ++stats_.apply_errors;
     ReplicaMetrics::get().apply_errors.inc();
+    span.set_status("error");
     MWSEC_LOG(kWarn, "sync")
         << "delta " << d.epoch << " (" << delta_kind_name(d.kind)
         << ") failed to apply: " << status.error().message;
+  } else {
+    span.set_status("applied");
   }
   // Track the authority's epoch exactly; every version-keyed decision
   // cache over this store invalidates here.
   store_.advance_version_to(d.epoch);
   applied_ = d.epoch;
+  last_applied_ctx_ = span.context();
   ++stats_.deltas_applied;
   ReplicaMetrics::get().deltas_applied.inc();
+  obs::FlightRecorder::global().record(obs::FlightKind::kDeltaApply,
+                                       static_cast<double>(d.epoch),
+                                       d.ctx.trace_id, d.epoch);
   cv_.notify_all();
 }
 
@@ -160,9 +184,16 @@ void Replica::send_ack_locked() {
 void Replica::handle(const net::Message& m) {
   std::scoped_lock lock(mu_);
   if (m.subject == kSubjectDelta) {
-    auto batch = DeltaBatch::decode(m.payload);
-    if (!batch.ok()) return;
-    for (auto& d : batch->deltas) {
+    auto decoded = DeltaBatch::decode(m.payload);
+    if (!decoded.ok()) return;
+    DeltaBatch batch = std::move(decoded).take();
+    for (auto& d : batch.deltas) {
+      // Prefer the envelope context (the net hop that actually delivered
+      // this copy) as the apply's parent — but only when it belongs to
+      // the same trace as the delta's origin, which a mixed retransmit
+      // batch need not. The substitution survives buffering, so a
+      // gap-filling apply still hangs off its own delivery hop.
+      if (m.ctx.valid() && m.ctx.trace_id == d.ctx.trace_id) d.ctx = m.ctx;
       if (d.epoch <= applied_) {
         ++stats_.duplicates_ignored;
         ReplicaMetrics::get().duplicates_ignored.inc();
@@ -189,15 +220,25 @@ void Replica::handle(const net::Message& m) {
     auto snap = SnapshotMessage::decode(m.payload);
     if (!snap.ok()) return;
     if (snap->epoch > applied_) {
+      obs::Span span =
+          obs::Tracer::global().join("sync.snapshot_install", m.ctx);
+      if (span.active()) {
+        span.set_attr("replica",
+                      endpoint_ != nullptr ? endpoint_->name() : "");
+        span.set_attr("epoch", std::to_string(snap->epoch));
+      }
       auto s = store_.install_bundle(snap->bundle, snap->epoch,
                                      options_.verify_signatures);
       if (s.ok()) {
+        span.set_status("installed");
         applied_ = snap->epoch;
+        last_applied_ctx_ = span.context();
         ++stats_.snapshots_installed;
         ReplicaMetrics::get().snapshots_installed.inc();
         cv_.notify_all();
         drain_buffer_locked();
       } else {
+        span.set_status("error");
         ++stats_.apply_errors;
         ReplicaMetrics::get().apply_errors.inc();
         MWSEC_LOG(kWarn, "sync") << "snapshot at epoch " << snap->epoch

@@ -73,6 +73,13 @@ class Replica {
   bool wait_for_epoch(std::uint64_t target,
                       std::chrono::milliseconds timeout) const;
 
+  /// Context of the most recent "sync.apply"/"sync.snapshot_install" span
+  /// (invalid when tracing was off for it). A version-keyed cache that
+  /// flushes because this replica moved the store epoch joins its
+  /// verdict-flip span here — completing the causal chain revocation →
+  /// net → apply → flip (see authz::CachingAuthorizer::set_epoch_provenance).
+  obs::TraceContext last_applied_context() const;
+
   struct Stats {
     std::uint64_t deltas_applied = 0;
     std::uint64_t duplicates_ignored = 0;
@@ -103,6 +110,7 @@ class Replica {
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;  ///< signalled when applied_ advances
   std::uint64_t applied_ = 0;
+  obs::TraceContext last_applied_ctx_;
   std::map<std::uint64_t, Delta> buffer_;  ///< out-of-order deltas by epoch
   std::chrono::steady_clock::time_point last_ack_{};
   Stats stats_;

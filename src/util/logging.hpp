@@ -11,6 +11,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -21,6 +22,16 @@
 namespace mwsec::util {
 
 enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+/// Small dense id for the calling thread (1, 2, 3 … in first-log order):
+/// readable in log prefixes where std::thread::id is an opaque hash.
+std::uint32_t this_thread_tag();
+
+/// The trace id woven into this thread's log-line prefixes. Maintained by
+/// obs::ScopedTraceContext (0 = no traced operation active / tracing off);
+/// util stores it so the logger can read it without depending on obs.
+void set_current_trace_id(std::uint64_t trace_id);
+std::uint64_t current_trace_id();
 
 class Logger {
  public:
@@ -52,7 +63,10 @@ class Logger {
   /// alive even after it has been swapped out.
   void set_sink(Sink sink);
 
-  /// Emit one line: "[level] [component] message".
+  /// Emit one line: "[level] [component] [t<n>] [trace <id>] message".
+  /// The thread tag is always present; the trace segment only when the
+  /// calling thread has an active traced operation (current_trace_id()
+  /// != 0). Sinks receive the message with this prefix already applied.
   void log(LogLevel level, std::string_view component, std::string_view msg);
 
  private:

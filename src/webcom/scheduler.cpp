@@ -6,7 +6,9 @@
 #include <deque>
 #include <set>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace mwsec::webcom {
@@ -94,6 +96,11 @@ mwsec::Status Master::subscribe_policy(const std::string& authority_endpoint,
     // CachingAuthorizer in front observes the version move per decide.
     replica_ = std::make_unique<sync::Replica>(
         network_, endpoint_->name() + ".sync", store_, options);
+    // Close the causal loop: when the replicated epoch moves and a cache
+    // shard flushes, the "authz.verdict_flip" span joins the replica's
+    // apply span — the revocation fan-out tree ends at the verdict flip.
+    authz_.set_epoch_provenance(
+        [this] { return replica_->last_applied_context(); });
   }
   return replica_->subscribe(authority_endpoint);
 }
@@ -301,9 +308,6 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
     task.master_principal = identity_.principal();
     task.master_credentials = outbound_credentials_;
 
-    auto send = endpoint_->send(chosen->endpoint, kSubjectTask, task.encode());
-    stats_.tasks_dispatched.fetch_add(1, std::memory_order_relaxed);
-    metrics.tasks_dispatched.inc();
     if (attempts[id] > 0) metrics.redispatches.inc();
     ++attempts[id];
     auto task_span = run_span.child("webcom.task");
@@ -312,6 +316,12 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
       task_span.set_attr("client", chosen->endpoint);
       task_span.set_attr("attempt", std::to_string(attempts[id]));
     }
+    // The envelope carries the task span's context so the client's
+    // handling joins this dispatch as a child across the wire.
+    auto send = endpoint_->send(chosen->endpoint, kSubjectTask, task.encode(),
+                                task_span.context());
+    stats_.tasks_dispatched.fetch_add(1, std::memory_order_relaxed);
+    metrics.tasks_dispatched.inc();
     // A send error (partition, dead endpoint) is treated like a timed-out
     // task below — but name the unreachable destination in the retry log
     // now, while the cause is still known.
@@ -413,6 +423,7 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
       std::uint64_t task_id;
       int attempt;
       TaskMessage task;
+      obs::Span span;  ///< created serially (Phase B), sent with the task
       mwsec::Status resolve;
       mwsec::Status send;
     };
@@ -466,6 +477,12 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
       a.client = chosen;
       a.task_id = next_task_id_.fetch_add(1, std::memory_order_relaxed);
       a.attempt = attempts[id];
+      a.span = run_span.child("webcom.task");
+      if (a.span.active()) {
+        a.span.set_attr("node", node.name);
+        a.span.set_attr("client", chosen->endpoint);
+        a.span.set_attr("attempt", std::to_string(attempts[id]));
+      }
       assigned.push_back(std::move(a));
     }
     if (assigned.empty()) return {};
@@ -484,8 +501,8 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
       if (node.target.has_value()) a.task.target = *node.target;
       a.task.master_principal = identity_.principal();
       a.task.master_credentials = outbound_credentials_;
-      a.send =
-          endpoint_->send(a.client->endpoint, kSubjectTask, a.task.encode());
+      a.send = endpoint_->send(a.client->endpoint, kSubjectTask,
+                               a.task.encode(), a.span.context());
     });
 
     // Phase D (serial): inflight bookkeeping and spans.
@@ -496,14 +513,8 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
       const Node& node = graph.nodes()[a.node];
       stats_.tasks_dispatched.fetch_add(1, std::memory_order_relaxed);
       metrics.tasks_dispatched.inc();
-      auto task_span = run_span.child("webcom.task");
-      if (task_span.active()) {
-        task_span.set_attr("node", node.name);
-        task_span.set_attr("client", a.client->endpoint);
-        task_span.set_attr("attempt", std::to_string(a.attempt));
-      }
       inflight[a.task_id] = Pending{a.node, a.client->endpoint, deadline,
-                                    a.attempt, std::move(task_span)};
+                                    a.attempt, std::move(a.span)};
       if (!a.send.ok()) {
         MWSEC_LOG(kWarn, "webcom")
             << "dispatch of " << node.name << " to " << a.client->endpoint
@@ -610,6 +621,13 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
       stats_.tasks_timed_out.fetch_add(1, std::memory_order_relaxed);
       metrics.tasks_timed_out.inc();
       metrics.quarantines.inc();
+      // Anomaly: a quarantine is always worth a flight-recorder entry (and
+      // a dump, if a kQuarantine threshold is armed) — the ring keeps the
+      // decisions and deliveries leading up to it.
+      obs::FlightRecorder::global().record(
+          obs::FlightKind::kQuarantine,
+          static_cast<double>(it->second.attempts),
+          it->second.span.trace_id(), it->second.node);
       MWSEC_LOG(kInfo, "webcom")
           << "task on " << it->second.client_endpoint
           << " timed out; quarantining client";
@@ -712,13 +730,22 @@ void Client::serve(std::stop_token st) {
     TaskResultMessage reply;
     reply.task_id = task->task_id;
     auto& metrics = WebcomMetrics::get();
+    // The envelope carries the master's task-span context; joining it puts
+    // this client's authorise/execute under that dispatch in one causal
+    // tree, and the ambient context tags any log line emitted in between.
+    auto span =
+        obs::Tracer::global().join("webcom.client.task", message->ctx);
+    if (span.active()) {
+      span.set_attr("node", task->node_name);
+      span.set_attr("operation", task->operation);
+    }
+    obs::ScopedTraceContext ambient(span.context());
     if (const auto verdict = authorise_master(*task); !verdict.permitted()) {
       reply.ok = false;
       reply.code = "denied";
       reply.value = "master " + task->master_principal.substr(0, 16) +
                     "... is not authorised to schedule " + task->node_name;
       metrics.client_rejected.inc();
-      auto span = obs::Tracer::global().root("webcom.client.authorise");
       if (span.active()) {
         authz::Request request;
         request.principal = task->master_principal;
@@ -738,6 +765,7 @@ void Client::serve(std::stop_token st) {
       if (value.ok()) {
         reply.ok = true;
         reply.value = std::move(value).take();
+        span.set_status("complete");
         metrics.client_executed.inc();
         std::scoped_lock lock(stats_mu_);
         ++stats_.tasks_executed;
@@ -745,14 +773,19 @@ void Client::serve(std::stop_token st) {
         reply.ok = false;
         reply.value = value.error().message;
         reply.code = value.error().code.empty() ? "ops" : value.error().code;
+        span.set_attr(obs::kAttrReason, reply.value);
+        span.set_status("failed");
         metrics.client_failed.inc();
         std::scoped_lock lock(stats_mu_);
         ++stats_.tasks_failed;
       }
     }
     // Best effort: if the master is unreachable the task will time out
-    // there and be rescheduled.
-    endpoint_->send(message->from, kSubjectTaskResult, reply.encode()).ok();
+    // there and be rescheduled. The reply envelope continues the client
+    // span's context so the result delivery is one more traced hop.
+    endpoint_->send(message->from, kSubjectTaskResult, reply.encode(),
+                    span.context())
+        .ok();
   }
 }
 

@@ -1,0 +1,230 @@
+// The ISSUE's tracing acceptance test: one revocation published at the
+// administration authority is traced end-to-end — the publish span's
+// context rides the delta frames through the simulated network into every
+// subscribed replica, and the epoch-provenance hook ties the master's
+// cache flush (the verdict flip) back to the same trace. The resulting
+// causal tree spans the sync, net and authz components with parent/child
+// ids intact:
+//
+//   sync.publish ── net.deliver ── sync.apply ── authz.verdict_flip
+//                └─ net.deliver ── sync.apply        (per replica)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "obs/trace.hpp"
+#include "sync/authority.hpp"
+#include "webcom/scheduler.hpp"
+
+namespace mwsec {
+namespace {
+
+using namespace std::chrono_literals;
+
+crypto::KeyRing& ring() {
+  static crypto::KeyRing r(/*seed=*/2704, /*modulus_bits=*/256);
+  return r;
+}
+
+std::string webcom_root() {
+  return "Authorizer: POLICY\nLicensees: \"" + ring().principal("KWebCom") +
+         "\"\nConditions: app_domain == \"WebCom\";\n";
+}
+
+keynote::Assertion finance_manager(const std::string& from,
+                                   const std::string& to) {
+  return keynote::AssertionBuilder()
+      .authorizer("\"" + ring().principal(from) + "\"")
+      .licensees("\"" + ring().principal(to) + "\"")
+      .conditions(
+          "app_domain == \"WebCom\" && Domain == \"Finance\" && "
+          "Role == \"Manager\"")
+      .build_signed(ring().identity(from))
+      .take();
+}
+
+webcom::Graph one_task_graph() {
+  webcom::Graph g;
+  webcom::NodeId n = g.add_node("up", "upper", 1);
+  g.set_literal(n, 0, "pay").ok();
+  webcom::SecurityTarget t;
+  t.object_type = "SalariesDB";
+  t.permission = "Access";
+  g.set_target(n, t).ok();
+  g.set_exit(n).ok();
+  return g;
+}
+
+class TracePropagation : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::global().set_enabled(true);
+    obs::Tracer::global().clear();
+  }
+  void TearDown() override {
+    obs::Tracer::global().clear();
+    obs::Tracer::global().set_enabled(false);
+  }
+};
+
+TEST_F(TracePropagation, RevocationFanOutIsOneCausalTreeAcrossComponents) {
+  net::Network::Options nopts;
+  nopts.seed = 271828;  // deterministic, no loss
+  net::Network network(nopts);
+
+  keynote::CompiledStore admin_store;
+  sync::Authority::Options aopts;
+  aopts.poll_interval = 2ms;
+  aopts.retransmit_interval = 15ms;
+  sync::Authority authority(network, "admin", admin_store, aopts);
+  ASSERT_TRUE(authority.start().ok());
+  ASSERT_TRUE(authority.publish_policy_text(webcom_root()).ok());
+  ASSERT_TRUE(
+      authority.publish_credential(finance_manager("KWebCom", "Kfred")).ok());
+
+  const auto& master_id = ring().identity("KMaster");
+  webcom::MasterOptions mopts;
+  mopts.task_timeout = 150ms;
+  webcom::Master master(network, "m", master_id, mopts);
+  sync::Replica::Options ropts;
+  ropts.poll_interval = 2ms;
+  ropts.heartbeat_interval = 15ms;
+  ASSERT_TRUE(master.subscribe_policy("admin", ropts).ok());
+
+  // Two clients, both policy replicas: the revocation fans out to three
+  // subscribed stores. Client-side authorisation is off — the master's
+  // decision over the replicated trust root is the one that flips.
+  webcom::ClientOptions copts;
+  copts.security_enabled = false;
+  copts.domain = "Finance";
+  copts.role = "Manager";
+  copts.user = "Fred";
+  webcom::Client c0(network, "c0", ring().identity("Kfred"),
+                    webcom::OperationRegistry::with_builtins(), copts);
+  copts.role = "Clerk";
+  copts.user = "Ginger";
+  webcom::Client c1(network, "c1", ring().identity("Kginger"),
+                    webcom::OperationRegistry::with_builtins(), copts);
+  for (webcom::Client* c : {&c0, &c1}) {
+    ASSERT_TRUE(c->subscribe_policy("admin", ropts).ok());
+    ASSERT_TRUE(c->start().ok());
+  }
+  ASSERT_TRUE(master
+                  .attach_client({"c0", ring().principal("Kfred"), {},
+                                  "Finance", "Manager", "Fred"})
+                  .ok());
+  ASSERT_TRUE(master
+                  .attach_client({"c1", ring().principal("Kginger"), {},
+                                  "Finance", "Clerk", "Ginger"})
+                  .ok());
+
+  auto all_replicas_at = [&](std::uint64_t epoch) {
+    return master.policy_replica()->wait_for_epoch(epoch, 5s) &&
+           c0.policy_replica()->wait_for_epoch(epoch, 5s) &&
+           c1.policy_replica()->wait_for_epoch(epoch, 5s);
+  };
+  ASSERT_TRUE(all_replicas_at(authority.epoch()));
+
+  // Warm round: the master's decision cache holds a permit for Fred, so
+  // the revocation has a cached verdict to flip.
+  ASSERT_TRUE(master.execute(one_task_graph()).ok());
+
+  // The one revocation under test. Everything recorded from here on that
+  // shares its trace id is causally downstream of this publish.
+  ASSERT_GT(authority.revoke_by_licensee(ring().principal("Kfred")), 0u);
+  ASSERT_TRUE(all_replicas_at(authority.epoch()));
+
+  // The next decision flushes the epoch-moved cache shard, emitting the
+  // verdict-flip span joined to the applied delta's context — and denies.
+  auto denied = master.execute(one_task_graph());
+  ASSERT_FALSE(denied.ok());
+  EXPECT_EQ(denied.error().code, "denied");
+
+  // Replicas finish their apply spans asynchronously just after the epoch
+  // becomes visible; poll briefly until the full fan-out has landed.
+  auto trace_of = [](const std::vector<obs::SpanRecord>& records)
+      -> std::uint64_t {
+    for (const auto& r : records) {
+      if (r.name != "sync.publish") continue;
+      const std::string* kind = r.attr("kind");
+      if (kind != nullptr && kind->rfind("revoke", 0) == 0) return r.trace_id;
+    }
+    return 0;
+  };
+  std::vector<obs::SpanRecord> trace;
+  for (int tries = 0; tries < 200; ++tries) {
+    auto records = obs::Tracer::global().records();
+    const std::uint64_t id = trace_of(records);
+    trace.clear();
+    if (id != 0) {
+      for (auto& r : records) {
+        if (r.trace_id == id) trace.push_back(std::move(r));
+      }
+    }
+    const auto applies = std::count_if(
+        trace.begin(), trace.end(),
+        [](const obs::SpanRecord& r) { return r.name == "sync.apply"; });
+    const auto flips = std::count_if(
+        trace.begin(), trace.end(),
+        [](const obs::SpanRecord& r) { return r.name == "authz.verdict_flip"; });
+    if (applies >= 3 && flips >= 1) break;
+    std::this_thread::sleep_for(10ms);
+  }
+
+  // One root: the publish. Every other span's parent is in the tree.
+  ASSERT_FALSE(trace.empty()) << "no revocation publish span was recorded";
+  std::set<std::uint64_t> ids;
+  for (const auto& r : trace) ids.insert(r.id);
+  std::size_t roots = 0;
+  for (const auto& r : trace) {
+    if (r.name == "sync.publish") {
+      ++roots;
+      EXPECT_EQ(r.parent, 0u);
+      EXPECT_EQ(r.id, r.trace_id);
+      continue;
+    }
+    EXPECT_TRUE(ids.count(r.parent))
+        << r.name << " has parent " << r.parent << " outside the trace";
+  }
+  EXPECT_EQ(roots, 1u);
+
+  // The tree spans >= 3 components: the sync layer (publish + apply), the
+  // network (one hop per replica) and authz (the cache flip).
+  auto count = [&](const char* name) {
+    return std::count_if(trace.begin(), trace.end(),
+                         [&](const obs::SpanRecord& r) {
+                           return r.name == name;
+                         });
+  };
+  EXPECT_GE(count("net.deliver"), 3) << "one hop per subscribed replica";
+  EXPECT_GE(count("sync.apply"), 3) << "all three replicas applied";
+  EXPECT_GE(count("authz.verdict_flip"), 1) << "the flush was attributed";
+
+  // Edge shapes: hops hang off the publish; applies hang off hops; the
+  // flip hangs off the master replica's apply.
+  const auto by_id = [&](std::uint64_t id) -> const obs::SpanRecord* {
+    for (const auto& r : trace) {
+      if (r.id == id) return &r;
+    }
+    return nullptr;
+  };
+  for (const auto& r : trace) {
+    const obs::SpanRecord* parent = by_id(r.parent);
+    if (r.name == "net.deliver") {
+      ASSERT_NE(parent, nullptr);
+      EXPECT_EQ(parent->name, "sync.publish");
+    } else if (r.name == "sync.apply") {
+      ASSERT_NE(parent, nullptr);
+      EXPECT_EQ(parent->name, "net.deliver");
+    } else if (r.name == "authz.verdict_flip") {
+      ASSERT_NE(parent, nullptr);
+      EXPECT_EQ(parent->name, "sync.apply");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mwsec

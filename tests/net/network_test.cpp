@@ -245,5 +245,52 @@ TEST(Network, StatsCountBytes) {
   EXPECT_EQ(net.stats().bytes, 64u);
 }
 
+TEST(Network, TracedSendRewritesTheEnvelopeToTheHopSpan) {
+  // With tracing on, each traced message gets one "net.deliver" span
+  // joined to the sender's context, and the receiver sees the hop's
+  // context — same trace, new span id — so its spans nest under the hop:
+  // sender → net.deliver → receiver.
+  obs::Tracer::global().set_enabled(true);
+  obs::Tracer::global().clear();
+  Network net;
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  {
+    auto sender = obs::Tracer::global().root("send.op");
+    ASSERT_TRUE(
+        a->send("b", "hello", util::to_bytes("x"), sender.context()).ok());
+    auto m = b->receive(100ms);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_TRUE(m->ctx.valid());
+    EXPECT_EQ(m->ctx.trace_id, sender.trace_id());
+    EXPECT_NE(m->ctx.span_id, sender.id());
+  }
+  auto records = obs::Tracer::global().records();
+  bool found_hop = false;
+  for (const auto& r : records) {
+    if (r.name != "net.deliver") continue;
+    found_hop = true;
+    ASSERT_NE(r.attr("to"), nullptr);
+    EXPECT_EQ(*r.attr("to"), "b");
+    EXPECT_NE(r.parent, 0u);
+  }
+  EXPECT_TRUE(found_hop);
+  obs::Tracer::global().clear();
+  obs::Tracer::global().set_enabled(false);
+}
+
+TEST(Network, UntracedSendLeavesTheEnvelopeContextEmpty) {
+  // Tracing disabled: no hop span is minted and the context passes
+  // through untouched (here: the default, invalid context).
+  Network net;
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  ASSERT_TRUE(a->send("b", "hello", util::to_bytes("x")).ok());
+  auto m = b->receive(100ms);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_FALSE(m->ctx.valid());
+  EXPECT_EQ(obs::Tracer::global().size(), 0u);
+}
+
 }  // namespace
 }  // namespace mwsec::net

@@ -81,6 +81,68 @@ TEST_F(HistogramStripes, SnapshotMatchesSerialReference) {
   EXPECT_DOUBLE_EQ(a.p95, b.p95);
 }
 
+TEST_F(HistogramStripes, PercentilesAreExactForUniformDataOnBucketEdges) {
+  // 1..100 once each over decade buckets: every bucket holds exactly 10
+  // observations and the linear interpolation lands on the true
+  // percentile exactly — p50 = 50, p95 = 95, p99 = 99.
+  Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  for (int v = 1; v <= 100; ++v) h.observe(double(v));
+  auto s = h.snapshot();
+  ASSERT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+}
+
+TEST_F(HistogramStripes, PercentilesInterpolateWithinABucket) {
+  // 12 observations in (…, 8] and 4 in (8, 16]. The 8th observation (p50
+  // target) sits 8/12 of the way through the first bucket, whose lower
+  // edge widens to the observed min (4): 4 + (8-4)·(8/12). The 15th (p95)
+  // is 3/4 through the second: 8 + (16-8)·0.75 = 14.
+  Histogram h({8.0, 16.0});
+  for (int i = 0; i < 12; ++i) h.observe(4.0);
+  for (int i = 0; i < 4; ++i) h.observe(12.0);
+  auto s = h.snapshot();
+  ASSERT_EQ(s.count, 16u);
+  EXPECT_NEAR(s.p50, 4.0 + 4.0 * (8.0 / 12.0), 1e-9);
+  EXPECT_DOUBLE_EQ(s.p95, 14.0);
+  // Estimates are bounded by the bucket the target falls in.
+  EXPECT_GE(s.p50, 4.0);
+  EXPECT_LE(s.p50, 8.0);
+}
+
+TEST_F(HistogramStripes, OverflowBucketQuantileReportsObservedMax) {
+  Histogram h({10.0});
+  for (int i = 0; i < 5; ++i) h.observe(double(i + 1));
+  h.observe(1000.0);
+  h.observe(2000.0);
+  auto s = h.snapshot();
+  // p99 target (observation 6 of 7) falls past the last finite bound; the
+  // overflow bucket has no upper edge to interpolate against, so the
+  // snapshot reports the observed max rather than inventing a value.
+  EXPECT_DOUBLE_EQ(s.p99, 2000.0);
+  EXPECT_DOUBLE_EQ(s.max, 2000.0);
+}
+
+TEST_F(HistogramStripes, PercentilesStayExactUnderConcurrentRecording) {
+  // The uniform 1..100 workload again, but recorded 8× concurrently so
+  // observations spread across stripes. Quantiles derive from the merged
+  // buckets, so the estimates must not move.
+  Histogram h({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int v = 1; v <= 100; ++v) h.observe(double(v));
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto s = h.snapshot();
+  ASSERT_EQ(s.count, 800u);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+}
+
 TEST_F(HistogramStripes, ResetClearsEveryStripe) {
   Histogram h({1.0, 10.0});
   std::vector<std::thread> threads;

@@ -127,5 +127,91 @@ TEST_F(TraceTest, ClearEmptiesTheBuffer) {
   EXPECT_EQ(Tracer::global().size(), 0u);
 }
 
+TEST_F(TraceTest, RootSpanStartsItsOwnTrace) {
+  auto span = Tracer::global().root("origin");
+  EXPECT_EQ(span.trace_id(), span.id());
+  auto ctx = span.context();
+  EXPECT_TRUE(ctx.valid());
+  EXPECT_EQ(ctx.trace_id, span.trace_id());
+  EXPECT_EQ(ctx.span_id, span.id());
+}
+
+TEST_F(TraceTest, ChildrenInheritTheTraceId) {
+  auto parent = Tracer::global().root("parent");
+  auto child = parent.child("child");
+  auto grandchild = child.child("grandchild");
+  EXPECT_EQ(child.trace_id(), parent.trace_id());
+  EXPECT_EQ(grandchild.trace_id(), parent.trace_id());
+}
+
+TEST_F(TraceTest, JoinContinuesTheContextsTrace) {
+  TraceContext ctx;
+  std::uint64_t origin_id = 0;
+  {
+    auto origin = Tracer::global().root("publish");
+    ctx = origin.context();
+    origin_id = origin.id();
+  }
+  // A join (conceptually on another component, after a network hop)
+  // carries the same trace id with the serialized span as parent.
+  auto joined = Tracer::global().join("apply", ctx);
+  EXPECT_EQ(joined.trace_id(), ctx.trace_id);
+  joined.finish();
+  auto records = Tracer::global().records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].name, "apply");
+  EXPECT_EQ(records[1].trace_id, records[0].trace_id);
+  EXPECT_EQ(records[1].parent, origin_id);
+}
+
+TEST_F(TraceTest, JoinOnInvalidContextRootsANewTrace) {
+  auto span = Tracer::global().join("orphan", TraceContext{});
+  EXPECT_TRUE(span.active());
+  EXPECT_EQ(span.trace_id(), span.id());
+  auto records_after_finish = [&] {
+    span.finish();
+    return Tracer::global().records();
+  }();
+  EXPECT_EQ(records_after_finish[0].parent, 0u);
+}
+
+TEST_F(TraceTest, AmbientContextFlowsThroughScopedTraceContext) {
+  EXPECT_FALSE(current_context().valid());
+  auto outer = Tracer::global().root("outer");
+  {
+    ScopedTraceContext ambient(outer.context());
+    EXPECT_EQ(current_context(), outer.context());
+    // start() joins the ambient context: same trace, outer as parent.
+    auto inner = Tracer::global().start("inner");
+    EXPECT_EQ(inner.trace_id(), outer.trace_id());
+    {
+      ScopedTraceContext nested(inner.context());
+      EXPECT_EQ(current_context(), inner.context());
+    }
+    EXPECT_EQ(current_context(), outer.context());  // restored
+  }
+  EXPECT_FALSE(current_context().valid());
+  // With no ambient context, start() degrades to a root.
+  auto lone = Tracer::global().start("lone");
+  EXPECT_EQ(lone.trace_id(), lone.id());
+}
+
+TEST_F(TraceTest, TimestampsShareOneProcessEpoch) {
+  // Spans recorded far apart in program order still carry comparable,
+  // monotonic offsets from the single process epoch.
+  Tracer::global().root("first").finish();
+  Tracer::global().root("second").finish();
+  auto records = Tracer::global().records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_LE(records[0].start_ns, records[1].start_ns);
+  EXPECT_LE(records[0].start_ns, process_now_ns());
+}
+
+TEST_F(TraceTest, JsonExportCarriesTraceId) {
+  Tracer::global().root("traced").finish();
+  auto jsonl = Tracer::global().to_jsonl();
+  EXPECT_NE(jsonl.find("\"trace_id\":"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mwsec::obs

@@ -80,6 +80,26 @@ TEST(SyncProtocol, SubscribeAckSnapshotRoundTrip) {
   EXPECT_EQ(snap2->bundle, snap.bundle);
 }
 
+TEST(SyncProtocol, DeltaTraceContextSurvivesTheWire) {
+  // The causal origin travels in the frame (16 bytes after the body), so
+  // a retransmitted delta keeps the publish span that created it. Deltas
+  // published with tracing off carry the zero context, also verbatim.
+  DeltaBatch batch;
+  Delta traced{7, DeltaKind::kRevokeByLicensee, "KFred"};
+  traced.ctx = obs::TraceContext{0xfeedbeef, 0x1234};
+  batch.deltas.push_back(traced);
+  batch.deltas.push_back({8, DeltaKind::kAddPolicy, "p"});  // zero ctx
+  auto decoded = DeltaBatch::decode(batch.encode());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->deltas.size(), 2u);
+  EXPECT_EQ(decoded->deltas[0].ctx.trace_id, 0xfeedbeefu);
+  EXPECT_EQ(decoded->deltas[0].ctx.span_id, 0x1234u);
+  EXPECT_TRUE(decoded->deltas[0].ctx.valid());
+  EXPECT_EQ(decoded->deltas[1].ctx.trace_id, 0u);
+  EXPECT_EQ(decoded->deltas[1].ctx.span_id, 0u);
+  EXPECT_FALSE(decoded->deltas[1].ctx.valid());
+}
+
 TEST(SyncProtocol, DeltaKindNamesAreStable) {
   EXPECT_STREQ(delta_kind_name(DeltaKind::kAddPolicy), "add-policy");
   EXPECT_STREQ(delta_kind_name(DeltaKind::kRevokeByLicensee),

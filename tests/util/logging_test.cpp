@@ -5,8 +5,16 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace mwsec::util {
 namespace {
+
+/// The line prefix every sink receives: "[t<n>] " plus, inside a traced
+/// scope, "[trace <id>] ".
+std::string thread_prefix() {
+  return "[t" + std::to_string(this_thread_tag()) + "] ";
+}
 
 struct CapturedLine {
   LogLevel level;
@@ -42,7 +50,26 @@ TEST_F(LoggingTest, SinkReceivesEmittedLines) {
   ASSERT_EQ(lines_.size(), 1u);
   EXPECT_EQ(lines_[0].level, LogLevel::kInfo);
   EXPECT_EQ(lines_[0].component, "test");
-  EXPECT_EQ(lines_[0].message, "hello 42");
+  EXPECT_EQ(lines_[0].message, thread_prefix() + "hello 42");
+}
+
+TEST_F(LoggingTest, PrefixCarriesThreadTagAndActiveTraceId) {
+  Logger::instance().set_level(LogLevel::kInfo);
+  MWSEC_LOG(kInfo, "test") << "untraced";
+  {
+    // Any ambient trace context shows up in the prefix so a grep for the
+    // trace id finds the log lines emitted while it was active.
+    obs::ScopedTraceContext ambient({0xabcdef, 42});
+    EXPECT_EQ(current_trace_id(), 0xabcdefu);
+    MWSEC_LOG(kInfo, "test") << "traced";
+  }
+  EXPECT_EQ(current_trace_id(), 0u);
+  MWSEC_LOG(kInfo, "test") << "untraced again";
+  ASSERT_EQ(lines_.size(), 3u);
+  EXPECT_EQ(lines_[0].message, thread_prefix() + "untraced");
+  EXPECT_EQ(lines_[1].message,
+            thread_prefix() + "[trace 11259375] " + "traced");
+  EXPECT_EQ(lines_[2].message, thread_prefix() + "untraced again");
 }
 
 TEST_F(LoggingTest, DisabledLevelEmitsNothing) {
@@ -52,7 +79,7 @@ TEST_F(LoggingTest, DisabledLevelEmitsNothing) {
   EXPECT_TRUE(lines_.empty());
   MWSEC_LOG(kError, "test") << "kept";
   ASSERT_EQ(lines_.size(), 1u);
-  EXPECT_EQ(lines_[0].message, "kept");
+  EXPECT_EQ(lines_[0].message, thread_prefix() + "kept");
 }
 
 TEST_F(LoggingTest, OperandsAreNotEvaluatedWhenDisabled) {

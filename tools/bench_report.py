@@ -4,6 +4,7 @@
 Usage:
     python3 tools/bench_report.py [--build-dir build] [--out BENCH_keynote.json]
                                   [--min-time 0.2] [--filter REGEX]
+                                  [--check-slo]
 
 Each binary is invoked with --benchmark_format=json; the per-benchmark
 entries are merged into a single report keyed by binary, with the run
@@ -18,6 +19,18 @@ obs::append_snapshot_jsonl). Those snapshots are merged into the report
 under "metrics", so cache hit rates sit alongside the µs/op numbers:
 
     "metrics": {"fig2": {"label": "fig2", "counters": {...}, ...}, ...}
+
+The report also carries the SLO evaluation from `mwsec-stats slo` under
+"slo" ({"pass": bool, "objectives": [...]}); --check-slo makes a failed
+objective (or a failed evaluation run) fail this script, which is how CI
+gates on regressions in decide latency, revocation propagation lag and
+cache hit rate.
+
+Malformed input is an error, not a warning: a metrics snapshot line that
+does not parse, or a metrics file that ends up missing/empty when the
+full suite ran (no --filter), means the hand-off from the bench binaries
+broke — the report would silently lose its cache-hit-rate columns — so
+the script exits nonzero instead of shipping a partial report.
 """
 
 import argparse
@@ -81,13 +94,21 @@ def normalize_threads(entries: list) -> None:
             entry["threads"] = int(workers)
 
 
-def load_metrics_snapshots(path: pathlib.Path) -> dict:
+def load_metrics_snapshots(path: pathlib.Path, require: bool) -> dict:
     """Parse an append_snapshot_jsonl file into {label: snapshot}.
 
     Later lines win for a repeated label (the file is append-only across
-    binaries and repeats)."""
+    binaries and repeats). A malformed line, a snapshot that is not a
+    JSON object, or a missing/empty file when snapshots were expected
+    (`require`) raises SystemExit: a report without its metrics columns
+    looks complete but is not."""
     snapshots = {}
     if not path.exists():
+        if require:
+            raise SystemExit(
+                f"error: {path}: no metrics snapshots were written — the "
+                "BM_*_Observed* benchmarks did not run or MWSEC_METRICS_OUT "
+                "was ignored")
         return snapshots
     for lineno, line in enumerate(path.read_text().splitlines(), 1):
         line = line.strip()
@@ -96,11 +117,40 @@ def load_metrics_snapshots(path: pathlib.Path) -> dict:
         try:
             snap = json.loads(line)
         except json.JSONDecodeError as exc:
-            print(f"note: {path}:{lineno}: skipping bad snapshot line: {exc}",
-                  file=sys.stderr)
-            continue
+            raise SystemExit(
+                f"error: {path}:{lineno}: malformed metrics snapshot: {exc}")
+        if not isinstance(snap, dict) or "counters" not in snap:
+            raise SystemExit(
+                f"error: {path}:{lineno}: metrics snapshot is not a "
+                "registry dump (missing 'counters')")
         snapshots[snap.get("label", f"line{lineno}")] = snap
+    if require and not snapshots:
+        raise SystemExit(
+            f"error: {path}: metrics snapshot file is empty — the "
+            "BM_*_Observed* benchmarks did not record anything")
     return snapshots
+
+
+def run_slo(build_dir: pathlib.Path) -> dict | None:
+    """Run `mwsec-stats slo` and return its report, or None if the tool
+    is missing/failed (the caller decides whether that is fatal)."""
+    tool = build_dir / "tools" / "mwsec-stats"
+    if not tool.exists():
+        print(f"note: {tool} not built; report will carry no SLO section",
+              file=sys.stderr)
+        return None
+    print(f"running {tool} slo ...", file=sys.stderr)
+    proc = subprocess.run([str(tool), "slo"], capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"error: {tool} slo exited {proc.returncode}:\n{proc.stderr}",
+              file=sys.stderr)
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as exc:
+        print(f"error: {tool} slo produced unparseable JSON: {exc}",
+              file=sys.stderr)
+        return None
 
 
 def main() -> int:
@@ -114,6 +164,9 @@ def main() -> int:
     ap.add_argument("--filter", default="",
                     help="optional --benchmark_filter regex applied to all "
                          "binaries")
+    ap.add_argument("--check-slo", action="store_true",
+                    help="fail when any SLO objective fails (or the SLO "
+                         "evaluation cannot run) — the CI regression gate")
     args = ap.parse_args()
 
     build_dir = pathlib.Path(args.build_dir)
@@ -137,7 +190,10 @@ def main() -> int:
                 "context": result.get("context", {}),
                 "results": results,
             }
-        report["metrics"] = load_metrics_snapshots(metrics_out)
+        # A filtered run may legitimately skip every Observed benchmark;
+        # a full run that produced no snapshots lost data somewhere.
+        report["metrics"] = load_metrics_snapshots(
+            metrics_out, require=not args.filter and not missing)
 
     if missing:
         print("error: missing benchmark binaries (build them first):",
@@ -146,11 +202,29 @@ def main() -> int:
             print(f"  {m}", file=sys.stderr)
         return 1
 
+    slo = run_slo(build_dir)
+    if slo is not None:
+        report["slo"] = slo
+    elif args.check_slo:
+        print("error: --check-slo requested but the SLO evaluation did not "
+              "run", file=sys.stderr)
+        return 1
+
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     n = sum(len(v["results"]) for v in report["benchmarks"].values())
     print(f"wrote {out} ({n} benchmark entries, "
-          f"{len(report['metrics'])} metrics snapshots)", file=sys.stderr)
+          f"{len(report['metrics'])} metrics snapshots, "
+          f"slo={'absent' if slo is None else slo.get('pass')})",
+          file=sys.stderr)
+
+    if args.check_slo and not slo.get("pass", False):
+        for obj in slo.get("objectives", []):
+            if not obj.get("pass", False):
+                print(f"SLO FAILED: {obj.get('name')}: "
+                      f"{obj.get('value')} vs {obj.get('threshold')} "
+                      f"({obj.get('detail', '')})", file=sys.stderr)
+        return 1
     return 0
 
 
