@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 
+#include "net/network.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "webcom/scheduler.hpp"

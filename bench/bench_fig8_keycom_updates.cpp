@@ -5,6 +5,7 @@
 // (what the paper's automation replaces).
 #include <benchmark/benchmark.h>
 
+#include "net/network.hpp"
 #include "keycom/server.hpp"
 #include "middleware/com/catalogue.hpp"
 

@@ -1,0 +1,139 @@
+// Transport backend comparison (DESIGN.md §14, EXPERIMENTS.md
+// "Transport"): the same message flow over the in-process bus and over
+// net::TcpTransport on loopback, so the table shows what the wire costs —
+// framing + two socket hops + the writer/reader thread handoffs — against
+// the mutex-and-deque baseline.
+//
+//   BM_Transport_*_RoundTrip   one a→b→a echo per iteration (latency)
+//   BM_Transport_*_Stream      a 512-message one-way burst per iteration,
+//                              drained at the receiver (throughput)
+//
+// Both sweep the payload size (64 B / 4 KiB). Fault injection is off:
+// this measures the clean path both backends share with the deployment
+// rigs.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "net/network.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace {
+
+using namespace mwsec;
+using namespace std::chrono_literals;
+
+constexpr int kStreamBurst = 512;
+
+/// Echo server: everything arriving at `ep` is bounced back to `to`.
+class Echo {
+ public:
+  Echo(std::shared_ptr<net::Endpoint> ep, std::string to)
+      : ep_(std::move(ep)), to_(std::move(to)), thread_([this] { run(); }) {}
+  ~Echo() {
+    stop_.store(true);
+    ep_->close();
+    thread_.join();
+  }
+
+ private:
+  void run() {
+    while (!stop_.load()) {
+      auto m = ep_->receive(100ms);
+      if (m.has_value()) ep_->send(to_, "echo", std::move(m->payload)).ok();
+    }
+  }
+  std::shared_ptr<net::Endpoint> ep_;
+  std::string to_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+void run_round_trip(benchmark::State& state,
+                    const std::shared_ptr<net::Endpoint>& a, Echo&) {
+  const util::Bytes payload(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    a->send("b", "ping", payload).ok();
+    auto r = a->receive(5s);
+    if (!r.has_value()) {
+      state.SkipWithError("round trip lost");
+      break;
+    }
+  }
+  state.SetBytesProcessed(2 * state.iterations() * state.range(0));
+}
+
+void run_stream(benchmark::State& state,
+                const std::shared_ptr<net::Endpoint>& a,
+                const std::shared_ptr<net::Endpoint>& b) {
+  const util::Bytes payload(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    for (int i = 0; i < kStreamBurst; ++i) {
+      a->send("b", "m", payload).ok();
+    }
+    for (int i = 0; i < kStreamBurst; ++i) {
+      if (!b->receive(5s).has_value()) {
+        state.SkipWithError("burst lost");
+        return;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kStreamBurst);
+  state.SetBytesProcessed(state.iterations() * kStreamBurst *
+                          state.range(0));
+}
+
+void BM_Transport_InProcess_RoundTrip(benchmark::State& state) {
+  net::Network net;
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  Echo echo(b, "a");
+  run_round_trip(state, a, echo);
+}
+BENCHMARK(BM_Transport_InProcess_RoundTrip)->Arg(64)->Arg(4096);
+
+void BM_Transport_TcpLoopback_RoundTrip(benchmark::State& state) {
+  net::TcpOptions ao;
+  ao.fault.node_id = 1;
+  net::TcpTransport ta(ao);
+  net::TcpOptions bo;
+  bo.fault.node_id = 2;
+  net::TcpTransport tb(bo);
+  ta.start().ok();
+  tb.start().ok();
+  auto a = ta.open("a").take();
+  auto b = tb.open("b").take();
+  ta.add_route("b", tb.host(), tb.port());
+  tb.add_route("a", ta.host(), ta.port());
+  Echo echo(b, "a");
+  run_round_trip(state, a, echo);
+}
+BENCHMARK(BM_Transport_TcpLoopback_RoundTrip)->Arg(64)->Arg(4096);
+
+void BM_Transport_InProcess_Stream(benchmark::State& state) {
+  net::Network net;
+  auto a = net.open("a").take();
+  auto b = net.open("b").take();
+  run_stream(state, a, b);
+}
+BENCHMARK(BM_Transport_InProcess_Stream)->Arg(64)->Arg(4096);
+
+void BM_Transport_TcpLoopback_Stream(benchmark::State& state) {
+  net::TcpOptions ao;
+  ao.fault.node_id = 1;
+  net::TcpTransport ta(ao);
+  net::TcpOptions bo;
+  bo.fault.node_id = 2;
+  net::TcpTransport tb(bo);
+  ta.start().ok();
+  tb.start().ok();
+  auto a = ta.open("a").take();
+  auto b = tb.open("b").take();
+  ta.add_route("b", tb.host(), tb.port());
+  run_stream(state, a, b);
+}
+BENCHMARK(BM_Transport_TcpLoopback_Stream)->Arg(64)->Arg(4096);
+
+}  // namespace

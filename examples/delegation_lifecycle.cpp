@@ -5,6 +5,7 @@
 // way.
 #include <cstdio>
 
+#include "net/network.hpp"
 #include "authz/keynote_authorizer.hpp"
 #include "keycom/server.hpp"
 #include "middleware/com/catalogue.hpp"

@@ -4,6 +4,7 @@
 // mid-deployment.
 #include <cstdio>
 
+#include "net/network.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "webcom/scheduler.hpp"

@@ -43,7 +43,7 @@ mwsec::Result<DecodedReport> decode_report(const util::Bytes& payload) {
   return out;
 }
 
-Server::Server(net::Network& network, std::string endpoint_name,
+Server::Server(net::Transport& network, std::string endpoint_name,
                Service& service)
     : network_(network), endpoint_name_(std::move(endpoint_name)),
       service_(service) {}

@@ -6,7 +6,7 @@
 #include <thread>
 
 #include "keycom/service.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 
 namespace mwsec::keycom {
 
@@ -25,7 +25,7 @@ mwsec::Result<DecodedReport> decode_report(const util::Bytes& payload);
 
 class Server {
  public:
-  Server(net::Network& network, std::string endpoint_name, Service& service);
+  Server(net::Transport& network, std::string endpoint_name, Service& service);
   ~Server();
 
   mwsec::Status start();
@@ -34,7 +34,7 @@ class Server {
  private:
   void serve();
 
-  net::Network& network_;
+  net::Transport& network_;
   std::string endpoint_name_;
   Service& service_;
   std::shared_ptr<net::Endpoint> endpoint_;

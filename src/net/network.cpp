@@ -1,256 +1,30 @@
 #include "net/network.hpp"
 
-#include <algorithm>
-
-#include "obs/metrics.hpp"
 #include "util/result.hpp"
 
 namespace mwsec::net {
 
-namespace {
-
-constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
-
-/// Process-wide counters mirroring Network::Stats, so a metrics snapshot
-/// shows traffic alongside the authorisation-pipeline counters.
-struct NetMetrics {
-  obs::Counter& sent;
-  obs::Counter& delivered;
-  obs::Counter& dropped;
-  obs::Counter& duplicated;
-  obs::Counter& reordered;
-  obs::Counter& partitioned;
-  obs::Counter& undeliverable;
-  obs::Counter& bytes;
-
-  static NetMetrics& get() {
-    auto& r = obs::Registry::global();
-    static NetMetrics m{
-        r.counter("net.sent"),          r.counter("net.delivered"),
-        r.counter("net.dropped"),       r.counter("net.duplicated"),
-        r.counter("net.reordered"),     r.counter("net.partitioned"),
-        r.counter("net.undeliverable"), r.counter("net.bytes"),
-    };
-    return m;
-  }
-};
-
-}  // namespace
-
-Endpoint::~Endpoint() { close(); }
-
-std::optional<Message> Endpoint::receive(std::chrono::milliseconds timeout) {
-  std::unique_lock lock(mu_);
-  cv_.wait_for(lock, timeout, [&] { return !queue_.empty() || closed_; });
-  if (queue_.empty()) return std::nullopt;
-  Message m = std::move(queue_.front());
-  queue_.pop_front();
-  return m;
-}
-
-std::optional<Message> Endpoint::try_receive() {
-  std::scoped_lock lock(mu_);
-  if (queue_.empty()) return std::nullopt;
-  Message m = std::move(queue_.front());
-  queue_.pop_front();
-  return m;
-}
-
-mwsec::Status Endpoint::send(const std::string& to, const std::string& subject,
-                             util::Bytes payload, obs::TraceContext ctx) {
-  Message m;
-  m.from = name_;
-  m.to = to;
-  m.subject = subject;
-  m.payload = std::move(payload);
-  m.ctx = ctx;
-  return network_->send(std::move(m));
-}
-
-std::size_t Endpoint::pending() const {
-  std::scoped_lock lock(mu_);
-  return queue_.size();
-}
-
-void Endpoint::close() {
-  std::scoped_lock lock(mu_);
-  closed_ = true;
-  cv_.notify_all();
-}
-
-bool Endpoint::closed() const {
-  std::scoped_lock lock(mu_);
-  return closed_;
-}
-
-bool Endpoint::deliver(Message m, bool front, bool* jumped) {
-  std::scoped_lock lock(mu_);
-  if (closed_) {
-    if (jumped != nullptr) *jumped = false;
-    return false;
-  }
-  const bool overtook = front && !queue_.empty();
-  if (overtook) {
-    queue_.push_front(std::move(m));
-  } else {
-    queue_.push_back(std::move(m));
-  }
-  if (jumped != nullptr) *jumped = overtook;
-  cv_.notify_one();
-  return true;
-}
-
-Network::Network(Options options) : options_(options), rng_(options.seed) {}
-
-mwsec::Result<std::shared_ptr<Endpoint>> Network::open(
-    const std::string& name) {
-  std::unique_lock lock(route_mu_);
-  auto it = endpoints_.find(name);
-  if (it != endpoints_.end() && !it->second.expired()) {
-    return Error::make("endpoint name already bound: " + name, "net");
-  }
-  std::shared_ptr<Endpoint> ep(new Endpoint(this, name));
-  endpoints_[name] = ep;
-  return ep;
-}
-
-bool Network::roll(double probability) {
-  if (probability <= 0.0) return false;
-  std::scoped_lock lock(rng_mu_);
-  return rng_.chance(probability);
-}
-
 mwsec::Status Network::send(Message m) {
-  auto& metrics = NetMetrics::get();
-  stats_.sent.fetch_add(1, kRelaxed);
-  stats_.bytes.fetch_add(m.payload.size(), kRelaxed);
-  metrics.sent.inc();
-  metrics.bytes.inc(m.payload.size());
-  m.id = next_id_.fetch_add(1, kRelaxed);
+  count_sent(m.payload.size());
+  m.id = next_message_id();
 
   // One hop span per traced message: joined to the sender's context, and
   // the envelope is rewritten to the hop's own context so the receiver's
   // spans nest under it (sender → net.deliver → receiver). Inert unless
   // the message carries a context and tracing is on.
-  obs::Span hop;
-  if (m.ctx.valid()) {
-    hop = obs::Tracer::global().join("net.deliver", m.ctx);
-    if (hop.active()) {
-      hop.set_attr("from", m.from);
-      hop.set_attr("to", m.to);
-      hop.set_attr("subject", m.subject);
-      m.ctx = hop.context();
-    }
-  }
+  obs::Span hop = mint_hop(m);
 
-  // Route lookup + partition check under the shared lock only: concurrent
-  // senders read the routing table together, writers (open/kill/
-  // set_partitioned) are rare and take it exclusively.
-  std::shared_ptr<Endpoint> dest;
-  {
-    std::shared_lock lock(route_mu_);
-    // Failure Statuses name the destination, so a caller's retry log (the
-    // scheduler's, in particular) identifies the dead endpoint without
-    // having to thread it through separately.
-    auto key = std::minmax(m.from, m.to);
-    if (partitions_.count({key.first, key.second})) {
-      stats_.partitioned.fetch_add(1, kRelaxed);
-      metrics.partitioned.inc();
-      hop.set_status("partitioned");
-      return Error::make("send to '" + m.to + "' failed: link partitioned (" +
-                             m.from + " <-> " + m.to + ")",
-                         "net");
-    }
-    auto it = endpoints_.find(m.to);
-    if (it != endpoints_.end()) dest = it->second.lock();
-  }
-  if (roll(options_.drop_probability)) {
-    stats_.dropped.fetch_add(1, kRelaxed);
-    metrics.dropped.inc();
-    hop.set_status("dropped");
-    return {};  // silently lost, as real networks do
-  }
-  if (dest == nullptr || dest->closed()) {
-    stats_.undeliverable.fetch_add(1, kRelaxed);
-    metrics.undeliverable.inc();
-    hop.set_status("undeliverable");
-    return Error::make(
-        "send to '" + m.to + "' failed: " +
-            (dest == nullptr ? "no such endpoint" : "endpoint closed"),
-        "net");
-  }
-  const bool duplicate = roll(options_.duplicate_probability);
-  const bool reorder = roll(options_.reorder_probability);
-  Message copy;
-  if (duplicate) copy = m;  // same id: a true wire-level duplicate
-
-  // Delivered counts copies actually enqueued (a closed-endpoint race
-  // discards the copy and counts undeliverable instead), so the invariant
-  // delivered == sum of receivers' enqueues holds even with duplication.
-  bool jumped = false;
-  const bool accepted = dest->deliver(std::move(m), reorder, &jumped);
-  if (!accepted) {
-    stats_.undeliverable.fetch_add(1, kRelaxed);
-    metrics.undeliverable.inc();
-    hop.set_status("undeliverable");
-    return Error::make("send to '" + m.to + "' failed: endpoint closed",
+  // Failure Statuses name the destination, so a caller's retry log (the
+  // scheduler's, in particular) identifies the dead endpoint without
+  // having to thread it through separately.
+  if (is_partitioned(m.from, m.to)) {
+    count_partitioned();
+    hop.set_status("partitioned");
+    return Error::make("send to '" + m.to + "' failed: link partitioned (" +
+                           m.from + " <-> " + m.to + ")",
                        "net");
   }
-  stats_.delivered.fetch_add(1, kRelaxed);
-  metrics.delivered.inc();
-  hop.set_status("delivered");
-  std::uint64_t jumps = jumped ? 1u : 0u;
-  if (duplicate) {
-    bool dup_jumped = false;
-    if (dest->deliver(std::move(copy), reorder, &dup_jumped)) {
-      stats_.delivered.fetch_add(1, kRelaxed);
-      metrics.delivered.inc();
-      stats_.duplicated.fetch_add(1, kRelaxed);
-      metrics.duplicated.inc();
-      jumps += dup_jumped ? 1u : 0u;
-    }
-  }
-  if (jumps != 0) {
-    stats_.reordered.fetch_add(jumps, kRelaxed);
-    metrics.reordered.inc(jumps);
-  }
-  return {};
-}
-
-void Network::set_partitioned(const std::string& a, const std::string& b,
-                              bool partitioned) {
-  std::unique_lock lock(route_mu_);
-  auto key = std::minmax(a, b);
-  if (partitioned) {
-    partitions_.insert({key.first, key.second});
-  } else {
-    partitions_.erase({key.first, key.second});
-  }
-}
-
-void Network::kill(const std::string& name) {
-  std::shared_ptr<Endpoint> ep;
-  {
-    std::unique_lock lock(route_mu_);
-    auto it = endpoints_.find(name);
-    if (it == endpoints_.end()) return;
-    ep = it->second.lock();
-    endpoints_.erase(it);
-  }
-  if (ep) ep->close();
-}
-
-Network::Stats Network::stats() const {
-  Stats out;
-  out.sent = stats_.sent.load(kRelaxed);
-  out.delivered = stats_.delivered.load(kRelaxed);
-  out.dropped = stats_.dropped.load(kRelaxed);
-  out.duplicated = stats_.duplicated.load(kRelaxed);
-  out.reordered = stats_.reordered.load(kRelaxed);
-  out.partitioned = stats_.partitioned.load(kRelaxed);
-  out.undeliverable = stats_.undeliverable.load(kRelaxed);
-  out.bytes = stats_.bytes.load(kRelaxed);
-  return out;
+  return send_local(std::move(m), hop);
 }
 
 }  // namespace mwsec::net

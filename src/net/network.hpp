@@ -1,5 +1,6 @@
-// In-process message network (DESIGN.md §2: the stand-in for IIOP/DCOM
-// RPC and WebCom's master/client links).
+// The in-process bus backend of `net::Transport` (DESIGN.md §2, §14: the
+// stand-in for IIOP/DCOM RPC and WebCom's master/client links when every
+// party lives in one process).
 //
 // MPI-style semantics, per the hpc-parallel guides: named endpoints own a
 // mailbox; send() transfers ownership of a serialised payload into the
@@ -20,159 +21,21 @@
 // contend on a global lock.
 #pragma once
 
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <optional>
-#include <set>
-#include <shared_mutex>
-#include <string>
-#include <utility>
-
-#include "obs/trace.hpp"
-#include "util/byte_buffer.hpp"
-#include "util/rng.hpp"
+#include "net/transport.hpp"
 
 namespace mwsec::net {
 
-struct Message {
-  std::string from;
-  std::string to;
-  std::string subject;  ///< message type tag, e.g. "task", "task-result"
-  util::Bytes payload;
-  std::uint64_t id = 0;  ///< assigned by the network on send
-  /// Causal envelope: the sender's span context. When valid and tracing
-  /// is on, the network records a "net.deliver" hop span joined to it and
-  /// rewrites this field to the hop's context before delivery, so the
-  /// receiver's spans chain sender → net hop → receiver. (A socket
-  /// transport would frame these 16 bytes after the subject; here the
-  /// struct member *is* the wire slot.)
-  obs::TraceContext ctx;
-};
-
-class Network;
-
-/// A mailbox bound to a name on the network. Closed on destruction.
-/// The queue is MPSC-safe: any number of concurrent senders, one (or
-/// more) receivers, all under the endpoint's own lock.
-class Endpoint {
+class Network final : public Transport {
  public:
-  ~Endpoint();
-  Endpoint(const Endpoint&) = delete;
-  Endpoint& operator=(const Endpoint&) = delete;
+  using Options = Transport::Options;
+  using Stats = Transport::Stats;
 
-  const std::string& name() const { return name_; }
-
-  /// Blocking receive; std::nullopt on deadline expiry or endpoint close.
-  std::optional<Message> receive(std::chrono::milliseconds timeout);
-  /// Non-blocking receive.
-  std::optional<Message> try_receive();
-  /// Convenience: send from this endpoint. `ctx` (optional) is the
-  /// sender's span context to propagate in the message envelope.
-  mwsec::Status send(const std::string& to, const std::string& subject,
-                     util::Bytes payload, obs::TraceContext ctx = {});
-
-  std::size_t pending() const;
-  /// Stop accepting and wake blocked receivers.
-  void close();
-  bool closed() const;
-
- private:
-  friend class Network;
-  Endpoint(Network* network, std::string name)
-      : network_(network), name_(std::move(name)) {}
-  /// Enqueue one copy. `front` asks for reordered delivery (ahead of the
-  /// queue); `*jumped` reports whether it actually overtook anything.
-  /// Returns false if the endpoint closed (the copy is discarded) — the
-  /// caller counts delivered per copy actually accepted.
-  bool deliver(Message m, bool front, bool* jumped);
-
-  Network* network_;
-  std::string name_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
-  bool closed_ = false;
-};
-
-class Network {
- public:
-  struct Options {
-    std::uint64_t seed = 1;
-    double drop_probability = 0.0;  ///< uniform message loss
-    /// Deliver the message twice (same id) — duplicate delivery, the
-    /// failure mode that makes at-least-once protocols require idempotent
-    /// application (the sync layer's delta epochs, in particular).
-    double duplicate_probability = 0.0;
-    /// Deliver the message ahead of everything already queued at the
-    /// destination instead of behind it. Only reorders against messages
-    /// still in the queue (an empty queue leaves nothing to jump), which
-    /// is exactly the burst-reordering a real network exhibits under load.
-    double reorder_probability = 0.0;
-  };
   Network() : Network(Options{}) {}
-  explicit Network(Options options);
-
-  /// Bind a new endpoint; name must be unused.
-  mwsec::Result<std::shared_ptr<Endpoint>> open(const std::string& name);
+  explicit Network(Options options) : Transport(options) {}
 
   /// Deliver (or drop) a message. Errors on unknown/closed destination.
   /// Safe for any number of concurrent senders.
-  mwsec::Status send(Message m);
-
-  /// Sever / restore the (bidirectional) link between two endpoints.
-  void set_partitioned(const std::string& a, const std::string& b,
-                       bool partitioned);
-  /// Take an endpoint off the network entirely (crash simulation).
-  void kill(const std::string& name);
-
-  struct Stats {
-    std::uint64_t sent = 0;
-    std::uint64_t delivered = 0;     // copies actually enqueued
-    std::uint64_t dropped = 0;       // random loss
-    std::uint64_t duplicated = 0;    // extra copies delivered
-    std::uint64_t reordered = 0;     // jumped ahead of queued messages
-    std::uint64_t partitioned = 0;   // blocked by partition
-    std::uint64_t undeliverable = 0; // unknown/closed destination
-    std::uint64_t bytes = 0;
-  };
-  Stats stats() const;
-
- private:
-  /// Counter twin of Stats: updated with relaxed atomics so concurrent
-  /// senders never serialise on bookkeeping; stats() snapshots it.
-  struct AtomicStats {
-    std::atomic<std::uint64_t> sent{0};
-    std::atomic<std::uint64_t> delivered{0};
-    std::atomic<std::uint64_t> dropped{0};
-    std::atomic<std::uint64_t> duplicated{0};
-    std::atomic<std::uint64_t> reordered{0};
-    std::atomic<std::uint64_t> partitioned{0};
-    std::atomic<std::uint64_t> undeliverable{0};
-    std::atomic<std::uint64_t> bytes{0};
-  };
-
-  /// Fault-injection decisions for one send. Off-path unless the matching
-  /// probability is non-zero.
-  bool roll(double probability);
-
-  const Options options_;
-  /// Routing state: read per send (shared), written by open/kill/
-  /// set_partitioned (exclusive).
-  mutable std::shared_mutex route_mu_;
-  std::map<std::string, std::weak_ptr<Endpoint>> endpoints_;
-  std::set<std::pair<std::string, std::string>> partitions_;
-  /// The RNG is stateful; its lock is taken only when a fault probability
-  /// asks for a roll (fault-injection runs, never the fast path).
-  std::mutex rng_mu_;
-  util::Rng rng_;
-  AtomicStats stats_;
-  std::atomic<std::uint64_t> next_id_{1};
+  mwsec::Status send(Message m) override;
 };
 
 }  // namespace mwsec::net

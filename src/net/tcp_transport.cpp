@@ -1,0 +1,462 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace mwsec::net {
+
+namespace {
+
+constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+bool set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+std::string peer_key(const std::string& host, std::uint16_t port) {
+  return host + ":" + std::to_string(port);
+}
+
+/// Numeric-address sockaddr; false when `host` is not a dotted quad.
+bool make_addr(const std::string& host, std::uint16_t port,
+               sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  return ::inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpOptions options)
+    : Transport(options.fault), options_tcp_(std::move(options)) {}
+
+TcpTransport::~TcpTransport() { stop(); }
+
+mwsec::Status TcpTransport::start() {
+  if (running()) return {};
+  sockaddr_in addr{};
+  if (!make_addr(options_tcp_.listen_host, options_tcp_.listen_port, &addr)) {
+    return Error::make("tcp: bad listen address " + options_tcp_.listen_host,
+                       "net");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Error::make("tcp: socket() failed", "net");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Error::make("tcp: bind to " + options_tcp_.listen_host + ":" +
+                           std::to_string(options_tcp_.listen_port) +
+                           " failed: " + std::strerror(errno),
+                       "net");
+  }
+  if (::listen(fd, 64) != 0 || !set_nonblocking(fd)) {
+    ::close(fd);
+    return Error::make("tcp: listen failed", "net");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  reader_ = std::thread([this] { reader_loop(); });
+  return {};
+}
+
+void TcpTransport::stop() {
+  if (!running_.exchange(false)) return;
+  // Writers first: wake queue waits and blocked (backpressured) senders.
+  std::vector<Peer*> peers;
+  {
+    std::scoped_lock lock(peers_mu_);
+    for (auto& [key, peer] : peers_) peers.push_back(peer.get());
+  }
+  for (Peer* p : peers) {
+    {
+      std::scoped_lock lock(p->mu);
+      p->stopping = true;
+    }
+    p->cv.notify_all();
+    p->space_cv.notify_all();
+  }
+  for (Peer* p : peers) {
+    if (p->writer.joinable()) p->writer.join();
+  }
+  if (reader_.joinable()) reader_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TcpTransport::add_route(const std::string& endpoint_name,
+                             const std::string& host, std::uint16_t port) {
+  std::scoped_lock lock(peers_mu_);
+  routes_[endpoint_name] = peer_key(host, port);
+}
+
+TcpTransport::Peer* TcpTransport::peer_for_route(
+    const std::string& endpoint_name) {
+  std::scoped_lock lock(peers_mu_);
+  auto route = routes_.find(endpoint_name);
+  if (route == routes_.end()) return nullptr;
+  auto it = peers_.find(route->second);
+  if (it == peers_.end()) {
+    // stop() flips running_ before collecting peers under this lock, so
+    // refusing here guarantees every created writer gets joined.
+    if (!running()) return nullptr;
+    auto peer = std::make_unique<Peer>();
+    const auto colon = route->second.rfind(':');
+    peer->host = route->second.substr(0, colon);
+    peer->port = static_cast<std::uint16_t>(
+        std::stoul(route->second.substr(colon + 1)));
+    Peer* raw = peer.get();
+    raw->writer = std::thread([this, raw] { writer_loop(raw); });
+    it = peers_.emplace(route->second, std::move(peer)).first;
+  }
+  return it->second.get();
+}
+
+mwsec::Status TcpTransport::send(Message m) {
+  count_sent(m.payload.size());
+  m.id = next_message_id();
+  obs::Span hop = mint_hop(m);
+
+  // Partitions are enforced sender-side, exactly as on the bus; an
+  // orchestrated deployment applies the same partition set in every
+  // participating process so both directions block.
+  if (is_partitioned(m.from, m.to)) {
+    count_partitioned();
+    hop.set_status("partitioned");
+    return Error::make("send to '" + m.to + "' failed: link partitioned (" +
+                           m.from + " <-> " + m.to + ")",
+                       "net");
+  }
+
+  // Local destinations take the bus fast path: synchronous delivery,
+  // synchronous unknown/closed errors, identical fault injection.
+  if (local_endpoint(m.to) != nullptr) {
+    return send_local(std::move(m), hop);
+  }
+
+  if (!running()) {
+    count_undeliverable();
+    hop.set_status("undeliverable");
+    return Error::make("send to '" + m.to + "' failed: transport stopped",
+                       "net");
+  }
+  Peer* peer = peer_for_route(m.to);
+  if (peer == nullptr) {
+    count_undeliverable();
+    hop.set_status("undeliverable");
+    return Error::make("send to '" + m.to + "' failed: no such endpoint " +
+                           "(not local, no route)",
+                       "net");
+  }
+
+  // Sender-side fault rolls; the receiver owns the destination mailbox,
+  // so the duplicate/reorder decisions travel in the frame flags.
+  if (roll(options_.drop_probability)) {
+    count_dropped();
+    hop.set_status("dropped");
+    return {};
+  }
+  const bool duplicate = roll(options_.duplicate_probability);
+  std::uint8_t flags = 0;
+  if (roll(options_.reorder_probability)) flags |= wire::kFlagReorder;
+
+  auto status = enqueue(*peer, wire::encode_frame(m, flags), m.to);
+  if (!status.ok()) {
+    hop.set_status("backpressured");
+    return status;
+  }
+  if (duplicate &&
+      enqueue(*peer, wire::encode_frame(m, flags | wire::kFlagDuplicateCopy),
+              m.to)
+          .ok()) {
+    // Same id, same payload: a true wire-level duplicate. Counted at the
+    // sender (who decided to duplicate — and only if the copy actually
+    // made the queue); the receiver counts both copies delivered but does
+    // NOT count duplicated, keeping the deployment-wide books balanced.
+    count_duplicated();
+  }
+  hop.set_status("enqueued");
+  return {};
+}
+
+mwsec::Status TcpTransport::enqueue(Peer& peer, util::Bytes frame,
+                                    const std::string& to) {
+  std::unique_lock lock(peer.mu);
+  if (!peer.space_cv.wait_for(lock, options_tcp_.backpressure_timeout, [&] {
+        return peer.stopping ||
+               peer.queue.size() < options_tcp_.writer_queue_limit;
+      })) {
+    count_backpressured();
+    return Error::make("send to '" + to + "' failed: writer queue full (" +
+                           std::to_string(options_tcp_.writer_queue_limit) +
+                           " frames) — backpressure timeout",
+                       "net");
+  }
+  if (peer.stopping) {
+    count_undeliverable();
+    return Error::make("send to '" + to + "' failed: transport stopped",
+                       "net");
+  }
+  peer.queue.push_back(std::move(frame));
+  lock.unlock();
+  peer.cv.notify_one();
+  return {};
+}
+
+void TcpTransport::writer_loop(Peer* peer) {
+  int fd = -1;
+  auto backoff = options_tcp_.reconnect_initial;
+  bool ever_connected = false;
+
+  auto close_conn = [&] {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  };
+
+  // Attempt one non-blocking connect, waiting up to `backoff` for the
+  // handshake. Returns a connected fd or -1.
+  auto try_connect = [&]() -> int {
+    sockaddr_in addr{};
+    if (!make_addr(peer->host, peer->port, &addr)) return -1;
+    int s = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (s < 0 || !set_nonblocking(s)) {
+      if (s >= 0) ::close(s);
+      return -1;
+    }
+    int rc = ::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS) {
+      ::close(s);
+      return -1;
+    }
+    if (rc != 0) {
+      pollfd pfd{s, POLLOUT, 0};
+      const int timeout_ms =
+          static_cast<int>(std::min<std::int64_t>(backoff.count(), 200));
+      if (::poll(&pfd, 1, timeout_ms) <= 0) {
+        ::close(s);
+        return -1;
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(s, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        ::close(s);
+        return -1;
+      }
+    }
+    set_nodelay(s);
+    return s;
+  };
+
+  for (;;) {
+    // Wait for work (or shutdown).
+    {
+      std::unique_lock lock(peer->mu);
+      peer->cv.wait(lock,
+                    [&] { return peer->stopping || !peer->queue.empty(); });
+      if (peer->stopping) break;
+    }
+
+    // A standing connection may have died while idle (peer FIN/RST
+    // arrives between writes, but the kernel would still accept one more
+    // send into the dead socket and the frame would vanish). Our frames
+    // flow one way, so anything readable on the write side means EOF or
+    // error: probe before committing a frame.
+    if (fd >= 0) {
+      std::uint8_t probe = 0;
+      ssize_t pn = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+      if (pn == 0 || (pn < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+        close_conn();
+      }
+    }
+
+    // Ensure a standing connection, reconnecting with exponential
+    // backoff. The sleep waits on the cv so stop() interrupts it.
+    while (fd < 0) {
+      fd = try_connect();
+      if (fd >= 0) {
+        tcp_stats_.connects.fetch_add(1, kRelaxed);
+        if (ever_connected) tcp_stats_.reconnects.fetch_add(1, kRelaxed);
+        ever_connected = true;
+        backoff = options_tcp_.reconnect_initial;
+        break;
+      }
+      std::unique_lock lock(peer->mu);
+      if (peer->stopping) return;
+      peer->cv.wait_for(lock, backoff, [&] { return peer->stopping; });
+      if (peer->stopping) return;
+      backoff = std::min(backoff * 2, options_tcp_.reconnect_max);
+    }
+
+    // Write the frame at the queue front; pop only after a full write so
+    // a frame cut off by connection loss is resent on the new stream.
+    util::Bytes frame;
+    {
+      std::scoped_lock lock(peer->mu);
+      if (peer->queue.empty()) continue;
+      frame = peer->queue.front();
+    }
+    std::size_t written = 0;
+    bool failed = false;
+    while (written < frame.size()) {
+      ssize_t n = ::send(fd, frame.data() + written, frame.size() - written,
+                         MSG_NOSIGNAL);
+      if (n > 0) {
+        written += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd pfd{fd, POLLOUT, 0};
+        ::poll(&pfd, 1, 50);
+        {
+          std::scoped_lock lock(peer->mu);
+          if (peer->stopping) return;
+        }
+        continue;
+      }
+      failed = true;
+      break;
+    }
+    if (failed) {
+      close_conn();
+      continue;  // frame stays queued; reconnect and resend
+    }
+    tcp_stats_.frames_sent.fetch_add(1, kRelaxed);
+    {
+      std::scoped_lock lock(peer->mu);
+      if (!peer->queue.empty()) peer->queue.pop_front();
+    }
+    peer->space_cv.notify_one();
+  }
+  close_conn();
+}
+
+void TcpTransport::reader_loop() {
+  std::vector<Conn> conns;
+  std::vector<pollfd> pfds;
+  std::vector<std::uint8_t> buf(64 * 1024);
+
+  while (running()) {
+    pfds.clear();
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns) pfds.push_back({c.fd, POLLIN, 0});
+    // Short timeout: the loop doubles as the shutdown poll.
+    if (::poll(pfds.data(), pfds.size(), 20) < 0 && errno != EINTR) break;
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;
+        if (!set_nonblocking(fd)) {
+          ::close(fd);
+          continue;
+        }
+        set_nodelay(fd);
+        tcp_stats_.connections_accepted.fetch_add(1, kRelaxed);
+        conns.push_back(Conn{fd, {}});
+      }
+    }
+
+    // pfds[pi] ↔ conns[i]: pi always advances, i only when the conn is
+    // kept (erase shifts the rest down). Conns accepted above have no
+    // pfd entry yet — the `pi` bound leaves them for the next round.
+    std::size_t i = 0;
+    for (std::size_t pi = 1; pi < pfds.size(); ++pi) {
+      Conn& c = conns[i];
+      const short revents = pfds[pi].revents;
+      bool drop = (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      if (!drop && (revents & POLLIN) != 0) {
+        for (;;) {
+          ssize_t n = ::recv(c.fd, buf.data(), buf.size(), 0);
+          if (n > 0) {
+            if (!c.assembler.feed(buf.data(), static_cast<std::size_t>(n))
+                     .ok()) {
+              // Oversized length prefix: protocol violation, drop the
+              // connection (the sender reconnects with a fresh stream).
+              tcp_stats_.decode_errors.fetch_add(1, kRelaxed);
+              drop = true;
+              break;
+            }
+            while (auto body = c.assembler.next()) handle_frame(*body);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          drop = true;  // EOF or hard error
+          break;
+        }
+      }
+      if (drop) {
+        ::close(c.fd);
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (Conn& c : conns) ::close(c.fd);
+}
+
+void TcpTransport::handle_frame(const util::Bytes& body) {
+  auto decoded = wire::decode_frame_body(body);
+  if (!decoded.ok()) {
+    // Sent but never deliverable: the malformed frame is dead on arrival.
+    tcp_stats_.decode_errors.fetch_add(1, kRelaxed);
+    count_undeliverable();
+    MWSEC_LOG(kWarn, "net") << "tcp: dropping malformed frame: "
+                            << decoded.error().message;
+    return;
+  }
+  tcp_stats_.frames_received.fetch_add(1, kRelaxed);
+  Message m = std::move(decoded.value().message);
+  const std::uint8_t flags = decoded.value().flags;
+  std::shared_ptr<Endpoint> dest = local_endpoint(m.to);
+  if (dest == nullptr || dest->closed()) {
+    count_undeliverable();
+    return;
+  }
+  // duplicate_copy=false even for flagged copies: the *sender* counted
+  // the duplication; the receiver only counts the deliveries.
+  if (!accept_local(dest, std::move(m), (flags & wire::kFlagReorder) != 0,
+                    /*duplicate_copy=*/false)) {
+    count_undeliverable();
+  }
+}
+
+TcpTransport::TcpStats TcpTransport::tcp_stats() const {
+  TcpStats out;
+  out.connections_accepted = tcp_stats_.connections_accepted.load(kRelaxed);
+  out.connects = tcp_stats_.connects.load(kRelaxed);
+  out.reconnects = tcp_stats_.reconnects.load(kRelaxed);
+  out.frames_sent = tcp_stats_.frames_sent.load(kRelaxed);
+  out.frames_received = tcp_stats_.frames_received.load(kRelaxed);
+  out.decode_errors = tcp_stats_.decode_errors.load(kRelaxed);
+  return out;
+}
+
+}  // namespace mwsec::net

@@ -1,0 +1,169 @@
+// The standing-TCP backend of `net::Transport` (DESIGN.md §14): the
+// Figure-3 deployment for real — masters, clients, and replicas in
+// separate processes, connected by sockets instead of the in-process bus.
+// Modelled on the Secrecy comm-layer design (SNIPPETS.md): replace the
+// single-cluster messaging substrate with standing TCP connections plus an
+// orchestrator (src/orchestrate) that distributes peer addresses.
+//
+// One TcpTransport per process: it listens on one port, owns the local
+// endpoint mailboxes (inherited from Transport), and routes every
+// non-local endpoint name through a static routing table
+// (`add_route(name, host, port)` — filled in by the orchestrator from its
+// port plan). Message movement:
+//
+//  * send() to a *local* endpoint is the bus fast path — same fault
+//    injection, same Stats, same synchronous unknown/closed errors.
+//  * send() to a *routed* endpoint encodes one wire frame (wire.hpp) and
+//    hands it to that peer's writer queue. The queue is bounded
+//    (`writer_queue_limit`); a full queue blocks the sender until space
+//    frees or `backpressure_timeout` expires (then the send fails and
+//    `Stats.backpressured` counts it) — backpressure, not unbounded
+//    buffering.
+//  * each peer has one standing connection driven by a dedicated writer
+//    thread: it connects lazily, reconnects with exponential backoff
+//    (reconnect_initial → reconnect_max) whenever the connection drops,
+//    and a frame is only popped from the queue after it was written in
+//    full — a frame cut off mid-write is resent on the fresh connection
+//    (the receiver's per-connection FrameAssembler discards the stub), so
+//    delivery across reconnects is at-least-once, which the duplicate-
+//    tolerant protocols above (sync epochs, scheduler task ids) absorb.
+//  * a reader thread polls the listener and every inbound connection
+//    (non-blocking sockets throughout), reassembles frames, and delivers
+//    into local mailboxes.
+//
+// Fault-injection and failure semantics carry over from the bus:
+// partitions are enforced sender-side (each process applies the same
+// partition set, as the orchestrated rigs do), kill() closes a local
+// endpoint so inbound frames for it count undeliverable, drop/duplicate/
+// reorder rolls happen at the sender with the duplicate/reorder decisions
+// carried in frame flags for the receiver to act on. Stats accounting is
+// split at the wire: the sender counts sent/bytes/dropped/duplicated, the
+// receiver counts delivered/reordered/undeliverable — summed over the
+// transports of a deployment they obey the same invariants as one bus
+// (the parameterized transport suite holds both backends to this).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+namespace mwsec::net {
+
+struct TcpOptions {
+  /// Fault injection, seed, and the message-id node prefix. Give every
+  /// process a distinct `fault.node_id` (the orchestrator does) so ids
+  /// stay unique deployment-wide.
+  Transport::Options fault;
+  /// Listen address. Port 0 binds an ephemeral port; read it back with
+  /// port(). Numeric addresses only (no resolver) — loopback and
+  /// orchestrated LAN rigs are the use case.
+  std::string listen_host = "127.0.0.1";
+  std::uint16_t listen_port = 0;
+  /// Writer reconnect backoff: doubles from initial to max per attempt.
+  std::chrono::milliseconds reconnect_initial{10};
+  std::chrono::milliseconds reconnect_max{1000};
+  /// Frames queued per peer before senders block (backpressure).
+  std::size_t writer_queue_limit = 4096;
+  /// How long a blocked sender waits for queue space before the send
+  /// fails with a Status (and Stats.backpressured counts it).
+  std::chrono::milliseconds backpressure_timeout{5000};
+};
+
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(TcpOptions options = {});
+  ~TcpTransport() override;
+
+  /// Bind, listen, and start the reader thread. Must be called (and have
+  /// succeeded) before send() can reach remote peers.
+  mwsec::Status start();
+  /// Stop reader and writers, close the listener and every connection.
+  /// Queued-but-unsent frames are discarded (the connection is gone —
+  /// exactly a network that went dark). Local endpoints stay usable for
+  /// local traffic until destruction.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  const std::string& host() const { return options_tcp_.listen_host; }
+  /// The actually-bound port (resolves listen_port == 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Route a remote endpoint name to the peer process listening at
+  /// host:port. Last route wins; local endpoints always take precedence.
+  void add_route(const std::string& endpoint_name, const std::string& host,
+                 std::uint16_t port);
+
+  mwsec::Status send(Message m) override;
+
+  /// Wire-level counters, for tests and the bench report.
+  struct TcpStats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connects = 0;    ///< successful outbound connects
+    std::uint64_t reconnects = 0;  ///< connects after a standing conn broke
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t decode_errors = 0;
+  };
+  TcpStats tcp_stats() const;
+
+ private:
+  /// One standing outbound connection: a bounded frame queue drained by a
+  /// dedicated writer thread that owns the socket and its reconnects.
+  struct Peer {
+    std::string host;
+    std::uint16_t port = 0;
+    std::mutex mu;
+    std::condition_variable cv;        ///< queue became non-empty / stop
+    std::condition_variable space_cv;  ///< queue dropped below the limit
+    std::deque<util::Bytes> queue;
+    bool stopping = false;
+    std::thread writer;
+  };
+
+  /// One inbound connection, owned by the reader thread.
+  struct Conn {
+    int fd = -1;
+    wire::FrameAssembler assembler;
+  };
+
+  void reader_loop();
+  void writer_loop(Peer* peer);
+  /// Deliver one reassembled frame body into a local mailbox.
+  void handle_frame(const util::Bytes& body);
+  /// Block-with-timeout enqueue onto the peer's writer queue.
+  mwsec::Status enqueue(Peer& peer, util::Bytes frame, const std::string& to);
+  /// The peer for a routed endpoint name (starts its writer lazily);
+  /// nullptr when no route exists.
+  Peer* peer_for_route(const std::string& endpoint_name);
+
+  TcpOptions options_tcp_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread reader_;
+
+  mutable std::mutex peers_mu_;
+  std::map<std::string, std::unique_ptr<Peer>> peers_;  ///< "host:port" → peer
+  std::map<std::string, std::string> routes_;  ///< endpoint → "host:port"
+
+  struct AtomicTcpStats {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connects{0};
+    std::atomic<std::uint64_t> reconnects{0};
+    std::atomic<std::uint64_t> frames_sent{0};
+    std::atomic<std::uint64_t> frames_received{0};
+    std::atomic<std::uint64_t> decode_errors{0};
+  };
+  AtomicTcpStats tcp_stats_;
+};
+
+}  // namespace mwsec::net

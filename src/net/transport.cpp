@@ -1,0 +1,280 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace mwsec::net {
+
+namespace {
+
+constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+/// Process-wide counters mirroring Transport::Stats, so a metrics snapshot
+/// shows traffic alongside the authorisation-pipeline counters. Shared by
+/// every backend instance in the process.
+struct NetMetrics {
+  obs::Counter& sent;
+  obs::Counter& delivered;
+  obs::Counter& dropped;
+  obs::Counter& duplicated;
+  obs::Counter& reordered;
+  obs::Counter& partitioned;
+  obs::Counter& undeliverable;
+  obs::Counter& backpressured;
+  obs::Counter& bytes;
+
+  static NetMetrics& get() {
+    auto& r = obs::Registry::global();
+    static NetMetrics m{
+        r.counter("net.sent"),          r.counter("net.delivered"),
+        r.counter("net.dropped"),       r.counter("net.duplicated"),
+        r.counter("net.reordered"),     r.counter("net.partitioned"),
+        r.counter("net.undeliverable"), r.counter("net.backpressured"),
+        r.counter("net.bytes"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+Endpoint::~Endpoint() { close(); }
+
+std::optional<Message> Endpoint::receive(std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  cv_.wait_for(lock, timeout, [&] { return !queue_.empty() || closed_; });
+  if (queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+std::optional<Message> Endpoint::try_receive() {
+  std::scoped_lock lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  Message m = std::move(queue_.front());
+  queue_.pop_front();
+  return m;
+}
+
+mwsec::Status Endpoint::send(const std::string& to, const std::string& subject,
+                             util::Bytes payload, obs::TraceContext ctx) {
+  Message m;
+  m.from = name_;
+  m.to = to;
+  m.subject = subject;
+  m.payload = std::move(payload);
+  m.ctx = ctx;
+  return transport_->send(std::move(m));
+}
+
+std::size_t Endpoint::pending() const {
+  std::scoped_lock lock(mu_);
+  return queue_.size();
+}
+
+void Endpoint::close() {
+  std::scoped_lock lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool Endpoint::closed() const {
+  std::scoped_lock lock(mu_);
+  return closed_;
+}
+
+bool Endpoint::deliver(Message m, bool front, bool* jumped) {
+  std::scoped_lock lock(mu_);
+  if (closed_) {
+    if (jumped != nullptr) *jumped = false;
+    return false;
+  }
+  const bool overtook = front && !queue_.empty();
+  if (overtook) {
+    queue_.push_front(std::move(m));
+  } else {
+    queue_.push_back(std::move(m));
+  }
+  if (jumped != nullptr) *jumped = overtook;
+  cv_.notify_one();
+  return true;
+}
+
+Transport::Transport(Options options)
+    : options_(options), rng_(options.seed) {}
+
+Transport::~Transport() = default;
+
+mwsec::Result<std::shared_ptr<Endpoint>> Transport::open(
+    const std::string& name) {
+  std::unique_lock lock(route_mu_);
+  auto it = endpoints_.find(name);
+  if (it != endpoints_.end() && !it->second.expired()) {
+    return Error::make("endpoint name already bound: " + name, "net");
+  }
+  std::shared_ptr<Endpoint> ep(new Endpoint(this, name));
+  endpoints_[name] = ep;
+  return ep;
+}
+
+void Transport::set_partitioned(const std::string& a, const std::string& b,
+                                bool partitioned) {
+  std::unique_lock lock(route_mu_);
+  auto key = std::minmax(a, b);
+  if (partitioned) {
+    partitions_.insert({key.first, key.second});
+  } else {
+    partitions_.erase({key.first, key.second});
+  }
+}
+
+void Transport::kill(const std::string& name) {
+  std::shared_ptr<Endpoint> ep;
+  {
+    std::unique_lock lock(route_mu_);
+    auto it = endpoints_.find(name);
+    if (it == endpoints_.end()) return;
+    ep = it->second.lock();
+    endpoints_.erase(it);
+  }
+  if (ep) ep->close();
+}
+
+Transport::Stats Transport::stats() const {
+  Stats out;
+  out.sent = stats_.sent.load(kRelaxed);
+  out.delivered = stats_.delivered.load(kRelaxed);
+  out.dropped = stats_.dropped.load(kRelaxed);
+  out.duplicated = stats_.duplicated.load(kRelaxed);
+  out.reordered = stats_.reordered.load(kRelaxed);
+  out.partitioned = stats_.partitioned.load(kRelaxed);
+  out.undeliverable = stats_.undeliverable.load(kRelaxed);
+  out.backpressured = stats_.backpressured.load(kRelaxed);
+  out.bytes = stats_.bytes.load(kRelaxed);
+  return out;
+}
+
+bool Transport::roll(double probability) {
+  if (probability <= 0.0) return false;
+  std::scoped_lock lock(rng_mu_);
+  return rng_.chance(probability);
+}
+
+obs::Span Transport::mint_hop(Message& m) {
+  obs::Span hop;
+  if (m.ctx.valid()) {
+    hop = obs::Tracer::global().join("net.deliver", m.ctx);
+    if (hop.active()) {
+      hop.set_attr("from", m.from);
+      hop.set_attr("to", m.to);
+      hop.set_attr("subject", m.subject);
+      m.ctx = hop.context();
+    }
+  }
+  return hop;
+}
+
+std::shared_ptr<Endpoint> Transport::local_endpoint(
+    const std::string& name) const {
+  std::shared_lock lock(route_mu_);
+  auto it = endpoints_.find(name);
+  return it != endpoints_.end() ? it->second.lock() : nullptr;
+}
+
+bool Transport::is_partitioned(const std::string& a,
+                               const std::string& b) const {
+  std::shared_lock lock(route_mu_);
+  auto key = std::minmax(a, b);
+  return partitions_.count({key.first, key.second}) != 0;
+}
+
+bool Transport::accept_local(const std::shared_ptr<Endpoint>& dest, Message m,
+                             bool front, bool duplicate_copy) {
+  auto& metrics = NetMetrics::get();
+  bool jumped = false;
+  if (!dest->deliver(std::move(m), front, &jumped)) return false;
+  stats_.delivered.fetch_add(1, kRelaxed);
+  metrics.delivered.inc();
+  if (duplicate_copy) {
+    stats_.duplicated.fetch_add(1, kRelaxed);
+    metrics.duplicated.inc();
+  }
+  if (jumped) {
+    stats_.reordered.fetch_add(1, kRelaxed);
+    metrics.reordered.inc();
+  }
+  return true;
+}
+
+mwsec::Status Transport::send_local(Message m, obs::Span& hop) {
+  std::shared_ptr<Endpoint> dest = local_endpoint(m.to);
+  if (roll(options_.drop_probability)) {
+    count_dropped();
+    hop.set_status("dropped");
+    return {};  // silently lost, as real networks do
+  }
+  if (dest == nullptr || dest->closed()) {
+    count_undeliverable();
+    hop.set_status("undeliverable");
+    return Error::make(
+        "send to '" + m.to + "' failed: " +
+            (dest == nullptr ? "no such endpoint" : "endpoint closed"),
+        "net");
+  }
+  const bool duplicate = roll(options_.duplicate_probability);
+  const bool reorder = roll(options_.reorder_probability);
+  Message copy;
+  if (duplicate) copy = m;  // same id: a true wire-level duplicate
+
+  // Delivered counts copies actually enqueued (a closed-endpoint race
+  // discards the copy and counts undeliverable instead), so the invariant
+  // delivered == sum of receivers' enqueues holds even with duplication.
+  if (!accept_local(dest, std::move(m), reorder, /*duplicate_copy=*/false)) {
+    count_undeliverable();
+    hop.set_status("undeliverable");
+    return Error::make("send to '" + m.to + "' failed: endpoint closed",
+                       "net");
+  }
+  hop.set_status("delivered");
+  if (duplicate) {
+    accept_local(dest, std::move(copy), reorder, /*duplicate_copy=*/true);
+  }
+  return {};
+}
+
+void Transport::count_sent(std::size_t payload_bytes) {
+  auto& metrics = NetMetrics::get();
+  stats_.sent.fetch_add(1, kRelaxed);
+  stats_.bytes.fetch_add(payload_bytes, kRelaxed);
+  metrics.sent.inc();
+  metrics.bytes.inc(payload_bytes);
+}
+
+void Transport::count_dropped() {
+  stats_.dropped.fetch_add(1, kRelaxed);
+  NetMetrics::get().dropped.inc();
+}
+
+void Transport::count_duplicated() {
+  stats_.duplicated.fetch_add(1, kRelaxed);
+  NetMetrics::get().duplicated.inc();
+}
+
+void Transport::count_partitioned() {
+  stats_.partitioned.fetch_add(1, kRelaxed);
+  NetMetrics::get().partitioned.inc();
+}
+
+void Transport::count_undeliverable() {
+  stats_.undeliverable.fetch_add(1, kRelaxed);
+  NetMetrics::get().undeliverable.inc();
+}
+
+void Transport::count_backpressured() {
+  stats_.backpressured.fetch_add(1, kRelaxed);
+  NetMetrics::get().backpressured.inc();
+}
+
+}  // namespace mwsec::net

@@ -1,0 +1,251 @@
+// The message-transport abstraction (DESIGN.md §14): named endpoints own
+// a mailbox; send() moves a serialised payload toward the destination's
+// queue; receive() blocks with a deadline. The paper's Figure-3 deployment
+// separates masters, clients, and replicas by an untrusted *real* network,
+// so which substrate carries the messages is a deployment decision, not
+// something the scheduler or sync layers may bake in — every consumer
+// (sync::Authority/Replica, the WebCom master/client/gateway,
+// keycom::Server) takes a `Transport&` and never names a backend.
+//
+// Two backends implement it:
+//  * `net::Network` (network.hpp): the in-process bus — MPSC mailbox
+//    queues, synchronous delivery, the original single-process substrate.
+//  * `net::TcpTransport` (tcp_transport.hpp): standing TCP connections
+//    between processes with length-prefixed binary framing (wire.hpp).
+//
+// The base class owns everything both backends share: the local endpoint
+// registry (open/kill and the name→mailbox map), the partition set,
+// fault-injection options and the RNG behind them, traffic Stats, wire-safe
+// message-id minting, and the per-message "net.deliver" hop span. Backends
+// implement only send() — how a message moves from here to the
+// destination's mailbox.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/result.hpp"
+#include "util/rng.hpp"
+
+namespace mwsec::net {
+
+struct Message {
+  std::string from;
+  std::string to;
+  std::string subject;  ///< message type tag, e.g. "task", "task-result"
+  util::Bytes payload;
+  /// Assigned by the transport on send. Wire-safe: the high 16 bits are
+  /// the sending transport's `Options::node_id`, so ids minted by
+  /// different processes never collide and duplicate-skip / trace joins
+  /// keyed on them stay correct multi-process.
+  std::uint64_t id = 0;
+  /// Causal envelope: the sender's span context. When valid and tracing
+  /// is on, the transport records a "net.deliver" hop span joined to it
+  /// and rewrites this field to the hop's context before delivery, so the
+  /// receiver's spans chain sender → net hop → receiver. The socket
+  /// transport frames these 16 bytes after the subject (wire.hpp); on the
+  /// in-process bus the struct member *is* the wire slot.
+  obs::TraceContext ctx;
+};
+
+class Transport;
+
+/// A mailbox bound to a name on a transport. Closed on destruction.
+/// The queue is MPSC-safe: any number of concurrent senders, one (or
+/// more) receivers, all under the endpoint's own lock.
+class Endpoint {
+ public:
+  ~Endpoint();
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Blocking receive; std::nullopt on deadline expiry or endpoint close.
+  std::optional<Message> receive(std::chrono::milliseconds timeout);
+  /// Non-blocking receive.
+  std::optional<Message> try_receive();
+  /// Convenience: send from this endpoint. `ctx` (optional) is the
+  /// sender's span context to propagate in the message envelope.
+  mwsec::Status send(const std::string& to, const std::string& subject,
+                     util::Bytes payload, obs::TraceContext ctx = {});
+
+  std::size_t pending() const;
+  /// Stop accepting and wake blocked receivers.
+  void close();
+  bool closed() const;
+
+ private:
+  friend class Transport;
+  Endpoint(Transport* transport, std::string name)
+      : transport_(transport), name_(std::move(name)) {}
+  /// Enqueue one copy. `front` asks for reordered delivery (ahead of the
+  /// queue); `*jumped` reports whether it actually overtook anything.
+  /// Returns false if the endpoint closed (the copy is discarded) — the
+  /// caller counts delivered per copy actually accepted.
+  bool deliver(Message m, bool front, bool* jumped);
+
+  Transport* transport_;
+  std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+};
+
+class Transport {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    double drop_probability = 0.0;  ///< uniform message loss
+    /// Deliver the message twice (same id) — duplicate delivery, the
+    /// failure mode that makes at-least-once protocols require idempotent
+    /// application (the sync layer's delta epochs, in particular).
+    double duplicate_probability = 0.0;
+    /// Deliver the message ahead of everything already queued at the
+    /// destination instead of behind it. Only reorders against messages
+    /// still in the queue (an empty queue leaves nothing to jump), which
+    /// is exactly the burst-reordering a real network exhibits under load.
+    double reorder_probability = 0.0;
+    /// Message-id prefix for this transport instance: ids are composed as
+    /// (node_id << 48) | sequence, so two processes (or two transports in
+    /// one test) with distinct node ids never mint the same id. 0 — the
+    /// default — reproduces the historical in-process id sequence.
+    std::uint16_t node_id = 0;
+  };
+
+  struct Stats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;     // copies actually enqueued
+    std::uint64_t dropped = 0;       // random loss
+    std::uint64_t duplicated = 0;    // extra copies delivered
+    std::uint64_t reordered = 0;     // jumped ahead of queued messages
+    std::uint64_t partitioned = 0;   // blocked by partition
+    std::uint64_t undeliverable = 0; // unknown/closed destination
+    std::uint64_t backpressured = 0; // writer queue full (socket backends)
+    std::uint64_t bytes = 0;
+  };
+
+  explicit Transport(Options options);
+  virtual ~Transport();
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Bind a new local endpoint; name must be unused on this transport.
+  virtual mwsec::Result<std::shared_ptr<Endpoint>> open(
+      const std::string& name);
+
+  /// Deliver (or drop) a message. Errors on unknown/closed destination —
+  /// synchronously where the backend can know (the bus always; a socket
+  /// backend only for local destinations and missing routes).
+  /// Safe for any number of concurrent senders.
+  virtual mwsec::Status send(Message m) = 0;
+
+  /// Sever / restore the (bidirectional) link between two endpoints.
+  /// Enforced sender-side, so on a socket backend every participating
+  /// process applies the same partition for both directions to block.
+  virtual void set_partitioned(const std::string& a, const std::string& b,
+                               bool partitioned);
+
+  /// Take a local endpoint off the transport entirely (crash simulation).
+  virtual void kill(const std::string& name);
+
+  virtual Stats stats() const;
+
+  const Options& options() const { return options_; }
+
+  /// (node_id << 48) | sequence — the wire-safe message-id composition.
+  static std::uint64_t compose_id(std::uint16_t node_id, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(node_id) << 48) |
+           (seq & 0xFFFFFFFFFFFFull);
+  }
+
+ protected:
+  /// Counter twin of Stats: updated with relaxed atomics so concurrent
+  /// senders never serialise on bookkeeping; stats() snapshots it.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> sent{0};
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> duplicated{0};
+    std::atomic<std::uint64_t> reordered{0};
+    std::atomic<std::uint64_t> partitioned{0};
+    std::atomic<std::uint64_t> undeliverable{0};
+    std::atomic<std::uint64_t> backpressured{0};
+    std::atomic<std::uint64_t> bytes{0};
+  };
+
+  /// Fault-injection decisions for one send. Off-path unless the matching
+  /// probability is non-zero.
+  bool roll(double probability);
+
+  /// Next wire-safe message id for this transport.
+  std::uint64_t next_message_id() {
+    return compose_id(options_.node_id,
+                      next_seq_.fetch_add(1, std::memory_order_relaxed));
+  }
+
+  /// Mint the per-message "net.deliver" hop span joined to the sender's
+  /// context and rewrite the envelope to the hop's own context, so the
+  /// receiver's spans nest under the hop. Inert (returns an inactive
+  /// span) unless the message carries a context and tracing is on.
+  static obs::Span mint_hop(Message& m);
+
+  /// Local endpoint by name, nullptr when unknown. Takes the route lock
+  /// shared.
+  std::shared_ptr<Endpoint> local_endpoint(const std::string& name) const;
+
+  /// Is the (a, b) link severed? Takes the route lock shared.
+  bool is_partitioned(const std::string& a, const std::string& b) const;
+
+  /// Enqueue one already-routed copy into a local mailbox with full
+  /// delivered/duplicated/reordered accounting (both the instance Stats
+  /// and the process-wide obs counters). `duplicate_copy` marks the extra
+  /// copy of a duplicated send. Returns false if the endpoint refused
+  /// (closed) — the caller decides how to account undeliverable.
+  bool accept_local(const std::shared_ptr<Endpoint>& dest, Message m,
+                    bool front, bool duplicate_copy);
+
+  /// The shared local-delivery tail: roll drop/duplicate/reorder, look up
+  /// the destination mailbox, and enqueue with accounting and hop-span
+  /// status. The caller has already counted the send, minted the message
+  /// id and hop span, and checked partitions. Errors on unknown/closed
+  /// destinations exactly as the in-process bus always has.
+  mwsec::Status send_local(Message m, obs::Span& hop);
+
+  /// Count one sent message (Stats + obs counters).
+  void count_sent(std::size_t payload_bytes);
+  void count_dropped();
+  void count_duplicated();
+  void count_partitioned();
+  void count_undeliverable();
+  void count_backpressured();
+
+  const Options options_;
+  /// Routing state: read per send (shared), written by open/kill/
+  /// set_partitioned (exclusive).
+  mutable std::shared_mutex route_mu_;
+  std::map<std::string, std::weak_ptr<Endpoint>> endpoints_;
+  std::set<std::pair<std::string, std::string>> partitions_;
+  /// The RNG is stateful; its lock is taken only when a fault probability
+  /// asks for a roll (fault-injection runs, never the fast path).
+  std::mutex rng_mu_;
+  util::Rng rng_;
+  AtomicStats stats_;
+  std::atomic<std::uint64_t> next_seq_{1};
+};
+
+}  // namespace mwsec::net

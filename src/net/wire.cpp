@@ -1,0 +1,89 @@
+#include "net/wire.hpp"
+
+#include <cstring>
+
+namespace mwsec::net::wire {
+
+util::Bytes encode_frame(const Message& m, std::uint8_t flags) {
+  util::ByteWriter body;
+  body.str(m.from);
+  body.str(m.to);
+  body.str(m.subject);
+  body.u64(m.ctx.trace_id);
+  body.u64(m.ctx.span_id);
+  body.u64(m.id);
+  body.u8(flags);
+  body.blob(m.payload);
+
+  util::ByteWriter frame;
+  frame.u32(static_cast<std::uint32_t>(body.bytes().size()));
+  frame.raw(body.bytes());
+  return frame.take();
+}
+
+mwsec::Result<DecodedFrame> decode_frame_body(const util::Bytes& body) {
+  if (body.size() > kMaxFrameBytes) {
+    return Error::make("frame body exceeds kMaxFrameBytes", "net");
+  }
+  util::ByteReader r(body);
+  DecodedFrame out;
+  auto from = r.str();
+  if (!from.ok()) return Error::make("frame truncated in 'from'", "net");
+  out.message.from = std::move(from).take();
+  auto to = r.str();
+  if (!to.ok()) return Error::make("frame truncated in 'to'", "net");
+  out.message.to = std::move(to).take();
+  auto subject = r.str();
+  if (!subject.ok()) return Error::make("frame truncated in 'subject'", "net");
+  out.message.subject = std::move(subject).take();
+  auto trace_id = r.u64();
+  auto span_id = trace_id.ok() ? r.u64() : trace_id;
+  if (!trace_id.ok() || !span_id.ok()) {
+    return Error::make("frame truncated in trace context", "net");
+  }
+  out.message.ctx = obs::TraceContext{*trace_id, *span_id};
+  auto id = r.u64();
+  if (!id.ok()) return Error::make("frame truncated in message id", "net");
+  out.message.id = *id;
+  auto flags = r.u8();
+  if (!flags.ok()) return Error::make("frame truncated in flags", "net");
+  out.flags = *flags;
+  auto payload = r.blob();
+  if (!payload.ok()) return Error::make("frame truncated in payload", "net");
+  out.message.payload = std::move(payload).take();
+  if (!r.exhausted()) {
+    return Error::make("frame carries trailing garbage", "net");
+  }
+  return out;
+}
+
+mwsec::Status FrameAssembler::feed(const std::uint8_t* data, std::size_t n) {
+  if (poisoned_) {
+    return Error::make("frame stream poisoned by earlier violation", "net");
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+  for (;;) {
+    if (buffer_.size() < 4) return {};
+    std::uint32_t len = 0;
+    std::memcpy(&len, buffer_.data(), 4);  // little-endian hosts only,
+                                           // matching util::ByteWriter
+    if (len > kMaxFrameBytes) {
+      poisoned_ = true;
+      return Error::make("frame length prefix " + std::to_string(len) +
+                             " exceeds limit",
+                         "net");
+    }
+    if (buffer_.size() < 4u + len) return {};
+    frames_.emplace_back(buffer_.begin() + 4, buffer_.begin() + 4 + len);
+    buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + len);
+  }
+}
+
+std::optional<util::Bytes> FrameAssembler::next() {
+  if (frames_.empty()) return std::nullopt;
+  util::Bytes f = std::move(frames_.front());
+  frames_.pop_front();
+  return f;
+}
+
+}  // namespace mwsec::net::wire

@@ -1,0 +1,76 @@
+// Binary framing for the socket transport (DESIGN.md §14). One message is
+// one length-prefixed frame on a standing TCP connection:
+//
+//   u32 body_length                  (little-endian, excludes itself)
+//   body:
+//     str  from                      (u32 length + bytes)
+//     str  to
+//     str  subject
+//     u64  ctx.trace_id  ┐ the 16-byte obs::TraceContext, framed right
+//     u64  ctx.span_id   ┘ after the subject — the causal envelope slot
+//     u64  id                        (wire-safe: node_id << 48 | seq)
+//     u8   flags                     (duplicate-copy / reorder markers)
+//     blob payload                   (u32 length + bytes)
+//
+// The decoder is defensive — this is the "untrusted network" boundary of
+// Figure 3. A body that does not parse exactly (truncated field, trailing
+// garbage) is rejected with a Status; a length prefix over kMaxFrameBytes
+// is rejected before any allocation, so a hostile peer cannot make the
+// reader reserve gigabytes. A garbage trace context cannot be
+// distinguished from a real one structurally, so the rule is the same as
+// everywhere else: a context with a zero half is invalid and falls back
+// to untraced passthrough (TraceContext::valid()).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/transport.hpp"
+#include "util/byte_buffer.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::net::wire {
+
+/// Upper bound on one frame body; larger length prefixes are a protocol
+/// violation and the connection carrying them is dropped.
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Frame flags: fault-injection decisions made by the sender that the
+/// receiver must act on (the receiver owns the destination mailbox).
+inline constexpr std::uint8_t kFlagDuplicateCopy = 0x1;
+inline constexpr std::uint8_t kFlagReorder = 0x2;
+
+/// Encode one message as a complete frame (length prefix included).
+util::Bytes encode_frame(const Message& m, std::uint8_t flags = 0);
+
+struct DecodedFrame {
+  Message message;
+  std::uint8_t flags = 0;
+};
+
+/// Decode one frame body (the bytes after the length prefix). Rejects
+/// truncated and over-long bodies with a Status.
+mwsec::Result<DecodedFrame> decode_frame_body(const util::Bytes& body);
+
+/// Incremental frame reassembly over a byte stream: feed whatever the
+/// socket produced, pop complete frame bodies in order. One assembler per
+/// connection — a reconnect starts a fresh stream and a fresh assembler,
+/// which is what discards a frame cut off by connection loss.
+class FrameAssembler {
+ public:
+  /// Consume `n` raw stream bytes. Fails (and poisons the assembler) on
+  /// an oversized length prefix; the connection should be dropped.
+  mwsec::Status feed(const std::uint8_t* data, std::size_t n);
+
+  /// Next complete frame body, oldest first; nullopt when none buffered.
+  std::optional<util::Bytes> next();
+
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  util::Bytes buffer_;
+  std::deque<util::Bytes> frames_;
+  bool poisoned_ = false;
+};
+
+}  // namespace mwsec::net::wire

@@ -114,6 +114,17 @@ class Tracer {
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Seed span-id allocation with a per-process prefix: subsequent ids are
+  /// (prefix << 48) | sequence, mirroring net::Transport::compose_id. In a
+  /// multi-process deployment every process sets a distinct prefix (the
+  /// orchestrator hands them out with the transport node ids), so span ids
+  /// — and therefore trace joins on merged exports — never collide across
+  /// address spaces. Call before recording any spans.
+  void set_id_prefix(std::uint16_t prefix) {
+    next_id_.store((static_cast<std::uint64_t>(prefix) << 48) | 1,
+                   std::memory_order_relaxed);
+  }
+
   /// Bound on buffered records (oldest evicted first). Default 8192.
   void set_capacity(std::size_t capacity);
 

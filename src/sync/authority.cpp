@@ -38,7 +38,7 @@ struct AuthorityMetrics {
 
 }  // namespace
 
-Authority::Authority(net::Network& network, const std::string& endpoint_name,
+Authority::Authority(net::Transport& network, const std::string& endpoint_name,
                      keynote::CompiledStore& store, Options options)
     : network_(network), store_(store), options_(options) {
   auto ep = network_.open(endpoint_name);

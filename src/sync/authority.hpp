@@ -25,7 +25,7 @@
 #include <thread>
 
 #include "keynote/compiled_store.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "sync/protocol.hpp"
 
 namespace mwsec::sync {
@@ -48,7 +48,7 @@ class Authority {
   /// `store` is the replicated credential store; it must outlive the
   /// authority. Mutations made through this class are published; direct
   /// store mutations propagate only via anti-entropy snapshots.
-  Authority(net::Network& network, const std::string& endpoint_name,
+  Authority(net::Transport& network, const std::string& endpoint_name,
             keynote::CompiledStore& store, Options options = {});
   ~Authority();
   Authority(const Authority&) = delete;
@@ -106,7 +106,7 @@ class Authority {
   void send_missing_locked(const std::string& replica, ReplicaState& state,
                            bool retransmission);
 
-  net::Network& network_;
+  net::Transport& network_;
   std::shared_ptr<net::Endpoint> endpoint_;
   keynote::CompiledStore& store_;
   Options options_;

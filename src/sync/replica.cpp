@@ -29,7 +29,7 @@ struct ReplicaMetrics {
 
 }  // namespace
 
-Replica::Replica(net::Network& network, const std::string& endpoint_name,
+Replica::Replica(net::Transport& network, const std::string& endpoint_name,
                  keynote::CompiledStore& store, Options options)
     : network_(network), store_(store), options_(options) {
   auto ep = network_.open(endpoint_name);

@@ -28,7 +28,7 @@
 #include <thread>
 
 #include "keynote/compiled_store.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "sync/protocol.hpp"
 
 namespace mwsec::sync {
@@ -53,7 +53,7 @@ class Replica {
   /// `store` must outlive the replica. The replica mutates it from its
   /// serve thread; CompiledStore is internally synchronised, so readers
   /// (schedulers, authorisers) need no extra locking.
-  Replica(net::Network& network, const std::string& endpoint_name,
+  Replica(net::Transport& network, const std::string& endpoint_name,
           keynote::CompiledStore& store, Options options = {});
   ~Replica();
   Replica(const Replica&) = delete;
@@ -100,7 +100,7 @@ class Replica {
   void drain_buffer_locked();
   void send_ack_locked();
 
-  net::Network& network_;
+  net::Transport& network_;
   std::shared_ptr<net::Endpoint> endpoint_;
   keynote::CompiledStore& store_;
   Options options_;

@@ -84,7 +84,7 @@ mwsec::Result<SubmitReply> SubmitReply::decode(const util::Bytes& payload) {
   return out;
 }
 
-Gateway::Gateway(net::Network& network, std::string endpoint_name,
+Gateway::Gateway(net::Transport& network, std::string endpoint_name,
                  Master& master)
     : network_(network), endpoint_name_(std::move(endpoint_name)),
       master_(master) {}

@@ -10,7 +10,7 @@
 #include <thread>
 
 #include "keynote/store.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "webcom/graph_io.hpp"
 #include "webcom/scheduler.hpp"
 
@@ -45,7 +45,7 @@ struct SubmitReply {
 class Gateway {
  public:
   /// The gateway executes submissions on `master` (which it does not own).
-  Gateway(net::Network& network, std::string endpoint_name, Master& master);
+  Gateway(net::Transport& network, std::string endpoint_name, Master& master);
   ~Gateway();
 
   /// Trust root: who may submit what. Queried with attributes
@@ -65,7 +65,7 @@ class Gateway {
  private:
   void serve();
 
-  net::Network& network_;
+  net::Transport& network_;
   std::string endpoint_name_;
   Master& master_;
   keynote::CredentialStore store_;

@@ -55,7 +55,7 @@ struct WebcomMetrics {
 
 }  // namespace
 
-Master::Master(net::Network& network, const std::string& endpoint_name,
+Master::Master(net::Transport& network, const std::string& endpoint_name,
                const crypto::Identity& identity, MasterOptions options)
     : network_(network), identity_(identity), options_(options),
       pool_(options.workers > 1 ? std::make_unique<util::TaskPool>(
@@ -656,7 +656,7 @@ mwsec::Result<Value> Master::execute(const Graph& graph) {
   return *results[exit];
 }
 
-Client::Client(net::Network& network, const std::string& endpoint_name,
+Client::Client(net::Transport& network, const std::string& endpoint_name,
                const crypto::Identity& identity, OperationRegistry registry,
                ClientOptions options)
     : network_(network), endpoint_name_(endpoint_name), identity_(identity),

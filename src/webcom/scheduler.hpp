@@ -39,7 +39,7 @@
 #include "authz/keynote_authorizer.hpp"
 #include "crypto/keys.hpp"
 #include "keynote/compiled_store.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "obs/trace.hpp"
 #include "sync/replica.hpp"
 #include "util/task_pool.hpp"
@@ -89,7 +89,7 @@ class Master {
   /// `identity` signs nothing by itself but is the principal clients see;
   /// `credentials` are shipped with each task so clients can verify the
   /// master's authority.
-  Master(net::Network& network, const std::string& endpoint_name,
+  Master(net::Transport& network, const std::string& endpoint_name,
          const crypto::Identity& identity, MasterOptions options = {});
 
   /// The master's trust root: policies trusting client keys. Compiled:
@@ -148,7 +148,7 @@ class Master {
   authz::Request scheduling_request(const ClientInfo& client,
                                     const SecurityTarget& target) const;
 
-  net::Network& network_;
+  net::Transport& network_;
   std::shared_ptr<net::Endpoint> endpoint_;
   const crypto::Identity& identity_;
   MasterOptions options_;
@@ -200,7 +200,7 @@ struct ClientStats {
 /// A WebCom client: a worker thread serving tasks from its endpoint.
 class Client {
  public:
-  Client(net::Network& network, const std::string& endpoint_name,
+  Client(net::Transport& network, const std::string& endpoint_name,
          const crypto::Identity& identity, OperationRegistry registry,
          ClientOptions options = {});
   ~Client();
@@ -233,7 +233,7 @@ class Client {
   /// task — presented bundles bypass any cache by design).
   authz::Verdict authorise_master(const TaskMessage& task);
 
-  net::Network& network_;
+  net::Transport& network_;
   std::string endpoint_name_;
   const crypto::Identity& identity_;
   OperationRegistry registry_;

@@ -5,6 +5,7 @@
 //   execution --> KeyCOM onboarding of a new employee --> re-run.
 #include <gtest/gtest.h>
 
+#include "net/network.hpp"
 #include "ide/palette.hpp"
 #include "keycom/service.hpp"
 #include "middleware/com/catalogue.hpp"

@@ -1,0 +1,47 @@
+// Revocation liveness across real processes: the orchestrator re-execs
+// THIS test binary into 1 admin + N replica roles connected by
+// net::TcpTransport over loopback, and the scenario must reach
+// "commission → all permitted → withdraw → all denied" end to end. The
+// custom main() below hands role invocations to maybe_run_role() before
+// gtest ever sees argv — the child processes never run the test suite.
+#include <gtest/gtest.h>
+
+#include "orchestrate/process.hpp"
+#include "orchestrate/revocation_scenario.hpp"
+
+namespace mwsec::orchestrate {
+namespace {
+
+TEST(MultiprocessRevocation, WithdrawFlipsEveryReplicaProcess) {
+  ScenarioOptions options;
+  options.replicas = 4;
+  options.timeout = std::chrono::milliseconds(60000);
+  auto report = run_revocation_scenario(self_exe_path(), options);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_EQ(report->permits, 4);
+  EXPECT_EQ(report->denieds, 4);
+  EXPECT_GT(report->elapsed.count(), 0);
+}
+
+TEST(MultiprocessRevocation, SurvivesLossOnEveryLink) {
+  // 1% sender-side drop on every transport: the sync layer's
+  // retransmission keeps the scenario live, as it does on the bus.
+  ScenarioOptions options;
+  options.replicas = 2;
+  options.timeout = std::chrono::milliseconds(60000);
+  options.drop_probability = 0.01;
+  auto report = run_revocation_scenario(self_exe_path(), options);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_EQ(report->denieds, 2);
+}
+
+}  // namespace
+}  // namespace mwsec::orchestrate
+
+int main(int argc, char** argv) {
+  if (auto code = mwsec::orchestrate::maybe_run_role(argc, argv)) {
+    return *code;
+  }
+  testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -6,6 +6,7 @@
 // denied on the next scheduling round — over a 1%-lossy network.
 #include <gtest/gtest.h>
 
+#include "net/network.hpp"
 #include "keycom/service.hpp"
 #include "middleware/com/catalogue.hpp"
 #include "sync/authority.hpp"

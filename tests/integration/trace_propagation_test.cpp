@@ -15,6 +15,7 @@
 #include <set>
 #include <thread>
 
+#include "net/network.hpp"
 #include "obs/trace.hpp"
 #include "sync/authority.hpp"
 #include "webcom/scheduler.hpp"

@@ -1,6 +1,7 @@
 // KeyCOM over the network: the full Figure 8 flow — a WebCom client in
 // Domain B submits a policy update request plus credentials to the KeyCOM
 // service fronting Domain A's COM catalogue.
+#include "net/network.hpp"
 #include "keycom/server.hpp"
 
 #include <gtest/gtest.h>

@@ -1,0 +1,416 @@
+// The transport-parity suite: the core delivery and fault-injection
+// semantics of net::Transport (drop / duplicate / reorder / partition /
+// kill / close / stats accounting) run against BOTH backends — the
+// in-process bus and TcpTransport over real loopback sockets — so backend
+// parity is enforced forever, not just at the PR that introduced the
+// second backend.
+//
+// Rig model: every endpoint is its own "node". On the bus all nodes share
+// one Network; on TCP each node is a TcpTransport bound to an ephemeral
+// loopback port with full-mesh routes, so every cross-endpoint message
+// crosses a real socket. Stats are aggregated across the rig's
+// transports; the accounting invariant both backends must satisfy is the
+// same one the bus always has:
+//
+//   delivered == sent + duplicated - dropped - partitioned - undeliverable
+//
+// (the bus counts everything at the single transport; TCP splits sender-
+// and receiver-side counters across processes, summing to the same
+// books). The one semantic the wire cannot reproduce is *synchronous*
+// failure for remote unknown/closed destinations — the rig exposes
+// synchronous_errors() and the suite asserts the error where it can and
+// the eventual undeliverable accounting everywhere.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/tcp_transport.hpp"
+
+using namespace std::chrono_literals;
+
+namespace mwsec::net {
+namespace {
+
+class Rig {
+ public:
+  virtual ~Rig() = default;
+  virtual std::shared_ptr<Endpoint> open(const std::string& name) = 0;
+  virtual void set_partitioned(const std::string& a, const std::string& b,
+                               bool partitioned) = 0;
+  virtual void kill(const std::string& name) = 0;
+  virtual Transport::Stats stats() const = 0;
+  /// Does send() report unknown/closed *remote* destinations
+  /// synchronously? True for the bus (everything is local).
+  virtual bool synchronous_errors() const = 0;
+  /// Wait until every sent message has been accounted (delivered,
+  /// dropped, partitioned, undeliverable, or the duplicated extra) —
+  /// instant on the bus, a drain wait on TCP.
+  bool settle(std::chrono::milliseconds timeout = 5s) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    for (;;) {
+      if (settled(stats())) return true;
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+
+  static bool settled(const Transport::Stats& s) {
+    return s.delivered == s.sent + s.duplicated - s.dropped - s.partitioned -
+                              s.undeliverable;
+  }
+};
+
+class BusRig : public Rig {
+ public:
+  explicit BusRig(Transport::Options options) : net_(options) {}
+  std::shared_ptr<Endpoint> open(const std::string& name) override {
+    return net_.open(name).take();
+  }
+  void set_partitioned(const std::string& a, const std::string& b,
+                       bool partitioned) override {
+    net_.set_partitioned(a, b, partitioned);
+  }
+  void kill(const std::string& name) override { net_.kill(name); }
+  Transport::Stats stats() const override { return net_.stats(); }
+  bool synchronous_errors() const override { return true; }
+
+ private:
+  Network net_;
+};
+
+class TcpRig : public Rig {
+ public:
+  explicit TcpRig(Transport::Options options) : base_options_(options) {}
+
+  std::shared_ptr<Endpoint> open(const std::string& name) override {
+    TcpOptions opts;
+    opts.fault = base_options_;
+    opts.fault.seed = base_options_.seed + nodes_.size();
+    opts.fault.node_id = static_cast<std::uint16_t>(nodes_.size() + 1);
+    auto transport = std::make_unique<TcpTransport>(opts);
+    EXPECT_TRUE(transport->start().ok());
+    auto ep = transport->open(name).take();
+    // Full mesh: the new node can reach every earlier endpoint and vice
+    // versa — each cross-endpoint send crosses a real loopback socket.
+    for (auto& [other_name, other] : nodes_) {
+      other->add_route(name, transport->host(), transport->port());
+      transport->add_route(other_name, other->host(), other->port());
+    }
+    nodes_.emplace_back(name, std::move(transport));
+    return ep;
+  }
+
+  void set_partitioned(const std::string& a, const std::string& b,
+                       bool partitioned) override {
+    // Sender-side enforcement: every process applies the same partition
+    // set, which is exactly what the orchestrated deployments do.
+    for (auto& [name, t] : nodes_) t->set_partitioned(a, b, partitioned);
+  }
+
+  void kill(const std::string& name) override {
+    for (auto& [node_name, t] : nodes_) {
+      if (node_name == name) t->kill(name);
+    }
+  }
+
+  Transport::Stats stats() const override {
+    Transport::Stats sum;
+    for (const auto& [name, t] : nodes_) {
+      auto s = t->stats();
+      sum.sent += s.sent;
+      sum.delivered += s.delivered;
+      sum.dropped += s.dropped;
+      sum.duplicated += s.duplicated;
+      sum.reordered += s.reordered;
+      sum.partitioned += s.partitioned;
+      sum.undeliverable += s.undeliverable;
+      sum.backpressured += s.backpressured;
+      sum.bytes += s.bytes;
+    }
+    return sum;
+  }
+
+  bool synchronous_errors() const override { return false; }
+
+ private:
+  Transport::Options base_options_;
+  std::vector<std::pair<std::string, std::unique_ptr<TcpTransport>>> nodes_;
+};
+
+enum class Backend { kInProcess, kTcpLoopback };
+
+std::unique_ptr<Rig> make_rig(Backend backend, Transport::Options options) {
+  if (backend == Backend::kTcpLoopback) {
+    return std::make_unique<TcpRig>(options);
+  }
+  return std::make_unique<BusRig>(options);
+}
+
+class TransportSuite : public testing::TestWithParam<Backend> {
+ protected:
+  std::unique_ptr<Rig> rig(Transport::Options options = {}) {
+    return make_rig(GetParam(), options);
+  }
+};
+
+TEST_P(TransportSuite, DeliversAcrossEndpoints) {
+  auto rig = this->rig();
+  auto a = rig->open("a");
+  auto b = rig->open("b");
+  ASSERT_TRUE(a->send("b", "hello", util::to_bytes("payload")).ok());
+  auto m = b->receive(2s);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->from, "a");
+  EXPECT_EQ(m->subject, "hello");
+  EXPECT_EQ(util::to_string(m->payload), "payload");
+  EXPECT_GT(m->id, 0u);
+  EXPECT_TRUE(rig->settle());
+}
+
+TEST_P(TransportSuite, FifoOrderPreserved) {
+  auto rig = this->rig();
+  auto a = rig->open("a");
+  auto b = rig->open("b");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(a->send("b", std::to_string(i), {}).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto m = b->receive(2s);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->subject, std::to_string(i));
+  }
+}
+
+TEST_P(TransportSuite, MessageIdsUniqueAcrossSenders) {
+  auto rig = this->rig();
+  auto a = rig->open("a");
+  auto b = rig->open("b");
+  auto c = rig->open("c");
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(a->send("c", "x", {}).ok());
+    ASSERT_TRUE(b->send("c", "x", {}).ok());
+  }
+  ASSERT_TRUE(rig->settle());
+  std::set<std::uint64_t> ids;
+  while (auto m = c->try_receive()) ids.insert(m->id);
+  // Two senders, forty sends, forty distinct ids — whether the senders
+  // share a process-wide counter (bus) or mint under distinct node
+  // prefixes (TCP).
+  EXPECT_EQ(ids.size(), 40u);
+}
+
+TEST_P(TransportSuite, SendToUnknownEndpointFailsAndCountsUndeliverable) {
+  auto rig = this->rig();
+  auto a = rig->open("a");
+  auto s = a->send("ghost", "x", {});
+  // No such endpoint anywhere, no route to it: both backends can (and
+  // must) fail synchronously, naming the destination.
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "net");
+  EXPECT_NE(s.error().message.find("'ghost'"), std::string::npos)
+      << s.error().message;
+  EXPECT_EQ(rig->stats().undeliverable, 1u);
+}
+
+TEST_P(TransportSuite, DropProbabilityLosesMessages) {
+  Transport::Options opts;
+  opts.seed = 99;
+  opts.drop_probability = 0.5;
+  auto rig = this->rig(opts);
+  auto a = rig->open("a");
+  auto b = rig->open("b");
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(a->send("b", "x", {}).ok());  // drop is silent success
+  }
+  ASSERT_TRUE(rig->settle());
+  auto st = rig->stats();
+  EXPECT_EQ(st.sent, 200u);
+  EXPECT_GT(st.dropped, 50u);
+  EXPECT_LT(st.dropped, 150u);
+  EXPECT_EQ(st.delivered + st.dropped, 200u);
+  EXPECT_EQ(b->pending(), st.delivered);
+}
+
+TEST_P(TransportSuite, DuplicateDeliversTwiceWithTheSameId) {
+  Transport::Options opts;
+  opts.seed = 7;
+  opts.duplicate_probability = 1.0;
+  auto rig = this->rig(opts);
+  auto a = rig->open("a");
+  auto b = rig->open("b");
+  ASSERT_TRUE(a->send("b", "x", util::to_bytes("p")).ok());
+  auto first = b->receive(2s);
+  auto second = b->receive(2s);
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  // The duplicate is a true re-delivery: same id, subject, payload.
+  EXPECT_EQ(first->id, second->id);
+  EXPECT_EQ(first->subject, second->subject);
+  EXPECT_EQ(util::to_string(second->payload), "p");
+  ASSERT_TRUE(rig->settle());
+  auto st = rig->stats();
+  EXPECT_EQ(st.sent, 1u);
+  EXPECT_EQ(st.delivered, 2u);
+  EXPECT_EQ(st.duplicated, 1u);
+}
+
+TEST_P(TransportSuite, DuplicateProbabilityIsProbabilistic) {
+  Transport::Options opts;
+  opts.seed = 21;
+  opts.duplicate_probability = 0.5;
+  auto rig = this->rig(opts);
+  auto a = rig->open("a");
+  auto b = rig->open("b");
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(a->send("b", "x", {}).ok());
+  ASSERT_TRUE(rig->settle());
+  auto st = rig->stats();
+  EXPECT_GT(st.duplicated, 50u);
+  EXPECT_LT(st.duplicated, 150u);
+  EXPECT_EQ(b->pending(), 200u + st.duplicated);
+}
+
+TEST_P(TransportSuite, ReorderJumpsTheDestinationQueue) {
+  Transport::Options opts;
+  opts.seed = 5;
+  opts.reorder_probability = 1.0;
+  auto rig = this->rig(opts);
+  auto a = rig->open("a");
+  auto b = rig->open("b");
+  // With an empty destination queue the first message cannot jump
+  // anything; the second front-inserts ahead of it (the receiver is not
+  // consuming until both landed).
+  ASSERT_TRUE(a->send("b", "first", {}).ok());
+  ASSERT_TRUE(a->send("b", "second", {}).ok());
+  ASSERT_TRUE(rig->settle());
+  ASSERT_EQ(b->pending(), 2u);
+  auto m1 = b->receive(2s);
+  auto m2 = b->receive(2s);
+  ASSERT_TRUE(m1.has_value());
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m1->subject, "second");
+  EXPECT_EQ(m2->subject, "first");
+  EXPECT_EQ(rig->stats().reordered, 1u);
+}
+
+TEST_P(TransportSuite, ReorderIntoEmptyQueueIsNotCounted) {
+  Transport::Options opts;
+  opts.seed = 5;
+  opts.reorder_probability = 1.0;
+  auto rig = this->rig(opts);
+  auto a = rig->open("a");
+  auto b = rig->open("b");
+  ASSERT_TRUE(a->send("b", "only", {}).ok());
+  auto m = b->receive(2s);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->subject, "only");
+  EXPECT_EQ(rig->stats().reordered, 0u);
+}
+
+TEST_P(TransportSuite, PartitionBlocksBothDirectionsSynchronously) {
+  auto rig = this->rig();
+  auto a = rig->open("a");
+  auto b = rig->open("b");
+  rig->set_partitioned("a", "b", true);
+  auto s = a->send("b", "x", {});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().message.find("'b'"), std::string::npos)
+      << s.error().message;
+  EXPECT_NE(s.error().message.find("partitioned"), std::string::npos)
+      << s.error().message;
+  EXPECT_FALSE(b->send("a", "x", {}).ok());
+  EXPECT_EQ(rig->stats().partitioned, 2u);
+  rig->set_partitioned("b", "a", false);  // order-insensitive
+  ASSERT_TRUE(a->send("b", "x", {}).ok());
+  auto m = b->receive(2s);
+  ASSERT_TRUE(m.has_value());
+}
+
+TEST_P(TransportSuite, KilledEndpointStopsReceivingAndCountsUndeliverable) {
+  auto rig = this->rig();
+  auto a = rig->open("a");
+  auto b = rig->open("b");
+  ASSERT_TRUE(a->send("b", "pre", {}).ok());
+  ASSERT_TRUE(rig->settle());
+  ASSERT_TRUE(b->receive(2s).has_value());
+
+  rig->kill("b");
+  EXPECT_TRUE(b->closed());
+  auto s = a->send("b", "post", {});
+  if (rig->synchronous_errors()) {
+    // The bus knows the destination died and says so at the send.
+    ASSERT_FALSE(s.ok());
+    EXPECT_NE(s.error().message.find("'b'"), std::string::npos);
+  } else {
+    // The wire cannot know; the frame dies at the receiver instead.
+    ASSERT_TRUE(s.ok());
+  }
+  ASSERT_TRUE(rig->settle());
+  EXPECT_GE(rig->stats().undeliverable, 1u);
+  EXPECT_FALSE(b->try_receive().has_value());
+}
+
+TEST_P(TransportSuite, CloseWakesABlockedReceiver) {
+  auto rig = this->rig();
+  auto a = rig->open("a");
+  std::thread closer([&] {
+    std::this_thread::sleep_for(20ms);
+    a->close();
+  });
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(a->receive(5s).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 1s);
+  closer.join();
+}
+
+TEST_P(TransportSuite, StatsCountPayloadBytesAtTheSender) {
+  auto rig = this->rig();
+  auto a = rig->open("a");
+  auto b = rig->open("b");
+  ASSERT_TRUE(a->send("b", "x", util::Bytes(64, 0)).ok());
+  ASSERT_TRUE(rig->settle());
+  EXPECT_EQ(rig->stats().bytes, 64u);
+}
+
+TEST_P(TransportSuite, AccountingInvariantHoldsUnderMixedFaults) {
+  Transport::Options opts;
+  opts.seed = 1234;
+  opts.drop_probability = 0.2;
+  opts.duplicate_probability = 0.2;
+  opts.reorder_probability = 0.2;
+  auto rig = this->rig(opts);
+  auto a = rig->open("a");
+  auto b = rig->open("b");
+  auto c = rig->open("c");
+  for (int i = 0; i < 150; ++i) {
+    ASSERT_TRUE(a->send("b", "x", util::to_bytes("m")).ok());
+    ASSERT_TRUE(c->send("b", "y", util::to_bytes("n")).ok());
+  }
+  ASSERT_TRUE(rig->settle());
+  auto st = rig->stats();
+  EXPECT_EQ(st.sent, 300u);
+  // The backend-independent books: every sent message is delivered,
+  // dropped, partitioned, or undeliverable; duplicates add extras.
+  EXPECT_EQ(st.delivered,
+            st.sent + st.duplicated - st.dropped - st.partitioned -
+                st.undeliverable);
+  EXPECT_EQ(b->pending(), st.delivered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, TransportSuite,
+                         testing::Values(Backend::kInProcess,
+                                         Backend::kTcpLoopback),
+                         [](const testing::TestParamInfo<Backend>& info) {
+                           return info.param == Backend::kInProcess
+                                      ? "InProcessBus"
+                                      : "TcpLoopback";
+                         });
+
+}  // namespace
+}  // namespace mwsec::net

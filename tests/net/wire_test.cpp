@@ -1,0 +1,162 @@
+// Wire-format robustness for the socket transport framing (wire.hpp): the
+// frame layout is the untrusted-network boundary of Figure 3, so every
+// malformed input must be rejected with a Status (or degrade to untraced
+// passthrough), never UB — these tests also run under ASan/UBSan via the
+// sanitize preset's `net` label.
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mwsec::net::wire {
+namespace {
+
+Message sample_message() {
+  Message m;
+  m.from = "authority";
+  m.to = "replica3.sync";
+  m.subject = "sync-delta";
+  m.payload = util::to_bytes("delta-bytes");
+  m.id = Transport::compose_id(7, 42);
+  m.ctx = obs::TraceContext{0x1122334455667788ull, 0x99aabbccddeeff01ull};
+  return m;
+}
+
+TEST(Wire, RoundTripPreservesEveryField) {
+  Message m = sample_message();
+  util::Bytes frame = encode_frame(m, kFlagReorder);
+  // Strip the length prefix the way the assembler would.
+  util::Bytes body(frame.begin() + 4, frame.end());
+  auto decoded = decode_frame_body(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().message;
+  EXPECT_EQ(decoded->message.from, m.from);
+  EXPECT_EQ(decoded->message.to, m.to);
+  EXPECT_EQ(decoded->message.subject, m.subject);
+  EXPECT_EQ(decoded->message.payload, m.payload);
+  EXPECT_EQ(decoded->message.id, m.id);
+  EXPECT_EQ(decoded->message.ctx, m.ctx);
+  EXPECT_EQ(decoded->flags, kFlagReorder);
+}
+
+TEST(Wire, EmptyPayloadAndFlagsRoundTrip) {
+  Message m;
+  m.from = "a";
+  m.to = "b";
+  m.subject = "s";
+  util::Bytes frame = encode_frame(m, kFlagDuplicateCopy | kFlagReorder);
+  util::Bytes body(frame.begin() + 4, frame.end());
+  auto decoded = decode_frame_body(body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->message.payload.empty());
+  EXPECT_EQ(decoded->flags, kFlagDuplicateCopy | kFlagReorder);
+  EXPECT_FALSE(decoded->message.ctx.valid());
+}
+
+TEST(Wire, EveryTruncationIsRejectedWithAStatus) {
+  Message m = sample_message();
+  util::Bytes frame = encode_frame(m);
+  util::Bytes body(frame.begin() + 4, frame.end());
+  for (std::size_t len = 0; len < body.size(); ++len) {
+    util::Bytes cut(body.begin(), body.begin() + len);
+    auto decoded = decode_frame_body(cut);
+    EXPECT_FALSE(decoded.ok()) << "truncation at " << len << " parsed";
+    if (!decoded.ok()) {
+      EXPECT_EQ(decoded.error().code, "net");
+    }
+  }
+}
+
+TEST(Wire, TrailingGarbageIsRejected) {
+  util::Bytes frame = encode_frame(sample_message());
+  util::Bytes body(frame.begin() + 4, frame.end());
+  body.push_back(0xEE);
+  auto decoded = decode_frame_body(body);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.error().message.find("trailing"), std::string::npos);
+}
+
+TEST(Wire, OversizedLengthPrefixRejectedBeforeAllocation) {
+  // A hostile peer claims a frame bigger than kMaxFrameBytes; the
+  // assembler must refuse (and poison itself so the connection dies)
+  // without buffering toward the advertised length.
+  util::ByteWriter w;
+  w.u32(kMaxFrameBytes + 1);
+  FrameAssembler assembler;
+  auto s = assembler.feed(w.bytes().data(), w.bytes().size());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "net");
+  EXPECT_TRUE(assembler.poisoned());
+  // Poisoned stays poisoned: further bytes are refused too.
+  std::uint8_t byte = 0;
+  EXPECT_FALSE(assembler.feed(&byte, 1).ok());
+}
+
+TEST(Wire, GarbageTraceContextFallsBackToPassthrough) {
+  // The 16 context bytes after the subject cannot be validated
+  // structurally; the rule is the library-wide one — a zero half makes
+  // the context invalid, and an invalid context means untraced
+  // passthrough (no hop joins, no span minting) at the receiver.
+  Message m = sample_message();
+  m.ctx = obs::TraceContext{0, 0xDEADBEEFDEADBEEFull};
+  util::Bytes frame = encode_frame(m);
+  util::Bytes body(frame.begin() + 4, frame.end());
+  auto decoded = decode_frame_body(body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->message.ctx.valid());
+}
+
+TEST(Wire, AssemblerReassemblesByteAtATime) {
+  Message m1 = sample_message();
+  Message m2 = sample_message();
+  m2.subject = "sync-ack";
+  util::Bytes stream = encode_frame(m1);
+  util::Bytes f2 = encode_frame(m2, kFlagDuplicateCopy);
+  stream.insert(stream.end(), f2.begin(), f2.end());
+
+  FrameAssembler assembler;
+  std::vector<util::Bytes> bodies;
+  for (std::uint8_t byte : stream) {
+    ASSERT_TRUE(assembler.feed(&byte, 1).ok());
+    while (auto body = assembler.next()) bodies.push_back(*body);
+  }
+  ASSERT_EQ(bodies.size(), 2u);
+  auto d1 = decode_frame_body(bodies[0]);
+  auto d2 = decode_frame_body(bodies[1]);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1->message.subject, "sync-delta");
+  EXPECT_EQ(d2->message.subject, "sync-ack");
+  EXPECT_EQ(d2->flags, kFlagDuplicateCopy);
+}
+
+TEST(Wire, AssemblerYieldsMultipleFramesFromOneFeed) {
+  util::Bytes stream;
+  for (int i = 0; i < 5; ++i) {
+    Message m = sample_message();
+    m.subject = "s" + std::to_string(i);
+    util::Bytes f = encode_frame(m);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameAssembler assembler;
+  ASSERT_TRUE(assembler.feed(stream.data(), stream.size()).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto body = assembler.next();
+    ASSERT_TRUE(body.has_value());
+    auto d = decode_frame_body(*body);
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d->message.subject, "s" + std::to_string(i));
+  }
+  EXPECT_FALSE(assembler.next().has_value());
+}
+
+TEST(Wire, ComposedMessageIdsCarryTheNodePrefix) {
+  // The wire-safe id layout the multi-process deployment depends on:
+  // high 16 bits name the minting transport, low 48 the sequence.
+  const std::uint64_t id = Transport::compose_id(0xBEEF, 12345);
+  EXPECT_EQ(id >> 48, 0xBEEFu);
+  EXPECT_EQ(id & 0xFFFFFFFFFFFFull, 12345u);
+  // Distinct nodes can never mint the same id, whatever their sequences.
+  EXPECT_NE(Transport::compose_id(1, 7), Transport::compose_id(2, 7));
+}
+
+}  // namespace
+}  // namespace mwsec::net::wire

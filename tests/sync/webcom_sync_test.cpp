@@ -4,6 +4,7 @@
 // re-attach.
 #include <gtest/gtest.h>
 
+#include "net/network.hpp"
 #include "sync/authority.hpp"
 #include "webcom/scheduler.hpp"
 

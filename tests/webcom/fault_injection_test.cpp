@@ -4,6 +4,7 @@
 // or a clean error — never a hang, never a wrong answer.
 #include <gtest/gtest.h>
 
+#include "net/network.hpp"
 #include "obs/metrics.hpp"
 #include "webcom/scheduler.hpp"
 

@@ -1,4 +1,5 @@
 // Gateway tests: Figure 3's untrusted-principal submission path.
+#include "net/network.hpp"
 #include "webcom/gateway.hpp"
 
 #include <gtest/gtest.h>

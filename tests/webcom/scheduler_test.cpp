@@ -1,5 +1,6 @@
 // Secure WebCom scheduler tests: Figure 3's mutual mediation, Section 6
 // placement, and fault tolerance.
+#include "net/network.hpp"
 #include "webcom/scheduler.hpp"
 
 #include <gtest/gtest.h>

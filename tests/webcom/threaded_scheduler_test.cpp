@@ -2,6 +2,7 @@
 // lifecycle counters and paper semantics must match the serial scheduler
 // — denial determinism, deferral-when-busy, quarantine/retry, and the
 // kn_queries accounting derived from the unified decision cache.
+#include "net/network.hpp"
 #include "webcom/scheduler.hpp"
 
 #include <gtest/gtest.h>

@@ -47,6 +47,7 @@ BENCH_BINARIES = [
     "bench/bench_authz_cache",
     "bench/bench_fig3_secure_scheduling",
     "bench/bench_sync",
+    "bench/bench_transport",
 ]
 
 

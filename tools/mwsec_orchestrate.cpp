@@ -1,0 +1,66 @@
+// mwsec-orchestrate: run a multi-process scenario over net::TcpTransport.
+//
+//   mwsec-orchestrate [--replicas=N] [--timeout-ms=T] [--loss=P]
+//
+// Spawns one admin process (sync::Authority + keycom::Service) and N
+// replica processes (webcom::Master + Client + policy replica) from this
+// binary, wires them over loopback TCP, and drives the revocation-
+// liveness scenario: commission → all N permitted → withdraw → all N
+// denied. Exits 0 when the scenario held, non-zero naming the failing
+// role otherwise. This is the CI multi-process smoke entrypoint.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "orchestrate/process.hpp"
+#include "orchestrate/revocation_scenario.hpp"
+
+namespace {
+
+const char* arg_value(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Role re-execution: the spawned children land here too.
+  if (auto code = mwsec::orchestrate::maybe_run_role(argc, argv)) {
+    return *code;
+  }
+
+  mwsec::orchestrate::ScenarioOptions options;
+  if (const char* v = arg_value(argc, argv, "replicas")) {
+    options.replicas = std::atoi(v);
+  }
+  if (const char* v = arg_value(argc, argv, "timeout-ms")) {
+    options.timeout = std::chrono::milliseconds(std::atol(v));
+  }
+  if (const char* v = arg_value(argc, argv, "loss")) {
+    options.drop_probability = std::atof(v);
+  }
+  if (options.replicas < 1) {
+    std::fprintf(stderr, "--replicas must be >= 1\n");
+    return 64;
+  }
+
+  std::printf("orchestrating revocation liveness: 1 admin + %d replicas "
+              "over TCP loopback\n",
+              options.replicas);
+  auto report = mwsec::orchestrate::run_revocation_scenario(
+      mwsec::orchestrate::self_exe_path(), options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", report.error().message.c_str());
+    return 1;
+  }
+  std::printf("OK: %d/%d replicas permitted then denied in %lld ms\n",
+              report->denieds, report->replicas,
+              static_cast<long long>(report->elapsed.count()));
+  return 0;
+}

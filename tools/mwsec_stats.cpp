@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "net/network.hpp"
 #include "middleware/common/audit.hpp"
 #include "middleware/corba/orb.hpp"
 #include "obs/export.hpp"
