@@ -1,0 +1,100 @@
+// Workload-engine building blocks: what the million-principal harness
+// costs before any decision surface is involved.
+//
+//   Zipf        — rank sampling over 10k / 100k / 1M principals (the
+//                 O(log n) CDF binary search the engine pays per request)
+//   SessionChurn — activate + deactivate of a parameterized instance
+//                 through the SessionBridge against a direct store: mint
+//                 credential, admit, revoke — the store-version churn the
+//                 cache-invalidation path is measured against
+//   FirstTouch  — cold principal: open session, register assignments,
+//                 activate entitlement 0 (the harness's per-principal
+//                 setup cost, dominating warmup phases)
+//
+// Not in BENCH_BINARIES: these numbers inform harness overhead budgets,
+// not the paper's figures.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+#include "load/population.hpp"
+#include "load/session_bridge.hpp"
+#include "load/surface.hpp"
+#include "load/zipf.hpp"
+
+namespace {
+
+using namespace mwsec;
+
+void BM_ZipfNext(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  load::ZipfGenerator zipf(n, 1.0, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfNext)->Arg(10'000)->Arg(100'000)->Arg(1'000'000);
+
+void BM_SessionChurn(benchmark::State& state) {
+  load::PopulationOptions popts;
+  popts.principals = 1024;
+  load::Population population(popts);
+  load::DirectSurface surface;
+  load::SessionBridge bridge(population, surface.sink());
+  bridge.install_policy_root().ok();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    // One full activate/deactivate round-trip: mint + admit + revoke.
+    bridge.activate(i, 0).ok();
+    bridge.deactivate(i, 0).ok();
+    i = (i + 1) % popts.principals;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SessionChurn);
+
+void BM_FirstTouch(benchmark::State& state) {
+  // Cold-principal cost. The bridge memoises per-principal state, so a
+  // fresh bridge is built per batch; pause timing around the rebuild.
+  load::PopulationOptions popts;
+  popts.principals = 1 << 16;
+  load::Population population(popts);
+  load::DirectSurface surface;
+  auto bridge = std::make_unique<load::SessionBridge>(population,
+                                                      surface.sink());
+  bridge->install_policy_root().ok();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    if (i == popts.principals) {
+      state.PauseTiming();
+      bridge = std::make_unique<load::SessionBridge>(population,
+                                                     surface.sink());
+      bridge->install_policy_root().ok();
+      i = 0;
+      state.ResumeTiming();
+    }
+    bridge->activate(i, 0).ok();
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FirstTouch);
+
+void BM_PopulationEntitlements(benchmark::State& state) {
+  // The lazy per-principal derivation (seeded stream + distinct-pair
+  // retry loop) the engine pays on first touch and the oracle pays per
+  // sweep sample.
+  load::PopulationOptions popts;
+  popts.principals = 1'000'000;
+  load::Population population(popts);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(population.entitlements(i));
+    i = (i + 7919) % popts.principals;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PopulationEntitlements);
+
+}  // namespace

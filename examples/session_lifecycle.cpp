@@ -1,0 +1,105 @@
+// A parameterized role instance through its whole life: assigned,
+// activated (minting a KeyNote membership credential), used through the
+// cached decision path, then deactivated (revoking exactly that
+// credential) — with the cached verdict flipping at every step because
+// each admission/revocation bumps the store version the cache keys on.
+//
+// This is the per-principal slice of what src/load/ does a million times
+// over: the SessionBridge performs exactly this dance for every
+// activation the workload engine draws.
+#include <cstdio>
+
+#include "authz/caching.hpp"
+#include "authz/keynote_authorizer.hpp"
+#include "keynote/compiled_store.hpp"
+#include "rbac/model.hpp"
+#include "rbac/sessions.hpp"
+#include "translate/rbac_to_keynote.hpp"
+
+using namespace mwsec;
+
+namespace {
+
+void show(const char* step, const authz::Verdict& verdict,
+          const authz::CachingAuthorizer& cache) {
+  const auto stats = cache.stats();
+  std::printf("%-34s %-6s (epoch %llu, cache %llu hits / %llu misses)\n",
+              step, verdict.permitted() ? "PERMIT" : "DENY",
+              static_cast<unsigned long long>(verdict.epoch),
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.misses));
+}
+
+}  // namespace
+
+int main() {
+  // The RBAC side: Grace is a Finance Manager; managers may read the
+  // ledger. Assignment alone grants nothing — a session must activate
+  // the role, and here the activation is *parameterized*: Manager for
+  // project apollo only.
+  rbac::Policy policy;
+  policy.assign("grace", "Finance", "Manager").ok();
+  policy.grant({"Finance", "Manager", "Ledger", "read"}).ok();
+  rbac::SessionManager sessions(policy);
+
+  // The KeyNote side: one POLICY root delegating to the administration
+  // principal, compiled from the same HasPermission rows (Figure 5).
+  keynote::CompiledStore store;
+  const std::string admin = "Kadmin";
+  store
+      .add_policy_text("Authorizer: POLICY\nLicensees: \"" + admin +
+                       "\"\nConditions: " +
+                       translate::render_haspermission_conditions(policy) +
+                       ";\n")
+      .ok();
+
+  authz::KeyNoteAuthorizer backend(store, "lifecycle");
+  authz::CachingAuthorizer cached(backend);
+
+  // Grace's request: read the ledger as Finance/Manager with the apollo
+  // binding pinned into the action environment (param_project).
+  rbac::RoleInstance apollo{"Finance", "Manager", {{"project", "apollo"}}};
+  authz::Request request;
+  request.user = "grace";
+  request.principal = "Kgrace";
+  request.object_type = "Ledger";
+  request.permission = "read";
+  request.domain = "Finance";
+  request.role = "Manager";
+  request.attributes.emplace_back(translate::instance_param_attr("project"),
+                                  "apollo");
+
+  // 1. Assigned but not activated: no membership credential exists, so
+  //    the trust chain from POLICY to Kgrace has no middle link.
+  show("assigned, not activated:", cached.decide(request), cached);
+
+  // 2. Activate the instance — and mint + admit the credential the
+  //    activation corresponds to. The store version moves; the cache key
+  //    changes with it, so the next decision is a miss that re-evaluates.
+  const rbac::SessionId session = sessions.open("grace");
+  sessions.activate(session, apollo).ok();
+  auto credential =
+      translate::instance_credential(admin, "Kgrace", apollo);
+  const std::string credential_text = credential->to_text();
+  store.add_credential(*std::move(credential), /*verify_signature=*/false)
+      .ok();
+  show("activated (credential admitted):", cached.decide(request), cached);
+
+  // 3. Use it again: same request, same epoch — served from the cache.
+  show("used again (cache hit):", cached.decide(request), cached);
+
+  // 3b. The binding is load-bearing: the same role under a different
+  //     project parameter is a different instance, and stays denied.
+  authz::Request zeus = request;
+  zeus.attributes.back().second = "zeus";
+  show("other binding (zeus):", cached.decide(zeus), cached);
+
+  // 4. Deactivate: the session drops the instance and the store revokes
+  //    exactly that credential's text. Version bumps again — the cached
+  //    permit is dead, and the fresh evaluation denies.
+  sessions.deactivate(session, apollo).ok();
+  store.remove_matching(credential_text);
+  show("deactivated (credential revoked):", cached.decide(request), cached);
+
+  return 0;
+}

@@ -44,13 +44,21 @@ keynote::Query fig5_query(const Request& request) {
   q.env.set("Permission", request.permission);
   q.env.set("Domain", request.domain);
   q.env.set("Role", request.role);
+  for (const auto& [name, value] : request.attributes) {
+    q.env.set(name, value);
+  }
   return q;
 }
 
 std::string fig5_env_text(const Request& request) {
-  return "{app_domain=WebCom, ObjectType=" + request.object_type +
-         ", Permission=" + request.permission + ", Domain=" + request.domain +
-         ", Role=" + request.role + "}";
+  std::string out = "{app_domain=WebCom, ObjectType=" + request.object_type +
+                    ", Permission=" + request.permission +
+                    ", Domain=" + request.domain + ", Role=" + request.role;
+  for (const auto& [name, value] : request.attributes) {
+    out += ", " + name + "=" + value;
+  }
+  out += "}";
+  return out;
 }
 
 obs::SpanRecord decision_record(std::string span_name, std::string system,

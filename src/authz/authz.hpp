@@ -22,6 +22,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "keynote/assertion.hpp"
@@ -44,6 +45,11 @@ struct Request {
   std::string permission;
   std::string domain;      ///< RBAC domain context
   std::string role;        ///< RBAC role context
+  /// Extra action-environment attributes beyond the fixed Figure 5
+  /// vocabulary, e.g. the param_* bindings a parameterized role instance
+  /// pins (translate::instance_param_attr). Sorted (name, value) pairs;
+  /// they extend the KeyNote environment and the decision-cache key.
+  std::vector<std::pair<std::string, std::string>> attributes;
   /// Credentials presented with the request (TM layer). A request carrying
   /// credentials is not a pure function of the fields above, so decision
   /// caches bypass it.

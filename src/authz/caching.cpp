@@ -67,6 +67,12 @@ std::string CachingAuthorizer::cache_key(const Request& request) {
   key += request.domain;
   key += '\x1f';
   key += request.role;
+  for (const auto& [name, value] : request.attributes) {
+    key += '\x1f';
+    key += name;
+    key += '\x1e';
+    key += value;
+  }
   return key;
 }
 

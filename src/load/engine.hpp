@@ -1,0 +1,139 @@
+// The workload engine: drives a scenario's phases against one decision
+// surface and reports what happened — latency percentiles, the
+// denied-correctness oracle's verdict, and a machine-gated SLO.
+//
+// One driver thread generates traffic (Zipfian principal popularity,
+// open- or closed-loop arrivals, session churn through the
+// SessionBridge) while the surface's own threads — replica serve loops,
+// the WebCom scheduler, client workers — run concurrently. Adversaries
+// fire at fixed points inside a phase; at each phase end the surface
+// settles and a strict oracle sweep checks that every sampled
+// principal's verdict matches the bridge's ground truth:
+//
+//   active entitlement        ⇒ permit
+//   deactivated / revoked / never activated ⇒ deny
+//   forbidden-permission probe ⇒ deny, at any time, settled or not
+//
+// Mid-traffic mismatches on *granted* actions are counted as staleness
+// (eventual consistency in flight), never as violations; a forbidden
+// probe that is permitted is a violation no matter when it happens.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "load/population.hpp"
+#include "load/scenario.hpp"
+#include "load/session_bridge.hpp"
+#include "load/surface.hpp"
+#include "load/zipf.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::load {
+
+struct EngineOptions {
+  std::uint64_t seed = 42;
+  /// Zipf exponent over principal popularity (0 = uniform).
+  double zipf_exponent = 1.0;
+  /// When non-zero, the scenario's phase durations are scaled so the
+  /// whole run takes about this long.
+  std::chrono::milliseconds duration_override{0};
+  /// SLO: p99 decision latency budget, microseconds.
+  double p99_budget_us = 50'000;
+  /// SLO: the run must have decided at least this many requests.
+  std::uint64_t min_requests = 100;
+  /// Principals swept by the strict oracle at each phase end.
+  std::size_t oracle_sample = 128;
+  std::chrono::milliseconds settle_timeout{10'000};
+  std::size_t max_violation_samples = 5;
+  /// Per-session active-instance cap handed to the bridge (0 = uncapped).
+  std::size_t max_active_per_session = 0;
+};
+
+struct PhaseReport {
+  std::string name;
+  /// False when the phase could not finish properly (settle timeout);
+  /// bench_report surfaces this as an explicit "incomplete" marker.
+  bool completed = false;
+  std::uint64_t requests = 0;
+  std::uint64_t permits = 0;
+  std::uint64_t denies = 0;
+  /// Mid-traffic verdicts that disagreed with ground truth (allowed:
+  /// convergence in flight).
+  std::uint64_t stale = 0;
+  std::uint64_t oracle_checks = 0;
+  std::uint64_t oracle_violations = 0;
+  std::uint64_t activations = 0;
+  std::uint64_t deactivations = 0;
+  std::uint64_t revocations = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t flaps = 0;
+  std::uint64_t chain_queries = 0;
+  double decide_p50_us = 0;
+  double decide_p99_us = 0;
+  double duration_ms = 0;
+  std::vector<std::string> violation_samples;
+};
+
+struct RunReport {
+  std::string scenario;
+  std::string surface;
+  std::uint64_t seed = 0;
+  std::size_t principals = 0;
+  bool pass = false;
+  std::vector<PhaseReport> phases;
+  obs::SloReport slo;
+
+  std::uint64_t total_requests() const;
+  std::uint64_t total_violations() const;
+  /// The bench_report/CI artifact (DESIGN.md §15 for the schema).
+  std::string to_json() const;
+};
+
+class Engine {
+ public:
+  /// The surface must be started; the population must outlive the engine.
+  Engine(Surface& surface, const Population& population,
+         EngineOptions options = {});
+  ~Engine();
+
+  /// Run every phase. Infrastructure errors (policy root rejected, the
+  /// initial settle failing) are Status errors; oracle/SLO failures are
+  /// a returned report with pass == false.
+  mwsec::Result<RunReport> run(const Scenario& scenario);
+
+  SessionBridge& bridge() { return *bridge_; }
+
+ private:
+  PhaseReport run_phase(const Phase& phase,
+                        std::chrono::milliseconds duration);
+  void one_request(const Phase& phase, PhaseReport& rep,
+                   obs::Histogram& hist);
+  void run_adversary(const Phase& phase, PhaseReport& rep, std::size_t tick);
+  void oracle_sweep(PhaseReport& rep);
+  void record_violation(PhaseReport& rep, const std::string& what);
+
+  void adversary_revocation(const Phase& phase, PhaseReport& rep);
+  void adversary_chain(const Phase& phase, PhaseReport& rep,
+                       std::size_t tick);
+  void adversary_migration(PhaseReport& rep, std::size_t tick);
+
+  Surface& surface_;
+  const Population& population_;
+  EngineOptions options_;
+  SurfaceCaps caps_;
+  std::size_t effective_principals_;
+  std::unique_ptr<SessionBridge> bridge_;
+  SplitMix64 rng_;
+  std::unique_ptr<ZipfGenerator> zipf_;
+  obs::Histogram overall_;
+  std::size_t chain_counter_ = 0;
+  std::size_t migration_counter_ = 0;
+};
+
+}  // namespace mwsec::load

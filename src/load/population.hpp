@@ -1,0 +1,87 @@
+// The principal population: who exists, what they are entitled to.
+//
+// A Population is a *lazy* description of up to millions of principals.
+// Nothing is materialised per principal at construction — user names,
+// principals and entitlements are pure functions of (seed, index),
+// recomputed on demand — so memory is O(principals actually touched),
+// which is what lets `mwsec-load --principals 1000000` run in a small
+// container. Only the role space (the HasPermission relation) is built
+// eagerly; it is bounded by domains × roles, not by population size.
+//
+// The forbidden permission is the oracle's anchor: it appears in no
+// HasPermission row, ever, so a request for it must be denied by every
+// surface at every epoch — a strict must-deny check that needs no
+// convergence reasoning.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rbac/model.hpp"
+#include "rbac/sessions.hpp"
+
+namespace mwsec::load {
+
+struct PopulationOptions {
+  std::size_t principals = 10'000;
+  /// Role-space shape (bounded; independent of population size).
+  std::size_t domains = 8;
+  std::size_t roles_per_domain = 4;
+  std::size_t object_types = 8;
+  /// Role instances each principal may activate.
+  std::size_t entitlements_per_principal = 3;
+  /// Fraction of entitlements carrying a parameter binding (exercises the
+  /// param_* attribute path through translate/ and the decision caches).
+  double parameterized_fraction = 0.5;
+  std::uint64_t seed = 42;
+};
+
+class Population {
+ public:
+  /// Never granted to anyone: the strict must-deny probe permission.
+  static constexpr const char* kForbiddenPermission = "__forbidden";
+
+  explicit Population(PopulationOptions options = {});
+
+  std::size_t size() const { return options_.principals; }
+  const PopulationOptions& options() const { return options_; }
+
+  /// "u0000042" — the middleware user name of principal `i`.
+  std::string user(std::size_t i) const;
+  /// "Ku0000042" — the opaque key principal (translate::OpaqueDirectory).
+  std::string principal(std::size_t i) const;
+
+  std::string domain_name(std::size_t d) const;
+  std::string role_name(std::size_t r) const;
+
+  /// Principal `i`'s entitlements: distinct parameterized role instances,
+  /// a pure function of (seed, i). Always non-empty.
+  std::vector<rbac::RoleInstance> entitlements(std::size_t i) const;
+
+  /// The shared HasPermission relation (no UserRole rows).
+  const rbac::Policy& grants() const { return grants_; }
+
+  /// Add principal `i`'s UserRole rows to `policy` (idempotent) — the
+  /// lazy-registration half of the million-principal contract.
+  void register_assignments(std::size_t i, rbac::Policy& policy) const;
+
+  /// The k-th (object_type, permission) the instance's (domain, role)
+  /// holds — the action a request exercising this entitlement performs.
+  /// k wraps; every (domain, role) has at least one grant.
+  const rbac::PermissionGrant& granted_action(
+      const rbac::RoleInstance& instance, std::size_t k) const;
+
+ private:
+  PopulationOptions options_;
+  rbac::Policy grants_;
+  /// (domain, role) -> its grant rows, precomputed for the hot path.
+  std::map<std::pair<std::string, std::string>,
+           std::vector<rbac::PermissionGrant>>
+      by_role_;
+};
+
+}  // namespace mwsec::load

@@ -1,0 +1,107 @@
+#include "load/scenario.hpp"
+
+namespace mwsec::load {
+
+const char* adversary_name(Adversary a) {
+  switch (a) {
+    case Adversary::kNone: return "none";
+    case Adversary::kRevocationStorm: return "revocation-storm";
+    case Adversary::kDelegationDepth: return "delegation-depth";
+    case Adversary::kReplicaFlap: return "replica-flap";
+    case Adversary::kMigrationStorm: return "migration-storm";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Phase phase(std::string name, int duration_ms, Adversary adversary,
+            std::size_t ticks = 1) {
+  Phase p;
+  p.name = std::move(name);
+  p.duration = std::chrono::milliseconds(duration_ms);
+  p.adversary = adversary;
+  p.adversary_ticks = ticks;
+  return p;
+}
+
+std::vector<Scenario> build() {
+  std::vector<Scenario> all;
+
+  {
+    Scenario s;
+    s.name = "steady";
+    s.summary = "closed-loop traffic, light session churn, no adversary";
+    s.phases.push_back(phase("steady", 2000, Adversary::kNone));
+    all.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "session-churn";
+    s.summary = "aggressive activate/deactivate churn driving store-version "
+                "movement and cache invalidation";
+    Phase p = phase("churn", 2000, Adversary::kNone);
+    p.activate_prob = 0.25;
+    p.deactivate_prob = 0.20;
+    s.phases.push_back(std::move(p));
+    all.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "revocation-storm";
+    s.summary = "warmup, then revoke a quarter of touched principals "
+                "mid-traffic, then recover";
+    s.phases.push_back(phase("warmup", 600, Adversary::kNone));
+    Phase storm = phase("storm", 800, Adversary::kRevocationStorm, 2);
+    storm.adversary_fraction = 0.25;
+    s.phases.push_back(std::move(storm));
+    s.phases.push_back(phase("recovery", 600, Adversary::kNone));
+    all.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "delegation-depth";
+    s.summary = "deep delegation chains built and cut under traffic; the "
+                "leaf's verdict must follow the chain strictly";
+    Phase p = phase("chains", 2000, Adversary::kDelegationDepth, 3);
+    p.chain_depth = 12;
+    s.phases.push_back(std::move(p));
+    all.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "replica-flap";
+    s.summary = "a sync replica flaps (down, then rejoins and catches up) "
+                "while decisions keep routing around it";
+    // Even tick count: each down-tick is paired with an up-tick, so the
+    // phase ends with every replica live and settle() covers them all.
+    s.phases.push_back(phase("flap", 2000, Adversary::kReplicaFlap, 4));
+    s.phases.push_back(phase("recovery", 500, Adversary::kNone));
+    all.push_back(std::move(s));
+  }
+  {
+    Scenario s;
+    s.name = "migration-storm";
+    s.summary = "COM+ policies migrate to EJB and the migrated rows are "
+                "admitted/retracted through the sink under load";
+    s.phases.push_back(phase("migrate", 2000, Adversary::kMigrationStorm, 2));
+    all.push_back(std::move(s));
+  }
+  return all;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> all = build();
+  return all;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const auto& s : scenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace mwsec::load

@@ -1,0 +1,71 @@
+// The scripted workload catalogue: named scenarios composed of phases.
+//
+// A phase is a traffic shape (open-loop fixed rate or closed-loop
+// back-to-back), a session-churn mix, and at most one adversary that
+// acts at fixed points inside the phase. Scenarios chain phases:
+// "revocation-storm" is warmup → storm-under-traffic → recovery, which
+// is how the paper's revocation claim ("a revoked principal flips to
+// denied without re-attaching anyone") becomes a measured, gated number
+// instead of prose.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mwsec::load {
+
+enum class Adversary {
+  kNone,
+  /// Revoke a fraction of touched principals mid-phase (every credential
+  /// by licensee, sessions closed).
+  kRevocationStorm,
+  /// Build an admin → k1 → … → kN delegation chain, check the leaf is
+  /// permitted, cut a middle link, check the leaf is denied — strict
+  /// both ways, each after a settle.
+  kDelegationDepth,
+  /// Take a replica down, keep the traffic up, bring it back (next tick)
+  /// and require catch-up. Needs a surface with supports_flap.
+  kReplicaFlap,
+  /// Run a COM+ → EJB policy migration and admit/retract the migrated
+  /// policy through the sink while the main traffic keeps deciding.
+  kMigrationStorm,
+};
+
+const char* adversary_name(Adversary a);
+
+struct Phase {
+  std::string name;
+  std::chrono::milliseconds duration{1000};
+  /// Requests per second; 0 = closed loop (back-to-back).
+  double open_rate = 0;
+  /// Per-request chance of activating / deactivating a further
+  /// entitlement of the requesting principal (session churn).
+  double activate_prob = 0.05;
+  double deactivate_prob = 0.02;
+  /// Per-request chance the request is the strict must-deny probe.
+  double forbidden_prob = 0.2;
+  Adversary adversary = Adversary::kNone;
+  /// Fraction of touched principals a revocation storm hits per tick.
+  double adversary_fraction = 0.25;
+  /// How many times the adversary acts, spread evenly across the phase.
+  std::size_t adversary_ticks = 1;
+  /// Delegation-chain length for kDelegationDepth.
+  std::size_t chain_depth = 8;
+};
+
+struct Scenario {
+  std::string name;
+  std::string summary;
+  std::vector<Phase> phases;
+};
+
+/// The built-in catalogue (steady, session-churn, revocation-storm,
+/// delegation-depth, replica-flap, migration-storm).
+const std::vector<Scenario>& scenarios();
+
+/// Lookup by name; nullptr when unknown.
+const Scenario* find_scenario(const std::string& name);
+
+}  // namespace mwsec::load

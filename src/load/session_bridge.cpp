@@ -1,0 +1,163 @@
+#include "load/session_bridge.hpp"
+
+#include "translate/rbac_to_keynote.hpp"
+
+namespace mwsec::load {
+
+SessionBridge::SessionBridge(const Population& population,
+                             CredentialSink& sink,
+                             SessionBridgeOptions options)
+    : population_(population), sink_(sink), options_(std::move(options)),
+      policy_(population_.grants()) {
+  if (options_.max_active_per_session > 0) {
+    cardinality_.set_max_active(options_.max_active_per_session).ok();
+  }
+  // The manager reads policy_ by reference; the bridge registers
+  // assignments lazily from the same (single) driver thread, so the
+  // reference stays valid and unraced.
+  manager_ = std::make_unique<rbac::SessionManager>(policy_, &sod_,
+                                                    &cardinality_);
+}
+
+mwsec::Status SessionBridge::install_policy_root() {
+  const std::string conditions =
+      translate::render_haspermission_conditions(population_.grants());
+  auto policy = keynote::AssertionBuilder()
+                    .authorizer("POLICY")
+                    .licensees("\"" + admin_principal() + "\"")
+                    .comment("load harness root: HasPermission relation")
+                    .conditions(conditions)
+                    .build();
+  if (!policy.ok()) return policy.error();
+  return sink_.admit_policy_text(policy->to_text());
+}
+
+SessionBridge::PState& SessionBridge::ensure(std::size_t i) {
+  auto it = states_.find(i);
+  if (it != states_.end()) return it->second;
+  PState state;
+  state.entitlements = population_.entitlements(i);
+  if (options_.strip_params) {
+    for (auto& e : state.entitlements) e.params.clear();
+  }
+  state.active.assign(state.entitlements.size(), false);
+  population_.register_assignments(i, policy_);
+  state.session = manager_->open(population_.user(i));
+  it = states_.emplace(i, std::move(state)).first;
+  touched_.push_back(i);
+  return it->second;
+}
+
+std::size_t SessionBridge::entitlement_count(std::size_t i) {
+  return ensure(i).entitlements.size();
+}
+
+mwsec::Result<keynote::Assertion> SessionBridge::credential_for(
+    PState& state, std::size_t i, std::size_t e) {
+  return translate::instance_credential(admin_principal(),
+                                        population_.principal(i),
+                                        state.entitlements[e]);
+}
+
+mwsec::Status SessionBridge::activate(std::size_t i, std::size_t e) {
+  PState& state = ensure(i);
+  if (state.revoked) {
+    return Error::make("principal revoked: " + population_.user(i), "load");
+  }
+  if (e >= state.entitlements.size()) {
+    return Error::make("no such entitlement", "load");
+  }
+  if (state.active[e]) return {};
+  if (auto s = manager_->activate(state.session, state.entitlements[e]);
+      !s.ok()) {
+    const auto& code = s.error().code;
+    if (code == rbac::kSessionSod || code == rbac::kSessionCardinality) {
+      ++stats_.constraint_rejections;
+    }
+    return s;
+  }
+  auto credential = credential_for(state, i, e);
+  if (!credential.ok()) return credential.error();
+  if (auto s = sink_.admit(std::move(credential).take()); !s.ok()) {
+    // Keep session state and admissions in lock-step: back the
+    // activation out rather than let the oracle expect a permit the
+    // store never learned about.
+    manager_->deactivate(state.session, state.entitlements[e]).ok();
+    return s;
+  }
+  state.active[e] = true;
+  ++stats_.activations;
+  return {};
+}
+
+mwsec::Status SessionBridge::deactivate(std::size_t i, std::size_t e) {
+  PState& state = ensure(i);
+  if (e >= state.entitlements.size()) {
+    return Error::make("no such entitlement", "load");
+  }
+  if (!state.active[e]) return {};
+  if (auto s = manager_->deactivate(state.session, state.entitlements[e]);
+      !s.ok()) {
+    return s;
+  }
+  auto credential = credential_for(state, i, e);
+  if (!credential.ok()) return credential.error();
+  sink_.revoke_matching(credential->to_text());
+  state.active[e] = false;
+  ++stats_.deactivations;
+  return {};
+}
+
+void SessionBridge::revoke_principal(std::size_t i) {
+  PState& state = ensure(i);
+  if (state.revoked) return;
+  sink_.revoke_by_licensee(population_.principal(i));
+  manager_->close(state.session).ok();
+  state.session = 0;
+  state.active.assign(state.entitlements.size(), false);
+  state.revoked = true;
+  ++stats_.revocations;
+}
+
+void SessionBridge::forgive(std::size_t i) {
+  auto it = states_.find(i);
+  if (it == states_.end() || !it->second.revoked) return;
+  it->second.revoked = false;
+  it->second.session = manager_->open(population_.user(i));
+}
+
+bool SessionBridge::is_active(std::size_t i, std::size_t e) const {
+  auto it = states_.find(i);
+  return it != states_.end() && e < it->second.active.size() &&
+         it->second.active[e];
+}
+
+bool SessionBridge::is_revoked(std::size_t i) const {
+  auto it = states_.find(i);
+  return it != states_.end() && it->second.revoked;
+}
+
+authz::Request SessionBridge::request_for(std::size_t i, std::size_t e,
+                                          std::size_t k,
+                                          bool forbidden_probe) {
+  PState& state = ensure(i);
+  const rbac::RoleInstance& instance =
+      state.entitlements[e % state.entitlements.size()];
+  const rbac::PermissionGrant& action =
+      population_.granted_action(instance, k);
+  authz::Request request;
+  request.user = population_.user(i);
+  request.principal = population_.principal(i);
+  request.domain = instance.domain;
+  request.role = instance.role;
+  request.object_type = action.object_type;
+  request.permission =
+      forbidden_probe ? Population::kForbiddenPermission : action.permission;
+  for (const auto& [name, value] : instance.params) {
+    request.attributes.emplace_back(translate::instance_param_attr(name),
+                                    value);
+  }
+  return request;
+}
+
+}  // namespace mwsec::load

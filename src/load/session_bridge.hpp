@@ -1,0 +1,146 @@
+// Sessions → credentials: the bridge between RBAC session churn and the
+// KeyNote admission path every decision surface actually consults.
+//
+// Activating a parameterized role instance in an `rbac::SessionManager`
+// is, by itself, invisible to a KeyNote store. The bridge closes the
+// loop: each successful activation mints the instance's membership
+// credential (translate::instance_credential) and admits it through a
+// `CredentialSink` — the surface's write side (a direct store, a
+// sync::Authority feeding replicas, the authority behind a WebCom
+// master). Each deactivation revokes exactly that credential's text.
+// Session churn therefore moves the store version, which is precisely
+// the cache-invalidation path the workload engine exists to exercise.
+//
+// The bridge also keeps the oracle's ground truth: which entitlements of
+// which principals are active *as far as admissions go*. A surface is
+// only required to agree after it has settled (replicas converged);
+// mid-flight disagreement is staleness, not a violation.
+//
+// Single-writer: the engine's driver thread owns the bridge. Surfaces
+// read their stores concurrently from serve/scheduler threads; the
+// stores themselves are internally synchronised.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "keynote/assertion.hpp"
+#include "load/population.hpp"
+#include "rbac/constraints.hpp"
+#include "rbac/sessions.hpp"
+#include "authz/authz.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::load {
+
+/// The write side of a decision surface: where policy roots, minted
+/// credentials and revocations go. Implemented by each Surface.
+class CredentialSink {
+ public:
+  virtual ~CredentialSink() = default;
+  virtual mwsec::Status admit_policy_text(const std::string& text) = 0;
+  /// Admit an (unsigned) credential minted by the harness.
+  virtual mwsec::Status admit(keynote::Assertion credential) = 0;
+  /// Remove assertions textually equal to `text`; count removed.
+  virtual std::size_t revoke_matching(const std::string& text) = 0;
+  /// Remove every credential licensed to `principal`; count removed.
+  virtual std::size_t revoke_by_licensee(const std::string& principal) = 0;
+};
+
+struct SessionBridgeOptions {
+  /// The administration user whose principal authors every minted
+  /// credential (and whom the POLICY root authorises).
+  std::string admin_user = "loadadmin";
+  /// Per-session active-instance cap (0 = uncapped). Enforced by the
+  /// SessionManager's cardinality constraints.
+  std::size_t max_active_per_session = 0;
+  /// Drop parameter bindings from entitlements (surfaces whose request
+  /// path cannot carry param_* attributes — the WebCom scheduler).
+  bool strip_params = false;
+};
+
+class SessionBridge {
+ public:
+  SessionBridge(const Population& population, CredentialSink& sink,
+                SessionBridgeOptions options = {});
+
+  /// Install the POLICY root: HasPermission compiled over the population's
+  /// grants (Figure 5), authorising the admin principal. Call once before
+  /// traffic.
+  mwsec::Status install_policy_root();
+
+  std::string admin_principal() const { return "K" + options_.admin_user; }
+
+  std::size_t entitlement_count(std::size_t i);
+
+  /// Open principal `i`'s session if needed and activate entitlement `e`.
+  /// A fresh activation admits the instance credential through the sink.
+  /// No-op success when already active; error when `i` was revoked.
+  mwsec::Status activate(std::size_t i, std::size_t e);
+
+  /// Deactivate entitlement `e`: the session drops the instance and the
+  /// sink revokes exactly that credential's text.
+  mwsec::Status deactivate(std::size_t i, std::size_t e);
+
+  /// Adversary action: revoke every credential licensed to `i` and close
+  /// the session. Subsequent activate() calls fail until forgive().
+  void revoke_principal(std::size_t i);
+  /// Lift a revocation (recovery phases re-admit principals).
+  void forgive(std::size_t i);
+
+  bool touched(std::size_t i) const { return states_.count(i) != 0; }
+  /// Principals in first-touch order (the revocation storm's victim pool).
+  const std::vector<std::size_t>& touched_order() const { return touched_; }
+
+  bool is_active(std::size_t i, std::size_t e) const;
+  bool is_revoked(std::size_t i) const;
+  /// Oracle ground truth for (i, e) once the surface has settled.
+  bool expect_permit(std::size_t i, std::size_t e) const {
+    return !is_revoked(i) && is_active(i, e);
+  }
+
+  /// Build the decision request principal `i` makes when exercising
+  /// entitlement `e` with its k-th granted action. `forbidden_probe`
+  /// swaps the permission for Population::kForbiddenPermission — the
+  /// strict must-deny request.
+  authz::Request request_for(std::size_t i, std::size_t e, std::size_t k,
+                             bool forbidden_probe);
+
+  struct Stats {
+    std::uint64_t activations = 0;
+    std::uint64_t deactivations = 0;
+    std::uint64_t revocations = 0;
+    std::uint64_t constraint_rejections = 0;  ///< SoD + cardinality denials
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PState {
+    rbac::SessionId session = 0;
+    std::vector<rbac::RoleInstance> entitlements;
+    std::vector<bool> active;
+    bool revoked = false;
+  };
+  PState& ensure(std::size_t i);
+  /// The exact credential text entitlement (i, e) admits/revokes.
+  mwsec::Result<keynote::Assertion> credential_for(PState& state,
+                                                   std::size_t i,
+                                                   std::size_t e);
+
+  const Population& population_;
+  CredentialSink& sink_;
+  SessionBridgeOptions options_;
+  rbac::Policy policy_;  ///< grants + lazily registered assignments
+  rbac::SodConstraints sod_;
+  rbac::CardinalityConstraints cardinality_;
+  std::unique_ptr<rbac::SessionManager> manager_;
+  std::unordered_map<std::size_t, PState> states_;
+  std::vector<std::size_t> touched_;
+  Stats stats_;
+};
+
+}  // namespace mwsec::load

@@ -1,0 +1,377 @@
+#include "load/surface.hpp"
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "authz/caching.hpp"
+#include "authz/keynote_authorizer.hpp"
+#include "crypto/keys.hpp"
+#include "keynote/compiled_store.hpp"
+#include "net/network.hpp"
+#include "net/tcp_transport.hpp"
+#include "sync/authority.hpp"
+#include "sync/replica.hpp"
+#include "webcom/graph.hpp"
+#include "webcom/scheduler.hpp"
+
+namespace mwsec::load {
+
+namespace {
+
+constexpr const char* kAuthorityEndpoint = "load.admin";
+
+/// Replication tuned for harness runs: convergence in milliseconds, not
+/// the defaults' tens of them.
+sync::AuthorityOptions fast_authority() {
+  sync::AuthorityOptions o;
+  o.poll_interval = std::chrono::milliseconds(2);
+  o.retransmit_interval = std::chrono::milliseconds(10);
+  // The harness mints unsigned synthetic credentials; admission
+  // verification is the signing deployments' concern, not this rig's.
+  o.verify_admissions = false;
+  return o;
+}
+
+sync::ReplicaOptions fast_replica() {
+  sync::ReplicaOptions o;
+  o.poll_interval = std::chrono::milliseconds(2);
+  o.heartbeat_interval = std::chrono::milliseconds(10);
+  o.verify_signatures = false;
+  return o;
+}
+
+std::string replica_endpoint(std::size_t i) {
+  return "load.r" + std::to_string(i);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DirectSurface
+
+struct DirectSurface::Impl {
+  keynote::CompiledStore store;
+  authz::KeyNoteAuthorizer backend{store, "load-direct"};
+  authz::CachingAuthorizer cache{backend};
+};
+
+DirectSurface::DirectSurface() : impl_(std::make_unique<Impl>()) {}
+DirectSurface::~DirectSurface() = default;
+
+authz::Verdict DirectSurface::decide(const authz::Request& request) {
+  return impl_->cache.decide(request);
+}
+
+std::uint64_t DirectSurface::epoch() const { return impl_->store.version(); }
+
+mwsec::Status DirectSurface::admit_policy_text(const std::string& text) {
+  return impl_->store.add_policy_text(text);
+}
+
+mwsec::Status DirectSurface::admit(keynote::Assertion credential) {
+  return impl_->store.add_credential(std::move(credential),
+                                     /*verify_signature=*/false);
+}
+
+std::size_t DirectSurface::revoke_matching(const std::string& text) {
+  return impl_->store.remove_matching(text);
+}
+
+std::size_t DirectSurface::revoke_by_licensee(const std::string& principal) {
+  return impl_->store.remove_by_licensee(principal);
+}
+
+// ---------------------------------------------------------------------------
+// ReplicatedSurface
+
+struct ReplicatedSurface::Impl {
+  struct Node {
+    keynote::CompiledStore store;
+    std::unique_ptr<sync::Replica> replica;
+    std::unique_ptr<authz::KeyNoteAuthorizer> backend;
+    std::unique_ptr<authz::CachingAuthorizer> cache;
+    bool down = false;
+  };
+
+  std::unique_ptr<net::Network> bus;
+  std::vector<std::unique_ptr<net::TcpTransport>> tcp;  ///< [0]=authority
+  keynote::CompiledStore authority_store;
+  std::unique_ptr<sync::Authority> authority;
+  std::deque<Node> nodes;  ///< address-stable
+  std::optional<std::size_t> flapped;
+
+  net::Transport& transport_for(std::size_t node_index) {
+    // node_index 0 = authority, 1.. = replicas. One shared bus, or one
+    // TCP transport per node (the real multi-process shape).
+    return bus ? static_cast<net::Transport&>(*bus) : *tcp[node_index];
+  }
+};
+
+ReplicatedSurface::ReplicatedSurface(ReplicatedSurfaceOptions options)
+    : options_(options), impl_(std::make_unique<Impl>()) {
+  if (options_.replicas == 0) options_.replicas = 1;
+}
+
+ReplicatedSurface::~ReplicatedSurface() = default;
+
+mwsec::Status ReplicatedSurface::start() {
+  const std::size_t R = options_.replicas;
+  if (options_.tcp) {
+    for (std::size_t n = 0; n < R + 1; ++n) {
+      net::TcpOptions topts;
+      topts.fault.seed = options_.seed + n;
+      topts.fault.node_id = static_cast<std::uint16_t>(n + 1);
+      topts.fault.drop_probability = options_.drop_probability;
+      topts.fault.duplicate_probability = options_.duplicate_probability;
+      auto t = std::make_unique<net::TcpTransport>(topts);
+      if (auto s = t->start(); !s.ok()) return s;
+      impl_->tcp.push_back(std::move(t));
+    }
+    // Routes: the authority reaches every replica, every replica reaches
+    // the authority (replicas never talk to each other).
+    for (std::size_t i = 0; i < R; ++i) {
+      impl_->tcp[0]->add_route(replica_endpoint(i), impl_->tcp[i + 1]->host(),
+                               impl_->tcp[i + 1]->port());
+      impl_->tcp[i + 1]->add_route(kAuthorityEndpoint, impl_->tcp[0]->host(),
+                                   impl_->tcp[0]->port());
+    }
+  } else {
+    net::Transport::Options bopts;
+    bopts.seed = options_.seed;
+    bopts.drop_probability = options_.drop_probability;
+    bopts.duplicate_probability = options_.duplicate_probability;
+    impl_->bus = std::make_unique<net::Network>(bopts);
+  }
+
+  impl_->authority = std::make_unique<sync::Authority>(
+      impl_->transport_for(0), kAuthorityEndpoint, impl_->authority_store,
+      fast_authority());
+  if (auto s = impl_->authority->start(); !s.ok()) return s;
+
+  for (std::size_t i = 0; i < R; ++i) {
+    auto& node = impl_->nodes.emplace_back();
+    node.replica = std::make_unique<sync::Replica>(
+        impl_->transport_for(i + 1), replica_endpoint(i), node.store,
+        fast_replica());
+    if (auto s = node.replica->subscribe(kAuthorityEndpoint); !s.ok()) {
+      return s;
+    }
+    node.backend = std::make_unique<authz::KeyNoteAuthorizer>(
+        node.store, "load-replica-" + std::to_string(i));
+    node.cache = std::make_unique<authz::CachingAuthorizer>(*node.backend);
+  }
+  return {};
+}
+
+SurfaceCaps ReplicatedSurface::caps() const {
+  SurfaceCaps c;
+  c.supports_flap = options_.replicas >= 2;
+  c.replicas = options_.replicas;
+  return c;
+}
+
+authz::Verdict ReplicatedSurface::decide(const authz::Request& request) {
+  const std::size_t R = impl_->nodes.size();
+  std::size_t i = std::hash<std::string>{}(request.principal) % R;
+  for (std::size_t probe = 0; probe < R; ++probe) {
+    auto& node = impl_->nodes[(i + probe) % R];
+    if (!node.down) return node.cache->decide(request);
+  }
+  // Every replica down: the service is unavailable, which is a deny.
+  return authz::Verdict::deny("load-replicated-unavailable");
+}
+
+mwsec::Status ReplicatedSurface::settle(std::chrono::milliseconds timeout) {
+  const std::uint64_t target = impl_->authority_store.version();
+  for (std::size_t i = 0; i < impl_->nodes.size(); ++i) {
+    auto& node = impl_->nodes[i];
+    if (node.down) continue;
+    if (!node.replica->wait_for_epoch(target, timeout)) {
+      return Error::make("replica " + std::to_string(i) +
+                             " failed to reach epoch " +
+                             std::to_string(target),
+                         "load");
+    }
+  }
+  return {};
+}
+
+std::uint64_t ReplicatedSurface::epoch() const {
+  return impl_->authority_store.version();
+}
+
+mwsec::Status ReplicatedSurface::flap(std::size_t round) {
+  if (impl_->nodes.size() < 2) {
+    return Error::make("flap needs at least two replicas", "load");
+  }
+  if (impl_->flapped.has_value()) {
+    // Bring the down replica back: re-subscribe and catch up from the
+    // authority (replay or snapshot, whichever the gap demands).
+    auto& node = impl_->nodes[*impl_->flapped];
+    if (auto s = node.replica->subscribe(kAuthorityEndpoint); !s.ok()) {
+      return s;
+    }
+    node.down = false;
+    impl_->flapped.reset();
+    return {};
+  }
+  const std::size_t victim = round % impl_->nodes.size();
+  auto& node = impl_->nodes[victim];
+  node.replica->stop();
+  node.down = true;
+  impl_->flapped = victim;
+  return {};
+}
+
+mwsec::Status ReplicatedSurface::admit_policy_text(const std::string& text) {
+  return impl_->authority->publish_policy_text(text);
+}
+
+mwsec::Status ReplicatedSurface::admit(keynote::Assertion credential) {
+  return impl_->authority->publish_credential(std::move(credential));
+}
+
+std::size_t ReplicatedSurface::revoke_matching(const std::string& text) {
+  return impl_->authority->revoke_matching(text);
+}
+
+std::size_t ReplicatedSurface::revoke_by_licensee(
+    const std::string& principal) {
+  return impl_->authority->revoke_by_licensee(principal);
+}
+
+// ---------------------------------------------------------------------------
+// WebComSurface
+
+struct WebComSurface::Impl {
+  net::Network bus;
+  crypto::KeyRing ring;
+  keynote::CompiledStore authority_store;
+  std::unique_ptr<sync::Authority> authority;
+  std::unique_ptr<webcom::Master> master;
+  struct Slot {
+    std::unique_ptr<webcom::Client> client;
+  };
+  std::map<std::string, Slot> clients;  ///< by user name
+};
+
+WebComSurface::WebComSurface(const Population& population,
+                             WebComSurfaceOptions options)
+    : population_(population), options_(options),
+      impl_(std::make_unique<Impl>()) {}
+
+WebComSurface::~WebComSurface() {
+  // Clients serve on background threads off the master's bus; drop the
+  // master (and its replica thread) before the clients it schedules to.
+  impl_->master.reset();
+  impl_->authority.reset();
+}
+
+mwsec::Status WebComSurface::start() {
+  impl_->authority = std::make_unique<sync::Authority>(
+      impl_->bus, kAuthorityEndpoint, impl_->authority_store,
+      fast_authority());
+  if (auto s = impl_->authority->start(); !s.ok()) return s;
+
+  webcom::MasterOptions mopts;
+  mopts.security_enabled = true;
+  impl_->master = std::make_unique<webcom::Master>(
+      impl_->bus, "load.master", impl_->ring.identity("loadmaster"), mopts);
+  return impl_->master->subscribe_policy(kAuthorityEndpoint, fast_replica());
+}
+
+SurfaceCaps WebComSurface::caps() const {
+  SurfaceCaps c;
+  c.max_principals = options_.max_clients;
+  c.single_entitlement = true;   // one execution identity per client
+  c.supports_params = false;     // the scheduler speaks fixed Figure 5
+  c.supports_chains = false;     // decisions need an attached client
+  return c;
+}
+
+mwsec::Status WebComSurface::on_first_touch(std::size_t i) {
+  const std::string user = population_.user(i);
+  if (impl_->clients.count(user) != 0) return {};
+  if (impl_->clients.size() >= options_.max_clients) {
+    return Error::make("webcom surface is full", "load");
+  }
+  const auto entitlements = population_.entitlements(i);
+  const rbac::RoleInstance& e0 = entitlements.front();
+
+  const std::string endpoint = "load.c" + std::to_string(i);
+  webcom::ClientOptions copts;
+  // The run measures master-side scheduling decisions; the clients'
+  // willingness to serve this master is not under test.
+  copts.security_enabled = false;
+  copts.domain = e0.domain;
+  copts.role = e0.role;
+  copts.user = user;
+  auto& slot = impl_->clients[user];
+  slot.client = std::make_unique<webcom::Client>(
+      impl_->bus, endpoint, impl_->ring.identity("c" + user),
+      webcom::OperationRegistry::with_builtins(), copts);
+  if (auto s = slot.client->start(); !s.ok()) return s;
+
+  webcom::ClientInfo info;
+  info.endpoint = endpoint;
+  info.principal = population_.principal(i);
+  info.domain = e0.domain;
+  info.role = e0.role;
+  info.user = user;
+  return impl_->master->attach_client(std::move(info));
+}
+
+authz::Verdict WebComSurface::decide(const authz::Request& request) {
+  webcom::Graph g;
+  webcom::NodeId n = g.add_node("task", "upper", 1);
+  g.set_literal(n, 0, "x").ok();
+  webcom::SecurityTarget target;
+  target.object_type = request.object_type;
+  target.permission = request.permission;
+  target.domain = request.domain;
+  target.role = request.role;
+  target.user = request.user;
+  g.set_target(n, target).ok();
+  g.set_exit(n).ok();
+  auto result = impl_->master->execute(g);
+  return result.ok()
+             ? authz::Verdict::permit("webcom-master",
+                                      impl_->master->store().version())
+             : authz::Verdict::deny("webcom-master",
+                                    impl_->master->store().version());
+}
+
+mwsec::Status WebComSurface::settle(std::chrono::milliseconds timeout) {
+  const sync::Replica* replica = impl_->master->policy_replica();
+  if (replica == nullptr) {
+    return Error::make("master has no policy replica", "load");
+  }
+  if (!replica->wait_for_epoch(impl_->authority_store.version(), timeout)) {
+    return Error::make("master replica failed to settle", "load");
+  }
+  return {};
+}
+
+std::uint64_t WebComSurface::epoch() const {
+  return impl_->authority_store.version();
+}
+
+mwsec::Status WebComSurface::admit_policy_text(const std::string& text) {
+  return impl_->authority->publish_policy_text(text);
+}
+
+mwsec::Status WebComSurface::admit(keynote::Assertion credential) {
+  return impl_->authority->publish_credential(std::move(credential));
+}
+
+std::size_t WebComSurface::revoke_matching(const std::string& text) {
+  return impl_->authority->revoke_matching(text);
+}
+
+std::size_t WebComSurface::revoke_by_licensee(const std::string& principal) {
+  return impl_->authority->revoke_by_licensee(principal);
+}
+
+}  // namespace mwsec::load

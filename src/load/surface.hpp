@@ -1,0 +1,183 @@
+// Decision surfaces: the three places the paper's architecture answers
+// an authorisation question, behind one harness-facing interface.
+//
+//   DirectSurface      — authz::KeyNoteAuthorizer over one CompiledStore,
+//                        fronted by the unified decision cache. The
+//                        in-process baseline every other surface is
+//                        measured against.
+//   ReplicatedSurface  — a sync::Authority publishing to R replicas, each
+//                        with its own store + cache; decisions route to a
+//                        replica by principal hash. Runs over the
+//                        InProcessBus or real TCP sockets (the same
+//                        full-mesh rig the transport tests use), so the
+//                        revocation-storm propagation path is exercised
+//                        over loopback TCP in CI.
+//   WebComSurface      — a webcom::Master scheduling one-task graphs over
+//                        attached clients; the verdict is whether the
+//                        scheduler found an authorised placement. Small
+//                        population (clients are threads), no param_*
+//                        attributes (the scheduler's query vocabulary is
+//                        the fixed Figure 5 set).
+//
+// Each surface exposes its write side as the CredentialSink the
+// SessionBridge feeds, and a settle() barrier after which decisions must
+// agree with admitted state — the oracle's strictness boundary.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "authz/authz.hpp"
+#include "load/population.hpp"
+#include "load/session_bridge.hpp"
+#include "util/result.hpp"
+
+namespace mwsec::load {
+
+struct SurfaceCaps {
+  std::size_t max_principals = 0;  ///< 0 = unbounded
+  /// Only entitlement 0 is exercised (one execution identity per client).
+  bool single_entitlement = false;
+  /// Requests cannot carry param_* attributes; the bridge strips params.
+  bool supports_params = true;
+  /// decide() resolves arbitrary principals directly (delegation-chain
+  /// leaves); false where a decision needs an attached execution context.
+  bool supports_chains = true;
+  bool supports_flap = false;
+  std::size_t replicas = 0;
+};
+
+class Surface {
+ public:
+  virtual ~Surface() = default;
+
+  virtual std::string name() const = 0;
+  virtual SurfaceCaps caps() const { return {}; }
+
+  /// The write side the SessionBridge admits/revokes through.
+  virtual CredentialSink& sink() = 0;
+
+  virtual authz::Verdict decide(const authz::Request& request) = 0;
+
+  /// Block until every decision point has converged on all admitted
+  /// state. Strict oracle sweeps run only after a successful settle.
+  virtual mwsec::Status settle(std::chrono::milliseconds timeout) = 0;
+
+  /// Store version at the authority/write side.
+  virtual std::uint64_t epoch() const = 0;
+
+  /// First traffic for principal `i` (the WebCom surface attaches a
+  /// client here). Default no-op.
+  virtual mwsec::Status on_first_touch(std::size_t i) {
+    (void)i;
+    return {};
+  }
+
+  /// Adversary hook: take a replica down / bring it back (alternating).
+  virtual mwsec::Status flap(std::size_t round) {
+    (void)round;
+    return Error::make("surface does not support replica flap", "load");
+  }
+};
+
+/// In-process store + cache.
+class DirectSurface final : public Surface, public CredentialSink {
+ public:
+  DirectSurface();
+  ~DirectSurface() override;
+
+  std::string name() const override { return "direct"; }
+  SurfaceCaps caps() const override { return {}; }
+  CredentialSink& sink() override { return *this; }
+  authz::Verdict decide(const authz::Request& request) override;
+  mwsec::Status settle(std::chrono::milliseconds) override { return {}; }
+  std::uint64_t epoch() const override;
+
+  mwsec::Status admit_policy_text(const std::string& text) override;
+  mwsec::Status admit(keynote::Assertion credential) override;
+  std::size_t revoke_matching(const std::string& text) override;
+  std::size_t revoke_by_licensee(const std::string& principal) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+struct ReplicatedSurfaceOptions {
+  std::size_t replicas = 3;
+  /// False = InProcessBus; true = one TcpTransport per node over
+  /// loopback, full-mesh routed.
+  bool tcp = false;
+  std::uint64_t seed = 42;
+  /// Fault injection on the transport (loss → retransmit path).
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+};
+
+/// Authority + R replicated stores; decisions route by principal hash.
+class ReplicatedSurface final : public Surface, public CredentialSink {
+ public:
+  explicit ReplicatedSurface(ReplicatedSurfaceOptions options = {});
+  ~ReplicatedSurface() override;
+
+  /// Open endpoints, start the authority and subscribe every replica.
+  mwsec::Status start();
+
+  std::string name() const override { return options_.tcp ? "replicated-tcp"
+                                                          : "replicated"; }
+  SurfaceCaps caps() const override;
+  CredentialSink& sink() override { return *this; }
+  authz::Verdict decide(const authz::Request& request) override;
+  mwsec::Status settle(std::chrono::milliseconds timeout) override;
+  std::uint64_t epoch() const override;
+  mwsec::Status flap(std::size_t round) override;
+
+  mwsec::Status admit_policy_text(const std::string& text) override;
+  mwsec::Status admit(keynote::Assertion credential) override;
+  std::size_t revoke_matching(const std::string& text) override;
+  std::size_t revoke_by_licensee(const std::string& principal) override;
+
+ private:
+  struct Impl;
+  ReplicatedSurfaceOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+struct WebComSurfaceOptions {
+  /// Clients are real worker threads: keep the population tiny.
+  std::size_t max_clients = 8;
+};
+
+/// Decisions through the WebCom master's scheduler.
+class WebComSurface final : public Surface, public CredentialSink {
+ public:
+  explicit WebComSurface(const Population& population,
+                         WebComSurfaceOptions options = {});
+  ~WebComSurface() override;
+
+  mwsec::Status start();
+
+  std::string name() const override { return "webcom"; }
+  SurfaceCaps caps() const override;
+  CredentialSink& sink() override { return *this; }
+  authz::Verdict decide(const authz::Request& request) override;
+  mwsec::Status settle(std::chrono::milliseconds timeout) override;
+  std::uint64_t epoch() const override;
+  mwsec::Status on_first_touch(std::size_t i) override;
+
+  mwsec::Status admit_policy_text(const std::string& text) override;
+  mwsec::Status admit(keynote::Assertion credential) override;
+  std::size_t revoke_matching(const std::string& text) override;
+  std::size_t revoke_by_licensee(const std::string& principal) override;
+
+ private:
+  struct Impl;
+  const Population& population_;
+  WebComSurfaceOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mwsec::load

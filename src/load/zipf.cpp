@@ -1,0 +1,35 @@
+#include "load/zipf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mwsec::load {
+
+ZipfGenerator::ZipfGenerator(std::size_t n, double s, std::uint64_t seed)
+    : s_(s), rng_(seed) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    acc += std::pow(double(r + 1), -s);
+    cdf_[r] = acc;
+  }
+  const double total = acc;
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding leaving the tail short
+}
+
+std::size_t ZipfGenerator::next() {
+  const double u = rng_.next_double();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;  // u == 1.0 cannot happen, but stay safe
+  return std::size_t(it - cdf_.begin());
+}
+
+double ZipfGenerator::probability(std::size_t rank) const {
+  if (rank >= cdf_.size()) return 0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace mwsec::load

@@ -1,0 +1,81 @@
+// Deterministic randomness for the workload engine.
+//
+// Everything the harness draws — principal popularity, churn decisions,
+// request mixes, adversary victim sets — comes from these generators, so
+// a scenario is a pure function of (seed, options): the same seed replays
+// the same million-request run bit-for-bit, on any platform. That is what
+// makes an oracle violation reportable ("seed 42, request 1,048,201")
+// instead of a flake.
+//
+// SplitMix64 is the base generator (64-bit state, passes BigCrush for
+// our purposes, trivially portable); ZipfGenerator layers a precomputed
+// power-law CDF over it so key/action popularity is skewed the way real
+// principal traffic is: a handful of hot users dominate, with a long
+// cold tail (s ≈ 1 is the classic web-trace exponent).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mwsec::load {
+
+/// Deterministic 64-bit generator (Steele et al.'s SplitMix64). Identical
+/// output across platforms for a given seed — tests assert exact
+/// sequences.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1): the top 53 bits, exactly representable.
+  double next_double() {
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform integer in [0, n). n must be positive. Lemire-style scaling
+  /// without the rejection step — a bias below 2^-32 for n < 2^32, which
+  /// statistics tests cannot see and which stays deterministic.
+  std::uint64_t next_below(std::uint64_t n) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * n) >> 64);
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return next_double() < p; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Zipfian rank sampler: rank r in [0, n) is drawn with probability
+/// proportional to 1 / (r + 1)^s. The CDF is precomputed (8 bytes per
+/// item — 8 MB at the million-principal scale) and sampled by binary
+/// search, so next() is O(log n) with no floating-point accumulation
+/// drift across platforms beyond the deterministic table itself.
+class ZipfGenerator {
+ public:
+  /// `n` items, exponent `s` >= 0 (s == 0 degenerates to uniform).
+  ZipfGenerator(std::size_t n, double s, std::uint64_t seed);
+
+  /// The next rank, hot ranks first: rank 0 is the most popular item.
+  std::size_t next();
+
+  std::size_t size() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+
+  /// Probability mass of `rank` under the precomputed distribution.
+  double probability(std::size_t rank) const;
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  ///< cumulative, cdf_.back() == 1.0
+  SplitMix64 rng_;
+};
+
+}  // namespace mwsec::load

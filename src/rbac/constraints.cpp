@@ -66,4 +66,49 @@ std::vector<std::string> SodConstraints::violations(
   return out;
 }
 
+mwsec::Status CardinalityConstraints::set_max_active(std::size_t n) {
+  if (n == 0) {
+    return Error::make("max active roles must be positive", "cardinality");
+  }
+  max_active_ = n;
+  return {};
+}
+
+mwsec::Status CardinalityConstraints::set_max_active_in(std::string domain,
+                                                        std::size_t n) {
+  if (domain.empty()) {
+    return Error::make("domain must be non-empty", "cardinality");
+  }
+  if (n == 0) {
+    return Error::make("max active roles must be positive", "cardinality");
+  }
+  per_domain_[std::move(domain)] = n;
+  return {};
+}
+
+std::optional<std::size_t> CardinalityConstraints::max_active_in(
+    const std::string& domain) const {
+  auto it = per_domain_.find(domain);
+  if (it == per_domain_.end()) return std::nullopt;
+  return it->second;
+}
+
+mwsec::Status CardinalityConstraints::check_activation(
+    const std::string& domain, std::size_t total, std::size_t in_domain) const {
+  if (max_active_.has_value() && total >= *max_active_) {
+    return Error::make("cardinality: session already has " +
+                           std::to_string(total) + " active roles (cap " +
+                           std::to_string(*max_active_) + ")",
+                       "cardinality");
+  }
+  if (auto cap = max_active_in(domain);
+      cap.has_value() && in_domain >= *cap) {
+    return Error::make("cardinality: session already has " +
+                           std::to_string(in_domain) + " active roles in " +
+                           domain + " (cap " + std::to_string(*cap) + ")",
+                       "cardinality");
+  }
+  return {};
+}
+
 }  // namespace mwsec::rbac

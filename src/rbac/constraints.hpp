@@ -1,8 +1,13 @@
-// Separation-of-duty constraints (RBAC2): pairs of roles no single user may
-// hold together (static SoD) or activate together in one session (dynamic
-// SoD, enforced by rbac::SessionManager).
+// Constraints over role assignment and activation (RBAC2): separation of
+// duty — pairs of roles no single user may hold together (static SoD) or
+// activate together in one session (dynamic SoD) — and per-session
+// active-role cardinality caps. Both kinds are enforced at activation
+// time by rbac::SessionManager.
 #pragma once
 
+#include <cstddef>
+#include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -44,6 +49,31 @@ class SodConstraints {
 
  private:
   std::set<ExclusionPair> pairs_;
+};
+
+/// Per-session active-role cardinality (the "least privilege" knob of a
+/// parameterized RBAC service): an overall cap on simultaneously active
+/// role instances, plus optional tighter caps per domain. Unset = no
+/// limit. Enforced by SessionManager at activation time.
+class CardinalityConstraints {
+ public:
+  /// Cap the total number of simultaneously active role instances.
+  mwsec::Status set_max_active(std::size_t n);
+  /// Cap active instances within one domain.
+  mwsec::Status set_max_active_in(std::string domain, std::size_t n);
+
+  std::optional<std::size_t> max_active() const { return max_active_; }
+  std::optional<std::size_t> max_active_in(const std::string& domain) const;
+
+  /// Would activating one more instance in `domain` — given `total`
+  /// currently-active instances, `in_domain` of them in `domain` —
+  /// violate a cap? Error code "cardinality" when it would.
+  mwsec::Status check_activation(const std::string& domain, std::size_t total,
+                                 std::size_t in_domain) const;
+
+ private:
+  std::optional<std::size_t> max_active_;
+  std::map<std::string, std::size_t> per_domain_;
 };
 
 }  // namespace mwsec::rbac

@@ -1,6 +1,21 @@
 #include "rbac/sessions.hpp"
 
+#include <algorithm>
+
 namespace mwsec::rbac {
+
+std::string RoleInstance::label() const {
+  std::string out = domain + "/" + role;
+  if (!params.empty()) {
+    out += "{";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      if (i != 0) out += ",";
+      out += params[i].first + "=" + params[i].second;
+    }
+    out += "}";
+  }
+  return out;
+}
 
 SessionId SessionManager::open(std::string user) {
   std::scoped_lock lock(mu_);
@@ -9,40 +24,75 @@ SessionId SessionManager::open(std::string user) {
   return id;
 }
 
-mwsec::Status SessionManager::activate(SessionId id, const std::string& domain,
-                                       const std::string& role) {
+mwsec::Status SessionManager::activate(SessionId id, RoleInstance instance) {
+  // Canonicalise the binding order so {a=1,b=2} and {b=2,a=1} are the
+  // same instance.
+  std::sort(instance.params.begin(), instance.params.end());
   std::scoped_lock lock(mu_);
   auto it = sessions_.find(id);
-  if (it == sessions_.end()) return Error::make("unknown session", "session");
-  State& st = it->second;
-  if (!policy_.user_in_role(st.user, domain, role)) {
-    return Error::make(st.user + " is not a member of " + domain + "/" + role,
-                       "session");
+  if (it == sessions_.end()) {
+    return Error::make("unknown session " + std::to_string(id),
+                       kSessionUnknown);
   }
+  State& st = it->second;
+  if (!policy_.user_in_role(st.user, instance.domain, instance.role)) {
+    return Error::make(st.user + " is not a member of " + instance.domain +
+                           "/" + instance.role,
+                       kSessionRoleNotAssigned);
+  }
+  if (st.active.count(instance) != 0) return {};  // idempotent
   if (dynamic_sod_ != nullptr) {
-    for (const auto& [ad, ar] : st.active) {
-      if (dynamic_sod_->excludes(ad, ar, domain, role)) {
-        return Error::make("dynamic separation of duty: " + ad + "/" + ar +
-                               " is active and exclusive with " + domain +
-                               "/" + role,
-                           "sod");
+    for (const auto& act : st.active) {
+      if (dynamic_sod_->excludes(act.domain, act.role, instance.domain,
+                                 instance.role)) {
+        return Error::make("dynamic separation of duty: " + act.label() +
+                               " is active and exclusive with " +
+                               instance.label(),
+                           kSessionSod);
       }
     }
   }
-  st.active.emplace(domain, role);
+  if (cardinality_ != nullptr) {
+    std::size_t in_domain = 0;
+    for (const auto& act : st.active) {
+      if (act.domain == instance.domain) ++in_domain;
+    }
+    if (auto s = cardinality_->check_activation(instance.domain,
+                                                st.active.size(), in_domain);
+        !s.ok()) {
+      return s;
+    }
+  }
+  st.active.insert(std::move(instance));
+  return {};
+}
+
+mwsec::Status SessionManager::activate(SessionId id, const std::string& domain,
+                                       const std::string& role) {
+  return activate(id, RoleInstance{domain, role, {}});
+}
+
+mwsec::Status SessionManager::deactivate(SessionId id,
+                                         const RoleInstance& instance) {
+  std::scoped_lock lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Error::make("unknown session " + std::to_string(id),
+                       kSessionUnknown);
+  }
+  RoleInstance key = instance;
+  std::sort(key.params.begin(), key.params.end());
+  if (it->second.active.erase(key) == 0) {
+    return Error::make("role instance not active: " + key.label(),
+                       kSessionRoleNotActive);
+  }
   return {};
 }
 
 mwsec::Status SessionManager::deactivate(SessionId id,
                                          const std::string& domain,
                                          const std::string& role) {
-  std::scoped_lock lock(mu_);
-  auto it = sessions_.find(id);
-  if (it == sessions_.end()) return Error::make("unknown session", "session");
-  if (it->second.active.erase({domain, role}) == 0) {
-    return Error::make("role not active", "session");
-  }
-  return {};
+  return deactivate(id, RoleInstance{domain, role, {}});
 }
 
 bool SessionManager::check(SessionId id, const std::string& object_type,
@@ -50,8 +100,9 @@ bool SessionManager::check(SessionId id, const std::string& object_type,
   std::scoped_lock lock(mu_);
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return false;
-  for (const auto& [domain, role] : it->second.active) {
-    if (policy_.has_permission(domain, role, object_type, permission)) {
+  for (const auto& instance : it->second.active) {
+    if (policy_.has_permission(instance.domain, instance.role, object_type,
+                               permission)) {
       return true;
     }
   }
@@ -63,16 +114,29 @@ std::vector<RoleAssignment> SessionManager::active_roles(SessionId id) const {
   std::vector<RoleAssignment> out;
   auto it = sessions_.find(id);
   if (it == sessions_.end()) return out;
-  for (const auto& [domain, role] : it->second.active) {
-    out.push_back(RoleAssignment{domain, role, it->second.user});
+  for (const auto& instance : it->second.active) {
+    RoleAssignment a{instance.domain, instance.role, it->second.user};
+    // Distinct bindings of one (domain, role) are one membership row.
+    if (std::find(out.begin(), out.end(), a) == out.end()) {
+      out.push_back(std::move(a));
+    }
   }
   return out;
+}
+
+std::vector<RoleInstance> SessionManager::active_instances(
+    SessionId id) const {
+  std::scoped_lock lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return {};
+  return {it->second.active.begin(), it->second.active.end()};
 }
 
 mwsec::Status SessionManager::close(SessionId id) {
   std::scoped_lock lock(mu_);
   if (sessions_.erase(id) == 0) {
-    return Error::make("unknown session", "session");
+    return Error::make("unknown session " + std::to_string(id),
+                       kSessionUnknown);
   }
   return {};
 }

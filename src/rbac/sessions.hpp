@@ -1,7 +1,18 @@
 // RBAC sessions: a user activates a subset of their assigned roles; access
-// decisions consider only activated roles. Dynamic separation-of-duty is
-// enforced at activation time. Thread-safe: WebCom schedules components
-// under (domain, role, user) triples from worker threads (Section 6).
+// decisions consider only activated roles. What is activated is a
+// *parameterized role instance* — a (domain, role) pair plus optional
+// parameter bindings (e.g. Manager in Finance with project=apollo), per
+// the parameterized-RBAC service model — so the same role template can be
+// held under many bindings and each binding is activated, used and
+// deactivated independently. Dynamic separation-of-duty and cardinality
+// constraints are enforced at activation time. Thread-safe: WebCom
+// schedules components under (domain, role, user) triples from worker
+// threads (Section 6), and the load harness churns sessions from its
+// driver while surfaces decide concurrently.
+//
+// Failures carry structured Error codes (the kSession* constants below)
+// so callers can distinguish "unknown session" from "role not assigned"
+// from a constraint violation without parsing messages.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +20,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "rbac/constraints.hpp"
@@ -19,19 +31,49 @@ namespace mwsec::rbac {
 
 using SessionId = std::uint64_t;
 
+/// Machine-readable Error::code values for session operations.
+inline constexpr const char* kSessionUnknown = "unknown-session";
+inline constexpr const char* kSessionRoleNotAssigned = "role-not-assigned";
+inline constexpr const char* kSessionRoleNotActive = "role-not-active";
+inline constexpr const char* kSessionSod = "sod";
+inline constexpr const char* kSessionCardinality = "cardinality";
+
+/// One parameterized role instance: the unit of activation. `params` are
+/// sorted name=value bindings beyond the (domain, role) pair itself; an
+/// instance with different bindings is a different instance.
+struct RoleInstance {
+  std::string domain;
+  std::string role;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  auto operator<=>(const RoleInstance&) const = default;
+
+  /// "Finance/Manager" or "Finance/Manager{project=apollo,tier=gold}".
+  std::string label() const;
+};
+
 class SessionManager {
  public:
   explicit SessionManager(const Policy& policy,
-                          const SodConstraints* dynamic_sod = nullptr)
-      : policy_(policy), dynamic_sod_(dynamic_sod) {}
+                          const SodConstraints* dynamic_sod = nullptr,
+                          const CardinalityConstraints* cardinality = nullptr)
+      : policy_(policy), dynamic_sod_(dynamic_sod), cardinality_(cardinality) {}
 
   /// Open a session for `user` with no roles active.
   SessionId open(std::string user);
 
-  /// Activate (domain, role): the user must be a member, and the role must
-  /// not clash (dynamic SoD) with an already-active role.
+  /// Activate a role instance: the user must be assigned the instance's
+  /// (domain, role), the instance must not clash (dynamic SoD) with an
+  /// already-active one, and activation must not exceed a cardinality
+  /// cap. Re-activating an already-active instance is an idempotent
+  /// success. Error codes: kSessionUnknown, kSessionRoleNotAssigned,
+  /// kSessionSod, kSessionCardinality.
+  mwsec::Status activate(SessionId id, RoleInstance instance);
   mwsec::Status activate(SessionId id, const std::string& domain,
                          const std::string& role);
+
+  /// Error codes: kSessionUnknown, kSessionRoleNotActive.
+  mwsec::Status deactivate(SessionId id, const RoleInstance& instance);
   mwsec::Status deactivate(SessionId id, const std::string& domain,
                            const std::string& role);
 
@@ -40,16 +82,18 @@ class SessionManager {
              const std::string& permission) const;
 
   std::vector<RoleAssignment> active_roles(SessionId id) const;
+  std::vector<RoleInstance> active_instances(SessionId id) const;
   mwsec::Status close(SessionId id);
   std::size_t open_count() const;
 
  private:
   struct State {
     std::string user;
-    std::set<std::pair<std::string, std::string>> active;  // (domain, role)
+    std::set<RoleInstance> active;
   };
   const Policy& policy_;
   const SodConstraints* dynamic_sod_;
+  const CardinalityConstraints* cardinality_;
   mutable std::mutex mu_;
   std::map<SessionId, State> sessions_;
   SessionId next_id_ = 1;

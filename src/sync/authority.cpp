@@ -119,7 +119,11 @@ mwsec::Status Authority::publish_credential(keynote::Assertion assertion) {
   std::scoped_lock lock(mu_);
   const std::string body = assertion.to_text();
   const auto before = store_.version();
-  if (auto s = store_.add_credential(std::move(assertion)); !s.ok()) return s;
+  if (auto s = store_.add_credential(std::move(assertion),
+                                     options_.verify_admissions);
+      !s.ok()) {
+    return s;
+  }
   // Idempotent re-add: the store did not move, so there is nothing to say.
   if (store_.version() == before) return {};
   publish_locked({store_.version(), DeltaKind::kAddCredential, body});

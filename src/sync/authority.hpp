@@ -39,6 +39,11 @@ struct AuthorityOptions {
   /// A replica behind by more than this many epochs is caught up with a
   /// snapshot even if the log could replay the gap.
   std::uint64_t snapshot_lag = 128;
+  /// Verify credential signatures at publish admission. An authority
+  /// that *mints* what it publishes (e.g. the load harness's admin point
+  /// synthesising millions of unsigned principals) may turn this off;
+  /// replicas should then run with verify_signatures = false too.
+  bool verify_admissions = true;
 };
 
 class Authority {

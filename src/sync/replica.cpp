@@ -31,7 +31,8 @@ struct ReplicaMetrics {
 
 Replica::Replica(net::Transport& network, const std::string& endpoint_name,
                  keynote::CompiledStore& store, Options options)
-    : network_(network), store_(store), options_(options) {
+    : network_(network), endpoint_name_(endpoint_name), store_(store),
+      options_(options) {
   auto ep = network_.open(endpoint_name);
   if (ep.ok()) {
     endpoint_ = std::move(ep).take();
@@ -45,8 +46,21 @@ Replica::Replica(net::Transport& network, const std::string& endpoint_name,
 Replica::~Replica() { stop(); }
 
 mwsec::Status Replica::subscribe(const std::string& authority_endpoint) {
+  if (endpoint_ != nullptr && endpoint_->closed()) {
+    // Re-subscribing after stop(): the endpoint was closed to unblock the
+    // serve thread. Re-register the name and open a fresh one — the old
+    // registration is dropped first so the name is rebindable.
+    network_.kill(endpoint_name_);
+    endpoint_ = nullptr;
+  }
   if (endpoint_ == nullptr) {
-    return Error::make("replica endpoint failed to open", "sync");
+    auto ep = network_.open(endpoint_name_);
+    if (!ep.ok()) {
+      return Error::make("replica endpoint failed to open: " +
+                             ep.error().message,
+                         "sync");
+    }
+    endpoint_ = std::move(ep).take();
   }
   {
     std::scoped_lock lock(mu_);

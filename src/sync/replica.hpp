@@ -60,6 +60,10 @@ class Replica {
   Replica& operator=(const Replica&) = delete;
 
   /// Send the subscribe and start applying deltas on a background thread.
+  /// May be called again after stop() (a *flapped* replica rejoining):
+  /// the endpoint is reopened and catch-up proceeds from the store's
+  /// version — the authority replays the missed suffix or serves a
+  /// snapshot, exactly as for a late joiner.
   mwsec::Status subscribe(const std::string& authority_endpoint);
   void stop();
 
@@ -101,6 +105,7 @@ class Replica {
   void send_ack_locked();
 
   net::Transport& network_;
+  std::string endpoint_name_;
   std::shared_ptr<net::Endpoint> endpoint_;
   keynote::CompiledStore& store_;
   Options options_;

@@ -77,6 +77,33 @@ std::string render_membership_conditions(
   return out;
 }
 
+std::string instance_param_attr(const std::string& param_name) {
+  return "param_" + param_name;
+}
+
+std::string render_instance_conditions(const rbac::RoleInstance& instance) {
+  std::string out = std::string(kAppDomainAttr) + " == " +
+                    quoted(kAppDomainValue) + " && (Domain==" +
+                    quoted(instance.domain) + " && Role==" +
+                    quoted(instance.role);
+  for (const auto& [name, value] : instance.params) {
+    out += " && " + instance_param_attr(name) + "==" + quoted(value);
+  }
+  out += ")";
+  return out;
+}
+
+mwsec::Result<keynote::Assertion> instance_credential(
+    const std::string& admin_principal, const std::string& user_principal,
+    const rbac::RoleInstance& instance) {
+  return keynote::AssertionBuilder()
+      .authorizer(quoted(admin_principal))
+      .licensees(quoted(user_principal))
+      .comment("role instance " + instance.label())
+      .conditions(render_instance_conditions(instance))
+      .build();
+}
+
 mwsec::Result<CompiledPolicy> compile_policy(const rbac::Policy& policy,
                                              const std::string& admin_principal,
                                              PrincipalDirectory& directory) {

@@ -14,6 +14,7 @@
 #include "crypto/keys.hpp"
 #include "keynote/assertion.hpp"
 #include "rbac/model.hpp"
+#include "rbac/sessions.hpp"
 #include "translate/directory.hpp"
 #include "util/result.hpp"
 
@@ -38,6 +39,25 @@ std::string render_haspermission_conditions(const rbac::Policy& policy);
 /// Render the Figure 6 conditions for one user's role memberships.
 std::string render_membership_conditions(
     const std::vector<rbac::RoleAssignment>& memberships);
+
+/// Attribute name a role-instance parameter binding appears under in the
+/// action environment: parameter "project" ⇒ attribute "param_project".
+std::string instance_param_attr(const std::string& param_name);
+
+/// Render the conditions for one *parameterized role instance* (the unit
+/// an RBAC session activates): the Figure 6 (Domain, Role) pin extended
+/// with one equality per parameter binding, so a credential minted for
+/// Manager{project=apollo} only satisfies requests whose environment
+/// carries param_project == "apollo".
+std::string render_instance_conditions(const rbac::RoleInstance& instance);
+
+/// Mint the membership credential an activated role instance turns into:
+/// authorizer `admin_principal`, licensee `user_principal`, conditions
+/// from render_instance_conditions. Unsigned — sign with
+/// Assertion::sign_with when the admission path verifies signatures.
+mwsec::Result<keynote::Assertion> instance_credential(
+    const std::string& admin_principal, const std::string& user_principal,
+    const rbac::RoleInstance& instance);
 
 /// Compile with an unsigned-credential result (opaque principals, as the
 /// paper's figures print them).

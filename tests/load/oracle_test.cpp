@@ -1,0 +1,121 @@
+// The denied-correctness oracle must actually catch lying surfaces.
+//
+// Two stub surfaces that ignore admitted state: one permits everything
+// (so forbidden-permission probes and revoked principals leak through),
+// one denies everything (so active entitlements are starved). The engine
+// must fail both runs with counted violations — if it does not, the
+// oracle is decorative and every green scenario run is meaningless.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "authz/authz.hpp"
+#include "load/engine.hpp"
+#include "load/population.hpp"
+#include "load/scenario.hpp"
+#include "load/session_bridge.hpp"
+#include "load/surface.hpp"
+
+namespace mwsec::load {
+namespace {
+
+// A surface that admits credentials into the void and answers every
+// decision with a fixed verdict.
+class FixedVerdictSurface final : public Surface, public CredentialSink {
+ public:
+  explicit FixedVerdictSurface(bool permit_all) : permit_all_(permit_all) {}
+
+  std::string name() const override {
+    return permit_all_ ? "stub-permit-all" : "stub-deny-all";
+  }
+  SurfaceCaps caps() const override {
+    SurfaceCaps caps;
+    caps.supports_chains = false;  // no store for chain leaves to resolve
+    return caps;
+  }
+  CredentialSink& sink() override { return *this; }
+  authz::Verdict decide(const authz::Request&) override {
+    return permit_all_ ? authz::Verdict::permit(name(), epoch_)
+                       : authz::Verdict::deny(name(), epoch_);
+  }
+  mwsec::Status settle(std::chrono::milliseconds) override { return {}; }
+  std::uint64_t epoch() const override { return epoch_; }
+
+  mwsec::Status admit_policy_text(const std::string&) override {
+    ++epoch_;
+    return {};
+  }
+  mwsec::Status admit(keynote::Assertion) override {
+    ++epoch_;
+    return {};
+  }
+  std::size_t revoke_matching(const std::string&) override {
+    ++epoch_;
+    return 1;
+  }
+  std::size_t revoke_by_licensee(const std::string&) override {
+    ++epoch_;
+    return 1;
+  }
+
+ private:
+  bool permit_all_;
+  std::uint64_t epoch_ = 0;
+};
+
+EngineOptions small_run() {
+  EngineOptions opts;
+  opts.duration_override = std::chrono::milliseconds(200);
+  opts.oracle_sample = 64;
+  // Only the oracle may fail these runs — shared CI cores must not trip
+  // the latency/volume SLOs.
+  opts.p99_budget_us = 10'000'000;
+  opts.min_requests = 10;
+  return opts;
+}
+
+TEST(OracleTest, PermitAllSurfaceFailsTheRun) {
+  PopulationOptions popts;
+  popts.principals = 64;
+  Population population(popts);
+  FixedVerdictSurface surface(/*permit_all=*/true);
+  Engine engine(surface, population, small_run());
+  auto report = engine.run(*find_scenario("steady"));
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  // Every forbidden probe was permitted: strict violations, failed run.
+  EXPECT_FALSE(report->pass);
+  EXPECT_GT(report->total_violations(), 0u);
+  ASSERT_FALSE(report->phases.empty());
+  EXPECT_FALSE(report->phases.back().violation_samples.empty());
+}
+
+TEST(OracleTest, DenyAllSurfaceFailsTheRun) {
+  PopulationOptions popts;
+  popts.principals = 64;
+  Population population(popts);
+  FixedVerdictSurface surface(/*permit_all=*/false);
+  Engine engine(surface, population, small_run());
+  auto report = engine.run(*find_scenario("steady"));
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  // Active entitlements denied after settle: the sweep must catch it.
+  EXPECT_FALSE(report->pass);
+  EXPECT_GT(report->total_violations(), 0u);
+}
+
+TEST(OracleTest, HonestSurfacePassesTheSameScenario) {
+  // Control: the same scenario and options against a real store must be
+  // clean, or the two tests above prove nothing.
+  PopulationOptions popts;
+  popts.principals = 64;
+  Population population(popts);
+  DirectSurface surface;
+  Engine engine(surface, population, small_run());
+  auto report = engine.run(*find_scenario("steady"));
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_TRUE(report->pass) << report->to_json();
+  EXPECT_EQ(report->total_violations(), 0u);
+}
+
+}  // namespace
+}  // namespace mwsec::load

@@ -86,6 +86,124 @@ TEST(Sessions, ActiveRolesReported) {
   EXPECT_EQ(roles.size(), 2u);
 }
 
+TEST(Sessions, FailuresCarryStructuredErrorCodes) {
+  Policy p = salaries_policy();
+  SodConstraints sod;
+  sod.add_exclusion("Finance", "Clerk", "Audit", "Auditor").ok();
+  CardinalityConstraints card;
+  card.set_max_active(1).ok();
+  SessionManager mgr(p, &sod, &card);
+
+  // Unknown session, on every operation that takes an id.
+  auto st = mgr.activate(999, "Finance", "Clerk");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, kSessionUnknown);
+  st = mgr.deactivate(999, "Finance", "Clerk");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, kSessionUnknown);
+  st = mgr.close(999);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, kSessionUnknown);
+
+  // Role not assigned ≠ unknown session: callers branch on the code.
+  auto id = mgr.open("Alice");
+  st = mgr.activate(id, "Sales", "Manager");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, kSessionRoleNotAssigned);
+
+  // Deactivating something never activated.
+  st = mgr.deactivate(id, "Finance", "Clerk");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, kSessionRoleNotActive);
+
+  // Cardinality cap of one: the second activation names its constraint
+  // (a role outside the SoD pair, so the cap is what trips).
+  ASSERT_TRUE(mgr.activate(id, "Finance", "Clerk").ok());
+  p.assign("Alice", "Sales", "Agent").ok();
+  p.assign("Alice", "Audit", "Auditor").ok();
+  st = mgr.activate(id, "Sales", "Agent");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, kSessionCardinality);
+
+  // Dynamic SoD, once the cap no longer masks it.
+  SessionManager unlimited(p, &sod);
+  auto id2 = unlimited.open("Alice");
+  ASSERT_TRUE(unlimited.activate(id2, "Finance", "Clerk").ok());
+  st = unlimited.activate(id2, "Audit", "Auditor");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, kSessionSod);
+}
+
+TEST(Sessions, CardinalityCapsTotalActiveInstances) {
+  Policy p;
+  p.assign("dana", "Finance", "Clerk").ok();
+  p.assign("dana", "Sales", "Agent").ok();
+  p.grant({"Finance", "Clerk", "Ledger", "read"}).ok();
+  p.grant({"Sales", "Agent", "Orders", "read"}).ok();
+  CardinalityConstraints card;
+  card.set_max_active(1).ok();
+  SessionManager mgr(p, nullptr, &card);
+  auto id = mgr.open("dana");
+  ASSERT_TRUE(mgr.activate(id, "Finance", "Clerk").ok());
+  EXPECT_FALSE(mgr.activate(id, "Sales", "Agent").ok());
+  // Re-activating the held instance is idempotent, not a new activation.
+  EXPECT_TRUE(mgr.activate(id, "Finance", "Clerk").ok());
+  // Dropping the active instance frees the slot.
+  ASSERT_TRUE(mgr.deactivate(id, "Finance", "Clerk").ok());
+  EXPECT_TRUE(mgr.activate(id, "Sales", "Agent").ok());
+}
+
+TEST(Sessions, CardinalityPerDomainCap) {
+  Policy p;
+  p.assign("erin", "Finance", "Clerk").ok();
+  p.assign("erin", "Finance", "Manager").ok();
+  p.assign("erin", "Sales", "Agent").ok();
+  CardinalityConstraints card;
+  card.set_max_active_in("Finance", 1).ok();
+  SessionManager mgr(p, nullptr, &card);
+  auto id = mgr.open("erin");
+  ASSERT_TRUE(mgr.activate(id, "Finance", "Clerk").ok());
+  auto st = mgr.activate(id, "Finance", "Manager");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, kSessionCardinality);
+  // The cap is per-domain: other domains are unaffected.
+  EXPECT_TRUE(mgr.activate(id, "Sales", "Agent").ok());
+}
+
+TEST(Sessions, ParameterizedInstancesActivateIndependently) {
+  Policy p;
+  p.assign("fred", "Finance", "Manager").ok();
+  p.grant({"Finance", "Manager", "Ledger", "read"}).ok();
+  SessionManager mgr(p);
+  auto id = mgr.open("fred");
+
+  RoleInstance apollo{"Finance", "Manager", {{"project", "apollo"}}};
+  RoleInstance zeus{"Finance", "Manager", {{"project", "zeus"}}};
+  ASSERT_TRUE(mgr.activate(id, apollo).ok());
+  ASSERT_TRUE(mgr.activate(id, zeus).ok());
+  EXPECT_EQ(mgr.active_instances(id).size(), 2u);
+
+  // Deactivating one binding leaves the sibling (and its authority).
+  ASSERT_TRUE(mgr.deactivate(id, apollo).ok());
+  EXPECT_EQ(mgr.active_instances(id).size(), 1u);
+  EXPECT_TRUE(mgr.check(id, "Ledger", "read"));
+  auto st = mgr.deactivate(id, apollo);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error().code, kSessionRoleNotActive);
+
+  ASSERT_TRUE(mgr.deactivate(id, zeus).ok());
+  EXPECT_FALSE(mgr.check(id, "Ledger", "read"));
+}
+
+TEST(Sessions, RoleInstanceLabelSpellsBindings) {
+  RoleInstance bare{"Finance", "Manager", {}};
+  EXPECT_EQ(bare.label(), "Finance/Manager");
+  RoleInstance bound{"Finance",
+                     "Manager",
+                     {{"project", "apollo"}, {"tier", "gold"}}};
+  EXPECT_EQ(bound.label(), "Finance/Manager{project=apollo,tier=gold}");
+}
+
 TEST(Sessions, ConcurrentSessionsAreIsolated) {
   Policy p = salaries_policy();
   SessionManager mgr(p);

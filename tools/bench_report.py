@@ -154,6 +154,78 @@ def run_slo(build_dir: pathlib.Path) -> dict | None:
         return None
 
 
+def summarize_load_run(run: dict) -> dict:
+    """Compress one mwsec-load report into the columns the report quotes.
+
+    Tolerant of a run whose phases all failed to complete (e.g. a settle
+    timeout in every phase): there are no latency numbers to aggregate,
+    so the summary carries an explicit "status": "incomplete" marker and
+    fails the gate, instead of raising on the empty sequence."""
+    phases = run.get("phases", [])
+    completed = [p for p in phases if p.get("completed")]
+    summary = {
+        "scenario": run.get("scenario"),
+        "surface": run.get("surface"),
+        "pass": bool(run.get("pass", False)),
+        "phases": phases,
+        "slo": run.get("slo", {}),
+    }
+    if not completed:
+        summary["status"] = "incomplete"
+        summary["pass"] = False
+        return summary
+    summary["status"] = "ok"
+    summary["requests"] = sum(int(p.get("requests", 0)) for p in completed)
+    summary["oracle_violations"] = sum(
+        int(p.get("oracle_violations", 0)) for p in phases)
+    summary["decide_p99_us"] = max(
+        float(p.get("decide_p99_us", 0)) for p in completed)
+    return summary
+
+
+def run_load(build_dir: pathlib.Path, scenario: str, principals: int,
+             duration_ms: int) -> dict | None:
+    """Run the workload harness on both transports; {key: summary}.
+
+    Returns None when the tool is not built (the caller decides whether
+    that is fatal). An individual run that fails its oracle/SLO (exit 2)
+    still produces a report — it is summarised with pass=false; an
+    infrastructure failure (exit 1, no JSON) becomes a "status": "error"
+    section so --check-slo fails loudly."""
+    tool = build_dir / "tools" / "mwsec-load"
+    if not tool.exists():
+        print(f"note: {tool} not built; report will carry no load section",
+              file=sys.stderr)
+        return None
+    sections = {}
+    for transport in ("inproc", "tcp"):
+        key = f"{scenario}@{transport}"
+        cmd = [
+            str(tool), "--scenario", scenario,
+            "--principals", str(principals),
+            "--duration-ms", str(duration_ms),
+            "--transport", transport,
+        ]
+        print(f"running {' '.join(cmd)} ...", file=sys.stderr)
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if not proc.stdout.strip():
+            print(f"error: mwsec-load ({transport}) produced no report:\n"
+                  f"{proc.stderr}", file=sys.stderr)
+            sections[key] = {"status": "error", "pass": False,
+                             "detail": proc.stderr.strip()}
+            continue
+        try:
+            run = json.loads(proc.stdout)
+        except json.JSONDecodeError as exc:
+            print(f"error: mwsec-load ({transport}) produced unparseable "
+                  f"JSON: {exc}", file=sys.stderr)
+            sections[key] = {"status": "error", "pass": False,
+                             "detail": str(exc)}
+            continue
+        sections[key] = summarize_load_run(run)
+    return sections
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build",
@@ -168,6 +240,14 @@ def main() -> int:
     ap.add_argument("--check-slo", action="store_true",
                     help="fail when any SLO objective fails (or the SLO "
                          "evaluation cannot run) — the CI regression gate")
+    ap.add_argument("--no-load", action="store_true",
+                    help="skip the mwsec-load workload runs")
+    ap.add_argument("--load-scenario", default="revocation-storm",
+                    help="scenario the load section runs on both transports")
+    ap.add_argument("--load-principals", type=int, default=2000,
+                    help="population size for the load section")
+    ap.add_argument("--load-duration-ms", type=int, default=1000,
+                    help="total run budget for each load run")
     args = ap.parse_args()
 
     build_dir = pathlib.Path(args.build_dir)
@@ -211,6 +291,16 @@ def main() -> int:
               "run", file=sys.stderr)
         return 1
 
+    load = None if args.no_load else run_load(
+        build_dir, args.load_scenario, args.load_principals,
+        args.load_duration_ms)
+    if load is not None:
+        report["load"] = load
+    elif args.check_slo and not args.no_load:
+        print("error: --check-slo requested but mwsec-load is not built",
+              file=sys.stderr)
+        return 1
+
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(report, indent=2) + "\n")
     n = sum(len(v["results"]) for v in report["benchmarks"].values())
@@ -219,14 +309,22 @@ def main() -> int:
           f"slo={'absent' if slo is None else slo.get('pass')})",
           file=sys.stderr)
 
+    failed = False
     if args.check_slo and not slo.get("pass", False):
         for obj in slo.get("objectives", []):
             if not obj.get("pass", False):
                 print(f"SLO FAILED: {obj.get('name')}: "
                       f"{obj.get('value')} vs {obj.get('threshold')} "
                       f"({obj.get('detail', '')})", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if args.check_slo and load is not None:
+        for key, section in load.items():
+            if section.get("status") != "ok" or not section.get("pass"):
+                print(f"LOAD FAILED: {key}: status="
+                      f"{section.get('status')} pass={section.get('pass')}",
+                      file=sys.stderr)
+                failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,171 @@
+// mwsec-load: run a named workload scenario against a decision surface.
+//
+//   mwsec-load --scenario revocation-storm --principals 10000
+//              --surface replicated --transport tcp --duration-ms 2000
+//
+// Exit codes: 0 = run passed (oracle clean, SLO met), 1 = usage or
+// infrastructure error, 2 = oracle/SLO failure. The JSON report goes to
+// stdout (or --out FILE); tools/bench_report.py merges it into
+// BENCH_keynote.json under "load" and CI gates on it.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "load/engine.hpp"
+#include "load/population.hpp"
+#include "load/scenario.hpp"
+#include "load/surface.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace mwsec;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scenario NAME] [--principals N] [--seed N]\n"
+               "          [--duration-ms N] [--surface "
+               "direct|replicated|webcom]\n"
+               "          [--transport inproc|tcp] [--replicas N] "
+               "[--rate R]\n"
+               "          [--p99-budget-us X] [--out FILE] [--list]\n",
+               argv0);
+  return 1;
+}
+
+int list_scenarios() {
+  for (const auto& s : load::scenarios()) {
+    std::printf("%-18s %s\n", s.name.c_str(), s.summary.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_name = "revocation-storm";
+  std::string surface_kind = "replicated";
+  std::string transport = "inproc";
+  std::string out_path;
+  std::size_t principals = 10'000;
+  std::size_t replicas = 3;
+  std::uint64_t seed = 42;
+  long duration_ms = 0;
+  double rate = 0;
+  double p99_budget_us = 50'000;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (arg == "--list") return list_scenarios();
+    if (arg == "--help" || arg == "-h") return usage(argv[0]);
+    const char* v = nullptr;
+    if (arg == "--scenario" && (v = value())) scenario_name = v;
+    else if (arg == "--surface" && (v = value())) surface_kind = v;
+    else if (arg == "--transport" && (v = value())) transport = v;
+    else if (arg == "--out" && (v = value())) out_path = v;
+    else if (arg == "--principals" && (v = value())) principals = std::strtoull(v, nullptr, 10);
+    else if (arg == "--replicas" && (v = value())) replicas = std::strtoull(v, nullptr, 10);
+    else if (arg == "--seed" && (v = value())) seed = std::strtoull(v, nullptr, 10);
+    else if (arg == "--duration-ms" && (v = value())) duration_ms = std::strtol(v, nullptr, 10);
+    else if (arg == "--rate" && (v = value())) rate = std::strtod(v, nullptr);
+    else if (arg == "--p99-budget-us" && (v = value())) p99_budget_us = std::strtod(v, nullptr);
+    else return usage(argv[0]);
+  }
+
+  const load::Scenario* scenario = load::find_scenario(scenario_name);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                 scenario_name.c_str());
+    return 1;
+  }
+  if (transport != "inproc" && transport != "tcp") return usage(argv[0]);
+
+  obs::set_metrics_enabled(true);
+
+  load::PopulationOptions popts;
+  popts.principals = principals;
+  popts.seed = seed;
+  load::Population population(popts);
+
+  // Build the chosen surface. --transport matters to the replicated one;
+  // direct and webcom are in-process by construction.
+  std::unique_ptr<load::Surface> surface;
+  if (surface_kind == "direct") {
+    surface = std::make_unique<load::DirectSurface>();
+  } else if (surface_kind == "replicated") {
+    load::ReplicatedSurfaceOptions ropts;
+    ropts.replicas = replicas;
+    ropts.tcp = transport == "tcp";
+    ropts.seed = seed;
+    auto replicated = std::make_unique<load::ReplicatedSurface>(ropts);
+    if (auto s = replicated->start(); !s.ok()) {
+      std::fprintf(stderr, "surface start failed: %s\n",
+                   s.error().message.c_str());
+      return 1;
+    }
+    surface = std::move(replicated);
+  } else if (surface_kind == "webcom") {
+    auto webcom = std::make_unique<load::WebComSurface>(population);
+    if (auto s = webcom->start(); !s.ok()) {
+      std::fprintf(stderr, "surface start failed: %s\n",
+                   s.error().message.c_str());
+      return 1;
+    }
+    surface = std::move(webcom);
+  } else {
+    return usage(argv[0]);
+  }
+
+  load::EngineOptions eopts;
+  eopts.seed = seed;
+  eopts.p99_budget_us = p99_budget_us;
+  if (duration_ms > 0) {
+    eopts.duration_override = std::chrono::milliseconds(duration_ms);
+  }
+  // Apply a fixed arrival rate on top of the scenario when asked.
+  load::Scenario run_scenario = *scenario;
+  if (rate > 0) {
+    for (auto& phase : run_scenario.phases) phase.open_rate = rate;
+  }
+
+  load::Engine engine(*surface, population, eopts);
+  auto report = engine.run(run_scenario);
+  if (!report.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 report.error().message.c_str());
+    return 1;
+  }
+  // Stamp the wire transport into the surface label so one report file
+  // distinguishes replicated@inproc from replicated@tcp.
+  const std::string json = report->to_json();
+  if (out_path.empty()) {
+    std::printf("%s\n", json.c_str());
+  } else {
+    std::ofstream out(out_path);
+    out << json << "\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  if (!report->pass) {
+    std::fprintf(stderr,
+                 "FAIL: scenario=%s surface=%s violations=%llu (see "
+                 "report)\n",
+                 report->scenario.c_str(), report->surface.c_str(),
+                 static_cast<unsigned long long>(
+                     report->total_violations()));
+    return 2;
+  }
+  std::fprintf(stderr, "PASS: scenario=%s surface=%s requests=%llu\n",
+               report->scenario.c_str(), report->surface.c_str(),
+               static_cast<unsigned long long>(report->total_requests()));
+  return 0;
+}
